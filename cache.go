@@ -1,0 +1,66 @@
+package idm
+
+import "sync"
+
+// queryCache memoizes query results keyed by query text, invalidated by
+// the dataspace version: any change the Synchronization Manager applies
+// bumps the version, so cached results are never stale. This is the
+// "warm cache" of the paper's Figure 6 made explicit.
+type queryCache struct {
+	mu      sync.Mutex
+	entries map[string]cacheEntry
+	cap     int
+	hits    int64
+	misses  int64
+}
+
+type cacheEntry struct {
+	version uint64
+	res     *Result
+}
+
+func newQueryCache(capacity int) *queryCache {
+	if capacity <= 0 {
+		capacity = 256
+	}
+	return &queryCache{entries: make(map[string]cacheEntry), cap: capacity}
+}
+
+// get returns the cached result for a query at the given dataspace
+// version.
+func (c *queryCache) get(query string, version uint64) (*Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[query]
+	if !ok || e.version != version {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	return e.res, true
+}
+
+// put stores a result. When the cache is full it is cleared wholesale —
+// queries repeat within sessions, so a periodic cold start is cheaper
+// than tracking recency.
+func (c *queryCache) put(query string, version uint64, res *Result) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.entries) >= c.cap {
+		c.entries = make(map[string]cacheEntry, c.cap)
+	}
+	c.entries[query] = cacheEntry{version: version, res: res}
+}
+
+// CacheStats reports query-cache effectiveness.
+type CacheStats struct {
+	Hits   int64
+	Misses int64
+	Size   int
+}
+
+func (c *queryCache) stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Hits: c.hits, Misses: c.misses, Size: len(c.entries)}
+}

@@ -1,0 +1,77 @@
+package idm_test
+
+import (
+	"testing"
+
+	idm "repro"
+)
+
+func cacheSystem(t *testing.T, disable bool) (*idm.System, *idm.FS) {
+	t.Helper()
+	fs := idm.NewFileSystem()
+	fs.MkdirAll("/d")
+	fs.WriteFile("/d/a.txt", []byte("cachable content"))
+	sys := idm.Open(idm.Config{Now: fixedNow, DisableQueryCache: disable})
+	sys.AddFileSystem("filesystem", fs)
+	if _, err := sys.Index(); err != nil {
+		t.Fatal(err)
+	}
+	return sys, fs
+}
+
+func TestQueryCacheHitsOnRepeat(t *testing.T) {
+	sys, _ := cacheSystem(t, false)
+	for i := 0; i < 3; i++ {
+		res, err := sys.Query(`"cachable content"`)
+		if err != nil || res.Count() != 1 {
+			t.Fatalf("run %d: %v (%d)", i, err, res.Count())
+		}
+	}
+	st := sys.CacheStats()
+	if st.Hits != 2 || st.Misses != 1 {
+		t.Errorf("stats = %+v, want 2 hits / 1 miss", st)
+	}
+	if st.Size != 1 {
+		t.Errorf("size = %d", st.Size)
+	}
+}
+
+func TestQueryCacheInvalidatedByChange(t *testing.T) {
+	sys, fs := cacheSystem(t, false)
+	res, _ := sys.Query(`"cachable content"`)
+	if res.Count() != 1 {
+		t.Fatal("setup")
+	}
+	// A change bumps the dataspace version; the stale entry must not
+	// be served.
+	fs.WriteFile("/d/b.txt", []byte("more cachable content here"))
+	if _, err := sys.Index(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Query(`"cachable content"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count() != 2 {
+		t.Errorf("after change: %d results (stale cache?)", res.Count())
+	}
+}
+
+func TestQueryCacheDisabled(t *testing.T) {
+	sys, _ := cacheSystem(t, true)
+	sys.Query(`"cachable content"`)
+	sys.Query(`"cachable content"`)
+	if st := sys.CacheStats(); st.Hits != 0 || st.Misses != 0 || st.Size != 0 {
+		t.Errorf("disabled cache has stats %+v", st)
+	}
+}
+
+func TestQueryCacheErrorsNotCached(t *testing.T) {
+	sys, _ := cacheSystem(t, false)
+	if _, err := sys.Query(`//bad[`); err == nil {
+		t.Fatal("bad query accepted")
+	}
+	if st := sys.CacheStats(); st.Size != 0 {
+		t.Errorf("error cached: %+v", st)
+	}
+}

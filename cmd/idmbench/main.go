@@ -1,0 +1,93 @@
+// Command idmbench regenerates the tables and figures of §7 of the iDM
+// paper against the synthetic personal dataset and prints them in the
+// paper's layout.
+//
+// Usage:
+//
+//	idmbench [-exp all|table2|table3|figure5|table4|figure6] [-scale 0.05] [-seed 42] [-runs 5]
+//
+// See EXPERIMENTS.md for the paper-vs-measured comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/iql"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: all|table2|table3|figure5|table4|figure6")
+	scale := flag.Float64("scale", 0.05, "dataset scale (1.0 = paper shape)")
+	seed := flag.Int64("seed", 42, "generator seed")
+	runs := flag.Int("runs", 5, "warm-cache repetitions per query (figure 6)")
+	expansion := flag.String("expansion", "forward", "path evaluation: forward|backward|auto")
+	flag.Parse()
+
+	strategy := iql.ForwardExpansion
+	switch *expansion {
+	case "forward":
+	case "backward":
+		strategy = iql.BackwardExpansion
+	case "auto":
+		strategy = iql.AutoExpansion
+	default:
+		fail(fmt.Errorf("unknown expansion %q", *expansion))
+	}
+
+	want := func(name string) bool { return *exp == "all" || *exp == name }
+
+	// Table 3 indexes each source into its own manager; run it first so
+	// its timing is undisturbed, then build the shared setup.
+	if want("table3") {
+		rows, err := experiments.Table3(*scale, *seed)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(experiments.RenderTable3(rows))
+	}
+	if want("figure5") {
+		rows, err := experiments.Figure5(*scale, *seed)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(experiments.RenderFigure5(rows))
+	}
+	if want("table2") || want("table4") || want("figure6") {
+		s, err := experiments.NewSetup(*scale, *seed, false)
+		if err != nil {
+			fail(err)
+		}
+		if err := s.Index(); err != nil {
+			fail(err)
+		}
+		if want("table2") {
+			fmt.Println(experiments.RenderTable2(experiments.Table2(s)))
+		}
+		if want("table4") || want("figure6") {
+			rows, err := experiments.RunQueries(s, strategy, *runs)
+			if err != nil {
+				fail(err)
+			}
+			if want("table4") {
+				fmt.Println(experiments.RenderTable4(rows))
+				for _, r := range rows {
+					if r.Note != "" {
+						fmt.Printf("note (%s): %s\n", r.ID, r.Note)
+					}
+				}
+				fmt.Println()
+			}
+			if want("figure6") {
+				fmt.Println(experiments.RenderFigure6(rows))
+			}
+		}
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "idmbench:", err)
+	os.Exit(1)
+}

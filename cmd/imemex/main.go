@@ -1,0 +1,261 @@
+// Command imemex is an interactive shell and one-shot query tool for an
+// iDM personal dataspace: it generates the synthetic dataset, indexes it
+// through the Resource View Manager and evaluates iQL queries.
+//
+// Usage:
+//
+//	imemex [-scale 0.05] [-seed 42] [-expansion forward|backward|auto] [query...]
+//
+// With query arguments, each is evaluated and printed; without, an
+// interactive read-eval-print loop starts. REPL commands:
+//
+//	\help            show help
+//	\sources         list data sources and their Table 2 breakdowns
+//	\sizes           show index sizes (Table 3)
+//	\classes         list resource view classes
+//	\plan <query>    show the rule-based plan for a query
+//	\quit            exit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	idm "repro"
+	"repro/internal/osload"
+)
+
+func main() {
+	scale := flag.Float64("scale", 0.05, "dataset scale (1.0 = paper shape)")
+	seed := flag.Int64("seed", 42, "dataset generator seed")
+	dir := flag.String("dir", "", "index a real directory instead of the synthetic dataspace")
+	maxFile := flag.Int64("maxfile", 1<<20, "with -dir: skip files larger than this many bytes")
+	hidden := flag.Bool("hidden", false, "with -dir: include hidden files and directories")
+	expansion := flag.String("expansion", "forward", "path evaluation: forward|backward|auto")
+	limit := flag.Int("limit", 10, "max results to print per query")
+	flag.Parse()
+
+	exp, err := parseExpansion(*expansion)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	var sys *idm.System
+	if *dir != "" {
+		fmt.Fprintf(os.Stderr, "importing %s...\n", *dir)
+		vf := idm.NewFileSystem()
+		st, err := osload.Load(vf, *dir, osload.Options{MaxFileBytes: *maxFile, IncludeHidden: *hidden})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "imported %d files in %d folders (%.1f MB; skipped %d large, %d other)\n",
+			st.Files, st.Folders, float64(st.Bytes)/(1<<20), st.SkippedLarge, st.SkippedOther)
+		sys = idm.Open(idm.Config{Expansion: exp})
+		if err := sys.AddFileSystem("filesystem", vf); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	} else {
+		fmt.Fprintf(os.Stderr, "generating synthetic personal dataspace (scale %.2f, seed %d)...\n", *scale, *seed)
+		data := idm.GenerateDataset(idm.DatasetConfig{Scale: *scale, Seed: *seed})
+		sys, err = idm.OpenDataset(data, idm.Config{Expansion: exp, Now: evalClock})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	start := time.Now()
+	report, err := sys.Index()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "indexed %d resource views from %d sources in %v\n\n",
+		report.TotalViews(), len(report.Timings), time.Since(start).Round(time.Millisecond))
+
+	if flag.NArg() > 0 {
+		for _, q := range flag.Args() {
+			runQuery(sys, q, *limit)
+		}
+		return
+	}
+	repl(sys, *limit)
+}
+
+// evalClock pins "now" into the paper's era so date functions such as
+// yesterday() interact sensibly with the generated timestamps.
+func evalClock() time.Time {
+	return time.Date(2005, 6, 15, 10, 0, 0, 0, time.UTC)
+}
+
+func parseExpansion(s string) (idm.Expansion, error) {
+	switch strings.ToLower(s) {
+	case "forward":
+		return idm.Forward, nil
+	case "backward":
+		return idm.Backward, nil
+	case "auto":
+		return idm.Auto, nil
+	default:
+		return idm.Forward, fmt.Errorf("imemex: unknown expansion %q", s)
+	}
+}
+
+func runQuery(sys *idm.System, q string, limit int) {
+	start := time.Now()
+	res, err := sys.Query(q)
+	elapsed := time.Since(start)
+	if err != nil {
+		fmt.Printf("error: %v\n", err)
+		return
+	}
+	fmt.Printf("iql> %s\n%d results in %v\n", q, res.Count(), elapsed.Round(time.Microsecond))
+	for i, row := range res.Rows {
+		if i >= limit {
+			fmt.Printf("  ... and %d more\n", res.Count()-limit)
+			break
+		}
+		var parts []string
+		for j, item := range row {
+			col := ""
+			if len(res.Columns) > j && len(row) > 1 {
+				col = res.Columns[j] + "="
+			}
+			parts = append(parts, fmt.Sprintf("%s%s [%s] %s", col, item.Name, item.Class, item.Path))
+		}
+		fmt.Printf("  %s\n", strings.Join(parts, "  ⋈  "))
+	}
+	fmt.Println()
+}
+
+func repl(sys *idm.System, limit int) {
+	fmt.Println(`iMeMex iQL shell — \help for commands, \quit to exit`)
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for {
+		fmt.Print("iql> ")
+		if !sc.Scan() {
+			return
+		}
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+		case line == `\quit` || line == `\q`:
+			return
+		case line == `\help`:
+			printHelp()
+		case line == `\sources`:
+			for _, src := range sys.Sources() {
+				b := sys.Breakdown(src)
+				fmt.Printf("  %-12s base=%d derived(xml=%d latex=%d other=%d) total=%d\n",
+					src, b.Base, b.DerivedXML, b.DerivedLatex, b.DerivedOther, b.Total)
+			}
+		case line == `\sizes`:
+			s := sys.Sizes()
+			fmt.Printf("  name=%s tuple=%s content=%s group=%s catalog=%s total=%s\n",
+				mb(s.Name), mb(s.Tuple), mb(s.Content), mb(s.Group), mb(s.Catalog), mb(s.Total()))
+		case strings.HasPrefix(line, `\plan `):
+			q := strings.TrimPrefix(line, `\plan `)
+			res, err := sys.Query(q)
+			if err != nil {
+				fmt.Printf("error: %v\n", err)
+				continue
+			}
+			fmt.Println(res.Plan)
+		case strings.HasPrefix(line, `\rank `):
+			q := strings.TrimPrefix(line, `\rank `)
+			res, err := sys.QueryRanked(q)
+			if err != nil {
+				fmt.Printf("error: %v\n", err)
+				continue
+			}
+			fmt.Printf("%d results (ranked)\n", res.Count())
+			for i, row := range res.Rows {
+				if i >= limit {
+					break
+				}
+				fmt.Printf("  %6.0f  %s\n", res.Scores[i], row[0].Path)
+			}
+		case strings.HasPrefix(line, `\lineage `):
+			q := strings.TrimPrefix(line, `\lineage `)
+			res, err := sys.Query(q)
+			if err != nil || res.Count() == 0 {
+				fmt.Printf("error: %v (%d results)\n", err, res.Count())
+				continue
+			}
+			steps, err := sys.Lineage(res.Items[0].OID)
+			if err != nil {
+				fmt.Printf("error: %v\n", err)
+				continue
+			}
+			for _, s := range steps {
+				name := s.Name
+				if name == "" {
+					name = "(" + s.Class + ")"
+				}
+				fmt.Printf("  %-24s %s\n", s.Relation, name)
+			}
+		case line == `\changes`:
+			changes := sys.Changes(0)
+			start := 0
+			if len(changes) > limit {
+				start = len(changes) - limit
+				fmt.Printf("  ... %d earlier changes\n", start)
+			}
+			for _, c := range changes[start:] {
+				fmt.Printf("  v%-4d %-8s %s %s\n", c.Version, c.Kind, c.Source, c.URI)
+			}
+		case strings.HasPrefix(line, `\delete `):
+			stmt := "delete " + strings.TrimPrefix(line, `\delete `)
+			n, err := sys.Delete(stmt)
+			if err != nil {
+				fmt.Printf("deleted %d; error: %v\n", n, err)
+				continue
+			}
+			fmt.Printf("deleted %d item(s)\n", n)
+		case strings.HasPrefix(line, `\`):
+			fmt.Printf("unknown command %q — \\help lists commands\n", line)
+		default:
+			if strings.HasPrefix(strings.ToLower(line), "delete ") {
+				n, err := sys.Delete(line)
+				if err != nil {
+					fmt.Printf("deleted %d; error: %v\n", n, err)
+					continue
+				}
+				fmt.Printf("deleted %d item(s)\n", n)
+				continue
+			}
+			runQuery(sys, line, limit)
+		}
+	}
+}
+
+func printHelp() {
+	fmt.Print(`commands:
+  \sources         per-source resource view breakdown (Table 2)
+  \sizes           index and replica sizes (Table 3)
+  \plan <query>    show the rule-based query plan
+  \rank <query>    evaluate with tf-ranked results
+  \lineage <query> provenance chain of the first result
+  \changes         tail of the dataspace change journal
+  \delete <query>  write-through delete (also: delete <query>)
+  \quit            exit
+example queries (Table 4 of the paper):
+  "database"
+  "database tuning"
+  [size > 4200 and lastmodified < @12.06.2005]
+  //papers//*Vision/*["Franklin"]
+  //VLDB200?//?onclusion*/*["systems"]
+  union( //VLDB2005//*["documents"], //VLDB2006//*["documents"])
+  join( //VLDB2006//*[class="texref"] as A, //VLDB2006//figure*[class="environment"] as B, A.name=B.tuple.label)
+  join( //*[class="emailmessage"]//*.tex as A, //papers//*.tex as B, A.name = B.name )
+`)
+}
+
+func mb(b int64) string { return fmt.Sprintf("%.2fMB", float64(b)/(1<<20)) }

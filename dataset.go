@@ -1,0 +1,48 @@
+package idm
+
+import (
+	"repro/internal/dataset"
+)
+
+// DatasetConfig controls synthetic personal dataset generation (the
+// substitute for the real personal dataset of §7.1 of the paper; see
+// DESIGN.md for the substitution rationale).
+type DatasetConfig = dataset.Config
+
+// DatasetInfo reports what a generator run produced.
+type DatasetInfo = dataset.Info
+
+// Dataset is a generated personal dataspace: filesystem, email store,
+// RSS server and relational database.
+type Dataset = dataset.Dataset
+
+// DefaultDatasetConfig is a CI-friendly scale (5% of the paper shape).
+func DefaultDatasetConfig() DatasetConfig { return dataset.DefaultConfig() }
+
+// PaperDatasetConfig reproduces the paper's dataset shape at full scale.
+func PaperDatasetConfig() DatasetConfig { return dataset.PaperConfig() }
+
+// GenerateDataset builds a deterministic synthetic personal dataspace
+// shaped like the paper's evaluation dataset, with the Table 4 query
+// targets planted.
+func GenerateDataset(cfg DatasetConfig) *Dataset { return dataset.Generate(cfg) }
+
+// OpenDataset opens a System over every source of a generated dataset,
+// registered under the paper's two primary source names ("filesystem",
+// "email") plus "rss" and "reldb".
+func OpenDataset(d *Dataset, cfg Config) (*System, error) {
+	sys := Open(cfg)
+	if err := sys.AddFileSystem("filesystem", d.FS); err != nil {
+		return nil, err
+	}
+	if err := sys.AddMail("email", d.Mail); err != nil {
+		return nil, err
+	}
+	if err := sys.AddRSS("rss", d.RSS, 0); err != nil {
+		return nil, err
+	}
+	if err := sys.AddRelational("reldb", d.Rel); err != nil {
+		return nil, err
+	}
+	return sys, nil
+}

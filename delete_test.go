@@ -1,0 +1,129 @@
+package idm_test
+
+import (
+	"strings"
+	"testing"
+
+	idm "repro"
+)
+
+func deleteSystem(t *testing.T) (*idm.System, *idm.FS, *idm.MailStore) {
+	t.Helper()
+	fs := idm.NewFileSystem()
+	fs.MkdirAll("/docs")
+	fs.WriteFile("/docs/keep.txt", []byte("keeper file"))
+	fs.WriteFile("/docs/junk1.tmp", []byte("temporary junk alpha"))
+	fs.WriteFile("/docs/junk2.tmp", []byte("temporary junk beta"))
+	store := idm.NewMailStore()
+	store.Append(&idm.MailMessage{Folder: "INBOX", Subject: "spam offer", Body: "buy spamword now"})
+	store.Append(&idm.MailMessage{Folder: "INBOX", Subject: "keep me", Body: "important"})
+
+	sys := idm.Open(idm.Config{Now: fixedNow})
+	if err := sys.AddFileSystem("filesystem", fs); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.AddMail("email", store); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Index(); err != nil {
+		t.Fatal(err)
+	}
+	return sys, fs, store
+}
+
+func TestDeleteFilesWriteThrough(t *testing.T) {
+	sys, fs, _ := deleteSystem(t)
+	n, err := sys.Delete(`delete //[name = "*.tmp"]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Errorf("deleted = %d", n)
+	}
+	// Write-through: the files are gone from the filesystem itself.
+	if fs.Exists("/docs/junk1.tmp") || fs.Exists("/docs/junk2.tmp") {
+		t.Error("files survive in the source")
+	}
+	if !fs.Exists("/docs/keep.txt") {
+		t.Error("unrelated file deleted")
+	}
+	// The indexes reflect the deletion after the automatic resync.
+	res, _ := sys.Query(`"temporary junk"`)
+	if res.Count() != 0 {
+		t.Errorf("deleted content still indexed: %d", res.Count())
+	}
+	// The change journal recorded the removals.
+	removed := 0
+	for _, c := range sys.Changes(0) {
+		if c.Kind == idm.ChangeRemoved {
+			removed++
+		}
+	}
+	if removed != 2 {
+		t.Errorf("journal removals = %d", removed)
+	}
+}
+
+func TestDeleteEmailMessage(t *testing.T) {
+	sys, _, store := deleteSystem(t)
+	n, err := sys.Delete(`delete //[class="emailmessage" and "spamword"]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Errorf("deleted = %d", n)
+	}
+	if got := store.PollSince(0); len(got) != 1 || got[0].Subject != "keep me" {
+		t.Errorf("store after delete: %v", got)
+	}
+}
+
+func TestDeleteDerivedViewRefused(t *testing.T) {
+	fs := idm.NewFileSystem()
+	fs.MkdirAll("/d")
+	fs.WriteFile("/d/p.tex", []byte("\\section{Victim}\ntext"))
+	sys := idm.Open(idm.Config{Now: fixedNow})
+	sys.AddFileSystem("filesystem", fs)
+	sys.Index()
+	n, err := sys.Delete(`delete //Victim`)
+	if n != 0 {
+		t.Errorf("deleted %d derived views", n)
+	}
+	if err == nil || !strings.Contains(err.Error(), "derived view") {
+		t.Errorf("err = %v", err)
+	}
+	if !fs.Exists("/d/p.tex") {
+		t.Error("base file was deleted")
+	}
+}
+
+func TestDeleteReadOnlySourceRefused(t *testing.T) {
+	db := idm.NewRelDB("d")
+	sys := idm.Open(idm.Config{Now: fixedNow})
+	sys.AddRelational("reldb", db)
+	sys.Index()
+	// The reldb root view itself is a base item of a read-only source.
+	n, err := sys.Delete(`delete //d[class="reldb"]`)
+	if n != 0 || err == nil || !strings.Contains(err.Error(), "read-only") {
+		t.Errorf("n=%d err=%v", n, err)
+	}
+}
+
+func TestDeleteRequiresStatement(t *testing.T) {
+	sys, _, _ := deleteSystem(t)
+	if _, err := sys.Delete(`//docs`); err == nil {
+		t.Error("plain query accepted by Delete")
+	}
+	// And conversely, the read path refuses delete statements.
+	if _, err := sys.Query(`delete //docs`); err == nil {
+		t.Error("delete statement accepted by Query")
+	}
+}
+
+func TestDeleteNoMatches(t *testing.T) {
+	sys, _, _ := deleteSystem(t)
+	n, err := sys.Delete(`delete //[name = "nothing-matches-this"]`)
+	if err != nil || n != 0 {
+		t.Errorf("n=%d err=%v", n, err)
+	}
+}

@@ -1,0 +1,121 @@
+package idm_test
+
+import (
+	"fmt"
+
+	idm "repro"
+)
+
+// ExampleOpen builds the Figure 1 dataspace of the paper and answers its
+// introduction's Query 1 — a single query bridging the folder hierarchy
+// outside files and the LaTeX structure inside them.
+func ExampleOpen() {
+	fs := idm.NewFileSystem()
+	fs.MkdirAll("/Projects/PIM")
+	fs.WriteFile("/Projects/PIM/vldb2006.tex",
+		[]byte("\\section{Introduction}\nDataspaces, after Mike Franklin."))
+	fs.Link("/Projects/PIM/All Projects", "/Projects") // cycles are fine
+
+	sys := idm.Open(idm.Config{})
+	sys.AddFileSystem("filesystem", fs)
+	sys.Index()
+
+	res, _ := sys.Query(`//PIM//Introduction[class="latex_section" and "Mike Franklin"]`)
+	for _, item := range res.Items {
+		fmt.Println(item.Path)
+	}
+	// Output:
+	// /filesystem/Projects/PIM/vldb2006.tex/document/Introduction
+}
+
+// ExampleSystem_Query shows keyword search and attribute predicates over
+// the same dataspace.
+func ExampleSystem_Query() {
+	fs := idm.NewFileSystem()
+	fs.MkdirAll("/notes")
+	fs.WriteFile("/notes/a.txt", []byte("database tuning is an art"))
+	fs.WriteFile("/notes/b.txt", []byte("gardening is also an art"))
+
+	sys := idm.Open(idm.Config{})
+	sys.AddFileSystem("filesystem", fs)
+	sys.Index()
+
+	res, _ := sys.Query(`"database tuning"`)
+	fmt.Println("phrase:", res.Count())
+	res, _ = sys.Query(`[size > 20 and name = "*.txt"]`)
+	fmt.Println("predicates:", res.Count())
+	// Output:
+	// phrase: 1
+	// predicates: 2
+}
+
+// ExampleSystem_Delete executes a write-through iQL delete statement.
+func ExampleSystem_Delete() {
+	fs := idm.NewFileSystem()
+	fs.MkdirAll("/d")
+	fs.WriteFile("/d/keep.txt", []byte("keep"))
+	fs.WriteFile("/d/junk.tmp", []byte("junk"))
+
+	sys := idm.Open(idm.Config{})
+	sys.AddFileSystem("filesystem", fs)
+	sys.Index()
+
+	n, _ := sys.Delete(`delete //[name = "*.tmp"]`)
+	fmt.Println("deleted:", n)
+	fmt.Println("still on disk:", fs.Exists("/d/junk.tmp"))
+	// Output:
+	// deleted: 1
+	// still on disk: false
+}
+
+// ExampleSystem_Subscribe registers a continuous query: matches are
+// pushed as the Synchronization Manager indexes them.
+func ExampleSystem_Subscribe() {
+	fs := idm.NewFileSystem()
+	fs.MkdirAll("/inbox")
+	fs.WriteFile("/inbox/m1.txt", []byte("urgent: server down"))
+	fs.WriteFile("/inbox/m2.txt", []byte("lunch plans"))
+
+	sys := idm.Open(idm.Config{})
+	sys.AddFileSystem("filesystem", fs)
+	sub, _ := sys.Subscribe(`"urgent"`)
+	defer sub.Stop()
+
+	sys.Index() // delivery happens during indexing, synchronously
+	item := <-sub.C
+	fmt.Println("matched:", item.Name)
+	// Output:
+	// matched: m1.txt
+}
+
+// ExampleFederation_Query fans one query out to two PDSMS peers.
+func ExampleFederation_Query() {
+	peer := func(file, text string) *idm.System {
+		fs := idm.NewFileSystem()
+		fs.MkdirAll("/d")
+		fs.WriteFile("/d/"+file, []byte(text))
+		sys := idm.Open(idm.Config{})
+		sys.AddFileSystem("filesystem", fs)
+		sys.Index()
+		return sys
+	}
+	fed := idm.NewFederation()
+	fed.AddPeer("laptop", peer("notes.txt", "shared dataspace"))
+	fed.AddPeer("desktop", peer("work.txt", "shared dataspace"))
+
+	res, _ := fed.Query(`"shared dataspace"`)
+	for _, row := range res.Rows {
+		fmt.Println(row.Peer, row.Row[0].Name)
+	}
+	// Output:
+	// desktop work.txt
+	// laptop notes.txt
+}
+
+// ExampleExplain normalizes an iQL query without evaluating it.
+func ExampleExplain() {
+	out, _ := idm.Explain(`join( //a as A , //b as B , A.name = B.tuple.label )`)
+	fmt.Println(out)
+	// Output:
+	// join( //a as A, //b as B, A.name = B.tuple.label )
+}

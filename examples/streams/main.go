@@ -1,0 +1,127 @@
+// Streams and intensional data: the §3.4/§4 features of the iDM paper.
+// This example models an email INBOX both ways §4.4.1 describes —
+// Option 1 (the finite state window) and Option 2 (the infinite message
+// stream) — wires a push-based operator pipeline to the incoming flow
+// (§4.4.2 "need to push"), and instantiates an ActiveXML document whose
+// service call is computed lazily (§4.3.1).
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	idm "repro"
+	"repro/internal/axml"
+	"repro/internal/core"
+	"repro/internal/sources/mailplugin"
+	"repro/internal/stream"
+)
+
+func main() {
+	store := idm.NewMailStore()
+
+	// --- Option 2 first: subscribe to the infinite message stream. ----
+	plugin := mailplugin.New("email", store, nil)
+	defer plugin.Close()
+	streamView := plugin.Stream()
+	fmt.Printf("stream view class: %s (group sequence finite? %v)\n",
+		streamView.Class(), streamView.Group().Seq.Finite())
+
+	// A push pipeline: filter urgent messages into a sliding window.
+	broker := stream.NewBroker()
+	window := stream.NewWindow(3)
+	broker.Subscribe("inbox", stream.Filter(
+		func(v core.ResourceView) bool {
+			subj, ok := v.Tuple().Get("subject")
+			return ok && len(subj.Str) > 0 && subj.Str[0] == '!'
+		},
+		window,
+	))
+	// Pump the infinite stream into the broker on a goroutine; the
+	// iterator blocks until messages arrive (data-driven processing).
+	go func() {
+		it := streamView.Group().Seq.Iter()
+		for {
+			v, err := it.Next()
+			if err != nil {
+				return
+			}
+			broker.Publish("inbox", v)
+		}
+	}()
+
+	// Deliver some messages.
+	subjects := []string{"weekly report", "!deadline tomorrow", "lunch?", "!reviews due", "!server down", "newsletter"}
+	for _, s := range subjects {
+		if _, err := store.Append(&idm.MailMessage{
+			Folder: "INBOX", From: "alice@example.org", Subject: s,
+			Date: time.Now(), Body: "body of " + s,
+		}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	waitFor(func() bool { return window.Total() >= 3 })
+	fmt.Println("\nurgent-message window (last 3, via push operators):")
+	for _, v := range window.Snapshot() {
+		subj, _ := v.Tuple().Get("subject")
+		fmt.Printf("  %s\n", subj.Str)
+	}
+
+	// --- Option 1: the INBOX state is a finite group component. -------
+	root, err := plugin.Root()
+	if err != nil {
+		log.Fatal(err)
+	}
+	var inbox core.ResourceView
+	core.Walk(root, core.WalkOptions{MaxDepth: 1}, func(v core.ResourceView, _ int) error {
+		if v.Name() == "INBOX" {
+			inbox = v
+		}
+		return nil
+	})
+	state, err := core.CollectViews(inbox.Group().Seq, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nINBOX state window (Option 1): %d messages, finite=%v\n",
+		len(state), inbox.Group().Seq.Finite())
+
+	// --- ActiveXML: intensional data computed on first access. --------
+	services := axml.NewRegistry()
+	services.Register("web.server.com/GetDepartments()", func() (string, error) {
+		return "<deplist><entry><name>Accounting</name></entry><entry><name>Research</name></entry></deplist>", nil
+	})
+	dep := axml.NewElement("dep", "web.server.com/GetDepartments()", services, nil)
+	fmt.Printf("\nActiveXML element before access: service calls = %d\n",
+		services.Calls("web.server.com/GetDepartments()"))
+	children, _ := core.CollectViews(dep.Group().Seq, 0)
+	fmt.Printf("after requesting the group component: calls = %d, group = ⟨",
+		services.Calls("web.server.com/GetDepartments()"))
+	for i, c := range children {
+		if i > 0 {
+			fmt.Print(", ")
+		}
+		fmt.Print(c.Name())
+	}
+	fmt.Println("⟩")
+	names := 0
+	core.Walk(dep, core.WalkOptions{MaxDepth: -1}, func(v core.ResourceView, _ int) error {
+		if v.Class() == core.ClassXMLText {
+			b, _ := core.ReadAllContent(v.Content(), 0)
+			fmt.Printf("  department: %s\n", b)
+			names++
+		}
+		return nil
+	})
+	if names == 0 {
+		log.Fatal("service result not expanded")
+	}
+}
+
+func waitFor(cond func() bool) {
+	deadline := time.Now().Add(2 * time.Second)
+	for !cond() && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -1,0 +1,132 @@
+package idm_test
+
+import (
+	"testing"
+	"time"
+
+	idm "repro"
+	"repro/internal/core"
+	"repro/internal/sources"
+)
+
+func TestFacadeAccessors(t *testing.T) {
+	sys := idm.Open(idm.Config{Now: fixedNow})
+	if sys.Manager() == nil {
+		t.Error("Manager nil")
+	}
+	if got := sys.Converters().Names(); len(got) != 2 {
+		t.Errorf("converters = %v", got)
+	}
+	if cfg := idm.DefaultDatasetConfig(); cfg.Scale <= 0 {
+		t.Errorf("default config = %+v", cfg)
+	}
+	if cfg := idm.PaperDatasetConfig(); cfg.Scale != 1.0 {
+		t.Errorf("paper config = %+v", cfg)
+	}
+}
+
+// customSource is a minimal user-provided plugin, exercising AddSource.
+type customSource struct{ root core.ResourceView }
+
+func (c *customSource) ID() string                       { return "custom" }
+func (c *customSource) Root() (core.ResourceView, error) { return c.root, nil }
+func (c *customSource) Changes() <-chan sources.Change   { return nil }
+func (c *customSource) Close() error                     { return nil }
+
+func TestFacadeCustomSource(t *testing.T) {
+	note := sources.Annotate(core.NewView("note", core.ClassFile).
+		WithContent(core.StringContent("custom plugin content")), "/note", true)
+	root := sources.Annotate(core.NewView("custom", "").
+		WithGroup(core.SetGroup(note)), "/", true)
+	sys := idm.Open(idm.Config{Now: fixedNow})
+	if err := sys.AddSource(&customSource{root: root}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Index(); err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.Sources(); len(got) != 1 || got[0] != "custom" {
+		t.Errorf("sources = %v", got)
+	}
+	res, err := sys.Query(`"custom plugin content"`)
+	if err != nil || res.Count() != 1 {
+		t.Errorf("res = %v, %v", res, err)
+	}
+}
+
+func TestFacadeStartPolling(t *testing.T) {
+	fs := idm.NewFileSystem()
+	fs.MkdirAll("/d")
+	sys := idm.Open(idm.Config{Now: fixedNow})
+	sys.AddFileSystem("filesystem", fs)
+	sys.Index()
+	stop := sys.StartPolling(2 * time.Millisecond)
+	defer stop()
+	fs.WriteFile("/d/late.txt", []byte("latecontent here"))
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		res, err := sys.Query(`"latecontent"`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Count() == 1 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("polling never picked up the file")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func TestSimilarImagesFacade(t *testing.T) {
+	fs := idm.NewFileSystem()
+	fs.MkdirAll("/photos")
+	img := func(center byte) []byte {
+		out := make([]byte, 1024)
+		for i := range out {
+			out[i] = center + byte(i%7)
+		}
+		return out
+	}
+	fs.WriteFile("/photos/sunset1.jpg", img(30))
+	fs.WriteFile("/photos/sunset2.jpg", img(33))
+	fs.WriteFile("/photos/noon.jpg", img(220))
+
+	sys := idm.Open(idm.Config{Now: fixedNow, IndexImages: true})
+	sys.AddFileSystem("filesystem", fs)
+	sys.Index()
+
+	res, err := sys.Query(`//sunset1.jpg`)
+	if err != nil || res.Count() != 1 {
+		t.Fatalf("query: %v (%d)", err, res.Count())
+	}
+	similar := sys.SimilarImages(res.Items[0].OID, 1)
+	if len(similar) != 1 || similar[0].Name != "sunset2.jpg" {
+		t.Fatalf("similar = %+v", similar)
+	}
+	if similar[0].Similarity <= 0 || similar[0].Similarity > 1 {
+		t.Errorf("similarity = %v", similar[0].Similarity)
+	}
+	// Without the option the index is empty.
+	off := idm.Open(idm.Config{Now: fixedNow})
+	off.AddFileSystem("filesystem", fs)
+	off.Index()
+	res, _ = off.Query(`//sunset1.jpg`)
+	if got := off.SimilarImages(res.Items[0].OID, 1); got == nil {
+	} else if len(got) != 0 {
+		t.Errorf("similar without option = %v", got)
+	}
+}
+
+func TestOpenDatasetDuplicateSourceIDs(t *testing.T) {
+	d := idm.GenerateDataset(idm.DatasetConfig{Scale: 0.01, Seed: 1})
+	sys, err := idm.OpenDataset(d, idm.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Registering the same source id again fails cleanly.
+	if err := sys.AddFileSystem("filesystem", d.FS); err == nil {
+		t.Error("duplicate source id accepted")
+	}
+}

@@ -1,0 +1,619 @@
+// Package idm is a from-scratch Go implementation of the iMeMex Data
+// Model and Personal Dataspace Management System described in
+// "iDM: A Unified and Versatile Data Model for Personal Dataspace
+// Management" (Dittrich and Vaz Salles, VLDB 2006).
+//
+// The package is the public facade over the full stack:
+//
+//   - the iDM core model: resource views with name/tuple/content/group
+//     components, lazy and infinite components, resource view classes
+//     and graph algorithms (internal/core);
+//   - data source plugins for filesystems, IMAP-style email stores,
+//     relational databases and RSS feeds (internal/sources/...);
+//   - Content2iDM converters for XML and LaTeX (internal/convert);
+//   - the Resource View Manager with its catalog, name/tuple/content
+//     indexes and group replica (internal/rvm);
+//   - the iQL query language: keyword search, path expressions,
+//     attribute and class predicates, union and join (internal/iql).
+//
+// A minimal session:
+//
+//	sys := idm.Open(idm.Config{})
+//	fs := idm.NewFileSystem()
+//	fs.MkdirAll("/Projects/PIM")
+//	fs.WriteFile("/Projects/PIM/paper.tex", []byte(`\section{Introduction}...`))
+//	sys.AddFileSystem("filesystem", fs)
+//	sys.Index()
+//	res, _ := sys.Query(`//PIM//Introduction[class="latex_section"]`)
+//	for _, item := range res.Items {
+//		fmt.Println(item.Path, item.Class)
+//	}
+package idm
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/convert"
+	"repro/internal/core"
+	"repro/internal/iql"
+	"repro/internal/mail"
+	"repro/internal/relstore"
+	"repro/internal/rss"
+	"repro/internal/rvm"
+	"repro/internal/sources"
+	"repro/internal/sources/fsplugin"
+	"repro/internal/sources/mailplugin"
+	"repro/internal/sources/relplugin"
+	"repro/internal/sources/rssplugin"
+	"repro/internal/stream"
+	"repro/internal/vfs"
+)
+
+// Re-exported core types: the iDM data model itself is part of the
+// public API.
+type (
+	// ResourceView is the central iDM abstraction (Definition 1 of the
+	// paper): a 4-tuple of name, tuple, content and group components,
+	// each obtainable through a get-method and computable lazily.
+	ResourceView = core.ResourceView
+	// TupleComponent is the τ component: a (schema, tuple) pair.
+	TupleComponent = core.TupleComponent
+	// Content is the χ component: a finite or infinite symbol string.
+	Content = core.Content
+	// Group is the γ component: a set and a sequence of related views.
+	Group = core.Group
+	// OID is the stable catalog identifier of a managed resource view.
+	OID = catalog.OID
+	// FS is the in-memory virtual filesystem substrate.
+	FS = vfs.FS
+	// MailStore is the simulated IMAP-style message store.
+	MailStore = mail.Store
+	// MailMessage is one email message.
+	MailMessage = mail.Message
+	// MailAttachment is one message attachment.
+	MailAttachment = mail.Attachment
+	// MailLatency models remote access cost per store operation.
+	MailLatency = mail.Latency
+	// RelDB is the embedded relational database substrate.
+	RelDB = relstore.DB
+	// RSSServer is the simulated RSS/ATOM feed server.
+	RSSServer = rss.Server
+	// Source is a data source plugin.
+	Source = sources.Source
+	// SyncReport carries per-source indexing timings (Figure 5).
+	SyncReport = rvm.SyncReport
+	// SyncTiming is one source's indexing time breakdown.
+	SyncTiming = rvm.SyncTiming
+	// IndexSizes reports index/replica footprints (Table 3).
+	IndexSizes = rvm.IndexSizes
+	// SourceBreakdown is one row of Table 2.
+	SourceBreakdown = rvm.SourceBreakdown
+	// ChangeRecord is one entry of the dataspace change journal
+	// (versioning, §8 of the paper).
+	ChangeRecord = rvm.ChangeRecord
+	// LineageStep is one hop of a view's provenance chain (lineage,
+	// §8 of the paper).
+	LineageStep = rvm.LineageStep
+)
+
+// Change journal record kinds.
+const (
+	ChangeAdded   = rvm.ChangeAdded
+	ChangeUpdated = rvm.ChangeUpdated
+	ChangeRemoved = rvm.ChangeRemoved
+)
+
+// NewFileSystem returns an empty virtual filesystem.
+func NewFileSystem() *FS { return vfs.New() }
+
+// NewMailStore returns an empty mail store.
+func NewMailStore() *MailStore { return mail.NewStore() }
+
+// NewRelDB returns an empty relational database with the given name.
+func NewRelDB(name string) *RelDB { return relstore.NewDB(name) }
+
+// NewRSSServer returns an empty feed server.
+func NewRSSServer() *RSSServer { return rss.NewServer() }
+
+// Expansion selects the iQL path-evaluation strategy.
+type Expansion = iql.Expansion
+
+// Expansion strategies: the paper's prototype uses forward expansion;
+// backward and automatic expansion implement the improvement §7.2
+// proposes for Q8-style queries.
+const (
+	Forward  = iql.ForwardExpansion
+	Backward = iql.BackwardExpansion
+	Auto     = iql.AutoExpansion
+)
+
+// Config tunes a System.
+type Config struct {
+	// ReplicateGroups controls the group replica (default on, matching
+	// the paper's evaluation). Disabling it switches navigation to
+	// query shipping against the live sources.
+	ReplicateGroups *bool
+	// Expansion selects the path strategy (default Forward).
+	Expansion Expansion
+	// Now supplies the clock for iQL date functions (default time.Now).
+	Now func() time.Time
+	// MaxContentBytes bounds per-view content indexing (default 4 MiB).
+	MaxContentBytes int64
+	// InfinitePrefix bounds the stream window drawn from infinite group
+	// components during indexing (default 1024).
+	InfinitePrefix int
+	// DisableQueryCache turns off result caching. The cache is keyed by
+	// query text and invalidated by the dataspace version (every change
+	// bumps it), so cached results are never stale; disable it only for
+	// measurement (the cold bars of Figure 6).
+	DisableQueryCache bool
+	// IndexImages additionally indexes binary content (photos, audio)
+	// in a histogram-based similarity index — the QBIC-style content
+	// index §5.2 of the paper gives as an example; query it with
+	// SimilarImages.
+	IndexImages bool
+}
+
+// System is an iMeMex-style Personal Dataspace Management System: a
+// Resource View Manager plus an iQL query processor.
+type System struct {
+	mgr        *rvm.Manager
+	engine     *iql.Engine
+	converters *convert.Registry
+	now        func() time.Time
+	cache      *queryCache // nil when disabled
+}
+
+// Open creates a System.
+func Open(cfg Config) *System {
+	return open(cfg, catalog.New())
+}
+
+// OpenWithCatalog creates a System whose Resource View Catalog is read
+// from r (previously written by SaveCatalog). OIDs stay stable across
+// restarts: re-adding the same sources and indexing re-associates live
+// views with their persisted identities.
+func OpenWithCatalog(cfg Config, r io.Reader) (*System, error) {
+	cat, err := catalog.Load(r)
+	if err != nil {
+		return nil, err
+	}
+	return open(cfg, cat), nil
+}
+
+func open(cfg Config, cat *catalog.Catalog) *System {
+	opts := rvm.DefaultOptions()
+	if cfg.ReplicateGroups != nil {
+		opts.ReplicateGroups = *cfg.ReplicateGroups
+	}
+	opts.MaxContentBytes = cfg.MaxContentBytes
+	opts.InfinitePrefix = cfg.InfinitePrefix
+	opts.IndexImages = cfg.IndexImages
+	mgr := rvm.NewWithCatalog(opts, cat)
+	now := cfg.Now
+	if now == nil {
+		now = time.Now
+	}
+	engine := iql.NewEngine(mgr, iql.Options{Expansion: cfg.Expansion, Now: now})
+	s := &System{
+		mgr:        mgr,
+		engine:     engine,
+		converters: convert.Default(),
+		now:        now,
+	}
+	if !cfg.DisableQueryCache {
+		s.cache = newQueryCache(0)
+	}
+	return s
+}
+
+// SaveCatalog persists the Resource View Catalog to w; OpenWithCatalog
+// restores it.
+func (s *System) SaveCatalog(w io.Writer) error { return s.mgr.Catalog().Save(w) }
+
+// Converters returns the Content2iDM converter registry; custom
+// converters may be registered before indexing.
+func (s *System) Converters() *convert.Registry { return s.converters }
+
+// Manager exposes the underlying Resource View Manager for advanced use
+// (index sizes, per-source breakdowns, the push broker).
+func (s *System) Manager() *rvm.Manager { return s.mgr }
+
+// AddFileSystem registers a filesystem data source under the given id.
+func (s *System) AddFileSystem(id string, fs *FS) error {
+	return s.mgr.AddSource(fsplugin.New(id, fs, s.converters.Func()))
+}
+
+// AddMail registers an email data source under the given id.
+func (s *System) AddMail(id string, store *MailStore) error {
+	return s.mgr.AddSource(mailplugin.New(id, store, s.converters.Func()))
+}
+
+// AddRelational registers a relational database source.
+func (s *System) AddRelational(id string, db *RelDB) error {
+	return s.mgr.AddSource(relplugin.New(id, db))
+}
+
+// AddRSS registers an RSS/ATOM source, polling for new items on the
+// given interval (0 disables polling).
+func (s *System) AddRSS(id string, server *RSSServer, poll time.Duration) error {
+	return s.mgr.AddSource(rssplugin.New(id, server, poll))
+}
+
+// AddSource registers a custom data source plugin.
+func (s *System) AddSource(src Source) error { return s.mgr.AddSource(src) }
+
+// Index synchronizes every registered source: it walks each source's
+// resource view graph, registers every view in the catalog and feeds the
+// name, tuple and content indexes and the group replica.
+func (s *System) Index() (SyncReport, error) { return s.mgr.SyncAll() }
+
+// Refresh resynchronizes sources marked dirty by change notifications.
+func (s *System) Refresh() ([]string, error) { return s.mgr.ProcessPending() }
+
+// StartPolling runs Refresh over all sources on the interval; call the
+// returned stop function to halt.
+func (s *System) StartPolling(interval time.Duration) (stop func()) {
+	return s.mgr.StartPolling(interval)
+}
+
+// Count returns the number of managed resource views.
+func (s *System) Count() int { return s.mgr.Count() }
+
+// Query parses and evaluates an iQL query. Results are cached per
+// dataspace version (see Config.DisableQueryCache); treat them as
+// read-only.
+func (s *System) Query(q string) (*Result, error) {
+	var version uint64
+	if s.cache != nil {
+		version = s.mgr.Version()
+		if res, ok := s.cache.get(q, version); ok {
+			return res, nil
+		}
+	}
+	r, err := s.engine.Query(q)
+	if err != nil {
+		return nil, err
+	}
+	res := s.buildResult(r)
+	if s.cache != nil {
+		s.cache.put(q, version, res)
+	}
+	return res, nil
+}
+
+// CacheStats reports query-cache hits, misses and current size.
+func (s *System) CacheStats() CacheStats {
+	if s.cache == nil {
+		return CacheStats{}
+	}
+	return s.cache.stats()
+}
+
+// QueryWith evaluates with an explicit expansion strategy, overriding
+// the system default for this query.
+func (s *System) QueryWith(q string, exp Expansion) (*Result, error) {
+	engine := iql.NewEngine(s.mgr, iql.Options{Expansion: exp, Now: s.now})
+	r, err := engine.Query(q)
+	if err != nil {
+		return nil, err
+	}
+	return s.buildResult(r), nil
+}
+
+// Delete executes an iQL delete statement (`delete <query>`): views
+// matched by the inner query are removed from their underlying data
+// sources, write-through. Only base items of sources that support
+// mutation (filesystems, mail stores) are deletable; derived views and
+// read-only sources produce per-item errors. Affected sources are
+// resynchronized, so the catalog, indexes and change journal reflect
+// the deletions. The returned count is the number of items actually
+// removed.
+func (s *System) Delete(stmt string) (int, error) {
+	parsed, err := iql.ParseWith(stmt, iql.ParseOptions{Now: s.now})
+	if err != nil {
+		return 0, err
+	}
+	del, ok := parsed.(*iql.DeleteQuery)
+	if !ok {
+		return 0, fmt.Errorf("idm: Delete needs a `delete <query>` statement, got %q", stmt)
+	}
+	res, err := s.engine.Exec(del.Inner)
+	if err != nil {
+		return 0, err
+	}
+
+	var errs []string
+	affected := make(map[string]bool)
+	deleted := 0
+	for _, oid := range res.OIDs() {
+		e, err := s.mgr.Entry(oid)
+		if err != nil {
+			continue
+		}
+		if e.Derived {
+			errs = append(errs, fmt.Sprintf("%s: derived view, delete its base item", e.URI))
+			continue
+		}
+		src, ok := s.mgr.Source(e.Source)
+		if !ok {
+			errs = append(errs, fmt.Sprintf("%s: source %q gone", e.URI, e.Source))
+			continue
+		}
+		mut, ok := src.(sources.Mutator)
+		if !ok {
+			errs = append(errs, fmt.Sprintf("%s: source %q is read-only", e.URI, e.Source))
+			continue
+		}
+		if err := mut.Delete(e.URI); err != nil {
+			errs = append(errs, fmt.Sprintf("%s: %v", e.URI, err))
+			continue
+		}
+		deleted++
+		affected[e.Source] = true
+	}
+	for src := range affected {
+		if _, err := s.mgr.SyncSource(src); err != nil {
+			errs = append(errs, fmt.Sprintf("resync %s: %v", src, err))
+		}
+	}
+	if len(errs) > 0 {
+		return deleted, fmt.Errorf("idm: delete: %s", strings.Join(errs, "; "))
+	}
+	return deleted, nil
+}
+
+// QueryRanked evaluates a query and orders the rows by relevance: the
+// summed content-occurrence counts of the query's phrases. The result's
+// Scores align with Rows.
+func (s *System) QueryRanked(q string) (*Result, error) {
+	engine := iql.NewEngine(s.mgr, iql.Options{Now: s.now, Rank: true})
+	r, err := engine.Query(q)
+	if err != nil {
+		return nil, err
+	}
+	out := s.buildResult(r)
+	out.Scores = r.Scores
+	return out, nil
+}
+
+// Item is one result entry, resolved against the catalog.
+type Item struct {
+	OID    OID
+	Name   string
+	Class  string
+	Source string
+	URI    string
+	// Path is the slash-joined name chain from the source root.
+	Path string
+}
+
+// Row is one result row: one item for path/keyword queries, two for
+// joins.
+type Row []Item
+
+// Result is a resolved query result.
+type Result struct {
+	// Columns names the row entries ("view", or the join aliases).
+	Columns []string
+	Rows    []Row
+	// Items flattens the first column.
+	Items []Item
+	// Plan carries the rule-based planner's notes.
+	Plan string
+	// Intermediates counts views touched during path expansion.
+	Intermediates int
+	// Scores aligns with Rows for ranked queries (QueryRanked); nil
+	// otherwise.
+	Scores []float64
+}
+
+// Count returns the number of result rows.
+func (r *Result) Count() int { return len(r.Rows) }
+
+func (s *System) buildResult(r *iql.Result) *Result {
+	out := &Result{
+		Columns:       r.Columns,
+		Plan:          r.Plan.String(),
+		Intermediates: r.Plan.Intermediates,
+	}
+	// Ancestors repeat heavily across the rows of one result; memoize
+	// path fragments while resolving it.
+	paths := make(map[OID]string)
+	for _, row := range r.Rows {
+		resolved := make(Row, len(row))
+		for i, oid := range row {
+			resolved[i] = s.itemMemo(oid, paths)
+		}
+		out.Rows = append(out.Rows, resolved)
+	}
+	for _, oid := range r.OIDs() {
+		out.Items = append(out.Items, s.itemMemo(oid, paths))
+	}
+	return out
+}
+
+func (s *System) item(oid OID) Item {
+	return s.itemMemo(oid, nil)
+}
+
+func (s *System) itemMemo(oid OID, paths map[OID]string) Item {
+	e, err := s.mgr.Entry(oid)
+	if err != nil {
+		return Item{OID: oid, Name: "<unknown>"}
+	}
+	return Item{
+		OID:    oid,
+		Name:   e.Name,
+		Class:  e.Class,
+		Source: e.Source,
+		URI:    e.URI,
+		Path:   s.pathMemo(oid, paths),
+	}
+}
+
+// Path renders the name chain from the source root to the view,
+// following catalog Parent links.
+func (s *System) Path(oid OID) string { return s.pathMemo(oid, nil) }
+
+func (s *System) pathMemo(oid OID, memo map[OID]string) string {
+	// The depth bound guards against malformed parent cycles.
+	return s.pathBounded(oid, memo, 128)
+}
+
+func (s *System) pathBounded(oid OID, memo map[OID]string, depth int) string {
+	if depth <= 0 {
+		return "/..."
+	}
+	if memo != nil {
+		if p, ok := memo[oid]; ok {
+			return p
+		}
+	}
+	e, err := s.mgr.Entry(oid)
+	if err != nil {
+		return "/<unknown>"
+	}
+	name := e.Name
+	if name == "" {
+		name = "(" + e.Class + ")"
+	}
+	var path string
+	if e.Parent == 0 {
+		path = "/" + name
+	} else {
+		path = s.pathBounded(e.Parent, memo, depth-1) + "/" + name
+	}
+	if memo != nil {
+		memo[oid] = path
+	}
+	return path
+}
+
+// View returns the live resource view under oid.
+func (s *System) View(oid OID) (ResourceView, bool) { return s.mgr.View(oid) }
+
+// Version returns the current dataspace version: logically, each change
+// creates a new version of the whole dataspace (§8 of the paper).
+func (s *System) Version() uint64 { return s.mgr.Version() }
+
+// Changes returns the change journal records with version > since.
+func (s *System) Changes(since uint64) []ChangeRecord { return s.mgr.Changes(since) }
+
+// Lineage returns the provenance chain of a view: itself, the converter
+// that derived it (for content subgraphs), its containing base item, and
+// the containment chain to the source root, plus any explicit
+// derivations recorded with RecordDerivation.
+func (s *System) Lineage(oid OID) ([]LineageStep, error) { return s.mgr.Lineage(oid) }
+
+// RecordDerivation records an explicit provenance edge: dst was produced
+// from src by the given transformation (e.g. "copy").
+func (s *System) RecordDerivation(dst, src OID, how string) {
+	s.mgr.RecordDerivation(dst, src, how)
+}
+
+// Subscription is a continuous query (an information filter, §4.4.2 of
+// the paper): items matching the predicate are delivered on C as the
+// Synchronization Manager registers or updates them. Slow consumers
+// drop matches rather than blocking the sync.
+type Subscription struct {
+	// C delivers matching items.
+	C      <-chan Item
+	cancel func()
+}
+
+// Stop ends the subscription; C stops receiving (but is not closed, as
+// deliveries may be in flight).
+func (sub *Subscription) Stop() { sub.cancel() }
+
+// Subscribe registers a continuous query: a predicate-only iQL
+// expression (keyword phrases, attribute and class predicates) that is
+// evaluated push-based against every view added or updated by future
+// indexing. Path expressions, unions and joins are not supported as
+// filters.
+func (s *System) Subscribe(query string) (*Subscription, error) {
+	parsed, err := iql.ParseWith(query, iql.ParseOptions{Now: s.now})
+	if err != nil {
+		return nil, err
+	}
+	pq, ok := parsed.(*iql.PredQuery)
+	if !ok {
+		return nil, fmt.Errorf("idm: Subscribe needs a predicate query, got %T", parsed)
+	}
+	isA := s.mgr.Registry().IsA
+	ch := make(chan Item, 256)
+	cancel := s.mgr.Broker().Subscribe(rvm.TopicAllViews, stream.OperatorFunc(func(e stream.Event) {
+		pv, ok := e.View.(*rvm.PublishedView)
+		if !ok {
+			return
+		}
+		if !iql.MatchView(pq.Pred, pv.ResourceView, isA, 0) {
+			return
+		}
+		select {
+		case ch <- s.item(pv.OID):
+		default: // drop on slow consumer
+		}
+	}))
+	return &Subscription{C: ch, cancel: cancel}, nil
+}
+
+// Breakdown returns the Table 2 row for a source.
+func (s *System) Breakdown(source string) SourceBreakdown { return s.mgr.Breakdown(source) }
+
+// Sizes returns the Table 3 index and replica sizes.
+func (s *System) Sizes() IndexSizes { return s.mgr.IndexSizes() }
+
+// NetInputBytes returns the bytes of textual content indexed per source.
+func (s *System) NetInputBytes(source string) int64 { return s.mgr.NetInputBytes(source) }
+
+// Sources lists registered source ids.
+func (s *System) Sources() []string { return s.mgr.Sources() }
+
+// Compact reclaims index space left behind by deletions (tombstoned
+// postings in the name and content indexes). Queries are unaffected;
+// run it after bulk removals.
+func (s *System) Compact() int { return s.mgr.Compact() }
+
+// SimilarItem is one image-similarity result.
+type SimilarItem struct {
+	Item
+	// Similarity is the cosine similarity of the byte histograms, in
+	// [0, 1].
+	Similarity float64
+}
+
+// SimilarImages returns the k binary-content views most similar to oid
+// (histogram cosine similarity). Requires Config.IndexImages; without it
+// the index is empty and the result nil.
+func (s *System) SimilarImages(oid OID, k int) []SimilarItem {
+	hits := s.mgr.SimilarImages(oid, k)
+	out := make([]SimilarItem, len(hits))
+	for i, h := range hits {
+		out[i] = SimilarItem{Item: s.item(h.OID), Similarity: h.Similarity}
+	}
+	return out
+}
+
+// Explain parses a query and returns its normalized rendering, without
+// evaluating it.
+func Explain(q string) (string, error) {
+	parsed, err := iql.Parse(q)
+	if err != nil {
+		return "", err
+	}
+	return parsed.String(), nil
+}
+
+// Validate checks iQL syntax.
+func Validate(q string) error {
+	_, err := iql.Parse(q)
+	if err != nil {
+		return fmt.Errorf("invalid iQL: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,281 @@
+package idm_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	idm "repro"
+)
+
+// paperQueries are the eight evaluation queries of Table 4, with two
+// parameter adaptations for the synthetic dataset documented in
+// EXPERIMENTS.md: Q3's size threshold fits the synthetic file sizes, and
+// Q7 selects figures by name pattern and class on one step (our LaTeX
+// converter emits figures as leaf environment views).
+var paperQueries = map[string]string{
+	"Q1": `"database"`,
+	"Q2": `"database tuning"`,
+	"Q3": `[size > 4200 and lastmodified < @12.06.2005]`,
+	"Q4": `//papers//*Vision/*["Franklin"]`,
+	"Q5": `//VLDB200?//?onclusion*/*["systems"]`,
+	"Q6": `union( //VLDB2005//*["documents"], //VLDB2006//*["documents"])`,
+	"Q7": `join( //VLDB2006//*[class="texref"] as A, //VLDB2006//figure*[class="environment"] as B, A.name=B.tuple.label)`,
+	"Q8": `join( //*[class="emailmessage"]//*.tex as A, //papers//*.tex as B, A.name = B.name )`,
+}
+
+func fixedNow() time.Time {
+	return time.Date(2005, 6, 15, 10, 0, 0, 0, time.UTC)
+}
+
+func openIndexed(t *testing.T) *idm.System {
+	t.Helper()
+	d := idm.GenerateDataset(idm.DatasetConfig{Scale: 0.02, Seed: 42})
+	sys, err := idm.OpenDataset(d, idm.Config{Now: fixedNow})
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := sys.Index()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.TotalViews() == 0 {
+		t.Fatal("indexing registered no views")
+	}
+	return sys
+}
+
+func TestEndToEndPaperQueries(t *testing.T) {
+	sys := openIndexed(t)
+	counts := map[string]int{}
+	for name, q := range paperQueries {
+		res, err := sys.Query(q)
+		if err != nil {
+			t.Fatalf("%s (%s): %v", name, q, err)
+		}
+		counts[name] = res.Count()
+		if res.Count() == 0 {
+			t.Errorf("%s returned no results: %s", name, q)
+		}
+	}
+	t.Logf("query result counts: %v", counts)
+	// Shape assertions mirroring Table 4's selectivity ordering.
+	if counts["Q2"] >= counts["Q1"] {
+		t.Errorf("Q2 (phrase, %d) should be rarer than Q1 (keyword, %d)", counts["Q2"], counts["Q1"])
+	}
+	if counts["Q4"] > 10 {
+		t.Errorf("Q4 should be highly selective, got %d", counts["Q4"])
+	}
+	// Q8 must find at least the two planted attachment/paper name pairs.
+	if counts["Q8"] < 2 {
+		t.Errorf("Q8 = %d, want >= 2 planted matches", counts["Q8"])
+	}
+}
+
+func TestExpansionStrategiesAgree(t *testing.T) {
+	sys := openIndexed(t)
+	for name, q := range paperQueries {
+		fwd, err := sys.QueryWith(q, idm.Forward)
+		if err != nil {
+			t.Fatalf("%s forward: %v", name, err)
+		}
+		bwd, err := sys.QueryWith(q, idm.Backward)
+		if err != nil {
+			t.Fatalf("%s backward: %v", name, err)
+		}
+		auto, err := sys.QueryWith(q, idm.Auto)
+		if err != nil {
+			t.Fatalf("%s auto: %v", name, err)
+		}
+		if fwd.Count() != bwd.Count() || fwd.Count() != auto.Count() {
+			t.Errorf("%s: forward=%d backward=%d auto=%d", name, fwd.Count(), bwd.Count(), auto.Count())
+		}
+	}
+}
+
+func TestIntroductionQuery1(t *testing.T) {
+	// Query 1 of the paper's introduction: LaTeX Introduction sections
+	// pertaining to project PIM that contain "Mike Franklin".
+	sys := openIndexed(t)
+	res, err := sys.Query(`//PIM//Introduction[class="latex_section" and "Mike Franklin"]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count() == 0 {
+		t.Fatal("Query 1 found nothing")
+	}
+	for _, item := range res.Items {
+		if item.Name != "Introduction" || item.Class != "latex_section" {
+			t.Errorf("item = %+v", item)
+		}
+		if !strings.Contains(item.Path, "PIM") {
+			t.Errorf("result not under PIM: %s", item.Path)
+		}
+	}
+}
+
+func TestIntroductionQuery2(t *testing.T) {
+	// Query 2 of the introduction: documents pertaining to project OLAP
+	// with a figure whose label/caption mentions "Indexing time" —
+	// crossing the filesystem and the email attachments.
+	sys := openIndexed(t)
+	res, err := sys.Query(`//OLAP//[class="figure" and "Indexing time"]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count() < 2 {
+		t.Fatalf("Query 2 = %d results, want >= 2 (file + attachment)", res.Count())
+	}
+	srcs := map[string]bool{}
+	for _, item := range res.Items {
+		srcs[item.Source] = true
+	}
+	if !srcs["filesystem"] || !srcs["email"] {
+		t.Errorf("Query 2 should cross subsystems, got sources %v", srcs)
+	}
+}
+
+func TestRefreshPicksUpChanges(t *testing.T) {
+	d := idm.GenerateDataset(idm.DatasetConfig{Scale: 0.01, Seed: 1})
+	sys, err := idm.OpenDataset(d, idm.Config{Now: fixedNow})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Index(); err != nil {
+		t.Fatal(err)
+	}
+	before, _ := sys.Query(`"xyzzyplugh"`)
+	if before.Count() != 0 {
+		t.Fatal("sentinel already present")
+	}
+	d.FS.WriteFile("/private/sentinel.txt", []byte("xyzzyplugh appears"))
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		ids, err := sys.Refresh()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ids) > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("change notification never arrived")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	after, err := sys.Query(`"xyzzyplugh"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Count() != 1 {
+		t.Errorf("after refresh: %d results", after.Count())
+	}
+}
+
+func TestPathRendering(t *testing.T) {
+	sys := openIndexed(t)
+	res, err := sys.Query(`//papers//*Vision`)
+	if err != nil || res.Count() == 0 {
+		t.Fatalf("res=%v err=%v", res, err)
+	}
+	p := res.Items[0].Path
+	if !strings.HasPrefix(p, "/filesystem/papers/") {
+		t.Errorf("path = %q", p)
+	}
+	if !strings.Contains(p, "Vision") {
+		t.Errorf("path lacks the view name: %q", p)
+	}
+}
+
+func TestJoinRowsResolved(t *testing.T) {
+	sys := openIndexed(t)
+	res, err := sys.Query(paperQueries["Q8"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Columns) != 2 || res.Columns[0] != "A" || res.Columns[1] != "B" {
+		t.Fatalf("columns = %v", res.Columns)
+	}
+	for _, row := range res.Rows {
+		if len(row) != 2 {
+			t.Fatalf("row arity = %d", len(row))
+		}
+		if row[0].Name != row[1].Name {
+			t.Errorf("join key mismatch: %q vs %q", row[0].Name, row[1].Name)
+		}
+		if row[0].Source != "email" || row[1].Source != "filesystem" {
+			t.Errorf("row sources = %q, %q", row[0].Source, row[1].Source)
+		}
+	}
+}
+
+func TestBreakdownAndSizes(t *testing.T) {
+	sys := openIndexed(t)
+	fsB := sys.Breakdown("filesystem")
+	if fsB.Base == 0 || fsB.DerivedXML == 0 || fsB.DerivedLatex == 0 {
+		t.Errorf("filesystem breakdown = %+v", fsB)
+	}
+	// Derived views outnumber base items (the headline of Table 2).
+	if fsB.DerivedXML+fsB.DerivedLatex <= 0 {
+		t.Error("no derived views")
+	}
+	emailB := sys.Breakdown("email")
+	if emailB.Base == 0 {
+		t.Errorf("email breakdown = %+v", emailB)
+	}
+	sizes := sys.Sizes()
+	if sizes.Total() <= 0 || sizes.Content <= 0 {
+		t.Errorf("sizes = %+v", sizes)
+	}
+	if sys.NetInputBytes("filesystem") <= 0 {
+		t.Error("net input not tracked")
+	}
+}
+
+func TestExplainAndValidate(t *testing.T) {
+	out, err := idm.Explain(paperQueries["Q7"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "join(") {
+		t.Errorf("explain = %q", out)
+	}
+	if err := idm.Validate(`//a[`); err == nil {
+		t.Error("invalid query validated")
+	}
+	if err := idm.Validate(paperQueries["Q5"]); err != nil {
+		t.Errorf("valid query rejected: %v", err)
+	}
+}
+
+func TestQueryPlanExposed(t *testing.T) {
+	sys := openIndexed(t)
+	res, err := sys.Query(paperQueries["Q4"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Plan == "" {
+		t.Error("plan empty")
+	}
+	if res.Intermediates < 0 {
+		t.Error("intermediates negative")
+	}
+}
+
+func TestViewAccess(t *testing.T) {
+	sys := openIndexed(t)
+	res, _ := sys.Query(`//vldb2006.tex`)
+	if res.Count() == 0 {
+		t.Fatal("file view missing")
+	}
+	v, ok := sys.View(res.Items[0].OID)
+	if !ok {
+		t.Fatal("live view missing")
+	}
+	if v.Name() != "vldb2006.tex" {
+		t.Errorf("live name = %q", v.Name())
+	}
+	if size, ok := v.Tuple().Get("size"); !ok || size.Int <= 0 {
+		t.Errorf("size = %v, %v", size, ok)
+	}
+}

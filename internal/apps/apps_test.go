@@ -1,0 +1,218 @@
+package apps
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/convert"
+	"repro/internal/core"
+	"repro/internal/mail"
+	"repro/internal/relstore"
+	"repro/internal/rvm"
+	"repro/internal/sources/fsplugin"
+	"repro/internal/sources/mailplugin"
+	"repro/internal/sources/relplugin"
+	"repro/internal/vfs"
+)
+
+func reconcileSetup(t *testing.T) *rvm.Manager {
+	t.Helper()
+	db := relstore.NewDB("persdb")
+	schema := core.Schema{
+		{Name: "name", Domain: core.DomainString},
+		{Name: "email", Domain: core.DomainString},
+	}
+	db.CreateRelation("contacts", schema)
+	db.Insert("contacts", core.Tuple{core.String("Alice Average"), core.String("alice@example.org")})
+	db.Insert("contacts", core.Tuple{core.String("Bob Builder"), core.String("bob@example.org")})
+
+	store := mail.NewStore()
+	msgs := []*mail.Message{
+		{Folder: "INBOX", From: "alice@example.org", To: []string{"me@example.org"},
+			Subject: "hi", Date: time.Now()},
+		{Folder: "INBOX", From: "Alice Average <alice@other.com>", To: []string{"bob@example.org"},
+			Subject: "again", Date: time.Now()},
+		{Folder: "INBOX", From: "carol@example.org", To: []string{"me@example.org"},
+			Subject: "new person", Date: time.Now()},
+	}
+	for _, m := range msgs {
+		store.Append(m)
+	}
+
+	m := rvm.New(rvm.DefaultOptions())
+	if err := m.AddSource(relplugin.New("reldb", db)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddSource(mailplugin.New("email", store, nil)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.SyncAll(); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func findEntity(entities []Entity, email string) *Entity {
+	for i := range entities {
+		for _, e := range entities[i].Emails {
+			if e == email {
+				return &entities[i]
+			}
+		}
+	}
+	return nil
+}
+
+func TestReconcileMergesAcrossSubsystems(t *testing.T) {
+	m := reconcileSetup(t)
+	entities := Reconcile(m)
+	if len(entities) == 0 {
+		t.Fatal("no entities")
+	}
+
+	alice := findEntity(entities, "alice@example.org")
+	if alice == nil {
+		t.Fatal("alice entity missing")
+	}
+	// The contacts tuple and the email.from mention share the address;
+	// the "Alice Average <alice@other.com>" mention joins by name.
+	wheres := map[string]bool{}
+	for _, mm := range alice.Mentions {
+		wheres[mm.Where] = true
+	}
+	if !wheres["contacts.tuple"] || !wheres["email.from"] {
+		t.Errorf("alice mentions span %v, want contacts + email", wheres)
+	}
+	if alice.CanonicalName != "Alice Average" {
+		t.Errorf("canonical = %q", alice.CanonicalName)
+	}
+	found := false
+	for _, e := range alice.Emails {
+		if e == "alice@other.com" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("name linkage missed alice@other.com: %v", alice.Emails)
+	}
+
+	// Bob appears in contacts and as a recipient.
+	bob := findEntity(entities, "bob@example.org")
+	if bob == nil {
+		t.Fatal("bob entity missing")
+	}
+	wheres = map[string]bool{}
+	for _, mm := range bob.Mentions {
+		wheres[mm.Where] = true
+	}
+	if !wheres["contacts.tuple"] || !wheres["email.to"] {
+		t.Errorf("bob mentions span %v", wheres)
+	}
+
+	// Carol exists only in email and must not merge with anyone.
+	carol := findEntity(entities, "carol@example.org")
+	if carol == nil {
+		t.Fatal("carol entity missing")
+	}
+	if len(carol.Emails) != 1 {
+		t.Errorf("carol merged with others: %v", carol.Emails)
+	}
+}
+
+func TestMentionFromAddressParsing(t *testing.T) {
+	mm := mentionFromAddress(1, "Alice Average <alice@example.org>", "email.from")
+	if mm.Name != "Alice Average" || mm.Email != "alice@example.org" {
+		t.Errorf("parsed %+v", mm)
+	}
+	mm = mentionFromAddress(1, "jens.dittrich@inf.ethz.ch", "email.from")
+	if mm.Email != "jens.dittrich@inf.ethz.ch" || !strings.Contains(mm.Name, "Jens") {
+		t.Errorf("parsed %+v", mm)
+	}
+	mm = mentionFromAddress(1, "Just A Name", "email.from")
+	if mm.Name != "Just A Name" || mm.Email != "" {
+		t.Errorf("parsed %+v", mm)
+	}
+}
+
+func clusterSetup(t *testing.T) *rvm.Manager {
+	t.Helper()
+	fs := vfs.New()
+	fs.MkdirAll("/docs")
+	base := "the imemex data model unifies personal information management across subsystems "
+	fs.WriteFile("/docs/draft-v1.txt", []byte(base+"first draft with notes"))
+	fs.WriteFile("/docs/draft-v2.txt", []byte(base+"second draft with edits"))
+	fs.WriteFile("/docs/draft-final.txt", []byte(base+"final version polished"))
+	fs.WriteFile("/docs/recipe.txt", []byte("flour sugar butter eggs oven bake thirty minutes cool"))
+	fs.WriteFile("/docs/shopping.txt", []byte("milk bread cheese apples bananas coffee"))
+
+	m := rvm.New(rvm.DefaultOptions())
+	if err := m.AddSource(fsplugin.New("filesystem", fs, convert.Default().Func())); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.SyncAll(); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestClusterContentGroupsSimilarDocs(t *testing.T) {
+	m := clusterSetup(t)
+	clusters := ClusterContent(m, DefaultClusterOptions())
+	if len(clusters) < 3 {
+		t.Fatalf("clusters = %d", len(clusters))
+	}
+	// The largest cluster holds the three drafts.
+	biggest := clusters[0]
+	if len(biggest.Members) != 3 {
+		t.Fatalf("biggest cluster = %d members (%q)", len(biggest.Members), biggest.Label)
+	}
+	names := map[string]bool{}
+	for _, oid := range biggest.Members {
+		names[m.NameOf(oid)] = true
+	}
+	for _, want := range []string{"draft-v1.txt", "draft-v2.txt", "draft-final.txt"} {
+		if !names[want] {
+			t.Errorf("cluster misses %s: %v", want, names)
+		}
+	}
+	if biggest.Label == "" {
+		t.Error("cluster has no label")
+	}
+	// Recipe and shopping list stay separate.
+	for _, c := range clusters[1:] {
+		if len(c.Members) != 1 {
+			t.Errorf("unexpected multi-doc cluster: %v (%q)", c.Members, c.Label)
+		}
+	}
+}
+
+func TestClusterThresholdExtremes(t *testing.T) {
+	m := clusterSetup(t)
+	// At similarity ~0 every pair with ANY shared token merges; the
+	// recipe and shopping list share no tokens with anything, so three
+	// clusters remain (drafts, recipe, shopping).
+	all := ClusterContent(m, ClusterOptions{MinJaccard: 0.0001, TopTokens: 64, BaseOnly: true})
+	if len(all) != 3 {
+		t.Errorf("near-zero threshold gave %d clusters", len(all))
+	}
+	// At similarity 1.0 only identical signatures merge.
+	strict := ClusterContent(m, ClusterOptions{MinJaccard: 1.0, TopTokens: 64, BaseOnly: true})
+	if len(strict) != 5 {
+		t.Errorf("strict threshold gave %d clusters, want 5 singletons", len(strict))
+	}
+}
+
+func TestJaccard(t *testing.T) {
+	a := map[string]bool{"x": true, "y": true}
+	b := map[string]bool{"y": true, "z": true}
+	if got := jaccard(a, b); got < 0.32 || got > 0.34 {
+		t.Errorf("jaccard = %v, want 1/3", got)
+	}
+	if jaccard(nil, a) != 0 {
+		t.Error("empty set similarity must be 0")
+	}
+	if jaccard(a, a) != 1 {
+		t.Error("self similarity must be 1")
+	}
+}

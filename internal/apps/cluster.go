@@ -1,0 +1,204 @@
+package apps
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/rvm"
+	"repro/internal/textindex"
+)
+
+// ClusterOptions tunes content clustering.
+type ClusterOptions struct {
+	// MinJaccard is the token-set similarity two documents need to land
+	// in the same cluster; <= 0 applies 0.5.
+	MinJaccard float64
+	// TopTokens bounds each document's signature to its most frequent
+	// tokens; <= 0 applies 64.
+	TopTokens int
+	// MaxContentBytes bounds how much content is read per view; <= 0
+	// applies 256 KiB.
+	MaxContentBytes int64
+	// BaseOnly restricts clustering to base items (skipping derived
+	// views, whose text duplicates their file's). Default true via
+	// DefaultClusterOptions.
+	BaseOnly bool
+}
+
+// DefaultClusterOptions clusters base items at 0.5 Jaccard similarity.
+func DefaultClusterOptions() ClusterOptions {
+	return ClusterOptions{MinJaccard: 0.5, TopTokens: 64, BaseOnly: true}
+}
+
+func (o ClusterOptions) withDefaults() ClusterOptions {
+	if o.MinJaccard <= 0 {
+		o.MinJaccard = 0.5
+	}
+	if o.TopTokens <= 0 {
+		o.TopTokens = 64
+	}
+	if o.MaxContentBytes <= 0 {
+		o.MaxContentBytes = 256 << 10
+	}
+	return o
+}
+
+// Cluster is one group of textually similar views.
+type Cluster struct {
+	// Members are the clustered views, ascending.
+	Members []catalog.OID
+	// Label lists tokens shared by the whole cluster (up to five).
+	Label string
+}
+
+// ClusterContent groups content-bearing views by token-set similarity
+// (single-link, greedy): each view joins the first cluster whose
+// representative signature is at least MinJaccard similar, else founds
+// its own.
+func ClusterContent(m *rvm.Manager, opts ClusterOptions) []Cluster {
+	o := opts.withDefaults()
+
+	type doc struct {
+		oid    catalog.OID
+		tokens map[string]bool
+	}
+	var docs []doc
+	for _, oid := range m.AllOIDs() {
+		e, err := m.Entry(oid)
+		if err != nil || !e.HasContent {
+			continue
+		}
+		if o.BaseOnly && e.Derived {
+			continue
+		}
+		v, ok := m.View(oid)
+		if !ok {
+			continue
+		}
+		content := v.Content()
+		if core.IsEmptyContent(content) || !content.Finite() {
+			continue
+		}
+		b, err := core.ReadAllContent(content, o.MaxContentBytes)
+		if err != nil || len(b) == 0 {
+			continue
+		}
+		sig := signature(string(b), o.TopTokens)
+		if len(sig) == 0 {
+			continue
+		}
+		docs = append(docs, doc{oid: oid, tokens: sig})
+	}
+
+	type cluster struct {
+		members []catalog.OID
+		// shared holds the intersection of all members' signatures.
+		shared map[string]bool
+		// rep is the founder's signature, used for similarity tests.
+		rep map[string]bool
+	}
+	var clusters []*cluster
+	for _, d := range docs {
+		placed := false
+		for _, c := range clusters {
+			if jaccard(d.tokens, c.rep) >= o.MinJaccard {
+				c.members = append(c.members, d.oid)
+				for tok := range c.shared {
+					if !d.tokens[tok] {
+						delete(c.shared, tok)
+					}
+				}
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			shared := make(map[string]bool, len(d.tokens))
+			for tok := range d.tokens {
+				shared[tok] = true
+			}
+			clusters = append(clusters, &cluster{
+				members: []catalog.OID{d.oid},
+				shared:  shared,
+				rep:     d.tokens,
+			})
+		}
+	}
+
+	out := make([]Cluster, 0, len(clusters))
+	for _, c := range clusters {
+		sort.Slice(c.members, func(i, j int) bool { return c.members[i] < c.members[j] })
+		out = append(out, Cluster{Members: c.members, Label: label(c.shared)})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if len(out[i].Members) != len(out[j].Members) {
+			return len(out[i].Members) > len(out[j].Members)
+		}
+		return out[i].Members[0] < out[j].Members[0]
+	})
+	return out
+}
+
+// signature returns the top-k most frequent tokens of text (ties by
+// lexicographic order), excluding one-character tokens.
+func signature(text string, k int) map[string]bool {
+	freq := make(map[string]int)
+	for _, tok := range textindex.Tokenize(text) {
+		if len(tok) > 1 {
+			freq[tok]++
+		}
+	}
+	type tf struct {
+		tok string
+		n   int
+	}
+	all := make([]tf, 0, len(freq))
+	for tok, n := range freq {
+		all = append(all, tf{tok, n})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].n != all[j].n {
+			return all[i].n > all[j].n
+		}
+		return all[i].tok < all[j].tok
+	})
+	if len(all) > k {
+		all = all[:k]
+	}
+	out := make(map[string]bool, len(all))
+	for _, e := range all {
+		out[e.tok] = true
+	}
+	return out
+}
+
+func jaccard(a, b map[string]bool) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	small, big := a, b
+	if len(small) > len(big) {
+		small, big = big, small
+	}
+	inter := 0
+	for tok := range small {
+		if big[tok] {
+			inter++
+		}
+	}
+	return float64(inter) / float64(len(a)+len(b)-inter)
+}
+
+func label(shared map[string]bool) string {
+	toks := make([]string, 0, len(shared))
+	for tok := range shared {
+		toks = append(toks, tok)
+	}
+	sort.Strings(toks)
+	if len(toks) > 5 {
+		toks = toks[:5]
+	}
+	return strings.Join(toks, " ")
+}

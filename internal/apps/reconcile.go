@@ -1,0 +1,243 @@
+// Package apps implements the PIM applications the paper's conclusion
+// plans "on top of the iMeMex platform": reference reconciliation
+// (finding the mentions of one real-world person across subsystems —
+// contacts relations, email headers) and content clustering (grouping
+// views by textual similarity). Both run purely against the Resource
+// View Manager's unified dataspace, which is the paper's point: one
+// model underneath makes cross-subsystem applications short.
+package apps
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/rvm"
+)
+
+// Mention is one occurrence of a person reference in the dataspace.
+type Mention struct {
+	// OID is the view the mention occurs in.
+	OID catalog.OID
+	// Name and Email are the extracted fields; either may be empty.
+	Name  string
+	Email string
+	// Where labels the component the mention came from
+	// ("contacts.tuple", "email.from", "email.to").
+	Where string
+}
+
+// Entity is one reconciled person: the union of all mentions judged to
+// refer to the same individual.
+type Entity struct {
+	// CanonicalName is the longest name seen across the mentions.
+	CanonicalName string
+	// Emails and Names are the distinct values seen, sorted.
+	Emails []string
+	Names  []string
+	// Mentions lists every occurrence, ordered by OID.
+	Mentions []Mention
+}
+
+// Reconcile extracts person mentions from every managed view and merges
+// them: mentions sharing an email address (case-insensitive) are the
+// same entity, and a name-only mention merges into the entity whose
+// name matches case-insensitively when that match is unambiguous.
+func Reconcile(m *rvm.Manager) []Entity {
+	mentions := extractMentions(m)
+
+	// Union-find over mention indices.
+	parent := make([]int, len(mentions))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) { parent[find(a)] = find(b) }
+
+	// Pass 1: exact email linkage.
+	byEmail := make(map[string]int)
+	for i, mm := range mentions {
+		if mm.Email == "" {
+			continue
+		}
+		key := strings.ToLower(mm.Email)
+		if j, ok := byEmail[key]; ok {
+			union(i, j)
+		} else {
+			byEmail[key] = i
+		}
+	}
+	// Pass 2: name linkage. A full name (two or more tokens) is treated
+	// as identifying: every mention carrying it merges, even across
+	// different email addresses (the same person using two accounts).
+	// Single-token names — often derived from email local parts — are
+	// too ambiguous and merge only a name-only group into a unique
+	// email-bearing one.
+	nameGroups := make(map[string][]int)
+	for i, mm := range mentions {
+		if mm.Name == "" {
+			continue
+		}
+		key := strings.ToLower(strings.TrimSpace(mm.Name))
+		nameGroups[key] = append(nameGroups[key], i)
+	}
+	for key, idxs := range nameGroups {
+		if strings.ContainsRune(key, ' ') {
+			for _, i := range idxs[1:] {
+				union(idxs[0], i)
+			}
+			continue
+		}
+		roots := make(map[int]bool)
+		for _, i := range idxs {
+			roots[find(i)] = true
+		}
+		if len(roots) != 2 {
+			continue
+		}
+		var ids []int
+		for g := range roots {
+			ids = append(ids, g)
+		}
+		aHasEmail := groupHasEmail(mentions, find, ids[0])
+		bHasEmail := groupHasEmail(mentions, find, ids[1])
+		if aHasEmail != bHasEmail {
+			union(ids[0], ids[1])
+		}
+	}
+
+	// Collect entities.
+	groups := make(map[int][]int)
+	for i := range mentions {
+		r := find(i)
+		groups[r] = append(groups[r], i)
+	}
+	var out []Entity
+	for _, idxs := range groups {
+		e := Entity{}
+		emails := map[string]bool{}
+		names := map[string]bool{}
+		for _, i := range idxs {
+			mm := mentions[i]
+			e.Mentions = append(e.Mentions, mm)
+			if mm.Email != "" {
+				emails[strings.ToLower(mm.Email)] = true
+			}
+			if mm.Name != "" {
+				names[mm.Name] = true
+				if len(mm.Name) > len(e.CanonicalName) {
+					e.CanonicalName = mm.Name
+				}
+			}
+		}
+		for em := range emails {
+			e.Emails = append(e.Emails, em)
+		}
+		for n := range names {
+			e.Names = append(e.Names, n)
+		}
+		sort.Strings(e.Emails)
+		sort.Strings(e.Names)
+		sort.Slice(e.Mentions, func(i, j int) bool { return e.Mentions[i].OID < e.Mentions[j].OID })
+		if e.CanonicalName == "" && len(e.Emails) > 0 {
+			e.CanonicalName = e.Emails[0]
+		}
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if len(out[i].Mentions) != len(out[j].Mentions) {
+			return len(out[i].Mentions) > len(out[j].Mentions)
+		}
+		return out[i].CanonicalName < out[j].CanonicalName
+	})
+	return out
+}
+
+func groupHasEmail(mentions []Mention, find func(int) int, root int) bool {
+	for i := range mentions {
+		if find(i) == root && mentions[i].Email != "" {
+			return true
+		}
+	}
+	return false
+}
+
+// extractMentions pulls person references out of tuple components: rows
+// of relations with name/email attributes, and the from/to headers of
+// email messages.
+func extractMentions(m *rvm.Manager) []Mention {
+	var out []Mention
+	for _, oid := range m.AllOIDs() {
+		e, err := m.Entry(oid)
+		if err != nil {
+			continue
+		}
+		tc, ok := m.Tuple(oid)
+		if !ok {
+			continue
+		}
+		switch e.Class {
+		case core.ClassTuple:
+			name, hasName := tc.Get("name")
+			email, hasEmail := tc.Get("email")
+			if hasName || hasEmail {
+				mm := Mention{OID: oid, Where: "contacts.tuple"}
+				if hasName {
+					mm.Name = name.String()
+				}
+				if hasEmail {
+					mm.Email = email.String()
+				}
+				out = append(out, mm)
+			}
+		case core.ClassEmailMessage:
+			if from, ok := tc.Get("from"); ok && from.String() != "" {
+				out = append(out, mentionFromAddress(oid, from.String(), "email.from"))
+			}
+			if to, ok := tc.Get("to"); ok && to.String() != "" {
+				for _, addr := range strings.Split(to.String(), ",") {
+					addr = strings.TrimSpace(addr)
+					if addr != "" {
+						out = append(out, mentionFromAddress(oid, addr, "email.to"))
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// mentionFromAddress parses "Name <user@host>" or a bare address.
+func mentionFromAddress(oid catalog.OID, addr, where string) Mention {
+	mm := Mention{OID: oid, Where: where}
+	if i := strings.IndexByte(addr, '<'); i >= 0 {
+		if j := strings.IndexByte(addr[i:], '>'); j > 0 {
+			mm.Name = strings.TrimSpace(addr[:i])
+			mm.Email = strings.TrimSpace(addr[i+1 : i+j])
+			return mm
+		}
+	}
+	if strings.ContainsRune(addr, '@') {
+		mm.Email = addr
+		// Derive a display name from the local part ("alice" → "Alice").
+		local := addr[:strings.IndexByte(addr, '@')]
+		local = strings.Map(func(r rune) rune {
+			if r == '.' || r == '_' || r == '-' {
+				return ' '
+			}
+			return r
+		}, local)
+		mm.Name = strings.Title(strings.ToLower(strings.TrimSpace(local)))
+	} else {
+		mm.Name = addr
+	}
+	return mm
+}

@@ -1,0 +1,119 @@
+// Package axml implements the ActiveXML use-case of §4.3.1 of the iDM
+// paper: XML documents enriched with calls to web services, modelled in
+// iDM as a subclass AXML of the xmlelem resource view class whose group
+// component is ⟨V_sc [, V_scresult]⟩ — the service-call view and, once
+// the service has been invoked, the view over its result.
+//
+// The package includes a tiny in-process service registry standing in
+// for remote web services; invoking a service is an intensional
+// computation (§4.3), triggered lazily when the AXML view's group
+// component is first requested.
+package axml
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/xmlkit"
+)
+
+// ErrNoService is returned when a call names an unregistered service.
+var ErrNoService = errors.New("axml: no such service")
+
+// Service computes an XML result for a call. The returned string must be
+// a well-formed XML document.
+type Service func() (string, error)
+
+// Registry maps service endpoints ("web.server.com/GetDepartments()") to
+// implementations. Registry is safe for concurrent use.
+type Registry struct {
+	mu       sync.RWMutex
+	services map[string]Service
+	calls    map[string]int
+}
+
+// NewRegistry returns an empty service registry.
+func NewRegistry() *Registry {
+	return &Registry{services: make(map[string]Service), calls: make(map[string]int)}
+}
+
+// Register binds an endpoint to a service implementation.
+func (r *Registry) Register(endpoint string, svc Service) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.services[endpoint] = svc
+}
+
+// Calls returns how many times an endpoint has been invoked.
+func (r *Registry) Calls(endpoint string) int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.calls[endpoint]
+}
+
+// Invoke calls the service bound to endpoint.
+func (r *Registry) Invoke(endpoint string) (string, error) {
+	r.mu.Lock()
+	svc, ok := r.services[endpoint]
+	if ok {
+		r.calls[endpoint]++
+	}
+	r.mu.Unlock()
+	if !ok {
+		return "", fmt.Errorf("%w: %q", ErrNoService, endpoint)
+	}
+	return svc()
+}
+
+// NewElement builds an AXML-class resource view for an element that
+// embeds a service call. Its group sequence lazily evaluates to
+// ⟨V_sc⟩ before invocation and ⟨V_sc, V_scresult⟩ after the (memoized)
+// invocation succeeds — matching the paper's document rewrite where the
+// service result is inserted next to the <sc> element.
+//
+// name is the element name (e.g. "dep"); endpoint is the service call
+// its <sc> child carries. onErr, when non-nil, observes invocation and
+// parse failures; the view then exposes only ⟨V_sc⟩.
+func NewElement(name, endpoint string, reg *Registry, onErr func(error)) core.ResourceView {
+	scView := (&core.StaticView{
+		VName:    "sc",
+		VClass:   core.ClassServiceCall,
+		VContent: core.StringContent(endpoint),
+	})
+	return &core.LazyView{
+		VName:  name,
+		VClass: core.ClassActiveXML,
+		GroupFn: func() core.Group {
+			result, err := reg.Invoke(endpoint)
+			if err != nil {
+				if onErr != nil {
+					onErr(err)
+				}
+				return core.SeqGroup(scView)
+			}
+			doc, err := xmlkit.Parse(strings.NewReader(result))
+			if err != nil {
+				if onErr != nil {
+					onErr(err)
+				}
+				return core.SeqGroup(scView)
+			}
+			dv, err := xmlkit.ToViews(doc)
+			if err != nil {
+				if onErr != nil {
+					onErr(err)
+				}
+				return core.SeqGroup(scView)
+			}
+			resultView := &core.StaticView{
+				VName:  "scresult",
+				VClass: core.ClassServiceCallJSON,
+				VGroup: dv.Group(),
+			}
+			return core.SeqGroup(scView, resultView)
+		},
+	}
+}

@@ -1,0 +1,96 @@
+package axml
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+)
+
+const depList = `<deplist><entry><name>Accounting</name></entry><entry><name>Research</name></entry></deplist>`
+
+func TestInvokeLazyAndMemoized(t *testing.T) {
+	reg := NewRegistry()
+	reg.Register("web.server.com/GetDepartments()", func() (string, error) {
+		return depList, nil
+	})
+	v := NewElement("dep", "web.server.com/GetDepartments()", reg, nil)
+	if reg.Calls("web.server.com/GetDepartments()") != 0 {
+		t.Fatal("service invoked before group access (must be lazy)")
+	}
+	g := v.Group()
+	children, _ := core.CollectViews(g.Seq, 0)
+	if len(children) != 2 {
+		t.Fatalf("group = %d views, want <sc, scresult>", len(children))
+	}
+	if children[0].Class() != core.ClassServiceCall || children[1].Class() != core.ClassServiceCallJSON {
+		t.Errorf("classes = %q, %q", children[0].Class(), children[1].Class())
+	}
+	// The service call text is preserved in the sc view's content.
+	b, _ := core.ReadAllContent(children[0].Content(), 0)
+	if string(b) != "web.server.com/GetDepartments()" {
+		t.Errorf("sc content = %q", b)
+	}
+	// The result subtree is the parsed XML.
+	n, _ := core.CountReachable(children[1], core.WalkOptions{MaxDepth: -1})
+	if n < 6 {
+		t.Errorf("scresult subtree = %d views", n)
+	}
+	// Memoized: a second group access does not re-invoke.
+	v.Group()
+	if reg.Calls("web.server.com/GetDepartments()") != 1 {
+		t.Errorf("calls = %d, want 1", reg.Calls("web.server.com/GetDepartments()"))
+	}
+}
+
+func TestUnknownService(t *testing.T) {
+	reg := NewRegistry()
+	var got error
+	v := NewElement("dep", "missing()", reg, func(err error) { got = err })
+	children, _ := core.CollectViews(v.Group().Seq, 0)
+	if len(children) != 1 || children[0].Class() != core.ClassServiceCall {
+		t.Errorf("group = %v", children)
+	}
+	if !errors.Is(got, ErrNoService) {
+		t.Errorf("err = %v", got)
+	}
+}
+
+func TestServiceError(t *testing.T) {
+	reg := NewRegistry()
+	boom := errors.New("boom")
+	reg.Register("svc()", func() (string, error) { return "", boom })
+	var got error
+	v := NewElement("e", "svc()", reg, func(err error) { got = err })
+	children, _ := core.CollectViews(v.Group().Seq, 0)
+	if len(children) != 1 {
+		t.Errorf("group = %d views", len(children))
+	}
+	if !errors.Is(got, boom) {
+		t.Errorf("err = %v", got)
+	}
+}
+
+func TestMalformedServiceResult(t *testing.T) {
+	reg := NewRegistry()
+	reg.Register("svc()", func() (string, error) { return "<unclosed", nil })
+	var got error
+	v := NewElement("e", "svc()", reg, func(err error) { got = err })
+	children, _ := core.CollectViews(v.Group().Seq, 0)
+	if len(children) != 1 {
+		t.Errorf("group = %d views", len(children))
+	}
+	if got == nil {
+		t.Error("parse error not observed")
+	}
+}
+
+func TestAXMLClassIsXMLElemSpecialization(t *testing.T) {
+	reg := core.StandardRegistry()
+	if !reg.IsA(core.ClassActiveXML, core.ClassXMLElem) {
+		t.Error("axml must specialize xmlelem (§4.3.1)")
+	}
+	if !reg.IsA(core.ClassServiceCall, core.ClassXMLElem) {
+		t.Error("sc must specialize xmlelem")
+	}
+}

@@ -1,0 +1,116 @@
+// Package convert implements the Content2iDM Converter module of §5.2 of
+// the iDM paper: converters that take content components (XML, LaTeX)
+// and generate resource view subgraphs reflecting the structural
+// information inside the file. The registry dispatches by file name.
+package convert
+
+import (
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/latex"
+	"repro/internal/sources"
+	"repro/internal/xmlkit"
+)
+
+// Converter turns raw content into a resource view subgraph.
+type Converter interface {
+	// Name identifies the converter ("xml2idm", "latex2idm").
+	Name() string
+	// Matches reports whether the converter applies to an item with the
+	// given name (typically by extension).
+	Matches(name string) bool
+	// Convert parses data and returns the derived subgraph, or an error
+	// for malformed content.
+	Convert(data []byte) ([]core.ResourceView, error)
+}
+
+// XML converts .xml files to xmldoc/xmlelem/xmltext view subgraphs
+// (§3.3 of the paper).
+type XML struct{}
+
+// Name implements Converter.
+func (XML) Name() string { return "xml2idm" }
+
+// Matches implements Converter.
+func (XML) Matches(name string) bool { return strings.HasSuffix(strings.ToLower(name), ".xml") }
+
+// Convert implements Converter.
+func (XML) Convert(data []byte) ([]core.ResourceView, error) {
+	doc, err := xmlkit.ParseString(string(data))
+	if err != nil {
+		return nil, err
+	}
+	dv, err := xmlkit.ToViews(doc)
+	if err != nil {
+		return nil, err
+	}
+	return []core.ResourceView{dv}, nil
+}
+
+// LaTeX converts .tex files to latex_* view subgraphs, including the
+// \ref cross edges (§2.3 of the paper; the LaTeX2iDM converter the
+// acknowledgements credit).
+type LaTeX struct{}
+
+// Name implements Converter.
+func (LaTeX) Name() string { return "latex2idm" }
+
+// Matches implements Converter.
+func (LaTeX) Matches(name string) bool { return strings.HasSuffix(strings.ToLower(name), ".tex") }
+
+// Convert implements Converter.
+func (LaTeX) Convert(data []byte) ([]core.ResourceView, error) {
+	d, err := latex.Parse(string(data))
+	if err != nil {
+		return nil, err
+	}
+	return latex.ToViews(d), nil
+}
+
+// Registry is an ordered list of converters; the first match wins.
+type Registry struct {
+	converters []Converter
+	// OnError, when set, observes conversion failures (malformed
+	// content is tolerated: the view simply keeps an empty subgraph).
+	OnError func(name string, err error)
+}
+
+// NewRegistry returns a registry with the given converters.
+func NewRegistry(cs ...Converter) *Registry { return &Registry{converters: cs} }
+
+// Default returns a registry with the XML and LaTeX converters — the two
+// the paper's prototype provides.
+func Default() *Registry { return NewRegistry(XML{}, LaTeX{}) }
+
+// Register appends a converter.
+func (r *Registry) Register(c Converter) { r.converters = append(r.converters, c) }
+
+// Names lists the registered converter names.
+func (r *Registry) Names() []string {
+	out := make([]string, len(r.converters))
+	for i, c := range r.converters {
+		out[i] = c.Name()
+	}
+	return out
+}
+
+// Func returns the registry as the ConvertFunc plugins consume.
+func (r *Registry) Func() sources.ConvertFunc {
+	return func(name string, data []byte) []core.ResourceView {
+		for _, c := range r.converters {
+			if !c.Matches(name) {
+				continue
+			}
+			views, err := c.Convert(data)
+			if err != nil {
+				if r.OnError != nil {
+					r.OnError(name, err)
+				}
+				return nil
+			}
+			return views
+		}
+		return nil
+	}
+}

@@ -1,0 +1,81 @@
+package convert
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestXMLConverter(t *testing.T) {
+	c := XML{}
+	if c.Name() != "xml2idm" {
+		t.Errorf("name = %q", c.Name())
+	}
+	if !c.Matches("data.xml") || !c.Matches("DATA.XML") || c.Matches("data.tex") {
+		t.Error("Matches by extension failed")
+	}
+	views, err := c.Convert([]byte("<a><b>x</b></a>"))
+	if err != nil || len(views) != 1 || views[0].Class() != core.ClassXMLDoc {
+		t.Errorf("convert = %v, %v", views, err)
+	}
+	if _, err := c.Convert([]byte("<bad")); err == nil {
+		t.Error("malformed XML accepted")
+	}
+}
+
+func TestLaTeXConverter(t *testing.T) {
+	c := LaTeX{}
+	if !c.Matches("paper.tex") || c.Matches("paper.xml") {
+		t.Error("Matches by extension failed")
+	}
+	views, err := c.Convert([]byte("\\section{A}\nbody"))
+	if err != nil || len(views) == 0 {
+		t.Fatalf("convert = %v, %v", views, err)
+	}
+	if _, err := c.Convert([]byte("\\begin{figure} unclosed")); err == nil {
+		t.Error("malformed LaTeX accepted")
+	}
+}
+
+func TestRegistryDispatch(t *testing.T) {
+	fn := Default().Func()
+	if got := fn("a.xml", []byte("<a/>")); len(got) != 1 {
+		t.Errorf("xml dispatch = %v", got)
+	}
+	if got := fn("a.tex", []byte("\\section{S}\ntext")); len(got) == 0 {
+		t.Errorf("tex dispatch = %v", got)
+	}
+	if got := fn("a.jpg", []byte{1, 2, 3}); got != nil {
+		t.Errorf("jpg should not convert: %v", got)
+	}
+}
+
+func TestRegistryOnError(t *testing.T) {
+	r := Default()
+	var failedName string
+	r.OnError = func(name string, err error) { failedName = name }
+	fn := r.Func()
+	if got := fn("bad.xml", []byte("<unclosed")); got != nil {
+		t.Errorf("malformed content yielded views: %v", got)
+	}
+	if failedName != "bad.xml" {
+		t.Errorf("OnError saw %q", failedName)
+	}
+}
+
+func TestRegistryNames(t *testing.T) {
+	names := strings.Join(Default().Names(), ",")
+	if names != "xml2idm,latex2idm" {
+		t.Errorf("names = %q", names)
+	}
+}
+
+func TestRegistryFirstMatchWins(t *testing.T) {
+	r := NewRegistry(XML{}, XML{})
+	r.Register(LaTeX{})
+	fn := r.Func()
+	if got := fn("x.tex", []byte("\\section{A}\nb")); len(got) == 0 {
+		t.Error("later converter not reached")
+	}
+}

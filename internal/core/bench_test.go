@@ -1,0 +1,69 @@
+package core
+
+import "testing"
+
+// benchGraph builds a tree of the given fanout and depth with a few
+// cross edges.
+func benchGraph(fanout, depth int) ResourceView {
+	var build func(d int) *StaticView
+	var all []*StaticView
+	build = func(d int) *StaticView {
+		v := NewView("n", ClassFolder)
+		all = append(all, v)
+		if d == 0 {
+			return v
+		}
+		children := make([]ResourceView, fanout)
+		for i := range children {
+			children[i] = build(d - 1)
+		}
+		v.VGroup = SetGroup(children...)
+		return v
+	}
+	root := build(depth)
+	// Cross edges every 7th node back to the root (cycles).
+	for i := 6; i < len(all); i += 7 {
+		existing, _ := CollectIter(all[i].Group().Iter(), 0)
+		all[i].VGroup = SetGroup(append(existing, root)...)
+	}
+	return root
+}
+
+func BenchmarkWalkGraph(b *testing.B) {
+	root := benchGraph(4, 6) // ~5.5k nodes
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n, err := CountReachable(root, WalkOptions{MaxDepth: -1})
+		if err != nil || n == 0 {
+			b.Fatal(n, err)
+		}
+	}
+}
+
+func BenchmarkIndirectlyRelated(b *testing.B) {
+	root := benchGraph(4, 6)
+	var leaf ResourceView
+	Walk(root, WalkOptions{MaxDepth: -1}, func(v ResourceView, d int) error {
+		leaf = v
+		return nil
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := IndirectlyRelated(root, leaf, WalkOptions{MaxDepth: -1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkConforms(b *testing.B) {
+	reg := StandardRegistry()
+	f := fileView("bench.txt", 100, "content")
+	d := folderView("dir", f)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := reg.Conforms(d, ClassFolder, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

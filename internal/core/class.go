@@ -1,0 +1,306 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Presence constrains whether a component must be empty, must be
+// non-empty, or may be either (restriction 1 of Definition 2).
+type Presence int
+
+// Presence constraint values.
+const (
+	Any Presence = iota
+	MustBeEmpty
+	MustBePresent
+)
+
+func (p Presence) String() string {
+	switch p {
+	case Any:
+		return "any"
+	case MustBeEmpty:
+		return "empty"
+	case MustBePresent:
+		return "present"
+	default:
+		return fmt.Sprintf("presence(%d)", int(p))
+	}
+}
+
+// Finiteness constrains whether a content or group element must be
+// finite or infinite (restriction 3 of Definition 2).
+type Finiteness int
+
+// Finiteness constraint values.
+const (
+	AnyExtent Finiteness = iota
+	MustBeFinite
+	MustBeInfinite
+)
+
+func (f Finiteness) String() string {
+	switch f {
+	case AnyExtent:
+		return "any"
+	case MustBeFinite:
+		return "finite"
+	case MustBeInfinite:
+		return "infinite"
+	default:
+		return fmt.Sprintf("finiteness(%d)", int(f))
+	}
+}
+
+// Class is a resource view class (Definition 2): a named set of formal
+// restrictions on the four components of the views that obey to it.
+// Classes form a generalization hierarchy via Parent: a view obeying a
+// class automatically obeys all generalizations of that class.
+type Class struct {
+	// Name identifies the class, e.g. "file" or "xmlelem".
+	Name string
+	// Parent names the direct generalization of this class, or "".
+	Parent string
+
+	// Presence restrictions per component (restriction 1).
+	NamePresence    Presence
+	TuplePresence   Presence
+	ContentPresence Presence
+	SetPresence     Presence
+	SeqPresence     Presence
+
+	// TupleSchema, when non-nil, is the schema W that τ components must
+	// carry (restriction 2). Views may extend the schema with further
+	// attributes; the required attributes must appear with the required
+	// domains.
+	TupleSchema Schema
+
+	// Extent restrictions (restriction 3).
+	ContentExtent Finiteness
+	SetExtent     Finiteness
+	SeqExtent     Finiteness
+
+	// ChildClasses, when non-nil, lists the acceptable classes for every
+	// directly related view (restriction 4). A child conforms when its
+	// class is one of these or a specialization of one of these.
+	// Class-less children are rejected when ChildClasses is non-nil.
+	ChildClasses []string
+}
+
+// Registry holds a set of resource view classes organized in a
+// generalization hierarchy. The zero Registry is empty and ready to use.
+// Registry is not safe for concurrent mutation; populate it up front.
+type Registry struct {
+	classes map[string]*Class
+}
+
+// NewRegistry returns an empty class registry.
+func NewRegistry() *Registry { return &Registry{classes: make(map[string]*Class)} }
+
+// Register adds c to the registry. It returns an error when the name is
+// empty, already taken, or the parent (if named) is unknown.
+func (r *Registry) Register(c *Class) error {
+	if c == nil || c.Name == "" {
+		return fmt.Errorf("core: class must have a name")
+	}
+	if r.classes == nil {
+		r.classes = make(map[string]*Class)
+	}
+	if _, dup := r.classes[c.Name]; dup {
+		return fmt.Errorf("core: class %q already registered", c.Name)
+	}
+	if c.Parent != "" {
+		if _, ok := r.classes[c.Parent]; !ok {
+			return fmt.Errorf("core: class %q names unknown parent %q", c.Name, c.Parent)
+		}
+	}
+	r.classes[c.Name] = c
+	return nil
+}
+
+// MustRegister is Register but panics on error; for static class tables.
+func (r *Registry) MustRegister(c *Class) {
+	if err := r.Register(c); err != nil {
+		panic(err)
+	}
+}
+
+// Lookup returns the class with the given name.
+func (r *Registry) Lookup(name string) (*Class, bool) {
+	c, ok := r.classes[name]
+	return c, ok
+}
+
+// Names returns all registered class names in sorted order.
+func (r *Registry) Names() []string {
+	names := make([]string, 0, len(r.classes))
+	for n := range r.classes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// IsA reports whether class name is ancestor or a (transitive)
+// specialization of ancestor. Every class is-a itself.
+func (r *Registry) IsA(name, ancestor string) bool {
+	for name != "" {
+		if name == ancestor {
+			return true
+		}
+		c, ok := r.classes[name]
+		if !ok {
+			return false
+		}
+		name = c.Parent
+	}
+	return false
+}
+
+// ConformanceError reports a violated class restriction.
+type ConformanceError struct {
+	Class  string
+	View   string
+	Reason string
+}
+
+func (e *ConformanceError) Error() string {
+	return fmt.Sprintf("core: view %q does not conform to class %q: %s", e.View, e.Class, e.Reason)
+}
+
+// Conforms checks that view v satisfies every restriction of the class
+// chain starting at className (the class and all its generalizations).
+// Child-class restrictions are checked one level deep over the finite
+// prefix of the group component (at most probe children per collection;
+// probe <= 0 applies a default of 1024).
+func (r *Registry) Conforms(v ResourceView, className string, probe int) error {
+	if probe <= 0 {
+		probe = 1024
+	}
+	name := className
+	for name != "" {
+		c, ok := r.classes[name]
+		if !ok {
+			return &ConformanceError{Class: className, View: NameOf(v), Reason: fmt.Sprintf("unknown class %q", name)}
+		}
+		if err := r.conformsOne(v, c, probe); err != nil {
+			return err
+		}
+		name = c.Parent
+	}
+	return nil
+}
+
+func (r *Registry) conformsOne(v ResourceView, c *Class, probe int) error {
+	fail := func(format string, args ...any) error {
+		return &ConformanceError{Class: c.Name, View: NameOf(v), Reason: fmt.Sprintf(format, args...)}
+	}
+
+	// Restriction 1: presence of components.
+	if err := checkPresence(c.NamePresence, v.Name() != ""); err != "" {
+		return fail("name component %s", err)
+	}
+	tc := v.Tuple()
+	if err := checkPresence(c.TuplePresence, !tc.IsEmpty()); err != "" {
+		return fail("tuple component %s", err)
+	}
+	content := v.Content()
+	hasContent := !IsEmptyContent(content)
+	if err := checkPresence(c.ContentPresence, hasContent); err != "" {
+		return fail("content component %s", err)
+	}
+	g := v.Group()
+	if err := checkPresence(c.SetPresence, !viewsEmpty(g.Set)); err != "" {
+		return fail("group set %s", err)
+	}
+	if err := checkPresence(c.SeqPresence, !viewsEmpty(g.Seq)); err != "" {
+		return fail("group sequence %s", err)
+	}
+
+	// Restriction 2: schema of τ.
+	if c.TupleSchema != nil {
+		for _, want := range c.TupleSchema {
+			i := tc.Schema.IndexOf(want.Name)
+			if i < 0 {
+				return fail("tuple schema lacks required attribute %q", want.Name)
+			}
+			if tc.Schema[i].Domain != want.Domain {
+				return fail("attribute %q has domain %s, class requires %s",
+					want.Name, tc.Schema[i].Domain, want.Domain)
+			}
+		}
+		if err := tc.Validate(); err != nil {
+			return fail("invalid tuple component: %v", err)
+		}
+	}
+
+	// Restriction 3: finiteness of χ and γ.
+	if hasContent {
+		if err := checkExtent(c.ContentExtent, content.Finite()); err != "" {
+			return fail("content component %s", err)
+		}
+	}
+	if g.Set != nil && !viewsEmpty(g.Set) {
+		if err := checkExtent(c.SetExtent, g.Set.Finite()); err != "" {
+			return fail("group set %s", err)
+		}
+	}
+	if g.Seq != nil && !viewsEmpty(g.Seq) {
+		if err := checkExtent(c.SeqExtent, g.Seq.Finite()); err != "" {
+			return fail("group sequence %s", err)
+		}
+	}
+
+	// Restriction 4: classes of directly related resource views.
+	if c.ChildClasses != nil {
+		children, err := CollectIter(g.Iter(), probe)
+		if err != nil {
+			return fail("iterating group component: %v", err)
+		}
+		for _, child := range children {
+			if !r.anyIsA(child.Class(), c.ChildClasses) {
+				return fail("directly related view %q has class %q, allowed: %v",
+					NameOf(child), child.Class(), c.ChildClasses)
+			}
+		}
+	}
+	return nil
+}
+
+func (r *Registry) anyIsA(class string, allowed []string) bool {
+	for _, a := range allowed {
+		if r.IsA(class, a) {
+			return true
+		}
+	}
+	return false
+}
+
+func checkPresence(p Presence, present bool) string {
+	switch p {
+	case MustBeEmpty:
+		if present {
+			return "must be empty"
+		}
+	case MustBePresent:
+		if !present {
+			return "must be non-empty"
+		}
+	}
+	return ""
+}
+
+func checkExtent(f Finiteness, finite bool) string {
+	switch f {
+	case MustBeFinite:
+		if !finite {
+			return "must be finite"
+		}
+	case MustBeInfinite:
+		if finite {
+			return "must be infinite"
+		}
+	}
+	return ""
+}

@@ -1,0 +1,213 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRegistryRegisterAndLookup(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Register(&Class{Name: "base"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register(&Class{Name: "base"}); err == nil {
+		t.Error("duplicate registration accepted")
+	}
+	if err := r.Register(&Class{Name: ""}); err == nil {
+		t.Error("empty name accepted")
+	}
+	if err := r.Register(&Class{Name: "child", Parent: "missing"}); err == nil {
+		t.Error("unknown parent accepted")
+	}
+	if err := r.Register(&Class{Name: "child", Parent: "base"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r.Lookup("child"); !ok {
+		t.Error("registered class not found")
+	}
+}
+
+func TestRegistryIsA(t *testing.T) {
+	r := StandardRegistry()
+	cases := []struct {
+		class, ancestor string
+		want            bool
+	}{
+		{ClassXMLFile, ClassFile, true},
+		{ClassLatexFile, ClassFile, true},
+		{ClassTupStream, ClassDatStream, true},
+		{ClassRSSAtom, ClassDatStream, true},
+		{ClassFigure, ClassEnvironment, true},
+		{ClassFile, ClassXMLFile, false},
+		{ClassFolder, ClassFile, false},
+		{ClassFile, ClassFile, true},
+		{ClassAttachment, ClassFile, true},
+		{"nosuch", ClassFile, false},
+	}
+	for _, c := range cases {
+		if got := r.IsA(c.class, c.ancestor); got != c.want {
+			t.Errorf("IsA(%q, %q) = %v, want %v", c.class, c.ancestor, got, c.want)
+		}
+	}
+}
+
+func TestRegistryNamesSorted(t *testing.T) {
+	r := StandardRegistry()
+	names := r.Names()
+	if len(names) < 12 {
+		t.Fatalf("only %d classes registered", len(names))
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("names not sorted at %d: %q >= %q", i, names[i-1], names[i])
+		}
+	}
+}
+
+func fileView(name string, size int64, content string) *StaticView {
+	now := time.Now()
+	return NewView(name, ClassFile).
+		WithTuple(fsTuple(size, now, now)).
+		WithContent(StringContent(content))
+}
+
+func folderView(name string, children ...ResourceView) *StaticView {
+	now := time.Now()
+	return NewView(name, ClassFolder).
+		WithTuple(fsTuple(4096, now, now)).
+		WithGroup(SetGroup(children...))
+}
+
+func TestConformsFileAndFolder(t *testing.T) {
+	r := StandardRegistry()
+	f := fileView("a.txt", 10, "0123456789")
+	if err := r.Conforms(f, ClassFile, 0); err != nil {
+		t.Errorf("file view rejected: %v", err)
+	}
+	d := folderView("docs", f)
+	if err := r.Conforms(d, ClassFolder, 0); err != nil {
+		t.Errorf("folder view rejected: %v", err)
+	}
+}
+
+func TestConformsRejectsMissingName(t *testing.T) {
+	r := StandardRegistry()
+	v := &StaticView{VClass: ClassFile, VTuple: fsTuple(1, time.Now(), time.Now())}
+	err := r.Conforms(v, ClassFile, 0)
+	if err == nil || !strings.Contains(err.Error(), "name") {
+		t.Errorf("nameless file accepted: %v", err)
+	}
+}
+
+func TestConformsRejectsMissingSchema(t *testing.T) {
+	r := StandardRegistry()
+	v := NewView("f", ClassFile).WithTuple(TupleComponent{
+		Schema: Schema{{Name: "size", Domain: DomainInt}},
+		Tuple:  Tuple{Int(1)},
+	})
+	err := r.Conforms(v, ClassFile, 0)
+	if err == nil {
+		t.Error("file without full W_FS schema accepted")
+	}
+}
+
+func TestConformsRejectsWrongChildClass(t *testing.T) {
+	r := StandardRegistry()
+	tupleChild := (&StaticView{VClass: ClassTuple}).WithTuple(TupleComponent{
+		Schema: Schema{{Name: "id", Domain: DomainInt}},
+		Tuple:  Tuple{Int(1)},
+	})
+	d := folderView("docs", tupleChild)
+	if err := r.Conforms(d, ClassFolder, 0); err == nil {
+		t.Error("folder with relational tuple child accepted")
+	}
+}
+
+func TestConformsSubclassChildAccepted(t *testing.T) {
+	r := StandardRegistry()
+	now := time.Now()
+	xmlf := NewView("a.xml", ClassXMLFile).
+		WithTuple(fsTuple(5, now, now)).
+		WithContent(StringContent("<a/>"))
+	// xmlfile is-a file, so a folder may contain it.
+	d := folderView("docs", xmlf)
+	if err := r.Conforms(d, ClassFolder, 0); err != nil {
+		t.Errorf("folder with xmlfile child rejected: %v", err)
+	}
+}
+
+func TestConformsXMLElement(t *testing.T) {
+	r := StandardRegistry()
+	text := (&StaticView{VClass: ClassXMLText}).WithContent(StringContent("Accounting"))
+	elem := NewView("name", ClassXMLElem).WithGroup(SeqGroup(text))
+	if err := r.Conforms(elem, ClassXMLElem, 0); err != nil {
+		t.Errorf("xmlelem rejected: %v", err)
+	}
+	if err := r.Conforms(text, ClassXMLText, 0); err != nil {
+		t.Errorf("xmltext rejected: %v", err)
+	}
+}
+
+func TestConformsXMLTextRejectsName(t *testing.T) {
+	r := StandardRegistry()
+	bad := NewView("named", ClassXMLText).WithContent(StringContent("x"))
+	if err := r.Conforms(bad, ClassXMLText, 0); err == nil {
+		t.Error("named xmltext accepted (class requires empty η)")
+	}
+}
+
+// infiniteTupleViews simulates an infinite tuple stream.
+type infiniteTupleViews struct{}
+
+func (infiniteTupleViews) Iter() ViewIter {
+	return IterFunc(func() (ResourceView, error) {
+		v := &StaticView{VClass: ClassTuple}
+		v.VTuple = TupleComponent{
+			Schema: Schema{{Name: "n", Domain: DomainInt}},
+			Tuple:  Tuple{Int(1)},
+		}
+		return v, nil
+	})
+}
+func (infiniteTupleViews) Finite() bool { return false }
+func (infiniteTupleViews) Len() int     { return LenUnknown }
+
+func TestConformsDatStreamRequiresInfinite(t *testing.T) {
+	r := StandardRegistry()
+	finite := (&StaticView{VClass: ClassDatStream}).WithGroup(SeqGroup(namedViews("a")...))
+	if err := r.Conforms(finite, ClassDatStream, 0); err == nil {
+		t.Error("finite sequence accepted as datstream")
+	}
+	infinite := (&StaticView{VClass: ClassTupStream}).
+		WithGroup(Group{Set: NoViews(), Seq: infiniteTupleViews{}})
+	if err := r.Conforms(infinite, ClassTupStream, 8); err != nil {
+		t.Errorf("tuple stream rejected: %v", err)
+	}
+}
+
+func TestConformsUnknownClass(t *testing.T) {
+	r := StandardRegistry()
+	if err := r.Conforms(NewView("v", "nosuch"), "nosuch", 0); err == nil {
+		t.Error("unknown class accepted")
+	}
+}
+
+func TestConformanceErrorMessage(t *testing.T) {
+	e := &ConformanceError{Class: "file", View: "a.txt", Reason: "boom"}
+	msg := e.Error()
+	for _, want := range []string{"file", "a.txt", "boom"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("error %q lacks %q", msg, want)
+		}
+	}
+}
+
+func TestPresenceAndFinitenessStrings(t *testing.T) {
+	if Any.String() != "any" || MustBeEmpty.String() != "empty" || MustBePresent.String() != "present" {
+		t.Error("Presence.String mismatch")
+	}
+	if AnyExtent.String() != "any" || MustBeFinite.String() != "finite" || MustBeInfinite.String() != "infinite" {
+		t.Error("Finiteness.String mismatch")
+	}
+}

@@ -1,0 +1,213 @@
+package core
+
+// Standard resource view class names. The first block is Table 1 of the
+// paper verbatim; the second block covers the LaTeX, email and RSS
+// classes that §2.3, §4.4.1, §5 and the evaluation queries (Table 4)
+// rely on.
+const (
+	ClassFile      = "file"
+	ClassFolder    = "folder"
+	ClassTuple     = "tuple"
+	ClassRelation  = "relation"
+	ClassRelDB     = "reldb"
+	ClassXMLText   = "xmltext"
+	ClassXMLElem   = "xmlelem"
+	ClassXMLDoc    = "xmldoc"
+	ClassXMLFile   = "xmlfile"
+	ClassDatStream = "datstream"
+	ClassTupStream = "tupstream"
+	ClassRSSAtom   = "rssatom"
+
+	ClassLatexFile       = "latexfile"
+	ClassLatexDocclass   = "latex_documentclass"
+	ClassLatexDocument   = "latex_document"
+	ClassLatexSection    = "latex_section"
+	ClassLatexSubsection = "latex_subsection"
+	ClassLatexText       = "latex_text"
+	ClassLatexTitle      = "latex_title"
+	ClassLatexAbstract   = "latex_abstract"
+	ClassTexRef          = "texref"
+	ClassEnvironment     = "environment"
+	ClassFigure          = "figure"
+	ClassCaption         = "caption"
+	ClassLabel           = "label"
+
+	ClassEmailFolder  = "emailfolder"
+	ClassEmailMessage = "emailmessage"
+	ClassAttachment   = "attachment"
+	ClassMessageText  = "messagetext"
+
+	ClassActiveXML       = "axml"
+	ClassServiceCall     = "sc"
+	ClassServiceCallJSON = "scresult"
+)
+
+// FSSchema is W_FS, the filesystem-level schema of §3.2: the fixed set of
+// properties every files&folders node carries.
+var FSSchema = Schema{
+	{Name: "size", Domain: DomainInt},
+	{Name: "creationtime", Domain: DomainTime},
+	{Name: "lastmodified", Domain: DomainTime},
+}
+
+// StandardRegistry builds a class registry pre-populated with every class
+// of Table 1 plus the LaTeX, email and ActiveXML classes used throughout
+// the paper. The generalization hierarchy follows §3: xmlfile and
+// latexfile specialize file; tupstream and rssatom specialize datstream;
+// the LaTeX structural classes specialize a common "latexnode"; axml
+// specializes xmlelem.
+func StandardRegistry() *Registry {
+	r := NewRegistry()
+
+	// --- Table 1 ------------------------------------------------------
+	r.MustRegister(&Class{
+		Name:         ClassFile,
+		NamePresence: MustBePresent,
+		TupleSchema:  FSSchema,
+		SetPresence:  MustBeEmpty,
+		// Q is empty for plain files; specializations such as xmlfile
+		// override this by omitting the restriction at their own level
+		// (a file's Q restriction therefore lives only here and is
+		// deliberately Any so that subclasses may relate content views).
+	})
+	r.MustRegister(&Class{
+		Name:            ClassFolder,
+		NamePresence:    MustBePresent,
+		TupleSchema:     FSSchema,
+		ContentPresence: MustBeEmpty,
+		SeqPresence:     MustBeEmpty,
+		SetExtent:       MustBeFinite,
+		ChildClasses:    []string{ClassFile, ClassFolder},
+	})
+	r.MustRegister(&Class{
+		Name:            ClassTuple,
+		NamePresence:    MustBeEmpty,
+		TuplePresence:   MustBePresent,
+		ContentPresence: MustBeEmpty,
+		SetPresence:     MustBeEmpty,
+		SeqPresence:     MustBeEmpty,
+	})
+	r.MustRegister(&Class{
+		Name:            ClassRelation,
+		NamePresence:    MustBePresent,
+		TuplePresence:   MustBeEmpty,
+		ContentPresence: MustBeEmpty,
+		SeqPresence:     MustBeEmpty,
+		SetExtent:       MustBeFinite,
+		ChildClasses:    []string{ClassTuple},
+	})
+	r.MustRegister(&Class{
+		Name:            ClassRelDB,
+		NamePresence:    MustBePresent,
+		TuplePresence:   MustBeEmpty,
+		ContentPresence: MustBeEmpty,
+		SeqPresence:     MustBeEmpty,
+		ChildClasses:    []string{ClassRelation},
+	})
+	r.MustRegister(&Class{
+		Name:            ClassXMLText,
+		NamePresence:    MustBeEmpty,
+		TuplePresence:   MustBeEmpty,
+		ContentPresence: MustBePresent,
+		ContentExtent:   MustBeFinite,
+		SetPresence:     MustBeEmpty,
+		SeqPresence:     MustBeEmpty,
+	})
+	r.MustRegister(&Class{
+		Name:            ClassXMLElem,
+		NamePresence:    MustBePresent,
+		ContentPresence: MustBeEmpty,
+		SetPresence:     MustBeEmpty,
+		SeqExtent:       MustBeFinite,
+		ChildClasses:    []string{ClassXMLText, ClassXMLElem},
+	})
+	r.MustRegister(&Class{
+		Name:            ClassXMLDoc,
+		NamePresence:    MustBeEmpty,
+		TuplePresence:   MustBeEmpty,
+		ContentPresence: MustBeEmpty,
+		SetPresence:     MustBeEmpty,
+		SeqPresence:     MustBePresent,
+		SeqExtent:       MustBeFinite,
+		ChildClasses:    []string{ClassXMLElem},
+	})
+	r.MustRegister(&Class{
+		Name:         ClassXMLFile,
+		Parent:       ClassFile,
+		SeqPresence:  MustBePresent,
+		SeqExtent:    MustBeFinite,
+		ChildClasses: []string{ClassXMLDoc},
+	})
+	r.MustRegister(&Class{
+		Name:            ClassDatStream,
+		NamePresence:    Any,
+		TuplePresence:   MustBeEmpty,
+		ContentPresence: MustBeEmpty,
+		SetPresence:     MustBeEmpty,
+		SeqExtent:       MustBeInfinite,
+	})
+	r.MustRegister(&Class{
+		Name:         ClassTupStream,
+		Parent:       ClassDatStream,
+		ChildClasses: []string{ClassTuple},
+	})
+	r.MustRegister(&Class{
+		Name:         ClassRSSAtom,
+		Parent:       ClassDatStream,
+		ChildClasses: []string{ClassXMLDoc},
+	})
+
+	// --- LaTeX (§2.3: graph-structured content inside files) -----------
+	r.MustRegister(&Class{
+		Name:         ClassLatexFile,
+		Parent:       ClassFile,
+		SeqPresence:  MustBePresent,
+		SeqExtent:    MustBeFinite,
+		ChildClasses: []string{ClassLatexDocclass, ClassLatexDocument, ClassLatexTitle, ClassLatexAbstract},
+	})
+	r.MustRegister(&Class{Name: "latexnode"})
+	for _, n := range []string{
+		ClassLatexDocclass, ClassLatexDocument, ClassLatexSection,
+		ClassLatexSubsection, ClassLatexTitle, ClassLatexAbstract,
+		ClassTexRef, ClassEnvironment, ClassCaption, ClassLabel,
+	} {
+		r.MustRegister(&Class{Name: n, Parent: "latexnode"})
+	}
+	r.MustRegister(&Class{
+		Name:            ClassLatexText,
+		Parent:          "latexnode",
+		ContentPresence: MustBePresent,
+		ContentExtent:   MustBeFinite,
+	})
+	r.MustRegister(&Class{Name: ClassFigure, Parent: ClassEnvironment})
+
+	// --- Email (§4.4.1) -------------------------------------------------
+	r.MustRegister(&Class{
+		Name:         ClassEmailFolder,
+		NamePresence: MustBePresent,
+	})
+	r.MustRegister(&Class{
+		Name:         ClassEmailMessage,
+		NamePresence: MustBePresent,
+	})
+	r.MustRegister(&Class{
+		Name:         ClassAttachment,
+		Parent:       ClassFile,
+		NamePresence: MustBePresent,
+	})
+	r.MustRegister(&Class{
+		Name:            ClassMessageText,
+		ContentPresence: MustBePresent,
+		ContentExtent:   MustBeFinite,
+	})
+
+	// --- ActiveXML (§4.3.1) ---------------------------------------------
+	r.MustRegister(&Class{Name: ClassServiceCall, Parent: ClassXMLElem})
+	r.MustRegister(&Class{Name: ClassServiceCallJSON, Parent: ClassXMLElem})
+	r.MustRegister(&Class{
+		Name:   ClassActiveXML,
+		Parent: ClassXMLElem,
+	})
+
+	return r
+}

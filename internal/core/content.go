@@ -1,0 +1,102 @@
+package core
+
+import (
+	"bytes"
+	"io"
+)
+
+// SizeUnknown is returned by Content.Size when the size of the content is
+// not known in advance (for example, intensional content) or is infinite.
+const SizeUnknown int64 = -1
+
+// Content is the χ component of a resource view: a (possibly infinite)
+// string of symbols over some alphabet Σ_c. Symbols are modelled as
+// bytes. Content is opened for reading anew on every access, reflecting
+// the paper's lazy get-method semantics: whether the symbols come from a
+// disk file, a remote server or a running computation is hidden behind
+// this interface.
+//
+// For infinite content (media streams, §4.4), Finite reports false and
+// the reader returned by Open never reaches io.EOF.
+type Content interface {
+	// Open starts a new read of the content from its beginning.
+	Open() io.ReadCloser
+	// Finite reports whether the symbol sequence is finite.
+	Finite() bool
+	// Size returns the number of symbols, or SizeUnknown when the
+	// content is infinite or its size cannot be determined cheaply.
+	Size() int64
+}
+
+// emptyContent is the empty content component ⟨⟩.
+type emptyContent struct{}
+
+func (emptyContent) Open() io.ReadCloser { return io.NopCloser(bytes.NewReader(nil)) }
+func (emptyContent) Finite() bool        { return true }
+func (emptyContent) Size() int64         { return 0 }
+
+// EmptyContent returns the empty content component ⟨⟩.
+func EmptyContent() Content { return emptyContent{} }
+
+// IsEmptyContent reports whether c is absent or has zero known size.
+func IsEmptyContent(c Content) bool {
+	return c == nil || (c.Finite() && c.Size() == 0)
+}
+
+// bytesContent is finite extensional content held in memory.
+type bytesContent struct{ b []byte }
+
+func (c bytesContent) Open() io.ReadCloser { return io.NopCloser(bytes.NewReader(c.b)) }
+func (c bytesContent) Finite() bool        { return true }
+func (c bytesContent) Size() int64         { return int64(len(c.b)) }
+
+// BytesContent wraps b as finite content. The slice is not copied; the
+// caller must not mutate it afterwards.
+func BytesContent(b []byte) Content { return bytesContent{b} }
+
+// StringContent wraps s as finite content.
+func StringContent(s string) Content { return bytesContent{[]byte(s)} }
+
+// funcContent defers to an open function; used for intensional and
+// infinite content components.
+type funcContent struct {
+	open   func() io.ReadCloser
+	finite bool
+	size   int64
+}
+
+func (c funcContent) Open() io.ReadCloser { return c.open() }
+func (c funcContent) Finite() bool        { return c.finite }
+func (c funcContent) Size() int64         { return c.size }
+
+// FuncContent builds a content component whose symbols are produced by
+// open on every access. Pass SizeUnknown when the size is not known.
+func FuncContent(open func() io.ReadCloser, finite bool, size int64) Content {
+	return funcContent{open: open, finite: finite, size: size}
+}
+
+// InfiniteContent builds an infinite content component (for example a
+// media stream) whose symbols are produced by open.
+func InfiniteContent(open func() io.ReadCloser) Content {
+	return funcContent{open: open, finite: false, size: SizeUnknown}
+}
+
+// ReadAllContent reads a finite content component fully into memory. It
+// returns at most limit bytes (guarding against unexpectedly infinite
+// content); limit <= 0 means no limit and must only be used on content
+// known to be finite.
+func ReadAllContent(c Content, limit int64) ([]byte, error) {
+	if c == nil {
+		return nil, nil
+	}
+	r := c.Open()
+	defer r.Close()
+	if limit > 0 {
+		b, err := io.ReadAll(io.LimitReader(r, limit))
+		if err != nil {
+			return nil, err
+		}
+		return b, nil
+	}
+	return io.ReadAll(r)
+}

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"io"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyContent(t *testing.T) {
+	c := EmptyContent()
+	if !c.Finite() || c.Size() != 0 {
+		t.Errorf("empty content: finite=%v size=%d", c.Finite(), c.Size())
+	}
+	b, err := ReadAllContent(c, 0)
+	if err != nil || len(b) != 0 {
+		t.Errorf("ReadAllContent(empty) = %q, %v", b, err)
+	}
+	if !IsEmptyContent(c) || !IsEmptyContent(nil) {
+		t.Error("IsEmptyContent should hold for empty and nil content")
+	}
+}
+
+func TestBytesContentRereadable(t *testing.T) {
+	c := StringContent("hello world")
+	for i := 0; i < 3; i++ {
+		b, err := ReadAllContent(c, 0)
+		if err != nil || string(b) != "hello world" {
+			t.Fatalf("read %d: %q, %v", i, b, err)
+		}
+	}
+	if c.Size() != 11 || !c.Finite() {
+		t.Errorf("size=%d finite=%v", c.Size(), c.Finite())
+	}
+}
+
+func TestFuncContent(t *testing.T) {
+	opens := 0
+	c := FuncContent(func() io.ReadCloser {
+		opens++
+		return io.NopCloser(strings.NewReader("computed"))
+	}, true, 8)
+	b, _ := ReadAllContent(c, 0)
+	b2, _ := ReadAllContent(c, 0)
+	if string(b) != "computed" || string(b2) != "computed" {
+		t.Errorf("reads: %q, %q", b, b2)
+	}
+	if opens != 2 {
+		t.Errorf("open called %d times, want 2 (fresh read per access)", opens)
+	}
+}
+
+// infiniteReader yields 'x' forever — a stand-in for a media stream.
+type infiniteReader struct{}
+
+func (infiniteReader) Read(p []byte) (int, error) {
+	for i := range p {
+		p[i] = 'x'
+	}
+	return len(p), nil
+}
+func (infiniteReader) Close() error { return nil }
+
+func TestInfiniteContentLimitedRead(t *testing.T) {
+	c := InfiniteContent(func() io.ReadCloser { return infiniteReader{} })
+	if c.Finite() {
+		t.Error("infinite content reported finite")
+	}
+	if c.Size() != SizeUnknown {
+		t.Errorf("size = %d, want SizeUnknown", c.Size())
+	}
+	b, err := ReadAllContent(c, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b) != 1000 {
+		t.Errorf("limited read returned %d bytes, want 1000", len(b))
+	}
+}
+
+// Property: BytesContent round-trips arbitrary byte strings.
+func TestBytesContentRoundtripQuick(t *testing.T) {
+	f := func(data []byte) bool {
+		c := BytesContent(data)
+		got, err := ReadAllContent(c, 0)
+		if err != nil {
+			return false
+		}
+		if c.Size() != int64(len(data)) {
+			return false
+		}
+		return string(got) == string(data)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

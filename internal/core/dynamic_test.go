@@ -1,0 +1,74 @@
+package core
+
+import "testing"
+
+func TestDynamicViewRecomputes(t *testing.T) {
+	groupCalls, tupleCalls, contentCalls := 0, 0, 0
+	children := namedViews("a")
+	v := &DynamicView{
+		VName:  "dyn",
+		VClass: ClassFolder,
+		TupleFn: func() TupleComponent {
+			tupleCalls++
+			return TupleComponent{
+				Schema: Schema{{Name: "n", Domain: DomainInt}},
+				Tuple:  Tuple{Int(int64(tupleCalls))},
+			}
+		},
+		ContentFn: func() Content {
+			contentCalls++
+			return StringContent("v")
+		},
+		GroupFn: func() Group {
+			groupCalls++
+			return SetGroup(children...)
+		},
+	}
+	for i := 0; i < 3; i++ {
+		v.Tuple()
+		v.Content()
+		v.Group()
+	}
+	if tupleCalls != 3 || contentCalls != 3 || groupCalls != 3 {
+		t.Errorf("calls = %d/%d/%d, want 3/3/3 (no memoization)", tupleCalls, contentCalls, groupCalls)
+	}
+	// Fresh state is observed.
+	children = namedViews("a", "b")
+	got, _ := CollectIter(v.Group().Iter(), 0)
+	if len(got) != 2 {
+		t.Errorf("dynamic group sees %d children, want 2", len(got))
+	}
+	if n, _ := v.Tuple().Get("n"); n.Int != int64(tupleCalls) {
+		t.Errorf("tuple not fresh: %v", n)
+	}
+}
+
+func TestDynamicViewNilSuppliers(t *testing.T) {
+	v := &DynamicView{VName: "empty", VClass: ClassFile}
+	if !v.Tuple().IsEmpty() {
+		t.Error("nil TupleFn should yield empty tuple")
+	}
+	if !IsEmptyContent(v.Content()) {
+		t.Error("nil ContentFn should yield empty content")
+	}
+	if !v.Group().IsEmpty() {
+		t.Error("nil GroupFn should yield empty group")
+	}
+	if v.Name() != "empty" || v.Class() != ClassFile {
+		t.Error("identity accessors broken")
+	}
+}
+
+func TestDynamicViewNilReturnNormalized(t *testing.T) {
+	v := &DynamicView{
+		ContentFn: func() Content { return nil },
+		GroupFn:   func() Group { return Group{} },
+	}
+	if v.Content() == nil {
+		t.Error("nil content not normalized")
+	}
+	g := v.Group()
+	if g.Set == nil || g.Seq == nil {
+		t.Error("nil group parts not normalized")
+	}
+}

@@ -1,0 +1,245 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Resource views form arbitrary directed graphs through their group
+// components (Definition 1 (iii)/(iv)): V_i → V_k when V_k appears in
+// V_i's group, and V_i →* V_k (indirectly related) when a path of direct
+// relations exists. The graph may contain cycles (e.g. folder links), so
+// every traversal here tracks visited views by identity.
+
+// ErrWalkStop may be returned by a WalkFunc to terminate a walk early
+// without reporting an error to the caller.
+var ErrWalkStop = errors.New("core: walk stopped")
+
+// ErrBudgetExceeded is returned when a traversal touches more views than
+// its budget allows; it guards traversals against infinite group
+// components.
+var ErrBudgetExceeded = errors.New("core: traversal budget exceeded")
+
+// WalkFunc is invoked for every view reached during a walk. depth is the
+// number of direct relations followed from the root (the root itself has
+// depth 0).
+type WalkFunc func(v ResourceView, depth int) error
+
+// WalkOptions tunes graph traversals.
+type WalkOptions struct {
+	// MaxDepth bounds how many direct relations are followed from the
+	// root; 0 visits only the root, negative means unbounded.
+	MaxDepth int
+	// Budget bounds the total number of views visited; <= 0 applies
+	// DefaultBudget. Traversals over graphs with infinite group
+	// components stop with ErrBudgetExceeded once the budget is spent.
+	Budget int
+	// InfinitePrefix bounds how many children are drawn from an
+	// infinite group collection; <= 0 applies DefaultInfinitePrefix.
+	InfinitePrefix int
+}
+
+// Traversal guard defaults.
+const (
+	DefaultBudget         = 1 << 20
+	DefaultInfinitePrefix = 4096
+)
+
+func (o WalkOptions) withDefaults() WalkOptions {
+	if o.Budget <= 0 {
+		o.Budget = DefaultBudget
+	}
+	if o.InfinitePrefix <= 0 {
+		o.InfinitePrefix = DefaultInfinitePrefix
+	}
+	return o
+}
+
+// Walk performs a depth-first pre-order traversal of the resource view
+// graph rooted at root, visiting the group set before the group sequence
+// at every view and visiting every view at most once (cycles are safe).
+// fn returning ErrWalkStop ends the walk cleanly.
+func Walk(root ResourceView, opts WalkOptions, fn WalkFunc) error {
+	if root == nil {
+		return nil
+	}
+	o := opts.withDefaults()
+	seen := make(map[ResourceView]bool)
+	budget := o.Budget
+	err := walk(root, 0, o, seen, &budget, fn)
+	if errors.Is(err, ErrWalkStop) {
+		return nil
+	}
+	return err
+}
+
+func walk(v ResourceView, depth int, o WalkOptions, seen map[ResourceView]bool, budget *int, fn WalkFunc) error {
+	if v == nil || seen[v] {
+		return nil
+	}
+	if *budget <= 0 {
+		return ErrBudgetExceeded
+	}
+	*budget--
+	seen[v] = true
+	if err := fn(v, depth); err != nil {
+		return err
+	}
+	if o.MaxDepth >= 0 && depth >= o.MaxDepth {
+		return nil
+	}
+	children, err := directChildren(v, o.InfinitePrefix)
+	if err != nil {
+		return err
+	}
+	for _, c := range children {
+		if err := walk(c, depth+1, o, seen, budget, fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// directChildren collects the views directly related to v: the group set
+// followed by the group sequence. Infinite collections contribute at
+// most prefix views each.
+func directChildren(v ResourceView, prefix int) ([]ResourceView, error) {
+	g := v.Group()
+	var out []ResourceView
+	for _, part := range []Views{g.Set, g.Seq} {
+		if part == nil {
+			continue
+		}
+		lim := 0
+		if !part.Finite() {
+			lim = prefix
+		}
+		vs, err := CollectViews(part, lim)
+		if err != nil {
+			return out, fmt.Errorf("core: reading group of %q: %w", NameOf(v), err)
+		}
+		out = append(out, vs...)
+	}
+	return out, nil
+}
+
+// Children returns the views directly related to v (V_i → V_k), drawing
+// at most DefaultInfinitePrefix views from infinite collections.
+func Children(v ResourceView) ([]ResourceView, error) {
+	return directChildren(v, DefaultInfinitePrefix)
+}
+
+// Collect returns every view reachable from root (including root itself)
+// in pre-order.
+func Collect(root ResourceView, opts WalkOptions) ([]ResourceView, error) {
+	var out []ResourceView
+	err := Walk(root, opts, func(v ResourceView, _ int) error {
+		out = append(out, v)
+		return nil
+	})
+	return out, err
+}
+
+// IndirectlyRelated reports whether from →* to: a non-empty path of
+// direct relations leads from from to to. A view is not indirectly
+// related to itself unless it lies on a cycle.
+func IndirectlyRelated(from, to ResourceView, opts WalkOptions) (bool, error) {
+	if from == nil || to == nil {
+		return false, nil
+	}
+	o := opts.withDefaults()
+	if o.MaxDepth == 0 {
+		o.MaxDepth = -1
+	}
+	found := false
+	seen := make(map[ResourceView]bool)
+	budget := o.Budget
+	// Start from the children so that the path is non-empty.
+	children, err := directChildren(from, o.InfinitePrefix)
+	if err != nil {
+		return false, err
+	}
+	for _, c := range children {
+		err := walk(c, 1, o, seen, &budget, func(v ResourceView, _ int) error {
+			if v == to {
+				found = true
+				return ErrWalkStop
+			}
+			return nil
+		})
+		if errors.Is(err, ErrWalkStop) || found {
+			return true, nil
+		}
+		if err != nil {
+			return false, err
+		}
+	}
+	return found, nil
+}
+
+// CountReachable returns the number of distinct views reachable from root
+// including root itself.
+func CountReachable(root ResourceView, opts WalkOptions) (int, error) {
+	n := 0
+	err := Walk(root, opts, func(ResourceView, int) error {
+		n++
+		return nil
+	})
+	return n, err
+}
+
+// HasCycle reports whether the subgraph reachable from root contains a
+// directed cycle. It runs an iterative three-color depth-first search.
+func HasCycle(root ResourceView, opts WalkOptions) (bool, error) {
+	if root == nil {
+		return false, nil
+	}
+	o := opts.withDefaults()
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make(map[ResourceView]int)
+	type frame struct {
+		v        ResourceView
+		children []ResourceView
+		next     int
+	}
+	push := func(stack []frame, v ResourceView) ([]frame, error) {
+		color[v] = gray
+		ch, err := directChildren(v, o.InfinitePrefix)
+		if err != nil {
+			return stack, err
+		}
+		return append(stack, frame{v: v, children: ch}), nil
+	}
+	stack, err := push(nil, root)
+	if err != nil {
+		return false, err
+	}
+	budget := o.Budget
+	for len(stack) > 0 {
+		top := &stack[len(stack)-1]
+		if top.next >= len(top.children) {
+			color[top.v] = black
+			stack = stack[:len(stack)-1]
+			continue
+		}
+		c := top.children[top.next]
+		top.next++
+		switch color[c] {
+		case gray:
+			return true, nil
+		case white:
+			if budget--; budget <= 0 {
+				return false, ErrBudgetExceeded
+			}
+			stack, err = push(stack, c)
+			if err != nil {
+				return false, err
+			}
+		}
+	}
+	return false, nil
+}

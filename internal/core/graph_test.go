@@ -1,0 +1,208 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+// paperGraph builds the cyclic example of Figure 1: Projects → PIM →
+// All Projects → Projects, with PIM also containing two documents.
+func paperGraph() (projects, pim, allProjects, vldb, grant *StaticView) {
+	projects = NewView("Projects", ClassFolder)
+	pim = NewView("PIM", ClassFolder)
+	allProjects = NewView("All Projects", ClassFolder)
+	vldb = NewView("vldb 2006.tex", ClassLatexFile)
+	grant = NewView("Grant.doc", ClassFile)
+
+	projects.VGroup = SetGroup(pim)
+	pim.VGroup = SetGroup(vldb, grant, allProjects)
+	allProjects.VGroup = SetGroup(projects)
+	return
+}
+
+func TestWalkVisitsAllOnce(t *testing.T) {
+	projects, _, _, _, _ := paperGraph()
+	visits := map[string]int{}
+	err := Walk(projects, WalkOptions{MaxDepth: -1}, func(v ResourceView, _ int) error {
+		visits[v.Name()]++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(visits) != 5 {
+		t.Errorf("visited %d distinct views, want 5: %v", len(visits), visits)
+	}
+	for name, n := range visits {
+		if n != 1 {
+			t.Errorf("view %q visited %d times", name, n)
+		}
+	}
+}
+
+func TestWalkDepthLimit(t *testing.T) {
+	projects, _, _, _, _ := paperGraph()
+	var names []string
+	Walk(projects, WalkOptions{MaxDepth: 1}, func(v ResourceView, d int) error {
+		names = append(names, v.Name())
+		if d > 1 {
+			t.Errorf("view %q at depth %d exceeds limit", v.Name(), d)
+		}
+		return nil
+	})
+	if len(names) != 2 { // Projects, PIM
+		t.Errorf("visited %v, want 2 views", names)
+	}
+}
+
+func TestWalkEarlyStop(t *testing.T) {
+	projects, _, _, _, _ := paperGraph()
+	count := 0
+	err := Walk(projects, WalkOptions{MaxDepth: -1}, func(v ResourceView, _ int) error {
+		count++
+		if count == 2 {
+			return ErrWalkStop
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("ErrWalkStop leaked: %v", err)
+	}
+	if count != 2 {
+		t.Errorf("visited %d views after stop, want 2", count)
+	}
+}
+
+func TestWalkPropagatesError(t *testing.T) {
+	projects, _, _, _, _ := paperGraph()
+	boom := errors.New("boom")
+	err := Walk(projects, WalkOptions{MaxDepth: -1}, func(ResourceView, int) error { return boom })
+	if !errors.Is(err, boom) {
+		t.Errorf("err = %v, want boom", err)
+	}
+}
+
+func TestWalkNilRoot(t *testing.T) {
+	if err := Walk(nil, WalkOptions{}, func(ResourceView, int) error { return nil }); err != nil {
+		t.Errorf("nil root: %v", err)
+	}
+}
+
+func TestIndirectlyRelated(t *testing.T) {
+	projects, pim, allProjects, vldb, _ := paperGraph()
+	cases := []struct {
+		from, to ResourceView
+		want     bool
+		label    string
+	}{
+		{projects, vldb, true, "Projects →* vldb"},
+		{pim, projects, true, "PIM →* Projects (via All Projects)"},
+		{projects, projects, true, "Projects →* Projects (cycle)"},
+		{vldb, projects, false, "vldb has no outgoing edges"},
+		{allProjects, vldb, true, "All Projects →* vldb"},
+	}
+	for _, c := range cases {
+		got, err := IndirectlyRelated(c.from, c.to, WalkOptions{MaxDepth: -1})
+		if err != nil {
+			t.Fatalf("%s: %v", c.label, err)
+		}
+		if got != c.want {
+			t.Errorf("%s = %v, want %v", c.label, got, c.want)
+		}
+	}
+}
+
+func TestIndirectlyRelatedSelfNoCycle(t *testing.T) {
+	leaf := NewView("leaf", "")
+	got, err := IndirectlyRelated(leaf, leaf, WalkOptions{MaxDepth: -1})
+	if err != nil || got {
+		t.Errorf("acyclic self-relation = %v, %v; want false", got, err)
+	}
+}
+
+func TestHasCycle(t *testing.T) {
+	projects, _, _, vldb, _ := paperGraph()
+	cyc, err := HasCycle(projects, WalkOptions{MaxDepth: -1})
+	if err != nil || !cyc {
+		t.Errorf("paper graph cycle = %v, %v; want true", cyc, err)
+	}
+	cyc, err = HasCycle(vldb, WalkOptions{MaxDepth: -1})
+	if err != nil || cyc {
+		t.Errorf("leaf cycle = %v, %v; want false", cyc, err)
+	}
+	// A diamond DAG is not a cycle.
+	d := NewView("d", "")
+	b := (&StaticView{VName: "b"}).WithGroup(SetGroup(d))
+	c := (&StaticView{VName: "c"}).WithGroup(SetGroup(d))
+	a := (&StaticView{VName: "a"}).WithGroup(SetGroup(b, c))
+	cyc, err = HasCycle(a, WalkOptions{MaxDepth: -1})
+	if err != nil || cyc {
+		t.Errorf("diamond DAG cycle = %v, %v; want false", cyc, err)
+	}
+}
+
+func TestCountReachable(t *testing.T) {
+	projects, _, _, _, _ := paperGraph()
+	n, err := CountReachable(projects, WalkOptions{MaxDepth: -1})
+	if err != nil || n != 5 {
+		t.Errorf("CountReachable = %d, %v; want 5", n, err)
+	}
+}
+
+func TestWalkInfiniteGroupBounded(t *testing.T) {
+	stream := (&StaticView{VName: "stream", VClass: ClassDatStream}).
+		WithGroup(Group{Set: NoViews(), Seq: counterViews{}})
+	n, err := CountReachable(stream, WalkOptions{MaxDepth: -1, InfinitePrefix: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 101 { // stream + 100 prefix items
+		t.Errorf("reachable = %d, want 101", n)
+	}
+}
+
+func TestWalkBudgetExceeded(t *testing.T) {
+	stream := (&StaticView{VName: "stream"}).
+		WithGroup(Group{Set: NoViews(), Seq: counterViews{}})
+	_, err := CountReachable(stream, WalkOptions{MaxDepth: -1, Budget: 10, InfinitePrefix: 1000})
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Errorf("err = %v, want ErrBudgetExceeded", err)
+	}
+}
+
+// Property: for a random tree, Walk visits exactly the number of created
+// nodes and Collect returns them in pre-order with the root first.
+func TestWalkTreePropertyQuick(t *testing.T) {
+	f := func(shape []uint8) bool {
+		if len(shape) > 64 {
+			shape = shape[:64]
+		}
+		root := NewView("root", "")
+		nodes := []*StaticView{root}
+		total := 1
+		for i, s := range shape {
+			parent := nodes[i%len(nodes)]
+			n := int(s % 4)
+			var children []ResourceView
+			for j := 0; j < n; j++ {
+				c := NewView("n", "")
+				nodes = append(nodes, c)
+				children = append(children, c)
+				total++
+			}
+			if len(children) > 0 {
+				existing, _ := CollectIter(parent.Group().Iter(), 0)
+				parent.VGroup = SetGroup(append(existing, children...)...)
+			}
+		}
+		got, err := Collect(root, WalkOptions{MaxDepth: -1})
+		if err != nil || len(got) != total {
+			return false
+		}
+		return got[0] == ResourceView(root)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,212 @@
+package core
+
+import (
+	"fmt"
+	"io"
+)
+
+// LenUnknown is returned by Views.Len when the number of views is not
+// known in advance or is infinite.
+const LenUnknown = -1
+
+// ViewIter iterates over a sequence of resource views. Next returns
+// io.EOF after the final view. Iterators over infinite collections never
+// return io.EOF.
+type ViewIter interface {
+	Next() (ResourceView, error)
+}
+
+// Views is a finite or infinite collection of resource views — the common
+// shape of both the set S and the sequence Q of a group component. Each
+// call to Iter starts a fresh iteration (for stateless collections; true
+// one-shot streams document that a second Iter observes later elements,
+// cf. Option 2 in §4.4.1 of the paper).
+type Views interface {
+	Iter() ViewIter
+	// Finite reports whether the collection is finite.
+	Finite() bool
+	// Len returns the number of views, or LenUnknown.
+	Len() int
+}
+
+// sliceIter iterates over an in-memory slice.
+type sliceIter struct {
+	views []ResourceView
+	pos   int
+}
+
+func (it *sliceIter) Next() (ResourceView, error) {
+	if it.pos >= len(it.views) {
+		return nil, io.EOF
+	}
+	v := it.views[it.pos]
+	it.pos++
+	return v, nil
+}
+
+// sliceViews is a finite extensional collection.
+type sliceViews struct{ views []ResourceView }
+
+func (s sliceViews) Iter() ViewIter { return &sliceIter{views: s.views} }
+func (s sliceViews) Finite() bool   { return true }
+func (s sliceViews) Len() int       { return len(s.views) }
+
+// SliceViews wraps views as a finite collection. The slice is not copied.
+func SliceViews(views ...ResourceView) Views { return sliceViews{views} }
+
+// NoViews returns the empty collection (∅ or ⟨⟩).
+func NoViews() Views { return sliceViews{} }
+
+// funcViews defers iteration to a generator; used for intensional and
+// infinite collections such as data streams.
+type funcViews struct {
+	iter   func() ViewIter
+	finite bool
+	length int
+}
+
+func (f funcViews) Iter() ViewIter { return f.iter() }
+func (f funcViews) Finite() bool   { return f.finite }
+func (f funcViews) Len() int       { return f.length }
+
+// FuncViews builds a collection whose iteration is produced by iter on
+// every access. Pass LenUnknown when the length is not known.
+func FuncViews(iter func() ViewIter, finite bool, length int) Views {
+	return funcViews{iter: iter, finite: finite, length: length}
+}
+
+// IterFunc adapts a plain function to a ViewIter.
+type IterFunc func() (ResourceView, error)
+
+// Next implements ViewIter.
+func (f IterFunc) Next() (ResourceView, error) { return f() }
+
+// Group is the γ component of a resource view: a 2-tuple (S, Q) of a
+// possibly empty, possibly infinite set S and ordered sequence Q of
+// resource views. S holds connections whose relative order does not
+// matter; Q holds ordered connections. Definition 1 requires S and Q to
+// be disjoint; CheckGroupInvariant verifies this for finite groups.
+type Group struct {
+	Set Views
+	Seq Views
+}
+
+// EmptyGroup returns the empty group component (∅, ⟨⟩).
+func EmptyGroup() Group { return Group{Set: NoViews(), Seq: NoViews()} }
+
+// SetGroup returns a group whose connections are all unordered.
+func SetGroup(views ...ResourceView) Group {
+	return Group{Set: SliceViews(views...), Seq: NoViews()}
+}
+
+// SeqGroup returns a group whose connections are all ordered.
+func SeqGroup(views ...ResourceView) Group {
+	return Group{Set: NoViews(), Seq: SliceViews(views...)}
+}
+
+// IsEmpty reports whether both S and Q are known to be empty.
+func (g Group) IsEmpty() bool {
+	return viewsEmpty(g.Set) && viewsEmpty(g.Seq)
+}
+
+func viewsEmpty(v Views) bool {
+	return v == nil || (v.Finite() && v.Len() == 0)
+}
+
+// Iter iterates over all directly related views: first the set S, then
+// the sequence Q.
+func (g Group) Iter() ViewIter {
+	iters := make([]ViewIter, 0, 2)
+	if g.Set != nil {
+		iters = append(iters, g.Set.Iter())
+	}
+	if g.Seq != nil {
+		iters = append(iters, g.Seq.Iter())
+	}
+	return &chainIter{iters: iters}
+}
+
+type chainIter struct {
+	iters []ViewIter
+	pos   int
+}
+
+func (c *chainIter) Next() (ResourceView, error) {
+	for c.pos < len(c.iters) {
+		v, err := c.iters[c.pos].Next()
+		if err == io.EOF {
+			c.pos++
+			continue
+		}
+		return v, err
+	}
+	return nil, io.EOF
+}
+
+// CollectViews drains an iterator into a slice, reading at most max views
+// (a guard against infinite collections); max <= 0 means no limit and
+// must only be used on collections known to be finite.
+func CollectViews(v Views, max int) ([]ResourceView, error) {
+	if v == nil {
+		return nil, nil
+	}
+	return CollectIter(v.Iter(), max)
+}
+
+// CollectIter drains it into a slice, reading at most max views; max <= 0
+// means no limit.
+func CollectIter(it ViewIter, max int) ([]ResourceView, error) {
+	var out []ResourceView
+	for {
+		if max > 0 && len(out) >= max {
+			return out, nil
+		}
+		v, err := it.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, v)
+	}
+}
+
+// CheckGroupInvariant verifies condition (ii) of Definition 1: the set S
+// and the sequence Q of a group component are disjoint. Views compare by
+// identity. For infinite collections only the first probe views of each
+// side are examined; probe <= 0 applies a default of 1024.
+func CheckGroupInvariant(g Group, probe int) error {
+	if probe <= 0 {
+		probe = 1024
+	}
+	limS, limQ := 0, 0
+	if g.Set != nil && !g.Set.Finite() {
+		limS = probe
+	}
+	if g.Seq != nil && !g.Seq.Finite() {
+		limQ = probe
+	}
+	inSet := make(map[ResourceView]bool)
+	if g.Set != nil {
+		s, err := CollectViews(g.Set, limS)
+		if err != nil {
+			return fmt.Errorf("core: iterating group set: %w", err)
+		}
+		for _, v := range s {
+			inSet[v] = true
+		}
+	}
+	if g.Seq != nil {
+		q, err := CollectViews(g.Seq, limQ)
+		if err != nil {
+			return fmt.Errorf("core: iterating group sequence: %w", err)
+		}
+		for _, v := range q {
+			if inSet[v] {
+				return fmt.Errorf("core: group invariant violated: view %q appears in both S and Q", NameOf(v))
+			}
+		}
+	}
+	return nil
+}

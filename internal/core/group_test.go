@@ -1,0 +1,178 @@
+package core
+
+import (
+	"io"
+	"testing"
+	"testing/quick"
+)
+
+func namedViews(names ...string) []ResourceView {
+	out := make([]ResourceView, len(names))
+	for i, n := range names {
+		out[i] = NewView(n, "")
+	}
+	return out
+}
+
+func TestSliceViewsIteration(t *testing.T) {
+	vs := namedViews("a", "b", "c")
+	col := SliceViews(vs...)
+	if !col.Finite() || col.Len() != 3 {
+		t.Fatalf("finite=%v len=%d", col.Finite(), col.Len())
+	}
+	got, err := CollectViews(col, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != vs[i] {
+			t.Errorf("position %d: got %q", i, NameOf(v))
+		}
+	}
+	// A second iteration starts fresh.
+	again, _ := CollectViews(col, 0)
+	if len(again) != 3 {
+		t.Errorf("second iteration returned %d views", len(again))
+	}
+}
+
+func TestGroupIterOrderSetThenSeq(t *testing.T) {
+	s := namedViews("s1", "s2")
+	q := namedViews("q1")
+	g := Group{Set: SliceViews(s...), Seq: SliceViews(q...)}
+	got, err := CollectIter(g.Iter(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := []string{"s1", "s2", "q1"}
+	if len(got) != len(names) {
+		t.Fatalf("got %d views, want %d", len(got), len(names))
+	}
+	for i, v := range got {
+		if v.Name() != names[i] {
+			t.Errorf("position %d: %q, want %q", i, v.Name(), names[i])
+		}
+	}
+}
+
+func TestEmptyGroup(t *testing.T) {
+	g := EmptyGroup()
+	if !g.IsEmpty() {
+		t.Error("EmptyGroup not empty")
+	}
+	got, err := CollectIter(g.Iter(), 0)
+	if err != nil || len(got) != 0 {
+		t.Errorf("empty group iterated %d views, err %v", len(got), err)
+	}
+	var zero Group
+	if !zero.IsEmpty() {
+		t.Error("zero Group should be empty")
+	}
+	if vs, err := CollectIter(zero.Iter(), 0); err != nil || len(vs) != 0 {
+		t.Errorf("zero group iterated %d views, err %v", len(vs), err)
+	}
+}
+
+// counterViews is an infinite collection of fresh views.
+type counterViews struct{}
+
+func (counterViews) Iter() ViewIter {
+	i := 0
+	return IterFunc(func() (ResourceView, error) {
+		i++
+		return NewView("item", ""), nil
+	})
+}
+func (counterViews) Finite() bool { return false }
+func (counterViews) Len() int     { return LenUnknown }
+
+func TestInfiniteViewsCollectLimited(t *testing.T) {
+	col := counterViews{}
+	if col.Finite() {
+		t.Fatal("counterViews must be infinite")
+	}
+	got, err := CollectViews(col, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 50 {
+		t.Errorf("collected %d views, want 50", len(got))
+	}
+}
+
+func TestFuncViews(t *testing.T) {
+	calls := 0
+	col := FuncViews(func() ViewIter {
+		calls++
+		return &sliceIter{views: namedViews("x")}
+	}, true, 1)
+	CollectViews(col, 0)
+	CollectViews(col, 0)
+	if calls != 2 {
+		t.Errorf("generator called %d times, want 2", calls)
+	}
+}
+
+func TestCheckGroupInvariant(t *testing.T) {
+	shared := NewView("shared", "")
+	bad := Group{
+		Set: SliceViews(shared, NewView("a", "")),
+		Seq: SliceViews(NewView("b", ""), shared),
+	}
+	if err := CheckGroupInvariant(bad, 0); err == nil {
+		t.Error("S ∩ Q ≠ ∅ accepted")
+	}
+	good := Group{
+		Set: SliceViews(namedViews("a", "b")...),
+		Seq: SliceViews(namedViews("c")...),
+	}
+	if err := CheckGroupInvariant(good, 0); err != nil {
+		t.Errorf("disjoint group rejected: %v", err)
+	}
+	if err := CheckGroupInvariant(EmptyGroup(), 0); err != nil {
+		t.Errorf("empty group rejected: %v", err)
+	}
+}
+
+func TestCheckGroupInvariantInfinite(t *testing.T) {
+	// Infinite collections are probed, not drained.
+	g := Group{Set: counterViews{}, Seq: SliceViews(namedViews("q")...)}
+	if err := CheckGroupInvariant(g, 10); err != nil {
+		t.Errorf("infinite set probe failed: %v", err)
+	}
+}
+
+func TestChainIterPropagatesError(t *testing.T) {
+	boom := io.ErrUnexpectedEOF
+	bad := FuncViews(func() ViewIter {
+		return IterFunc(func() (ResourceView, error) { return nil, boom })
+	}, true, LenUnknown)
+	g := Group{Set: bad, Seq: NoViews()}
+	if _, err := CollectIter(g.Iter(), 0); err != boom {
+		t.Errorf("err = %v, want %v", err, boom)
+	}
+}
+
+// Property: collecting a group built from disjoint slices preserves count
+// and the disjointness invariant holds.
+func TestGroupInvariantPropertyQuick(t *testing.T) {
+	f := func(nSet, nSeq uint8) bool {
+		s := make([]ResourceView, nSet%32)
+		for i := range s {
+			s[i] = NewView("s", "")
+		}
+		q := make([]ResourceView, nSeq%32)
+		for i := range q {
+			q[i] = NewView("q", "")
+		}
+		g := Group{Set: SliceViews(s...), Seq: SliceViews(q...)}
+		if err := CheckGroupInvariant(g, 0); err != nil {
+			return false
+		}
+		all, err := CollectIter(g.Iter(), 0)
+		return err == nil && len(all) == len(s)+len(q)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Attribute names a role played by a domain in a schema, per Definition 1
+// of the paper: a schema W = <a_1, ..., a_k> is a sequence of attributes,
+// where each attribute is the name of a role played by some domain D_j.
+type Attribute struct {
+	Name   string
+	Domain Domain
+}
+
+// Schema is an ordered sequence of attributes. Unlike the classical
+// relational model, iDM defines a schema per tuple (each resource view
+// carries its own τ = (W, T)); resource view classes reintroduce shared
+// schemas across sets of views.
+type Schema []Attribute
+
+// String renders the schema as "<name: domain, ...>".
+func (s Schema) String() string {
+	var b strings.Builder
+	b.WriteByte('<')
+	for i, a := range s {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s: %s", a.Name, a.Domain)
+	}
+	b.WriteByte('>')
+	return b.String()
+}
+
+// IndexOf returns the position of the attribute with the given name, or
+// -1 when the schema has no such attribute. Attribute names compare
+// case-insensitively, matching iQL's treatment of attribute identifiers.
+func (s Schema) IndexOf(name string) int {
+	for i, a := range s {
+		if strings.EqualFold(a.Name, name) {
+			return i
+		}
+	}
+	return -1
+}
+
+// Equal reports whether two schemas have the same attributes, names and
+// domains, in the same order.
+func (s Schema) Equal(o Schema) bool {
+	if len(s) != len(o) {
+		return false
+	}
+	for i := range s {
+		if s[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Tuple is a sequence of atomic values conforming positionally to a
+// schema.
+type Tuple []Value
+
+// TupleComponent is the τ component of a resource view: a 2-tuple (W, T)
+// of a schema and one single tuple that conforms to it. The zero
+// TupleComponent is the empty tuple component ().
+type TupleComponent struct {
+	Schema Schema
+	Tuple  Tuple
+}
+
+// EmptyTuple returns the empty tuple component ().
+func EmptyTuple() TupleComponent { return TupleComponent{} }
+
+// IsEmpty reports whether the tuple component is the empty 2-tuple.
+func (t TupleComponent) IsEmpty() bool {
+	return len(t.Schema) == 0 && len(t.Tuple) == 0
+}
+
+// Validate checks that the tuple conforms to the schema: same arity, and
+// every non-null value drawn from its attribute's domain (integers are
+// also accepted where floats are expected).
+func (t TupleComponent) Validate() error {
+	if len(t.Schema) != len(t.Tuple) {
+		return fmt.Errorf("core: tuple arity %d does not match schema arity %d",
+			len(t.Tuple), len(t.Schema))
+	}
+	for i, v := range t.Tuple {
+		if v.IsNull() {
+			continue
+		}
+		want := t.Schema[i].Domain
+		if v.Kind == want {
+			continue
+		}
+		if want == DomainFloat && v.Kind == DomainInt {
+			continue
+		}
+		return fmt.Errorf("core: attribute %q expects domain %s, got %s",
+			t.Schema[i].Name, want, v.Kind)
+	}
+	return nil
+}
+
+// Get returns the value of the named attribute and whether the attribute
+// exists in the schema.
+func (t TupleComponent) Get(name string) (Value, bool) {
+	i := t.Schema.IndexOf(name)
+	if i < 0 || i >= len(t.Tuple) {
+		return Value{}, false
+	}
+	return t.Tuple[i], true
+}
+
+// String renders the tuple component as "(W, T)"; the empty component
+// renders as "()".
+func (t TupleComponent) String() string {
+	if t.IsEmpty() {
+		return "()"
+	}
+	var b strings.Builder
+	b.WriteByte('(')
+	b.WriteString(t.Schema.String())
+	b.WriteString(", <")
+	for i, v := range t.Tuple {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(v.String())
+	}
+	b.WriteString(">)")
+	return b.String()
+}

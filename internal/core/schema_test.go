@@ -1,0 +1,114 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+func fsTuple(size int64, ctime, mtime time.Time) TupleComponent {
+	return TupleComponent{
+		Schema: FSSchema,
+		Tuple:  Tuple{Int(size), Time(ctime), Time(mtime)},
+	}
+}
+
+func TestSchemaIndexOfCaseInsensitive(t *testing.T) {
+	s := Schema{{Name: "Size", Domain: DomainInt}, {Name: "lastModified", Domain: DomainTime}}
+	if i := s.IndexOf("size"); i != 0 {
+		t.Errorf("IndexOf(size) = %d, want 0", i)
+	}
+	if i := s.IndexOf("LASTMODIFIED"); i != 1 {
+		t.Errorf("IndexOf(LASTMODIFIED) = %d, want 1", i)
+	}
+	if i := s.IndexOf("missing"); i != -1 {
+		t.Errorf("IndexOf(missing) = %d, want -1", i)
+	}
+}
+
+func TestSchemaEqual(t *testing.T) {
+	a := Schema{{Name: "x", Domain: DomainInt}}
+	b := Schema{{Name: "x", Domain: DomainInt}}
+	c := Schema{{Name: "x", Domain: DomainString}}
+	if !a.Equal(b) {
+		t.Error("identical schemas should be equal")
+	}
+	if a.Equal(c) {
+		t.Error("schemas with different domains must differ")
+	}
+	if a.Equal(append(b, Attribute{Name: "y", Domain: DomainInt})) {
+		t.Error("schemas with different arity must differ")
+	}
+}
+
+func TestTupleComponentEmpty(t *testing.T) {
+	if !EmptyTuple().IsEmpty() {
+		t.Error("EmptyTuple should be empty")
+	}
+	if EmptyTuple().String() != "()" {
+		t.Errorf("empty tuple renders %q, want ()", EmptyTuple().String())
+	}
+	tc := fsTuple(1, time.Now(), time.Now())
+	if tc.IsEmpty() {
+		t.Error("non-empty tuple reported empty")
+	}
+}
+
+func TestTupleComponentValidate(t *testing.T) {
+	now := time.Now()
+	good := fsTuple(4096, now, now)
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid tuple rejected: %v", err)
+	}
+
+	arity := TupleComponent{Schema: FSSchema, Tuple: Tuple{Int(1)}}
+	if err := arity.Validate(); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+
+	wrongDomain := TupleComponent{
+		Schema: FSSchema,
+		Tuple:  Tuple{String("big"), Time(now), Time(now)},
+	}
+	if err := wrongDomain.Validate(); err == nil {
+		t.Error("domain mismatch accepted")
+	}
+
+	withNull := TupleComponent{
+		Schema: FSSchema,
+		Tuple:  Tuple{Null(), Time(now), Time(now)},
+	}
+	if err := withNull.Validate(); err != nil {
+		t.Errorf("null value rejected: %v", err)
+	}
+
+	intForFloat := TupleComponent{
+		Schema: Schema{{Name: "w", Domain: DomainFloat}},
+		Tuple:  Tuple{Int(3)},
+	}
+	if err := intForFloat.Validate(); err != nil {
+		t.Errorf("int-for-float coercion rejected: %v", err)
+	}
+}
+
+func TestTupleComponentGet(t *testing.T) {
+	now := time.Date(2005, 9, 22, 16, 14, 0, 0, time.UTC)
+	tc := fsTuple(4096, now, now)
+	v, ok := tc.Get("size")
+	if !ok || v.Int != 4096 {
+		t.Errorf("Get(size) = %v, %v; want 4096, true", v, ok)
+	}
+	if _, ok := tc.Get("owner"); ok {
+		t.Error("Get(owner) should report missing")
+	}
+}
+
+func TestTupleComponentString(t *testing.T) {
+	tc := TupleComponent{
+		Schema: Schema{{Name: "size", Domain: DomainInt}},
+		Tuple:  Tuple{Int(7)},
+	}
+	want := "(<size: int>, <7>)"
+	if got := tc.String(); got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}

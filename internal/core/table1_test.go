@@ -1,0 +1,157 @@
+package core
+
+// Systematic conformance tests for every resource view class of Table 1
+// of the paper: for each class, a canonical instance that must conform
+// and a perturbed instance that must be rejected.
+
+import (
+	"testing"
+	"time"
+)
+
+func table1FSTuple() TupleComponent {
+	now := time.Date(2005, 3, 19, 11, 54, 0, 0, time.UTC)
+	return TupleComponent{
+		Schema: FSSchema,
+		Tuple:  Tuple{Int(4096), Time(now), Time(now)},
+	}
+}
+
+func relTuple() *StaticView {
+	return (&StaticView{VClass: ClassTuple}).WithTuple(TupleComponent{
+		Schema: Schema{{Name: "id", Domain: DomainInt}},
+		Tuple:  Tuple{Int(1)},
+	})
+}
+
+func xmlTextView(s string) *StaticView {
+	return (&StaticView{VClass: ClassXMLText}).WithContent(StringContent(s))
+}
+
+func xmlElemView(name string, children ...ResourceView) *StaticView {
+	v := NewView(name, ClassXMLElem)
+	if len(children) > 0 {
+		v.VGroup = SeqGroup(children...)
+	}
+	return v
+}
+
+func xmlDocView() *StaticView {
+	return (&StaticView{VClass: ClassXMLDoc}).
+		WithGroup(SeqGroup(xmlElemView("root", xmlTextView("x"))))
+}
+
+func TestTable1Conformance(t *testing.T) {
+	reg := StandardRegistry()
+	infiniteTuples := Group{Set: NoViews(), Seq: infiniteTupleViews{}}
+	infiniteDocs := Group{Set: NoViews(), Seq: FuncViews(func() ViewIter {
+		return IterFunc(func() (ResourceView, error) { return xmlDocView(), nil })
+	}, false, LenUnknown)}
+
+	cases := []struct {
+		class string
+		good  ResourceView
+		bad   ResourceView
+		why   string
+	}{
+		{
+			class: ClassFile,
+			good: NewView("a.txt", ClassFile).WithTuple(table1FSTuple()).
+				WithContent(StringContent("bytes")),
+			bad: (&StaticView{VClass: ClassFile}).WithTuple(table1FSTuple()),
+			why: "file needs a name N_f",
+		},
+		{
+			class: ClassFolder,
+			good: NewView("dir", ClassFolder).WithTuple(table1FSTuple()).
+				WithGroup(SetGroup(NewView("f.txt", ClassFile).
+					WithTuple(table1FSTuple()).WithContent(StringContent("x")))),
+			bad: NewView("dir", ClassFolder).WithTuple(table1FSTuple()).
+				WithContent(StringContent("folders have no content")),
+			why: "folder χ must be empty",
+		},
+		{
+			class: ClassTuple,
+			good:  relTuple(),
+			bad:   NewView("named", ClassTuple).WithTuple(relTuple().VTuple),
+			why:   "tuple views are nameless",
+		},
+		{
+			class: ClassRelation,
+			good: NewView("contacts", ClassRelation).
+				WithGroup(SetGroup(relTuple(), relTuple())),
+			bad: NewView("contacts", ClassRelation).
+				WithGroup(SetGroup(xmlTextView("not a tuple"))),
+			why: "relation children must be tuple-class",
+		},
+		{
+			class: ClassRelDB,
+			good: NewView("db", ClassRelDB).
+				WithGroup(SetGroup(NewView("r", ClassRelation).WithGroup(SetGroup(relTuple())))),
+			bad: NewView("db", ClassRelDB).
+				WithGroup(SetGroup(relTuple())),
+			why: "reldb children must be relations",
+		},
+		{
+			class: ClassXMLText,
+			good:  xmlTextView("chars"),
+			bad:   &StaticView{VClass: ClassXMLText},
+			why:   "xmltext needs non-empty χ",
+		},
+		{
+			class: ClassXMLElem,
+			good:  xmlElemView("dep", xmlTextView("x"), xmlElemView("leaf")),
+			bad: NewView("dep", ClassXMLElem).
+				WithGroup(SetGroup(xmlTextView("x"))),
+			why: "xmlelem children live in the ordered sequence Q, not S",
+		},
+		{
+			class: ClassXMLDoc,
+			good:  xmlDocView(),
+			bad:   &StaticView{VClass: ClassXMLDoc},
+			why:   "xmldoc needs its root element in Q",
+		},
+		{
+			class: ClassXMLFile,
+			good: NewView("a.xml", ClassXMLFile).WithTuple(table1FSTuple()).
+				WithContent(StringContent("<a/>")).
+				WithGroup(SeqGroup(xmlDocView())),
+			bad: NewView("a.xml", ClassXMLFile).WithTuple(table1FSTuple()).
+				WithContent(StringContent("<a/>")).
+				WithGroup(SeqGroup(xmlElemView("a"))),
+			why: "xmlfile's Q must hold an xmldoc, not a bare element",
+		},
+		{
+			class: ClassDatStream,
+			good:  (&StaticView{VClass: ClassDatStream}).WithGroup(infiniteTuples),
+			bad: (&StaticView{VClass: ClassDatStream}).
+				WithGroup(SeqGroup(relTuple())),
+			why: "datstream sequences are infinite",
+		},
+		{
+			class: ClassTupStream,
+			good:  (&StaticView{VClass: ClassTupStream}).WithGroup(infiniteTuples),
+			bad: (&StaticView{VClass: ClassTupStream}).WithGroup(Group{
+				Set: NoViews(),
+				Seq: FuncViews(func() ViewIter {
+					return IterFunc(func() (ResourceView, error) { return xmlTextView("x"), nil })
+				}, false, LenUnknown),
+			}),
+			why: "tupstream items must be tuples",
+		},
+		{
+			class: ClassRSSAtom,
+			good:  (&StaticView{VClass: ClassRSSAtom}).WithGroup(infiniteDocs),
+			bad:   (&StaticView{VClass: ClassRSSAtom}).WithGroup(infiniteTuples),
+			why:   "rssatom items must be xml documents",
+		},
+	}
+	for _, c := range cases {
+		if err := reg.Conforms(c.good, c.class, 8); err != nil {
+			t.Errorf("canonical %s rejected: %v", c.class, err)
+		}
+		if err := reg.Conforms(c.bad, c.class, 8); err == nil {
+			t.Errorf("%s: perturbed instance accepted (%s)", c.class, c.why)
+		}
+	}
+}

@@ -1,0 +1,212 @@
+// Package core implements the iMeMex Data Model (iDM) as defined in
+// "iDM: A Unified and Versatile Data Model for Personal Dataspace
+// Management" (Dittrich and Vaz Salles, VLDB 2006).
+//
+// The central abstraction is the ResourceView: a 4-tuple of a name
+// component, a tuple component, a content component and a group
+// component. Resource views are linked into arbitrary directed graphs by
+// their group components, and every component may be computed lazily,
+// may be intensional (the result of running a query or calling a remote
+// service) and — for content and group — may be infinite.
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+)
+
+// Domain identifies the set of atomic values an attribute ranges over.
+// Domains follow the relational definitions the paper adopts from
+// Elmasri/Navathe: a domain is a set of atomic values.
+type Domain int
+
+// The atomic domains supported by tuple components.
+const (
+	DomainNull Domain = iota
+	DomainString
+	DomainInt
+	DomainFloat
+	DomainBool
+	DomainTime
+	DomainBytes
+)
+
+// String returns the conventional lower-case name of the domain.
+func (d Domain) String() string {
+	switch d {
+	case DomainNull:
+		return "null"
+	case DomainString:
+		return "string"
+	case DomainInt:
+		return "int"
+	case DomainFloat:
+		return "float"
+	case DomainBool:
+		return "bool"
+	case DomainTime:
+		return "date"
+	case DomainBytes:
+		return "bytes"
+	default:
+		return fmt.Sprintf("domain(%d)", int(d))
+	}
+}
+
+// Value is one atomic value of a tuple component. It is a tagged union:
+// Kind selects which of the payload fields is meaningful. The zero Value
+// is the null value.
+type Value struct {
+	Kind  Domain
+	Str   string
+	Int   int64
+	Float float64
+	Bool  bool
+	Time  time.Time
+	Bytes []byte
+}
+
+// Null returns the null value.
+func Null() Value { return Value{} }
+
+// String wraps s as a string value.
+func String(s string) Value { return Value{Kind: DomainString, Str: s} }
+
+// Int wraps i as an integer value.
+func Int(i int64) Value { return Value{Kind: DomainInt, Int: i} }
+
+// Float wraps f as a floating-point value.
+func Float(f float64) Value { return Value{Kind: DomainFloat, Float: f} }
+
+// Bool wraps b as a boolean value.
+func Bool(b bool) Value { return Value{Kind: DomainBool, Bool: b} }
+
+// Time wraps t as a date value.
+func Time(t time.Time) Value { return Value{Kind: DomainTime, Time: t} }
+
+// BytesValue wraps b as a byte-string value. The slice is not copied.
+func BytesValue(b []byte) Value { return Value{Kind: DomainBytes, Bytes: b} }
+
+// IsNull reports whether v is the null value.
+func (v Value) IsNull() bool { return v.Kind == DomainNull }
+
+// String renders the value for display and for content-style matching.
+func (v Value) String() string {
+	switch v.Kind {
+	case DomainNull:
+		return "null"
+	case DomainString:
+		return v.Str
+	case DomainInt:
+		return strconv.FormatInt(v.Int, 10)
+	case DomainFloat:
+		return strconv.FormatFloat(v.Float, 'g', -1, 64)
+	case DomainBool:
+		return strconv.FormatBool(v.Bool)
+	case DomainTime:
+		return v.Time.Format("2006-01-02 15:04:05")
+	case DomainBytes:
+		return string(v.Bytes)
+	default:
+		return fmt.Sprintf("value(kind=%d)", int(v.Kind))
+	}
+}
+
+// AsFloat converts numeric values to float64 for mixed-type comparison.
+func (v Value) AsFloat() (float64, bool) {
+	switch v.Kind {
+	case DomainInt:
+		return float64(v.Int), true
+	case DomainFloat:
+		return v.Float, true
+	default:
+		return 0, false
+	}
+}
+
+// ErrIncomparable is returned by Compare when two values cannot be
+// ordered relative to each other.
+var ErrIncomparable = fmt.Errorf("core: values are not comparable")
+
+// Compare orders two values. It returns a negative number, zero, or a
+// positive number as a sorts before, equal to, or after b. Integers and
+// floats compare numerically against each other. Null sorts before every
+// non-null value and equal to itself. Values of unrelated domains return
+// ErrIncomparable.
+func Compare(a, b Value) (int, error) {
+	if a.Kind == DomainNull || b.Kind == DomainNull {
+		switch {
+		case a.Kind == b.Kind:
+			return 0, nil
+		case a.Kind == DomainNull:
+			return -1, nil
+		default:
+			return 1, nil
+		}
+	}
+	if af, ok := a.AsFloat(); ok {
+		if bf, ok := b.AsFloat(); ok {
+			switch {
+			case af < bf:
+				return -1, nil
+			case af > bf:
+				return 1, nil
+			default:
+				return 0, nil
+			}
+		}
+		return 0, ErrIncomparable
+	}
+	if a.Kind != b.Kind {
+		return 0, ErrIncomparable
+	}
+	switch a.Kind {
+	case DomainString:
+		switch {
+		case a.Str < b.Str:
+			return -1, nil
+		case a.Str > b.Str:
+			return 1, nil
+		default:
+			return 0, nil
+		}
+	case DomainBool:
+		switch {
+		case a.Bool == b.Bool:
+			return 0, nil
+		case !a.Bool:
+			return -1, nil
+		default:
+			return 1, nil
+		}
+	case DomainTime:
+		switch {
+		case a.Time.Before(b.Time):
+			return -1, nil
+		case a.Time.After(b.Time):
+			return 1, nil
+		default:
+			return 0, nil
+		}
+	case DomainBytes:
+		as, bs := string(a.Bytes), string(b.Bytes)
+		switch {
+		case as < bs:
+			return -1, nil
+		case as > bs:
+			return 1, nil
+		default:
+			return 0, nil
+		}
+	default:
+		return 0, ErrIncomparable
+	}
+}
+
+// Equal reports whether two values are equal under Compare semantics.
+// Incomparable values are never equal.
+func Equal(a, b Value) bool {
+	c, err := Compare(a, b)
+	return err == nil && c == 0
+}

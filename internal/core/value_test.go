@@ -1,0 +1,190 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestValueConstructorsAndString(t *testing.T) {
+	ts := time.Date(2005, 3, 19, 11, 54, 0, 0, time.UTC)
+	cases := []struct {
+		v    Value
+		kind Domain
+		str  string
+	}{
+		{Null(), DomainNull, "null"},
+		{String("PIM"), DomainString, "PIM"},
+		{Int(4096), DomainInt, "4096"},
+		{Float(2.5), DomainFloat, "2.5"},
+		{Bool(true), DomainBool, "true"},
+		{Time(ts), DomainTime, "2005-03-19 11:54:00"},
+		{BytesValue([]byte("abc")), DomainBytes, "abc"},
+	}
+	for _, c := range cases {
+		if c.v.Kind != c.kind {
+			t.Errorf("kind of %v: got %v, want %v", c.v, c.v.Kind, c.kind)
+		}
+		if got := c.v.String(); got != c.str {
+			t.Errorf("String() of kind %v: got %q, want %q", c.kind, got, c.str)
+		}
+	}
+}
+
+func TestValueIsNull(t *testing.T) {
+	if !Null().IsNull() {
+		t.Error("Null().IsNull() = false")
+	}
+	if String("").IsNull() {
+		t.Error("String(\"\").IsNull() = true")
+	}
+}
+
+func TestCompareNumericCrossDomain(t *testing.T) {
+	c, err := Compare(Int(3), Float(3.5))
+	if err != nil || c >= 0 {
+		t.Errorf("Compare(3, 3.5) = %d, %v; want negative, nil", c, err)
+	}
+	c, err = Compare(Float(4.0), Int(4))
+	if err != nil || c != 0 {
+		t.Errorf("Compare(4.0, 4) = %d, %v; want 0, nil", c, err)
+	}
+}
+
+func TestCompareStrings(t *testing.T) {
+	for _, tc := range []struct {
+		a, b string
+		want int
+	}{
+		{"a", "b", -1}, {"b", "a", 1}, {"a", "a", 0},
+	} {
+		c, err := Compare(String(tc.a), String(tc.b))
+		if err != nil {
+			t.Fatalf("Compare(%q, %q): %v", tc.a, tc.b, err)
+		}
+		if sign(c) != tc.want {
+			t.Errorf("Compare(%q, %q) = %d, want sign %d", tc.a, tc.b, c, tc.want)
+		}
+	}
+}
+
+func TestCompareTimes(t *testing.T) {
+	early := Time(time.Date(2005, 6, 12, 0, 0, 0, 0, time.UTC))
+	late := Time(time.Date(2005, 9, 22, 16, 14, 0, 0, time.UTC))
+	if c, _ := Compare(early, late); c >= 0 {
+		t.Errorf("early vs late = %d, want negative", c)
+	}
+	if c, _ := Compare(late, early); c <= 0 {
+		t.Errorf("late vs early = %d, want positive", c)
+	}
+	if c, _ := Compare(early, early); c != 0 {
+		t.Errorf("early vs early = %d, want 0", c)
+	}
+}
+
+func TestCompareBools(t *testing.T) {
+	if c, _ := Compare(Bool(false), Bool(true)); c >= 0 {
+		t.Error("false should sort before true")
+	}
+	if c, _ := Compare(Bool(true), Bool(true)); c != 0 {
+		t.Error("true should equal true")
+	}
+}
+
+func TestCompareBytes(t *testing.T) {
+	if c, _ := Compare(BytesValue([]byte("aa")), BytesValue([]byte("ab"))); c >= 0 {
+		t.Error("byte strings should compare lexicographically")
+	}
+}
+
+func TestCompareNullOrdering(t *testing.T) {
+	if c, _ := Compare(Null(), Int(0)); c >= 0 {
+		t.Error("null should sort before any non-null value")
+	}
+	if c, _ := Compare(Int(0), Null()); c <= 0 {
+		t.Error("non-null should sort after null")
+	}
+	if c, _ := Compare(Null(), Null()); c != 0 {
+		t.Error("null should equal null")
+	}
+}
+
+func TestCompareIncomparable(t *testing.T) {
+	pairs := [][2]Value{
+		{String("a"), Int(1)},
+		{Bool(true), Float(1)},
+		{Time(time.Now()), String("now")},
+	}
+	for _, p := range pairs {
+		if _, err := Compare(p[0], p[1]); err != ErrIncomparable {
+			t.Errorf("Compare(%v, %v): err = %v, want ErrIncomparable", p[0], p[1], err)
+		}
+	}
+}
+
+func TestEqual(t *testing.T) {
+	if !Equal(Int(5), Float(5)) {
+		t.Error("5 should equal 5.0")
+	}
+	if Equal(String("x"), Int(1)) {
+		t.Error("incomparable values must not be equal")
+	}
+}
+
+// Property: Compare over int values is antisymmetric and consistent with
+// native ordering.
+func TestCompareIntPropertyQuick(t *testing.T) {
+	f := func(a, b int64) bool {
+		c1, err1 := Compare(Int(a), Int(b))
+		c2, err2 := Compare(Int(b), Int(a))
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		if sign(c1) != -sign(c2) {
+			return false
+		}
+		switch {
+		case a < b:
+			return c1 < 0
+		case a > b:
+			return c1 > 0
+		default:
+			return c1 == 0
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: string comparison agrees with Go's native string ordering.
+func TestCompareStringPropertyQuick(t *testing.T) {
+	f := func(a, b string) bool {
+		c, err := Compare(String(a), String(b))
+		if err != nil {
+			return false
+		}
+		switch {
+		case a < b:
+			return c < 0
+		case a > b:
+			return c > 0
+		default:
+			return c == 0
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func sign(x int) int {
+	switch {
+	case x < 0:
+		return -1
+	case x > 0:
+		return 1
+	default:
+		return 0
+	}
+}

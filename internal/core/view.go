@@ -1,0 +1,219 @@
+package core
+
+import "sync"
+
+// ResourceView is the central abstraction of iDM (Definition 1): a
+// 4-tuple (η, τ, χ, γ) of a name component, a tuple component, a content
+// component and a group component. Following §4.1 of the paper, a
+// resource view is modelled as an interface of get-methods so that every
+// component may be computed lazily — each implementation hides how, when
+// and where its components are computed.
+//
+// Class returns the name of the resource view class the view obeys to, or
+// "" for class-less views (iDM supports schema-later and schema-never
+// modelling). Conceptually the class tag is catalog metadata rather than
+// a fifth component; it is carried on the view for convenient evaluation
+// of iQL class predicates.
+//
+// Implementations must be pointer-shaped (comparable by identity): graph
+// algorithms use the view value itself as a map key for cycle detection.
+type ResourceView interface {
+	// Name returns the η component, a finite string.
+	Name() string
+	// Tuple returns the τ component, a (schema, tuple) pair.
+	Tuple() TupleComponent
+	// Content returns the χ component. Implementations may return nil
+	// for the empty content component.
+	Content() Content
+	// Group returns the γ component. Implementations may return the
+	// zero Group for the empty group component.
+	Group() Group
+	// Class returns the resource view class name, or "".
+	Class() string
+}
+
+// StaticView is a fully materialized (extensional) resource view. Its
+// fields may be set directly; the zero StaticView is the view with four
+// empty components and no class.
+type StaticView struct {
+	VName    string
+	VTuple   TupleComponent
+	VContent Content
+	VGroup   Group
+	VClass   string
+}
+
+// NewView builds a static view with the given name and class and empty
+// remaining components.
+func NewView(name, class string) *StaticView {
+	return &StaticView{VName: name, VClass: class}
+}
+
+// Name implements ResourceView.
+func (v *StaticView) Name() string { return v.VName }
+
+// Tuple implements ResourceView.
+func (v *StaticView) Tuple() TupleComponent { return v.VTuple }
+
+// Content implements ResourceView.
+func (v *StaticView) Content() Content {
+	if v.VContent == nil {
+		return EmptyContent()
+	}
+	return v.VContent
+}
+
+// Group implements ResourceView.
+func (v *StaticView) Group() Group { return v.VGroup }
+
+// Class implements ResourceView.
+func (v *StaticView) Class() string { return v.VClass }
+
+// WithTuple sets the tuple component and returns the view for chaining.
+func (v *StaticView) WithTuple(t TupleComponent) *StaticView {
+	v.VTuple = t
+	return v
+}
+
+// WithContent sets the content component and returns the view.
+func (v *StaticView) WithContent(c Content) *StaticView {
+	v.VContent = c
+	return v
+}
+
+// WithGroup sets the group component and returns the view.
+func (v *StaticView) WithGroup(g Group) *StaticView {
+	v.VGroup = g
+	return v
+}
+
+// LazyView computes components on demand through supplier functions and
+// memoizes the result, implementing the intensional resource views of
+// §4.3: a supplier may run a query, call a remote service or parse file
+// content, and does so at most once per view. Nil suppliers yield the
+// corresponding empty component.
+//
+// LazyView is safe for concurrent use.
+type LazyView struct {
+	VName  string
+	VClass string
+
+	TupleFn   func() TupleComponent
+	ContentFn func() Content
+	GroupFn   func() Group
+
+	tupleOnce   sync.Once
+	tuple       TupleComponent
+	contentOnce sync.Once
+	content     Content
+	groupOnce   sync.Once
+	group       Group
+}
+
+// Name implements ResourceView.
+func (v *LazyView) Name() string { return v.VName }
+
+// Class implements ResourceView.
+func (v *LazyView) Class() string { return v.VClass }
+
+// Tuple implements ResourceView, invoking TupleFn at most once.
+func (v *LazyView) Tuple() TupleComponent {
+	v.tupleOnce.Do(func() {
+		if v.TupleFn != nil {
+			v.tuple = v.TupleFn()
+		}
+	})
+	return v.tuple
+}
+
+// Content implements ResourceView, invoking ContentFn at most once.
+func (v *LazyView) Content() Content {
+	v.contentOnce.Do(func() {
+		if v.ContentFn != nil {
+			v.content = v.ContentFn()
+		}
+		if v.content == nil {
+			v.content = EmptyContent()
+		}
+	})
+	return v.content
+}
+
+// Group implements ResourceView, invoking GroupFn at most once.
+func (v *LazyView) Group() Group {
+	v.groupOnce.Do(func() {
+		if v.GroupFn != nil {
+			v.group = v.GroupFn()
+		}
+		if v.group.Set == nil {
+			v.group.Set = NoViews()
+		}
+		if v.group.Seq == nil {
+			v.group.Seq = NoViews()
+		}
+	})
+	return v.group
+}
+
+// DynamicView computes components on demand through supplier functions
+// without memoizing: every access re-invokes the supplier. Use it for
+// views over mutable subsystems (a folder whose children change, an
+// INBOX whose window moves) where the freshest state must be observed on
+// each access; use LazyView when the computed component is immutable.
+// Nil suppliers yield the corresponding empty component.
+type DynamicView struct {
+	VName  string
+	VClass string
+
+	TupleFn   func() TupleComponent
+	ContentFn func() Content
+	GroupFn   func() Group
+}
+
+// Name implements ResourceView.
+func (v *DynamicView) Name() string { return v.VName }
+
+// Class implements ResourceView.
+func (v *DynamicView) Class() string { return v.VClass }
+
+// Tuple implements ResourceView, re-invoking TupleFn on every call.
+func (v *DynamicView) Tuple() TupleComponent {
+	if v.TupleFn == nil {
+		return TupleComponent{}
+	}
+	return v.TupleFn()
+}
+
+// Content implements ResourceView, re-invoking ContentFn on every call.
+func (v *DynamicView) Content() Content {
+	if v.ContentFn == nil {
+		return EmptyContent()
+	}
+	if c := v.ContentFn(); c != nil {
+		return c
+	}
+	return EmptyContent()
+}
+
+// Group implements ResourceView, re-invoking GroupFn on every call.
+func (v *DynamicView) Group() Group {
+	if v.GroupFn == nil {
+		return EmptyGroup()
+	}
+	g := v.GroupFn()
+	if g.Set == nil {
+		g.Set = NoViews()
+	}
+	if g.Seq == nil {
+		g.Seq = NoViews()
+	}
+	return g
+}
+
+// NameOf returns v.Name, tolerating nil views.
+func NameOf(v ResourceView) string {
+	if v == nil {
+		return "<nil>"
+	}
+	return v.Name()
+}

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestStaticViewComponents(t *testing.T) {
+	now := time.Now()
+	v := NewView("PIM", ClassFolder).
+		WithTuple(fsTuple(4096, now, now)).
+		WithGroup(SetGroup(namedViews("vldb2006.tex", "Grant.doc")...))
+	if v.Name() != "PIM" || v.Class() != ClassFolder {
+		t.Errorf("name=%q class=%q", v.Name(), v.Class())
+	}
+	if size, ok := v.Tuple().Get("size"); !ok || size.Int != 4096 {
+		t.Errorf("size = %v, %v", size, ok)
+	}
+	if !IsEmptyContent(v.Content()) {
+		t.Error("folder content should be empty")
+	}
+	children, _ := Children(v)
+	if len(children) != 2 {
+		t.Errorf("children = %d, want 2", len(children))
+	}
+}
+
+func TestZeroStaticViewIsEmpty(t *testing.T) {
+	var v StaticView
+	if v.Name() != "" || !v.Tuple().IsEmpty() || !IsEmptyContent(v.Content()) || !v.Group().IsEmpty() {
+		t.Error("zero StaticView should have four empty components")
+	}
+}
+
+func TestLazyViewMemoization(t *testing.T) {
+	var tupleCalls, contentCalls, groupCalls int
+	v := &LazyView{
+		VName:  "lazy",
+		VClass: ClassFile,
+		TupleFn: func() TupleComponent {
+			tupleCalls++
+			return fsTuple(1, time.Now(), time.Now())
+		},
+		ContentFn: func() Content {
+			contentCalls++
+			return StringContent("bytes")
+		},
+		GroupFn: func() Group {
+			groupCalls++
+			return SeqGroup(namedViews("child")...)
+		},
+	}
+	for i := 0; i < 5; i++ {
+		v.Tuple()
+		v.Content()
+		v.Group()
+	}
+	if tupleCalls != 1 || contentCalls != 1 || groupCalls != 1 {
+		t.Errorf("supplier calls = %d/%d/%d, want 1/1/1", tupleCalls, contentCalls, groupCalls)
+	}
+}
+
+func TestLazyViewNilSuppliers(t *testing.T) {
+	v := &LazyView{VName: "empty"}
+	if !v.Tuple().IsEmpty() {
+		t.Error("nil TupleFn should yield empty tuple")
+	}
+	if !IsEmptyContent(v.Content()) {
+		t.Error("nil ContentFn should yield empty content")
+	}
+	if !v.Group().IsEmpty() {
+		t.Error("nil GroupFn should yield empty group")
+	}
+}
+
+func TestLazyViewConcurrentAccess(t *testing.T) {
+	calls := 0
+	v := &LazyView{
+		VName: "concurrent",
+		GroupFn: func() Group {
+			calls++
+			return SetGroup(namedViews("a", "b", "c")...)
+		},
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			g := v.Group()
+			if got, _ := CollectIter(g.Iter(), 0); len(got) != 3 {
+				t.Errorf("got %d children", len(got))
+			}
+		}()
+	}
+	wg.Wait()
+	if calls != 1 {
+		t.Errorf("GroupFn called %d times under concurrency, want 1", calls)
+	}
+}
+
+func TestNameOfNil(t *testing.T) {
+	if NameOf(nil) != "<nil>" {
+		t.Errorf("NameOf(nil) = %q", NameOf(nil))
+	}
+}

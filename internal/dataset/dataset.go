@@ -1,0 +1,562 @@
+// Package dataset generates a deterministic synthetic personal dataspace
+// shaped like the real dataset of §7.1 of the iDM paper: a filesystem
+// with folder hierarchies, LaTeX and XML documents (whose structural
+// content dominates the derived resource view counts, as in Table 2),
+// plain text and binary files, a remote-ish email store with folders,
+// messages and attachments, an RSS server, and a small relational
+// database.
+//
+// The paper evaluated on one author's personal files (4.2 GB, 14,297
+// files&folders, 282 LaTeX + 47 XML documents) and IMAP email (6,335
+// base items, 7 LaTeX + 13 XML attachments). Generate reproduces those
+// *ratios* at a configurable scale and plants the words and phrases the
+// evaluation queries (Table 4) search for, so Q1–Q8 have non-trivial
+// results with the paper's selectivity shape.
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/mail"
+	"repro/internal/relstore"
+	"repro/internal/rss"
+	"repro/internal/vfs"
+)
+
+// Config controls generation.
+type Config struct {
+	// Scale multiplies the paper's dataset shape; 1.0 reproduces the
+	// paper-scale counts (expensive), 0.02–0.1 suits tests and CI.
+	Scale float64
+	// Seed makes generation deterministic.
+	Seed int64
+	// MailLatency configures the simulated IMAP access cost.
+	MailLatency mail.Latency
+}
+
+// DefaultConfig is a CI-friendly scale.
+func DefaultConfig() Config { return Config{Scale: 0.05, Seed: 42} }
+
+// PaperConfig reproduces the paper's dataset shape at full scale.
+func PaperConfig() Config { return Config{Scale: 1.0, Seed: 42} }
+
+// Info reports what was generated.
+type Info struct {
+	Folders     int
+	Files       int
+	LatexDocs   int
+	XMLDocs     int
+	BinaryFiles int
+	Messages    int
+	Attachments int
+	MailFolders int
+	TexAttach   int
+	XMLAttach   int
+	FSBytes     int64
+	MailBytes   int64
+}
+
+// Dataset is a generated personal dataspace.
+type Dataset struct {
+	FS   *vfs.FS
+	Mail *mail.Store
+	RSS  *rss.Server
+	Rel  *relstore.DB
+	Info Info
+}
+
+// paper-scale shape constants (Table 2 and §7.1).
+const (
+	paperFiles      = 12870
+	paperLatexDocs  = 282
+	paperXMLDocs    = 47
+	paperMessages   = 5900
+	paperAttachMisc = 380
+	paperTexAttach  = 7
+	paperXMLAttach  = 13
+)
+
+func scaled(n int, s float64, min int) int {
+	v := int(float64(n) * s)
+	if v < min {
+		return min
+	}
+	return v
+}
+
+// Generate builds a dataset.
+func Generate(cfg Config) *Dataset {
+	if cfg.Scale <= 0 {
+		cfg.Scale = 0.05
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	clock := newClock()
+	d := &Dataset{
+		FS:   vfs.NewWithClock(clock.next),
+		Mail: mail.NewStore(),
+		RSS:  rss.NewServer(),
+		Rel:  relstore.NewDB("persdb"),
+	}
+	d.Mail.SetLatency(cfg.MailLatency)
+
+	g := &generator{cfg: cfg, rng: rng, d: d, clock: clock}
+	g.buildFilesystem()
+	g.buildMail()
+	g.buildRSS()
+	g.buildRelational()
+	return d
+}
+
+// clock produces deterministic, strictly increasing timestamps in the
+// paper's era (2004–2005).
+type clock struct{ t time.Time }
+
+func newClock() *clock {
+	return &clock{t: time.Date(2004, 1, 5, 8, 0, 0, 0, time.UTC)}
+}
+
+func (c *clock) next() time.Time {
+	c.t = c.t.Add(137 * time.Second)
+	return c.t
+}
+
+type generator struct {
+	cfg   Config
+	rng   *rand.Rand
+	d     *Dataset
+	clock *clock
+}
+
+// --- text generation -----------------------------------------------------
+
+// words produces n random vocabulary words, planting "database" with
+// ~4% probability per word and the "database tuning" phrase rarely.
+func (g *generator) words(n int, theme string) string {
+	var b strings.Builder
+	themed := themedWords[theme]
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		switch r := g.rng.Float64(); {
+		case r < 0.0001:
+			b.WriteString(phraseDBTuning)
+		case r < 0.008:
+			b.WriteString(wordDatabase)
+		case r < 0.0085:
+			b.WriteString(phraseKnuth)
+		case r < 0.06 && len(themed) > 0:
+			b.WriteString(themed[g.rng.Intn(len(themed))])
+		default:
+			b.WriteString(commonWords[g.rng.Intn(len(commonWords))])
+		}
+	}
+	return b.String()
+}
+
+// latexDoc builds a LaTeX document with roughly nodesTarget structural
+// nodes (the paper derives ~41 views per LaTeX document on average).
+type latexOpts struct {
+	theme string
+	// plantFranklinVision adds a "* Vision" section containing Franklin
+	// (Q4); plantConclusionSystems plants "systems" in the Conclusion
+	// (Q5); plantDocuments sprinkles "documents" (Q6); figures with
+	// "Indexing time" captions serve example Query 2 and Q7.
+	plantFranklinVision    bool
+	plantConclusionSystems bool
+	plantDocuments         bool
+	plantIndexTimeFigure   bool
+	plantFranklinIntro     bool
+	figures                int
+	sections               int
+}
+
+func (g *generator) latexDoc(o latexOpts) string {
+	if o.sections <= 0 {
+		o.sections = 4 + g.rng.Intn(4)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "\\documentclass{article}\n\\title{%s}\n", strings.Title(g.words(4, o.theme)))
+	b.WriteString("\\begin{document}\n\\begin{abstract}\n")
+	b.WriteString(g.words(80, o.theme))
+	b.WriteString("\n\\end{abstract}\n")
+
+	figCount := 0
+	writeFigure := func(caption string) {
+		figCount++
+		fmt.Fprintf(&b, "\\begin{figure}\n\\caption{%s}\n\\label{fig:%s%d}\n\\end{figure}\n",
+			caption, strings.ToLower(o.theme), figCount)
+	}
+	for i := 0; i < o.sections; i++ {
+		title := sectionTitles[i%len(sectionTitles)]
+		fmt.Fprintf(&b, "\\section{%s}\n\\label{sec:s%d}\n", title, i)
+		text := g.words(70, o.theme)
+		if o.plantFranklinIntro && title == "Introduction" {
+			text += " as " + phraseFranklin + " argues in the dataspaces vision"
+		}
+		if o.plantDocuments {
+			text += " these " + wordDocuments + " matter"
+		}
+		b.WriteString(text)
+		b.WriteByte('\n')
+		// Subsections with text and occasional refs back to sections.
+		subs := 1 + g.rng.Intn(2)
+		for j := 0; j < subs; j++ {
+			fmt.Fprintf(&b, "\\subsection{%s}\n", subsectionTitles[(i+j)%len(subsectionTitles)])
+			b.WriteString(g.words(50, o.theme))
+			if figCount > 0 && g.rng.Float64() < 0.5 {
+				fmt.Fprintf(&b, " see Figure \\ref{fig:%s%d}", strings.ToLower(o.theme), 1+g.rng.Intn(figCount))
+			}
+			if i > 0 && g.rng.Float64() < 0.3 {
+				fmt.Fprintf(&b, " cf. Section \\ref{sec:s%d}", g.rng.Intn(i))
+			}
+			b.WriteByte('\n')
+		}
+		if o.figures > figCount && g.rng.Float64() < 0.7 {
+			caption := strings.Title(g.words(3, o.theme)) + " over " + g.words(2, o.theme)
+			if o.plantIndexTimeFigure && figCount == 0 {
+				caption = phraseIndexTime + " for the " + o.theme + " workload"
+			}
+			writeFigure(caption)
+		}
+	}
+	if o.plantIndexTimeFigure && figCount == 0 {
+		writeFigure(phraseIndexTime + " for the " + o.theme + " workload")
+	}
+	if o.plantFranklinVision {
+		b.WriteString("\\section{The Dataspace Vision}\n")
+		b.WriteString("Franklin, Halevy and Maier describe dataspaces; Franklin presents the vision.\n")
+	}
+	b.WriteString("\\section{Conclusion}\n")
+	concl := g.words(40, o.theme)
+	if o.plantConclusionSystems {
+		concl += " future " + wordSystems + " should adopt unified models for " + wordSystems
+	}
+	b.WriteString(concl)
+	b.WriteString("\n\\end{document}\n")
+	return b.String()
+}
+
+// xmlDoc builds an XML document with roughly the paper's ~2500 derived
+// views per document (scaled down below full scale to keep generation
+// cheap while preserving the XML≫LaTeX derived-view ratio).
+func (g *generator) xmlDoc(entries int, theme string) string {
+	var b strings.Builder
+	b.WriteString("<dataset>\n")
+	for i := 0; i < entries; i++ {
+		fmt.Fprintf(&b, "  <record id=\"%d\" kind=\"%s\">\n", i+1, themeOf(theme, i))
+		fmt.Fprintf(&b, "    <title>%s</title>\n", xmlEscape(strings.Title(g.words(3, theme))))
+		fmt.Fprintf(&b, "    <body>%s</body>\n", xmlEscape(g.words(8, theme)))
+		b.WriteString("  </record>\n")
+	}
+	b.WriteString("</dataset>\n")
+	return b.String()
+}
+
+func themeOf(theme string, i int) string {
+	if theme == "" {
+		return "misc"
+	}
+	return strings.ToLower(theme)
+}
+
+func xmlEscape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+// --- filesystem ----------------------------------------------------------
+
+var projectNames = []string{
+	"PIM", "OLAP", "XML", "Streams", "Indexing", "P2P",
+	"DBTuning", "Lectures", "PhD", "Grants", "Demo", "Cache",
+}
+
+func (g *generator) buildFilesystem() {
+	s := g.cfg.Scale
+	fs := g.d.FS
+	mk := func(p string) {
+		if _, err := fs.MkdirAll(p); err == nil {
+			g.d.Info.Folders++
+		}
+	}
+	write := func(p string, content []byte) {
+		if _, err := fs.WriteFile(p, content); err == nil {
+			g.d.Info.Files++
+			g.d.Info.FSBytes += int64(len(content))
+		}
+	}
+
+	// Folder skeleton.
+	mk("/Projects")
+	for _, p := range projectNames {
+		mk("/Projects/" + p)
+		mk("/Projects/" + p + "/docs")
+		mk("/Projects/" + p + "/data")
+	}
+	mk("/papers")
+	mk("/papers/VLDB2005")
+	mk("/papers/VLDB2006")
+	mk("/papers/drafts")
+	mk("/teaching")
+	mk("/teaching/databases")
+	mk("/teaching/infosys")
+	mk("/photos")
+	mk("/music")
+	mk("/private")
+
+	// The paper-example link that puts a cycle in the graph (Figure 1).
+	if _, err := fs.Link("/Projects/PIM/All Projects", "/Projects"); err == nil {
+		g.d.Info.Folders++ // counted as a base item
+	}
+
+	// --- always-planted documents the evaluation queries target -------
+	write("/Projects/PIM/vldb2006.tex", []byte(g.latexDoc(latexOpts{
+		theme: "PIM", plantFranklinIntro: true, plantFranklinVision: true,
+		plantConclusionSystems: true, plantIndexTimeFigure: true,
+		plantDocuments: true, figures: 2,
+	})))
+	g.d.Info.LatexDocs++
+	write("/papers/VLDB2006/vldb2006.tex", []byte(g.latexDoc(latexOpts{
+		theme: "PIM", plantFranklinIntro: true, plantFranklinVision: true,
+		plantConclusionSystems: true, plantIndexTimeFigure: true,
+		plantDocuments: true, figures: 3,
+	})))
+	g.d.Info.LatexDocs++
+	write("/papers/VLDB2005/imemex-demo.tex", []byte(g.latexDoc(latexOpts{
+		theme: "PIM", plantConclusionSystems: true, plantDocuments: true,
+		figures: 1,
+	})))
+	g.d.Info.LatexDocs++
+	write("/Projects/OLAP/docs/olap-paper.tex", []byte(g.latexDoc(latexOpts{
+		theme: "OLAP", plantIndexTimeFigure: true, plantConclusionSystems: true,
+		figures: 2,
+	})))
+	g.d.Info.LatexDocs++
+
+	// --- bulk LaTeX documents -----------------------------------------
+	nLatex := scaled(paperLatexDocs, s, 6) - g.d.Info.LatexDocs
+	for i := 0; i < nLatex; i++ {
+		theme := projectNames[g.rng.Intn(len(projectNames))]
+		dir := g.latexDir(theme, i)
+		o := latexOpts{theme: theme, figures: g.rng.Intn(3)}
+		// A slice of the corpus mentions "documents" and Franklin so
+		// Q4/Q6 selectivity resembles the paper's.
+		o.plantDocuments = g.rng.Float64() < 0.15
+		o.plantConclusionSystems = g.rng.Float64() < 0.25
+		name := fmt.Sprintf("%s/%s-%03d.tex", dir, fileStems[g.rng.Intn(len(fileStems))], i)
+		write(name, []byte(g.latexDoc(o)))
+		g.d.Info.LatexDocs++
+	}
+
+	// --- bulk XML documents --------------------------------------------
+	nXML := scaled(paperXMLDocs, s, 3)
+	// Derived-view budget per doc: the paper has ~2500 views per XML
+	// document; cap generation cost below full scale.
+	entries := 110
+	if s >= 0.5 {
+		entries = 400
+	}
+	for i := 0; i < nXML; i++ {
+		theme := projectNames[g.rng.Intn(len(projectNames))]
+		name := fmt.Sprintf("/Projects/%s/data/export-%03d.xml", theme, i)
+		write(name, []byte(g.xmlDoc(entries, theme)))
+		g.d.Info.XMLDocs++
+	}
+
+	// --- plain text and binary filler ----------------------------------
+	nFiles := scaled(paperFiles, s, 40) - g.d.Info.Files
+	for i := 0; i < nFiles; i++ {
+		r := g.rng.Float64()
+		switch {
+		case r < 0.12: // binary junk (photos, music) — excluded from net input
+			ext := ".jpg"
+			dir := "/photos"
+			if g.rng.Intn(2) == 0 {
+				ext = ".mp3"
+				dir = "/music"
+			}
+			junk := make([]byte, 256+g.rng.Intn(1024))
+			g.rng.Read(junk)
+			write(fmt.Sprintf("%s/item-%05d%s", dir, i, ext), junk)
+			g.d.Info.BinaryFiles++
+		default:
+			theme := projectNames[g.rng.Intn(len(projectNames))]
+			dir := g.textDir(theme, i)
+			stem := fileStems[g.rng.Intn(len(fileStems))]
+			ext := []string{".txt", ".doc", ".md", ".log"}[g.rng.Intn(4)]
+			body := g.words(250+g.rng.Intn(500), theme)
+			write(fmt.Sprintf("%s/%s-%05d%s", dir, stem, i, ext), []byte(body))
+		}
+	}
+}
+
+func (g *generator) latexDir(theme string, i int) string {
+	switch i % 4 {
+	case 0:
+		return "/papers/drafts"
+	case 1:
+		return "/papers/VLDB2005"
+	case 2:
+		return "/papers/VLDB2006"
+	default:
+		return "/Projects/" + theme + "/docs"
+	}
+}
+
+func (g *generator) textDir(theme string, i int) string {
+	switch i % 5 {
+	case 0:
+		return "/teaching/databases"
+	case 1:
+		return "/private"
+	case 2:
+		return "/Projects/" + theme
+	default:
+		return "/Projects/" + theme + "/docs"
+	}
+}
+
+// --- email -----------------------------------------------------------
+
+func (g *generator) buildMail() {
+	s := g.cfg.Scale
+	st := g.d.Mail
+	folders := []string{"Sent", "Projects/OLAP", "Projects/PIM", "lists/dbworld", "lists/sigmod"}
+	for _, f := range folders {
+		st.CreateFolder(f)
+	}
+	g.d.Info.MailFolders = len(st.Folders())
+
+	appendMsg := func(m *mail.Message) {
+		if _, err := st.Append(m); err == nil {
+			g.d.Info.Messages++
+			g.d.Info.Attachments += len(m.Attachments)
+			g.d.Info.MailBytes += m.Size()
+		}
+	}
+
+	// --- planted messages for Q2/Q8 -------------------------------------
+	appendMsg(&mail.Message{
+		Folder:  "Projects/OLAP",
+		From:    "alice@" + mailDomains[0],
+		To:      []string{"jens.dittrich@inf.ethz.ch"},
+		Subject: "OLAP indexing results",
+		Date:    g.clock.next(),
+		Body:    "attached the figures; the " + phraseIndexTime + " plot is fixed now",
+		Attachments: []mail.Attachment{{
+			Filename:    "olap-results.tex",
+			ContentType: "application/x-tex",
+			Data: []byte(g.latexDoc(latexOpts{
+				theme: "OLAP", plantIndexTimeFigure: true, figures: 2,
+			})),
+		}},
+	})
+	g.d.Info.TexAttach++
+	// Attachments whose names collide with /papers files → Q8 join rows.
+	for _, name := range []string{"vldb2006.tex", "imemex-demo.tex"} {
+		appendMsg(&mail.Message{
+			Folder:  "Projects/PIM",
+			From:    "marcos@" + mailDomains[1],
+			To:      []string{"jens.dittrich@inf.ethz.ch"},
+			Subject: "draft " + name,
+			Date:    g.clock.next(),
+			Body:    "latest draft of our paper attached " + wordDatabase,
+			Attachments: []mail.Attachment{{
+				Filename:    name,
+				ContentType: "application/x-tex",
+				Data: []byte(g.latexDoc(latexOpts{
+					theme: "PIM", plantFranklinIntro: true, figures: 1,
+				})),
+			}},
+		})
+		g.d.Info.TexAttach++
+	}
+
+	// --- bulk messages ---------------------------------------------------
+	nMsgs := scaled(paperMessages, s, 30) - g.d.Info.Messages
+	nAttach := scaled(paperAttachMisc, s, 4)
+	nTex := scaled(paperTexAttach, s, 0)
+	nXML := scaled(paperXMLAttach, s, 1)
+	allFolders := append([]string{"INBOX"}, folders...)
+	for i := 0; i < nMsgs; i++ {
+		theme := projectNames[g.rng.Intn(len(projectNames))]
+		m := &mail.Message{
+			Folder:  allFolders[g.rng.Intn(len(allFolders))],
+			From:    strings.ToLower(peopleNames[g.rng.Intn(len(peopleNames))]) + "@" + mailDomains[g.rng.Intn(len(mailDomains))],
+			To:      []string{"jens.dittrich@inf.ethz.ch"},
+			Subject: strings.Title(g.words(3, theme)),
+			Date:    g.clock.next(),
+			Body:    g.words(80+g.rng.Intn(200), theme),
+		}
+		switch {
+		case nTex > 0 && i%97 == 0:
+			nTex--
+			m.Attachments = append(m.Attachments, mail.Attachment{
+				Filename: fmt.Sprintf("notes-%03d.tex", i), ContentType: "application/x-tex",
+				Data: []byte(g.latexDoc(latexOpts{theme: theme, figures: 1})),
+			})
+			g.d.Info.TexAttach++
+		case nXML > 0 && i%53 == 0:
+			nXML--
+			m.Attachments = append(m.Attachments, mail.Attachment{
+				Filename: fmt.Sprintf("data-%03d.xml", i), ContentType: "text/xml",
+				Data: []byte(g.xmlDoc(25, theme)),
+			})
+			g.d.Info.XMLAttach++
+		case nAttach > 0 && i%17 == 0:
+			nAttach--
+			m.Attachments = append(m.Attachments, mail.Attachment{
+				Filename: fmt.Sprintf("attachment-%04d.txt", i), ContentType: "text/plain",
+				Data: []byte(g.words(150, theme)),
+			})
+		}
+		appendMsg(m)
+	}
+}
+
+// --- rss and relational ----------------------------------------------
+
+func (g *generator) buildRSS() {
+	for _, feed := range rssFeedNames {
+		g.d.RSS.CreateFeed(feed)
+		n := 3 + g.rng.Intn(5)
+		for i := 0; i < n; i++ {
+			g.d.RSS.Publish(feed, rss.Item{
+				Title:       strings.Title(g.words(4, "")),
+				Description: g.words(15, ""),
+				PubDate:     g.clock.next(),
+			})
+		}
+	}
+}
+
+func (g *generator) buildRelational() {
+	schema := core.Schema{
+		{Name: "name", Domain: core.DomainString},
+		{Name: "email", Domain: core.DomainString},
+		{Name: "affiliation", Domain: core.DomainString},
+	}
+	g.d.Rel.CreateRelation("contacts", schema)
+	for _, p := range peopleNames {
+		g.d.Rel.Insert("contacts", core.Tuple{
+			core.String(p),
+			core.String(strings.ToLower(p) + "@" + mailDomains[g.rng.Intn(len(mailDomains))]),
+			core.String("ETH Zurich"),
+		})
+	}
+	pubs := core.Schema{
+		{Name: "title", Domain: core.DomainString},
+		{Name: "venue", Domain: core.DomainString},
+		{Name: "year", Domain: core.DomainInt},
+	}
+	g.d.Rel.CreateRelation("publications", pubs)
+	g.d.Rel.Insert("publications", core.Tuple{
+		core.String("iDM: A Unified and Versatile Data Model"), core.String("VLDB"), core.Int(2006)})
+	g.d.Rel.Insert("publications", core.Tuple{
+		core.String("iMeMex: Escapes from the Personal Information Jungle"), core.String("VLDB"), core.Int(2005)})
+}

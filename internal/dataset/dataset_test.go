@@ -1,0 +1,201 @@
+package dataset
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/latex"
+	"repro/internal/vfs"
+	"repro/internal/xmlkit"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(Config{Scale: 0.02, Seed: 7})
+	b := Generate(Config{Scale: 0.02, Seed: 7})
+	if a.Info != b.Info {
+		t.Errorf("same seed, different info:\n%+v\n%+v", a.Info, b.Info)
+	}
+	sa, sb := a.FS.Stats(), b.FS.Stats()
+	if sa != sb {
+		t.Errorf("fs stats differ: %+v vs %+v", sa, sb)
+	}
+	c := Generate(Config{Scale: 0.02, Seed: 8})
+	if a.Info == c.Info {
+		t.Error("different seeds produced identical datasets")
+	}
+}
+
+func TestGenerateShapeRatios(t *testing.T) {
+	d := Generate(Config{Scale: 0.05, Seed: 42})
+	info := d.Info
+	if info.Files == 0 || info.Folders == 0 {
+		t.Fatalf("info = %+v", info)
+	}
+	// LaTeX documents outnumber XML documents (282 vs 47 in the paper).
+	if info.LatexDocs <= info.XMLDocs {
+		t.Errorf("latex=%d should exceed xml=%d", info.LatexDocs, info.XMLDocs)
+	}
+	// Messages dominate email base items; tex/xml attachments are rare.
+	if info.Messages < 100 {
+		t.Errorf("messages = %d", info.Messages)
+	}
+	if info.TexAttach == 0 || info.XMLAttach == 0 {
+		t.Errorf("attachments: tex=%d xml=%d", info.TexAttach, info.XMLAttach)
+	}
+	if info.TexAttach+info.XMLAttach >= info.Messages/10 {
+		t.Errorf("structured attachments too common: %d of %d", info.TexAttach+info.XMLAttach, info.Messages)
+	}
+	// Counted stats agree with the stores.
+	fsStats := d.FS.Stats()
+	if fsStats.Files != info.Files {
+		t.Errorf("fs files: stats=%d info=%d", fsStats.Files, info.Files)
+	}
+	mailStats := d.Mail.Stats()
+	if mailStats.Messages != info.Messages || mailStats.Attachments != info.Attachments {
+		t.Errorf("mail stats=%+v info=%+v", mailStats, info)
+	}
+}
+
+func TestPlantedQueryTargets(t *testing.T) {
+	d := Generate(Config{Scale: 0.02, Seed: 42})
+
+	// Q1/Q4 targets: the flagship paper exists and parses, with the
+	// planted sections.
+	b, err := d.FS.ReadFile("/papers/VLDB2006/vldb2006.tex")
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := string(b)
+	for _, want := range []string{"Mike Franklin", "Dataspace Vision", "Conclusion", "systems", "Indexing time", "documents"} {
+		if !strings.Contains(src, want) {
+			t.Errorf("vldb2006.tex lacks %q", want)
+		}
+	}
+	doc, err := latex.Parse(src)
+	if err != nil {
+		t.Fatalf("planted document does not parse: %v", err)
+	}
+	if len(doc.Refs) == 0 {
+		t.Error("planted document has no refs (Q7 needs them)")
+	}
+	foundFig := false
+	for key, n := range doc.Labels {
+		if strings.HasPrefix(key, "fig:") && strings.Contains(n.Caption, "Indexing time") {
+			foundFig = true
+		}
+	}
+	if !foundFig {
+		t.Error("no figure labeled with an Indexing time caption")
+	}
+
+	// Cycle link exists.
+	if !d.FS.Exists("/Projects/PIM/All Projects") {
+		t.Error("All Projects link missing")
+	}
+
+	// Q8 targets: attachments named like /papers files.
+	var attachNames []string
+	for _, m := range d.Mail.PollSince(0) {
+		for _, a := range m.Attachments {
+			attachNames = append(attachNames, a.Filename)
+		}
+	}
+	joined := strings.Join(attachNames, ",")
+	if !strings.Contains(joined, "vldb2006.tex") || !strings.Contains(joined, "imemex-demo.tex") {
+		t.Errorf("Q8 attachment names missing: %v", attachNames)
+	}
+}
+
+func TestBinaryFilesPresent(t *testing.T) {
+	d := Generate(Config{Scale: 0.05, Seed: 42})
+	if d.Info.BinaryFiles == 0 {
+		t.Error("no binary files generated (Table 3 net-input exclusion needs them)")
+	}
+}
+
+func TestRSSAndRelationalPopulated(t *testing.T) {
+	d := Generate(Config{Scale: 0.02, Seed: 42})
+	if len(d.RSS.Feeds()) != len(rssFeedNames) {
+		t.Errorf("feeds = %v", d.RSS.Feeds())
+	}
+	for _, f := range d.RSS.Feeds() {
+		if _, err := d.RSS.FetchDocument(f); err != nil {
+			t.Errorf("feed %q: %v", f, err)
+		}
+	}
+	rels := d.Rel.Relations()
+	if len(rels) != 2 {
+		t.Errorf("relations = %v", rels)
+	}
+	n := 0
+	d.Rel.Scan("contacts", func(core.Tuple) bool { n++; return true })
+	if n == 0 {
+		t.Error("contacts relation empty")
+	}
+}
+
+func TestScaleGrowsDataset(t *testing.T) {
+	small := Generate(Config{Scale: 0.02, Seed: 42})
+	big := Generate(Config{Scale: 0.08, Seed: 42})
+	if big.Info.Files <= small.Info.Files {
+		t.Errorf("files: %d !> %d", big.Info.Files, small.Info.Files)
+	}
+	if big.Info.Messages <= small.Info.Messages {
+		t.Errorf("messages: %d !> %d", big.Info.Messages, small.Info.Messages)
+	}
+	if big.Info.LatexDocs <= small.Info.LatexDocs {
+		t.Errorf("latex docs: %d !> %d", big.Info.LatexDocs, small.Info.LatexDocs)
+	}
+}
+
+func TestDefaultScaleOnInvalidConfig(t *testing.T) {
+	d := Generate(Config{Scale: -1, Seed: 1})
+	if d.Info.Files == 0 {
+		t.Error("invalid scale not defaulted")
+	}
+}
+
+func TestAllLatexDocsParse(t *testing.T) {
+	d := Generate(Config{Scale: 0.03, Seed: 42})
+	checked := 0
+	err := d.FS.Walk(func(path string, n *vfs.Node) error {
+		if n.Kind() != vfs.KindFile || !strings.HasSuffix(path, ".tex") {
+			return nil
+		}
+		b, err := d.FS.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		if _, err := latex.Parse(string(b)); err != nil {
+			t.Errorf("%s does not parse: %v", path, err)
+		}
+		checked++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if checked == 0 {
+		t.Fatal("no .tex files checked")
+	}
+}
+
+func TestAllXMLDocsParse(t *testing.T) {
+	d := Generate(Config{Scale: 0.03, Seed: 42})
+	checked := 0
+	d.FS.Walk(func(path string, n *vfs.Node) error {
+		if n.Kind() != vfs.KindFile || !strings.HasSuffix(path, ".xml") {
+			return nil
+		}
+		b, _ := d.FS.ReadFile(path)
+		if _, err := xmlkit.ParseString(string(b)); err != nil {
+			t.Errorf("%s does not parse: %v", path, err)
+		}
+		checked++
+		return nil
+	})
+	if checked == 0 {
+		t.Fatal("no .xml files checked")
+	}
+}

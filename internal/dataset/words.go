@@ -1,0 +1,85 @@
+package dataset
+
+// Vocabulary for synthetic text. The evaluation queries of the paper
+// (Table 4) search for specific words and phrases; the generator plants
+// them with controlled frequencies so that Q1–Q8 return non-trivial
+// result counts whose *shape* matches the paper (Q1 "database" is a
+// frequent keyword, Q2 "database tuning" a much rarer phrase, and so
+// on).
+var commonWords = []string{
+	"the", "a", "of", "and", "to", "in", "we", "for", "is", "that",
+	"model", "data", "query", "system", "file", "folder", "email",
+	"stream", "index", "graph", "view", "resource", "personal",
+	"information", "management", "search", "structure", "content",
+	"semantic", "schema", "relational", "document", "section",
+	"figure", "evaluation", "result", "time", "approach", "paper",
+	"work", "user", "desktop", "storage", "processing", "language",
+	"engine", "operator", "plan", "optimizer", "catalog", "replica",
+	"server", "client", "protocol", "network", "cache", "memory",
+	"disk", "benchmark", "experiment", "dataset", "workload",
+	"latency", "throughput", "scalability", "architecture", "layer",
+	"module", "plugin", "converter", "wrapper", "integration",
+	"heterogeneous", "unified", "versatile", "lazy", "intensional",
+	"extensional", "infinite", "finite", "component", "tuple",
+	"attribute", "predicate", "keyword", "phrase", "path", "step",
+	"expansion", "navigation", "hierarchy", "cycle", "tree", "node",
+	"edge", "xml", "latex", "office", "project", "meeting", "draft",
+	"review", "deadline", "proposal", "budget", "report", "agenda",
+}
+
+// themedWords appear in project-specific text with higher probability.
+var themedWords = map[string][]string{
+	"PIM":      {"dataspace", "imemex", "pim", "desktop", "jungle"},
+	"OLAP":     {"olap", "cube", "rollup", "drilldown", "aggregate"},
+	"XML":      {"xpath", "xquery", "infoset", "element", "namespace"},
+	"Streams":  {"window", "tuple", "push", "notification", "filter"},
+	"Indexing": {"btree", "inverted", "posting", "partition", "hash"},
+}
+
+// Planted query targets (Table 4):
+//
+//	Q1  "database"            — frequent keyword
+//	Q2  "database tuning"     — rare phrase
+//	Q4  "Franklin"            — inside *Vision sections under papers
+//	Q5  "systems"             — inside Conclusion sections
+//	Q6  "documents"           — under VLDB2005/VLDB2006
+//	Q2' "Indexing time"       — figure captions (also example Query 2)
+const (
+	wordDatabase    = "database"
+	phraseDBTuning  = "database tuning"
+	phraseFranklin  = "Mike Franklin"
+	wordSystems     = "systems"
+	wordDocuments   = "documents"
+	phraseIndexTime = "Indexing time"
+	phraseKnuth     = "Donald Knuth"
+)
+
+// sectionTitles for generated LaTeX documents.
+var sectionTitles = []string{
+	"Introduction", "Preliminaries", "The Problem", "Our Contributions",
+	"Data Model", "Architecture", "Implementation", "Evaluation",
+	"Related Work", "Discussion", "Future Work",
+}
+
+var subsectionTitles = []string{
+	"Motivation", "Overview", "Definitions", "Examples", "Analysis",
+	"Setup", "Results", "Limitations", "Extensions",
+}
+
+// fileStems name generated files.
+var fileStems = []string{
+	"notes", "draft", "report", "summary", "minutes", "todo", "ideas",
+	"outline", "review", "feedback", "plan", "spec", "design", "memo",
+	"log", "journal", "readme", "abstract", "slides", "budget",
+}
+
+var peopleNames = []string{
+	"Alice", "Bob", "Carol", "Dave", "Erika", "Frank", "Grace",
+	"Heidi", "Ivan", "Judy", "Mallory", "Niaj", "Olivia", "Peggy",
+}
+
+var mailDomains = []string{
+	"example.org", "inf.ethz.ch", "db.example.edu", "mail.example.com",
+}
+
+var rssFeedNames = []string{"dbworld", "vldb-news", "sigmod-record"}

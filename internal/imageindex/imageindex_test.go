@@ -1,0 +1,129 @@
+package imageindex
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// synth produces a synthetic "image": bytes drawn around a center value
+// with noise, so images with nearby centers have similar histograms.
+func synth(rng *rand.Rand, center byte, n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		v := int(center) + rng.Intn(33) - 16
+		if v < 0 {
+			v = 0
+		}
+		if v > 255 {
+			v = 255
+		}
+		out[i] = byte(v)
+	}
+	return out
+}
+
+func TestSimilarRanksByDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ix := New()
+	ix.Add(1, synth(rng, 40, 4096))  // dark
+	ix.Add(2, synth(rng, 44, 4096))  // dark, close to 1
+	ix.Add(3, synth(rng, 200, 4096)) // bright
+	ix.Add(4, synth(rng, 204, 4096)) // bright, close to 3
+
+	// Bright images share no bins with the dark query, so their cosine
+	// is 0 and they are filtered: only doc 2 can match.
+	got := ix.Similar(1, 2)
+	if len(got) != 1 {
+		t.Fatalf("matches = %v", got)
+	}
+	if got[0].Doc != 2 {
+		t.Errorf("nearest to 1 = %d, want 2", got[0].Doc)
+	}
+	if got[0].Similarity < 0.5 {
+		t.Errorf("similarity = %v", got[0].Similarity)
+	}
+	got = ix.Similar(3, 1)
+	if len(got) != 1 || got[0].Doc != 4 {
+		t.Errorf("nearest to 3 = %v, want 4", got)
+	}
+	// Self is excluded.
+	for _, m := range ix.Similar(1, 10) {
+		if m.Doc == 1 {
+			t.Error("self in results")
+		}
+	}
+}
+
+func TestSimilarTo(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	ix := New()
+	ix.Add(1, synth(rng, 30, 2048))
+	ix.Add(2, synth(rng, 220, 2048))
+	got := ix.SimilarTo(synth(rng, 28, 2048), 1)
+	if len(got) != 1 || got[0].Doc != 1 {
+		t.Errorf("query by content = %v", got)
+	}
+}
+
+func TestUnknownAndEmpty(t *testing.T) {
+	ix := New()
+	if got := ix.Similar(99, 5); got != nil {
+		t.Errorf("unknown doc = %v", got)
+	}
+	ix.Add(1, nil) // empty content: zero histogram
+	ix.Add(2, []byte{1, 2, 3})
+	if got := ix.Similar(2, 5); len(got) != 0 {
+		t.Errorf("zero histogram matched: %v", got)
+	}
+	if got := ix.Similar(2, 0); got != nil {
+		t.Errorf("k=0 = %v", got)
+	}
+}
+
+func TestDeleteAndSize(t *testing.T) {
+	ix := New()
+	ix.Add(1, []byte{1, 2, 3})
+	ix.Add(2, []byte{1, 2, 250}) // shares the low bin with doc 1
+	before := ix.SizeBytes()
+	ix.Delete(1)
+	if ix.Len() != 1 || ix.SizeBytes() >= before {
+		t.Errorf("len=%d size=%d", ix.Len(), ix.SizeBytes())
+	}
+	if got := ix.SimilarTo([]byte{1, 2, 3}, 5); len(got) != 1 || got[0].Doc != 2 {
+		t.Errorf("after delete = %v", got)
+	}
+}
+
+// Property: identical content has similarity 1 (within float error) and
+// tops the ranking; similarity is symmetric.
+func TestSelfSimilarityQuick(t *testing.T) {
+	f := func(data []byte, other []byte) bool {
+		if len(data) == 0 || len(other) == 0 {
+			return true
+		}
+		ix := New()
+		ix.Add(1, data)
+		ix.Add(2, other)
+		got := ix.SimilarTo(data, 2)
+		if len(got) == 0 || got[0].Doc != 1 && got[0].Similarity < 0.9999 {
+			return false
+		}
+		// Symmetry.
+		a := ix.Similar(1, 1)
+		b := ix.Similar(2, 1)
+		if len(a) != len(b) {
+			return false
+		}
+		if len(a) == 1 {
+			diff := a[0].Similarity - b[0].Similarity
+			if diff < -1e-9 || diff > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

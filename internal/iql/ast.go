@@ -1,0 +1,270 @@
+package iql
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// Query is the root of a parsed iQL query: a path expression, a bare
+// predicate over all views, a union, or a join.
+type Query interface {
+	fmt.Stringer
+	queryNode()
+}
+
+// Axis selects how a path step relates to the previous one.
+type Axis int
+
+// Path axes.
+const (
+	// Child steps to directly related views (V_i → V_k), written '/'.
+	Child Axis = iota
+	// Descendant steps to indirectly related views (V_i →* V_k),
+	// written '//'.
+	Descendant
+)
+
+func (a Axis) String() string {
+	if a == Child {
+		return "/"
+	}
+	return "//"
+}
+
+// Step is one step of a path expression: an axis, an optional name
+// pattern ('*' and '?' wildcards; empty means "any name"), and an
+// optional predicate.
+type Step struct {
+	Axis Axis
+	// Pattern is the name pattern; "" and "*" both match any view.
+	Pattern string
+	// Pred is the bracketed predicate, or nil.
+	Pred Expr
+}
+
+// Matches reports whether the step's pattern is unconstrained.
+func (s Step) AnyName() bool { return s.Pattern == "" || s.Pattern == "*" }
+
+func (s Step) String() string {
+	var b strings.Builder
+	b.WriteString(s.Axis.String())
+	b.WriteString(s.Pattern)
+	if s.Pred != nil {
+		fmt.Fprintf(&b, "[%s]", s.Pred)
+	}
+	return b.String()
+}
+
+// PathQuery is a path expression: a sequence of steps.
+type PathQuery struct {
+	Steps []Step
+}
+
+func (q *PathQuery) queryNode() {}
+func (q *PathQuery) String() string {
+	var b strings.Builder
+	for _, s := range q.Steps {
+		b.WriteString(s.String())
+	}
+	return b.String()
+}
+
+// PredQuery applies a predicate to every view in the dataspace — the
+// form of bare keyword queries such as `"Donald Knuth"`.
+type PredQuery struct {
+	Pred Expr
+}
+
+func (q *PredQuery) queryNode()     {}
+func (q *PredQuery) String() string { return q.Pred.String() }
+
+// UnionQuery is union(q1, q2, ...): the duplicate-free union of results.
+type UnionQuery struct {
+	Args []Query
+}
+
+func (q *UnionQuery) queryNode() {}
+func (q *UnionQuery) String() string {
+	parts := make([]string, len(q.Args))
+	for i, a := range q.Args {
+		parts[i] = a.String()
+	}
+	return "union( " + strings.Join(parts, ", ") + " )"
+}
+
+// FieldKind selects which part of a resource view a join field reads.
+type FieldKind int
+
+// Join field kinds.
+const (
+	FieldName FieldKind = iota
+	FieldClass
+	FieldTupleAttr
+)
+
+// FieldRef is a join operand such as A.name or B.tuple.label.
+type FieldRef struct {
+	Alias string
+	Kind  FieldKind
+	// Attr is the tuple attribute name for FieldTupleAttr.
+	Attr string
+}
+
+func (f FieldRef) String() string {
+	switch f.Kind {
+	case FieldName:
+		return f.Alias + ".name"
+	case FieldClass:
+		return f.Alias + ".class"
+	default:
+		return f.Alias + ".tuple." + f.Attr
+	}
+}
+
+// JoinQuery is join(q1 as A, q2 as B, A.f = B.g): the equi-join of two
+// result sets on view fields (§5.1 mentions user-defined joins; Q7 and
+// Q8 of the evaluation use this form).
+type JoinQuery struct {
+	Left    Query
+	LeftAs  string
+	Right   Query
+	RightAs string
+	On      [2]FieldRef // left operand, right operand (aliases resolved)
+}
+
+func (q *JoinQuery) queryNode() {}
+func (q *JoinQuery) String() string {
+	return fmt.Sprintf("join( %s as %s, %s as %s, %s = %s )",
+		q.Left, q.LeftAs, q.Right, q.RightAs, q.On[0], q.On[1])
+}
+
+// DeleteQuery is the update statement `delete <query>`: the views
+// matched by the inner query are removed from their underlying data
+// sources (write-through, via sources.Mutator). Engines are read-only;
+// deletion is orchestrated by the PDSMS facade.
+type DeleteQuery struct {
+	Inner Query
+}
+
+func (q *DeleteQuery) queryNode()     {}
+func (q *DeleteQuery) String() string { return "delete " + q.Inner.String() }
+
+// Expr is a boolean predicate expression evaluated per view.
+type Expr interface {
+	fmt.Stringer
+	exprNode()
+}
+
+// AndExpr is a conjunction.
+type AndExpr struct{ L, R Expr }
+
+func (e *AndExpr) exprNode()      {}
+func (e *AndExpr) String() string { return fmt.Sprintf("%s and %s", e.L, e.R) }
+
+// OrExpr is a disjunction.
+type OrExpr struct{ L, R Expr }
+
+func (e *OrExpr) exprNode()      {}
+func (e *OrExpr) String() string { return fmt.Sprintf("(%s or %s)", e.L, e.R) }
+
+// NotExpr is a negation.
+type NotExpr struct{ E Expr }
+
+func (e *NotExpr) exprNode()      {}
+func (e *NotExpr) String() string { return fmt.Sprintf("not %s", e.E) }
+
+// quoteIQL renders a string literal in iQL notation, escaping only the
+// quote and backslash characters (the lexer's escape rules).
+func quoteIQL(s string) string {
+	var b strings.Builder
+	b.WriteByte('"')
+	for _, r := range s {
+		if r == '"' || r == '\\' {
+			b.WriteByte('\\')
+		}
+		b.WriteRune(r)
+	}
+	b.WriteByte('"')
+	return b.String()
+}
+
+// PhraseExpr holds a keyword phrase matched against the content
+// component (consecutive tokens).
+type PhraseExpr struct{ Phrase string }
+
+func (e *PhraseExpr) exprNode()      {}
+func (e *PhraseExpr) String() string { return quoteIQL(e.Phrase) }
+
+// ClassExpr holds a class predicate: class="latex_section". A view
+// matches when its class is the named class or a specialization of it.
+type ClassExpr struct{ Class string }
+
+func (e *ClassExpr) exprNode()      {}
+func (e *ClassExpr) String() string { return "class=" + quoteIQL(e.Class) }
+
+// HasExpr is an existence predicate on a relative path — the "graph
+// branching operations" of §5.1: `//PIM[has(//figure*)]` selects PIM
+// views from which some view matching the branch path is reachable.
+// The branch is evaluated relative to the candidate view (descendant
+// axis follows indirect relations, child axis direct ones).
+type HasExpr struct {
+	Steps []Step
+}
+
+func (e *HasExpr) exprNode() {}
+func (e *HasExpr) String() string {
+	var b strings.Builder
+	b.WriteString("has(")
+	for _, s := range e.Steps {
+		b.WriteString(s.String())
+	}
+	b.WriteString(")")
+	return b.String()
+}
+
+// CmpOp is a comparison operator in attribute predicates.
+type CmpOp int
+
+// Comparison operators.
+const (
+	OpEq CmpOp = iota
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+)
+
+func (o CmpOp) String() string {
+	switch o {
+	case OpEq:
+		return "="
+	case OpNe:
+		return "!="
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "<="
+	case OpGt:
+		return ">"
+	default:
+		return ">="
+	}
+}
+
+// CmpExpr compares a tuple-component attribute against a literal, e.g.
+// size > 42000 or lastmodified < yesterday().
+type CmpExpr struct {
+	Attr  string
+	Op    CmpOp
+	Value core.Value
+	// ValueText preserves the literal for String().
+	ValueText string
+}
+
+func (e *CmpExpr) exprNode() {}
+func (e *CmpExpr) String() string {
+	return fmt.Sprintf("%s %s %s", e.Attr, e.Op, e.ValueText)
+}

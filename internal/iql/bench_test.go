@@ -1,0 +1,49 @@
+package iql
+
+import (
+	"testing"
+)
+
+const benchQuery = `join( //VLDB2006//*[class="texref"] as A, //VLDB2006//figure*[class="environment"] as B, A.name=B.tuple.label)`
+
+func BenchmarkLex(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Lex(benchQuery); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParse(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseWith(benchQuery, ParseOptions{Now: fixedNow}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEvalPathQuery(b *testing.B) {
+	f := paperStore()
+	e := NewEngine(f, Options{Now: fixedNow})
+	const q = `//PIM//Introduction[class="latex_section" and "Mike Franklin"]`
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Query(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEvalJoin(b *testing.B) {
+	f := paperStore()
+	e := NewEngine(f, Options{Now: fixedNow})
+	const q = `join( //[class="texref"] as A, //[class="figure"] as B, A.name = B.tuple.label )`
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Query(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,275 @@
+package iql
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+func TestParseDeleteStatement(t *testing.T) {
+	q := parse(t, `delete //docs//[name = "*.tmp"]`)
+	del, ok := q.(*DeleteQuery)
+	if !ok {
+		t.Fatalf("%T", q)
+	}
+	if _, ok := del.Inner.(*PathQuery); !ok {
+		t.Errorf("inner = %T", del.Inner)
+	}
+	rendered := del.String()
+	if !strings.HasPrefix(rendered, "delete //docs") {
+		t.Errorf("rendered = %q", rendered)
+	}
+	// Roundtrip.
+	q2 := parse(t, rendered)
+	if q2.String() != rendered {
+		t.Errorf("roundtrip: %q → %q", rendered, q2.String())
+	}
+	// Engines refuse delete statements.
+	f := paperStore()
+	e := NewEngine(f, Options{Now: fixedNow})
+	if _, err := e.Exec(del); err == nil {
+		t.Error("engine executed a delete")
+	}
+}
+
+func TestParseDateFunctions(t *testing.T) {
+	q := parse(t, `[lastmodified < now() and creationtime < today()]`)
+	and := q.(*PredQuery).Pred.(*AndExpr)
+	nowCmp := and.L.(*CmpExpr)
+	if !nowCmp.Value.Time.Equal(fixedNow()) {
+		t.Errorf("now() = %v", nowCmp.Value.Time)
+	}
+	todayCmp := and.R.(*CmpExpr)
+	if todayCmp.Value.Time.Hour() != 0 {
+		t.Errorf("today() = %v (not truncated)", todayCmp.Value.Time)
+	}
+	if _, err := Parse(`[x < tomorrow()]`); err == nil {
+		t.Error("unknown function accepted")
+	}
+}
+
+func TestParseFloatAndBoolLiterals(t *testing.T) {
+	q := parse(t, `[weight > 2.5]`)
+	cmp := q.(*PredQuery).Pred.(*CmpExpr)
+	if cmp.Value.Kind != core.DomainFloat || cmp.Value.Float != 2.5 {
+		t.Errorf("float literal = %+v", cmp.Value)
+	}
+	q = parse(t, `[starred = true and hidden != false]`)
+	and := q.(*PredQuery).Pred.(*AndExpr)
+	if and.L.(*CmpExpr).Value.Kind != core.DomainBool {
+		t.Error("bool literal not parsed")
+	}
+	if _, err := Parse(`[x = @notadate]`); err == nil {
+		t.Error("bad date accepted")
+	}
+	if _, err := Parse(`[x = nonliteral]`); err == nil {
+		t.Error("bare word literal accepted")
+	}
+}
+
+func TestParseJoinErrorPaths(t *testing.T) {
+	bad := []string{
+		`join //a as A, //b as B, A.name=B.name )`,  // missing (
+		`join( //a A, //b as B, A.name=B.name )`,    // missing as
+		`join( //a as A //b as B, A.name=B.name )`,  // missing comma
+		`join( //a as A, //b as B, A.name B.name )`, // missing =
+		`join( //a as A, //b as B, name=B.name )`,   // bad field ref
+		`join( //a as A, //b as B, A.name=B.name`,   // missing )
+		`join( //a as A, //b as B, A.x.y.z=B.name )`,
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) accepted", src)
+		}
+	}
+}
+
+func TestParseUnionOfJoinAndPath(t *testing.T) {
+	q := parse(t, `union( join( //a as A, //b as B, A.name=B.name ), //c )`)
+	u := q.(*UnionQuery)
+	if _, ok := u.Args[0].(*JoinQuery); !ok {
+		t.Errorf("arg0 = %T", u.Args[0])
+	}
+}
+
+func TestJoinOnClassField(t *testing.T) {
+	f := paperStore()
+	e := NewEngine(f, Options{Now: fixedNow})
+	// Join views by having the same class.
+	r, err := e.Query(`join( //PIM//Introduction as A, //papers//Introduction as B, A.class = B.class )`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Count() != 1 {
+		t.Errorf("class join rows = %d", r.Count())
+	}
+}
+
+func TestJoinBuildSideSelection(t *testing.T) {
+	f := paperStore()
+	e := NewEngine(f, Options{Now: fixedNow})
+	// Left side larger than right: the planner builds on the right...
+	r, err := e.Query(`join( //* as A, //[class="figure"] as B, A.name = B.name )`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	note := strings.Join(r.Plan.Notes, "\n")
+	if !strings.Contains(note, "hash build on right side") {
+		t.Errorf("plan = %s", note)
+	}
+	// ...and vice versa, with identical results modulo column order.
+	r2, err := e.Query(`join( //[class="figure"] as A, //* as B, A.name = B.name )`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	note2 := strings.Join(r2.Plan.Notes, "\n")
+	if !strings.Contains(note2, "hash build on left side") {
+		t.Errorf("plan2 = %s", note2)
+	}
+	if r.Count() != r2.Count() {
+		t.Errorf("asymmetric join counts: %d vs %d", r.Count(), r2.Count())
+	}
+	// Rows keep (left, right) orientation regardless of build side.
+	for _, row := range r.Rows {
+		if f.classes[row[1]] != core.ClassFigure {
+			t.Errorf("right column not the figure: %v", row)
+		}
+	}
+	for _, row := range r2.Rows {
+		if f.classes[row[0]] != core.ClassFigure {
+			t.Errorf("left column not the figure: %v", row)
+		}
+	}
+}
+
+func TestJoinOnMissingTupleAttr(t *testing.T) {
+	f := paperStore()
+	e := NewEngine(f, Options{Now: fixedNow})
+	r, err := e.Query(`join( //* as A, //* as B, A.tuple.nosuchattr = B.tuple.nosuchattr )`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Count() != 0 {
+		t.Errorf("missing attr joined %d rows", r.Count())
+	}
+}
+
+func TestCollectPhrasesAcrossQueryKinds(t *testing.T) {
+	q := parse(t, `union( //a["u1"], join( //b["j1"] as A, //c[not "neg" and "j2"] as B, A.name=B.name ) )`)
+	got := collectPhrases(q)
+	want := []string{"u1", "j1", "j2"}
+	if len(got) != len(want) {
+		t.Fatalf("phrases = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("phrase %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestHasBranchPredicate(t *testing.T) {
+	f := paperStore()
+	// Folders that (transitively) contain a figure: VLDB2006, papers,
+	// root — but not PIM.
+	r := runAll(t, f, `//[class="folder" and has(//[class="figure"])]`)
+	got := oidsOf(r)
+	if len(got) != 3 {
+		t.Fatalf("folders with figures = %v", got)
+	}
+	for _, oid := range got {
+		if oid == 10 {
+			t.Error("PIM has no figure")
+		}
+	}
+	// Direct-child branch: only vldb.tex has a figure as a direct child.
+	r = runAll(t, f, `//[has(/figure*)]`)
+	got = oidsOf(r)
+	// vldb.tex (4) has figure as direct child; the texref (7) points at
+	// it directly too.
+	if len(got) != 2 || got[0] != 4 || got[1] != 7 {
+		t.Errorf("direct figure parents = %v", got)
+	}
+	// Multi-step branch.
+	r = runAll(t, f, `//papers[has(//document/Introduction)]`)
+	if got := oidsOf(r); len(got) != 1 || got[0] != 2 {
+		t.Errorf("papers with document/Introduction = %v", got)
+	}
+	// Non-matching branch.
+	r = runAll(t, f, `//[class="folder" and has(//nosuchname)]`)
+	if got := oidsOf(r); len(got) != 0 {
+		t.Errorf("phantom branch matched %v", got)
+	}
+}
+
+func TestHasBranchParseAndRender(t *testing.T) {
+	q := parse(t, `//PIM[has(//figure*[class="environment"])]`)
+	p := q.(*PathQuery)
+	has, ok := p.Steps[0].Pred.(*HasExpr)
+	if !ok {
+		t.Fatalf("pred = %T", p.Steps[0].Pred)
+	}
+	if len(has.Steps) != 1 || has.Steps[0].Pattern != "figure*" {
+		t.Errorf("branch = %+v", has.Steps)
+	}
+	// Roundtrip.
+	q2 := parse(t, q.String())
+	if q2.String() != q.String() {
+		t.Errorf("roundtrip: %q → %q", q.String(), q2.String())
+	}
+	// Errors.
+	for _, bad := range []string{`//a[has(]`, `//a[has(//b]`, `//a[has //b)]`} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) accepted", bad)
+		}
+	}
+	// A bare word "has" without parens is still an attribute name.
+	if _, err := Parse(`//a[has = 3]`); err != nil {
+		t.Errorf("has as attribute: %v", err)
+	}
+}
+
+func TestTokenKindStrings(t *testing.T) {
+	kinds := []TokenKind{TokEOF, TokWord, TokString, TokDate, TokSlash,
+		TokSlashSlash, TokLBracket, TokRBracket, TokLParen, TokRParen,
+		TokComma, TokEq, TokNe, TokLt, TokLe, TokGt, TokGe}
+	for _, k := range kinds {
+		if k.String() == "" || strings.HasPrefix(k.String(), "token(") {
+			t.Errorf("kind %d has no name", int(k))
+		}
+	}
+}
+
+func TestSyntaxErrorMessage(t *testing.T) {
+	_, err := Parse(`//a[size >]`)
+	if err == nil {
+		t.Fatal("no error")
+	}
+	se, ok := err.(*SyntaxError)
+	if !ok {
+		t.Fatalf("%T", err)
+	}
+	if se.Pos <= 0 || !strings.Contains(se.Error(), "syntax error") {
+		t.Errorf("err = %v", se)
+	}
+}
+
+func TestExpansionString(t *testing.T) {
+	if ForwardExpansion.String() != "forward" || BackwardExpansion.String() != "backward" || AutoExpansion.String() != "auto" {
+		t.Error("Expansion strings wrong")
+	}
+}
+
+func TestDefaultClockIsWallClock(t *testing.T) {
+	// Parsing with the default options resolves yesterday() near now.
+	q, err := Parse(`[lastmodified < yesterday()]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmp := q.(*PredQuery).Pred.(*CmpExpr)
+	if d := time.Since(cmp.Value.Time); d < 23*time.Hour || d > 49*time.Hour {
+		t.Errorf("yesterday() = %v (%v ago)", cmp.Value.Time, d)
+	}
+}

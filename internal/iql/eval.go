@@ -1,0 +1,479 @@
+package iql
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/catalog"
+)
+
+// Options tunes the engine.
+type Options struct {
+	// Expansion selects the path-evaluation strategy (default forward,
+	// as in the paper's prototype).
+	Expansion Expansion
+	// Budget bounds the number of views touched during one expansion;
+	// <= 0 applies 1 << 20.
+	Budget int
+	// Now supplies the clock for date functions; nil means time.Now.
+	Now func() time.Time
+	// Rank orders result rows by relevance: the summed occurrence
+	// counts of the query's (non-negated) phrases in each view's
+	// content. Ties order by OID. Without phrases, ranking leaves the
+	// OID order.
+	Rank bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Budget <= 0 {
+		o.Budget = 1 << 20
+	}
+	if o.Now == nil {
+		o.Now = time.Now
+	}
+	return o
+}
+
+// Engine evaluates iQL queries against a Store.
+type Engine struct {
+	store Store
+	opts  Options
+}
+
+// NewEngine returns an engine over the store.
+func NewEngine(store Store, opts Options) *Engine {
+	return &Engine{store: store, opts: opts.withDefaults()}
+}
+
+// Result is the outcome of a query. Rows have one column for path,
+// predicate and union queries and two columns (left, right) for joins.
+type Result struct {
+	Columns []string
+	Rows    [][]catalog.OID
+	// Scores aligns with Rows when the engine ranked the result
+	// (Options.Rank); nil otherwise.
+	Scores []float64
+	Plan   *PlanInfo
+}
+
+// Count returns the number of result rows (the "# of Results" column of
+// Table 4 in the paper).
+func (r *Result) Count() int { return len(r.Rows) }
+
+// OIDs returns the distinct OIDs of the first result column in ascending
+// order.
+func (r *Result) OIDs() []catalog.OID {
+	seen := make(map[catalog.OID]bool, len(r.Rows))
+	var out []catalog.OID
+	for _, row := range r.Rows {
+		if len(row) > 0 && !seen[row[0]] {
+			seen[row[0]] = true
+			out = append(out, row[0])
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Query parses and evaluates an iQL query string.
+func (e *Engine) Query(src string) (*Result, error) {
+	q, err := ParseWith(src, ParseOptions{Now: e.opts.Now})
+	if err != nil {
+		return nil, err
+	}
+	return e.Exec(q)
+}
+
+// Exec evaluates a parsed query.
+func (e *Engine) Exec(q Query) (*Result, error) {
+	plan := &PlanInfo{}
+	ctx := newEvalCtx(e.store, plan)
+	rows, cols, err := e.exec(ctx, q)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Columns: cols, Rows: rows, Plan: plan}
+	if e.opts.Rank {
+		e.rank(q, res)
+	}
+	return res, nil
+}
+
+// rank orders result rows by the summed content-occurrence counts of
+// the query's non-negated phrases (a simple tf relevance score).
+func (e *Engine) rank(q Query, res *Result) {
+	phrases := collectPhrases(q)
+	if len(phrases) == 0 || len(res.Rows) == 0 {
+		res.Scores = make([]float64, len(res.Rows))
+		return
+	}
+	freqs := make([]map[catalog.OID]int, len(phrases))
+	for i, p := range phrases {
+		freqs[i] = e.store.ContentPhraseFreqs(p)
+	}
+	type scored struct {
+		row   []catalog.OID
+		score float64
+	}
+	rows := make([]scored, len(res.Rows))
+	for i, row := range res.Rows {
+		s := 0.0
+		for _, col := range row {
+			for _, f := range freqs {
+				s += float64(f[col])
+			}
+		}
+		rows[i] = scored{row: row, score: s}
+	}
+	sort.SliceStable(rows, func(i, j int) bool { return rows[i].score > rows[j].score })
+	res.Scores = make([]float64, len(rows))
+	for i, r := range rows {
+		res.Rows[i] = r.row
+		res.Scores[i] = r.score
+	}
+}
+
+// collectPhrases gathers the non-negated phrases of a query's
+// predicates in syntax order.
+func collectPhrases(q Query) []string {
+	var out []string
+	var fromExpr func(e Expr, negated bool)
+	fromExpr = func(e Expr, negated bool) {
+		switch x := e.(type) {
+		case *AndExpr:
+			fromExpr(x.L, negated)
+			fromExpr(x.R, negated)
+		case *OrExpr:
+			fromExpr(x.L, negated)
+			fromExpr(x.R, negated)
+		case *NotExpr:
+			fromExpr(x.E, !negated)
+		case *PhraseExpr:
+			if !negated {
+				out = append(out, x.Phrase)
+			}
+		}
+	}
+	var fromQuery func(Query)
+	fromQuery = func(q Query) {
+		switch x := q.(type) {
+		case *PredQuery:
+			fromExpr(x.Pred, false)
+		case *PathQuery:
+			for _, s := range x.Steps {
+				if s.Pred != nil {
+					fromExpr(s.Pred, false)
+				}
+			}
+		case *UnionQuery:
+			for _, a := range x.Args {
+				fromQuery(a)
+			}
+		case *JoinQuery:
+			fromQuery(x.Left)
+			fromQuery(x.Right)
+		}
+	}
+	fromQuery(q)
+	return out
+}
+
+func (e *Engine) exec(ctx *evalCtx, q Query) ([][]catalog.OID, []string, error) {
+	switch x := q.(type) {
+	case *PredQuery:
+		ctx.plan.notef("predicate over all views: %s", x.Pred)
+		oids := ctx.resolveStep(Step{Axis: Descendant, Pred: x.Pred})
+		return singleColumn(oids), []string{"view"}, nil
+	case *PathQuery:
+		oids, err := e.evalPath(ctx, x)
+		if err != nil {
+			return nil, nil, err
+		}
+		return singleColumn(oids), []string{"view"}, nil
+	case *UnionQuery:
+		ctx.plan.notef("union of %d queries", len(x.Args))
+		seen := make(map[catalog.OID]bool)
+		var all []catalog.OID
+		for _, arg := range x.Args {
+			rows, _, err := e.exec(ctx, arg)
+			if err != nil {
+				return nil, nil, err
+			}
+			for _, row := range rows {
+				if len(row) == 1 && !seen[row[0]] {
+					seen[row[0]] = true
+					all = append(all, row[0])
+				}
+			}
+		}
+		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+		return singleColumn(all), []string{"view"}, nil
+	case *JoinQuery:
+		return e.evalJoin(ctx, x)
+	case *DeleteQuery:
+		return nil, nil, fmt.Errorf("iql: engine is read-only; execute delete statements through the PDSMS")
+	default:
+		return nil, nil, fmt.Errorf("iql: unknown query node %T", q)
+	}
+}
+
+func singleColumn(oids []catalog.OID) [][]catalog.OID {
+	rows := make([][]catalog.OID, len(oids))
+	for i, o := range oids {
+		rows[i] = []catalog.OID{o}
+	}
+	return rows
+}
+
+// evalPath evaluates a path expression with the configured expansion
+// strategy.
+func (e *Engine) evalPath(ctx *evalCtx, q *PathQuery) ([]catalog.OID, error) {
+	if len(q.Steps) == 0 {
+		return nil, fmt.Errorf("iql: empty path")
+	}
+	strategy := e.opts.Expansion
+	if strategy == AutoExpansion {
+		// Anchor on the cheaper end: compare candidate counts of the
+		// first and last steps.
+		first := ctx.resolveStep(q.Steps[0])
+		last := ctx.resolveStep(q.Steps[len(q.Steps)-1])
+		if len(q.Steps) == 1 {
+			ctx.plan.notef("single-step path: %d matches", len(first))
+			return first, nil
+		}
+		if len(last) <= len(first) {
+			strategy = BackwardExpansion
+		} else {
+			strategy = ForwardExpansion
+		}
+		ctx.plan.notef("auto expansion: first=%d last=%d → %s",
+			len(first), len(last), strategy)
+	}
+	if strategy == BackwardExpansion {
+		return e.evalPathBackward(ctx, q)
+	}
+	return e.evalPathForward(ctx, q)
+}
+
+// evalPathForward implements the paper's strategy: resolve the first
+// step via indexes, then expand forward through the group replica,
+// filtering at each step. Q8's large intermediate result sets arise
+// here, exactly as §7.2 describes.
+func (e *Engine) evalPathForward(ctx *evalCtx, q *PathQuery) ([]catalog.OID, error) {
+	ctx.plan.notef("forward expansion over %d steps", len(q.Steps))
+	cur := ctx.resolveStep(q.Steps[0])
+	ctx.plan.notef("  step 1 %s: %d matches", q.Steps[0], len(cur))
+	budget := e.opts.Budget
+	for i := 1; i < len(q.Steps); i++ {
+		step := q.Steps[i]
+		next := make(map[catalog.OID]bool)
+		switch step.Axis {
+		case Child:
+			for _, oid := range cur {
+				for _, c := range ctx.store.Children(oid) {
+					ctx.plan.Intermediates++
+					if budget--; budget <= 0 {
+						return nil, fmt.Errorf("iql: expansion budget exceeded")
+					}
+					if ctx.matchStep(step, c) {
+						next[c] = true
+					}
+				}
+			}
+		case Descendant:
+			visited := make(map[catalog.OID]bool)
+			frontier := cur
+			for len(frontier) > 0 {
+				var newFrontier []catalog.OID
+				for _, oid := range frontier {
+					for _, c := range ctx.store.Children(oid) {
+						if visited[c] {
+							continue
+						}
+						visited[c] = true
+						ctx.plan.Intermediates++
+						if budget--; budget <= 0 {
+							return nil, fmt.Errorf("iql: expansion budget exceeded")
+						}
+						if ctx.matchStep(step, c) {
+							next[c] = true
+						}
+						newFrontier = append(newFrontier, c)
+					}
+				}
+				frontier = newFrontier
+			}
+		}
+		cur = setToSorted(next)
+		ctx.plan.notef("  step %d %s: %d matches", i+1, step, len(cur))
+	}
+	return cur, nil
+}
+
+// evalPathBackward resolves the final step via indexes and verifies the
+// ancestor constraints by walking the reverse edges — the alternative
+// processing strategy §7.2 proposes for queries like Q8.
+func (e *Engine) evalPathBackward(ctx *evalCtx, q *PathQuery) ([]catalog.OID, error) {
+	ctx.plan.notef("backward expansion over %d steps", len(q.Steps))
+	last := len(q.Steps) - 1
+	candidates := ctx.resolveStep(q.Steps[last])
+	ctx.plan.notef("  step %d %s: %d candidates", last+1, q.Steps[last], len(candidates))
+	if last == 0 {
+		return candidates, nil
+	}
+	budget := e.opts.Budget
+	var out []catalog.OID
+	for _, cand := range candidates {
+		ok, err := e.verifyAncestors(ctx, q.Steps, last, cand, &budget)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out = append(out, cand)
+		}
+	}
+	ctx.plan.notef("  verified: %d of %d candidates", len(out), len(candidates))
+	return out, nil
+}
+
+// verifyAncestors checks that a candidate for step k has an ancestor
+// chain matching steps k-1 ... 0.
+func (e *Engine) verifyAncestors(ctx *evalCtx, steps []Step, k int, oid catalog.OID, budget *int) (bool, error) {
+	if k == 0 {
+		return true, nil
+	}
+	step := steps[k]
+	prev := steps[k-1]
+	// Gather the views reachable backwards along this step's axis.
+	var ancestors []catalog.OID
+	switch step.Axis {
+	case Child:
+		ancestors = ctx.store.Parents(oid)
+		ctx.plan.Intermediates += len(ancestors)
+	case Descendant:
+		visited := make(map[catalog.OID]bool)
+		frontier := []catalog.OID{oid}
+		for len(frontier) > 0 {
+			var next []catalog.OID
+			for _, f := range frontier {
+				for _, p := range ctx.store.Parents(f) {
+					if visited[p] {
+						continue
+					}
+					visited[p] = true
+					ctx.plan.Intermediates++
+					if *budget--; *budget <= 0 {
+						return false, fmt.Errorf("iql: expansion budget exceeded")
+					}
+					ancestors = append(ancestors, p)
+					next = append(next, p)
+				}
+			}
+			frontier = next
+		}
+	}
+	for _, a := range ancestors {
+		if !ctx.matchStep(prev, a) {
+			continue
+		}
+		ok, err := e.verifyAncestors(ctx, steps, k-1, a, budget)
+		if err != nil {
+			return false, err
+		}
+		if ok {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// evalJoin evaluates an equi-join with a hash join. The rule-based
+// planner builds the hash table on the smaller input and probes with the
+// larger one; output rows are always (left, right).
+func (e *Engine) evalJoin(ctx *evalCtx, q *JoinQuery) ([][]catalog.OID, []string, error) {
+	leftRows, _, err := e.exec(ctx, q.Left)
+	if err != nil {
+		return nil, nil, err
+	}
+	rightRows, _, err := e.exec(ctx, q.Right)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	build, probe := rightRows, leftRows
+	buildField, probeField := q.On[1], q.On[0]
+	buildIsRight := true
+	if len(leftRows) < len(rightRows) {
+		build, probe = leftRows, rightRows
+		buildField, probeField = q.On[0], q.On[1]
+		buildIsRight = false
+	}
+	ctx.plan.notef("join: %d x %d rows on %s = %s (hash build on %s side)",
+		len(leftRows), len(rightRows), q.On[0], q.On[1],
+		map[bool]string{true: "right", false: "left"}[buildIsRight])
+
+	hash := make(map[string][]catalog.OID, len(build))
+	for _, row := range build {
+		if len(row) != 1 {
+			continue
+		}
+		key, ok := e.fieldKey(ctx, buildField, row[0])
+		if !ok {
+			continue
+		}
+		hash[key] = append(hash[key], row[0])
+	}
+	var out [][]catalog.OID
+	for _, row := range probe {
+		if len(row) != 1 {
+			continue
+		}
+		key, ok := e.fieldKey(ctx, probeField, row[0])
+		if !ok {
+			continue
+		}
+		for _, b := range hash[key] {
+			if buildIsRight {
+				out = append(out, []catalog.OID{row[0], b})
+			} else {
+				out = append(out, []catalog.OID{b, row[0]})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out, []string{q.LeftAs, q.RightAs}, nil
+}
+
+// fieldKey extracts a join key from a view. Keys compare as strings;
+// empty values never join.
+func (e *Engine) fieldKey(ctx *evalCtx, f FieldRef, oid catalog.OID) (string, bool) {
+	switch f.Kind {
+	case FieldName:
+		n := ctx.store.NameOf(oid)
+		return n, n != ""
+	case FieldClass:
+		entry, err := ctx.store.Entry(oid)
+		if err != nil || entry.Class == "" {
+			return "", false
+		}
+		return entry.Class, true
+	case FieldTupleAttr:
+		tc, ok := ctx.store.Tuple(oid)
+		if !ok {
+			return "", false
+		}
+		v, ok := tc.Get(f.Attr)
+		if !ok || v.IsNull() {
+			return "", false
+		}
+		return v.String(), true
+	default:
+		return "", false
+	}
+}

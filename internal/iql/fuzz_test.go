@@ -1,0 +1,66 @@
+package iql
+
+import (
+	"testing"
+	"time"
+)
+
+// FuzzParse asserts the iQL parser never panics and that any query it
+// accepts renders to a string it accepts again (parse∘render fixpoint).
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		`"Donald Knuth"`,
+		`"Donald" and "Knuth"`,
+		`[size > 42000 and lastmodified < yesterday()]`,
+		`//Introduction[class="latex_section"]`,
+		`//PIM//Introduction[class="latex_section" and "Mike Franklin"]`,
+		`//papers//*Vision/*["Franklin"]`,
+		`//VLDB200?//?onclusion*/*["systems"]`,
+		`union( //VLDB2005//*["documents"], //VLDB2006//*["documents"])`,
+		`join( //a[class="texref"] as A, //b//figure* as B, A.name=B.tuple.label)`,
+		`delete //[name = "*.tmp"]`,
+		`//[class="folder" and has(//[class="figure"])]`,
+		`[x < @12.06.2005]`,
+		`//a[`, `"unclosed`, `@`, `!`, `//`, ``, `not not "x"`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	now := func() time.Time { return time.Date(2005, 6, 15, 0, 0, 0, 0, time.UTC) }
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := ParseWith(src, ParseOptions{Now: now})
+		if err != nil {
+			return
+		}
+		rendered := q.String()
+		q2, err := ParseWith(rendered, ParseOptions{Now: now})
+		if err != nil {
+			t.Fatalf("accepted %q but rejected its rendering %q: %v", src, rendered, err)
+		}
+		if q2.String() != rendered {
+			t.Fatalf("render not a fixpoint: %q → %q", rendered, q2.String())
+		}
+	})
+}
+
+// FuzzWildcardAgainstEval cross-checks that any parsed query evaluates
+// without panicking on a small store under every expansion strategy.
+func FuzzEval(f *testing.F) {
+	for _, s := range []string{
+		`//root//[class="figure"]`,
+		`//*["Franklin"]`,
+		`[size > 0]`,
+		`//vldb.tex/*`,
+		`//[has(/figure*)]`,
+	} {
+		f.Add(s)
+	}
+	store := paperStore()
+	now := func() time.Time { return time.Date(2005, 6, 15, 0, 0, 0, 0, time.UTC) }
+	f.Fuzz(func(t *testing.T, src string) {
+		for _, exp := range []Expansion{ForwardExpansion, BackwardExpansion, AutoExpansion} {
+			e := NewEngine(store, Options{Expansion: exp, Now: now, Budget: 1 << 14})
+			e.Query(src) // must not panic; errors are fine
+		}
+	})
+}

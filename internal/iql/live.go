@@ -1,0 +1,132 @@
+package iql
+
+import (
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/textindex"
+	"repro/internal/wildcard"
+)
+
+// MatchView evaluates a predicate expression directly against a live
+// resource view, without any index: phrases tokenize and scan the
+// content component, comparisons read the tuple component, class
+// predicates consult isA (nil isA falls back to exact class equality).
+// This is the evaluation mode of continuous queries (information
+// filters, §4.4.2 of the paper): each incoming view is tested the moment
+// it is pushed.
+//
+// Infinite content never matches a phrase (only its indexed window
+// would; a filter cannot scan forever); content larger than maxContent
+// bytes is truncated, and maxContent <= 0 applies 4 MiB.
+func MatchView(e Expr, v core.ResourceView, isA func(class, ancestor string) bool, maxContent int64) bool {
+	if maxContent <= 0 {
+		maxContent = 4 << 20
+	}
+	m := &liveMatcher{view: v, isA: isA, maxContent: maxContent}
+	return m.eval(e)
+}
+
+type liveMatcher struct {
+	view       core.ResourceView
+	isA        func(class, ancestor string) bool
+	maxContent int64
+	tokens     []string
+	tokenized  bool
+}
+
+func (m *liveMatcher) contentTokens() []string {
+	if m.tokenized {
+		return m.tokens
+	}
+	m.tokenized = true
+	c := m.view.Content()
+	if core.IsEmptyContent(c) || !c.Finite() {
+		return nil
+	}
+	b, err := core.ReadAllContent(c, m.maxContent)
+	if err != nil {
+		return nil
+	}
+	m.tokens = textindex.Tokenize(string(b))
+	return m.tokens
+}
+
+func (m *liveMatcher) eval(e Expr) bool {
+	switch x := e.(type) {
+	case *AndExpr:
+		return m.eval(x.L) && m.eval(x.R)
+	case *OrExpr:
+		return m.eval(x.L) || m.eval(x.R)
+	case *NotExpr:
+		return !m.eval(x.E)
+	case *PhraseExpr:
+		return containsPhrase(m.contentTokens(), textindex.Tokenize(x.Phrase))
+	case *ClassExpr:
+		class := m.view.Class()
+		if class == "" {
+			return false
+		}
+		if m.isA != nil {
+			return m.isA(class, x.Class)
+		}
+		return class == x.Class
+	case *HasExpr:
+		// Branch existence needs graph navigation, which a live filter
+		// evaluated per incoming view does not have; it never matches.
+		return false
+	case *CmpExpr:
+		if x.Attr == "name" && x.Value.Kind == core.DomainString {
+			matched := wildcard.Match(x.Value.Str, m.view.Name())
+			switch x.Op {
+			case OpEq:
+				return matched
+			case OpNe:
+				return !matched
+			default:
+				return false
+			}
+		}
+		val, ok := m.view.Tuple().Get(x.Attr)
+		if !ok {
+			return false
+		}
+		cmp, err := core.Compare(val, x.Value)
+		if err != nil {
+			return false
+		}
+		switch x.Op {
+		case OpEq:
+			return cmp == 0
+		case OpNe:
+			return cmp != 0
+		case OpLt:
+			return cmp < 0
+		case OpLe:
+			return cmp <= 0
+		case OpGt:
+			return cmp > 0
+		case OpGe:
+			return cmp >= 0
+		}
+	}
+	return false
+}
+
+// containsPhrase reports whether needle occurs as a consecutive
+// subsequence of haystack (both already tokenized and lower-cased).
+func containsPhrase(haystack, needle []string) bool {
+	if len(needle) == 0 || len(needle) > len(haystack) {
+		return false
+	}
+outer:
+	for i := 0; i+len(needle) <= len(haystack); i++ {
+		for j, w := range needle {
+			if !strings.EqualFold(haystack[i+j], w) {
+				continue outer
+			}
+		}
+		return true
+	}
+	return false
+}

@@ -1,0 +1,108 @@
+package iql
+
+import (
+	"io"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+func liveView() core.ResourceView {
+	return core.NewView("report.txt", core.ClassFile).
+		WithTuple(core.TupleComponent{
+			Schema: core.FSSchema,
+			Tuple: core.Tuple{core.Int(5000),
+				core.Time(time.Date(2005, 1, 1, 0, 0, 0, 0, time.UTC)),
+				core.Time(time.Date(2005, 6, 1, 0, 0, 0, 0, time.UTC))},
+		}).
+		WithContent(core.StringContent("the indexing time improved a lot"))
+}
+
+func mustExpr(t *testing.T, src string) Expr {
+	t.Helper()
+	q, err := ParseWith(src, ParseOptions{Now: fixedNow})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q.(*PredQuery).Pred
+}
+
+func TestMatchViewPhrases(t *testing.T) {
+	v := liveView()
+	reg := core.StandardRegistry()
+	cases := []struct {
+		expr string
+		want bool
+	}{
+		{`"indexing time"`, true},
+		{`"time indexing"`, false},
+		{`"indexing" and "improved"`, true},
+		{`"indexing" and "missing"`, false},
+		{`"missing" or "improved"`, true},
+		{`not "missing"`, true},
+		{`[size > 4200]`, true},
+		{`[size > 9999]`, false},
+		{`[lastmodified < @12.06.2005]`, true},
+		{`[class="file"]`, true},
+		{`[class="folder"]`, false},
+		{`[name = "*.txt"]`, true},
+		{`[name != "*.txt"]`, false},
+		{`[owner = "nobody"]`, false},
+	}
+	for _, c := range cases {
+		if got := MatchView(mustExpr(t, c.expr), v, reg.IsA, 0); got != c.want {
+			t.Errorf("MatchView(%s) = %v, want %v", c.expr, got, c.want)
+		}
+	}
+}
+
+func TestMatchViewClassSpecialization(t *testing.T) {
+	reg := core.StandardRegistry()
+	v := core.NewView("a.xml", core.ClassXMLFile)
+	if !MatchView(mustExpr(t, `[class="file"]`), v, reg.IsA, 0) {
+		t.Error("xmlfile should match class=file via is-a")
+	}
+	// Without an isA function, only exact classes match.
+	if MatchView(mustExpr(t, `[class="file"]`), v, nil, 0) {
+		t.Error("exact-match fallback matched a subclass")
+	}
+	if !MatchView(mustExpr(t, `[class="xmlfile"]`), v, nil, 0) {
+		t.Error("exact class did not match")
+	}
+}
+
+func TestMatchViewInfiniteContentNeverMatches(t *testing.T) {
+	v := (&core.StaticView{VName: "stream"}).
+		WithContent(core.InfiniteContent(func() io.ReadCloser {
+			return io.NopCloser(endless{})
+		}))
+	if MatchView(mustExpr(t, `"anything"`), v, nil, 0) {
+		t.Error("infinite content matched a phrase")
+	}
+}
+
+type endless struct{}
+
+func (endless) Read(p []byte) (int, error) {
+	for i := range p {
+		p[i] = 'a'
+	}
+	return len(p), nil
+}
+
+func TestMatchViewContentTruncation(t *testing.T) {
+	// A match beyond the content cap is not seen.
+	big := make([]byte, 2048)
+	for i := range big {
+		big[i] = 'x'
+	}
+	v := (&core.StaticView{VName: "big"}).
+		WithContent(core.StringContent(string(big) + " needle"))
+	if MatchView(mustExpr(t, `"needle"`), v, nil, 1024) {
+		t.Error("match found beyond the truncation limit")
+	}
+	if !MatchView(mustExpr(t, `"needle"`), v, nil, 1<<20) {
+		t.Error("match not found within the limit")
+	}
+}

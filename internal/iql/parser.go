@@ -1,0 +1,441 @@
+package iql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+)
+
+// ParseOptions configures parsing.
+type ParseOptions struct {
+	// Now supplies the clock used to resolve date functions such as
+	// yesterday(); nil means time.Now.
+	Now func() time.Time
+}
+
+// Parse parses an iQL query.
+func Parse(src string) (Query, error) { return ParseWith(src, ParseOptions{}) }
+
+// ParseWith parses an iQL query with explicit options.
+func ParseWith(src string, opts ParseOptions) (Query, error) {
+	if opts.Now == nil {
+		opts.Now = time.Now
+	}
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, now: opts.Now}
+	var q Query
+	if t := p.peek(); t.Kind == TokWord && strings.EqualFold(t.Text, "delete") {
+		p.next()
+		inner, err := p.parseQuery()
+		if err != nil {
+			return nil, err
+		}
+		q = &DeleteQuery{Inner: inner}
+	} else {
+		var err error
+		q, err = p.parseQuery()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if p.peek().Kind != TokEOF {
+		return nil, p.errf("unexpected %s after query", p.peek().Kind)
+	}
+	return q, nil
+}
+
+type parser struct {
+	toks []Token
+	pos  int
+	now  func() time.Time
+}
+
+func (p *parser) peek() Token { return p.toks[p.pos] }
+func (p *parser) next() Token { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) backup()     { p.pos-- }
+func (p *parser) errf(format string, args ...any) error {
+	return &SyntaxError{Pos: p.peek().Pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// keyword reports whether the next token is the given case-insensitive
+// bare word, consuming it when so.
+func (p *parser) keyword(kw string) bool {
+	t := p.peek()
+	if t.Kind == TokWord && strings.EqualFold(t.Text, kw) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind TokenKind) (Token, error) {
+	t := p.next()
+	if t.Kind != kind {
+		p.backup()
+		return t, p.errf("expected %s, found %s %q", kind, t.Kind, t.Text)
+	}
+	return t, nil
+}
+
+func (p *parser) parseQuery() (Query, error) {
+	t := p.peek()
+	switch {
+	case t.Kind == TokWord && strings.EqualFold(t.Text, "union") && p.lookaheadIsParen():
+		return p.parseUnion()
+	case t.Kind == TokWord && strings.EqualFold(t.Text, "join") && p.lookaheadIsParen():
+		return p.parseJoin()
+	case t.Kind == TokSlash || t.Kind == TokSlashSlash:
+		return p.parsePath()
+	case t.Kind == TokLBracket:
+		p.next()
+		e, err := p.parseBoolExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRBracket); err != nil {
+			return nil, err
+		}
+		return &PredQuery{Pred: e}, nil
+	default:
+		e, err := p.parseBoolExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &PredQuery{Pred: e}, nil
+	}
+}
+
+func (p *parser) lookaheadIsParen() bool {
+	return p.pos+1 < len(p.toks) && p.toks[p.pos+1].Kind == TokLParen
+}
+
+func (p *parser) parseUnion() (Query, error) {
+	p.next() // union
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	var args []Query
+	for {
+		q, err := p.parseQuery()
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, q)
+		if p.peek().Kind == TokComma {
+			p.next()
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	if len(args) < 2 {
+		return nil, p.errf("union needs at least two arguments")
+	}
+	return &UnionQuery{Args: args}, nil
+}
+
+func (p *parser) parseJoin() (Query, error) {
+	p.next() // join
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	left, leftAs, err := p.parseAliasedQuery()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokComma); err != nil {
+		return nil, err
+	}
+	right, rightAs, err := p.parseAliasedQuery()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokComma); err != nil {
+		return nil, err
+	}
+	lf, err := p.parseFieldRef()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokEq); err != nil {
+		return nil, err
+	}
+	rf, err := p.parseFieldRef()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	// Normalize operand order to (left alias, right alias).
+	switch {
+	case lf.Alias == leftAs && rf.Alias == rightAs:
+	case lf.Alias == rightAs && rf.Alias == leftAs:
+		lf, rf = rf, lf
+	default:
+		return nil, p.errf("join condition aliases %q, %q do not match %q, %q",
+			lf.Alias, rf.Alias, leftAs, rightAs)
+	}
+	return &JoinQuery{Left: left, LeftAs: leftAs, Right: right, RightAs: rightAs,
+		On: [2]FieldRef{lf, rf}}, nil
+}
+
+func (p *parser) parseAliasedQuery() (Query, string, error) {
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, "", err
+	}
+	if !p.keyword("as") {
+		return nil, "", p.errf("expected 'as <alias>' after join operand")
+	}
+	alias, err := p.expect(TokWord)
+	if err != nil {
+		return nil, "", err
+	}
+	return q, alias.Text, nil
+}
+
+func (p *parser) parseFieldRef() (FieldRef, error) {
+	t, err := p.expect(TokWord)
+	if err != nil {
+		return FieldRef{}, err
+	}
+	parts := strings.Split(t.Text, ".")
+	switch {
+	case len(parts) == 2 && strings.EqualFold(parts[1], "name"):
+		return FieldRef{Alias: parts[0], Kind: FieldName}, nil
+	case len(parts) == 2 && strings.EqualFold(parts[1], "class"):
+		return FieldRef{Alias: parts[0], Kind: FieldClass}, nil
+	case len(parts) == 3 && strings.EqualFold(parts[1], "tuple"):
+		return FieldRef{Alias: parts[0], Kind: FieldTupleAttr, Attr: parts[2]}, nil
+	default:
+		return FieldRef{}, p.errf("invalid join field %q (use alias.name, alias.class or alias.tuple.attr)", t.Text)
+	}
+}
+
+func (p *parser) parsePath() (Query, error) {
+	var steps []Step
+	for {
+		t := p.peek()
+		var axis Axis
+		switch t.Kind {
+		case TokSlash:
+			axis = Child
+		case TokSlashSlash:
+			axis = Descendant
+		default:
+			if len(steps) == 0 {
+				return nil, p.errf("expected path step")
+			}
+			return &PathQuery{Steps: steps}, nil
+		}
+		p.next()
+		step := Step{Axis: axis}
+		if p.peek().Kind == TokWord {
+			// A bare word directly after the axis is the name pattern —
+			// unless it is an 'as' that belongs to an enclosing join.
+			if !strings.EqualFold(p.peek().Text, "as") {
+				step.Pattern = p.next().Text
+			}
+		}
+		if p.peek().Kind == TokLBracket {
+			p.next()
+			e, err := p.parseBoolExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokRBracket); err != nil {
+				return nil, err
+			}
+			step.Pred = e
+		}
+		steps = append(steps, step)
+	}
+}
+
+// parseBoolExpr parses or-expressions (lowest precedence).
+func (p *parser) parseBoolExpr() (Expr, error) {
+	left, err := p.parseBoolTerm()
+	if err != nil {
+		return nil, err
+	}
+	for p.keyword("or") {
+		right, err := p.parseBoolTerm()
+		if err != nil {
+			return nil, err
+		}
+		left = &OrExpr{L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseBoolTerm() (Expr, error) {
+	left, err := p.parseBoolFactor()
+	if err != nil {
+		return nil, err
+	}
+	for p.keyword("and") {
+		right, err := p.parseBoolFactor()
+		if err != nil {
+			return nil, err
+		}
+		left = &AndExpr{L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseBoolFactor() (Expr, error) {
+	t := p.peek()
+	switch {
+	case t.Kind == TokWord && strings.EqualFold(t.Text, "has") && p.lookaheadIsParen():
+		p.next() // has
+		p.next() // (
+		inner, err := p.parsePath()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		return &HasExpr{Steps: inner.(*PathQuery).Steps}, nil
+	case t.Kind == TokWord && strings.EqualFold(t.Text, "not"):
+		p.next()
+		e, err := p.parseBoolFactor()
+		if err != nil {
+			return nil, err
+		}
+		return &NotExpr{E: e}, nil
+	case t.Kind == TokLParen:
+		p.next()
+		e, err := p.parseBoolExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case t.Kind == TokString:
+		p.next()
+		if t.Text == "" {
+			return nil, p.errf("empty phrase")
+		}
+		return &PhraseExpr{Phrase: t.Text}, nil
+	case t.Kind == TokWord:
+		return p.parseComparison()
+	default:
+		return nil, p.errf("expected predicate, found %s %q", t.Kind, t.Text)
+	}
+}
+
+func (p *parser) parseComparison() (Expr, error) {
+	attr, err := p.expect(TokWord)
+	if err != nil {
+		return nil, err
+	}
+	opTok := p.next()
+	var op CmpOp
+	switch opTok.Kind {
+	case TokEq:
+		op = OpEq
+	case TokNe:
+		op = OpNe
+	case TokLt:
+		op = OpLt
+	case TokLe:
+		op = OpLe
+	case TokGt:
+		op = OpGt
+	case TokGe:
+		op = OpGe
+	default:
+		p.backup()
+		return nil, p.errf("expected comparison operator after %q", attr.Text)
+	}
+	value, text, err := p.parseLiteral()
+	if err != nil {
+		return nil, err
+	}
+	if strings.EqualFold(attr.Text, "class") && op == OpEq && value.Kind == core.DomainString {
+		return &ClassExpr{Class: value.Str}, nil
+	}
+	return &CmpExpr{Attr: strings.ToLower(attr.Text), Op: op, Value: value, ValueText: text}, nil
+}
+
+func (p *parser) parseLiteral() (core.Value, string, error) {
+	t := p.next()
+	switch t.Kind {
+	case TokString:
+		return core.String(t.Text), quoteIQL(t.Text), nil
+	case TokDate:
+		tm, err := parseDate(t.Text)
+		if err != nil {
+			p.backup()
+			return core.Value{}, "", p.errf("invalid date %q: %v", t.Text, err)
+		}
+		return core.Time(tm), "@" + t.Text, nil
+	case TokWord:
+		// A function call such as yesterday() / today() / now().
+		if p.peek().Kind == TokLParen {
+			p.next()
+			if _, err := p.expect(TokRParen); err != nil {
+				return core.Value{}, "", err
+			}
+			v, err := p.callDateFunc(t.Text)
+			if err != nil {
+				return core.Value{}, "", err
+			}
+			return v, t.Text + "()", nil
+		}
+		// A number.
+		if n, err := strconv.ParseInt(t.Text, 10, 64); err == nil {
+			return core.Int(n), t.Text, nil
+		}
+		if f, err := strconv.ParseFloat(t.Text, 64); err == nil {
+			return core.Float(f), t.Text, nil
+		}
+		switch strings.ToLower(t.Text) {
+		case "true":
+			return core.Bool(true), "true", nil
+		case "false":
+			return core.Bool(false), "false", nil
+		}
+		p.backup()
+		return core.Value{}, "", p.errf("invalid literal %q", t.Text)
+	default:
+		p.backup()
+		return core.Value{}, "", p.errf("expected literal, found %s %q", t.Kind, t.Text)
+	}
+}
+
+func (p *parser) callDateFunc(name string) (core.Value, error) {
+	day := 24 * time.Hour
+	switch strings.ToLower(name) {
+	case "now":
+		return core.Time(p.now()), nil
+	case "today":
+		return core.Time(p.now().Truncate(day)), nil
+	case "yesterday":
+		return core.Time(p.now().Truncate(day).Add(-day)), nil
+	default:
+		return core.Value{}, p.errf("unknown function %q", name)
+	}
+}
+
+// parseDate accepts dd.mm.yyyy (the paper's Q3 notation) and yyyy-mm-dd.
+func parseDate(s string) (time.Time, error) {
+	for _, layout := range []string{"02.01.2006", "2006-01-02"} {
+		if t, err := time.Parse(layout, s); err == nil {
+			return t, nil
+		}
+	}
+	return time.Time{}, fmt.Errorf("want dd.mm.yyyy or yyyy-mm-dd")
+}

@@ -1,0 +1,334 @@
+package iql
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestLexBasics(t *testing.T) {
+	toks, err := Lex(`//PIM//Introduction[class="latex_section" and "Mike Franklin"]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := []TokenKind{
+		TokSlashSlash, TokWord, TokSlashSlash, TokWord, TokLBracket,
+		TokWord, TokEq, TokString, TokWord, TokString, TokRBracket, TokEOF,
+	}
+	if len(toks) != len(kinds) {
+		t.Fatalf("got %d tokens: %v", len(toks), toks)
+	}
+	for i, k := range kinds {
+		if toks[i].Kind != k {
+			t.Errorf("token %d = %v %q, want %v", i, toks[i].Kind, toks[i].Text, k)
+		}
+	}
+	if toks[9].Text != "Mike Franklin" {
+		t.Errorf("phrase = %q", toks[9].Text)
+	}
+}
+
+func TestLexOperatorsAndDates(t *testing.T) {
+	toks, err := Lex(`[size > 420000 and lastmodified < @12.06.2005]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []TokenKind
+	for _, tk := range toks {
+		kinds = append(kinds, tk.Kind)
+	}
+	want := []TokenKind{TokLBracket, TokWord, TokGt, TokWord, TokWord,
+		TokWord, TokLt, TokDate, TokRBracket, TokEOF}
+	if len(kinds) != len(want) {
+		t.Fatalf("kinds = %v", kinds)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Errorf("token %d = %v, want %v", i, kinds[i], want[i])
+		}
+	}
+}
+
+func TestLexWildcardWords(t *testing.T) {
+	toks, err := Lex(`//VLDB200?//?onclusion*/*["systems"]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[1].Text != "VLDB200?" || toks[3].Text != "?onclusion*" || toks[5].Text != "*" {
+		t.Errorf("patterns = %q %q %q", toks[1].Text, toks[3].Text, toks[5].Text)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, bad := range []string{`"unterminated`, `size ! 4`, `@`, "`"} {
+		if _, err := Lex(bad); err == nil {
+			t.Errorf("Lex(%q) accepted", bad)
+		}
+	}
+}
+
+func fixedNow() time.Time {
+	return time.Date(2005, 6, 15, 10, 0, 0, 0, time.UTC)
+}
+
+func parse(t *testing.T, src string) Query {
+	t.Helper()
+	q, err := ParseWith(src, ParseOptions{Now: fixedNow})
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return q
+}
+
+func TestParseBarePhrase(t *testing.T) {
+	q := parse(t, `"Donald Knuth"`)
+	pq, ok := q.(*PredQuery)
+	if !ok {
+		t.Fatalf("%T", q)
+	}
+	ph, ok := pq.Pred.(*PhraseExpr)
+	if !ok || ph.Phrase != "Donald Knuth" {
+		t.Errorf("pred = %v", pq.Pred)
+	}
+}
+
+func TestParseKeywordConjunction(t *testing.T) {
+	q := parse(t, `"Donald" and "Knuth"`)
+	pq := q.(*PredQuery)
+	and, ok := pq.Pred.(*AndExpr)
+	if !ok {
+		t.Fatalf("pred = %T", pq.Pred)
+	}
+	if and.L.(*PhraseExpr).Phrase != "Donald" || and.R.(*PhraseExpr).Phrase != "Knuth" {
+		t.Errorf("and = %v", and)
+	}
+}
+
+func TestParseOrNotPrecedence(t *testing.T) {
+	q := parse(t, `"a" or "b" and not "c"`)
+	pq := q.(*PredQuery)
+	or, ok := pq.Pred.(*OrExpr)
+	if !ok {
+		t.Fatalf("top = %T (and must bind tighter than or)", pq.Pred)
+	}
+	and, ok := or.R.(*AndExpr)
+	if !ok {
+		t.Fatalf("right of or = %T", or.R)
+	}
+	if _, ok := and.R.(*NotExpr); !ok {
+		t.Errorf("not missing: %v", and.R)
+	}
+}
+
+func TestParseAttributePredicate(t *testing.T) {
+	q := parse(t, `[size > 42000 and lastmodified < yesterday()]`)
+	pq := q.(*PredQuery)
+	and := pq.Pred.(*AndExpr)
+	size := and.L.(*CmpExpr)
+	if size.Attr != "size" || size.Op != OpGt || size.Value.Int != 42000 {
+		t.Errorf("size cmp = %+v", size)
+	}
+	lm := and.R.(*CmpExpr)
+	if lm.Attr != "lastmodified" || lm.Op != OpLt {
+		t.Errorf("lm cmp = %+v", lm)
+	}
+	wantYesterday := time.Date(2005, 6, 14, 0, 0, 0, 0, time.UTC)
+	if !lm.Value.Time.Equal(wantYesterday) {
+		t.Errorf("yesterday() = %v, want %v", lm.Value.Time, wantYesterday)
+	}
+}
+
+func TestParseDateLiteral(t *testing.T) {
+	q := parse(t, `[lastmodified < @12.06.2005]`)
+	cmp := q.(*PredQuery).Pred.(*CmpExpr)
+	want := time.Date(2005, 6, 12, 0, 0, 0, 0, time.UTC)
+	if !cmp.Value.Time.Equal(want) {
+		t.Errorf("date = %v", cmp.Value.Time)
+	}
+	// ISO order too.
+	q = parse(t, `[lastmodified < @2005-06-12]`)
+	cmp = q.(*PredQuery).Pred.(*CmpExpr)
+	if !cmp.Value.Time.Equal(want) {
+		t.Errorf("iso date = %v", cmp.Value.Time)
+	}
+}
+
+func TestParsePathSteps(t *testing.T) {
+	q := parse(t, `//PIM//Introduction[class="latex_section" and "Mike Franklin"]`)
+	p, ok := q.(*PathQuery)
+	if !ok {
+		t.Fatalf("%T", q)
+	}
+	if len(p.Steps) != 2 {
+		t.Fatalf("steps = %d", len(p.Steps))
+	}
+	if p.Steps[0].Axis != Descendant || p.Steps[0].Pattern != "PIM" || p.Steps[0].Pred != nil {
+		t.Errorf("step 0 = %+v", p.Steps[0])
+	}
+	s1 := p.Steps[1]
+	if s1.Pattern != "Introduction" || s1.Pred == nil {
+		t.Errorf("step 1 = %+v", s1)
+	}
+	and := s1.Pred.(*AndExpr)
+	if and.L.(*ClassExpr).Class != "latex_section" {
+		t.Errorf("class = %v", and.L)
+	}
+}
+
+func TestParsePathMixedAxes(t *testing.T) {
+	q := parse(t, `//papers//*Vision/*["Franklin"]`)
+	p := q.(*PathQuery)
+	if len(p.Steps) != 3 {
+		t.Fatalf("steps = %d", len(p.Steps))
+	}
+	if p.Steps[1].Pattern != "*Vision" || p.Steps[1].Axis != Descendant {
+		t.Errorf("step 1 = %+v", p.Steps[1])
+	}
+	if p.Steps[2].Axis != Child || !p.Steps[2].AnyName() || p.Steps[2].Pred == nil {
+		t.Errorf("step 2 = %+v", p.Steps[2])
+	}
+}
+
+func TestParsePredOnlyStep(t *testing.T) {
+	// Q2-style: //OLAP//[class="figure" and "Indexing time"]
+	q := parse(t, `//OLAP//[class="figure" and "Indexing time"]`)
+	p := q.(*PathQuery)
+	if len(p.Steps) != 2 {
+		t.Fatalf("steps = %d", len(p.Steps))
+	}
+	if !p.Steps[1].AnyName() || p.Steps[1].Pred == nil {
+		t.Errorf("step 1 = %+v", p.Steps[1])
+	}
+}
+
+func TestParseUnion(t *testing.T) {
+	q := parse(t, `union( //VLDB2005//*["documents"], //VLDB2006//*["documents"])`)
+	u, ok := q.(*UnionQuery)
+	if !ok || len(u.Args) != 2 {
+		t.Fatalf("union = %+v", q)
+	}
+	for _, a := range u.Args {
+		if _, ok := a.(*PathQuery); !ok {
+			t.Errorf("arg = %T", a)
+		}
+	}
+}
+
+func TestParseJoinQ7(t *testing.T) {
+	src := `join( //VLDB2006//*[class="texref"] as A,
+		//VLDB2006//*[class="environment"]//figure* as B,
+		A.name=B.tuple.label)`
+	q := parse(t, src)
+	j, ok := q.(*JoinQuery)
+	if !ok {
+		t.Fatalf("%T", q)
+	}
+	if j.LeftAs != "A" || j.RightAs != "B" {
+		t.Errorf("aliases = %q, %q", j.LeftAs, j.RightAs)
+	}
+	if j.On[0].Kind != FieldName || j.On[1].Kind != FieldTupleAttr || j.On[1].Attr != "label" {
+		t.Errorf("on = %+v", j.On)
+	}
+	right := j.Right.(*PathQuery)
+	lastStep := right.Steps[len(right.Steps)-1]
+	if lastStep.Pattern != "figure*" {
+		t.Errorf("right last step = %+v", lastStep)
+	}
+}
+
+func TestParseJoinQ8SwappedOperands(t *testing.T) {
+	// Operands given right-first must normalize.
+	src := `join( //a as A, //b as B, B.name = A.name )`
+	q := parse(t, src)
+	j := q.(*JoinQuery)
+	if j.On[0].Alias != "A" || j.On[1].Alias != "B" {
+		t.Errorf("operands not normalized: %+v", j.On)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, bad := range []string{
+		``,
+		`union(//a)`, // too few args
+		`join(//a as A, //b as B, A.size=B.name)`, // bad field
+		`join(//a as A, //b as B, C.name=B.name)`, // alias mismatch
+		`[size >]`,
+		`[size 4]`,
+		`["a" and ]`,
+		`//a[`,
+		`//a] extra`,
+		`[not]`,
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParseBareDoubleSlashAllowed(t *testing.T) {
+	// `//` alone means "any view" — a single unconstrained step.
+	q, err := Parse(`//`)
+	if err != nil {
+		t.Fatalf("//: %v", err)
+	}
+	p := q.(*PathQuery)
+	if len(p.Steps) != 1 || !p.Steps[0].AnyName() {
+		t.Errorf("steps = %+v", p.Steps)
+	}
+}
+
+func TestQueryStringRoundtrip(t *testing.T) {
+	sources := []string{
+		`"Donald Knuth"`,
+		`//PIM//Introduction[class="latex_section" and "Mike Franklin"]`,
+		`//papers//*Vision/*["Franklin"]`,
+		`[size > 420000 and lastmodified < @12.06.2005]`,
+		`union( //VLDB2005//*["documents"], //VLDB2006//*["documents"] )`,
+		`join( //VLDB2006//*[class="texref"] as A, //VLDB2006//*[class="environment"]//figure* as B, A.name=B.tuple.label )`,
+	}
+	for _, src := range sources {
+		q := parse(t, src)
+		rendered := q.String()
+		q2, err := ParseWith(rendered, ParseOptions{Now: fixedNow})
+		if err != nil {
+			t.Errorf("re-parse of %q (from %q): %v", rendered, src, err)
+			continue
+		}
+		if q2.String() != rendered {
+			t.Errorf("String() not stable: %q → %q", rendered, q2.String())
+		}
+	}
+}
+
+// Property: any conjunction of quoted random phrases parses and renders
+// stably.
+func TestParsePhrasesPropertyQuick(t *testing.T) {
+	f := func(words []string) bool {
+		var clean []string
+		for _, w := range words {
+			w = strings.Map(func(r rune) rune {
+				if r == '"' || r == '\\' || r < ' ' {
+					return -1
+				}
+				return r
+			}, w)
+			if strings.TrimSpace(w) != "" {
+				clean = append(clean, w)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		src := `"` + strings.Join(clean, `" and "`) + `"`
+		q, err := Parse(src)
+		if err != nil {
+			return false
+		}
+		q2, err := Parse(q.String())
+		return err == nil && q2.String() == q.String()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,387 @@
+package iql
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/tupleindex"
+	"repro/internal/wildcard"
+)
+
+// Store is the interface the evaluator needs from the Resource View
+// Manager: replica/index-backed lookups plus graph navigation over the
+// group replica.
+type Store interface {
+	// AllOIDs returns every managed OID in ascending order.
+	AllOIDs() []catalog.OID
+	// Count returns the number of managed views.
+	Count() int
+	// NameOf returns the replicated name component of oid.
+	NameOf(oid catalog.OID) string
+	// Entry returns the catalog entry of oid.
+	Entry(oid catalog.OID) (catalog.Entry, error)
+	// Children returns the directly related views of oid.
+	Children(oid catalog.OID) []catalog.OID
+	// Parents returns the views directly relating to oid.
+	Parents(oid catalog.OID) []catalog.OID
+	// MatchNames returns views whose name matches the wildcard pattern.
+	MatchNames(pattern string) []catalog.OID
+	// ContentPhrase returns views whose content contains the phrase.
+	ContentPhrase(phrase string) []catalog.OID
+	// ContentPhraseFreqs returns per-view phrase occurrence counts for
+	// result ranking.
+	ContentPhraseFreqs(phrase string) map[catalog.OID]int
+	// TupleQuery returns views whose attribute satisfies (op, value).
+	TupleQuery(attr string, op tupleindex.Op, value core.Value) []catalog.OID
+	// Tuple returns the replicated tuple component of oid.
+	Tuple(oid catalog.OID) (core.TupleComponent, bool)
+	// OIDsInClass returns views whose class is the named class or a
+	// specialization of it.
+	OIDsInClass(class string) []catalog.OID
+}
+
+// Expansion selects the path-evaluation strategy. The paper's prototype
+// uses forward expansion and names backward/bidirectional expansion as
+// the planned fix for Q8-style queries (§7.2); both are implemented
+// here, plus a cardinality-based automatic choice.
+type Expansion int
+
+// Expansion strategies.
+const (
+	ForwardExpansion Expansion = iota
+	BackwardExpansion
+	AutoExpansion
+)
+
+func (e Expansion) String() string {
+	switch e {
+	case ForwardExpansion:
+		return "forward"
+	case BackwardExpansion:
+		return "backward"
+	default:
+		return "auto"
+	}
+}
+
+// PlanInfo records the rule-based planner's decisions, for EXPLAIN-style
+// output and for the evaluation harness (Figure 6 discusses Q8's
+// intermediate-result blow-up).
+type PlanInfo struct {
+	Notes []string
+	// Intermediates counts views touched during path expansion beyond
+	// those in the final result.
+	Intermediates int
+	// IndexAccesses counts index-backed candidate fetches.
+	IndexAccesses int
+}
+
+func (p *PlanInfo) notef(format string, args ...any) {
+	p.Notes = append(p.Notes, fmt.Sprintf(format, args...))
+}
+
+// String renders the plan notes one per line.
+func (p *PlanInfo) String() string { return strings.Join(p.Notes, "\n") }
+
+// evalCtx carries per-query memoized index lookups.
+type evalCtx struct {
+	store Store
+	plan  *PlanInfo
+	// phraseSets memoizes content-index phrase results.
+	phraseSets map[string]map[catalog.OID]bool
+	// classSets memoizes specialization-aware class membership.
+	classSets map[string]map[catalog.OID]bool
+}
+
+func newEvalCtx(store Store, plan *PlanInfo) *evalCtx {
+	return &evalCtx{
+		store:      store,
+		plan:       plan,
+		phraseSets: make(map[string]map[catalog.OID]bool),
+		classSets:  make(map[string]map[catalog.OID]bool),
+	}
+}
+
+func (c *evalCtx) phraseSet(phrase string) map[catalog.OID]bool {
+	key := strings.ToLower(phrase)
+	if s, ok := c.phraseSets[key]; ok {
+		return s
+	}
+	c.plan.IndexAccesses++
+	oids := c.store.ContentPhrase(phrase)
+	s := make(map[catalog.OID]bool, len(oids))
+	for _, o := range oids {
+		s[o] = true
+	}
+	c.phraseSets[key] = s
+	return s
+}
+
+func (c *evalCtx) classSet(class string) map[catalog.OID]bool {
+	if s, ok := c.classSets[class]; ok {
+		return s
+	}
+	c.plan.IndexAccesses++
+	oids := c.store.OIDsInClass(class)
+	s := make(map[catalog.OID]bool, len(oids))
+	for _, o := range oids {
+		s[o] = true
+	}
+	c.classSets[class] = s
+	return s
+}
+
+// evalExpr evaluates a predicate for one view.
+func (c *evalCtx) evalExpr(e Expr, oid catalog.OID) bool {
+	switch x := e.(type) {
+	case *AndExpr:
+		return c.evalExpr(x.L, oid) && c.evalExpr(x.R, oid)
+	case *OrExpr:
+		return c.evalExpr(x.L, oid) || c.evalExpr(x.R, oid)
+	case *NotExpr:
+		return !c.evalExpr(x.E, oid)
+	case *PhraseExpr:
+		return c.phraseSet(x.Phrase)[oid]
+	case *ClassExpr:
+		return c.classSet(x.Class)[oid]
+	case *HasExpr:
+		return c.hasBranch(x.Steps, oid)
+	case *CmpExpr:
+		// The pseudo-attribute "name" compares against the η component
+		// (with wildcard semantics for = and !=), extending search to
+		// components beyond χ and τ.
+		if x.Attr == "name" && x.Value.Kind == core.DomainString {
+			matched := wildcard.Match(x.Value.Str, c.store.NameOf(oid))
+			switch x.Op {
+			case OpEq:
+				return matched
+			case OpNe:
+				return !matched
+			default:
+				return false
+			}
+		}
+		tc, ok := c.store.Tuple(oid)
+		if !ok {
+			return false
+		}
+		v, ok := tc.Get(x.Attr)
+		if !ok {
+			return false
+		}
+		cmp, err := core.Compare(v, x.Value)
+		if err != nil {
+			return false
+		}
+		switch x.Op {
+		case OpEq:
+			return cmp == 0
+		case OpNe:
+			return cmp != 0
+		case OpLt:
+			return cmp < 0
+		case OpLe:
+			return cmp <= 0
+		case OpGt:
+			return cmp > 0
+		case OpGe:
+			return cmp >= 0
+		}
+	}
+	return false
+}
+
+// hasBranchBudget bounds the views touched by one has() evaluation.
+const hasBranchBudget = 1 << 16
+
+// hasBranch evaluates an existence branch relative to one view: it
+// follows the steps from oid and reports whether any view matches the
+// full branch path.
+func (c *evalCtx) hasBranch(steps []Step, oid catalog.OID) bool {
+	cur := []catalog.OID{oid}
+	budget := hasBranchBudget
+	for _, s := range steps {
+		matched := make(map[catalog.OID]bool)
+		switch s.Axis {
+		case Child:
+			for _, v := range cur {
+				for _, child := range c.store.Children(v) {
+					if budget--; budget <= 0 {
+						return false
+					}
+					if c.matchStep(s, child) {
+						matched[child] = true
+					}
+				}
+			}
+		case Descendant:
+			visited := make(map[catalog.OID]bool)
+			frontier := cur
+			for len(frontier) > 0 {
+				var next []catalog.OID
+				for _, v := range frontier {
+					for _, child := range c.store.Children(v) {
+						if visited[child] {
+							continue
+						}
+						visited[child] = true
+						if budget--; budget <= 0 {
+							return false
+						}
+						if c.matchStep(s, child) {
+							matched[child] = true
+						}
+						next = append(next, child)
+					}
+				}
+				frontier = next
+			}
+		}
+		if len(matched) == 0 {
+			return false
+		}
+		cur = setToSorted(matched)
+	}
+	return true
+}
+
+// matchStep reports whether a view satisfies a step's name pattern and
+// predicate.
+func (c *evalCtx) matchStep(s Step, oid catalog.OID) bool {
+	if !s.AnyName() && !WildcardMatch(s.Pattern, c.store.NameOf(oid)) {
+		return false
+	}
+	if s.Pred != nil && !c.evalExpr(s.Pred, oid) {
+		return false
+	}
+	return true
+}
+
+// resolveStep returns all views in the dataspace matching a step's
+// pattern and predicate, using indexes where the rule-based planner
+// finds them applicable and falling back to a scan otherwise.
+func (c *evalCtx) resolveStep(s Step) []catalog.OID {
+	var candidates []catalog.OID
+	constrained := false
+
+	intersect := func(oids []catalog.OID, why string) {
+		c.plan.notef("  index: %s → %d candidates", why, len(oids))
+		if !constrained {
+			candidates = oids
+			constrained = true
+			return
+		}
+		candidates = intersectSorted(candidates, oids)
+	}
+
+	if !s.AnyName() {
+		c.plan.IndexAccesses++
+		oids := c.store.MatchNames(s.Pattern)
+		intersect(oids, fmt.Sprintf("name replica match %q", s.Pattern))
+	}
+	// Pull index-supported conjuncts out of the predicate. The full
+	// predicate is still applied below, so over-approximation is safe.
+	for _, conj := range conjuncts(s.Pred) {
+		switch x := conj.(type) {
+		case *PhraseExpr:
+			set := c.phraseSet(x.Phrase)
+			intersect(setToSorted(set), fmt.Sprintf("content index phrase %q", x.Phrase))
+		case *ClassExpr:
+			set := c.classSet(x.Class)
+			intersect(setToSorted(set), fmt.Sprintf("class lookup %q", x.Class))
+		case *CmpExpr:
+			if x.Attr == "name" && x.Op == OpEq && x.Value.Kind == core.DomainString {
+				c.plan.IndexAccesses++
+				oids := c.store.MatchNames(x.Value.Str)
+				intersect(oids, fmt.Sprintf("name replica match %q (name predicate)", x.Value.Str))
+				continue
+			}
+			if x.Attr == "name" {
+				continue // inequality on names: final filter only
+			}
+			if op, ok := tupleOp(x.Op); ok {
+				c.plan.IndexAccesses++
+				oids := c.store.TupleQuery(x.Attr, op, x.Value)
+				intersect(oids, fmt.Sprintf("tuple index %s %s %s", x.Attr, x.Op, x.ValueText))
+			}
+		}
+	}
+	if !constrained {
+		candidates = c.store.AllOIDs()
+		c.plan.notef("  scan: no applicable index, %d views", len(candidates))
+	}
+	// Final exact filter (pattern + full predicate).
+	out := candidates[:0:0]
+	for _, oid := range candidates {
+		if c.matchStep(s, oid) {
+			out = append(out, oid)
+		}
+	}
+	return out
+}
+
+// conjuncts flattens the top-level AND tree of an expression.
+func conjuncts(e Expr) []Expr {
+	if e == nil {
+		return nil
+	}
+	if a, ok := e.(*AndExpr); ok {
+		return append(conjuncts(a.L), conjuncts(a.R)...)
+	}
+	return []Expr{e}
+}
+
+func tupleOp(op CmpOp) (tupleindex.Op, bool) {
+	switch op {
+	case OpEq:
+		return tupleindex.EQ, true
+	case OpNe:
+		return tupleindex.NE, true
+	case OpLt:
+		return tupleindex.LT, true
+	case OpLe:
+		return tupleindex.LE, true
+	case OpGt:
+		return tupleindex.GT, true
+	case OpGe:
+		return tupleindex.GE, true
+	default:
+		return 0, false
+	}
+}
+
+func intersectSorted(a, b []catalog.OID) []catalog.OID {
+	var out []catalog.OID
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+func setToSorted(s map[catalog.OID]bool) []catalog.OID {
+	out := make([]catalog.OID, 0, len(s))
+	for o := range s {
+		out = append(out, o)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// WildcardMatch reports whether name matches pattern; see
+// internal/wildcard for the semantics.
+func WildcardMatch(pattern, name string) bool {
+	return wildcard.Match(pattern, name)
+}

@@ -1,0 +1,27 @@
+package latex
+
+import "testing"
+
+func BenchmarkParse(b *testing.B) {
+	b.SetBytes(int64(len(paperDoc)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(paperDoc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkToViews(b *testing.B) {
+	d, err := Parse(paperDoc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if views := ToViews(d); len(views) == 0 {
+			b.Fatal("no views")
+		}
+	}
+}

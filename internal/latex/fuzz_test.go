@@ -1,0 +1,34 @@
+package latex
+
+import "testing"
+
+// FuzzParse asserts the LaTeX parser never panics and that parseable
+// documents convert to views without panicking.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		paperDoc,
+		"\\section{A}\ntext",
+		"\\begin{figure}\\caption{C}\\label{l}\\end{figure}",
+		"\\begin{document}\\section{S}\\end{document}",
+		"\\ref{x} \\label{y}",
+		"50\\% of } { braces",
+		"%only a comment",
+		"\\begin{a}\\begin{b}\\end{b}\\end{a}",
+		"\\", "\\section", "\\section{", "\\end{nothing}",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		d, err := Parse(src)
+		if err != nil {
+			return
+		}
+		if d == nil || d.Root == nil {
+			t.Fatal("nil doc without error")
+		}
+		ToViews(d)
+		CountViews(d)
+		d.Root.PlainText()
+	})
+}

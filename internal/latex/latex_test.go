@@ -1,0 +1,409 @@
+package latex
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+)
+
+// paperDoc mimics the structure of 'vldb 2006.tex' in Figure 1 of the
+// paper: documentclass, title, abstract, sections with subsections, a
+// figure with caption and label, and a \ref back to a labeled section.
+const paperDoc = `\documentclass{vldb}
+% a comment line
+\title{iDM: A Unified and Versatile Data Model}
+\begin{document}
+\begin{abstract}
+Personal Information Management Systems require a powerful data model.
+\end{abstract}
+\section{Introduction}
+\label{sec:intro}
+This paper is about PIM and Mike Franklin's dataspaces vision.
+\subsection{The Problem}
+See Section~\ref{sec:prelim} for details.
+\subsection{Our Contributions}
+We present the iMeMex Data Model.
+\section{Preliminaries}
+\label{sec:prelim}
+Definitions follow.
+\begin{figure}
+\caption{Indexing Time for the personal dataset}
+\label{fig:indexing}
+\end{figure}
+\section{Conclusion}
+Systems should use \emph{unified} models.
+\end{document}`
+
+func mustParse(t *testing.T, src string) *Doc {
+	t.Helper()
+	d, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func childrenOfKind(n *Node, k NodeKind) []*Node {
+	var out []*Node
+	for _, c := range n.Children {
+		if c.Kind == k {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func TestParseTopLevelStructure(t *testing.T) {
+	d := mustParse(t, paperDoc)
+	root := d.Root
+	if len(childrenOfKind(root, KindDocclass)) != 1 {
+		t.Error("documentclass missing")
+	}
+	if len(childrenOfKind(root, KindTitle)) != 1 {
+		t.Error("title missing")
+	}
+	if len(childrenOfKind(root, KindAbstract)) != 1 {
+		t.Error("abstract missing")
+	}
+	sections := childrenOfKind(root, KindSection)
+	if len(sections) != 3 {
+		t.Fatalf("sections = %d, want 3", len(sections))
+	}
+	if sections[0].Title != "Introduction" || sections[1].Title != "Preliminaries" || sections[2].Title != "Conclusion" {
+		t.Errorf("section titles: %q %q %q", sections[0].Title, sections[1].Title, sections[2].Title)
+	}
+}
+
+func TestParseSubsectionNesting(t *testing.T) {
+	d := mustParse(t, paperDoc)
+	intro := childrenOfKind(d.Root, KindSection)[0]
+	subs := childrenOfKind(intro, KindSubsection)
+	if len(subs) != 2 {
+		t.Fatalf("Introduction subsections = %d, want 2", len(subs))
+	}
+	if subs[0].Title != "The Problem" || subs[1].Title != "Our Contributions" {
+		t.Errorf("subsection titles: %q, %q", subs[0].Title, subs[1].Title)
+	}
+	// The ref lives inside "The Problem".
+	refs := childrenOfKind(subs[0], KindRef)
+	if len(refs) != 1 || refs[0].Title != "sec:prelim" {
+		t.Errorf("refs in The Problem = %+v", refs)
+	}
+}
+
+func TestParseLabelsAndRefs(t *testing.T) {
+	d := mustParse(t, paperDoc)
+	if n, ok := d.Labels["sec:intro"]; !ok || n.Title != "Introduction" {
+		t.Errorf("label sec:intro → %+v", n)
+	}
+	if n, ok := d.Labels["sec:prelim"]; !ok || n.Title != "Preliminaries" {
+		t.Errorf("label sec:prelim → %+v", n)
+	}
+	fig, ok := d.Labels["fig:indexing"]
+	if !ok || fig.Kind != KindFigure {
+		t.Fatalf("label fig:indexing → %+v", fig)
+	}
+	if fig.Caption != "Indexing Time for the personal dataset" {
+		t.Errorf("figure caption = %q", fig.Caption)
+	}
+	if len(d.Refs) != 1 {
+		t.Errorf("refs = %d, want 1", len(d.Refs))
+	}
+}
+
+func TestParseCommentStripping(t *testing.T) {
+	d := mustParse(t, "\\section{A}\nvisible % hidden\ntext")
+	sec := childrenOfKind(d.Root, KindSection)[0]
+	txt := sec.PlainText()
+	if !strings.Contains(txt, "visible") || strings.Contains(txt, "hidden") {
+		t.Errorf("comment handling: %q", txt)
+	}
+}
+
+func TestParseEscapedPercent(t *testing.T) {
+	d := mustParse(t, "\\section{A}\n50\\% of files")
+	txt := childrenOfKind(d.Root, KindSection)[0].PlainText()
+	if !strings.Contains(txt, "50% of files") {
+		t.Errorf("escaped percent: %q", txt)
+	}
+}
+
+func TestParseUnknownCommandKeepsArgText(t *testing.T) {
+	d := mustParse(t, "\\section{A}\nuse \\emph{unified} models")
+	txt := childrenOfKind(d.Root, KindSection)[0].PlainText()
+	if !strings.Contains(txt, "unified") {
+		t.Errorf("emph arg lost: %q", txt)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"\\begin{figure} unclosed",
+		"\\begin{a}\\end{b}",
+		"\\section{unclosed",
+		"\\section",
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) accepted malformed input", src)
+		}
+	}
+}
+
+func TestParsePlainTextOnly(t *testing.T) {
+	d := mustParse(t, "just plain text, no commands")
+	if len(d.Root.Children) != 1 || d.Root.Children[0].Kind != KindText {
+		t.Errorf("plain text doc: %+v", d.Root.Children)
+	}
+}
+
+func TestPlainTextIncludesCaption(t *testing.T) {
+	d := mustParse(t, paperDoc)
+	prelim := childrenOfKind(d.Root, KindSection)[1]
+	if !strings.Contains(prelim.PlainText(), "Indexing Time") {
+		t.Errorf("section text lacks caption: %q", prelim.PlainText())
+	}
+}
+
+func TestToViewsShape(t *testing.T) {
+	d := mustParse(t, paperDoc)
+	top := ToViews(d)
+	// documentclass, title, abstract, document
+	if len(top) != 4 {
+		t.Fatalf("top views = %d, want 4", len(top))
+	}
+	classes := []string{core.ClassLatexDocclass, core.ClassLatexTitle, core.ClassLatexAbstract, core.ClassLatexDocument}
+	for i, v := range top {
+		if v.Class() != classes[i] {
+			t.Errorf("top[%d] class = %q, want %q", i, v.Class(), classes[i])
+		}
+	}
+	docView := top[3]
+	sections, _ := core.CollectViews(docView.Group().Seq, 0)
+	if len(sections) != 3 {
+		t.Fatalf("document has %d section views", len(sections))
+	}
+	if sections[0].Name() != "Introduction" {
+		t.Errorf("first section = %q", sections[0].Name())
+	}
+}
+
+func TestToViewsSectionContentSearchable(t *testing.T) {
+	d := mustParse(t, paperDoc)
+	top := ToViews(d)
+	docView := top[3]
+	sections, _ := core.CollectViews(docView.Group().Seq, 0)
+	b, _ := core.ReadAllContent(sections[0].Content(), 0)
+	if !strings.Contains(string(b), "Mike Franklin") {
+		t.Errorf("Introduction χ lacks phrase: %q", b)
+	}
+}
+
+func TestToViewsRefCrossEdge(t *testing.T) {
+	d := mustParse(t, paperDoc)
+	top := ToViews(d)
+	docView := top[3]
+	// Find the texref view and the Preliminaries section view.
+	var refView, prelimView core.ResourceView
+	core.Walk(docView, core.WalkOptions{MaxDepth: -1}, func(v core.ResourceView, _ int) error {
+		switch {
+		case v.Class() == core.ClassTexRef:
+			refView = v
+		case v.Name() == "Preliminaries":
+			prelimView = v
+		}
+		return nil
+	})
+	if refView == nil || prelimView == nil {
+		t.Fatal("ref or target view missing")
+	}
+	if refView.Name() != "sec:prelim" {
+		t.Errorf("texref name = %q (Q7 joins on this)", refView.Name())
+	}
+	targets, _ := core.CollectViews(refView.Group().Set, 0)
+	if len(targets) != 1 || targets[0] != prelimView {
+		t.Error("texref does not point at Preliminaries (cross edge missing)")
+	}
+	// Preliminaries is now reachable from two parents: document tree and ref.
+	related, err := core.IndirectlyRelated(refView, prelimView, core.WalkOptions{MaxDepth: -1})
+	if err != nil || !related {
+		t.Errorf("ref →* target = %v, %v", related, err)
+	}
+}
+
+func TestToViewsFigureTuple(t *testing.T) {
+	d := mustParse(t, paperDoc)
+	top := ToViews(d)
+	var fig core.ResourceView
+	core.Walk(top[3], core.WalkOptions{MaxDepth: -1}, func(v core.ResourceView, _ int) error {
+		if v.Class() == core.ClassFigure {
+			fig = v
+		}
+		return nil
+	})
+	if fig == nil {
+		t.Fatal("figure view missing")
+	}
+	if fig.Name() != "figure" {
+		t.Errorf("figure name = %q", fig.Name())
+	}
+	if label, ok := fig.Tuple().Get("label"); !ok || label.Str != "fig:indexing" {
+		t.Errorf("figure label = %v, %v", label, ok)
+	}
+	if cap, ok := fig.Tuple().Get("caption"); !ok || !strings.Contains(cap.Str, "Indexing Time") {
+		t.Errorf("figure caption = %v, %v", cap, ok)
+	}
+	b, _ := core.ReadAllContent(fig.Content(), 0)
+	if !strings.Contains(string(b), "Indexing Time") {
+		t.Errorf("figure χ = %q", b)
+	}
+}
+
+func TestToViewsDanglingRef(t *testing.T) {
+	d := mustParse(t, "\\section{A}\nsee \\ref{nowhere}")
+	top := ToViews(d)
+	var ref core.ResourceView
+	core.Walk(top[0], core.WalkOptions{MaxDepth: -1}, func(v core.ResourceView, _ int) error {
+		if v.Class() == core.ClassTexRef {
+			ref = v
+		}
+		return nil
+	})
+	// ToViews returns only the document view here (no docclass etc.).
+	if ref == nil {
+		core.Walk(top[len(top)-1], core.WalkOptions{MaxDepth: -1}, func(v core.ResourceView, _ int) error {
+			if v.Class() == core.ClassTexRef {
+				ref = v
+			}
+			return nil
+		})
+	}
+	if ref == nil {
+		t.Fatal("texref view missing")
+	}
+	if !ref.Group().IsEmpty() {
+		t.Error("dangling ref should have empty group")
+	}
+}
+
+func TestCountViewsMatchesGraph(t *testing.T) {
+	d := mustParse(t, paperDoc)
+	top := ToViews(d)
+	var total int
+	seen := make(map[core.ResourceView]bool)
+	for _, v := range top {
+		core.Walk(v, core.WalkOptions{MaxDepth: -1}, func(w core.ResourceView, _ int) error {
+			if !seen[w] {
+				seen[w] = true
+				total++
+			}
+			return nil
+		})
+	}
+	if want := CountViews(d); total != want {
+		t.Errorf("reachable views = %d, CountViews = %d", total, want)
+	}
+}
+
+func TestParseOptionalArguments(t *testing.T) {
+	// \documentclass[11pt,a4paper]{article} — the optional argument is
+	// skipped, including nested brackets.
+	d := mustParse(t, "\\documentclass[11pt,[nested],a4paper]{article}\n\\section{A}\nbody")
+	dc := childrenOfKind(d.Root, KindDocclass)
+	if len(dc) != 1 || dc[0].Title != "article" {
+		t.Errorf("docclass = %+v", dc)
+	}
+	// Unknown command with optional arg: \includegraphics[width=1]{f.png}.
+	d = mustParse(t, "\\section{A}\n\\includegraphics[width=0.5]{fig.png} done")
+	txt := childrenOfKind(d.Root, KindSection)[0].PlainText()
+	if !strings.Contains(txt, "fig.png") || !strings.Contains(txt, "done") {
+		t.Errorf("text = %q", txt)
+	}
+	if strings.Contains(txt, "width") {
+		t.Errorf("optional arg leaked: %q", txt)
+	}
+}
+
+func TestParseErrorMessage(t *testing.T) {
+	_, err := Parse("\\section{unclosed")
+	if err == nil {
+		t.Fatal("no error")
+	}
+	pe, ok := err.(*ParseError)
+	if !ok {
+		t.Fatalf("%T", err)
+	}
+	if !strings.Contains(pe.Error(), "latex: parse") {
+		t.Errorf("message = %q", pe.Error())
+	}
+}
+
+func TestCountViewsWithoutBody(t *testing.T) {
+	// A document with only front matter has no synthetic document view.
+	d := mustParse(t, "\\documentclass{a}\n\\title{T}")
+	top := ToViews(d)
+	if len(top) != 2 {
+		t.Fatalf("top = %d", len(top))
+	}
+	total := 0
+	seen := map[core.ResourceView]bool{}
+	for _, v := range top {
+		core.Walk(v, core.WalkOptions{MaxDepth: -1}, func(w core.ResourceView, _ int) error {
+			if !seen[w] {
+				seen[w] = true
+				total++
+			}
+			return nil
+		})
+	}
+	if want := CountViews(d); total != want {
+		t.Errorf("views = %d, CountViews = %d", total, want)
+	}
+	if CountViews(nil) != 0 {
+		t.Error("CountViews(nil) != 0")
+	}
+}
+
+func TestAllNodeKindStrings(t *testing.T) {
+	for k := KindDocument; k <= KindFigure; k++ {
+		if s := k.String(); s == "" || strings.HasPrefix(s, "kind(") {
+			t.Errorf("kind %d unnamed", int(k))
+		}
+	}
+}
+
+func TestNodeKindString(t *testing.T) {
+	kinds := map[NodeKind]string{
+		KindDocument: "document", KindSection: "section", KindFigure: "figure",
+		KindRef: "ref", KindText: "text",
+	}
+	for k, want := range kinds {
+		if k.String() != want {
+			t.Errorf("%v.String() = %q, want %q", int(k), k.String(), want)
+		}
+	}
+}
+
+// Property: documents generated with n sections parse into exactly n
+// section nodes and ToViews yields the matching count.
+func TestParseSectionsPropertyQuick(t *testing.T) {
+	f := func(n uint8) bool {
+		count := int(n%10) + 1
+		var b strings.Builder
+		for i := 0; i < count; i++ {
+			b.WriteString("\\section{S")
+			b.WriteByte(byte('0' + i%10))
+			b.WriteString("}\nbody text here\n")
+		}
+		d, err := Parse(b.String())
+		if err != nil {
+			return false
+		}
+		return len(childrenOfKind(d.Root, KindSection)) == count
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,490 @@
+// Package latex instantiates graph-structured LaTeX documents in iDM.
+// The paper (§1.2, §2.3, Figure 1) uses LaTeX as its example of
+// graph-structured content inside files: sections and subsections form a
+// tree, while \label/\ref pairs add cross edges that turn the tree into
+// an arbitrary directed graph. This package parses the LaTeX subset the
+// paper exercises — \documentclass, \title, abstract, (sub)sections,
+// figure and generic environments, \caption, \label and \ref — and
+// converts the result to a resource view graph using the latex_* resource
+// view classes.
+package latex
+
+import (
+	"fmt"
+	"strings"
+)
+
+// NodeKind discriminates structural nodes of a parsed document.
+type NodeKind int
+
+// Structural node kinds.
+const (
+	KindDocument NodeKind = iota
+	KindDocclass
+	KindTitle
+	KindAbstract
+	KindSection
+	KindSubsection
+	KindText
+	KindRef
+	KindEnvironment
+	KindFigure
+)
+
+func (k NodeKind) String() string {
+	switch k {
+	case KindDocument:
+		return "document"
+	case KindDocclass:
+		return "documentclass"
+	case KindTitle:
+		return "title"
+	case KindAbstract:
+		return "abstract"
+	case KindSection:
+		return "section"
+	case KindSubsection:
+		return "subsection"
+	case KindText:
+		return "text"
+	case KindRef:
+		return "ref"
+	case KindEnvironment:
+		return "environment"
+	case KindFigure:
+		return "figure"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Node is one structural node of a parsed LaTeX document.
+type Node struct {
+	Kind NodeKind
+	// Title is the section title, environment name, documentclass name,
+	// document title, or the target key of a \ref.
+	Title string
+	// Label is the \label key attached to this node, if any.
+	Label string
+	// Caption is the \caption text (figures and environments).
+	Caption string
+	// Text is the raw text run (text nodes only).
+	Text string
+	// Children are the nested structural nodes in document order.
+	Children []*Node
+}
+
+// Doc is a parsed LaTeX document.
+type Doc struct {
+	// Root is the document node; its children are the top-level nodes
+	// (documentclass, title, abstract, sections).
+	Root *Node
+	// Labels maps \label keys to the node carrying the label.
+	Labels map[string]*Node
+	// Refs lists every \ref node in document order.
+	Refs []*Node
+}
+
+// ParseError reports malformed LaTeX input.
+type ParseError struct {
+	Pos int
+	Msg string
+}
+
+func (e *ParseError) Error() string { return fmt.Sprintf("latex: parse at byte %d: %s", e.Pos, e.Msg) }
+
+type parser struct {
+	src string
+	pos int
+}
+
+// Parse parses LaTeX source into a structural document tree. The parser
+// is tolerant: commands outside the handled subset are skipped (their
+// braced arguments contribute text), and a document without any handled
+// command becomes a single text node.
+func Parse(src string) (*Doc, error) {
+	p := &parser{src: stripComments(src)}
+	doc := &Node{Kind: KindDocument, Title: "document"}
+	if err := p.parseInto(doc, ""); err != nil {
+		return nil, err
+	}
+	restructure(doc)
+	d := &Doc{Root: doc, Labels: make(map[string]*Node)}
+	collectLabelsAndRefs(doc, d)
+	return d, nil
+}
+
+// stripComments removes LaTeX %-comments (but keeps escaped \%).
+func stripComments(src string) string {
+	var b strings.Builder
+	b.Grow(len(src))
+	for i := 0; i < len(src); i++ {
+		c := src[i]
+		if c == '\\' && i+1 < len(src) {
+			b.WriteByte(c)
+			b.WriteByte(src[i+1])
+			i++
+			continue
+		}
+		if c == '%' {
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+			if i < len(src) {
+				b.WriteByte('\n')
+			}
+			continue
+		}
+		b.WriteByte(c)
+	}
+	return b.String()
+}
+
+// parseInto parses nodes into parent until the end of input or until
+// \end{env} for the given enclosing environment name.
+func (p *parser) parseInto(parent *Node, env string) error {
+	var text strings.Builder
+	flush := func() {
+		t := strings.TrimSpace(text.String())
+		text.Reset()
+		if t != "" {
+			parent.Children = append(parent.Children, &Node{Kind: KindText, Text: t})
+		}
+	}
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		if c != '\\' {
+			text.WriteByte(c)
+			p.pos++
+			continue
+		}
+		start := p.pos
+		name := p.commandName()
+		switch name {
+		case "documentclass":
+			p.skipOptArg()
+			arg, err := p.bracedArg()
+			if err != nil {
+				return err
+			}
+			flush()
+			parent.Children = append(parent.Children, &Node{Kind: KindDocclass, Title: arg})
+		case "title":
+			arg, err := p.bracedArg()
+			if err != nil {
+				return err
+			}
+			flush()
+			parent.Children = append(parent.Children, &Node{Kind: KindTitle, Title: arg})
+		case "section", "section*", "subsection", "subsection*", "subsubsection", "subsubsection*":
+			arg, err := p.bracedArg()
+			if err != nil {
+				return err
+			}
+			flush()
+			kind := KindSection
+			if strings.HasPrefix(name, "subsection") || strings.HasPrefix(name, "subsubsection") {
+				kind = KindSubsection
+			}
+			parent.Children = append(parent.Children, &Node{Kind: kind, Title: arg})
+		case "label":
+			arg, err := p.bracedArg()
+			if err != nil {
+				return err
+			}
+			flush()
+			attachLabel(parent, arg)
+		case "ref":
+			arg, err := p.bracedArg()
+			if err != nil {
+				return err
+			}
+			flush()
+			parent.Children = append(parent.Children, &Node{Kind: KindRef, Title: arg})
+		case "caption":
+			arg, err := p.bracedArg()
+			if err != nil {
+				return err
+			}
+			flush()
+			parent.Children = append(parent.Children, &Node{Kind: KindText, Text: arg})
+			attachCaption(parent, arg)
+		case "begin":
+			arg, err := p.bracedArg()
+			if err != nil {
+				return err
+			}
+			flush()
+			kind := KindEnvironment
+			switch arg {
+			case "document":
+				// The document environment is transparent: its contents
+				// belong to the document node itself.
+				if err := p.parseInto(parent, "document"); err != nil {
+					return err
+				}
+				continue
+			case "abstract":
+				kind = KindAbstract
+			case "figure", "figure*":
+				kind = KindFigure
+			}
+			child := &Node{Kind: kind, Title: arg}
+			if err := p.parseInto(child, arg); err != nil {
+				return err
+			}
+			parent.Children = append(parent.Children, child)
+		case "end":
+			arg, err := p.bracedArg()
+			if err != nil {
+				return err
+			}
+			if arg != env {
+				return &ParseError{Pos: start, Msg: fmt.Sprintf("\\end{%s} does not match open environment %q", arg, env)}
+			}
+			flush()
+			return nil
+		case "":
+			// Lone backslash or escaped symbol (\%, \&, \\): keep the
+			// escaped character as text.
+			p.pos++ // consume '\'
+			if p.pos < len(p.src) {
+				text.WriteByte(p.src[p.pos])
+				p.pos++
+			}
+		default:
+			// Unknown command: skip it; a braced argument, if present,
+			// contributes its text (e.g. \emph{word}).
+			p.skipOptArg()
+			if p.peek() == '{' {
+				arg, err := p.bracedArg()
+				if err != nil {
+					return err
+				}
+				text.WriteString(arg)
+			}
+		}
+	}
+	if env != "" && env != "document" {
+		return &ParseError{Pos: p.pos, Msg: fmt.Sprintf("unclosed environment %q", env)}
+	}
+	flush()
+	return nil
+}
+
+// commandName consumes the backslash and letters of a command, including
+// a trailing star.
+func (p *parser) commandName() string {
+	p.pos++ // consume '\'
+	start := p.pos
+	for p.pos < len(p.src) && isLetter(p.src[p.pos]) {
+		p.pos++
+	}
+	name := p.src[start:p.pos]
+	if name != "" && p.pos < len(p.src) && p.src[p.pos] == '*' {
+		name += "*"
+		p.pos++
+	}
+	if name == "" {
+		p.pos = start - 1 // rewind to the backslash for the caller
+	}
+	return name
+}
+
+func isLetter(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+
+func (p *parser) peek() byte {
+	// Skip whitespace between a command and its argument.
+	i := p.pos
+	for i < len(p.src) && (p.src[i] == ' ' || p.src[i] == '\n' || p.src[i] == '\t') {
+		i++
+	}
+	if i >= len(p.src) {
+		return 0
+	}
+	return p.src[i]
+}
+
+// skipOptArg consumes an optional [..] argument.
+func (p *parser) skipOptArg() {
+	for p.pos < len(p.src) && (p.src[p.pos] == ' ' || p.src[p.pos] == '\n' || p.src[p.pos] == '\t') {
+		p.pos++
+	}
+	if p.pos < len(p.src) && p.src[p.pos] == '[' {
+		depth := 0
+		for p.pos < len(p.src) {
+			switch p.src[p.pos] {
+			case '[':
+				depth++
+			case ']':
+				depth--
+				if depth == 0 {
+					p.pos++
+					return
+				}
+			}
+			p.pos++
+		}
+	}
+}
+
+// bracedArg consumes a {..} argument with balanced nested braces and
+// returns its contents with commands flattened to text.
+func (p *parser) bracedArg() (string, error) {
+	for p.pos < len(p.src) && (p.src[p.pos] == ' ' || p.src[p.pos] == '\n' || p.src[p.pos] == '\t') {
+		p.pos++
+	}
+	if p.pos >= len(p.src) || p.src[p.pos] != '{' {
+		return "", &ParseError{Pos: p.pos, Msg: "expected '{'"}
+	}
+	depth := 0
+	start := p.pos + 1
+	for p.pos < len(p.src) {
+		switch p.src[p.pos] {
+		case '{':
+			depth++
+		case '}':
+			depth--
+			if depth == 0 {
+				arg := p.src[start:p.pos]
+				p.pos++
+				return strings.TrimSpace(arg), nil
+			}
+		case '\\':
+			p.pos++ // skip escaped char
+		}
+		p.pos++
+	}
+	return "", &ParseError{Pos: start - 1, Msg: "unclosed '{'"}
+}
+
+// attachLabel attaches a \label key to the most recent labelable child of
+// parent (a section, subsection, figure or environment), or to parent
+// itself when it is labelable.
+func attachLabel(parent *Node, key string) {
+	for i := len(parent.Children) - 1; i >= 0; i-- {
+		c := parent.Children[i]
+		switch c.Kind {
+		case KindSection, KindSubsection, KindFigure, KindEnvironment:
+			if c.Label == "" {
+				c.Label = key
+				return
+			}
+		case KindText, KindRef:
+			continue
+		}
+		break
+	}
+	if parent.Label == "" {
+		switch parent.Kind {
+		case KindSection, KindSubsection, KindFigure, KindEnvironment, KindAbstract:
+			parent.Label = key
+		}
+	}
+}
+
+func attachCaption(parent *Node, caption string) {
+	if parent.Kind == KindFigure || parent.Kind == KindEnvironment {
+		if parent.Caption == "" {
+			parent.Caption = caption
+		}
+	}
+}
+
+// restructure converts the flat (sub)section markers emitted by the
+// parser into a proper nesting: text and environments following a
+// section heading become its children, and subsections nest under the
+// preceding section.
+func restructure(doc *Node) {
+	doc.Children = nest(doc.Children)
+}
+
+func nest(flat []*Node) []*Node {
+	var out []*Node
+	var curSection *Node
+	var curSub *Node
+	appendTo := func(n *Node) {
+		switch {
+		case curSub != nil:
+			curSub.Children = append(curSub.Children, n)
+		case curSection != nil:
+			curSection.Children = append(curSection.Children, n)
+		default:
+			out = append(out, n)
+		}
+	}
+	for _, n := range flat {
+		// Recursively nest environment bodies (figures keep their flat
+		// caption/text children).
+		if len(n.Children) > 0 && n.Kind != KindSection && n.Kind != KindSubsection {
+			n.Children = nest(n.Children)
+		}
+		switch n.Kind {
+		case KindSection:
+			curSection = n
+			curSub = nil
+			out = append(out, n)
+		case KindSubsection:
+			curSub = n
+			if curSection != nil {
+				curSection.Children = append(curSection.Children, n)
+			} else {
+				out = append(out, n)
+			}
+		default:
+			appendTo(n)
+		}
+	}
+	return out
+}
+
+func collectLabelsAndRefs(n *Node, d *Doc) {
+	if n.Label != "" {
+		d.Labels[n.Label] = n
+	}
+	if n.Kind == KindRef {
+		d.Refs = append(d.Refs, n)
+	}
+	for _, c := range n.Children {
+		collectLabelsAndRefs(c, d)
+	}
+}
+
+// PlainText returns the concatenated text beneath n, including captions,
+// in document order.
+func (n *Node) PlainText() string {
+	var b strings.Builder
+	var rec func(*Node)
+	rec = func(m *Node) {
+		if m.Kind == KindText {
+			if b.Len() > 0 {
+				b.WriteByte(' ')
+			}
+			b.WriteString(m.Text)
+		}
+		for _, c := range m.Children {
+			rec(c)
+		}
+	}
+	rec(n)
+	return b.String()
+}
+
+// CountNodes returns the number of structural nodes beneath and including
+// n, excluding the document node itself when n is the root.
+func CountNodes(n *Node) int {
+	count := 0
+	var rec func(*Node)
+	rec = func(m *Node) {
+		if m.Kind != KindDocument {
+			count++
+		}
+		for _, c := range m.Children {
+			rec(c)
+		}
+	}
+	rec(n)
+	return count
+}

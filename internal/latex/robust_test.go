@@ -1,0 +1,102 @@
+package latex
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+)
+
+// Property: the parser never panics on arbitrary input, and returns
+// exactly one of (document, error).
+func TestParseNeverPanicsQuick(t *testing.T) {
+	f := func(src string) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Logf("panic on %q: %v", src, r)
+				ok = false
+			}
+		}()
+		d, err := Parse(src)
+		return (d != nil && err == nil) || (d == nil && err != nil)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: inputs assembled from LaTeX-ish fragments never panic and,
+// when they parse, produce a non-nil tree whose PlainText does not
+// contain command markers.
+func TestParseFragmentSoupQuick(t *testing.T) {
+	// Note: a lone "\\" fragment is deliberately absent — `\\` escapes
+	// the following character, so `\\` + `\section{A}` legitimately
+	// turns the command into literal text.
+	fragments := []string{
+		"\\section{A}", "\\subsection{B}", "\\label{x}", "\\ref{x}",
+		"\\begin{figure}", "\\end{figure}", "\\caption{C}", "text ",
+		"{", "}", "%comment\n", "\\emph{e}", "\\begin{document}",
+		"\\end{document}", "\\documentclass{a}", "\\title{T}", "$x$",
+	}
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 400; trial++ {
+		var b strings.Builder
+		n := rng.Intn(12)
+		for i := 0; i < n; i++ {
+			b.WriteString(fragments[rng.Intn(len(fragments))])
+		}
+		src := b.String()
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on %q: %v", src, r)
+				}
+			}()
+			d, err := Parse(src)
+			if err != nil {
+				return
+			}
+			if d == nil || d.Root == nil {
+				t.Fatalf("nil doc without error for %q", src)
+			}
+			txt := d.Root.PlainText()
+			if strings.Contains(txt, "\\section") {
+				t.Fatalf("command leaked into text of %q: %q", src, txt)
+			}
+		}()
+	}
+}
+
+// Property: ToViews on any parseable document yields views whose group
+// invariant holds everywhere.
+func TestToViewsInvariantsQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	titles := []string{"A", "B", "C"}
+	for trial := 0; trial < 100; trial++ {
+		var b strings.Builder
+		for i, n := 0, 1+rng.Intn(4); i < n; i++ {
+			b.WriteString("\\section{" + titles[rng.Intn(len(titles))] + "}\n")
+			b.WriteString("words here\n")
+			if rng.Intn(2) == 0 {
+				b.WriteString("\\label{l" + titles[rng.Intn(len(titles))] + "}\n")
+			}
+			if rng.Intn(2) == 0 {
+				b.WriteString("see \\ref{l" + titles[rng.Intn(len(titles))] + "}\n")
+			}
+		}
+		d, err := Parse(b.String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range ToViews(d) {
+			err := core.Walk(v, core.WalkOptions{MaxDepth: -1}, func(w core.ResourceView, _ int) error {
+				return core.CheckGroupInvariant(w.Group(), 0)
+			})
+			if err != nil {
+				t.Fatalf("invariant violated for %q: %v", b.String(), err)
+			}
+		}
+	}
+}

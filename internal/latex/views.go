@@ -1,0 +1,156 @@
+package latex
+
+import (
+	"repro/internal/core"
+
+	"strings"
+)
+
+// ToViews converts a parsed LaTeX document into the resource view
+// subgraph that hangs off a latexfile view (Figure 1 of the paper): the
+// result slice contains the documentclass, title, abstract and document
+// views, in that order where present. Sections and subsections become
+// latex_section / latex_subsection views named by their headings; figure
+// environments become figure views whose τ carries the label and caption;
+// every \ref becomes a texref view whose group component points at the
+// referenced view, adding the cross edges that make the content graph
+// non-tree-shaped (V_Preliminaries in Figure 1 is directly related to
+// both V_document and V_ref).
+func ToViews(d *Doc) []core.ResourceView {
+	if d == nil || d.Root == nil {
+		return nil
+	}
+	c := &converter{nodeView: make(map[*Node]core.ResourceView)}
+
+	var top []core.ResourceView
+	var bodyNodes []*Node
+	for _, n := range d.Root.Children {
+		switch n.Kind {
+		case KindDocclass:
+			top = append(top, c.convert(n))
+		case KindTitle:
+			top = append(top, c.convert(n))
+		case KindAbstract:
+			top = append(top, c.convert(n))
+		default:
+			bodyNodes = append(bodyNodes, n)
+		}
+	}
+	if len(bodyNodes) > 0 {
+		docChildren := make([]core.ResourceView, 0, len(bodyNodes))
+		var docText []string
+		for _, n := range bodyNodes {
+			docChildren = append(docChildren, c.convert(n))
+			docText = append(docText, n.PlainText())
+		}
+		docView := core.NewView("document", core.ClassLatexDocument).
+			WithContent(core.StringContent(strings.Join(docText, " "))).
+			WithGroup(core.SeqGroup(docChildren...))
+		top = append(top, docView)
+	}
+
+	// Second pass: resolve \ref cross edges now that every labeled node
+	// has a view.
+	for _, ref := range d.Refs {
+		rv, ok := c.nodeView[ref].(*core.StaticView)
+		if !ok {
+			continue
+		}
+		if target, ok := d.Labels[ref.Title]; ok {
+			if tv, ok := c.nodeView[target]; ok {
+				rv.VGroup = core.SetGroup(tv)
+			}
+		}
+	}
+	return top
+}
+
+type converter struct {
+	nodeView map[*Node]core.ResourceView
+}
+
+func (c *converter) convert(n *Node) core.ResourceView {
+	v := &core.StaticView{}
+	switch n.Kind {
+	case KindDocclass:
+		v.VName = n.Title
+		v.VClass = core.ClassLatexDocclass
+	case KindTitle:
+		v.VName = "title"
+		v.VClass = core.ClassLatexTitle
+		v.VContent = core.StringContent(n.Title)
+	case KindAbstract:
+		v.VName = "abstract"
+		v.VClass = core.ClassLatexAbstract
+		v.VContent = core.StringContent(n.PlainText())
+	case KindSection:
+		v.VName = n.Title
+		v.VClass = core.ClassLatexSection
+		v.VContent = core.StringContent(n.PlainText())
+	case KindSubsection:
+		v.VName = n.Title
+		v.VClass = core.ClassLatexSubsection
+		v.VContent = core.StringContent(n.PlainText())
+	case KindText:
+		v.VClass = core.ClassLatexText
+		v.VContent = core.StringContent(n.Text)
+	case KindRef:
+		v.VName = n.Title
+		v.VClass = core.ClassTexRef
+	case KindFigure:
+		v.VName = "figure"
+		v.VClass = core.ClassFigure
+		v.VContent = core.StringContent(n.PlainText())
+	case KindEnvironment:
+		v.VName = n.Title
+		v.VClass = core.ClassEnvironment
+		v.VContent = core.StringContent(n.PlainText())
+	default:
+		v.VName = n.Title
+		v.VClass = core.ClassLatexText
+	}
+
+	// Labels and captions populate the tuple component so iQL can join
+	// on them (Q7: A.name = B.tuple.label).
+	var schema core.Schema
+	var tuple core.Tuple
+	if n.Label != "" {
+		schema = append(schema, core.Attribute{Name: "label", Domain: core.DomainString})
+		tuple = append(tuple, core.String(n.Label))
+	}
+	if n.Caption != "" {
+		schema = append(schema, core.Attribute{Name: "caption", Domain: core.DomainString})
+		tuple = append(tuple, core.String(n.Caption))
+	}
+	if len(schema) > 0 {
+		v.VTuple = core.TupleComponent{Schema: schema, Tuple: tuple}
+	}
+
+	if len(n.Children) > 0 {
+		children := make([]core.ResourceView, 0, len(n.Children))
+		for _, ch := range n.Children {
+			children = append(children, c.convert(ch))
+		}
+		v.VGroup = core.SeqGroup(children...)
+	}
+	c.nodeView[n] = v
+	return v
+}
+
+// CountViews returns the number of resource views ToViews derives from a
+// parsed document (structural nodes plus the synthetic document view when
+// the document has body content).
+func CountViews(d *Doc) int {
+	if d == nil || d.Root == nil {
+		return 0
+	}
+	n := CountNodes(d.Root)
+	for _, c := range d.Root.Children {
+		switch c.Kind {
+		case KindDocclass, KindTitle, KindAbstract:
+		default:
+			return n + 1 // body present: add the synthetic document view
+		}
+	}
+	return n
+}

@@ -1,0 +1,322 @@
+// Package mail implements a simulated IMAP-style email store: the email
+// substrate of §4.4.1 of the iDM paper. It provides a folder hierarchy,
+// RFC-822-flavoured messages with headers, bodies and MIME-like
+// attachments, a new-message notification feed (for the push-based
+// Option 2 stream modelling) and a configurable per-operation latency
+// model.
+//
+// The latency model substitutes for the remote IMAP server of the
+// paper's evaluation: Figure 5's finding — email indexing time dominated
+// by data-source access — is a property of remote access cost, which the
+// model reproduces without a network.
+package mail
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Common errors.
+var (
+	ErrNoFolder  = errors.New("mail: no such folder")
+	ErrNoMessage = errors.New("mail: no such message")
+	ErrExists    = errors.New("mail: folder already exists")
+)
+
+// Attachment is one MIME-like message part with a filename.
+type Attachment struct {
+	Filename    string
+	ContentType string
+	Data        []byte
+}
+
+// Message is one email message.
+type Message struct {
+	// UID is the store-wide unique, monotonically increasing id.
+	UID uint64
+	// Folder is the full name of the folder holding the message.
+	Folder string
+	From   string
+	To     []string
+	CC     []string
+	// Subject serves as the message's display name in iDM.
+	Subject     string
+	Date        time.Time
+	Body        string
+	Attachments []Attachment
+}
+
+// Size returns the approximate wire size of the message: headers, body
+// and attachment bytes.
+func (m *Message) Size() int64 {
+	n := int64(len(m.From) + len(m.Subject) + len(m.Body) + 64)
+	for _, t := range m.To {
+		n += int64(len(t))
+	}
+	for _, c := range m.CC {
+		n += int64(len(c))
+	}
+	for _, a := range m.Attachments {
+		n += int64(len(a.Filename) + len(a.Data))
+	}
+	return n
+}
+
+// Latency configures the simulated cost of talking to the store, as a
+// remote IMAP client would experience it.
+type Latency struct {
+	// PerCall is charged on every store operation (round trip).
+	PerCall time.Duration
+	// PerKB is charged per kilobyte of message data fetched.
+	PerKB time.Duration
+}
+
+func (l Latency) charge(bytes int64) {
+	d := l.PerCall + time.Duration(bytes/1024)*l.PerKB
+	if d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// Store is an in-memory message store with simulated access latency.
+// Store is safe for concurrent use.
+type Store struct {
+	mu       sync.RWMutex
+	folders  map[string][]*Message
+	nextUID  uint64
+	latency  Latency
+	watchers []chan *Message
+	closed   bool
+
+	// Calls counts store operations, for access-cost accounting.
+	calls int64
+}
+
+// NewStore returns an empty store with zero latency.
+func NewStore() *Store {
+	return &Store{folders: map[string][]*Message{"INBOX": nil}}
+}
+
+// SetLatency configures the simulated access latency. Safe to call
+// before handing the store to consumers.
+func (s *Store) SetLatency(l Latency) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.latency = l
+}
+
+// Calls returns the number of store operations performed so far.
+func (s *Store) Calls() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.calls
+}
+
+// CreateFolder creates a folder with the given full name (segments
+// separated by '/'). Parent folders are created implicitly, matching
+// IMAP semantics where the hierarchy is derived from names.
+func (s *Store) CreateFolder(name string) error {
+	name = strings.Trim(name, "/")
+	if name == "" {
+		return fmt.Errorf("mail: empty folder name")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.folders[name]; dup {
+		return fmt.Errorf("%w: %q", ErrExists, name)
+	}
+	parts := strings.Split(name, "/")
+	for i := range parts {
+		prefix := strings.Join(parts[:i+1], "/")
+		if _, ok := s.folders[prefix]; !ok {
+			s.folders[prefix] = nil
+		}
+	}
+	return nil
+}
+
+// Folders lists all folder names in sorted order. The call is charged
+// one round trip.
+func (s *Store) Folders() []string {
+	s.mu.Lock()
+	s.calls++
+	l := s.latency
+	out := make([]string, 0, len(s.folders))
+	for n := range s.folders {
+		out = append(out, n)
+	}
+	s.mu.Unlock()
+	l.charge(0)
+	sort.Strings(out)
+	return out
+}
+
+// Append delivers a message into its folder, assigning its UID. The
+// folder must exist. Watchers are notified.
+func (s *Store) Append(m *Message) (uint64, error) {
+	s.mu.Lock()
+	if _, ok := s.folders[m.Folder]; !ok {
+		s.mu.Unlock()
+		return 0, fmt.Errorf("%w: %q", ErrNoFolder, m.Folder)
+	}
+	s.nextUID++
+	m.UID = s.nextUID
+	s.folders[m.Folder] = append(s.folders[m.Folder], m)
+	watchers := append([]chan *Message(nil), s.watchers...)
+	closed := s.closed
+	s.mu.Unlock()
+	if !closed {
+		for _, ch := range watchers {
+			select {
+			case ch <- m:
+			default:
+			}
+		}
+	}
+	return m.UID, nil
+}
+
+// UIDs lists the message UIDs in a folder in ascending order. One round
+// trip is charged.
+func (s *Store) UIDs(folder string) ([]uint64, error) {
+	s.mu.Lock()
+	s.calls++
+	l := s.latency
+	msgs, ok := s.folders[folder]
+	var out []uint64
+	if ok {
+		out = make([]uint64, len(msgs))
+		for i, m := range msgs {
+			out[i] = m.UID
+		}
+	}
+	s.mu.Unlock()
+	l.charge(0)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoFolder, folder)
+	}
+	return out, nil
+}
+
+// Fetch retrieves one message by folder and UID. A round trip plus the
+// message's size is charged.
+func (s *Store) Fetch(folder string, uid uint64) (*Message, error) {
+	s.mu.Lock()
+	s.calls++
+	l := s.latency
+	msgs, ok := s.folders[folder]
+	var found *Message
+	if ok {
+		for _, m := range msgs {
+			if m.UID == uid {
+				found = m
+				break
+			}
+		}
+	}
+	s.mu.Unlock()
+	if !ok {
+		l.charge(0)
+		return nil, fmt.Errorf("%w: %q", ErrNoFolder, folder)
+	}
+	if found == nil {
+		l.charge(0)
+		return nil, fmt.Errorf("%w: %s/%d", ErrNoMessage, folder, uid)
+	}
+	l.charge(found.Size())
+	return found, nil
+}
+
+// Delete removes a message from its folder.
+func (s *Store) Delete(folder string, uid uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.calls++
+	msgs, ok := s.folders[folder]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNoFolder, folder)
+	}
+	for i, m := range msgs {
+		if m.UID == uid {
+			s.folders[folder] = append(msgs[:i], msgs[i+1:]...)
+			return nil
+		}
+	}
+	return fmt.Errorf("%w: %s/%d", ErrNoMessage, folder, uid)
+}
+
+// PollSince returns all messages across folders with UID greater than
+// since, in UID order — the generic polling facility of §4.4.1 that turns
+// the mailbox state into a pseudo data stream.
+func (s *Store) PollSince(since uint64) []*Message {
+	s.mu.Lock()
+	s.calls++
+	l := s.latency
+	var out []*Message
+	for _, msgs := range s.folders {
+		for _, m := range msgs {
+			if m.UID > since {
+				out = append(out, m)
+			}
+		}
+	}
+	s.mu.Unlock()
+	l.charge(0)
+	sort.Slice(out, func(i, j int) bool { return out[i].UID < out[j].UID })
+	return out
+}
+
+// Watch returns a channel of newly appended messages — the push-based
+// message stream of Option 2 in §4.4.1. Events are dropped when the
+// subscriber is slow.
+func (s *Store) Watch() <-chan *Message {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ch := make(chan *Message, 1024)
+	s.watchers = append(s.watchers, ch)
+	return ch
+}
+
+// CloseWatchers closes all watcher channels.
+func (s *Store) CloseWatchers() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.closed = true
+	for _, ch := range s.watchers {
+		close(ch)
+	}
+	s.watchers = nil
+}
+
+// Stats summarizes the store contents.
+type Stats struct {
+	Folders     int
+	Messages    int
+	Attachments int
+	TotalBytes  int64
+}
+
+// Stats walks all folders and returns counts and total message bytes.
+// No latency is charged; Stats is a harness-side accounting helper, not
+// a client operation.
+func (s *Store) Stats() Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var st Stats
+	st.Folders = len(s.folders)
+	for _, msgs := range s.folders {
+		for _, m := range msgs {
+			st.Messages++
+			st.Attachments += len(m.Attachments)
+			st.TotalBytes += m.Size()
+		}
+	}
+	return st
+}

@@ -1,0 +1,226 @@
+package mail
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func seedStore(t *testing.T) *Store {
+	t.Helper()
+	s := NewStore()
+	if err := s.CreateFolder("Projects/OLAP"); err != nil {
+		t.Fatal(err)
+	}
+	for i, subj := range []string{"OLAP kickoff", "indexing results", "final report"} {
+		m := &Message{
+			Folder:  "Projects/OLAP",
+			From:    "alice@example.org",
+			To:      []string{"jens.dittrich@inf.ethz.ch"},
+			Subject: subj,
+			Date:    time.Date(2005, 6, 1+i, 9, 0, 0, 0, time.UTC),
+			Body:    "body of " + subj,
+		}
+		if i == 1 {
+			m.Attachments = append(m.Attachments, Attachment{
+				Filename: "results.tex", ContentType: "application/x-tex",
+				Data: []byte("\\section{Results}"),
+			})
+		}
+		if _, err := s.Append(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s
+}
+
+func TestCreateFolderImplicitParents(t *testing.T) {
+	s := NewStore()
+	if err := s.CreateFolder("a/b/c"); err != nil {
+		t.Fatal(err)
+	}
+	folders := s.Folders()
+	want := map[string]bool{"INBOX": true, "a": true, "a/b": true, "a/b/c": true}
+	if len(folders) != len(want) {
+		t.Fatalf("folders = %v", folders)
+	}
+	for _, f := range folders {
+		if !want[f] {
+			t.Errorf("unexpected folder %q", f)
+		}
+	}
+}
+
+func TestCreateFolderErrors(t *testing.T) {
+	s := NewStore()
+	if err := s.CreateFolder(""); err == nil {
+		t.Error("empty name accepted")
+	}
+	s.CreateFolder("x")
+	if err := s.CreateFolder("x"); !errors.Is(err, ErrExists) {
+		t.Errorf("duplicate: %v", err)
+	}
+}
+
+func TestAppendAssignsMonotonicUIDs(t *testing.T) {
+	s := seedStore(t)
+	uids, err := s.UIDs("Projects/OLAP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(uids) != 3 {
+		t.Fatalf("uids = %v", uids)
+	}
+	for i := 1; i < len(uids); i++ {
+		if uids[i] <= uids[i-1] {
+			t.Errorf("UIDs not increasing: %v", uids)
+		}
+	}
+}
+
+func TestAppendToMissingFolder(t *testing.T) {
+	s := NewStore()
+	if _, err := s.Append(&Message{Folder: "nope"}); !errors.Is(err, ErrNoFolder) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestFetch(t *testing.T) {
+	s := seedStore(t)
+	uids, _ := s.UIDs("Projects/OLAP")
+	m, err := s.Fetch("Projects/OLAP", uids[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Subject != "indexing results" || len(m.Attachments) != 1 {
+		t.Errorf("fetched %+v", m)
+	}
+	if _, err := s.Fetch("Projects/OLAP", 999); !errors.Is(err, ErrNoMessage) {
+		t.Errorf("missing uid: %v", err)
+	}
+	if _, err := s.Fetch("nope", 1); !errors.Is(err, ErrNoFolder) {
+		t.Errorf("missing folder: %v", err)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	s := seedStore(t)
+	uids, _ := s.UIDs("Projects/OLAP")
+	if err := s.Delete("Projects/OLAP", uids[0]); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := s.UIDs("Projects/OLAP")
+	if len(after) != 2 {
+		t.Errorf("after delete: %v", after)
+	}
+	if err := s.Delete("Projects/OLAP", uids[0]); !errors.Is(err, ErrNoMessage) {
+		t.Errorf("double delete: %v", err)
+	}
+}
+
+func TestPollSince(t *testing.T) {
+	s := seedStore(t)
+	all := s.PollSince(0)
+	if len(all) != 3 {
+		t.Fatalf("poll all = %d", len(all))
+	}
+	rest := s.PollSince(all[0].UID)
+	if len(rest) != 2 {
+		t.Errorf("poll since first = %d", len(rest))
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i].UID <= all[i-1].UID {
+			t.Error("poll results not UID-ordered")
+		}
+	}
+}
+
+func TestWatchPush(t *testing.T) {
+	s := NewStore()
+	ch := s.Watch()
+	s.CreateFolder("f")
+	s.Append(&Message{Folder: "f", Subject: "hello"})
+	select {
+	case m := <-ch:
+		if m.Subject != "hello" {
+			t.Errorf("pushed %q", m.Subject)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("no push notification")
+	}
+	s.CloseWatchers()
+	if _, ok := <-ch; ok {
+		t.Error("channel not closed")
+	}
+	// Appending after close must not panic.
+	s.Append(&Message{Folder: "f", Subject: "late"})
+}
+
+func TestMessageSize(t *testing.T) {
+	m := &Message{
+		From: "a@b", To: []string{"c@d"}, Subject: "s", Body: "bb",
+		Attachments: []Attachment{{Filename: "f", Data: []byte("xyz")}},
+	}
+	if m.Size() <= 0 {
+		t.Error("size must be positive")
+	}
+	bare := &Message{}
+	if m.Size() <= bare.Size() {
+		t.Error("size must grow with content")
+	}
+}
+
+func TestLatencyCharged(t *testing.T) {
+	s := seedStore(t)
+	s.SetLatency(Latency{PerCall: 2 * time.Millisecond})
+	start := time.Now()
+	s.Folders()
+	if elapsed := time.Since(start); elapsed < 2*time.Millisecond {
+		t.Errorf("latency not charged: %v", elapsed)
+	}
+	if s.Calls() == 0 {
+		t.Error("calls not counted")
+	}
+}
+
+func TestStats(t *testing.T) {
+	s := seedStore(t)
+	st := s.Stats()
+	if st.Messages != 3 || st.Attachments != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.Folders != 3 { // INBOX, Projects, Projects/OLAP
+		t.Errorf("folders = %d", st.Folders)
+	}
+	if st.TotalBytes <= 0 {
+		t.Error("bytes not accounted")
+	}
+}
+
+// Property: appending n messages yields n UIDs, strictly increasing, and
+// PollSince(0) returns them all in order.
+func TestAppendPollPropertyQuick(t *testing.T) {
+	f := func(n uint8) bool {
+		count := int(n%50) + 1
+		s := NewStore()
+		for i := 0; i < count; i++ {
+			if _, err := s.Append(&Message{Folder: "INBOX", Subject: "m"}); err != nil {
+				return false
+			}
+		}
+		got := s.PollSince(0)
+		if len(got) != count {
+			return false
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i].UID <= got[i-1].UID {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,115 @@
+// Package osload imports a real directory tree from the host operating
+// system into a virtual filesystem, so an iDM PDSMS can index actual
+// personal files (the situation of the paper's evaluation, which ran
+// over one author's real home directory). Hidden entries are skipped by
+// default and file sizes are bounded; symlinks are not followed (the
+// vfs has its own folder-link mechanism).
+package osload
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/vfs"
+)
+
+// Options tunes the import.
+type Options struct {
+	// MaxFileBytes skips files larger than this; <= 0 applies 1 MiB.
+	MaxFileBytes int64
+	// IncludeHidden imports dot-files and dot-directories too.
+	IncludeHidden bool
+}
+
+// Stats reports what was imported.
+type Stats struct {
+	Folders      int
+	Files        int
+	SkippedLarge int
+	SkippedOther int
+	Bytes        int64
+}
+
+// Load walks root and mirrors its folders and regular files into the
+// virtual filesystem under "/". Unreadable entries are counted and
+// skipped rather than failing the import.
+func Load(vf *vfs.FS, root string, opts Options) (Stats, error) {
+	if opts.MaxFileBytes <= 0 {
+		opts.MaxFileBytes = 1 << 20
+	}
+	var st Stats
+	root = filepath.Clean(root)
+	info, err := os.Stat(root)
+	if err != nil {
+		return st, fmt.Errorf("osload: %w", err)
+	}
+	if !info.IsDir() {
+		return st, fmt.Errorf("osload: %s is not a directory", root)
+	}
+	err = filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			st.SkippedOther++
+			if d != nil && d.IsDir() {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		rel, relErr := filepath.Rel(root, path)
+		if relErr != nil || rel == "." {
+			return nil
+		}
+		if !opts.IncludeHidden && isHidden(rel) {
+			if d.IsDir() {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		vpath := "/" + filepath.ToSlash(rel)
+		switch {
+		case d.IsDir():
+			if _, err := vf.MkdirAll(vpath); err != nil {
+				st.SkippedOther++
+				return filepath.SkipDir
+			}
+			st.Folders++
+		case d.Type().IsRegular():
+			fi, err := d.Info()
+			if err != nil {
+				st.SkippedOther++
+				return nil
+			}
+			if fi.Size() > opts.MaxFileBytes {
+				st.SkippedLarge++
+				return nil
+			}
+			b, err := os.ReadFile(path)
+			if err != nil {
+				st.SkippedOther++
+				return nil
+			}
+			if _, err := vf.WriteFile(vpath, b); err != nil {
+				st.SkippedOther++
+				return nil
+			}
+			st.Files++
+			st.Bytes += int64(len(b))
+		default:
+			// Symlinks, devices, sockets: not part of the model.
+			st.SkippedOther++
+		}
+		return nil
+	})
+	return st, err
+}
+
+func isHidden(rel string) bool {
+	for _, part := range strings.Split(filepath.ToSlash(rel), "/") {
+		if strings.HasPrefix(part, ".") {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,90 @@
+package osload
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/vfs"
+)
+
+func buildTree(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	mk := func(rel string, content []byte) {
+		p := filepath.Join(dir, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, content, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mk("papers/vldb.tex", []byte("\\section{Intro}\nreal file content"))
+	mk("papers/notes.txt", []byte("plain notes"))
+	mk("photos/big.jpg", make([]byte, 4096))
+	mk(".git/config", []byte("hidden"))
+	mk(".hidden.txt", []byte("hidden file"))
+	return dir
+}
+
+func TestLoadMirrorsTree(t *testing.T) {
+	dir := buildTree(t)
+	vf := vfs.New()
+	st, err := Load(vf, dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Files != 3 || st.Folders != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+	b, err := vf.ReadFile("/papers/vldb.tex")
+	if err != nil || string(b) == "" {
+		t.Errorf("vldb.tex: %q, %v", b, err)
+	}
+	if vf.Exists("/.git/config") || vf.Exists("/.hidden.txt") {
+		t.Error("hidden entries imported")
+	}
+}
+
+func TestLoadIncludeHidden(t *testing.T) {
+	dir := buildTree(t)
+	vf := vfs.New()
+	st, err := Load(vf, dir, Options{IncludeHidden: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vf.Exists("/.git/config") || !vf.Exists("/.hidden.txt") {
+		t.Error("hidden entries missing")
+	}
+	if st.Files != 5 {
+		t.Errorf("files = %d", st.Files)
+	}
+}
+
+func TestLoadSizeBound(t *testing.T) {
+	dir := buildTree(t)
+	vf := vfs.New()
+	st, err := Load(vf, dir, Options{MaxFileBytes: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.SkippedLarge != 1 {
+		t.Errorf("skipped large = %d", st.SkippedLarge)
+	}
+	if vf.Exists("/photos/big.jpg") {
+		t.Error("oversized file imported")
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	vf := vfs.New()
+	if _, err := Load(vf, filepath.Join(t.TempDir(), "missing"), Options{}); err == nil {
+		t.Error("missing root accepted")
+	}
+	f := filepath.Join(t.TempDir(), "afile")
+	os.WriteFile(f, []byte("x"), 0o644)
+	if _, err := Load(vf, f, Options{}); err == nil {
+		t.Error("file root accepted")
+	}
+}

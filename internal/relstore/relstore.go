@@ -1,0 +1,188 @@
+// Package relstore implements a minimal embedded relational store: the
+// relational substrate behind the tuple / relation / reldb resource view
+// classes of Table 1 in the iDM paper. It supports named relations with
+// per-relation schemas, tuple insertion with domain checking, full
+// scans, and simple predicate selection — exactly the surface an iDM
+// Data Source Plugin needs to expose a "relational database" subsystem
+// as resource views.
+package relstore
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// Common errors.
+var (
+	ErrNoRelation = errors.New("relstore: no such relation")
+	ErrExists     = errors.New("relstore: relation already exists")
+)
+
+// Relation is one named relation: a schema plus a bag of tuples.
+type Relation struct {
+	name   string
+	schema core.Schema
+	tuples []core.Tuple
+}
+
+// Name returns the relation name.
+func (r *Relation) Name() string { return r.name }
+
+// Schema returns the relation schema.
+func (r *Relation) Schema() core.Schema { return r.schema }
+
+// Len returns the number of tuples.
+func (r *Relation) Len() int { return len(r.tuples) }
+
+// DB is an embedded relational database: a set of named relations.
+// DB is safe for concurrent use.
+type DB struct {
+	mu        sync.RWMutex
+	name      string
+	relations map[string]*Relation
+}
+
+// NewDB returns an empty database with the given name (the η of its
+// reldb resource view).
+func NewDB(name string) *DB {
+	return &DB{name: name, relations: make(map[string]*Relation)}
+}
+
+// Name returns the database name.
+func (db *DB) Name() string { return db.name }
+
+// CreateRelation creates an empty relation with the given schema.
+func (db *DB) CreateRelation(name string, schema core.Schema) (*Relation, error) {
+	if name == "" {
+		return nil, fmt.Errorf("relstore: empty relation name")
+	}
+	if len(schema) == 0 {
+		return nil, fmt.Errorf("relstore: relation %q needs a schema", name)
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, dup := db.relations[name]; dup {
+		return nil, fmt.Errorf("%w: %q", ErrExists, name)
+	}
+	r := &Relation{name: name, schema: append(core.Schema(nil), schema...)}
+	db.relations[name] = r
+	return r, nil
+}
+
+// Relation returns the named relation.
+func (db *DB) Relation(name string) (*Relation, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	r, ok := db.relations[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoRelation, name)
+	}
+	return r, nil
+}
+
+// Relations lists relation names in sorted order.
+func (db *DB) Relations() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]string, 0, len(db.relations))
+	for n := range db.relations {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Insert appends a tuple to the named relation after validating it
+// against the relation schema.
+func (db *DB) Insert(relation string, t core.Tuple) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	r, ok := db.relations[relation]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNoRelation, relation)
+	}
+	tc := core.TupleComponent{Schema: r.schema, Tuple: t}
+	if err := tc.Validate(); err != nil {
+		return fmt.Errorf("relstore: insert into %q: %w", relation, err)
+	}
+	r.tuples = append(r.tuples, append(core.Tuple(nil), t...))
+	return nil
+}
+
+// Scan calls fn for every tuple of the relation in insertion order,
+// stopping early when fn returns false.
+func (db *DB) Scan(relation string, fn func(core.Tuple) bool) error {
+	db.mu.RLock()
+	r, ok := db.relations[relation]
+	if !ok {
+		db.mu.RUnlock()
+		return fmt.Errorf("%w: %q", ErrNoRelation, relation)
+	}
+	tuples := r.tuples
+	db.mu.RUnlock()
+	for _, t := range tuples {
+		if !fn(t) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// Select returns all tuples for which pred returns true.
+func (db *DB) Select(relation string, pred func(core.Tuple) bool) ([]core.Tuple, error) {
+	var out []core.Tuple
+	err := db.Scan(relation, func(t core.Tuple) bool {
+		if pred(t) {
+			out = append(out, t)
+		}
+		return true
+	})
+	return out, err
+}
+
+// ToViews exposes the database as an iDM resource view graph per Table 1:
+// one reldb view whose group set holds one relation view per relation,
+// each of which holds one tuple view per tuple (schema in W, the single
+// tuple in T). Tuple views are generated lazily so that large relations
+// need not be materialized as views up front.
+func (db *DB) ToViews() core.ResourceView {
+	db.mu.RLock()
+	names := make([]string, 0, len(db.relations))
+	for n := range db.relations {
+		names = append(names, n)
+	}
+	db.mu.RUnlock()
+	sort.Strings(names)
+
+	relViews := make([]core.ResourceView, 0, len(names))
+	for _, name := range names {
+		name := name
+		relViews = append(relViews, &core.LazyView{
+			VName:  name,
+			VClass: core.ClassRelation,
+			GroupFn: func() core.Group {
+				r, err := db.Relation(name)
+				if err != nil {
+					return core.EmptyGroup()
+				}
+				db.mu.RLock()
+				tuples := append([]core.Tuple(nil), r.tuples...)
+				schema := r.schema
+				db.mu.RUnlock()
+				tupleViews := make([]core.ResourceView, len(tuples))
+				for i, t := range tuples {
+					tupleViews[i] = &core.StaticView{
+						VClass: core.ClassTuple,
+						VTuple: core.TupleComponent{Schema: schema, Tuple: t},
+					}
+				}
+				return core.SetGroup(tupleViews...)
+			},
+		})
+	}
+	return core.NewView(db.name, core.ClassRelDB).WithGroup(core.SetGroup(relViews...))
+}

@@ -1,0 +1,176 @@
+package relstore
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+)
+
+var contactsSchema = core.Schema{
+	{Name: "name", Domain: core.DomainString},
+	{Name: "age", Domain: core.DomainInt},
+}
+
+func seedDB(t *testing.T) *DB {
+	t.Helper()
+	db := NewDB("addressbook")
+	if _, err := db.CreateRelation("contacts", contactsSchema); err != nil {
+		t.Fatal(err)
+	}
+	rows := []core.Tuple{
+		{core.String("Donald Knuth"), core.Int(68)},
+		{core.String("Mike Franklin"), core.Int(40)},
+		{core.String("Edgar Codd"), core.Int(82)},
+	}
+	for _, r := range rows {
+		if err := db.Insert("contacts", r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+func TestCreateRelationErrors(t *testing.T) {
+	db := NewDB("d")
+	if _, err := db.CreateRelation("", contactsSchema); err == nil {
+		t.Error("empty name accepted")
+	}
+	if _, err := db.CreateRelation("r", nil); err == nil {
+		t.Error("empty schema accepted")
+	}
+	db.CreateRelation("r", contactsSchema)
+	if _, err := db.CreateRelation("r", contactsSchema); !errors.Is(err, ErrExists) {
+		t.Errorf("duplicate: %v", err)
+	}
+}
+
+func TestInsertValidation(t *testing.T) {
+	db := seedDB(t)
+	if err := db.Insert("contacts", core.Tuple{core.String("x")}); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+	if err := db.Insert("contacts", core.Tuple{core.Int(1), core.Int(2)}); err == nil {
+		t.Error("domain mismatch accepted")
+	}
+	if err := db.Insert("nope", core.Tuple{}); !errors.Is(err, ErrNoRelation) {
+		t.Errorf("missing relation: %v", err)
+	}
+}
+
+func TestInsertCopiesTuple(t *testing.T) {
+	db := NewDB("d")
+	db.CreateRelation("r", core.Schema{{Name: "v", Domain: core.DomainInt}})
+	row := core.Tuple{core.Int(1)}
+	db.Insert("r", row)
+	row[0] = core.Int(99)
+	got, _ := db.Select("r", func(core.Tuple) bool { return true })
+	if got[0][0].Int != 1 {
+		t.Error("insert did not copy the tuple")
+	}
+}
+
+func TestScanAndSelect(t *testing.T) {
+	db := seedDB(t)
+	n := 0
+	if err := db.Scan("contacts", func(core.Tuple) bool { n++; return true }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Errorf("scanned %d tuples", n)
+	}
+	// Early stop.
+	n = 0
+	db.Scan("contacts", func(core.Tuple) bool { n++; return false })
+	if n != 1 {
+		t.Errorf("early stop scanned %d", n)
+	}
+	old, err := db.Select("contacts", func(tup core.Tuple) bool { return tup[1].Int > 60 })
+	if err != nil || len(old) != 2 {
+		t.Errorf("select: %d tuples, %v", len(old), err)
+	}
+	if err := db.Scan("nope", func(core.Tuple) bool { return true }); !errors.Is(err, ErrNoRelation) {
+		t.Errorf("scan missing: %v", err)
+	}
+}
+
+func TestRelationsSorted(t *testing.T) {
+	db := NewDB("d")
+	for _, n := range []string{"zeta", "alpha", "mid"} {
+		db.CreateRelation(n, contactsSchema)
+	}
+	names := db.Relations()
+	if len(names) != 3 || names[0] != "alpha" || names[2] != "zeta" {
+		t.Errorf("relations = %v", names)
+	}
+}
+
+func TestToViewsShape(t *testing.T) {
+	db := seedDB(t)
+	root := db.ToViews()
+	if root.Name() != "addressbook" || root.Class() != core.ClassRelDB {
+		t.Errorf("root: name=%q class=%q", root.Name(), root.Class())
+	}
+	rels, _ := core.CollectViews(root.Group().Set, 0)
+	if len(rels) != 1 || rels[0].Name() != "contacts" || rels[0].Class() != core.ClassRelation {
+		t.Fatalf("relation views = %v", rels)
+	}
+	tuples, _ := core.CollectViews(rels[0].Group().Set, 0)
+	if len(tuples) != 3 {
+		t.Fatalf("tuple views = %d", len(tuples))
+	}
+	for _, tv := range tuples {
+		if tv.Class() != core.ClassTuple {
+			t.Errorf("tuple view class = %q", tv.Class())
+		}
+		if tv.Name() != "" {
+			t.Errorf("tuple views must be nameless (Table 1), got %q", tv.Name())
+		}
+		if _, ok := tv.Tuple().Get("name"); !ok {
+			t.Error("tuple view lacks schema attribute")
+		}
+	}
+	// The whole graph conforms to the standard classes.
+	reg := core.StandardRegistry()
+	err := core.Walk(root, core.WalkOptions{MaxDepth: -1}, func(v core.ResourceView, _ int) error {
+		return reg.Conforms(v, v.Class(), 0)
+	})
+	if err != nil {
+		t.Errorf("conformance: %v", err)
+	}
+}
+
+func TestToViewsLazySeesNewInserts(t *testing.T) {
+	db := seedDB(t)
+	root := db.ToViews()
+	rels, _ := core.CollectViews(root.Group().Set, 0)
+	// Insert after building the view graph but before forcing the lazy
+	// group: the new tuple must appear (intensional component).
+	db.Insert("contacts", core.Tuple{core.String("New"), core.Int(1)})
+	tuples, _ := core.CollectViews(rels[0].Group().Set, 0)
+	if len(tuples) != 4 {
+		t.Errorf("lazy relation sees %d tuples, want 4", len(tuples))
+	}
+}
+
+// Property: inserting n valid tuples yields n tuple views.
+func TestInsertCountPropertyQuick(t *testing.T) {
+	f := func(n uint8) bool {
+		count := int(n % 64)
+		db := NewDB("d")
+		db.CreateRelation("r", core.Schema{{Name: "v", Domain: core.DomainInt}})
+		for i := 0; i < count; i++ {
+			if err := db.Insert("r", core.Tuple{core.Int(int64(i))}); err != nil {
+				return false
+			}
+		}
+		root := db.ToViews()
+		rels, _ := core.CollectViews(root.Group().Set, 0)
+		tuples, err := core.CollectViews(rels[0].Group().Set, 0)
+		return err == nil && len(tuples) == count
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

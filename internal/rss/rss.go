@@ -1,0 +1,232 @@
+// Package rss implements a simulated RSS/ATOM feed server and client:
+// the rssatom substrate of §3.4 of the iDM paper. As the paper observes,
+// RSS/ATOM "streams" are really just XML documents republished on a web
+// server with no change notifications, so clients must poll. The Server
+// here renders its feeds to RSS 2.0 XML on every fetch; the Client polls,
+// detects new items by GUID, and exposes them as iDM views — either as a
+// single xmldoc (one option in Table 1) or as a pseudo data stream of
+// xmldoc views (the other option).
+package rss
+
+import (
+	"encoding/xml"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/xmlkit"
+)
+
+// ErrNoFeed is returned for unknown feed names.
+var ErrNoFeed = errors.New("rss: no such feed")
+
+// Item is one feed entry.
+type Item struct {
+	Title       string
+	Description string
+	GUID        string
+	PubDate     time.Time
+}
+
+// Server hosts named feeds and renders them to XML on demand. Server is
+// safe for concurrent use.
+type Server struct {
+	mu      sync.RWMutex
+	feeds   map[string][]Item
+	latency time.Duration
+	fetches int64
+}
+
+// NewServer returns an empty feed server.
+func NewServer() *Server { return &Server{feeds: make(map[string][]Item)} }
+
+// SetLatency configures the simulated per-fetch latency.
+func (s *Server) SetLatency(d time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.latency = d
+}
+
+// Fetches returns the number of document fetches served.
+func (s *Server) Fetches() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.fetches
+}
+
+// CreateFeed registers an empty feed.
+func (s *Server) CreateFeed(name string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.feeds[name]; !ok {
+		s.feeds[name] = nil
+	}
+}
+
+// Publish appends an item to a feed, creating the feed if necessary.
+// Items without a GUID get one derived from the feed position.
+func (s *Server) Publish(feed string, it Item) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if it.GUID == "" {
+		it.GUID = fmt.Sprintf("%s-%d", feed, len(s.feeds[feed])+1)
+	}
+	s.feeds[feed] = append(s.feeds[feed], it)
+}
+
+// Feeds lists feed names in sorted order.
+func (s *Server) Feeds() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.feeds))
+	for n := range s.feeds {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// rssXML mirrors the RSS 2.0 document structure for rendering and
+// parsing.
+type rssXML struct {
+	XMLName xml.Name   `xml:"rss"`
+	Version string     `xml:"version,attr"`
+	Channel channelXML `xml:"channel"`
+}
+
+type channelXML struct {
+	Title string    `xml:"title"`
+	Items []itemXML `xml:"item"`
+}
+
+type itemXML struct {
+	Title       string `xml:"title"`
+	Description string `xml:"description"`
+	GUID        string `xml:"guid"`
+	PubDate     string `xml:"pubDate"`
+}
+
+// FetchDocument renders the feed to RSS 2.0 XML — what a web server would
+// return for the feed URL. Latency, if configured, is charged.
+func (s *Server) FetchDocument(feed string) ([]byte, error) {
+	s.mu.Lock()
+	items, ok := s.feeds[feed]
+	s.fetches++
+	lat := s.latency
+	snapshot := append([]Item(nil), items...)
+	s.mu.Unlock()
+	if lat > 0 {
+		time.Sleep(lat)
+	}
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoFeed, feed)
+	}
+	doc := rssXML{Version: "2.0", Channel: channelXML{Title: feed}}
+	for _, it := range snapshot {
+		doc.Channel.Items = append(doc.Channel.Items, itemXML{
+			Title:       it.Title,
+			Description: it.Description,
+			GUID:        it.GUID,
+			PubDate:     it.PubDate.Format(time.RFC1123Z),
+		})
+	}
+	return xml.MarshalIndent(doc, "", "  ")
+}
+
+// ParseDocument parses an RSS 2.0 document back into items.
+func ParseDocument(data []byte) (title string, items []Item, err error) {
+	var doc rssXML
+	if err := xml.Unmarshal(data, &doc); err != nil {
+		return "", nil, fmt.Errorf("rss: parse: %w", err)
+	}
+	for _, it := range doc.Channel.Items {
+		item := Item{Title: it.Title, Description: it.Description, GUID: it.GUID}
+		if t, err := time.Parse(time.RFC1123Z, it.PubDate); err == nil {
+			item.PubDate = t
+		}
+		items = append(items, item)
+	}
+	return doc.Channel.Title, items, nil
+}
+
+// Client polls a feed and tracks seen GUIDs so that Poll returns only new
+// items — the polling facility that converts the republished document
+// into a pseudo data stream (§4.4.1, footnote 5).
+type Client struct {
+	server *Server
+	feed   string
+	mu     sync.Mutex
+	seen   map[string]bool
+}
+
+// NewClient returns a client for one feed on the server.
+func NewClient(server *Server, feed string) *Client {
+	return &Client{server: server, feed: feed, seen: make(map[string]bool)}
+}
+
+// Poll fetches the feed document and returns items not seen before.
+func (c *Client) Poll() ([]Item, error) {
+	data, err := c.server.FetchDocument(c.feed)
+	if err != nil {
+		return nil, err
+	}
+	_, items, err := ParseDocument(data)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var fresh []Item
+	for _, it := range items {
+		if !c.seen[it.GUID] {
+			c.seen[it.GUID] = true
+			fresh = append(fresh, it)
+		}
+	}
+	return fresh, nil
+}
+
+// ItemToView converts one feed item into an xmldoc resource view (each
+// message of an rssatom stream is an XML document, Table 1).
+func ItemToView(it Item) core.ResourceView {
+	src := fmt.Sprintf(
+		"<item><title>%s</title><description>%s</description><guid>%s</guid></item>",
+		xmlEscape(it.Title), xmlEscape(it.Description), xmlEscape(it.GUID))
+	return xmlkit.LazyDocView([]byte(src), nil)
+}
+
+// DocumentView exposes the feed's current state as a single lazy xmldoc
+// view — the alternative representation Table 1 notes for RSS/ATOM.
+func DocumentView(server *Server, feed string) core.ResourceView {
+	return &core.LazyView{
+		VName:  feed,
+		VClass: core.ClassXMLDoc,
+		GroupFn: func() core.Group {
+			data, err := server.FetchDocument(feed)
+			if err != nil {
+				return core.EmptyGroup()
+			}
+			doc, err := xmlkit.Parse(strings.NewReader(string(data)))
+			if err != nil {
+				return core.EmptyGroup()
+			}
+			dv, err := xmlkit.ToViews(doc)
+			if err != nil {
+				return core.EmptyGroup()
+			}
+			return dv.Group()
+		},
+	}
+}
+
+func xmlEscape(s string) string {
+	var b strings.Builder
+	if err := xml.EscapeText(&b, []byte(s)); err != nil {
+		return s
+	}
+	return b.String()
+}

@@ -1,0 +1,156 @@
+package rss
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+func seedServer() *Server {
+	s := NewServer()
+	s.CreateFeed("dbnews")
+	s.Publish("dbnews", Item{
+		Title:       "VLDB 2006 accepted papers",
+		Description: "iDM paper accepted",
+		PubDate:     time.Date(2006, 5, 1, 12, 0, 0, 0, time.UTC),
+	})
+	s.Publish("dbnews", Item{
+		Title:       "Dataspaces tutorial",
+		Description: "Franklin, Halevy, Maier",
+		PubDate:     time.Date(2006, 6, 1, 12, 0, 0, 0, time.UTC),
+	})
+	return s
+}
+
+func TestFetchAndParseRoundtrip(t *testing.T) {
+	s := seedServer()
+	data, err := s.FetchDocument("dbnews")
+	if err != nil {
+		t.Fatal(err)
+	}
+	title, items, err := ParseDocument(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if title != "dbnews" || len(items) != 2 {
+		t.Fatalf("title=%q items=%d", title, len(items))
+	}
+	if items[0].Title != "VLDB 2006 accepted papers" {
+		t.Errorf("item[0] = %+v", items[0])
+	}
+	if items[0].GUID == "" || items[1].GUID == "" {
+		t.Error("GUIDs not assigned")
+	}
+	if items[0].PubDate.IsZero() {
+		t.Error("pubDate lost in roundtrip")
+	}
+}
+
+func TestFetchUnknownFeed(t *testing.T) {
+	s := NewServer()
+	if _, err := s.FetchDocument("nope"); !errors.Is(err, ErrNoFeed) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestParseMalformed(t *testing.T) {
+	if _, _, err := ParseDocument([]byte("<rss><unclosed")); err == nil {
+		t.Error("malformed document accepted")
+	}
+}
+
+func TestClientPollDeltas(t *testing.T) {
+	s := seedServer()
+	c := NewClient(s, "dbnews")
+	first, err := c.Poll()
+	if err != nil || len(first) != 2 {
+		t.Fatalf("first poll: %d items, %v", len(first), err)
+	}
+	second, err := c.Poll()
+	if err != nil || len(second) != 0 {
+		t.Fatalf("second poll: %d items (want 0 — nothing new)", len(second))
+	}
+	s.Publish("dbnews", Item{Title: "New post"})
+	third, err := c.Poll()
+	if err != nil || len(third) != 1 || third[0].Title != "New post" {
+		t.Fatalf("third poll: %+v, %v", third, err)
+	}
+}
+
+func TestServerLatencyAndFetchCount(t *testing.T) {
+	s := seedServer()
+	s.SetLatency(2 * time.Millisecond)
+	start := time.Now()
+	s.FetchDocument("dbnews")
+	if time.Since(start) < 2*time.Millisecond {
+		t.Error("latency not charged")
+	}
+	if s.Fetches() != 1 {
+		t.Errorf("fetches = %d", s.Fetches())
+	}
+}
+
+func TestItemToView(t *testing.T) {
+	v := ItemToView(Item{Title: "A & B", Description: "d<e>", GUID: "g1"})
+	if v.Class() != core.ClassXMLDoc {
+		t.Errorf("class = %q", v.Class())
+	}
+	seq, _ := core.CollectViews(v.Group().Seq, 0)
+	if len(seq) != 1 || seq[0].Name() != "item" {
+		t.Fatalf("root = %v", seq)
+	}
+	// Escaping survived the roundtrip into the view graph.
+	var text string
+	core.Walk(seq[0], core.WalkOptions{MaxDepth: -1}, func(w core.ResourceView, _ int) error {
+		if w.Class() == core.ClassXMLText {
+			b, _ := core.ReadAllContent(w.Content(), 0)
+			text += string(b)
+		}
+		return nil
+	})
+	if !strings.Contains(text, "A & B") || !strings.Contains(text, "d<e>") {
+		t.Errorf("text = %q", text)
+	}
+}
+
+func TestDocumentView(t *testing.T) {
+	s := seedServer()
+	v := DocumentView(s, "dbnews")
+	if v.Name() != "dbnews" || v.Class() != core.ClassXMLDoc {
+		t.Errorf("name=%q class=%q", v.Name(), v.Class())
+	}
+	seq, _ := core.CollectViews(v.Group().Seq, 0)
+	if len(seq) != 1 || seq[0].Name() != "rss" {
+		t.Fatalf("root element = %v", seq)
+	}
+	// Lazy: a fetch happened only when the group was requested.
+	if s.Fetches() != 1 {
+		t.Errorf("fetches = %d, want 1", s.Fetches())
+	}
+	n, _ := core.CountReachable(v, core.WalkOptions{MaxDepth: -1})
+	if n < 10 {
+		t.Errorf("reachable views = %d, want a full item tree", n)
+	}
+}
+
+func TestDocumentViewUnknownFeed(t *testing.T) {
+	s := NewServer()
+	v := DocumentView(s, "nope")
+	if !v.Group().IsEmpty() {
+		t.Error("unknown feed should yield empty group")
+	}
+}
+
+func TestFeedsSorted(t *testing.T) {
+	s := NewServer()
+	s.CreateFeed("z")
+	s.CreateFeed("a")
+	s.Publish("m", Item{Title: "x"})
+	feeds := s.Feeds()
+	if len(feeds) != 3 || feeds[0] != "a" || feeds[2] != "z" {
+		t.Errorf("feeds = %v", feeds)
+	}
+}

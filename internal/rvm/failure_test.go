@@ -1,0 +1,177 @@
+package rvm
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sources"
+)
+
+// flakySource fails its Root call a configurable number of times before
+// succeeding — a subsystem that is temporarily unreachable.
+type flakySource struct {
+	id        string
+	failures  int
+	rootCalls int
+	root      core.ResourceView
+}
+
+func (s *flakySource) ID() string { return s.id }
+func (s *flakySource) Root() (core.ResourceView, error) {
+	s.rootCalls++
+	if s.rootCalls <= s.failures {
+		return nil, fmt.Errorf("flaky: attempt %d refused", s.rootCalls)
+	}
+	return s.root, nil
+}
+func (s *flakySource) Changes() <-chan sources.Change { return nil }
+func (s *flakySource) Close() error                   { return nil }
+
+func flakyRoot() core.ResourceView {
+	child := sources.Annotate(core.NewView("doc.txt", core.ClassFile).
+		WithContent(core.StringContent("flaky but present")), "/doc.txt", true)
+	root := core.NewView("flaky", "").WithGroup(core.SetGroup(child))
+	return sources.Annotate(root, "/", true)
+}
+
+func TestSyncRecoversAfterSourceFailure(t *testing.T) {
+	m := New(DefaultOptions())
+	src := &flakySource{id: "flaky", failures: 2, root: flakyRoot()}
+	if err := m.AddSource(src); err != nil {
+		t.Fatal(err)
+	}
+	// Two failing syncs...
+	for i := 0; i < 2; i++ {
+		if _, err := m.SyncSource("flaky"); err == nil {
+			t.Fatalf("attempt %d should fail", i+1)
+		}
+	}
+	if m.Count() != 0 {
+		t.Errorf("failed syncs registered %d views", m.Count())
+	}
+	// ...then recovery.
+	timing, err := m.SyncSource("flaky")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if timing.Views != 2 {
+		t.Errorf("views = %d", timing.Views)
+	}
+	if got := m.ContentOr("flaky"); len(got) != 1 {
+		t.Errorf("content not indexed after recovery: %v", got)
+	}
+}
+
+// brokenGroupView yields an iterator that errors mid-iteration — a
+// subsystem that dies while being walked.
+type brokenGroup struct{ after int }
+
+func (b brokenGroup) Iter() core.ViewIter {
+	i := 0
+	return core.IterFunc(func() (core.ResourceView, error) {
+		if i >= b.after {
+			return nil, errors.New("connection reset")
+		}
+		i++
+		return core.NewView(fmt.Sprintf("item-%d", i), ""), nil
+	})
+}
+func (b brokenGroup) Finite() bool { return true }
+func (b brokenGroup) Len() int     { return core.LenUnknown }
+
+type staticSource struct {
+	id   string
+	root core.ResourceView
+}
+
+func (s *staticSource) ID() string                       { return s.id }
+func (s *staticSource) Root() (core.ResourceView, error) { return s.root, nil }
+func (s *staticSource) Changes() <-chan sources.Change   { return nil }
+func (s *staticSource) Close() error                     { return nil }
+
+func TestSyncSurfacesMidWalkError(t *testing.T) {
+	m := New(DefaultOptions())
+	root := sources.Annotate((&core.StaticView{VName: "bad"}).
+		WithGroup(core.Group{Set: brokenGroup{after: 2}, Seq: core.NoViews()}), "/", true)
+	m.AddSource(&staticSource{id: "bad", root: root})
+	_, err := m.SyncSource("bad")
+	if err == nil || !strings.Contains(err.Error(), "connection reset") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestSyncMalformedContentTolerated(t *testing.T) {
+	// Malformed XML and LaTeX never fail a sync: the converter reports
+	// the error and the file keeps an empty derived subgraph.
+	m, fs, _ := testSetup(t, DefaultOptions())
+	fs.WriteFile("/Projects/PIM/broken.xml", []byte("<unclosed"))
+	fs.WriteFile("/Projects/PIM/broken.tex", []byte("\\begin{figure} never closed"))
+	if _, err := m.SyncAll(); err != nil {
+		t.Fatalf("malformed content failed the sync: %v", err)
+	}
+	e, err := m.Catalog().ByURI("filesystem", "/Projects/PIM/broken.xml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Children(e.OID)) != 0 {
+		t.Error("broken XML produced derived views")
+	}
+	// The raw bytes are still content-indexed.
+	if got := m.ContentOr("unclosed"); len(got) == 0 {
+		t.Error("broken file content not searchable")
+	}
+}
+
+func TestRemoveSourceViewsOnPermanentFailure(t *testing.T) {
+	// A source that succeeds once and then returns an empty graph:
+	// every previously registered view must be deregistered.
+	m := New(DefaultOptions())
+	full := flakyRoot()
+	empty := sources.Annotate(core.NewView("flaky", ""), "/", true)
+	src := &staticSource{id: "s", root: full}
+	m.AddSource(src)
+	m.SyncAll()
+	if m.Count() != 2 {
+		t.Fatalf("count = %d", m.Count())
+	}
+	src.root = empty
+	timing, err := m.SyncSource("s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if timing.Removed != 1 {
+		t.Errorf("removed = %d", timing.Removed)
+	}
+	if m.Count() != 1 {
+		t.Errorf("count = %d", m.Count())
+	}
+}
+
+func TestSlowWatcherDoesNotBlockSource(t *testing.T) {
+	// A subscriber that never drains must not block writes (events are
+	// dropped, matching OS file-event semantics).
+	m, fs, _ := testSetup(t, DefaultOptions())
+	m.SyncAll()
+	if _, err := fs.MkdirAll("/private"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5000; i++ {
+		if _, err := fs.WriteFile(fmt.Sprintf("/private/f%04d.txt", i), []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The write loop completing at all is the assertion; also the
+	// source stays consistent after a final resync.
+	if _, err := m.SyncSource("filesystem"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Catalog().ByURI("filesystem", "/private/f4999.txt"); err != nil {
+		t.Error("late file missing after resync")
+	}
+}
+
+var _ = io.EOF

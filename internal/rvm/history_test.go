@@ -1,0 +1,195 @@
+package rvm
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestVersioningJournalOnInitialSync(t *testing.T) {
+	m, _, _ := testSetup(t, DefaultOptions())
+	if m.Version() != 0 {
+		t.Fatalf("fresh version = %d", m.Version())
+	}
+	m.SyncAll()
+	if int(m.Version()) != m.Count() {
+		t.Errorf("version %d != %d views (every registration is a change)", m.Version(), m.Count())
+	}
+	changes := m.Changes(0)
+	if len(changes) != m.Count() {
+		t.Fatalf("journal has %d records", len(changes))
+	}
+	for i, c := range changes {
+		if c.Kind != ChangeAdded {
+			t.Errorf("record %d kind = %v", i, c.Kind)
+		}
+		if c.Version != uint64(i+1) {
+			t.Errorf("record %d version = %d", i, c.Version)
+		}
+	}
+}
+
+func TestVersioningNoChurnOnIdenticalResync(t *testing.T) {
+	m, _, _ := testSetup(t, DefaultOptions())
+	m.SyncAll()
+	v := m.Version()
+	if _, err := m.SyncSource("filesystem"); err != nil {
+		t.Fatal(err)
+	}
+	if m.Version() != v {
+		t.Errorf("resync of unchanged source bumped version %d → %d (journal churn)", v, m.Version())
+	}
+}
+
+func TestVersioningRecordsUpdateAndRemove(t *testing.T) {
+	m, fs, _ := testSetup(t, DefaultOptions())
+	m.SyncAll()
+	v := m.Version()
+
+	fs.WriteFile("/Projects/PIM/notes.txt", []byte("changed content with more words"))
+	m.SyncSource("filesystem")
+	changes := m.Changes(v)
+	var updated []ChangeRecord
+	for _, c := range changes {
+		if c.Kind == ChangeUpdated {
+			updated = append(updated, c)
+		}
+	}
+	foundNotes := false
+	for _, c := range updated {
+		if c.URI == "/Projects/PIM/notes.txt" {
+			foundNotes = true
+		}
+	}
+	if !foundNotes {
+		t.Errorf("file modification not journaled as update: %+v", changes)
+	}
+
+	v = m.Version()
+	fs.Remove("/Projects/PIM/notes.txt")
+	m.SyncSource("filesystem")
+	changes = m.Changes(v)
+	foundRemove := false
+	for _, c := range changes {
+		if c.Kind == ChangeRemoved && c.URI == "/Projects/PIM/notes.txt" {
+			foundRemove = true
+		}
+	}
+	if !foundRemove {
+		t.Errorf("removal not journaled: %+v", changes)
+	}
+}
+
+func TestChangesSinceFiltering(t *testing.T) {
+	m, _, _ := testSetup(t, DefaultOptions())
+	m.SyncAll()
+	all := m.Changes(0)
+	half := m.Changes(uint64(len(all) / 2))
+	if len(half) != len(all)-len(all)/2 {
+		t.Errorf("Changes(since) returned %d of %d", len(half), len(all))
+	}
+	if got := m.Changes(m.Version()); got != nil {
+		t.Errorf("Changes(latest) = %v, want nil", got)
+	}
+}
+
+func TestLineageOfDerivedView(t *testing.T) {
+	m, _, _ := testSetup(t, DefaultOptions())
+	m.SyncAll()
+	intro := m.LookupNameTerm("introduction")
+	if len(intro) != 1 {
+		t.Fatal("introduction section missing")
+	}
+	steps, err := m.Lineage(intro[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if steps[0].Relation != "self" || steps[0].Name != "Introduction" {
+		t.Errorf("first step = %+v", steps[0])
+	}
+	var converterHop *LineageStep
+	var reachedFile bool
+	for i := range steps {
+		if strings.HasPrefix(steps[i].Relation, "derived-by") {
+			converterHop = &steps[i]
+		}
+		if steps[i].Name == "vldb 2006.tex" {
+			reachedFile = true
+		}
+	}
+	if converterHop == nil {
+		t.Fatalf("no converter hop in lineage: %+v", steps)
+	}
+	if converterHop.Relation != "derived-by latex2idm" {
+		t.Errorf("converter = %q", converterHop.Relation)
+	}
+	if !reachedFile {
+		t.Errorf("lineage never reaches the base file: %+v", steps)
+	}
+	// The chain ends at the source root.
+	last := steps[len(steps)-1]
+	if last.Name != "filesystem" {
+		t.Errorf("lineage root = %+v", last)
+	}
+}
+
+func TestLineageOfBaseItem(t *testing.T) {
+	m, _, _ := testSetup(t, DefaultOptions())
+	m.SyncAll()
+	pim := m.MatchNames("PIM")
+	steps, err := m.Lineage(pim[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range steps[1:] {
+		if s.Relation != "contained-in" {
+			t.Errorf("base item hop = %+v", s)
+		}
+	}
+}
+
+func TestExplicitDerivation(t *testing.T) {
+	m, fs, _ := testSetup(t, DefaultOptions())
+	m.SyncAll()
+	// Simulate a user copying a file; the system records provenance.
+	orig, err := m.Catalog().ByURI("filesystem", "/Projects/PIM/notes.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs.WriteFile("/Projects/PIM/notes-copy.txt", []byte("database tuning notes"))
+	m.SyncSource("filesystem")
+	cp, err := m.Catalog().ByURI("filesystem", "/Projects/PIM/notes-copy.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.RecordDerivation(cp.OID, orig.OID, "copy")
+	steps, err := m.Lineage(cp.OID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, s := range steps {
+		if s.Relation == "copy" && s.OID == orig.OID {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("copy derivation missing: %+v", steps)
+	}
+}
+
+func TestLineageUnknownOID(t *testing.T) {
+	m := New(DefaultOptions())
+	if _, err := m.Lineage(999); err == nil {
+		t.Error("unknown oid accepted")
+	}
+}
+
+func TestChangeKindString(t *testing.T) {
+	if ChangeAdded.String() != "added" || ChangeUpdated.String() != "updated" || ChangeRemoved.String() != "removed" {
+		t.Error("ChangeKind strings wrong")
+	}
+}
+
+var _ = core.ClassFile

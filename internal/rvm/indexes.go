@@ -1,0 +1,142 @@
+package rvm
+
+import (
+	"sort"
+
+	"repro/internal/catalog"
+)
+
+// IndexSizes reports the footprint of each structure of the
+// Replica&Indexes module — the rows of Table 3 in the paper.
+type IndexSizes struct {
+	Name    int64
+	Tuple   int64
+	Content int64
+	Group   int64
+	Catalog int64
+}
+
+// Total sums all structures.
+func (s IndexSizes) Total() int64 {
+	return s.Name + s.Tuple + s.Content + s.Group + s.Catalog
+}
+
+// IndexSizes returns the current sizes of all indexes and replicas.
+func (m *Manager) IndexSizes() IndexSizes {
+	m.mu.RLock()
+	var group int64
+	for _, children := range m.groupRep {
+		group += 16 + int64(len(children))*8
+	}
+	var nameRep int64
+	for _, n := range m.nameRep {
+		nameRep += 16 + int64(len(n))
+	}
+	m.mu.RUnlock()
+	return IndexSizes{
+		Name:    m.nameIdx.SizeBytes() + nameRep,
+		Tuple:   m.tupleIdx.SizeBytes(),
+		Content: m.contentIdx.SizeBytes(),
+		Group:   group,
+		Catalog: m.catalog.SizeBytes(),
+	}
+}
+
+// NetInputBytes returns the bytes of textual content actually fed to the
+// content index for a source — the "Net Input Data Size" column of
+// Table 3 (content that could not be converted to text is excluded).
+func (m *Manager) NetInputBytes(source string) int64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.contentBytes[source]
+}
+
+// SourceBreakdown is one row of Table 2: the resource views of a data
+// source, split into base items and views derived from XML and LaTeX
+// content.
+type SourceBreakdown struct {
+	Source       string
+	Base         int
+	DerivedXML   int
+	DerivedLatex int
+	DerivedOther int
+	Total        int
+	ContentBytes int64
+}
+
+// Breakdown computes the Table 2 row for one source.
+func (m *Manager) Breakdown(source string) SourceBreakdown {
+	st := m.catalog.StatsFor(source)
+	b := SourceBreakdown{
+		Source:       source,
+		Base:         st.Base,
+		Total:        st.Base + st.Derived,
+		ContentBytes: st.ContentBytes,
+	}
+	for prefix, n := range st.DerivedByClassPrefix {
+		switch prefix {
+		case "xml":
+			b.DerivedXML += n
+		case "latex":
+			b.DerivedLatex += n
+		default:
+			b.DerivedOther += n
+		}
+	}
+	return b
+}
+
+// Compact reclaims the space deletions left in the name and content
+// indexes (tombstoned postings are otherwise filtered at query time).
+// It returns the number of postings dropped.
+func (m *Manager) Compact() int {
+	return m.nameIdx.Compact() + m.contentIdx.Compact()
+}
+
+// GroupReplicaEdges returns the number of edges held by the group
+// replica.
+func (m *Manager) GroupReplicaEdges() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	n := 0
+	for _, children := range m.groupRep {
+		n += len(children)
+	}
+	return n
+}
+
+// OIDsByClass returns the OIDs whose class matches exactly, in
+// ascending order, answered from the class index maintained by the
+// Replica&Indexes module.
+func (m *Manager) OIDsByClass(class string) []catalog.OID {
+	m.mu.RLock()
+	out := make([]catalog.OID, 0, len(m.classRep[class]))
+	for oid := range m.classRep[class] {
+		out = append(out, oid)
+	}
+	m.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// OIDsInClass returns the OIDs whose class is the named class or a
+// specialization of it (generalization hierarchies of §3.1: a view
+// obeying xmlfile also obeys file). iQL class predicates resolve through
+// this method. Class names not present in the registry match exactly.
+func (m *Manager) OIDsInClass(class string) []catalog.OID {
+	m.mu.RLock()
+	var out []catalog.OID
+	for c, members := range m.classRep {
+		if c == "" {
+			continue
+		}
+		if c == class || m.registry.IsA(c, class) {
+			for oid := range members {
+				out = append(out, oid)
+			}
+		}
+	}
+	m.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,108 @@
+package rvm
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/convert"
+	"repro/internal/sources/fsplugin"
+	"repro/internal/vfs"
+)
+
+// TestSyncModelConsistency is a model-based test of the Synchronization
+// Manager: apply random sequences of filesystem operations, resync, and
+// check that the catalog's base-item URIs are exactly the filesystem's
+// paths — no stale entries, no missing ones — and that OIDs of
+// surviving paths never change.
+func TestSyncModelConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(2026))
+	for trial := 0; trial < 8; trial++ {
+		fs := vfs.New()
+		fs.MkdirAll("/w")
+		m := New(DefaultOptions())
+		if err := m.AddSource(fsplugin.New("fs", fs, convert.Default().Func())); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.SyncAll(); err != nil {
+			t.Fatal(err)
+		}
+
+		oidOf := map[string]uint64{}
+		var paths []string // live file paths, model state
+
+		for step := 0; step < 40; step++ {
+			switch op := rng.Intn(10); {
+			case op < 5 || len(paths) == 0: // create
+				name := fmt.Sprintf("/w/f%02d-%02d.txt", trial, step)
+				if rng.Intn(4) == 0 {
+					name = fmt.Sprintf("/w/doc%02d-%02d.tex", trial, step)
+				}
+				body := fmt.Sprintf("content %d %d", trial, step)
+				if strings.HasSuffix(name, ".tex") {
+					body = fmt.Sprintf("\\section{S%d}\nwords %d", step, step)
+				}
+				if _, err := fs.WriteFile(name, []byte(body)); err == nil {
+					paths = append(paths, name)
+				}
+			case op < 7: // update
+				p := paths[rng.Intn(len(paths))]
+				fs.WriteFile(p, []byte(fmt.Sprintf("updated %d", step)))
+			default: // remove
+				i := rng.Intn(len(paths))
+				fs.Remove(paths[i])
+				paths = append(paths[:i], paths[i+1:]...)
+			}
+
+			if rng.Intn(3) == 0 { // resync at random points
+				if _, err := m.SyncSource("fs"); err != nil {
+					t.Fatal(err)
+				}
+				checkModel(t, m, fs, paths, oidOf)
+			}
+		}
+		if _, err := m.SyncSource("fs"); err != nil {
+			t.Fatal(err)
+		}
+		checkModel(t, m, fs, paths, oidOf)
+	}
+}
+
+// checkModel compares the catalog's filesystem base items against the
+// model's live paths.
+func checkModel(t *testing.T, m *Manager, fs *vfs.FS, paths []string, oidOf map[string]uint64) {
+	t.Helper()
+	var catalogFiles []string
+	for _, oid := range m.Catalog().SourceOIDs("fs") {
+		e, err := m.Catalog().Get(oid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e.Derived || !strings.HasPrefix(e.URI, "/w/") || !strings.Contains(e.URI, ".") {
+			continue // folders, root, derived views
+		}
+		catalogFiles = append(catalogFiles, e.URI)
+		if prev, seen := oidOf[e.URI]; seen && prev != uint64(e.OID) {
+			t.Fatalf("OID of %s changed: %d → %d", e.URI, prev, e.OID)
+		}
+		oidOf[e.URI] = uint64(e.OID)
+	}
+	want := append([]string(nil), paths...)
+	sort.Strings(want)
+	sort.Strings(catalogFiles)
+	if fmt.Sprint(want) != fmt.Sprint(catalogFiles) {
+		t.Fatalf("catalog diverged from filesystem:\n fs:      %v\n catalog: %v", want, catalogFiles)
+	}
+	// Every live file is also content-searchable via its unique body.
+	for _, p := range paths {
+		e, err := m.Catalog().ByURI("fs", p)
+		if err != nil {
+			t.Fatalf("live path %s unregistered: %v", p, err)
+		}
+		if _, ok := m.View(e.OID); !ok {
+			t.Fatalf("live view missing for %s", p)
+		}
+	}
+}

@@ -1,0 +1,577 @@
+package rvm
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/convert"
+	"repro/internal/core"
+	"repro/internal/mail"
+	"repro/internal/sources/fsplugin"
+	"repro/internal/sources/mailplugin"
+	"repro/internal/stream"
+	"repro/internal/tupleindex"
+	"repro/internal/vfs"
+)
+
+const vldbTex = `\documentclass{vldb}
+\title{iDM}
+\begin{document}
+\section{Introduction}
+\label{sec:intro}
+This work is about PIM, says Mike Franklin.
+\section{Conclusion}
+Unified systems win.
+\end{document}`
+
+func testSetup(t *testing.T, opts Options) (*Manager, *vfs.FS, *mail.Store) {
+	t.Helper()
+	fs := vfs.New()
+	fs.MkdirAll("/Projects/PIM")
+	fs.WriteFile("/Projects/PIM/vldb 2006.tex", []byte(vldbTex))
+	fs.WriteFile("/Projects/PIM/notes.txt", []byte("database tuning notes"))
+	fs.WriteFile("/Projects/PIM/photo.jpg", []byte{0xff, 0xd8, 0x01, 0x02})
+	fs.Link("/Projects/PIM/All Projects", "/Projects")
+
+	store := mail.NewStore()
+	store.CreateFolder("Projects/OLAP")
+	store.Append(&mail.Message{
+		Folder: "Projects/OLAP", From: "alice@example.org",
+		Subject: "indexing", Body: "the indexing time looks good",
+		Date: time.Date(2005, 6, 2, 0, 0, 0, 0, time.UTC),
+		Attachments: []mail.Attachment{{
+			Filename: "results.tex",
+			Data:     []byte("\\section{Results}\nIndexing time beats grep."),
+		}},
+	})
+
+	conv := convert.Default().Func()
+	m := New(opts)
+	if err := m.AddSource(fsplugin.New("filesystem", fs, conv)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddSource(mailplugin.New("email", store, conv)); err != nil {
+		t.Fatal(err)
+	}
+	return m, fs, store
+}
+
+func TestSyncAllRegistersEverything(t *testing.T) {
+	m, _, _ := testSetup(t, DefaultOptions())
+	report, err := m.SyncAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Timings) != 2 {
+		t.Fatalf("timings = %d", len(report.Timings))
+	}
+	if m.Count() == 0 || report.TotalViews() != m.Count() {
+		t.Errorf("count=%d reported=%d", m.Count(), report.TotalViews())
+	}
+	// Derived views (latex sections) are registered alongside base items.
+	fsB := m.Breakdown("filesystem")
+	if fsB.Base == 0 || fsB.DerivedLatex == 0 {
+		t.Errorf("filesystem breakdown = %+v", fsB)
+	}
+	mailB := m.Breakdown("email")
+	if mailB.Base == 0 || mailB.DerivedLatex == 0 {
+		t.Errorf("email breakdown = %+v", mailB)
+	}
+}
+
+func TestSyncTimingBucketsPopulated(t *testing.T) {
+	m, _, store := testSetup(t, DefaultOptions())
+	store.SetLatency(mail.Latency{PerCall: 500 * time.Microsecond})
+	report, err := m.SyncAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, timing := range report.Timings {
+		if timing.Views == 0 {
+			t.Errorf("%s indexed no views", timing.Source)
+		}
+		if timing.Total() <= 0 {
+			t.Errorf("%s total time = %v", timing.Source, timing.Total())
+		}
+	}
+	// With store latency on, email sync is dominated by data source
+	// access — the Figure 5 shape.
+	var email SyncTiming
+	for _, timing := range report.Timings {
+		if timing.Source == "email" {
+			email = timing
+		}
+	}
+	if email.DataSourceAccess <= email.CatalogInsert+email.ComponentIndexing {
+		t.Errorf("email access=%v catalog=%v indexing=%v; access should dominate",
+			email.DataSourceAccess, email.CatalogInsert, email.ComponentIndexing)
+	}
+}
+
+func TestNameAndContentLookup(t *testing.T) {
+	m, _, _ := testSetup(t, DefaultOptions())
+	m.SyncAll()
+	// Phrase lookup over content spanning base and derived views.
+	hits := m.ContentPhrase("Mike Franklin")
+	if len(hits) == 0 {
+		t.Fatal("phrase not found")
+	}
+	for _, oid := range hits {
+		e, _ := m.Entry(oid)
+		if e.Source != "filesystem" {
+			t.Errorf("unexpected source %q", e.Source)
+		}
+	}
+	// Name index finds the Introduction section view.
+	intro := m.LookupNameTerm("introduction")
+	if len(intro) != 1 {
+		t.Fatalf("introduction hits = %d", len(intro))
+	}
+	e, _ := m.Entry(intro[0])
+	if e.Class != core.ClassLatexSection {
+		t.Errorf("class = %q", e.Class)
+	}
+}
+
+func TestWildcardNameMatch(t *testing.T) {
+	m, _, _ := testSetup(t, DefaultOptions())
+	m.SyncAll()
+	// ?onclusion* matches "Conclusion" (Q5 of the paper uses this shape).
+	oids := m.MatchNames("?onclusion*")
+	if len(oids) != 1 || m.NameOf(oids[0]) != "Conclusion" {
+		t.Errorf("wildcard match = %v", oids)
+	}
+	if got := m.MatchNames("*.tex"); len(got) != 2 { // vldb 2006.tex + results.tex
+		names := make([]string, len(got))
+		for i, o := range got {
+			names[i] = m.NameOf(o)
+		}
+		t.Errorf("*.tex matched %v", names)
+	}
+}
+
+func TestTupleQueryOverWFS(t *testing.T) {
+	m, _, _ := testSetup(t, DefaultOptions())
+	m.SyncAll()
+	oids := m.TupleQuery("size", tupleindex.GT, core.Int(10))
+	if len(oids) == 0 {
+		t.Fatal("no views with size > 10")
+	}
+	for _, oid := range oids {
+		tc, ok := m.Tuple(oid)
+		if !ok {
+			t.Fatalf("tuple replica missing for %d", oid)
+		}
+		if v, _ := tc.Get("size"); v.Int <= 10 {
+			t.Errorf("size = %d", v.Int)
+		}
+	}
+}
+
+func TestGroupReplicaNavigation(t *testing.T) {
+	m, _, _ := testSetup(t, DefaultOptions())
+	m.SyncAll()
+	pim := m.MatchNames("PIM")
+	if len(pim) != 1 {
+		t.Fatalf("PIM views = %d", len(pim))
+	}
+	children := m.Children(pim[0])
+	if len(children) != 4 {
+		t.Fatalf("PIM children = %d, want 4", len(children))
+	}
+	// Reverse edges: each child names PIM as parent.
+	for _, c := range children {
+		found := false
+		for _, p := range m.Parents(c) {
+			if p == pim[0] {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("child %q lacks reverse edge", m.NameOf(c))
+		}
+	}
+}
+
+func TestBinaryContentExcludedFromNetInput(t *testing.T) {
+	m, _, _ := testSetup(t, DefaultOptions())
+	m.SyncAll()
+	// photo.jpg content is not indexed; notes.txt is.
+	jpg, err := m.Catalog().ByURI("filesystem", "/Projects/PIM/photo.jpg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.ContentAnd("database", "tuning"); len(got) == 0 {
+		t.Error("textual content not indexed")
+	}
+	for _, oid := range m.ContentOr("jpg") {
+		if oid == jpg.OID {
+			t.Error("binary content leaked into the content index")
+		}
+	}
+	if m.NetInputBytes("filesystem") <= 0 {
+		t.Error("net input not accounted")
+	}
+}
+
+func TestIndexSizesNonZero(t *testing.T) {
+	m, _, _ := testSetup(t, DefaultOptions())
+	m.SyncAll()
+	s := m.IndexSizes()
+	if s.Name == 0 || s.Tuple == 0 || s.Content == 0 || s.Group == 0 || s.Catalog == 0 {
+		t.Errorf("sizes = %+v", s)
+	}
+	if s.Total() != s.Name+s.Tuple+s.Content+s.Group+s.Catalog {
+		t.Error("total mismatch")
+	}
+}
+
+func TestResyncStableOIDs(t *testing.T) {
+	m, fs, _ := testSetup(t, DefaultOptions())
+	m.SyncAll()
+	before, err := m.Catalog().ByURI("filesystem", "/Projects/PIM/notes.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	countBefore := m.Count()
+	fs.WriteFile("/Projects/PIM/notes.txt", []byte("database tuning notes v2 with fresh words"))
+	if _, err := m.SyncSource("filesystem"); err != nil {
+		t.Fatal(err)
+	}
+	after, err := m.Catalog().ByURI("filesystem", "/Projects/PIM/notes.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.OID != before.OID {
+		t.Errorf("OID changed on resync: %d → %d", before.OID, after.OID)
+	}
+	if m.Count() != countBefore {
+		t.Errorf("count changed: %d → %d", countBefore, m.Count())
+	}
+	if got := m.ContentPhrase("fresh words"); len(got) != 1 || got[0] != after.OID {
+		t.Errorf("updated content not re-indexed: %v", got)
+	}
+}
+
+func TestResyncRemovesDeleted(t *testing.T) {
+	m, fs, _ := testSetup(t, DefaultOptions())
+	m.SyncAll()
+	notes, _ := m.Catalog().ByURI("filesystem", "/Projects/PIM/notes.txt")
+	fs.Remove("/Projects/PIM/notes.txt")
+	timing, err := m.SyncSource("filesystem")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if timing.Removed != 1 {
+		t.Errorf("removed = %d, want 1", timing.Removed)
+	}
+	if _, err := m.Entry(notes.OID); err == nil {
+		t.Error("entry survives removal")
+	}
+	if got := m.ContentAnd("database", "tuning"); len(got) != 0 {
+		t.Errorf("content index keeps removed doc: %v", got)
+	}
+	if _, ok := m.View(notes.OID); ok {
+		t.Error("live view survives removal")
+	}
+}
+
+func TestChangeNotificationMarksDirty(t *testing.T) {
+	m, fs, _ := testSetup(t, DefaultOptions())
+	m.SyncAll()
+	fs.WriteFile("/Projects/PIM/new.txt", []byte("zanzibar content"))
+	// The plugin pushes the event; wait for the dirty mark, then process.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		ids, err := m.ProcessPending()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ids) > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("change never marked source dirty")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got := m.ContentOr("zanzibar"); len(got) != 1 {
+		t.Errorf("new file not indexed: %v", got)
+	}
+}
+
+func TestQueryShippingFallback(t *testing.T) {
+	opts := DefaultOptions()
+	opts.ReplicateGroups = false
+	m, _, _ := testSetup(t, opts)
+	m.SyncAll()
+	pim := m.MatchNames("PIM")
+	if len(pim) != 1 {
+		t.Fatalf("PIM = %v", pim)
+	}
+	children := m.Children(pim[0])
+	if len(children) != 4 {
+		t.Errorf("query-shipping children = %d, want 4", len(children))
+	}
+	if m.GroupReplicaEdges() != 0 {
+		t.Error("group replica populated despite ReplicateGroups=false")
+	}
+}
+
+func TestBrokerPublishesDuringSync(t *testing.T) {
+	m, _, _ := testSetup(t, DefaultOptions())
+	var count int
+	m.Broker().Subscribe("views/filesystem", stream.OperatorFunc(func(stream.Event) { count++ }))
+	m.SyncAll()
+	fsB := m.Breakdown("filesystem")
+	if count != fsB.Total {
+		t.Errorf("broker saw %d events, catalog has %d filesystem views", count, fsB.Total)
+	}
+}
+
+func TestOIDsByClass(t *testing.T) {
+	m, _, _ := testSetup(t, DefaultOptions())
+	m.SyncAll()
+	secs := m.OIDsByClass(core.ClassLatexSection)
+	if len(secs) != 3 { // Introduction, Conclusion, Results
+		names := make([]string, len(secs))
+		for i, o := range secs {
+			names[i] = m.NameOf(o)
+		}
+		t.Errorf("sections = %v", names)
+	}
+}
+
+func TestAddSourceDuplicate(t *testing.T) {
+	m, fs, _ := testSetup(t, DefaultOptions())
+	err := m.AddSource(fsplugin.New("filesystem", fs, nil))
+	if err == nil {
+		t.Error("duplicate source accepted")
+	}
+}
+
+func TestUnknownSourceSync(t *testing.T) {
+	m := New(DefaultOptions())
+	if _, err := m.SyncSource("nope"); err == nil {
+		t.Error("unknown source accepted")
+	}
+}
+
+func TestWildcardMatch(t *testing.T) {
+	cases := []struct {
+		pattern, name string
+		want          bool
+	}{
+		{"*", "anything", true},
+		{"", "", true},
+		{"", "x", false},
+		{"?onclusion*", "Conclusion", true},
+		{"?onclusion*", "conclusions", true},
+		{"?onclusion*", "onclusion", false},
+		{"*Vision", "GrandVision", true},
+		{"*Vision", "Vision", true},
+		{"*Vision", "Visionary", false},
+		{"VLDB200?", "VLDB2006", true},
+		{"VLDB200?", "VLDB20066", false},
+		{"*.tex", "vldb 2006.tex", true},
+		{"a*b*c", "axxbyyc", true},
+		{"a*b*c", "acb", false},
+	}
+	for _, c := range cases {
+		if got := WildcardMatch(c.pattern, c.name); got != c.want {
+			t.Errorf("WildcardMatch(%q, %q) = %v, want %v", c.pattern, c.name, got, c.want)
+		}
+	}
+}
+
+func TestEntryParentChain(t *testing.T) {
+	m, _, _ := testSetup(t, DefaultOptions())
+	m.SyncAll()
+	intro := m.LookupNameTerm("introduction")
+	if len(intro) != 1 {
+		t.Fatal("introduction missing")
+	}
+	// Walking Parent links reaches the filesystem root.
+	oid := intro[0]
+	steps := 0
+	for {
+		e, err := m.Entry(oid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e.Parent == 0 {
+			if e.URI != "/" {
+				t.Errorf("chain ended at %q", e.URI)
+			}
+			break
+		}
+		oid = e.Parent
+		if steps++; steps > 50 {
+			t.Fatal("parent chain too deep")
+		}
+	}
+}
+
+func TestOIDsInClassSpecialization(t *testing.T) {
+	m, _, _ := testSetup(t, DefaultOptions())
+	m.SyncAll()
+	// file must cover latexfile, xmlfile and attachment members.
+	files := m.OIDsInClass(core.ClassFile)
+	exact := m.OIDsByClass(core.ClassFile)
+	if len(files) <= len(exact) {
+		t.Errorf("in-class %d should exceed exact %d", len(files), len(exact))
+	}
+	classes := map[string]bool{}
+	for _, oid := range files {
+		e, _ := m.Entry(oid)
+		classes[e.Class] = true
+		if !m.Registry().IsA(e.Class, core.ClassFile) {
+			t.Errorf("class %q not a file", e.Class)
+		}
+	}
+	if !classes[core.ClassLatexFile] || !classes[core.ClassAttachment] {
+		t.Errorf("classes = %v", classes)
+	}
+	for i := 1; i < len(files); i++ {
+		if files[i-1] >= files[i] {
+			t.Fatal("OIDsInClass not sorted")
+		}
+	}
+}
+
+func TestAllOIDsAndAccessors(t *testing.T) {
+	m, _, _ := testSetup(t, DefaultOptions())
+	m.SyncAll()
+	oids := m.AllOIDs()
+	if len(oids) != m.Count() {
+		t.Errorf("AllOIDs = %d, Count = %d", len(oids), m.Count())
+	}
+	if _, ok := m.Source("filesystem"); !ok {
+		t.Error("Source lookup failed")
+	}
+	if _, ok := m.Source("nope"); ok {
+		t.Error("phantom source")
+	}
+	freqs := m.ContentPhraseFreqs("database")
+	if len(freqs) == 0 {
+		t.Error("no phrase freqs")
+	}
+	for oid, n := range freqs {
+		if n <= 0 {
+			t.Errorf("freq of %d = %d", oid, n)
+		}
+	}
+}
+
+func TestStartPollingRefreshes(t *testing.T) {
+	m, fs, _ := testSetup(t, DefaultOptions())
+	m.SyncAll()
+	stop := m.StartPolling(2 * time.Millisecond)
+	defer stop()
+	fs.WriteFile("/Projects/PIM/polled.txt", []byte("pollsentinel content"))
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if got := m.ContentOr("pollsentinel"); len(got) == 1 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("polling never indexed the new file")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func TestImageSimilarityIndex(t *testing.T) {
+	opts := DefaultOptions()
+	opts.IndexImages = true
+	fs := vfs.New()
+	fs.MkdirAll("/photos")
+	img := func(center byte, n int) []byte {
+		out := make([]byte, n)
+		for i := range out {
+			out[i] = center + byte(i%9)
+		}
+		return out
+	}
+	fs.WriteFile("/photos/dark1.jpg", img(20, 2048))
+	fs.WriteFile("/photos/dark2.jpg", img(24, 2048))
+	fs.WriteFile("/photos/bright.jpg", img(200, 2048))
+	fs.WriteFile("/photos/readme.txt", []byte("not an image"))
+
+	m := New(opts)
+	if err := m.AddSource(fsplugin.New("fs", fs, nil)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.SyncAll(); err != nil {
+		t.Fatal(err)
+	}
+	if m.ImageCount() != 3 {
+		t.Fatalf("image count = %d, want 3 (text excluded)", m.ImageCount())
+	}
+	d1, err := m.Catalog().ByURI("fs", "/photos/dark1.jpg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := m.SimilarImages(d1.OID, 1)
+	if len(got) != 1 {
+		t.Fatalf("similar = %v", got)
+	}
+	e, _ := m.Entry(got[0].OID)
+	if e.URI != "/photos/dark2.jpg" {
+		t.Errorf("nearest to dark1 = %s (sim %.3f)", e.URI, got[0].Similarity)
+	}
+	// Removal drops the image from the index.
+	fs.Remove("/photos/dark2.jpg")
+	m.SyncSource("fs")
+	if m.ImageCount() != 2 {
+		t.Errorf("image count after removal = %d", m.ImageCount())
+	}
+}
+
+func TestImageIndexOffByDefault(t *testing.T) {
+	m, _, _ := testSetup(t, DefaultOptions())
+	m.SyncAll()
+	if m.ImageCount() != 0 {
+		t.Errorf("image index populated without the option: %d", m.ImageCount())
+	}
+}
+
+func TestCompactAfterRemovals(t *testing.T) {
+	m, fs, _ := testSetup(t, DefaultOptions())
+	m.SyncAll()
+	fs.Remove("/Projects/PIM/notes.txt")
+	fs.Remove("/Projects/PIM/photo.jpg")
+	m.SyncSource("filesystem")
+	dropped := m.Compact()
+	if dropped == 0 {
+		t.Error("nothing to compact after removals")
+	}
+	// Queries still correct.
+	if got := m.ContentAnd("database", "tuning"); len(got) != 0 {
+		t.Errorf("removed content resurfaced: %v", got)
+	}
+	if got := m.ContentPhrase("Mike Franklin"); len(got) == 0 {
+		t.Error("live content lost in compaction")
+	}
+}
+
+func TestConverterForNames(t *testing.T) {
+	cases := map[string]string{
+		"xmlelem":       "xml2idm",
+		"xmltext":       "xml2idm",
+		"latex_section": "latex2idm",
+		"texref":        "latex2idm",
+		"figure":        "latex2idm",
+		"environment":   "latex2idm",
+		"caption":       "latex2idm",
+		"other":         "converter",
+	}
+	for class, want := range cases {
+		if got := converterFor(class); got != want {
+			t.Errorf("converterFor(%q) = %q, want %q", class, got, want)
+		}
+	}
+}
+
+var _ = catalog.OID(0)

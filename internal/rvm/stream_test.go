@@ -1,0 +1,95 @@
+package rvm
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/iql"
+	"repro/internal/sources"
+	"repro/internal/stream"
+)
+
+// testEngineOver builds an iQL engine over a manager (the manager
+// satisfies iql.Store).
+func testEngineOver(m *Manager) *iql.Engine {
+	return iql.NewEngine(m, iql.Options{})
+}
+
+// infiniteTupleStream is an endless generator of tuple views.
+type infiniteTupleStream struct{}
+
+func (infiniteTupleStream) Iter() core.ViewIter {
+	i := 0
+	return core.IterFunc(func() (core.ResourceView, error) {
+		i++
+		v := &core.StaticView{
+			VClass: core.ClassTuple,
+			VTuple: core.TupleComponent{
+				Schema: core.Schema{{Name: "seq", Domain: core.DomainInt}},
+				Tuple:  core.Tuple{core.Int(int64(i))},
+			},
+		}
+		return sources.Annotate(v, fmt.Sprintf("tuple/%d", i), true), nil
+	})
+}
+func (infiniteTupleStream) Finite() bool { return false }
+func (infiniteTupleStream) Len() int     { return core.LenUnknown }
+
+type streamSource struct{ root core.ResourceView }
+
+func (s *streamSource) ID() string                       { return "stream" }
+func (s *streamSource) Root() (core.ResourceView, error) { return s.root, nil }
+func (s *streamSource) Changes() <-chan sources.Change   { return nil }
+func (s *streamSource) Close() error                     { return nil }
+
+func TestSyncBoundsInfiniteGroupWithStreamWindow(t *testing.T) {
+	opts := DefaultOptions()
+	opts.InfinitePrefix = 16 // the stream window of §5.2
+	m := New(opts)
+	root := sources.Annotate(
+		stream.StreamView("tuples", infiniteTupleStream{}), "/", true)
+	if err := m.AddSource(&streamSource{root: root}); err != nil {
+		t.Fatal(err)
+	}
+	timing, err := m.SyncSource("stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Root + the windowed prefix of the infinite sequence.
+	if timing.Views != 17 {
+		t.Errorf("views = %d, want 17 (window of 16 + root)", timing.Views)
+	}
+	// The windowed tuples are queryable through the tuple index.
+	engine := testEngineOver(m)
+	res, err := engine.Query(`//[seq > 10]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count() != 6 { // tuples 11..16
+		t.Errorf("seq > 10: %d results", res.Count())
+	}
+}
+
+func TestResyncAdvancingStreamKeepsOIDsOfStableItems(t *testing.T) {
+	// A stream whose items carry stable URIs: re-syncing keeps the OIDs
+	// of the items already seen (they fall inside the window again).
+	opts := DefaultOptions()
+	opts.InfinitePrefix = 8
+	m := New(opts)
+	root := sources.Annotate(stream.StreamView("tuples", infiniteTupleStream{}), "/", true)
+	m.AddSource(&streamSource{root: root})
+	m.SyncSource("stream")
+	first, err := m.Catalog().ByURI("stream", "tuple/1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.SyncSource("stream")
+	again, err := m.Catalog().ByURI("stream", "tuple/1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.OID != again.OID {
+		t.Errorf("stream item OID changed: %d → %d", first.OID, again.OID)
+	}
+}

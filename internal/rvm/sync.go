@@ -1,0 +1,478 @@
+package rvm
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/imageindex"
+	"repro/internal/sources"
+	"repro/internal/textindex"
+	"repro/internal/tupleindex"
+)
+
+// SyncTiming is the per-source timing breakdown Figure 5 of the paper
+// reports: the time spent registering metadata in the Resource View
+// Catalog, the time spent inserting into the index structures, and the
+// time spent obtaining data from the underlying data source.
+type SyncTiming struct {
+	Source            string
+	CatalogInsert     time.Duration
+	ComponentIndexing time.Duration
+	DataSourceAccess  time.Duration
+	Views             int
+	Removed           int
+}
+
+// Total returns the total indexing time for the source.
+func (t SyncTiming) Total() time.Duration {
+	return t.CatalogInsert + t.ComponentIndexing + t.DataSourceAccess
+}
+
+// SyncReport aggregates one full synchronization.
+type SyncReport struct {
+	Timings []SyncTiming
+}
+
+// TotalViews sums the views registered across sources.
+func (r SyncReport) TotalViews() int {
+	n := 0
+	for _, t := range r.Timings {
+		n += t.Views
+	}
+	return n
+}
+
+// SyncAll synchronizes every registered source: it walks each source's
+// resource view graph and sends every resource view definition to the
+// Replica&Indexes module, as the Synchronization Manager does when a
+// data source is registered (§5.2).
+func (m *Manager) SyncAll() (SyncReport, error) {
+	var report SyncReport
+	for _, id := range m.Sources() {
+		t, err := m.SyncSource(id)
+		if err != nil {
+			return report, err
+		}
+		report.Timings = append(report.Timings, t)
+	}
+	return report, nil
+}
+
+// SyncSource (re)synchronizes one source. Catalog OIDs are stable across
+// syncs (keyed by source URI); views whose URIs have disappeared are
+// deregistered and removed from all indexes and replicas.
+func (m *Manager) SyncSource(id string) (SyncTiming, error) {
+	m.mu.RLock()
+	src, ok := m.sources[id]
+	m.mu.RUnlock()
+	if !ok {
+		return SyncTiming{}, fmt.Errorf("rvm: unknown source %q", id)
+	}
+
+	timing := SyncTiming{Source: id}
+	w := &syncWalk{m: m, source: id, timing: &timing,
+		viewOID:  make(map[core.ResourceView]catalog.OID),
+		expanded: make(map[core.ResourceView]bool),
+		seen:     make(map[catalog.OID]bool),
+	}
+
+	start := time.Now()
+	root, err := src.Root()
+	timing.DataSourceAccess += time.Since(start)
+	if err != nil {
+		return timing, fmt.Errorf("rvm: source %q root: %w", id, err)
+	}
+
+	// Rebuild the source's slice of the group replica from scratch.
+	m.mu.Lock()
+	for _, oid := range m.catalog.SourceOIDs(id) {
+		for _, child := range m.groupRep[oid] {
+			m.parentRep[child] = removeOID(m.parentRep[child], oid)
+		}
+		delete(m.groupRep, oid)
+	}
+	m.mu.Unlock()
+
+	rootOID := w.register(root, 0, "", 0)
+	if err := w.expandAll(root, rootOID); err != nil {
+		return timing, err
+	}
+
+	// Deregister views that disappeared from the source.
+	for _, oid := range m.catalog.SourceOIDs(id) {
+		if !w.seen[oid] {
+			m.remove(oid)
+			timing.Removed++
+		}
+	}
+	m.mu.Lock()
+	delete(m.dirty, id)
+	m.mu.Unlock()
+	return timing, nil
+}
+
+// ProcessPending resynchronizes every source marked dirty by change
+// notifications (or by MarkDirty), returning the ids it refreshed. This
+// is the deterministic core of the Synchronization Manager's
+// notification path; StartPolling drives it on a timer for sources that
+// cannot push.
+func (m *Manager) ProcessPending() ([]string, error) {
+	m.mu.Lock()
+	var ids []string
+	for id := range m.dirty {
+		ids = append(ids, id)
+	}
+	m.mu.Unlock()
+	sort.Strings(ids)
+	for _, id := range ids {
+		if _, err := m.SyncSource(id); err != nil {
+			return ids, err
+		}
+	}
+	return ids, nil
+}
+
+// MarkDirty flags a source for the next ProcessPending, used by callers
+// that detect updates out of band.
+func (m *Manager) MarkDirty(id string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.dirty[id] = true
+}
+
+// StartPolling runs ProcessPending on every interval until the returned
+// stop function is called — the regular polling the Synchronization
+// Manager performs "to synchronize the catalog, replicas and indexes for
+// updates that were done bypassing the RVM layer" (§5.2). Every poll
+// also marks all sources dirty so that pull-only sources are refreshed.
+func (m *Manager) StartPolling(interval time.Duration) (stop func()) {
+	stopCh := make(chan struct{})
+	doneCh := make(chan struct{})
+	go func() {
+		defer close(doneCh)
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-stopCh:
+				return
+			case <-ticker.C:
+				for _, id := range m.Sources() {
+					m.MarkDirty(id)
+				}
+				m.ProcessPending()
+			}
+		}
+	}()
+	return func() {
+		close(stopCh)
+		<-doneCh
+	}
+}
+
+// syncWalk carries the state of one source synchronization.
+type syncWalk struct {
+	m      *Manager
+	source string
+	timing *SyncTiming
+	// viewOID maps each live view touched in this sync to its OID.
+	viewOID map[core.ResourceView]catalog.OID
+	// expanded marks views whose children have been walked.
+	expanded map[core.ResourceView]bool
+	// seen collects the OIDs observed, for removal detection.
+	seen map[catalog.OID]bool
+}
+
+// register assigns (or re-finds) the OID for a view and sends its
+// component definitions to the Replica&Indexes module. It is idempotent
+// per sync.
+func (w *syncWalk) register(v core.ResourceView, parent catalog.OID, parentURI string, ordinal int) catalog.OID {
+	if oid, done := w.viewOID[v]; done {
+		return oid
+	}
+	m := w.m
+
+	// --- Data source access: pull the component values. ---------------
+	start := time.Now()
+	name := v.Name()
+	class := v.Class()
+	tc := v.Tuple()
+	content := v.Content()
+	var text string
+	var binary []byte
+	var contentSize int64 = -1
+	hasContent := !core.IsEmptyContent(content)
+	if hasContent {
+		if content.Finite() {
+			contentSize = content.Size()
+			if isTextual(name) {
+				b, err := core.ReadAllContent(content, m.opts.MaxContentBytes)
+				if err == nil {
+					text = string(b)
+					if contentSize < 0 {
+						contentSize = int64(len(b))
+					}
+				}
+			} else if m.opts.IndexImages {
+				b, err := core.ReadAllContent(content, m.opts.MaxContentBytes)
+				if err == nil {
+					binary = b
+				}
+			}
+		}
+	}
+	uri, base := "", false
+	if item, ok := v.(*sources.Item); ok {
+		uri, base = item.URI(), item.IsBase()
+	}
+	if uri == "" {
+		uri = fmt.Sprintf("%s#%d", parentURI, ordinal)
+	}
+	w.timing.DataSourceAccess += time.Since(start)
+
+	// --- Catalog insert. ----------------------------------------------
+	start = time.Now()
+	stamp := modStamp(tc, contentSize)
+	prev, prevErr := m.catalog.ByURI(w.source, uri)
+	oid := m.catalog.Register(catalog.Entry{
+		Name:        name,
+		Class:       class,
+		Source:      w.source,
+		URI:         uri,
+		Parent:      parent,
+		HasTuple:    !tc.IsEmpty(),
+		HasContent:  hasContent,
+		ContentSize: contentSize,
+		Stamp:       stamp,
+		Derived:     !base,
+	})
+	w.timing.CatalogInsert += time.Since(start)
+
+	// --- Versioning journal (§8). ---------------------------------------
+	// Each change creates a new version of the dataspace: new URIs are
+	// additions; re-registered URIs are updates when any cataloged
+	// property changed (unchanged views are not journaled).
+	changed := false
+	if prevErr != nil {
+		changed = true
+		m.history.record(ChangeRecord{Kind: ChangeAdded, OID: oid, Source: w.source, URI: uri, Name: name})
+	} else if prev.Name != name || prev.Class != class || prev.ContentSize != contentSize || prev.Stamp != stamp {
+		changed = true
+		m.history.record(ChangeRecord{Kind: ChangeUpdated, OID: oid, Source: w.source, URI: uri, Name: name})
+	}
+
+	// --- Component indexing. -------------------------------------------
+	start = time.Now()
+	m.nameIdx.Add(textindex.DocID(oid), name)
+	if !tc.IsEmpty() {
+		m.tupleIdx.Add(tupleindex.DocID(oid), tc)
+	}
+	if text != "" {
+		m.contentIdx.Add(textindex.DocID(oid), text)
+	}
+	if len(binary) > 0 {
+		m.imageIdx.Add(imageindex.DocID(oid), binary)
+	}
+	m.mu.Lock()
+	lowered := strings.ToLower(name)
+	if old, ok := m.nameLower[oid]; ok && old != lowered {
+		delete(m.byLowerName[old], oid)
+	}
+	m.nameRep[oid] = name
+	m.nameLower[oid] = lowered
+	exact := m.byLowerName[lowered]
+	if exact == nil {
+		exact = make(map[catalog.OID]struct{})
+		m.byLowerName[lowered] = exact
+	}
+	exact[oid] = struct{}{}
+	m.views[oid] = v
+	if old, ok := m.classOf[oid]; ok && old != class {
+		delete(m.classRep[old], oid)
+	}
+	m.classOf[oid] = class
+	members := m.classRep[class]
+	if members == nil {
+		members = make(map[catalog.OID]struct{})
+		m.classRep[class] = members
+	}
+	members[oid] = struct{}{}
+	if text != "" {
+		m.contentBytes[w.source] += int64(len(text))
+	}
+	m.mu.Unlock()
+	w.timing.ComponentIndexing += time.Since(start)
+
+	// Push the change (§4.4.2): only added or updated views flow to the
+	// broker, so continuous filters see each change exactly once.
+	if changed {
+		pv := &PublishedView{ResourceView: v, OID: oid}
+		m.broker.Publish("views/"+w.source, pv)
+		m.broker.Publish(TopicAllViews, pv)
+	}
+
+	w.viewOID[v] = oid
+	w.seen[oid] = true
+	w.timing.Views++
+	return oid
+}
+
+// expandAll walks the graph from root iteratively, registering every
+// reachable view and maintaining the group replica and reverse edges.
+func (w *syncWalk) expandAll(root core.ResourceView, rootOID catalog.OID) error {
+	m := w.m
+	type frame struct {
+		v   core.ResourceView
+		oid catalog.OID
+		uri string
+	}
+	entry, err := m.catalog.Get(rootOID)
+	if err != nil {
+		return err
+	}
+	stack := []frame{{v: root, oid: rootOID, uri: entry.URI}}
+	w.expanded[root] = true
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+
+		start := time.Now()
+		children, err := childrenBounded(f.v, m.opts.InfinitePrefix)
+		w.timing.DataSourceAccess += time.Since(start)
+		if err != nil {
+			return fmt.Errorf("rvm: expanding %q: %w", core.NameOf(f.v), err)
+		}
+		var childOIDs []catalog.OID
+		for i, c := range children {
+			coid := w.register(c, f.oid, f.uri, i)
+			childOIDs = append(childOIDs, coid)
+			if !w.expanded[c] {
+				w.expanded[c] = true
+				ce, err := m.catalog.Get(coid)
+				if err != nil {
+					return err
+				}
+				stack = append(stack, frame{v: c, oid: coid, uri: ce.URI})
+			}
+		}
+		if len(childOIDs) > 0 {
+			start = time.Now()
+			m.mu.Lock()
+			if m.opts.ReplicateGroups {
+				m.groupRep[f.oid] = childOIDs
+			}
+			for _, coid := range childOIDs {
+				m.parentRep[coid] = appendUniqueOID(m.parentRep[coid], f.oid)
+			}
+			m.mu.Unlock()
+			w.timing.ComponentIndexing += time.Since(start)
+		}
+	}
+	return nil
+}
+
+func childrenBounded(v core.ResourceView, prefix int) ([]core.ResourceView, error) {
+	g := v.Group()
+	var out []core.ResourceView
+	for _, part := range []core.Views{g.Set, g.Seq} {
+		if part == nil {
+			continue
+		}
+		lim := 0
+		if !part.Finite() {
+			lim = prefix
+		}
+		vs, err := core.CollectViews(part, lim)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, vs...)
+	}
+	return out, nil
+}
+
+// modStamp derives the update fingerprint of a view: the lastmodified
+// tuple attribute when present, falling back to the content size.
+func modStamp(tc core.TupleComponent, contentSize int64) string {
+	if v, ok := tc.Get("lastmodified"); ok {
+		return v.String()
+	}
+	if contentSize >= 0 {
+		return fmt.Sprintf("sz:%d", contentSize)
+	}
+	return ""
+}
+
+// remove deregisters one view from the catalog and every index/replica.
+func (m *Manager) remove(oid catalog.OID) {
+	if e, err := m.catalog.Get(oid); err == nil {
+		m.history.record(ChangeRecord{Kind: ChangeRemoved, OID: oid, Source: e.Source, URI: e.URI, Name: e.Name})
+	}
+	m.catalog.Remove(oid)
+	m.nameIdx.Delete(textindex.DocID(oid))
+	m.contentIdx.Delete(textindex.DocID(oid))
+	m.tupleIdx.Delete(tupleindex.DocID(oid))
+	m.imageIdx.Delete(imageindex.DocID(oid))
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.nameRep, oid)
+	if lowered, ok := m.nameLower[oid]; ok {
+		delete(m.byLowerName[lowered], oid)
+		delete(m.nameLower, oid)
+	}
+	delete(m.views, oid)
+	if class, ok := m.classOf[oid]; ok {
+		delete(m.classRep[class], oid)
+		delete(m.classOf, oid)
+	}
+	for _, child := range m.groupRep[oid] {
+		m.parentRep[child] = removeOID(m.parentRep[child], oid)
+	}
+	delete(m.groupRep, oid)
+	for _, parent := range m.parentRep[oid] {
+		m.groupRep[parent] = removeOID(m.groupRep[parent], oid)
+	}
+	delete(m.parentRep, oid)
+}
+
+func appendUniqueOID(list []catalog.OID, oid catalog.OID) []catalog.OID {
+	for _, o := range list {
+		if o == oid {
+			return list
+		}
+	}
+	return append(list, oid)
+}
+
+func removeOID(list []catalog.OID, oid catalog.OID) []catalog.OID {
+	out := list[:0]
+	for _, o := range list {
+		if o != oid {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// isTextual mirrors the paper's "net input" rule: content that cannot be
+// converted to a textual representation (image and media formats) is not
+// given to the content index. PDF counts as textual — the prototype
+// indexed PDF text.
+func isTextual(name string) bool {
+	dot := strings.LastIndexByte(name, '.')
+	if dot < 0 {
+		return true
+	}
+	switch strings.ToLower(name[dot+1:]) {
+	case "jpg", "jpeg", "png", "gif", "bmp", "tiff",
+		"mp3", "wav", "ogg", "avi", "mov", "mpg", "mp4",
+		"zip", "gz", "tar", "exe", "bin", "iso", "dmg":
+		return false
+	default:
+		return true
+	}
+}

@@ -1,0 +1,216 @@
+// Package fsplugin exposes a virtual filesystem (internal/vfs) as an iDM
+// resource view graph: the files&folders instantiation of §3.2 of the
+// paper. Folders become folder-class views whose group set holds their
+// children; files become file-class views whose χ is the file content
+// and whose group sequence is the Content2iDM conversion of that content
+// (computed lazily, §4.1); folder links become views whose group points
+// at the link target, which is how the cyclic 'All Projects' example of
+// Figure 1 enters the graph.
+package fsplugin
+
+import (
+	"io"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/sources"
+	"repro/internal/vfs"
+)
+
+// Plugin is a files&folders data source.
+type Plugin struct {
+	id      string
+	fs      *vfs.FS
+	convert sources.ConvertFunc
+
+	mu    sync.Mutex
+	cache map[*vfs.Node]*sources.Item
+
+	changes chan sources.Change
+	stop    chan struct{}
+	done    chan struct{}
+}
+
+// New returns a plugin exposing fs under the given source id. convert
+// may be nil, in which case file contents are not enriched.
+func New(id string, fs *vfs.FS, convert sources.ConvertFunc) *Plugin {
+	p := &Plugin{
+		id:      id,
+		fs:      fs,
+		convert: convert,
+		cache:   make(map[*vfs.Node]*sources.Item),
+		changes: make(chan sources.Change, 1024),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	events := fs.Watch() // subscribe before returning so no event is missed
+	go p.forwardEvents(events)
+	return p
+}
+
+// ID implements sources.Source.
+func (p *Plugin) ID() string { return p.id }
+
+// Root implements sources.Source.
+func (p *Plugin) Root() (core.ResourceView, error) {
+	return p.view(p.fs.Root()), nil
+}
+
+// Changes implements sources.Source, adapting the filesystem's event
+// feed.
+func (p *Plugin) Changes() <-chan sources.Change { return p.changes }
+
+// Close implements sources.Source.
+func (p *Plugin) Close() error {
+	close(p.stop)
+	<-p.done
+	return nil
+}
+
+// Delete implements sources.Mutator: it removes the file or folder at
+// the URI (recursively for folders) from the filesystem.
+func (p *Plugin) Delete(uri string) error {
+	return p.fs.Remove(uri)
+}
+
+func (p *Plugin) forwardEvents(events <-chan vfs.Event) {
+	defer close(p.done)
+	for {
+		select {
+		case <-p.stop:
+			return
+		case e, ok := <-events:
+			if !ok {
+				return
+			}
+			var t sources.ChangeType
+			switch e.Type {
+			case vfs.EventCreate:
+				t = sources.Created
+			case vfs.EventModify:
+				t = sources.Updated
+			case vfs.EventRemove:
+				t = sources.Removed
+			}
+			select {
+			case p.changes <- sources.Change{Type: t, URI: e.Path}:
+			default:
+			}
+		}
+	}
+}
+
+// view returns the (cached) resource view for a filesystem node.
+func (p *Plugin) view(n *vfs.Node) *sources.Item {
+	p.mu.Lock()
+	if v, ok := p.cache[n]; ok {
+		p.mu.Unlock()
+		return v
+	}
+	p.mu.Unlock()
+
+	built := p.build(n)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if v, ok := p.cache[n]; ok {
+		return v // lost the race; keep the first
+	}
+	p.cache[n] = built
+	return built
+}
+
+// build constructs a dynamic view over a node: component suppliers read
+// the filesystem on every access, so re-synchronizations observe file
+// modifications, new children and deletions.
+func (p *Plugin) build(n *vfs.Node) *sources.Item {
+	uri := p.fs.Path(n)
+	name := n.Name()
+	if name == "/" {
+		name = p.id
+	}
+	switch n.Kind() {
+	case vfs.KindFile:
+		dv := &core.DynamicView{
+			VName:   name,
+			VClass:  fileClass(name),
+			TupleFn: func() core.TupleComponent { return fsTuple(n) },
+			ContentFn: func() core.Content {
+				return core.FuncContent(func() io.ReadCloser {
+					b, err := p.fs.ReadNode(n)
+					if err != nil {
+						b = nil
+					}
+					return io.NopCloser(strings.NewReader(string(b)))
+				}, true, n.Size())
+			},
+			GroupFn: func() core.Group {
+				if p.convert == nil {
+					return core.EmptyGroup()
+				}
+				b, err := p.fs.ReadNode(n)
+				if err != nil {
+					return core.EmptyGroup()
+				}
+				sub := p.convert(name, b)
+				if len(sub) == 0 {
+					return core.EmptyGroup()
+				}
+				return core.SeqGroup(sub...)
+			},
+		}
+		return sources.Annotate(dv, uri, true)
+	case vfs.KindLink:
+		dv := &core.DynamicView{
+			VName:   name,
+			VClass:  core.ClassFolder,
+			TupleFn: func() core.TupleComponent { return fsTuple(n) },
+			GroupFn: func() core.Group {
+				return core.SetGroup(p.view(n.Target()))
+			},
+		}
+		return sources.Annotate(dv, uri, true)
+	default: // folder
+		dv := &core.DynamicView{
+			VName:   name,
+			VClass:  core.ClassFolder,
+			TupleFn: func() core.TupleComponent { return fsTuple(n) },
+			GroupFn: func() core.Group {
+				children, err := p.fs.ListNode(n)
+				if err != nil {
+					return core.EmptyGroup()
+				}
+				views := make([]core.ResourceView, len(children))
+				for i, c := range children {
+					views[i] = p.view(c)
+				}
+				return core.SetGroup(views...)
+			},
+		}
+		return sources.Annotate(dv, uri, true)
+	}
+}
+
+func fsTuple(n *vfs.Node) core.TupleComponent {
+	return core.TupleComponent{
+		Schema: core.FSSchema,
+		Tuple: core.Tuple{
+			core.Int(n.Size()),
+			core.Time(n.Created()),
+			core.Time(n.Modified()),
+		},
+	}
+}
+
+// fileClass picks the file view class by extension, so that xmlfile and
+// latexfile views specialize file (Table 1 and §3.2).
+func fileClass(name string) string {
+	switch {
+	case strings.HasSuffix(name, ".xml"):
+		return core.ClassXMLFile
+	case strings.HasSuffix(name, ".tex"):
+		return core.ClassLatexFile
+	default:
+		return core.ClassFile
+	}
+}

@@ -1,0 +1,251 @@
+package fsplugin
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/latex"
+	"repro/internal/sources"
+	"repro/internal/vfs"
+	"repro/internal/xmlkit"
+)
+
+// testConvert is a minimal Content2iDM hook: XML and LaTeX by extension.
+func testConvert(name string, data []byte) []core.ResourceView {
+	switch {
+	case strings.HasSuffix(name, ".xml"):
+		doc, err := xmlkit.ParseString(string(data))
+		if err != nil {
+			return nil
+		}
+		dv, err := xmlkit.ToViews(doc)
+		if err != nil {
+			return nil
+		}
+		return []core.ResourceView{dv}
+	case strings.HasSuffix(name, ".tex"):
+		d, err := latex.Parse(string(data))
+		if err != nil {
+			return nil
+		}
+		return latex.ToViews(d)
+	default:
+		return nil
+	}
+}
+
+func paperFS(t *testing.T) *vfs.FS {
+	t.Helper()
+	fs := vfs.New()
+	fs.MkdirAll("/Projects/PIM")
+	fs.WriteFile("/Projects/PIM/vldb 2006.tex",
+		[]byte("\\section{Introduction}\nPIM matters to Mike Franklin."))
+	fs.WriteFile("/Projects/PIM/Grant.doc", []byte("grant proposal text"))
+	fs.WriteFile("/Projects/PIM/data.xml", []byte("<data><entry>42</entry></data>"))
+	fs.Link("/Projects/PIM/All Projects", "/Projects")
+	return fs
+}
+
+func TestRootGraphShape(t *testing.T) {
+	fs := paperFS(t)
+	p := New("filesystem", fs, testConvert)
+	defer p.Close()
+
+	root, err := p.Root()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if root.Name() != "filesystem" || root.Class() != core.ClassFolder {
+		t.Errorf("root name=%q class=%q", root.Name(), root.Class())
+	}
+	children, _ := core.Children(root)
+	if len(children) != 1 || children[0].Name() != "Projects" {
+		t.Fatalf("root children = %v", children)
+	}
+	pim, _ := core.Children(children[0])
+	if len(pim) != 1 || pim[0].Name() != "PIM" {
+		t.Fatalf("Projects children = %v", pim)
+	}
+	files, _ := core.Children(pim[0])
+	if len(files) != 4 {
+		t.Fatalf("PIM children = %d", len(files))
+	}
+}
+
+func TestFileClassesByExtension(t *testing.T) {
+	fs := paperFS(t)
+	p := New("fs", fs, nil)
+	defer p.Close()
+	root, _ := p.Root()
+	classes := map[string]string{}
+	core.Walk(root, core.WalkOptions{MaxDepth: -1}, func(v core.ResourceView, _ int) error {
+		classes[v.Name()] = v.Class()
+		return nil
+	})
+	if classes["vldb 2006.tex"] != core.ClassLatexFile {
+		t.Errorf("tex class = %q", classes["vldb 2006.tex"])
+	}
+	if classes["data.xml"] != core.ClassXMLFile {
+		t.Errorf("xml class = %q", classes["data.xml"])
+	}
+	if classes["Grant.doc"] != core.ClassFile {
+		t.Errorf("doc class = %q", classes["Grant.doc"])
+	}
+}
+
+func TestFileContentAndTuple(t *testing.T) {
+	fs := paperFS(t)
+	p := New("fs", fs, nil)
+	defer p.Close()
+	root, _ := p.Root()
+	var grant core.ResourceView
+	core.Walk(root, core.WalkOptions{MaxDepth: -1}, func(v core.ResourceView, _ int) error {
+		if v.Name() == "Grant.doc" {
+			grant = v
+		}
+		return nil
+	})
+	if grant == nil {
+		t.Fatal("Grant.doc view missing")
+	}
+	b, _ := core.ReadAllContent(grant.Content(), 0)
+	if string(b) != "grant proposal text" {
+		t.Errorf("χ = %q", b)
+	}
+	size, ok := grant.Tuple().Get("size")
+	if !ok || size.Int != int64(len("grant proposal text")) {
+		t.Errorf("size = %v, %v", size, ok)
+	}
+	if _, ok := grant.Tuple().Get("lastmodified"); !ok {
+		t.Error("lastmodified missing from W_FS tuple")
+	}
+}
+
+func TestConversionInsideFiles(t *testing.T) {
+	fs := paperFS(t)
+	p := New("fs", fs, testConvert)
+	defer p.Close()
+	root, _ := p.Root()
+	var intro core.ResourceView
+	core.Walk(root, core.WalkOptions{MaxDepth: -1}, func(v core.ResourceView, _ int) error {
+		if v.Name() == "Introduction" && v.Class() == core.ClassLatexSection {
+			intro = v
+		}
+		return nil
+	})
+	if intro == nil {
+		t.Fatal("Introduction section view not reachable through the file")
+	}
+	b, _ := core.ReadAllContent(intro.Content(), 0)
+	if !strings.Contains(string(b), "Mike Franklin") {
+		t.Errorf("section χ = %q", b)
+	}
+}
+
+func TestLinkCreatesCycleInViewGraph(t *testing.T) {
+	fs := paperFS(t)
+	p := New("fs", fs, nil)
+	defer p.Close()
+	root, _ := p.Root()
+	cyc, err := core.HasCycle(root, core.WalkOptions{MaxDepth: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cyc {
+		t.Error("folder link did not create a cycle")
+	}
+	// The walk over the cyclic graph terminates and visits each view once.
+	n, err := core.CountReachable(root, core.WalkOptions{MaxDepth: -1})
+	if err != nil || n != 7 { // root, Projects, PIM, 3 files, link
+		t.Errorf("reachable = %d, %v; want 7", n, err)
+	}
+}
+
+func TestViewIdentityStable(t *testing.T) {
+	fs := paperFS(t)
+	p := New("fs", fs, nil)
+	defer p.Close()
+	r1, _ := p.Root()
+	r2, _ := p.Root()
+	if r1 != r2 {
+		t.Error("Root not identity-stable")
+	}
+}
+
+func TestURIsAnnotated(t *testing.T) {
+	fs := paperFS(t)
+	p := New("fs", fs, nil)
+	defer p.Close()
+	root, _ := p.Root()
+	uris := map[string]bool{}
+	core.Walk(root, core.WalkOptions{MaxDepth: -1}, func(v core.ResourceView, _ int) error {
+		item, ok := v.(*sources.Item)
+		if !ok {
+			t.Errorf("view %q is not annotated", core.NameOf(v))
+			return nil
+		}
+		if !item.IsBase() {
+			t.Errorf("filesystem node %q not marked base", item.URI())
+		}
+		uris[item.URI()] = true
+		return nil
+	})
+	for _, want := range []string{"/", "/Projects", "/Projects/PIM", "/Projects/PIM/Grant.doc", "/Projects/PIM/All Projects"} {
+		if !uris[want] {
+			t.Errorf("URI %q missing (have %v)", want, uris)
+		}
+	}
+}
+
+func TestChangesForwarded(t *testing.T) {
+	fs := paperFS(t)
+	p := New("fs", fs, nil)
+	defer p.Close()
+	ch := p.Changes()
+	fs.WriteFile("/Projects/new.txt", []byte("x"))
+	select {
+	case c := <-ch:
+		if c.Type != sources.Created || c.URI != "/Projects/new.txt" {
+			t.Errorf("change = %+v", c)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("no change event")
+	}
+}
+
+func TestDeleteWriteThrough(t *testing.T) {
+	fs := paperFS(t)
+	p := New("fs", fs, nil)
+	defer p.Close()
+	if p.ID() != "fs" {
+		t.Errorf("id = %q", p.ID())
+	}
+	if err := p.Delete("/Projects/PIM/Grant.doc"); err != nil {
+		t.Fatal(err)
+	}
+	if fs.Exists("/Projects/PIM/Grant.doc") {
+		t.Error("file survives delete")
+	}
+	if err := p.Delete("/nope"); err == nil {
+		t.Error("missing path delete accepted")
+	}
+}
+
+func TestConformanceOfBaseViews(t *testing.T) {
+	fs := paperFS(t)
+	p := New("fs", fs, testConvert)
+	defer p.Close()
+	reg := core.StandardRegistry()
+	root, _ := p.Root()
+	err := core.Walk(root, core.WalkOptions{MaxDepth: 2}, func(v core.ResourceView, _ int) error {
+		if v.Class() == "" {
+			return nil
+		}
+		return reg.Conforms(v, v.Class(), 16)
+	})
+	if err != nil {
+		t.Errorf("conformance: %v", err)
+	}
+}

@@ -1,0 +1,286 @@
+package mailplugin
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/latex"
+	"repro/internal/mail"
+	"repro/internal/sources"
+)
+
+func texConvert(name string, data []byte) []core.ResourceView {
+	if !strings.HasSuffix(name, ".tex") {
+		return nil
+	}
+	d, err := latex.Parse(string(data))
+	if err != nil {
+		return nil
+	}
+	return latex.ToViews(d)
+}
+
+func seedStore(t *testing.T) *mail.Store {
+	t.Helper()
+	s := mail.NewStore()
+	if err := s.CreateFolder("Projects/OLAP"); err != nil {
+		t.Fatal(err)
+	}
+	msgs := []*mail.Message{
+		{Folder: "INBOX", From: "bob@example.org", Subject: "hello", Body: "hi there",
+			Date: time.Date(2005, 5, 1, 8, 0, 0, 0, time.UTC)},
+		{Folder: "Projects/OLAP", From: "alice@example.org", Subject: "OLAP results",
+			Body: "see attachment",
+			Date: time.Date(2005, 6, 2, 9, 0, 0, 0, time.UTC),
+			Attachments: []mail.Attachment{{
+				Filename: "results.tex", ContentType: "application/x-tex",
+				Data: []byte("\\section{Results}\nIndexing time improved."),
+			}},
+		},
+	}
+	for _, m := range msgs {
+		if _, err := s.Append(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s
+}
+
+func TestRootFolderHierarchy(t *testing.T) {
+	s := seedStore(t)
+	p := New("email", s, nil)
+	defer p.Close()
+	root, err := p.Root()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if root.Name() != "email" || root.Class() != core.ClassEmailFolder {
+		t.Errorf("root name=%q class=%q", root.Name(), root.Class())
+	}
+	top, _ := core.Children(root)
+	names := map[string]bool{}
+	for _, v := range top {
+		names[v.Name()] = true
+	}
+	if !names["INBOX"] || !names["Projects"] {
+		t.Errorf("top folders = %v", names)
+	}
+	// Projects contains the OLAP subfolder.
+	var projects core.ResourceView
+	for _, v := range top {
+		if v.Name() == "Projects" {
+			projects = v
+		}
+	}
+	sub, _ := core.Children(projects)
+	if len(sub) != 1 || sub[0].Name() != "OLAP" {
+		t.Fatalf("Projects children = %v", sub)
+	}
+}
+
+func TestMessageViewComponents(t *testing.T) {
+	s := seedStore(t)
+	p := New("email", s, nil)
+	defer p.Close()
+	root, _ := p.Root()
+	var msg core.ResourceView
+	core.Walk(root, core.WalkOptions{MaxDepth: -1}, func(v core.ResourceView, _ int) error {
+		if v.Class() == core.ClassEmailMessage {
+			if subj, ok := v.Tuple().Get("subject"); ok && subj.Str == "OLAP results" {
+				msg = v
+				return core.ErrWalkStop
+			}
+		}
+		return nil
+	})
+	if msg == nil {
+		t.Fatal("OLAP message view missing")
+	}
+	from, _ := msg.Tuple().Get("from")
+	if from.Str != "alice@example.org" {
+		t.Errorf("from = %v", from)
+	}
+	b, _ := core.ReadAllContent(msg.Content(), 0)
+	if !strings.Contains(string(b), "see attachment") || !strings.Contains(string(b), "OLAP results") {
+		t.Errorf("χ = %q", b)
+	}
+}
+
+func TestAttachmentConversion(t *testing.T) {
+	s := seedStore(t)
+	p := New("email", s, texConvert)
+	defer p.Close()
+	root, _ := p.Root()
+	var att, section core.ResourceView
+	core.Walk(root, core.WalkOptions{MaxDepth: -1}, func(v core.ResourceView, _ int) error {
+		switch v.Class() {
+		case core.ClassAttachment:
+			att = v
+		case core.ClassLatexSection:
+			section = v
+		}
+		return nil
+	})
+	if att == nil || att.Name() != "results.tex" {
+		t.Fatalf("attachment view = %v", att)
+	}
+	if section == nil || section.Name() != "Results" {
+		t.Fatalf("section view inside attachment = %v", section)
+	}
+	b, _ := core.ReadAllContent(section.Content(), 0)
+	if !strings.Contains(string(b), "Indexing time") {
+		t.Errorf("section χ = %q", b)
+	}
+	// The attachment conforms to the attachment class (is-a file, W_FS).
+	reg := core.StandardRegistry()
+	if err := reg.Conforms(att, core.ClassAttachment, 8); err != nil {
+		t.Errorf("attachment conformance: %v", err)
+	}
+}
+
+func TestMessageFetchLaziness(t *testing.T) {
+	s := seedStore(t)
+	p := New("email", s, nil)
+	defer p.Close()
+	before := s.Calls()
+	root, _ := p.Root()
+	_ = root.Name()
+	// Root may list folders but must not fetch any message.
+	if got := s.Calls() - before; got > 1 {
+		t.Errorf("Root performed %d store calls, want at most a folder listing", got)
+	}
+	// The walk forces each message exactly once; afterwards, accessing
+	// every component again is free (memoized fetch).
+	var msg core.ResourceView
+	core.Walk(root, core.WalkOptions{MaxDepth: -1}, func(v core.ResourceView, _ int) error {
+		if v.Class() == core.ClassEmailMessage && msg == nil {
+			msg = v
+		}
+		return nil
+	})
+	calls := s.Calls()
+	msg.Tuple()
+	msg.Content()
+	msg.Group()
+	if got := s.Calls() - calls; got != 0 {
+		t.Errorf("re-reading components forced %d extra fetches, want 0", got)
+	}
+}
+
+func TestChangesOnAppend(t *testing.T) {
+	s := seedStore(t)
+	p := New("email", s, nil)
+	defer p.Close()
+	ch := p.Changes()
+	s.Append(&mail.Message{Folder: "INBOX", Subject: "new"})
+	select {
+	case c := <-ch:
+		if c.Type != sources.Created || !strings.HasPrefix(c.URI, "INBOX/;uid=") {
+			t.Errorf("change = %+v", c)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("no change event")
+	}
+}
+
+func TestStreamOption2(t *testing.T) {
+	s := seedStore(t)
+	p := New("email", s, nil)
+	defer p.Close()
+	sv := p.Stream()
+	if sv.Class() != core.ClassDatStream {
+		t.Errorf("stream class = %q", sv.Class())
+	}
+	it := sv.Group().Seq.Iter()
+	s.Append(&mail.Message{Folder: "INBOX", Subject: "streamed", Body: "b"})
+	done := make(chan core.ResourceView, 1)
+	go func() {
+		v, err := it.Next()
+		if err == nil {
+			done <- v
+		}
+	}()
+	select {
+	case v := <-done:
+		if subj, ok := v.Tuple().Get("subject"); !ok || subj.Str != "streamed" {
+			t.Errorf("streamed view subject = %v", subj)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("stream delivered nothing")
+	}
+}
+
+func TestDeleteWriteThrough(t *testing.T) {
+	s := seedStore(t)
+	p := New("email", s, nil)
+	defer p.Close()
+	if p.ID() != "email" {
+		t.Errorf("id = %q", p.ID())
+	}
+	uids, _ := s.UIDs("INBOX")
+	uri := "INBOX/;uid=" + itoa(uids[0])
+	if err := p.Delete(uri); err != nil {
+		t.Fatal(err)
+	}
+	if after, _ := s.UIDs("INBOX"); len(after) != 0 {
+		t.Errorf("message survives delete: %v", after)
+	}
+	// Attachments and malformed URIs are refused.
+	if err := p.Delete("Projects/OLAP/;uid=2/results.tex"); err == nil {
+		t.Error("attachment delete accepted")
+	}
+	if err := p.Delete("not-a-message-uri"); err == nil {
+		t.Error("malformed URI accepted")
+	}
+	if err := p.Delete("INBOX/;uid=99999"); err == nil {
+		t.Error("missing message delete accepted")
+	}
+}
+
+func itoa(u uint64) string {
+	return fmt.Sprintf("%d", u)
+}
+
+func TestParseMessageURI(t *testing.T) {
+	folder, uid, ok := parseMessageURI("Projects/OLAP/;uid=42")
+	if !ok || folder != "Projects/OLAP" || uid != 42 {
+		t.Errorf("parse = %q %d %v", folder, uid, ok)
+	}
+	if _, _, ok := parseMessageURI("no-uid-here"); ok {
+		t.Error("malformed URI parsed")
+	}
+}
+
+func TestURIsAnnotated(t *testing.T) {
+	s := seedStore(t)
+	p := New("email", s, texConvert)
+	defer p.Close()
+	root, _ := p.Root()
+	var sawMessage, sawAttachment bool
+	core.Walk(root, core.WalkOptions{MaxDepth: -1}, func(v core.ResourceView, _ int) error {
+		item, ok := v.(*sources.Item)
+		if !ok {
+			// Derived views (latex subgraph) are not annotated.
+			return nil
+		}
+		switch item.Class() {
+		case core.ClassEmailMessage:
+			sawMessage = true
+			if !strings.Contains(item.URI(), ";uid=") {
+				t.Errorf("message URI = %q", item.URI())
+			}
+		case core.ClassAttachment:
+			sawAttachment = true
+			if !strings.HasSuffix(item.URI(), "/results.tex") {
+				t.Errorf("attachment URI = %q", item.URI())
+			}
+		}
+		return nil
+	})
+	if !sawMessage || !sawAttachment {
+		t.Errorf("message=%v attachment=%v", sawMessage, sawAttachment)
+	}
+}

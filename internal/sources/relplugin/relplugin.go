@@ -1,0 +1,71 @@
+// Package relplugin exposes an embedded relational database
+// (internal/relstore) as an iDM resource view graph, following the
+// reldb / relation / tuple resource view classes of Table 1 of the
+// paper.
+package relplugin
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/relstore"
+	"repro/internal/sources"
+)
+
+// Plugin is a relational data source.
+type Plugin struct {
+	id string
+	db *relstore.DB
+}
+
+// New returns a plugin exposing db under the given source id.
+func New(id string, db *relstore.DB) *Plugin {
+	return &Plugin{id: id, db: db}
+}
+
+// ID implements sources.Source.
+func (p *Plugin) ID() string { return p.id }
+
+// Changes implements sources.Source; the store does not push.
+func (p *Plugin) Changes() <-chan sources.Change { return nil }
+
+// Close implements sources.Source.
+func (p *Plugin) Close() error { return nil }
+
+// Root implements sources.Source. Relation and tuple views are annotated
+// with stable URIs (relation name; relation name plus tuple ordinal).
+func (p *Plugin) Root() (core.ResourceView, error) {
+	names := p.db.Relations()
+	relViews := make([]core.ResourceView, 0, len(names))
+	for _, name := range names {
+		name := name
+		rel, err := p.db.Relation(name)
+		if err != nil {
+			continue
+		}
+		schema := rel.Schema()
+		lv := &core.LazyView{
+			VName:  name,
+			VClass: core.ClassRelation,
+			GroupFn: func() core.Group {
+				var tupleViews []core.ResourceView
+				i := 0
+				p.db.Scan(name, func(t core.Tuple) bool {
+					i++
+					tv := &core.StaticView{
+						VClass: core.ClassTuple,
+						VTuple: core.TupleComponent{Schema: schema, Tuple: t},
+					}
+					tupleViews = append(tupleViews,
+						sources.Annotate(tv, fmt.Sprintf("%s#%d", name, i), true))
+					return true
+				})
+				return core.SetGroup(tupleViews...)
+			},
+		}
+		relViews = append(relViews, sources.Annotate(lv, name, true))
+	}
+	root := core.NewView(p.db.Name(), core.ClassRelDB).
+		WithGroup(core.SetGroup(relViews...))
+	return sources.Annotate(root, "/", true), nil
+}

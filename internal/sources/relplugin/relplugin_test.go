@@ -1,0 +1,82 @@
+package relplugin
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/relstore"
+	"repro/internal/sources"
+)
+
+func seedDB(t *testing.T) *relstore.DB {
+	t.Helper()
+	db := relstore.NewDB("persdb")
+	schema := core.Schema{
+		{Name: "name", Domain: core.DomainString},
+		{Name: "year", Domain: core.DomainInt},
+	}
+	if _, err := db.CreateRelation("publications", schema); err != nil {
+		t.Fatal(err)
+	}
+	db.Insert("publications", core.Tuple{core.String("iDM"), core.Int(2006)})
+	db.Insert("publications", core.Tuple{core.String("iMeMex demo"), core.Int(2005)})
+	return db
+}
+
+func TestRootShapeAndURIs(t *testing.T) {
+	p := New("reldb", seedDB(t))
+	if p.ID() != "reldb" {
+		t.Errorf("id = %q", p.ID())
+	}
+	root, err := p.Root()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if root.Name() != "persdb" || root.Class() != core.ClassRelDB {
+		t.Errorf("root name=%q class=%q", root.Name(), root.Class())
+	}
+	rels, _ := core.Children(root)
+	if len(rels) != 1 || rels[0].Name() != "publications" {
+		t.Fatalf("relations = %v", rels)
+	}
+	tuples, _ := core.Children(rels[0])
+	if len(tuples) != 2 {
+		t.Fatalf("tuples = %d", len(tuples))
+	}
+	uris := map[string]bool{}
+	for _, tv := range tuples {
+		item, ok := tv.(*sources.Item)
+		if !ok {
+			t.Fatal("tuple view not annotated")
+		}
+		uris[item.URI()] = true
+		if tv.Class() != core.ClassTuple {
+			t.Errorf("tuple class = %q", tv.Class())
+		}
+	}
+	if !uris["publications#1"] || !uris["publications#2"] {
+		t.Errorf("tuple URIs = %v", uris)
+	}
+}
+
+func TestChangesNil(t *testing.T) {
+	p := New("reldb", seedDB(t))
+	if p.Changes() != nil {
+		t.Error("relational source should not push")
+	}
+	if err := p.Close(); err != nil {
+		t.Errorf("close: %v", err)
+	}
+}
+
+func TestLazySeesInserts(t *testing.T) {
+	db := seedDB(t)
+	p := New("reldb", db)
+	root, _ := p.Root()
+	rels, _ := core.Children(root)
+	db.Insert("publications", core.Tuple{core.String("new"), core.Int(2007)})
+	tuples, _ := core.Children(rels[0])
+	if len(tuples) != 3 {
+		t.Errorf("lazy relation sees %d tuples, want 3", len(tuples))
+	}
+}

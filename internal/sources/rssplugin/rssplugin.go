@@ -1,0 +1,107 @@
+// Package rssplugin exposes a simulated RSS/ATOM server (internal/rss)
+// as an iDM resource view graph. Per Table 1 of the paper an RSS/ATOM
+// stream admits two representations; this plugin uses the xmldoc state
+// representation for its Root graph (one lazy xmldoc view per feed) and
+// offers a pseudo data stream of item views via polling (§4.4.1,
+// footnote 5) through Changes.
+package rssplugin
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/rss"
+	"repro/internal/sources"
+)
+
+// Plugin is an RSS/ATOM data source.
+type Plugin struct {
+	id     string
+	server *rss.Server
+
+	changes chan sources.Change
+	stop    chan struct{}
+	done    chan struct{}
+}
+
+// New returns a plugin exposing server under the given source id,
+// polling each feed for new items on the given interval (0 disables
+// polling).
+func New(id string, server *rss.Server, pollEvery time.Duration) *Plugin {
+	p := &Plugin{
+		id:      id,
+		server:  server,
+		changes: make(chan sources.Change, 1024),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	if pollEvery > 0 {
+		go p.poll(pollEvery)
+	} else {
+		close(p.done)
+	}
+	return p
+}
+
+// ID implements sources.Source.
+func (p *Plugin) ID() string { return p.id }
+
+// Changes implements sources.Source: one Created change per new feed
+// item, detected by polling.
+func (p *Plugin) Changes() <-chan sources.Change { return p.changes }
+
+// Close implements sources.Source.
+func (p *Plugin) Close() error {
+	select {
+	case <-p.stop:
+	default:
+		close(p.stop)
+	}
+	<-p.done
+	return nil
+}
+
+func (p *Plugin) poll(every time.Duration) {
+	defer close(p.done)
+	clients := make(map[string]*rss.Client)
+	ticker := time.NewTicker(every)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-p.stop:
+			return
+		case <-ticker.C:
+			for _, feed := range p.server.Feeds() {
+				c, ok := clients[feed]
+				if !ok {
+					c = rss.NewClient(p.server, feed)
+					clients[feed] = c
+				}
+				items, err := c.Poll()
+				if err != nil {
+					continue
+				}
+				for _, it := range items {
+					select {
+					case p.changes <- sources.Change{Type: sources.Created, URI: feed + "/" + it.GUID}:
+					default:
+					}
+				}
+			}
+		}
+	}
+}
+
+// Root implements sources.Source: a root view whose group set holds one
+// lazy xmldoc view per feed.
+func (p *Plugin) Root() (core.ResourceView, error) {
+	feeds := p.server.Feeds()
+	views := make([]core.ResourceView, len(feeds))
+	for i, feed := range feeds {
+		views[i] = sources.Annotate(rss.DocumentView(p.server, feed), feed, true)
+	}
+	// The root is deliberately class-less: iDM supports schema-never
+	// modelling, and no Table 1 class describes "a set of feeds".
+	root := core.NewView(p.id, "").WithGroup(core.SetGroup(views...))
+	return sources.Annotate(root, "/", true), nil
+}

@@ -1,0 +1,95 @@
+package rssplugin
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/rss"
+	"repro/internal/sources"
+)
+
+func seedServer() *rss.Server {
+	s := rss.NewServer()
+	s.Publish("dbnews", rss.Item{Title: "VLDB 2006", Description: "Seoul"})
+	s.Publish("dbnews", rss.Item{Title: "Dataspaces", Description: "vision paper"})
+	s.Publish("weather", rss.Item{Title: "Sunny in Zurich"})
+	return s
+}
+
+func TestRootOneDocPerFeed(t *testing.T) {
+	srv := seedServer()
+	p := New("rss", srv, 0)
+	defer p.Close()
+	root, err := p.Root()
+	if err != nil {
+		t.Fatal(err)
+	}
+	feeds, _ := core.Children(root)
+	if len(feeds) != 2 {
+		t.Fatalf("feed views = %d", len(feeds))
+	}
+	for _, f := range feeds {
+		if f.Class() != core.ClassXMLDoc {
+			t.Errorf("feed %q class = %q", f.Name(), f.Class())
+		}
+		item, ok := f.(*sources.Item)
+		if !ok || item.URI() == "" {
+			t.Errorf("feed %q not annotated", f.Name())
+		}
+	}
+	// The dbnews document graph contains the item titles as xmltext.
+	var dbnews core.ResourceView
+	for _, f := range feeds {
+		if f.Name() == "dbnews" {
+			dbnews = f
+		}
+	}
+	n, _ := core.CountReachable(dbnews, core.WalkOptions{MaxDepth: -1})
+	if n < 10 {
+		t.Errorf("dbnews graph has %d views", n)
+	}
+}
+
+func TestPollingChanges(t *testing.T) {
+	srv := seedServer()
+	p := New("rss", srv, 5*time.Millisecond)
+	defer p.Close()
+	ch := p.Changes()
+	// All seed items arrive as initial changes; drain until we see one
+	// from each feed, then publish and expect the delta.
+	deadline := time.After(2 * time.Second)
+	seen := 0
+	for seen < 3 {
+		select {
+		case <-ch:
+			seen++
+		case <-deadline:
+			t.Fatalf("initial poll delivered only %d changes", seen)
+		}
+	}
+	srv.Publish("weather", rss.Item{Title: "Rain", GUID: "w-rain"})
+	for {
+		select {
+		case c := <-ch:
+			if c.URI == "weather/w-rain" {
+				if c.Type != sources.Created {
+					t.Errorf("change type = %v", c.Type)
+				}
+				return
+			}
+		case <-deadline:
+			t.Fatal("published item never polled")
+		}
+	}
+}
+
+func TestCloseIdempotentWithoutPolling(t *testing.T) {
+	p := New("rss", seedServer(), 0)
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

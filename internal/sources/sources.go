@@ -1,0 +1,101 @@
+// Package sources defines the Data Source Plugin contract of §5.2 of the
+// iDM paper. The Data Source Proxy of the Resource View Manager holds a
+// set of plugins, each of which exposes one subsystem (a filesystem, an
+// IMAP server, a relational database, an RSS feed) as an initial iDM
+// resource view graph. Content2iDM converters are injected into plugins
+// as a ConvertFunc so that the structural content inside files (XML,
+// LaTeX) is exposed as resource view subgraphs.
+package sources
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// ConvertFunc is the Content2iDM conversion hook: given an item name and
+// its raw content, it returns the resource view subgraph reflecting the
+// content's structure, or nil when no converter applies.
+type ConvertFunc func(name string, data []byte) []core.ResourceView
+
+// ChangeType classifies change notifications from a source.
+type ChangeType int
+
+// Change notification types.
+const (
+	Created ChangeType = iota
+	Updated
+	Removed
+)
+
+func (t ChangeType) String() string {
+	switch t {
+	case Created:
+		return "created"
+	case Updated:
+		return "updated"
+	case Removed:
+		return "removed"
+	default:
+		return fmt.Sprintf("changetype(%d)", int(t))
+	}
+}
+
+// Change is one notification that an item of a source changed.
+type Change struct {
+	Type ChangeType
+	// URI locates the changed item within the source.
+	URI string
+}
+
+// Source is a Data Source Plugin.
+type Source interface {
+	// ID returns the unique name of the data source.
+	ID() string
+	// Root returns the root resource view of the source's graph. The
+	// graph may be computed lazily; Root itself should be cheap.
+	Root() (core.ResourceView, error)
+	// Changes returns a channel of change notifications, or nil when
+	// the source cannot push (the Synchronization Manager then falls
+	// back to polling).
+	Changes() <-chan Change
+	// Close releases the source's resources.
+	Close() error
+}
+
+// Mutator is the optional write-through interface of a data source:
+// plugins whose subsystem supports deletion implement it, enabling iQL
+// delete statements to remove base items from the underlying system
+// (files from the filesystem, messages from the mail store). URIs are
+// the same stable identifiers the catalog uses.
+type Mutator interface {
+	// Delete removes the base item at uri from the subsystem.
+	Delete(uri string) error
+}
+
+// Item is a resource view annotated with its location within a data
+// source: the stable URI the catalog keys on, and whether the view
+// represents a base item of the subsystem (file, folder, email message)
+// or was derived from content. Plugins wrap their base views in Items;
+// derived views are plain core views and receive synthetic URIs from the
+// Resource View Manager.
+type Item struct {
+	core.ResourceView
+	uri  string
+	base bool
+}
+
+// Annotate wraps v with a source URI. base marks base items (Table 2 of
+// the paper counts base and derived views separately).
+func Annotate(v core.ResourceView, uri string, base bool) *Item {
+	return &Item{ResourceView: v, uri: uri, base: base}
+}
+
+// URI returns the view's stable URI within its source.
+func (it *Item) URI() string { return it.uri }
+
+// IsBase reports whether the view represents a base item.
+func (it *Item) IsBase() bool { return it.base }
+
+// Unwrap returns the wrapped resource view.
+func (it *Item) Unwrap() core.ResourceView { return it.ResourceView }

@@ -1,0 +1,264 @@
+// Package stream implements the data-stream infrastructure of §3.4 and
+// §4.4 of the iDM paper: infinite sequences of resource views, a
+// push-based publish/subscribe broker ("need to push", §4.4.2), sliding
+// stream windows (used by the Replica&Indexes module to manage infinite
+// group components), and a generic polling facility that converts the
+// state of a pull-only source (POP/IMAP mailboxes, RSS/ATOM documents)
+// into a pseudo data stream.
+package stream
+
+import (
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Event is one change notification flowing through the broker: a new or
+// updated resource view on a topic.
+type Event struct {
+	// Topic names the stream the event belongs to.
+	Topic string
+	// Seq is the broker-assigned, per-topic sequence number.
+	Seq uint64
+	// View is the resource view the event carries.
+	View core.ResourceView
+}
+
+// Operator is a push-based operator per §4.4.2: it registers for changes
+// and processes incoming events immediately, enabling data-driven stream
+// processing in the spirit of DSMSs.
+type Operator interface {
+	OnEvent(Event)
+}
+
+// OperatorFunc adapts a function to the Operator interface.
+type OperatorFunc func(Event)
+
+// OnEvent implements Operator.
+func (f OperatorFunc) OnEvent(e Event) { f(e) }
+
+// Filter wraps an operator so that it only sees events whose view
+// satisfies pred.
+func Filter(pred func(core.ResourceView) bool, next Operator) Operator {
+	return OperatorFunc(func(e Event) {
+		if pred(e.View) {
+			next.OnEvent(e)
+		}
+	})
+}
+
+// Broker is a topic-based push broker. Subscribed operators are invoked
+// synchronously, in subscription order, on the publisher's goroutine —
+// push-based processing with no polling anywhere. Broker is safe for
+// concurrent use.
+type Broker struct {
+	mu     sync.RWMutex
+	subs   map[string]map[int]Operator
+	order  map[string][]int
+	nextID int
+	seqs   map[string]uint64
+	closed bool
+}
+
+// NewBroker returns an empty broker.
+func NewBroker() *Broker {
+	return &Broker{
+		subs:  make(map[string]map[int]Operator),
+		order: make(map[string][]int),
+		seqs:  make(map[string]uint64),
+	}
+}
+
+// Subscribe registers op for all future events on topic and returns a
+// cancel function that removes the subscription.
+func (b *Broker) Subscribe(topic string, op Operator) (cancel func()) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return func() {}
+	}
+	b.nextID++
+	id := b.nextID
+	if b.subs[topic] == nil {
+		b.subs[topic] = make(map[int]Operator)
+	}
+	b.subs[topic][id] = op
+	b.order[topic] = append(b.order[topic], id)
+	return func() {
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		delete(b.subs[topic], id)
+	}
+}
+
+// Publish delivers view to every operator subscribed to topic and
+// returns the event's sequence number.
+func (b *Broker) Publish(topic string, view core.ResourceView) uint64 {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return 0
+	}
+	b.seqs[topic]++
+	e := Event{Topic: topic, Seq: b.seqs[topic], View: view}
+	ops := make([]Operator, 0, len(b.subs[topic]))
+	for _, id := range b.order[topic] {
+		if op, live := b.subs[topic][id]; live {
+			ops = append(ops, op)
+		}
+	}
+	b.mu.Unlock()
+	for _, op := range ops {
+		op.OnEvent(e)
+	}
+	return e.Seq
+}
+
+// Close stops the broker; further publishes and subscriptions are no-ops.
+func (b *Broker) Close() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.closed = true
+	b.subs = make(map[string]map[int]Operator)
+	b.order = make(map[string][]int)
+}
+
+// Window is a sliding window over a stream: it retains the most recent
+// capacity views, in arrival order. Infinite group components are
+// "managed using a stream window" (§5.2). Window implements Operator so
+// it may subscribe to a broker topic directly. Window is safe for
+// concurrent use.
+type Window struct {
+	mu    sync.RWMutex
+	buf   []core.ResourceView
+	start int
+	count int
+	total uint64
+}
+
+// NewWindow returns a window retaining the most recent capacity views;
+// capacity must be positive.
+func NewWindow(capacity int) *Window {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	return &Window{buf: make([]core.ResourceView, capacity)}
+}
+
+// OnEvent implements Operator, adding the event's view to the window.
+func (w *Window) OnEvent(e Event) { w.Add(e.View) }
+
+// Add appends a view, evicting the oldest when the window is full.
+func (w *Window) Add(v core.ResourceView) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	i := (w.start + w.count) % len(w.buf)
+	w.buf[i] = v
+	if w.count < len(w.buf) {
+		w.count++
+	} else {
+		w.start = (w.start + 1) % len(w.buf)
+	}
+	w.total++
+}
+
+// Snapshot returns the windowed views from oldest to newest.
+func (w *Window) Snapshot() []core.ResourceView {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	out := make([]core.ResourceView, w.count)
+	for i := 0; i < w.count; i++ {
+		out[i] = w.buf[(w.start+i)%len(w.buf)]
+	}
+	return out
+}
+
+// Len returns the number of views currently in the window.
+func (w *Window) Len() int {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	return w.count
+}
+
+// Total returns the number of views ever added.
+func (w *Window) Total() uint64 {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	return w.total
+}
+
+// Views exposes the current window state as a finite iDM view collection
+// (the Option 1 "model the state" choice of §4.4.1).
+func (w *Window) Views() core.Views {
+	return core.FuncViews(func() core.ViewIter {
+		snap := w.Snapshot()
+		return core.SliceViews(snap...).Iter()
+	}, true, core.LenUnknown)
+}
+
+// chanViews adapts a channel of views to an infinite core.Views — the
+// Option 2 "model the stream" choice of §4.4.1. The collection is
+// one-shot: views consumed by one iterator are not seen by another, just
+// as messages delivered by a stateless stream cannot be retrieved twice.
+type chanViews struct{ ch <-chan core.ResourceView }
+
+func (c chanViews) Iter() core.ViewIter {
+	return core.IterFunc(func() (core.ResourceView, error) {
+		v, ok := <-c.ch
+		if !ok {
+			return nil, io.EOF
+		}
+		return v, nil
+	})
+}
+func (c chanViews) Finite() bool { return false }
+func (c chanViews) Len() int     { return core.LenUnknown }
+
+// InfiniteViews wraps a channel as an infinite one-shot view collection.
+func InfiniteViews(ch <-chan core.ResourceView) core.Views { return chanViews{ch} }
+
+// StreamView builds a datstream-class resource view whose group sequence
+// is the given infinite collection (Table 1, class datstream).
+func StreamView(name string, seq core.Views) core.ResourceView {
+	return (&core.StaticView{VName: name, VClass: core.ClassDatStream}).
+		WithGroup(core.Group{Set: core.NoViews(), Seq: seq})
+}
+
+// Poller converts a pull-only source into a pseudo data stream (§4.4.1):
+// it invokes poll on every interval and publishes each returned view to
+// the broker topic. Stop terminates the goroutine.
+type Poller struct {
+	stop chan struct{}
+	done chan struct{}
+}
+
+// StartPoller begins polling. poll returns the views that are new since
+// the previous call (the poller carries no cursor; sources track their
+// own, e.g. a last-seen UID).
+func StartPoller(b *Broker, topic string, interval time.Duration, poll func() []core.ResourceView) *Poller {
+	p := &Poller{stop: make(chan struct{}), done: make(chan struct{})}
+	go func() {
+		defer close(p.done)
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-p.stop:
+				return
+			case <-ticker.C:
+				for _, v := range poll() {
+					b.Publish(topic, v)
+				}
+			}
+		}
+	}()
+	return p
+}
+
+// Stop terminates the poller and waits for its goroutine to exit.
+func (p *Poller) Stop() {
+	close(p.stop)
+	<-p.done
+}

@@ -1,0 +1,251 @@
+package stream
+
+import (
+	"io"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/core"
+)
+
+func view(name string) core.ResourceView { return core.NewView(name, "") }
+
+func TestBrokerPublishSubscribe(t *testing.T) {
+	b := NewBroker()
+	var got []string
+	b.Subscribe("tuples", OperatorFunc(func(e Event) {
+		got = append(got, e.View.Name())
+	}))
+	b.Publish("tuples", view("t1"))
+	b.Publish("tuples", view("t2"))
+	b.Publish("other", view("x")) // different topic, not delivered
+	if len(got) != 2 || got[0] != "t1" || got[1] != "t2" {
+		t.Errorf("delivered %v", got)
+	}
+}
+
+func TestBrokerSequenceNumbersPerTopic(t *testing.T) {
+	b := NewBroker()
+	var seqs []uint64
+	b.Subscribe("a", OperatorFunc(func(e Event) { seqs = append(seqs, e.Seq) }))
+	b.Publish("a", view("1"))
+	b.Publish("b", view("x"))
+	b.Publish("a", view("2"))
+	if len(seqs) != 2 || seqs[0] != 1 || seqs[1] != 2 {
+		t.Errorf("seqs = %v", seqs)
+	}
+}
+
+func TestBrokerClose(t *testing.T) {
+	b := NewBroker()
+	n := 0
+	b.Subscribe("t", OperatorFunc(func(Event) { n++ }))
+	b.Close()
+	if seq := b.Publish("t", view("x")); seq != 0 || n != 0 {
+		t.Errorf("publish after close: seq=%d delivered=%d", seq, n)
+	}
+	b.Subscribe("t", OperatorFunc(func(Event) { n++ })) // no-op
+	b.Publish("t", view("y"))
+	if n != 0 {
+		t.Error("subscription after close delivered events")
+	}
+}
+
+func TestBrokerSubscriptionCancel(t *testing.T) {
+	b := NewBroker()
+	var a, c int
+	cancelA := b.Subscribe("t", OperatorFunc(func(Event) { a++ }))
+	b.Subscribe("t", OperatorFunc(func(Event) { c++ }))
+	b.Publish("t", view("1"))
+	cancelA()
+	b.Publish("t", view("2"))
+	if a != 1 || c != 2 {
+		t.Errorf("a=%d c=%d, want 1, 2", a, c)
+	}
+	cancelA() // idempotent
+	b.Publish("t", view("3"))
+	if a != 1 {
+		t.Error("cancelled subscriber still receiving")
+	}
+}
+
+func TestFilterOperator(t *testing.T) {
+	b := NewBroker()
+	var got []string
+	b.Subscribe("msgs", Filter(
+		func(v core.ResourceView) bool { return v.Name() != "spam" },
+		OperatorFunc(func(e Event) { got = append(got, e.View.Name()) }),
+	))
+	b.Publish("msgs", view("ham"))
+	b.Publish("msgs", view("spam"))
+	b.Publish("msgs", view("eggs"))
+	if len(got) != 2 || got[0] != "ham" || got[1] != "eggs" {
+		t.Errorf("filtered = %v", got)
+	}
+}
+
+func TestWindowSliding(t *testing.T) {
+	w := NewWindow(3)
+	for _, n := range []string{"a", "b", "c", "d", "e"} {
+		w.Add(view(n))
+	}
+	snap := w.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("window len = %d", len(snap))
+	}
+	want := []string{"c", "d", "e"}
+	for i, v := range snap {
+		if v.Name() != want[i] {
+			t.Errorf("snap[%d] = %q, want %q", i, v.Name(), want[i])
+		}
+	}
+	if w.Total() != 5 || w.Len() != 3 {
+		t.Errorf("total=%d len=%d", w.Total(), w.Len())
+	}
+}
+
+func TestWindowPartiallyFilled(t *testing.T) {
+	w := NewWindow(10)
+	w.Add(view("only"))
+	if snap := w.Snapshot(); len(snap) != 1 || snap[0].Name() != "only" {
+		t.Errorf("snap = %v", snap)
+	}
+}
+
+func TestWindowAsOperator(t *testing.T) {
+	b := NewBroker()
+	w := NewWindow(2)
+	b.Subscribe("s", w)
+	b.Publish("s", view("1"))
+	b.Publish("s", view("2"))
+	b.Publish("s", view("3"))
+	snap := w.Snapshot()
+	if len(snap) != 2 || snap[0].Name() != "2" {
+		t.Errorf("window after pushes: %v", snap)
+	}
+}
+
+func TestWindowViewsSnapshotSemantics(t *testing.T) {
+	w := NewWindow(5)
+	w.Add(view("a"))
+	vs := w.Views()
+	if !vs.Finite() {
+		t.Error("window state must be finite (Option 1)")
+	}
+	got, _ := core.CollectViews(vs, 0)
+	if len(got) != 1 {
+		t.Fatalf("got %d", len(got))
+	}
+	w.Add(view("b"))
+	// A fresh iteration observes the new state.
+	got, _ = core.CollectViews(vs, 0)
+	if len(got) != 2 {
+		t.Errorf("fresh iteration sees %d views, want 2", len(got))
+	}
+}
+
+func TestInfiniteViewsOneShot(t *testing.T) {
+	ch := make(chan core.ResourceView, 4)
+	ch <- view("m1")
+	ch <- view("m2")
+	vs := InfiniteViews(ch)
+	if vs.Finite() {
+		t.Error("stream views must be infinite")
+	}
+	it := vs.Iter()
+	v1, _ := it.Next()
+	if v1.Name() != "m1" {
+		t.Errorf("first = %q", v1.Name())
+	}
+	// A second iterator shares the channel: one-shot semantics, m1 is gone.
+	it2 := vs.Iter()
+	v2, _ := it2.Next()
+	if v2.Name() != "m2" {
+		t.Errorf("second iterator got %q, want m2 (one-shot)", v2.Name())
+	}
+	close(ch)
+	if _, err := it.Next(); err != io.EOF {
+		t.Errorf("closed channel: %v", err)
+	}
+}
+
+func TestStreamViewClass(t *testing.T) {
+	ch := make(chan core.ResourceView)
+	sv := StreamView("inbox", InfiniteViews(ch))
+	if sv.Class() != core.ClassDatStream {
+		t.Errorf("class = %q", sv.Class())
+	}
+	if sv.Group().Seq.Finite() {
+		t.Error("stream view sequence must be infinite")
+	}
+}
+
+func TestPollerPublishes(t *testing.T) {
+	b := NewBroker()
+	var count int64
+	b.Subscribe("poll", OperatorFunc(func(Event) { atomic.AddInt64(&count, 1) }))
+	var mu sync.Mutex
+	pending := []core.ResourceView{view("p1"), view("p2")}
+	p := StartPoller(b, "poll", time.Millisecond, func() []core.ResourceView {
+		mu.Lock()
+		defer mu.Unlock()
+		out := pending
+		pending = nil
+		return out
+	})
+	deadline := time.Now().Add(2 * time.Second)
+	for atomic.LoadInt64(&count) < 2 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	p.Stop()
+	if got := atomic.LoadInt64(&count); got != 2 {
+		t.Errorf("published %d events, want 2", got)
+	}
+}
+
+func TestPollerStopTerminates(t *testing.T) {
+	b := NewBroker()
+	p := StartPoller(b, "t", time.Hour, func() []core.ResourceView { return nil })
+	done := make(chan struct{})
+	go func() { p.Stop(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Stop did not return")
+	}
+}
+
+// Property: a window of capacity c holding n adds retains min(n, c) views
+// and they are the most recent ones in order.
+func TestWindowPropertyQuick(t *testing.T) {
+	f := func(cap8, n8 uint8) bool {
+		capacity := int(cap8%16) + 1
+		n := int(n8 % 64)
+		w := NewWindow(capacity)
+		views := make([]core.ResourceView, n)
+		for i := 0; i < n; i++ {
+			views[i] = view("v")
+			w.Add(views[i])
+		}
+		snap := w.Snapshot()
+		wantLen := n
+		if wantLen > capacity {
+			wantLen = capacity
+		}
+		if len(snap) != wantLen {
+			return false
+		}
+		for i := 0; i < wantLen; i++ {
+			if snap[i] != views[n-wantLen+i] {
+				return false
+			}
+		}
+		return w.Total() == uint64(n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,58 @@
+package tupleindex
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+func benchIndex(n int) *Index {
+	rng := rand.New(rand.NewSource(1))
+	ix := New()
+	base := time.Date(2005, 1, 1, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < n; i++ {
+		ix.Add(DocID(i+1), core.TupleComponent{
+			Schema: core.FSSchema,
+			Tuple: core.Tuple{
+				core.Int(rng.Int63n(1 << 20)),
+				core.Time(base.Add(time.Duration(rng.Intn(1e6)) * time.Second)),
+				core.Time(base.Add(time.Duration(rng.Intn(1e6)) * time.Second)),
+			},
+		})
+	}
+	return ix
+}
+
+func BenchmarkTupleAdd(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		benchIndex(1024)
+	}
+}
+
+var sinkIDs []DocID
+
+func BenchmarkTupleRangeQuery(b *testing.B) {
+	for _, n := range []int{1024, 16384} {
+		b.Run(fmt.Sprintf("rows-%d", n), func(b *testing.B) {
+			ix := benchIndex(n)
+			ix.Query("size", GT, core.Int(0)) // force the sort once
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sinkIDs = ix.Query("size", GT, core.Int(1<<19))
+			}
+		})
+	}
+}
+
+func BenchmarkTupleEqualityQuery(b *testing.B) {
+	ix := benchIndex(4096)
+	ix.Query("size", GT, core.Int(0))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkIDs = ix.Query("size", EQ, core.Int(4242))
+	}
+}

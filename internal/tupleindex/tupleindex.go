@@ -1,0 +1,322 @@
+// Package tupleindex implements the tuple-component index & replica of
+// §7.2 of the iDM paper: an in-memory replica of all resource views'
+// tuple components plus an auxiliary sorted index based on vertical
+// partitioning (the decomposition storage model of Copeland and
+// Khoshafian, which the paper cites). Each attribute gets its own sorted
+// column of (value, doc) pairs, so attribute predicates such as
+// [size > 42000 and lastmodified < yesterday()] evaluate with binary
+// search per attribute.
+package tupleindex
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// DocID identifies one indexed resource view (its catalog OID).
+type DocID uint64
+
+// Op is a comparison operator for range queries.
+type Op int
+
+// Comparison operators.
+const (
+	EQ Op = iota
+	NE
+	LT
+	LE
+	GT
+	GE
+)
+
+func (o Op) String() string {
+	switch o {
+	case EQ:
+		return "="
+	case NE:
+		return "!="
+	case LT:
+		return "<"
+	case LE:
+		return "<="
+	case GT:
+		return ">"
+	case GE:
+		return ">="
+	default:
+		return fmt.Sprintf("op(%d)", int(o))
+	}
+}
+
+// entry is one (value, doc) pair of a column.
+type entry struct {
+	value core.Value
+	doc   DocID
+}
+
+// column is the vertical partition for one attribute.
+type column struct {
+	entries []entry
+	sorted  bool
+}
+
+// Index is the tuple index & replica. Index is safe for concurrent use.
+type Index struct {
+	mu      sync.RWMutex
+	columns map[string]*column
+	replica map[DocID]core.TupleComponent
+}
+
+// New returns an empty tuple index.
+func New() *Index {
+	return &Index{
+		columns: make(map[string]*column),
+		replica: make(map[DocID]core.TupleComponent),
+	}
+}
+
+// Add indexes and replicates the tuple component of a document. Adding a
+// document twice replaces its previous tuple. Attribute names are
+// normalized to lower case.
+func (ix *Index) Add(doc DocID, tc core.TupleComponent) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if _, exists := ix.replica[doc]; exists {
+		ix.removeLocked(doc)
+	}
+	ix.replica[doc] = tc
+	for i, attr := range tc.Schema {
+		if i >= len(tc.Tuple) {
+			break
+		}
+		name := strings.ToLower(attr.Name)
+		col, ok := ix.columns[name]
+		if !ok {
+			col = &column{}
+			ix.columns[name] = col
+		}
+		col.entries = append(col.entries, entry{value: tc.Tuple[i], doc: doc})
+		col.sorted = false
+	}
+}
+
+// Delete removes a document from the replica and all columns.
+func (ix *Index) Delete(doc DocID) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	ix.removeLocked(doc)
+}
+
+func (ix *Index) removeLocked(doc DocID) {
+	delete(ix.replica, doc)
+	for name, col := range ix.columns {
+		kept := col.entries[:0]
+		for _, e := range col.entries {
+			if e.doc != doc {
+				kept = append(kept, e)
+			}
+		}
+		col.entries = kept
+		if len(col.entries) == 0 {
+			delete(ix.columns, name)
+		}
+	}
+}
+
+// Tuple returns the replicated tuple component of a document.
+func (ix *Index) Tuple(doc DocID) (core.TupleComponent, bool) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	tc, ok := ix.replica[doc]
+	return tc, ok
+}
+
+// DocCount returns the number of replicated documents.
+func (ix *Index) DocCount() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.replica)
+}
+
+// Attributes returns the indexed attribute names in sorted order.
+func (ix *Index) Attributes() []string {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	out := make([]string, 0, len(ix.columns))
+	for n := range ix.columns {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ensureSorted sorts a column by value (incomparable values order by
+// domain, then by doc id for stability). Caller holds the write lock.
+func (col *column) ensureSorted() {
+	if col.sorted {
+		return
+	}
+	sort.SliceStable(col.entries, func(i, j int) bool {
+		a, b := col.entries[i], col.entries[j]
+		if c, err := core.Compare(a.value, b.value); err == nil {
+			if c != 0 {
+				return c < 0
+			}
+			return a.doc < b.doc
+		}
+		if a.value.Kind != b.value.Kind {
+			return a.value.Kind < b.value.Kind
+		}
+		return a.doc < b.doc
+	})
+	col.sorted = true
+}
+
+// Query returns the ids of documents whose attribute satisfies (op,
+// value), in ascending id order. Documents lacking the attribute never
+// match (including for NE). Values incomparable with the probe are
+// skipped.
+func (ix *Index) Query(attr string, op Op, value core.Value) []DocID {
+	name := strings.ToLower(attr)
+	ix.mu.Lock()
+	col, ok := ix.columns[name]
+	if !ok {
+		ix.mu.Unlock()
+		return nil
+	}
+	col.ensureSorted()
+	entries := col.entries
+	ix.mu.Unlock()
+
+	var out []DocID
+	if op == EQ {
+		// Binary search both boundaries of the equal run.
+		lo := sort.Search(len(entries), func(i int) bool {
+			c, err := core.Compare(entries[i].value, value)
+			if err != nil {
+				return entries[i].value.Kind >= value.Kind
+			}
+			return c >= 0
+		})
+		hi := sort.Search(len(entries), func(i int) bool {
+			c, err := core.Compare(entries[i].value, value)
+			if err != nil {
+				return entries[i].value.Kind > value.Kind
+			}
+			return c > 0
+		})
+		for _, e := range entries[lo:hi] {
+			if c, err := core.Compare(e.value, value); err == nil && c == 0 {
+				out = append(out, e.doc)
+			}
+		}
+		return sortIDs(out)
+	}
+	if op == NE {
+		for _, e := range entries {
+			c, err := core.Compare(e.value, value)
+			if err != nil {
+				continue
+			}
+			if c != 0 {
+				out = append(out, e.doc)
+			}
+		}
+		return sortIDs(out)
+	}
+
+	// Range scan over the comparable span: binary search the boundary.
+	lower := sort.Search(len(entries), func(i int) bool {
+		c, err := core.Compare(entries[i].value, value)
+		if err != nil {
+			// Order incomparable domains by Kind to keep Search monotone.
+			return entries[i].value.Kind >= value.Kind
+		}
+		switch op {
+		case GT:
+			return c > 0
+		case GE:
+			return c >= 0
+		default: // LT, LE: search the first entry beyond the span
+			if op == LT {
+				return c >= 0
+			}
+			return c > 0
+		}
+	})
+	var span []entry
+	switch op {
+	case GT, GE:
+		span = entries[lower:]
+	case LT, LE:
+		span = entries[:lower]
+	}
+	for _, e := range span {
+		if _, err := core.Compare(e.value, value); err == nil {
+			out = append(out, e.doc)
+		}
+	}
+	return sortIDs(out)
+}
+
+// Scan calls fn for every replicated document; iteration order is
+// unspecified. fn returning false stops the scan.
+func (ix *Index) Scan(fn func(DocID, core.TupleComponent) bool) {
+	ix.mu.RLock()
+	docs := make([]DocID, 0, len(ix.replica))
+	for d := range ix.replica {
+		docs = append(docs, d)
+	}
+	ix.mu.RUnlock()
+	sort.Slice(docs, func(i, j int) bool { return docs[i] < docs[j] })
+	for _, d := range docs {
+		tc, ok := ix.Tuple(d)
+		if !ok {
+			continue
+		}
+		if !fn(d, tc) {
+			return
+		}
+	}
+}
+
+// SizeBytes estimates the memory footprint of the replica and columns
+// for the Table 3 reproduction.
+func (ix *Index) SizeBytes() int64 {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	var n int64
+	for name, col := range ix.columns {
+		n += int64(len(name)) + 16
+		n += int64(len(col.entries)) * 40
+	}
+	for _, tc := range ix.replica {
+		n += 16
+		for _, a := range tc.Schema {
+			n += int64(len(a.Name)) + 8
+		}
+		for _, v := range tc.Tuple {
+			n += 24 + int64(len(v.Str)) + int64(len(v.Bytes))
+		}
+	}
+	return n
+}
+
+func sortIDs(ids []DocID) []DocID {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	// Deduplicate (a doc may carry the same attribute once only, but be
+	// defensive about repeated values after re-adds).
+	out := ids[:0]
+	var prev DocID
+	for i, d := range ids {
+		if i == 0 || d != prev {
+			out = append(out, d)
+			prev = d
+		}
+	}
+	return out
+}

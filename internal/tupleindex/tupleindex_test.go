@@ -1,0 +1,240 @@
+package tupleindex
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/core"
+)
+
+func day(d int) time.Time {
+	return time.Date(2005, 6, d, 0, 0, 0, 0, time.UTC)
+}
+
+func fsTC(size int64, mod time.Time) core.TupleComponent {
+	return core.TupleComponent{
+		Schema: core.FSSchema,
+		Tuple:  core.Tuple{core.Int(size), core.Time(day(1)), core.Time(mod)},
+	}
+}
+
+func seedIndex() *Index {
+	ix := New()
+	ix.Add(1, fsTC(100, day(1)))
+	ix.Add(2, fsTC(42000, day(10)))
+	ix.Add(3, fsTC(500000, day(12)))
+	ix.Add(4, fsTC(420001, day(20)))
+	return ix
+}
+
+func TestQueryRangeOps(t *testing.T) {
+	ix := seedIndex()
+	cases := []struct {
+		op    Op
+		value core.Value
+		want  []DocID
+	}{
+		{GT, core.Int(42000), []DocID{3, 4}},
+		{GE, core.Int(42000), []DocID{2, 3, 4}},
+		{LT, core.Int(42000), []DocID{1}},
+		{LE, core.Int(42000), []DocID{1, 2}},
+		{EQ, core.Int(42000), []DocID{2}},
+		{NE, core.Int(42000), []DocID{1, 3, 4}},
+		{GT, core.Int(999999999), nil},
+		{LT, core.Int(0), nil},
+	}
+	for _, c := range cases {
+		got := ix.Query("size", c.op, c.value)
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("Query(size %s %v) = %v, want %v", c.op, c.value, got, c.want)
+		}
+	}
+}
+
+func TestQueryDates(t *testing.T) {
+	ix := seedIndex()
+	got := ix.Query("lastmodified", LT, core.Time(day(12)))
+	if !reflect.DeepEqual(got, []DocID{1, 2}) {
+		t.Errorf("date query = %v", got)
+	}
+}
+
+func TestQueryAttributeCaseInsensitive(t *testing.T) {
+	ix := seedIndex()
+	if got := ix.Query("SIZE", GT, core.Int(0)); len(got) != 4 {
+		t.Errorf("case-insensitive attr = %v", got)
+	}
+}
+
+func TestQueryMissingAttribute(t *testing.T) {
+	ix := seedIndex()
+	if got := ix.Query("owner", EQ, core.String("x")); got != nil {
+		t.Errorf("missing attribute = %v", got)
+	}
+}
+
+func TestQueryNumericCoercion(t *testing.T) {
+	ix := New()
+	ix.Add(1, core.TupleComponent{
+		Schema: core.Schema{{Name: "w", Domain: core.DomainFloat}},
+		Tuple:  core.Tuple{core.Float(2.5)},
+	})
+	if got := ix.Query("w", GT, core.Int(2)); !reflect.DeepEqual(got, []DocID{1}) {
+		t.Errorf("float vs int probe = %v", got)
+	}
+}
+
+func TestQueryMixedDomainsSkipsIncomparable(t *testing.T) {
+	ix := New()
+	ix.Add(1, core.TupleComponent{
+		Schema: core.Schema{{Name: "v", Domain: core.DomainString}},
+		Tuple:  core.Tuple{core.String("zebra")},
+	})
+	ix.Add(2, core.TupleComponent{
+		Schema: core.Schema{{Name: "v", Domain: core.DomainInt}},
+		Tuple:  core.Tuple{core.Int(7)},
+	})
+	if got := ix.Query("v", GT, core.Int(1)); !reflect.DeepEqual(got, []DocID{2}) {
+		t.Errorf("int probe over mixed column = %v", got)
+	}
+	if got := ix.Query("v", GE, core.String("a")); !reflect.DeepEqual(got, []DocID{1}) {
+		t.Errorf("string probe over mixed column = %v", got)
+	}
+}
+
+func TestReplica(t *testing.T) {
+	ix := seedIndex()
+	tc, ok := ix.Tuple(2)
+	if !ok {
+		t.Fatal("replica missing doc 2")
+	}
+	if v, _ := tc.Get("size"); v.Int != 42000 {
+		t.Errorf("replicated size = %v", v)
+	}
+	if _, ok := ix.Tuple(99); ok {
+		t.Error("phantom replica")
+	}
+}
+
+func TestDelete(t *testing.T) {
+	ix := seedIndex()
+	ix.Delete(2)
+	if got := ix.Query("size", GE, core.Int(0)); !reflect.DeepEqual(got, []DocID{1, 3, 4}) {
+		t.Errorf("after delete = %v", got)
+	}
+	if _, ok := ix.Tuple(2); ok {
+		t.Error("replica survives delete")
+	}
+	if ix.DocCount() != 3 {
+		t.Errorf("count = %d", ix.DocCount())
+	}
+}
+
+func TestReAddReplaces(t *testing.T) {
+	ix := seedIndex()
+	ix.Add(1, fsTC(999999, day(25)))
+	got := ix.Query("size", EQ, core.Int(100))
+	if len(got) != 0 {
+		t.Errorf("old value survives re-add: %v", got)
+	}
+	if got := ix.Query("size", EQ, core.Int(999999)); !reflect.DeepEqual(got, []DocID{1}) {
+		t.Errorf("new value missing: %v", got)
+	}
+}
+
+func TestScanOrdered(t *testing.T) {
+	ix := seedIndex()
+	var ids []DocID
+	ix.Scan(func(d DocID, tc core.TupleComponent) bool {
+		ids = append(ids, d)
+		return true
+	})
+	if !reflect.DeepEqual(ids, []DocID{1, 2, 3, 4}) {
+		t.Errorf("scan order = %v", ids)
+	}
+	// Early stop.
+	n := 0
+	ix.Scan(func(DocID, core.TupleComponent) bool { n++; return false })
+	if n != 1 {
+		t.Errorf("early stop scanned %d", n)
+	}
+}
+
+func TestAttributes(t *testing.T) {
+	ix := seedIndex()
+	attrs := ix.Attributes()
+	want := []string{"creationtime", "lastmodified", "size"}
+	if !reflect.DeepEqual(attrs, want) {
+		t.Errorf("attributes = %v", attrs)
+	}
+}
+
+func TestSizeBytes(t *testing.T) {
+	ix := New()
+	empty := ix.SizeBytes()
+	ix.Add(1, fsTC(1, day(1)))
+	if ix.SizeBytes() <= empty {
+		t.Error("size did not grow")
+	}
+}
+
+func TestOpString(t *testing.T) {
+	ops := map[Op]string{EQ: "=", NE: "!=", LT: "<", LE: "<=", GT: ">", GE: ">="}
+	for op, want := range ops {
+		if op.String() != want {
+			t.Errorf("%v String = %q", int(op), op.String())
+		}
+	}
+}
+
+// Property: for a column of random ints, Query results agree with a
+// naive scan for every operator.
+func TestQueryAgainstNaiveQuick(t *testing.T) {
+	schema := core.Schema{{Name: "v", Domain: core.DomainInt}}
+	f := func(values []int16, probe int16) bool {
+		ix := New()
+		for i, v := range values {
+			ix.Add(DocID(i+1), core.TupleComponent{Schema: schema, Tuple: core.Tuple{core.Int(int64(v))}})
+		}
+		for _, op := range []Op{EQ, NE, LT, LE, GT, GE} {
+			var want []DocID
+			for i, v := range values {
+				keep := false
+				switch op {
+				case EQ:
+					keep = v == probe
+				case NE:
+					keep = v != probe
+				case LT:
+					keep = v < probe
+				case LE:
+					keep = v <= probe
+				case GT:
+					keep = v > probe
+				case GE:
+					keep = v >= probe
+				}
+				if keep {
+					want = append(want, DocID(i+1))
+				}
+			}
+			sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+			got := ix.Query("v", op, core.Int(int64(probe)))
+			if len(got) != len(want) {
+				return false
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

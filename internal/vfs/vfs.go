@@ -1,0 +1,597 @@
+// Package vfs implements an in-memory virtual filesystem: the
+// files&folders substrate of §3.2 of the iDM paper. It provides folders,
+// files with byte content, per-node metadata conforming to the
+// filesystem-level schema W_FS (size, creation time, last modified time),
+// folder links (which make the files&folders graph cyclic, as in Figure 1
+// of the paper), and a change-notification feed standing in for the
+// Mac OS X file-event subscription mentioned in §5.2.
+//
+// The vfs substitutes for the NTFS volume of the paper's evaluation; an
+// iDM Data Source Plugin maps it to resource views.
+package vfs
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Node kinds.
+type Kind int
+
+const (
+	// KindFolder is a directory node.
+	KindFolder Kind = iota
+	// KindFile is a regular file node with byte content.
+	KindFile
+	// KindLink is a folder link: a named alias for another folder,
+	// possibly an ancestor (creating a cycle).
+	KindLink
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindFolder:
+		return "folder"
+	case KindFile:
+		return "file"
+	case KindLink:
+		return "link"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Common errors.
+var (
+	ErrNotFound  = errors.New("vfs: no such file or folder")
+	ErrExists    = errors.New("vfs: node already exists")
+	ErrNotFolder = errors.New("vfs: not a folder")
+	ErrNotFile   = errors.New("vfs: not a file")
+	ErrIsRoot    = errors.New("vfs: operation not allowed on root")
+)
+
+// Node is one file, folder or link. Fields are managed by FS; read them
+// only through FS methods or while holding no concurrent writers.
+type Node struct {
+	name     string
+	kind     Kind
+	parent   *Node
+	children map[string]*Node // folders only
+	content  []byte           // files only
+	target   *Node            // links only
+	created  time.Time
+	modified time.Time
+}
+
+// Name returns the node's base name.
+func (n *Node) Name() string { return n.name }
+
+// Kind returns the node's kind.
+func (n *Node) Kind() Kind { return n.kind }
+
+// Created returns the creation time.
+func (n *Node) Created() time.Time { return n.created }
+
+// Modified returns the last-modified time.
+func (n *Node) Modified() time.Time { return n.modified }
+
+// Size returns the content size for files, and a conventional 4096 for
+// folders and links (mirroring how filesystems report directory sizes).
+func (n *Node) Size() int64 {
+	if n.kind == KindFile {
+		return int64(len(n.content))
+	}
+	return 4096
+}
+
+// Target returns the folder a link points to, or nil.
+func (n *Node) Target() *Node { return n.target }
+
+// EventType classifies change notifications.
+type EventType int
+
+// Change notification types.
+const (
+	EventCreate EventType = iota
+	EventModify
+	EventRemove
+)
+
+func (e EventType) String() string {
+	switch e {
+	case EventCreate:
+		return "create"
+	case EventModify:
+		return "modify"
+	case EventRemove:
+		return "remove"
+	default:
+		return fmt.Sprintf("event(%d)", int(e))
+	}
+}
+
+// Event is one filesystem change notification.
+type Event struct {
+	Type EventType
+	Path string
+	Kind Kind
+}
+
+// FS is an in-memory filesystem. The zero FS is not usable; create one
+// with New. FS is safe for concurrent use.
+type FS struct {
+	mu       sync.RWMutex
+	root     *Node
+	now      func() time.Time
+	watchers []chan Event
+	closed   bool
+}
+
+// New returns an empty filesystem whose clock is time.Now.
+func New() *FS { return NewWithClock(time.Now) }
+
+// NewWithClock returns an empty filesystem using the given clock; tests
+// and the dataset generator use a deterministic clock.
+func NewWithClock(now func() time.Time) *FS {
+	t := now()
+	return &FS{
+		root: &Node{
+			name:     "/",
+			kind:     KindFolder,
+			children: make(map[string]*Node),
+			created:  t,
+			modified: t,
+		},
+		now: now,
+	}
+}
+
+// Root returns the root folder node.
+func (fs *FS) Root() *Node {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	return fs.root
+}
+
+// splitPath normalizes and splits a slash-separated path. The empty path
+// and "/" address the root.
+func splitPath(path string) []string {
+	path = strings.Trim(path, "/")
+	if path == "" {
+		return nil
+	}
+	return strings.Split(path, "/")
+}
+
+// lookup resolves a path to a node without following terminal links.
+// Intermediate links are followed so that paths may traverse them.
+func (fs *FS) lookup(path string) (*Node, error) {
+	n := fs.root
+	for _, part := range splitPath(path) {
+		if n.kind == KindLink {
+			n = n.target
+		}
+		if n.kind != KindFolder {
+			return nil, fmt.Errorf("%w: %q", ErrNotFolder, path)
+		}
+		c, ok := n.children[part]
+		if !ok {
+			return nil, fmt.Errorf("%w: %q", ErrNotFound, path)
+		}
+		n = c
+	}
+	return n, nil
+}
+
+// Lookup resolves a path to its node.
+func (fs *FS) Lookup(path string) (*Node, error) {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	return fs.lookup(path)
+}
+
+// Exists reports whether a node exists at path.
+func (fs *FS) Exists(path string) bool {
+	_, err := fs.Lookup(path)
+	return err == nil
+}
+
+func (fs *FS) parentOf(path string) (*Node, string, error) {
+	parts := splitPath(path)
+	if len(parts) == 0 {
+		return nil, "", ErrIsRoot
+	}
+	dir := strings.Join(parts[:len(parts)-1], "/")
+	p, err := fs.lookup(dir)
+	if err != nil {
+		return nil, "", err
+	}
+	if p.kind == KindLink {
+		p = p.target
+	}
+	if p.kind != KindFolder {
+		return nil, "", fmt.Errorf("%w: %q", ErrNotFolder, dir)
+	}
+	return p, parts[len(parts)-1], nil
+}
+
+// Mkdir creates a folder at path. Parents must exist; use MkdirAll to
+// create them.
+func (fs *FS) Mkdir(path string) (*Node, error) {
+	fs.mu.Lock()
+	n, err := fs.mkdirLocked(path)
+	fs.mu.Unlock()
+	if err == nil {
+		fs.notify(Event{Type: EventCreate, Path: clean(path), Kind: KindFolder})
+	}
+	return n, err
+}
+
+func (fs *FS) mkdirLocked(path string) (*Node, error) {
+	p, name, err := fs.parentOf(path)
+	if err != nil {
+		return nil, err
+	}
+	if _, dup := p.children[name]; dup {
+		return nil, fmt.Errorf("%w: %q", ErrExists, path)
+	}
+	t := fs.now()
+	n := &Node{
+		name: name, kind: KindFolder, parent: p,
+		children: make(map[string]*Node),
+		created:  t, modified: t,
+	}
+	p.children[name] = n
+	p.modified = t
+	return n, nil
+}
+
+// MkdirAll creates a folder at path along with any missing parents. It
+// succeeds when the folder already exists.
+func (fs *FS) MkdirAll(path string) (*Node, error) {
+	parts := splitPath(path)
+	cur := ""
+	var n *Node
+	var err error
+	for _, part := range parts {
+		cur += "/" + part
+		n, err = fs.Lookup(cur)
+		if err == nil {
+			if n.kind == KindLink {
+				n = n.target
+			}
+			if n.kind != KindFolder {
+				return nil, fmt.Errorf("%w: %q", ErrNotFolder, cur)
+			}
+			continue
+		}
+		n, err = fs.Mkdir(cur)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if n == nil {
+		n = fs.Root()
+	}
+	return n, nil
+}
+
+// WriteFile creates or replaces the file at path with content. Parent
+// folders must exist.
+func (fs *FS) WriteFile(path string, content []byte) (*Node, error) {
+	fs.mu.Lock()
+	n, created, err := fs.writeFileLocked(path, content)
+	fs.mu.Unlock()
+	if err == nil {
+		typ := EventModify
+		if created {
+			typ = EventCreate
+		}
+		fs.notify(Event{Type: typ, Path: clean(path), Kind: KindFile})
+	}
+	return n, err
+}
+
+func (fs *FS) writeFileLocked(path string, content []byte) (*Node, bool, error) {
+	p, name, err := fs.parentOf(path)
+	if err != nil {
+		return nil, false, err
+	}
+	t := fs.now()
+	if existing, ok := p.children[name]; ok {
+		if existing.kind != KindFile {
+			return nil, false, fmt.Errorf("%w: %q", ErrNotFile, path)
+		}
+		existing.content = append(existing.content[:0:0], content...)
+		existing.modified = t
+		return existing, false, nil
+	}
+	n := &Node{
+		name: name, kind: KindFile, parent: p,
+		content: append([]byte(nil), content...),
+		created: t, modified: t,
+	}
+	p.children[name] = n
+	p.modified = t
+	return n, true, nil
+}
+
+// Link creates a folder link at path pointing at the folder at target.
+// Links to ancestors create cycles, as in the 'All Projects' link of
+// Figure 1 in the paper.
+func (fs *FS) Link(path, target string) (*Node, error) {
+	fs.mu.Lock()
+	n, err := fs.linkLocked(path, target)
+	fs.mu.Unlock()
+	if err == nil {
+		fs.notify(Event{Type: EventCreate, Path: clean(path), Kind: KindLink})
+	}
+	return n, err
+}
+
+func (fs *FS) linkLocked(path, target string) (*Node, error) {
+	tgt, err := fs.lookup(target)
+	if err != nil {
+		return nil, err
+	}
+	if tgt.kind == KindLink {
+		tgt = tgt.target
+	}
+	if tgt.kind != KindFolder {
+		return nil, fmt.Errorf("%w: link target %q", ErrNotFolder, target)
+	}
+	p, name, err := fs.parentOf(path)
+	if err != nil {
+		return nil, err
+	}
+	if _, dup := p.children[name]; dup {
+		return nil, fmt.Errorf("%w: %q", ErrExists, path)
+	}
+	t := fs.now()
+	n := &Node{name: name, kind: KindLink, parent: p, target: tgt, created: t, modified: t}
+	p.children[name] = n
+	p.modified = t
+	return n, nil
+}
+
+// Copy duplicates the file at src to dst (which must not exist). The
+// copy gets fresh creation and modification times; pairing Copy with
+// lineage recording is the provenance example §8 of the paper gives.
+func (fs *FS) Copy(src, dst string) (*Node, error) {
+	content, err := fs.ReadFile(src)
+	if err != nil {
+		return nil, err
+	}
+	fs.mu.Lock()
+	if _, err := fs.lookup(dst); err == nil {
+		fs.mu.Unlock()
+		return nil, fmt.Errorf("%w: %q", ErrExists, dst)
+	}
+	n, _, err := fs.writeFileLocked(dst, content)
+	fs.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	fs.notify(Event{Type: EventCreate, Path: clean(dst), Kind: KindFile})
+	return n, nil
+}
+
+// ReadFile returns a copy of the file content at path.
+func (fs *FS) ReadFile(path string) ([]byte, error) {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	n, err := fs.lookup(path)
+	if err != nil {
+		return nil, err
+	}
+	if n.kind != KindFile {
+		return nil, fmt.Errorf("%w: %q", ErrNotFile, path)
+	}
+	return append([]byte(nil), n.content...), nil
+}
+
+// ReadNode returns a copy of a file node's content.
+func (fs *FS) ReadNode(n *Node) ([]byte, error) {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	if n.kind != KindFile {
+		return nil, fmt.Errorf("%w: %q", ErrNotFile, n.name)
+	}
+	return append([]byte(nil), n.content...), nil
+}
+
+// Remove deletes the node at path (recursively for folders).
+func (fs *FS) Remove(path string) error {
+	fs.mu.Lock()
+	var kind Kind
+	err := func() error {
+		n, err := fs.lookup(path)
+		if err != nil {
+			return err
+		}
+		if n == fs.root {
+			return ErrIsRoot
+		}
+		kind = n.kind
+		delete(n.parent.children, n.name)
+		n.parent.modified = fs.now()
+		n.parent = nil
+		return nil
+	}()
+	fs.mu.Unlock()
+	if err == nil {
+		fs.notify(Event{Type: EventRemove, Path: clean(path), Kind: kind})
+	}
+	return err
+}
+
+// List returns the children of the folder (or link-to-folder) at path in
+// name order.
+func (fs *FS) List(path string) ([]*Node, error) {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	n, err := fs.lookup(path)
+	if err != nil {
+		return nil, err
+	}
+	return fs.listNodeLocked(n)
+}
+
+// ListNode returns the children of a folder node in name order.
+func (fs *FS) ListNode(n *Node) ([]*Node, error) {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	return fs.listNodeLocked(n)
+}
+
+func (fs *FS) listNodeLocked(n *Node) ([]*Node, error) {
+	if n.kind == KindLink {
+		n = n.target
+	}
+	if n.kind != KindFolder {
+		return nil, fmt.Errorf("%w: %q", ErrNotFolder, n.name)
+	}
+	out := make([]*Node, 0, len(n.children))
+	for _, c := range n.children {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out, nil
+}
+
+// Path returns the absolute slash-separated path of a node.
+func (fs *FS) Path(n *Node) string {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	if n == fs.root {
+		return "/"
+	}
+	var parts []string
+	for cur := n; cur != nil && cur != fs.root; cur = cur.parent {
+		parts = append(parts, cur.name)
+	}
+	var b strings.Builder
+	for i := len(parts) - 1; i >= 0; i-- {
+		b.WriteByte('/')
+		b.WriteString(parts[i])
+	}
+	return b.String()
+}
+
+// Stats summarizes the filesystem.
+type Stats struct {
+	Folders    int
+	Files      int
+	Links      int
+	TotalBytes int64
+}
+
+// Stats walks the tree (not following links) and returns node counts and
+// total file bytes.
+func (fs *FS) Stats() Stats {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	var s Stats
+	var rec func(n *Node)
+	rec = func(n *Node) {
+		switch n.kind {
+		case KindFolder:
+			s.Folders++
+			for _, c := range n.children {
+				rec(c)
+			}
+		case KindFile:
+			s.Files++
+			s.TotalBytes += int64(len(n.content))
+		case KindLink:
+			s.Links++
+		}
+	}
+	rec(fs.root)
+	s.Folders-- // do not count the root itself
+	return s
+}
+
+// Watch returns a channel of change notifications. The channel is
+// buffered; events are dropped when the buffer is full (matching the
+// best-effort semantics of OS file-event APIs). Close the filesystem's
+// watchers with CloseWatchers.
+func (fs *FS) Watch() <-chan Event {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	ch := make(chan Event, 1024)
+	fs.watchers = append(fs.watchers, ch)
+	return ch
+}
+
+// CloseWatchers closes all watcher channels; no further events are sent.
+func (fs *FS) CloseWatchers() {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.closed {
+		return
+	}
+	fs.closed = true
+	for _, ch := range fs.watchers {
+		close(ch)
+	}
+	fs.watchers = nil
+}
+
+func (fs *FS) notify(e Event) {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	if fs.closed {
+		return
+	}
+	for _, ch := range fs.watchers {
+		select {
+		case ch <- e:
+		default: // drop when the watcher is slow
+		}
+	}
+}
+
+func clean(path string) string {
+	return "/" + strings.Trim(path, "/")
+}
+
+// WalkFunc is invoked for every node during FS.Walk with the node's
+// absolute path.
+type WalkFunc func(path string, n *Node) error
+
+// Walk visits every node in the tree in depth-first name order, without
+// following links (link nodes themselves are visited).
+func (fs *FS) Walk(fn WalkFunc) error {
+	fs.mu.RLock()
+	root := fs.root
+	fs.mu.RUnlock()
+	return fs.walkNode("/", root, fn)
+}
+
+func (fs *FS) walkNode(path string, n *Node, fn WalkFunc) error {
+	if err := fn(path, n); err != nil {
+		return err
+	}
+	if n.kind != KindFolder {
+		return nil
+	}
+	children, err := fs.ListNode(n)
+	if err != nil {
+		return err
+	}
+	for _, c := range children {
+		p := path + "/" + c.name
+		if path == "/" {
+			p = "/" + c.name
+		}
+		if err := fs.walkNode(p, c, fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}

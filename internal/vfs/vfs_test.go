@@ -1,0 +1,341 @@
+package vfs
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func testClock() func() time.Time {
+	t := time.Date(2005, 3, 19, 11, 54, 0, 0, time.UTC)
+	return func() time.Time {
+		t = t.Add(time.Second)
+		return t
+	}
+}
+
+func buildPaperTree(t *testing.T) *FS {
+	t.Helper()
+	fs := NewWithClock(testClock())
+	mustMkdir := func(p string) {
+		if _, err := fs.Mkdir(p); err != nil {
+			t.Fatalf("Mkdir(%q): %v", p, err)
+		}
+	}
+	mustMkdir("/Projects")
+	mustMkdir("/Projects/PIM")
+	mustMkdir("/Projects/OLAP")
+	if _, err := fs.WriteFile("/Projects/PIM/vldb 2006.tex", []byte("\\section{Introduction}")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.WriteFile("/Projects/PIM/Grant.doc", []byte("grant proposal")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Link("/Projects/PIM/All Projects", "/Projects"); err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+func TestMkdirAndLookup(t *testing.T) {
+	fs := buildPaperTree(t)
+	n, err := fs.Lookup("/Projects/PIM")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Kind() != KindFolder || n.Name() != "PIM" {
+		t.Errorf("kind=%v name=%q", n.Kind(), n.Name())
+	}
+	if !fs.Exists("/Projects/OLAP") {
+		t.Error("OLAP folder missing")
+	}
+	if fs.Exists("/Projects/Nope") {
+		t.Error("phantom folder exists")
+	}
+}
+
+func TestMkdirErrors(t *testing.T) {
+	fs := New()
+	if _, err := fs.Mkdir("/a/b"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("missing parent: %v", err)
+	}
+	fs.Mkdir("/a")
+	if _, err := fs.Mkdir("/a"); !errors.Is(err, ErrExists) {
+		t.Errorf("duplicate: %v", err)
+	}
+	if _, err := fs.Mkdir("/"); !errors.Is(err, ErrIsRoot) {
+		t.Errorf("root: %v", err)
+	}
+}
+
+func TestMkdirAll(t *testing.T) {
+	fs := New()
+	n, err := fs.MkdirAll("/a/b/c")
+	if err != nil || n.Name() != "c" {
+		t.Fatalf("MkdirAll: %v, %v", n, err)
+	}
+	// Idempotent.
+	if _, err := fs.MkdirAll("/a/b/c"); err != nil {
+		t.Errorf("second MkdirAll: %v", err)
+	}
+	fs.WriteFile("/a/f.txt", []byte("x"))
+	if _, err := fs.MkdirAll("/a/f.txt/sub"); !errors.Is(err, ErrNotFolder) {
+		t.Errorf("MkdirAll through file: %v", err)
+	}
+}
+
+func TestWriteAndReadFile(t *testing.T) {
+	fs := buildPaperTree(t)
+	b, err := fs.ReadFile("/Projects/PIM/Grant.doc")
+	if err != nil || string(b) != "grant proposal" {
+		t.Fatalf("ReadFile: %q, %v", b, err)
+	}
+	// Overwrite updates content and modified time.
+	before, _ := fs.Lookup("/Projects/PIM/Grant.doc")
+	mBefore := before.Modified()
+	fs.WriteFile("/Projects/PIM/Grant.doc", []byte("v2"))
+	b, _ = fs.ReadFile("/Projects/PIM/Grant.doc")
+	if string(b) != "v2" {
+		t.Errorf("after overwrite: %q", b)
+	}
+	after, _ := fs.Lookup("/Projects/PIM/Grant.doc")
+	if !after.Modified().After(mBefore) {
+		t.Error("modified time not advanced")
+	}
+	if after.Size() != 2 {
+		t.Errorf("size = %d, want 2", after.Size())
+	}
+	// Mutating the returned slice must not affect the stored content.
+	b[0] = 'X'
+	b2, _ := fs.ReadFile("/Projects/PIM/Grant.doc")
+	if string(b2) != "v2" {
+		t.Error("ReadFile does not copy")
+	}
+}
+
+func TestReadFileErrors(t *testing.T) {
+	fs := buildPaperTree(t)
+	if _, err := fs.ReadFile("/Projects"); !errors.Is(err, ErrNotFile) {
+		t.Errorf("read folder: %v", err)
+	}
+	if _, err := fs.ReadFile("/nope"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("read missing: %v", err)
+	}
+}
+
+func TestLinkCreatesCycle(t *testing.T) {
+	fs := buildPaperTree(t)
+	link, err := fs.Lookup("/Projects/PIM/All Projects")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if link.Kind() != KindLink {
+		t.Fatalf("kind = %v", link.Kind())
+	}
+	projects, _ := fs.Lookup("/Projects")
+	if link.Target() != projects {
+		t.Error("link target mismatch")
+	}
+	// Paths may traverse links.
+	n, err := fs.Lookup("/Projects/PIM/All Projects/PIM")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pim, _ := fs.Lookup("/Projects/PIM")
+	if n != pim {
+		t.Error("traversal through link reached wrong node")
+	}
+}
+
+func TestLinkErrors(t *testing.T) {
+	fs := buildPaperTree(t)
+	if _, err := fs.Link("/l", "/Projects/PIM/Grant.doc"); !errors.Is(err, ErrNotFolder) {
+		t.Errorf("link to file: %v", err)
+	}
+	if _, err := fs.Link("/Projects", "/Projects"); !errors.Is(err, ErrExists) {
+		t.Errorf("duplicate name: %v", err)
+	}
+}
+
+func TestListSorted(t *testing.T) {
+	fs := buildPaperTree(t)
+	children, err := fs.List("/Projects/PIM")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, c := range children {
+		names = append(names, c.Name())
+	}
+	want := "All Projects,Grant.doc,vldb 2006.tex"
+	if got := strings.Join(names, ","); got != want {
+		t.Errorf("children = %q, want %q", got, want)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	fs := buildPaperTree(t)
+	if err := fs.Remove("/Projects/OLAP"); err != nil {
+		t.Fatal(err)
+	}
+	if fs.Exists("/Projects/OLAP") {
+		t.Error("removed folder still present")
+	}
+	if err := fs.Remove("/"); !errors.Is(err, ErrIsRoot) {
+		t.Errorf("remove root: %v", err)
+	}
+	if err := fs.Remove("/nope"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("remove missing: %v", err)
+	}
+}
+
+func TestCopy(t *testing.T) {
+	fs := buildPaperTree(t)
+	n, err := fs.Copy("/Projects/PIM/Grant.doc", "/Projects/OLAP/Grant-v2.doc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Name() != "Grant-v2.doc" {
+		t.Errorf("name = %q", n.Name())
+	}
+	b, _ := fs.ReadFile("/Projects/OLAP/Grant-v2.doc")
+	if string(b) != "grant proposal" {
+		t.Errorf("content = %q", b)
+	}
+	// The copy is independent of the original.
+	fs.WriteFile("/Projects/PIM/Grant.doc", []byte("changed"))
+	b, _ = fs.ReadFile("/Projects/OLAP/Grant-v2.doc")
+	if string(b) != "grant proposal" {
+		t.Error("copy aliases the original")
+	}
+	if _, err := fs.Copy("/Projects/PIM/Grant.doc", "/Projects/OLAP/Grant-v2.doc"); !errors.Is(err, ErrExists) {
+		t.Errorf("overwrite via copy: %v", err)
+	}
+	if _, err := fs.Copy("/missing", "/x"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("copy missing: %v", err)
+	}
+	if _, err := fs.Copy("/Projects", "/x"); !errors.Is(err, ErrNotFile) {
+		t.Errorf("copy folder: %v", err)
+	}
+}
+
+func TestPath(t *testing.T) {
+	fs := buildPaperTree(t)
+	n, _ := fs.Lookup("/Projects/PIM/Grant.doc")
+	if p := fs.Path(n); p != "/Projects/PIM/Grant.doc" {
+		t.Errorf("Path = %q", p)
+	}
+	if p := fs.Path(fs.Root()); p != "/" {
+		t.Errorf("root path = %q", p)
+	}
+}
+
+func TestStats(t *testing.T) {
+	fs := buildPaperTree(t)
+	s := fs.Stats()
+	if s.Folders != 3 || s.Files != 2 || s.Links != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+	if s.TotalBytes != int64(len("\\section{Introduction}")+len("grant proposal")) {
+		t.Errorf("bytes = %d", s.TotalBytes)
+	}
+}
+
+func TestWalkVisitsEverything(t *testing.T) {
+	fs := buildPaperTree(t)
+	var paths []string
+	err := fs.Walk(func(p string, n *Node) error {
+		paths = append(paths, p)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// root + Projects + OLAP + PIM + 3 children of PIM
+	if len(paths) != 7 {
+		t.Errorf("walked %d paths: %v", len(paths), paths)
+	}
+	if paths[0] != "/" {
+		t.Errorf("first path %q", paths[0])
+	}
+}
+
+func TestWatchEvents(t *testing.T) {
+	fs := New()
+	ch := fs.Watch()
+	fs.Mkdir("/a")
+	fs.WriteFile("/a/f.txt", []byte("1"))
+	fs.WriteFile("/a/f.txt", []byte("2"))
+	fs.Remove("/a/f.txt")
+	fs.CloseWatchers()
+
+	var got []Event
+	for e := range ch {
+		got = append(got, e)
+	}
+	want := []Event{
+		{EventCreate, "/a", KindFolder},
+		{EventCreate, "/a/f.txt", KindFile},
+		{EventModify, "/a/f.txt", KindFile},
+		{EventRemove, "/a/f.txt", KindFile},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d events %v, want %d", len(got), got, len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("event %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestWatchAfterCloseSafe(t *testing.T) {
+	fs := New()
+	fs.CloseWatchers()
+	fs.Mkdir("/a") // must not panic
+	fs.CloseWatchers()
+}
+
+func TestKindAndEventStrings(t *testing.T) {
+	if KindFolder.String() != "folder" || KindFile.String() != "file" || KindLink.String() != "link" {
+		t.Error("Kind.String mismatch")
+	}
+	if EventCreate.String() != "create" || EventModify.String() != "modify" || EventRemove.String() != "remove" {
+		t.Error("EventType.String mismatch")
+	}
+}
+
+// Property: creating n distinct files under one folder yields exactly n
+// children listed in sorted order, and Stats agrees.
+func TestCreateListPropertyQuick(t *testing.T) {
+	f := func(n uint8) bool {
+		count := int(n%64) + 1
+		fs := New()
+		fs.Mkdir("/d")
+		for i := 0; i < count; i++ {
+			name := "/d/f" + strings.Repeat("a", i%7) + string(rune('a'+i%26)) + "-" + itoa(i)
+			if _, err := fs.WriteFile(name, []byte{byte(i)}); err != nil {
+				return false
+			}
+		}
+		children, err := fs.List("/d")
+		if err != nil || len(children) != count {
+			return false
+		}
+		for i := 1; i < len(children); i++ {
+			if children[i-1].Name() >= children[i].Name() {
+				return false
+			}
+		}
+		return fs.Stats().Files == count
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func itoa(i int) string {
+	return string(rune('0'+i/100%10)) + string(rune('0'+i/10%10)) + string(rune('0'+i%10))
+}

@@ -1,0 +1,54 @@
+// Package wildcard implements the name-pattern matching of iQL name
+// steps: '*' matches any (possibly empty) run of characters, '?' matches
+// exactly one character, and matching is case-insensitive. Patterns like
+// ?onclusion*, *Vision and VLDB200? appear in the paper's evaluation
+// queries (Table 4).
+package wildcard
+
+import "strings"
+
+// Match reports whether name matches pattern.
+func Match(pattern, name string) bool {
+	return match(strings.ToLower(pattern), strings.ToLower(name))
+}
+
+// MatchLowered is Match for inputs already folded to lower case; callers
+// that match one pattern against many names fold the pattern once and
+// cache the lowered names.
+func MatchLowered(pattern, name string) bool { return match(pattern, name) }
+
+// IsPattern reports whether s contains wildcard metacharacters.
+func IsPattern(s string) bool {
+	return strings.ContainsAny(s, "*?")
+}
+
+// match is an iterative two-pointer matcher with backtracking on '*'.
+// It operates on runes so that '?' matches exactly one character, not
+// one byte.
+func match(pattern, name string) bool {
+	p := []rune(pattern)
+	s := []rune(name)
+	pi, si := 0, 0
+	star, starSi := -1, 0
+	for si < len(s) {
+		switch {
+		case pi < len(p) && (p[pi] == '?' || p[pi] == s[si]):
+			pi++
+			si++
+		case pi < len(p) && p[pi] == '*':
+			star = pi
+			starSi = si
+			pi++
+		case star >= 0:
+			pi = star + 1
+			starSi++
+			si = starSi
+		default:
+			return false
+		}
+	}
+	for pi < len(p) && p[pi] == '*' {
+		pi++
+	}
+	return pi == len(p)
+}

@@ -1,0 +1,115 @@
+package wildcard
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMatchTable(t *testing.T) {
+	cases := []struct {
+		pattern, name string
+		want          bool
+	}{
+		{"", "", true},
+		{"", "x", false},
+		{"*", "", true},
+		{"*", "anything at all", true},
+		{"?", "x", true},
+		{"?", "", false},
+		{"?", "xy", false},
+		{"abc", "abc", true},
+		{"abc", "ABC", true}, // case-insensitive
+		{"abc", "abd", false},
+		{"?onclusion*", "Conclusion", true},
+		{"?onclusion*", "conclusions", true},
+		{"?onclusion*", "onclusion", false},
+		{"*Vision", "The Dataspace Vision", true},
+		{"*Vision", "Vision", true},
+		{"*Vision", "Visionary", false},
+		{"VLDB200?", "VLDB2006", true},
+		{"VLDB200?", "VLDB2016", false},
+		{"*.tex", "vldb 2006.tex", true},
+		{"*.tex", "notes.texx", false},
+		{"a*b*c", "abc", true},
+		{"a*b*c", "axxbyyc", true},
+		{"a*b*c", "acb", false},
+		{"**", "x", true},
+		{"*?*", "", false},
+		{"*?*", "x", true},
+		{"figure*", "figure", true},
+		{"figure*", "figures", true},
+		{"figure*", "fig", false},
+	}
+	for _, c := range cases {
+		if got := Match(c.pattern, c.name); got != c.want {
+			t.Errorf("Match(%q, %q) = %v, want %v", c.pattern, c.name, got, c.want)
+		}
+	}
+}
+
+func TestIsPattern(t *testing.T) {
+	if IsPattern("plain.tex") {
+		t.Error("plain name misdetected as pattern")
+	}
+	if !IsPattern("*.tex") || !IsPattern("?onclusion") {
+		t.Error("wildcards not detected")
+	}
+}
+
+// Property: every string matches itself, "*"+s, s+"*", and "*" alone;
+// replacing any single character with '?' still matches.
+func TestMatchIdentityQuick(t *testing.T) {
+	f := func(s string) bool {
+		// Strip metacharacters so s is a literal name.
+		s = strings.Map(func(r rune) rune {
+			if r == '*' || r == '?' {
+				return 'x'
+			}
+			return r
+		}, s)
+		if !Match(s, s) || !Match("*"+s, s) || !Match(s+"*", s) || !Match("*", s) {
+			return false
+		}
+		if len(s) > 0 {
+			runes := []rune(s)
+			runes[0] = '?'
+			if !Match(string(runes), s) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a match against a prefix pattern agrees with HasPrefix.
+func TestMatchPrefixQuick(t *testing.T) {
+	f := func(prefix, rest string) bool {
+		clean := func(s string) string {
+			return strings.Map(func(r rune) rune {
+				if r == '*' || r == '?' {
+					return 'y'
+				}
+				return r
+			}, strings.ToLower(s))
+		}
+		p, r := clean(prefix), clean(rest)
+		return Match(p+"*", p+r)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMatchLowered(t *testing.T) {
+	if !MatchLowered("a*c", "abc") {
+		t.Error("lowered match failed")
+	}
+	// MatchLowered does not fold case — that is the caller's job.
+	if MatchLowered("abc", "ABC") {
+		t.Error("MatchLowered should not fold case")
+	}
+}

@@ -1,0 +1,41 @@
+package xmlkit
+
+import (
+	"strings"
+	"testing"
+)
+
+func benchDoc() string {
+	var b strings.Builder
+	b.WriteString("<dataset>")
+	for i := 0; i < 200; i++ {
+		b.WriteString(`<record id="1" kind="bench"><title>some title</title><body>body text here</body></record>`)
+	}
+	b.WriteString("</dataset>")
+	return b.String()
+}
+
+func BenchmarkParse(b *testing.B) {
+	src := benchDoc()
+	b.SetBytes(int64(len(src)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseString(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkToViews(b *testing.B) {
+	doc, err := ParseString(benchDoc())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ToViews(doc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,254 @@
+// Package xmlkit instantiates the XML data model in iDM (§3.3 of the
+// paper). It parses XML into a small information-set tree (document,
+// element, attribute, character information items — the core subset the
+// paper covers) and converts that tree into a resource view graph
+// following the xmldoc / xmlelem / xmltext resource view classes of
+// Table 1: element attributes become the τ component, character data
+// becomes xmltext views with the characters in the χ component, and the
+// ordered children become the group sequence Q.
+package xmlkit
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// NodeKind discriminates infoset items.
+type NodeKind int
+
+// Infoset item kinds.
+const (
+	// KindDocument is the document information item.
+	KindDocument NodeKind = iota
+	// KindElement is an element information item.
+	KindElement
+	// KindText is a character information item run.
+	KindText
+)
+
+// Node is one information item of a parsed XML document.
+type Node struct {
+	Kind NodeKind
+	// Name is the element name (elements only).
+	Name string
+	// Attrs are the element's attributes in document order.
+	Attrs []Attr
+	// Text is the character data (text nodes only).
+	Text string
+	// Children are the ordered child items (document and elements).
+	Children []*Node
+}
+
+// Attr is one attribute information item.
+type Attr struct {
+	Name  string
+	Value string
+}
+
+// ParseError reports malformed XML input.
+type ParseError struct {
+	Err error
+}
+
+func (e *ParseError) Error() string { return fmt.Sprintf("xmlkit: parse: %v", e.Err) }
+func (e *ParseError) Unwrap() error { return e.Err }
+
+// Parse reads an XML document into an infoset tree rooted at a document
+// item. Whitespace-only text runs between elements are dropped;
+// CDATA and character data inside elements are preserved.
+func Parse(r io.Reader) (*Node, error) {
+	dec := xml.NewDecoder(r)
+	doc := &Node{Kind: KindDocument}
+	stack := []*Node{doc}
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, &ParseError{err}
+		}
+		top := stack[len(stack)-1]
+		switch t := tok.(type) {
+		case xml.StartElement:
+			el := &Node{Kind: KindElement, Name: t.Name.Local}
+			for _, a := range t.Attr {
+				el.Attrs = append(el.Attrs, Attr{Name: a.Name.Local, Value: a.Value})
+			}
+			top.Children = append(top.Children, el)
+			stack = append(stack, el)
+		case xml.EndElement:
+			if len(stack) == 1 {
+				return nil, &ParseError{fmt.Errorf("unexpected end element %q", t.Name.Local)}
+			}
+			stack = stack[:len(stack)-1]
+		case xml.CharData:
+			text := string(t)
+			if strings.TrimSpace(text) == "" {
+				continue
+			}
+			top.Children = append(top.Children, &Node{Kind: KindText, Text: text})
+		// Comments, directives and processing instructions are outside
+		// the core infoset subset the paper instantiates; skip them.
+		default:
+		}
+	}
+	if len(stack) != 1 {
+		return nil, &ParseError{fmt.Errorf("unclosed element %q", stack[len(stack)-1].Name)}
+	}
+	if rootCount := countElements(doc); rootCount == 0 {
+		return nil, &ParseError{fmt.Errorf("document has no root element")}
+	} else if rootCount > 1 {
+		return nil, &ParseError{fmt.Errorf("document has %d root elements", rootCount)}
+	}
+	return doc, nil
+}
+
+func countElements(doc *Node) int {
+	n := 0
+	for _, c := range doc.Children {
+		if c.Kind == KindElement {
+			n++
+		}
+	}
+	return n
+}
+
+// ParseString parses an XML document held in a string.
+func ParseString(s string) (*Node, error) { return Parse(strings.NewReader(s)) }
+
+// Root returns the root element of a document item.
+func (n *Node) Root() *Node {
+	if n.Kind != KindDocument {
+		return nil
+	}
+	for _, c := range n.Children {
+		if c.Kind == KindElement {
+			return c
+		}
+	}
+	return nil
+}
+
+// Attr returns the value of the named attribute and whether it exists.
+func (n *Node) Attr(name string) (string, bool) {
+	for _, a := range n.Attrs {
+		if a.Name == name {
+			return a.Value, true
+		}
+	}
+	return "", false
+}
+
+// InnerText concatenates all character data beneath n in document order.
+func (n *Node) InnerText() string {
+	var b strings.Builder
+	var rec func(*Node)
+	rec = func(m *Node) {
+		if m.Kind == KindText {
+			b.WriteString(m.Text)
+			return
+		}
+		for _, c := range m.Children {
+			rec(c)
+		}
+	}
+	rec(n)
+	return b.String()
+}
+
+// CountNodes returns the number of element and text items in the tree
+// (excluding the document item itself). This is the number of resource
+// views ToViews derives from the document, minus one for the xmldoc view.
+func CountNodes(n *Node) int {
+	count := 0
+	var rec func(*Node)
+	rec = func(m *Node) {
+		if m.Kind != KindDocument {
+			count++
+		}
+		for _, c := range m.Children {
+			rec(c)
+		}
+	}
+	rec(n)
+	return count
+}
+
+// ToViews converts a parsed document item into an iDM resource view graph
+// per §3.3: the result is an xmldoc view whose group sequence holds the
+// root xmlelem view. Element attributes populate τ (all attribute values
+// are string-domain), character data populates xmltext views' χ, and
+// element children populate the group sequence Q in document order.
+func ToViews(doc *Node) (core.ResourceView, error) {
+	if doc == nil || doc.Kind != KindDocument {
+		return nil, fmt.Errorf("xmlkit: ToViews requires a document item")
+	}
+	root := doc.Root()
+	if root == nil {
+		return nil, fmt.Errorf("xmlkit: document has no root element")
+	}
+	rootView := elementToView(root)
+	docView := &core.StaticView{
+		VClass: core.ClassXMLDoc,
+		VGroup: core.SeqGroup(rootView),
+	}
+	return docView, nil
+}
+
+func elementToView(el *Node) core.ResourceView {
+	v := core.NewView(el.Name, core.ClassXMLElem)
+	if len(el.Attrs) > 0 {
+		schema := make(core.Schema, len(el.Attrs))
+		tuple := make(core.Tuple, len(el.Attrs))
+		for i, a := range el.Attrs {
+			schema[i] = core.Attribute{Name: a.Name, Domain: core.DomainString}
+			tuple[i] = core.String(a.Value)
+		}
+		v.VTuple = core.TupleComponent{Schema: schema, Tuple: tuple}
+	}
+	if len(el.Children) > 0 {
+		children := make([]core.ResourceView, 0, len(el.Children))
+		for _, c := range el.Children {
+			switch c.Kind {
+			case KindElement:
+				children = append(children, elementToView(c))
+			case KindText:
+				children = append(children, (&core.StaticView{
+					VClass: core.ClassXMLText,
+				}).WithContent(core.StringContent(c.Text)))
+			}
+		}
+		v.VGroup = core.SeqGroup(children...)
+	}
+	return v
+}
+
+// LazyDocView wraps raw XML bytes as a lazy xmldoc resource view: the
+// document is parsed only when the group component is first requested,
+// implementing the lazy conversion of §4.1 ("the subgraph representing
+// the contents ... may be transformed to an iDM graph if a user requests
+// that information"). Parse errors surface as an empty group.
+func LazyDocView(raw []byte, onErr func(error)) core.ResourceView {
+	return &core.LazyView{
+		VClass: core.ClassXMLDoc,
+		GroupFn: func() core.Group {
+			doc, err := Parse(strings.NewReader(string(raw)))
+			if err != nil {
+				if onErr != nil {
+					onErr(err)
+				}
+				return core.EmptyGroup()
+			}
+			root := doc.Root()
+			if root == nil {
+				return core.EmptyGroup()
+			}
+			return core.SeqGroup(elementToView(root))
+		},
+	}
+}

@@ -1,0 +1,238 @@
+package xmlkit
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+)
+
+// paperFragment is the ActiveXML-style fragment of §4.3.1.
+const paperFragment = `<dep>
+  <sc>web.server.com/GetDepartments()</sc>
+  <deplist>
+    <entry name="acct"><name>Accounting</name></entry>
+  </deplist>
+</dep>`
+
+func TestParseStructure(t *testing.T) {
+	doc, err := ParseString(paperFragment)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := doc.Root()
+	if root == nil || root.Name != "dep" {
+		t.Fatalf("root = %+v", root)
+	}
+	if len(root.Children) != 2 {
+		t.Fatalf("dep has %d children, want 2", len(root.Children))
+	}
+	sc := root.Children[0]
+	if sc.Name != "sc" || sc.InnerText() != "web.server.com/GetDepartments()" {
+		t.Errorf("sc = %+v", sc)
+	}
+	entry := root.Children[1].Children[0]
+	if v, ok := entry.Attr("name"); !ok || v != "acct" {
+		t.Errorf("entry attr = %q, %v", v, ok)
+	}
+	if _, ok := entry.Attr("missing"); ok {
+		t.Error("phantom attribute found")
+	}
+}
+
+func TestParseDropsWhitespaceText(t *testing.T) {
+	doc, err := ParseString("<a>\n  <b>x</b>\n</a>")
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := doc.Root()
+	if len(root.Children) != 1 {
+		t.Errorf("root children = %d, want 1 (whitespace dropped)", len(root.Children))
+	}
+}
+
+func TestParsePreservesMixedContent(t *testing.T) {
+	doc, err := ParseString("<p>hello <b>bold</b> world</p>")
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := doc.Root()
+	if len(root.Children) != 3 {
+		t.Fatalf("mixed content children = %d, want 3", len(root.Children))
+	}
+	if root.InnerText() != "hello bold world" {
+		t.Errorf("InnerText = %q", root.InnerText())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, bad := range []string{
+		"",
+		"<a>",
+		"<a></b>",
+		"text only",
+		"<a/><b/>",
+	} {
+		if _, err := ParseString(bad); err == nil {
+			t.Errorf("Parse(%q) accepted malformed input", bad)
+		}
+	}
+}
+
+func TestParseErrorType(t *testing.T) {
+	_, err := ParseString("<a>")
+	var pe *ParseError
+	if !asParseError(err, &pe) {
+		t.Errorf("err %T is not *ParseError", err)
+	}
+}
+
+func asParseError(err error, target **ParseError) bool {
+	for err != nil {
+		if pe, ok := err.(*ParseError); ok {
+			*target = pe
+			return true
+		}
+		u, ok := err.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		err = u.Unwrap()
+	}
+	return false
+}
+
+func TestCountNodes(t *testing.T) {
+	doc, _ := ParseString(paperFragment)
+	// dep, sc, sc-text, deplist, entry, name, name-text = 7
+	if n := CountNodes(doc); n != 7 {
+		t.Errorf("CountNodes = %d, want 7", n)
+	}
+}
+
+func TestToViewsClassesAndShape(t *testing.T) {
+	doc, _ := ParseString(paperFragment)
+	dv, err := ToViews(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dv.Class() != core.ClassXMLDoc || dv.Name() != "" {
+		t.Errorf("doc view class=%q name=%q", dv.Class(), dv.Name())
+	}
+	seq, _ := core.CollectViews(dv.Group().Seq, 0)
+	if len(seq) != 1 {
+		t.Fatalf("doc group Q has %d views, want 1 (root)", len(seq))
+	}
+	root := seq[0]
+	if root.Name() != "dep" || root.Class() != core.ClassXMLElem {
+		t.Errorf("root view name=%q class=%q", root.Name(), root.Class())
+	}
+	children, _ := core.CollectIter(root.Group().Iter(), 0)
+	if len(children) != 2 {
+		t.Fatalf("dep has %d child views", len(children))
+	}
+	// Attributes land in τ.
+	entrySeq, _ := core.CollectViews(children[1].Group().Seq, 0)
+	entry := entrySeq[0]
+	if v, ok := entry.Tuple().Get("name"); !ok || v.Str != "acct" {
+		t.Errorf("entry τ attr = %v, %v", v, ok)
+	}
+	// The whole graph conforms to the standard registry classes.
+	reg := core.StandardRegistry()
+	err = core.Walk(dv, core.WalkOptions{MaxDepth: -1}, func(v core.ResourceView, _ int) error {
+		if v.Class() == "" {
+			t.Errorf("view %q has no class", core.NameOf(v))
+			return nil
+		}
+		return reg.Conforms(v, v.Class(), 0)
+	})
+	if err != nil {
+		t.Errorf("conformance walk: %v", err)
+	}
+}
+
+func TestToViewsTextContent(t *testing.T) {
+	doc, _ := ParseString("<name>Accounting</name>")
+	dv, _ := ToViews(doc)
+	seq, _ := core.CollectViews(dv.Group().Seq, 0)
+	elemChildren, _ := core.CollectViews(seq[0].Group().Seq, 0)
+	if len(elemChildren) != 1 {
+		t.Fatalf("children = %d", len(elemChildren))
+	}
+	text := elemChildren[0]
+	if text.Class() != core.ClassXMLText {
+		t.Errorf("class = %q", text.Class())
+	}
+	b, _ := core.ReadAllContent(text.Content(), 0)
+	if string(b) != "Accounting" {
+		t.Errorf("χ = %q", b)
+	}
+}
+
+func TestToViewsRequiresDocument(t *testing.T) {
+	if _, err := ToViews(nil); err == nil {
+		t.Error("nil accepted")
+	}
+	if _, err := ToViews(&Node{Kind: KindElement, Name: "a"}); err == nil {
+		t.Error("element item accepted as document")
+	}
+}
+
+func TestLazyDocView(t *testing.T) {
+	v := LazyDocView([]byte("<a><b>x</b></a>"), nil)
+	if v.Class() != core.ClassXMLDoc {
+		t.Errorf("class = %q", v.Class())
+	}
+	seq, _ := core.CollectViews(v.Group().Seq, 0)
+	if len(seq) != 1 || seq[0].Name() != "a" {
+		t.Fatalf("lazy root = %v", seq)
+	}
+}
+
+func TestLazyDocViewMalformed(t *testing.T) {
+	var captured error
+	v := LazyDocView([]byte("<unclosed"), func(err error) { captured = err })
+	if !v.Group().IsEmpty() {
+		t.Error("malformed XML should yield empty group")
+	}
+	if captured == nil {
+		t.Error("error callback not invoked")
+	}
+}
+
+// Property: for generated nested documents, the number of views reachable
+// from the xmldoc view equals CountNodes + 1.
+func TestViewCountMatchesNodeCountQuick(t *testing.T) {
+	f := func(depth, width uint8) bool {
+		d := int(depth%4) + 1
+		w := int(width%3) + 1
+		var build func(level int) string
+		build = func(level int) string {
+			if level == 0 {
+				return "leaf"
+			}
+			var b strings.Builder
+			for i := 0; i < w; i++ {
+				b.WriteString("<n>")
+				b.WriteString(build(level - 1))
+				b.WriteString("</n>")
+			}
+			return b.String()
+		}
+		src := "<root>" + build(d) + "</root>"
+		doc, err := ParseString(src)
+		if err != nil {
+			return false
+		}
+		dv, err := ToViews(doc)
+		if err != nil {
+			return false
+		}
+		n, err := core.CountReachable(dv, core.WalkOptions{MaxDepth: -1})
+		return err == nil && n == CountNodes(doc)+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

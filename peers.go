@@ -1,0 +1,119 @@
+package idm
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Federation queries multiple PDSMS instances as one logical dataspace —
+// the "networks of P2P iMeMex instances" the paper's conclusion plans.
+// Each peer keeps its own sources, catalog and indexes; a federated
+// query fans out to every peer concurrently and merges the results,
+// tagging each row with the peer it came from.
+type Federation struct {
+	mu    sync.RWMutex
+	peers map[string]*System
+	order []string
+}
+
+// NewFederation returns an empty federation.
+func NewFederation() *Federation {
+	return &Federation{peers: make(map[string]*System)}
+}
+
+// AddPeer registers a peer system under a unique name.
+func (f *Federation) AddPeer(name string, sys *System) error {
+	if name == "" || sys == nil {
+		return fmt.Errorf("idm: federation peer needs a name and a system")
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, dup := f.peers[name]; dup {
+		return fmt.Errorf("idm: peer %q already registered", name)
+	}
+	f.peers[name] = sys
+	f.order = append(f.order, name)
+	sort.Strings(f.order)
+	return nil
+}
+
+// Peers lists peer names in sorted order.
+func (f *Federation) Peers() []string {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return append([]string(nil), f.order...)
+}
+
+// FedRow is one federated result row with its origin peer.
+type FedRow struct {
+	Peer string
+	Row  Row
+}
+
+// FedResult is a merged federated query result.
+type FedResult struct {
+	Columns []string
+	Rows    []FedRow
+	// Errors records peers that failed, by name; a federation degrades
+	// gracefully when individual peers are unreachable or reject the
+	// query.
+	Errors map[string]error
+}
+
+// Count returns the number of merged rows.
+func (r *FedResult) Count() int { return len(r.Rows) }
+
+// Query evaluates q on every peer concurrently and merges the rows,
+// ordered by peer name then by the peers' own row order. Per-peer
+// failures are collected in Errors rather than failing the federation;
+// the call errors only when every peer fails.
+func (f *Federation) Query(q string) (*FedResult, error) {
+	f.mu.RLock()
+	names := append([]string(nil), f.order...)
+	peers := make([]*System, len(names))
+	for i, n := range names {
+		peers[i] = f.peers[n]
+	}
+	f.mu.RUnlock()
+	if len(names) == 0 {
+		return nil, fmt.Errorf("idm: federation has no peers")
+	}
+
+	type answer struct {
+		res *Result
+		err error
+	}
+	answers := make([]answer, len(names))
+	var wg sync.WaitGroup
+	for i := range names {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := peers[i].Query(q)
+			answers[i] = answer{res: res, err: err}
+		}(i)
+	}
+	wg.Wait()
+
+	out := &FedResult{Errors: make(map[string]error)}
+	failures := 0
+	for i, name := range names {
+		if answers[i].err != nil {
+			out.Errors[name] = answers[i].err
+			failures++
+			continue
+		}
+		res := answers[i].res
+		if out.Columns == nil {
+			out.Columns = res.Columns
+		}
+		for _, row := range res.Rows {
+			out.Rows = append(out.Rows, FedRow{Peer: name, Row: row})
+		}
+	}
+	if failures == len(names) {
+		return nil, fmt.Errorf("idm: all %d peers failed, first error: %w", failures, out.Errors[names[0]])
+	}
+	return out, nil
+}

@@ -1,0 +1,125 @@
+package idm_test
+
+import (
+	"strings"
+	"testing"
+
+	idm "repro"
+)
+
+// newPeer builds a small indexed system whose one file contains marker.
+func newPeer(t *testing.T, marker string) *idm.System {
+	t.Helper()
+	fs := idm.NewFileSystem()
+	fs.MkdirAll("/docs")
+	fs.WriteFile("/docs/note.txt", []byte("shared federated text plus "+marker))
+	sys := idm.Open(idm.Config{Now: fixedNow})
+	if err := sys.AddFileSystem("filesystem", fs); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Index(); err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestFederationMergesPeers(t *testing.T) {
+	fed := idm.NewFederation()
+	if err := fed.AddPeer("laptop", newPeer(t, "laptopmarker")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fed.AddPeer("desktop", newPeer(t, "desktopmarker")); err != nil {
+		t.Fatal(err)
+	}
+	res, err := fed.Query(`"shared federated text"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count() != 2 {
+		t.Fatalf("rows = %d", res.Count())
+	}
+	peers := map[string]bool{}
+	for _, r := range res.Rows {
+		peers[r.Peer] = true
+		if r.Row[0].Name != "note.txt" {
+			t.Errorf("row item = %+v", r.Row[0])
+		}
+	}
+	if !peers["laptop"] || !peers["desktop"] {
+		t.Errorf("peers = %v", peers)
+	}
+	// Rows arrive peer-sorted.
+	if res.Rows[0].Peer != "desktop" {
+		t.Errorf("first peer = %q", res.Rows[0].Peer)
+	}
+	if len(res.Errors) != 0 {
+		t.Errorf("errors = %v", res.Errors)
+	}
+}
+
+func TestFederationPeerLocalResults(t *testing.T) {
+	fed := idm.NewFederation()
+	fed.AddPeer("a", newPeer(t, "onlyona"))
+	fed.AddPeer("b", newPeer(t, "onlyonb"))
+	res, err := fed.Query(`"onlyona"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count() != 1 || res.Rows[0].Peer != "a" {
+		t.Errorf("rows = %+v", res.Rows)
+	}
+}
+
+func TestFederationDuplicateAndEmpty(t *testing.T) {
+	fed := idm.NewFederation()
+	sys := newPeer(t, "x")
+	if err := fed.AddPeer("p", sys); err != nil {
+		t.Fatal(err)
+	}
+	if err := fed.AddPeer("p", sys); err == nil {
+		t.Error("duplicate peer accepted")
+	}
+	if err := fed.AddPeer("", sys); err == nil {
+		t.Error("empty peer name accepted")
+	}
+	empty := idm.NewFederation()
+	if _, err := empty.Query(`"x"`); err == nil {
+		t.Error("empty federation answered")
+	}
+	if got := fed.Peers(); len(got) != 1 || got[0] != "p" {
+		t.Errorf("peers = %v", got)
+	}
+}
+
+func TestFederationAllPeersFail(t *testing.T) {
+	fed := idm.NewFederation()
+	fed.AddPeer("a", newPeer(t, "x"))
+	if _, err := fed.Query(`//bad[`); err == nil {
+		t.Error("universally failing query did not error")
+	} else if !strings.Contains(err.Error(), "peers failed") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestQueryRankedFacade(t *testing.T) {
+	fs := idm.NewFileSystem()
+	fs.MkdirAll("/d")
+	fs.WriteFile("/d/many.txt", []byte("idm idm idm idm"))
+	fs.WriteFile("/d/few.txt", []byte("idm once"))
+	sys := idm.Open(idm.Config{Now: fixedNow})
+	sys.AddFileSystem("filesystem", fs)
+	sys.Index()
+	res, err := sys.QueryRanked(`"idm"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Scores) != res.Count() || res.Count() != 2 {
+		t.Fatalf("scores=%v count=%d", res.Scores, res.Count())
+	}
+	if res.Rows[0][0].Name != "many.txt" || res.Scores[0] != 4 {
+		t.Errorf("top = %+v score %v", res.Rows[0][0], res.Scores[0])
+	}
+	if res.Scores[1] != 1 {
+		t.Errorf("second score = %v", res.Scores[1])
+	}
+}

@@ -1,0 +1,55 @@
+package idm_test
+
+import (
+	"testing"
+
+	idm "repro"
+)
+
+// TestScaleProportionality indexes the synthetic dataset at two scales
+// and checks that the Table 2 shape is preserved while counts grow
+// roughly linearly. Skipped under -short.
+func TestScaleProportionality(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale sweep skipped in -short mode")
+	}
+	breakdown := func(scale float64) (fs, email idm.SourceBreakdown) {
+		d := idm.GenerateDataset(idm.DatasetConfig{Scale: scale, Seed: 42})
+		sys, err := idm.OpenDataset(d, idm.Config{Now: fixedNow})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sys.Index(); err != nil {
+			t.Fatal(err)
+		}
+		return sys.Breakdown("filesystem"), sys.Breakdown("email")
+	}
+	smallFS, smallEmail := breakdown(0.04)
+	bigFS, bigEmail := breakdown(0.16)
+
+	// Growth: 4x scale should give roughly 2.5x-6x the views (the
+	// always-planted items damp small scales).
+	fsRatio := float64(bigFS.Total) / float64(smallFS.Total)
+	if fsRatio < 2 || fsRatio > 8 {
+		t.Errorf("fs growth ratio = %.2f (small %d, big %d)", fsRatio, smallFS.Total, bigFS.Total)
+	}
+	emailRatio := float64(bigEmail.Total) / float64(smallEmail.Total)
+	if emailRatio < 2 || emailRatio > 8 {
+		t.Errorf("email growth ratio = %.2f", emailRatio)
+	}
+	// Shape at both scales: filesystem derived > base; email derived < base.
+	for _, b := range []idm.SourceBreakdown{smallFS, bigFS} {
+		if b.DerivedXML+b.DerivedLatex <= b.Base {
+			t.Errorf("fs derived %d <= base %d at %s", b.DerivedXML+b.DerivedLatex, b.Base, b.Source)
+		}
+	}
+	for _, b := range []idm.SourceBreakdown{smallEmail, bigEmail} {
+		if b.DerivedXML+b.DerivedLatex >= b.Base {
+			t.Errorf("email derived %d >= base %d", b.DerivedXML+b.DerivedLatex, b.Base)
+		}
+	}
+	// Paper-shape ratio: XML-derived views outnumber LaTeX-derived.
+	if bigFS.DerivedXML <= bigFS.DerivedLatex {
+		t.Errorf("xml %d <= latex %d", bigFS.DerivedXML, bigFS.DerivedLatex)
+	}
+}

@@ -1,0 +1,90 @@
+package idm_test
+
+import (
+	"testing"
+
+	idm "repro"
+	"repro/internal/core"
+	"repro/internal/rss"
+)
+
+func relSystem(t *testing.T) *idm.System {
+	t.Helper()
+	db := idm.NewRelDB("persdb")
+	schema := core.Schema{
+		{Name: "title", Domain: core.DomainString},
+		{Name: "venue", Domain: core.DomainString},
+		{Name: "year", Domain: core.DomainInt},
+	}
+	if _, err := db.CreateRelation("publications", schema); err != nil {
+		t.Fatal(err)
+	}
+	rows := []core.Tuple{
+		{core.String("iDM"), core.String("VLDB"), core.Int(2006)},
+		{core.String("iMeMex demo"), core.String("VLDB"), core.Int(2005)},
+		{core.String("AGILE"), core.String("SIGMOD"), core.Int(2005)},
+	}
+	for _, r := range rows {
+		if err := db.Insert("publications", r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sys := idm.Open(idm.Config{Now: fixedNow})
+	if err := sys.AddRelational("reldb", db); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Index(); err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestIQLOverRelationalSource(t *testing.T) {
+	sys := relSystem(t)
+	// Tuple views carry (W, T); attribute predicates work on them.
+	res, err := sys.Query(`//publications/[year > 2005]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count() != 1 {
+		t.Fatalf("year > 2005: %d results", res.Count())
+	}
+	if res.Items[0].Class != "tuple" {
+		t.Errorf("class = %q", res.Items[0].Class)
+	}
+	// Class predicates reach relations and the database view.
+	res, err = sys.Query(`//[class="relation"]`)
+	if err != nil || res.Count() != 1 {
+		t.Fatalf("relations: %v (%d)", err, res.Count())
+	}
+	res, err = sys.Query(`//[class="tuple" and venue = "VLDB"]`)
+	if err != nil || res.Count() != 2 {
+		t.Fatalf("VLDB tuples: %v (%d)", err, res.Count())
+	}
+}
+
+func TestIQLOverRSSSource(t *testing.T) {
+	srv := idm.NewRSSServer()
+	srv.Publish("dbnews", rss.Item{Title: "iDM accepted at VLDB", Description: "unified dataspace model"})
+	srv.Publish("dbnews", rss.Item{Title: "Dataspaces tutorial", Description: "Franklin Halevy Maier"})
+	sys := idm.Open(idm.Config{Now: fixedNow})
+	if err := sys.AddRSS("rss", srv, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Index(); err != nil {
+		t.Fatal(err)
+	}
+	// Feed items are xmldoc/xmlelem subgraphs; their text is indexed.
+	res, err := sys.Query(`"unified dataspace model"`)
+	if err != nil || res.Count() == 0 {
+		t.Fatalf("feed text: %v (%d)", err, res.Count())
+	}
+	// Element names are queryable as path steps.
+	res, err = sys.Query(`//dbnews//item`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count() != 2 {
+		t.Fatalf("items = %d", res.Count())
+	}
+}

@@ -1,0 +1,138 @@
+package idm_test
+
+import (
+	"testing"
+	"time"
+
+	idm "repro"
+)
+
+func drain(sub *idm.Subscription) []idm.Item {
+	var out []idm.Item
+	for {
+		select {
+		case it := <-sub.C:
+			out = append(out, it)
+		default:
+			return out
+		}
+	}
+}
+
+func TestSubscribeDeliversMatchesDuringIndexing(t *testing.T) {
+	fs := idm.NewFileSystem()
+	fs.MkdirAll("/d")
+	fs.WriteFile("/d/hit.txt", []byte("urgent deadline tomorrow"))
+	fs.WriteFile("/d/miss.txt", []byte("nothing to see"))
+	sys := idm.Open(idm.Config{Now: fixedNow})
+	sys.AddFileSystem("filesystem", fs)
+
+	sub, err := sys.Subscribe(`"urgent deadline"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Stop()
+	if _, err := sys.Index(); err != nil {
+		t.Fatal(err)
+	}
+	got := drain(sub)
+	if len(got) != 1 || got[0].Name != "hit.txt" {
+		t.Fatalf("delivered %+v", got)
+	}
+}
+
+func TestSubscribeSeesOnlyNewChanges(t *testing.T) {
+	fs := idm.NewFileSystem()
+	fs.MkdirAll("/d")
+	fs.WriteFile("/d/old.txt", []byte("alert existing"))
+	sys := idm.Open(idm.Config{Now: fixedNow})
+	sys.AddFileSystem("filesystem", fs)
+	sys.Index()
+
+	sub, err := sys.Subscribe(`"alert"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Stop()
+
+	// Resync with no changes: nothing delivered (unchanged views are
+	// not re-pushed).
+	sys.Index()
+	if got := drain(sub); len(got) != 0 {
+		t.Fatalf("unchanged resync delivered %+v", got)
+	}
+
+	// A new matching file arrives.
+	fs.WriteFile("/d/new.txt", []byte("alert fresh"))
+	sys.Index()
+	got := drain(sub)
+	if len(got) != 1 || got[0].Name != "new.txt" {
+		t.Fatalf("delivered %+v", got)
+	}
+
+	// An update to the old file re-triggers.
+	time.Sleep(time.Millisecond) // ensure a later mtime
+	fs.WriteFile("/d/old.txt", []byte("alert changed now"))
+	sys.Index()
+	got = drain(sub)
+	if len(got) != 1 || got[0].Name != "old.txt" {
+		t.Fatalf("update delivered %+v", got)
+	}
+}
+
+func TestSubscribeClassAndAttributeFilter(t *testing.T) {
+	fs := idm.NewFileSystem()
+	fs.MkdirAll("/d")
+	fs.WriteFile("/d/p.tex", []byte("\\section{Results}\nthe numbers"))
+	fs.WriteFile("/d/big.txt", []byte(string(make([]byte, 5000))))
+	sys := idm.Open(idm.Config{Now: fixedNow})
+	sys.AddFileSystem("filesystem", fs)
+
+	secs, err := sys.Subscribe(`[class="latex_section"]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer secs.Stop()
+	big, err := sys.Subscribe(`[size > 4200 and name = "*.txt"]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer big.Stop()
+	sys.Index()
+
+	if got := drain(secs); len(got) != 1 || got[0].Name != "Results" {
+		t.Errorf("class filter delivered %+v", got)
+	}
+	if got := drain(big); len(got) != 1 || got[0].Name != "big.txt" {
+		t.Errorf("attribute filter delivered %+v", got)
+	}
+}
+
+func TestSubscribeStop(t *testing.T) {
+	fs := idm.NewFileSystem()
+	fs.MkdirAll("/d")
+	sys := idm.Open(idm.Config{Now: fixedNow})
+	sys.AddFileSystem("filesystem", fs)
+	sub, err := sys.Subscribe(`"match me"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub.Stop()
+	fs.WriteFile("/d/x.txt", []byte("match me later"))
+	sys.Index()
+	if got := drain(sub); len(got) != 0 {
+		t.Errorf("stopped subscription delivered %+v", got)
+	}
+}
+
+func TestSubscribeRejectsNonPredicates(t *testing.T) {
+	sys := idm.Open(idm.Config{Now: fixedNow})
+	for _, q := range []string{`//a//b`, `union( //a, //b )`, `delete //a`} {
+		if _, err := sys.Subscribe(q); err == nil {
+			t.Errorf("Subscribe(%q) accepted", q)
+		}
+	}
+	if _, err := sys.Subscribe(`//bad[`); err == nil {
+		t.Error("syntax error accepted")
+	}
+}
