@@ -1,0 +1,21 @@
+GO ?= go
+
+.PHONY: check test build vet bench-iql
+
+# Full verification: vet + build + race-enabled tests.
+check:
+	sh scripts/check.sh
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Regenerate BENCH_iql.json (serial vs parallel engine microbenchmark;
+# schema_version 1, see internal/experiments.BenchReport).
+bench-iql:
+	$(GO) run ./cmd/idmbench -exp iql -scale 0.05 -runs 10 -parallelism 8 -json BENCH_iql.json

@@ -142,7 +142,7 @@ func BenchmarkFigure6_QueryResponseTimes(b *testing.B) {
 			b.Fatal(err)
 		}
 		b.Run(q.ID, func(b *testing.B) {
-			var inter int
+			var inter int64
 			for i := 0; i < b.N; i++ {
 				res, err := engine.Query(q.IQL)
 				if err != nil {
@@ -183,7 +183,7 @@ func BenchmarkAblation_ExpansionStrategy(b *testing.B) {
 		exp := exp
 		b.Run(exp.String(), func(b *testing.B) {
 			engine := s.Engine(exp)
-			var inter int
+			var inter int64
 			for i := 0; i < b.N; i++ {
 				res, err := engine.Query(q)
 				if err != nil {

@@ -9,9 +9,10 @@ import "sync"
 type queryCache struct {
 	mu      sync.Mutex
 	entries map[string]cacheEntry
-	cap     int
-	hits    int64
-	misses  int64
+	cap       int
+	hits      int64
+	misses    int64
+	evictions int64
 }
 
 type cacheEntry struct {
@@ -47,6 +48,7 @@ func (c *queryCache) put(query string, version uint64, res *Result) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if len(c.entries) >= c.cap {
+		c.evictions += int64(len(c.entries))
 		c.entries = make(map[string]cacheEntry, c.cap)
 	}
 	c.entries[query] = cacheEntry{version: version, res: res}
@@ -57,10 +59,14 @@ type CacheStats struct {
 	Hits   int64
 	Misses int64
 	Size   int
+	// Evictions counts entries dropped by wholesale clears: the cache
+	// evicts everything at once when full, so this grows in steps of
+	// the capacity reached.
+	Evictions int64
 }
 
 func (c *queryCache) stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return CacheStats{Hits: c.hits, Misses: c.misses, Size: len(c.entries)}
+	return CacheStats{Hits: c.hits, Misses: c.misses, Size: len(c.entries), Evictions: c.evictions}
 }

@@ -1,0 +1,42 @@
+package idm
+
+import "testing"
+
+// TestQueryCacheWholesaleClear exercises the eviction path: when the
+// cache reaches capacity, put clears it wholesale and records every
+// dropped entry as an eviction.
+func TestQueryCacheWholesaleClear(t *testing.T) {
+	c := newQueryCache(4)
+	res := &Result{}
+	for _, q := range []string{"a", "b", "c", "d"} {
+		c.put(q, 1, res)
+	}
+	st := c.stats()
+	if st.Size != 4 || st.Evictions != 0 {
+		t.Fatalf("before clear: size=%d evictions=%d", st.Size, st.Evictions)
+	}
+	// The fifth insert finds the cache full, clears all four entries,
+	// then stores itself.
+	c.put("e", 1, res)
+	st = c.stats()
+	if st.Evictions != 4 {
+		t.Errorf("evictions = %d, want 4", st.Evictions)
+	}
+	if st.Size != 1 {
+		t.Errorf("size after clear = %d, want 1", st.Size)
+	}
+	if _, ok := c.get("a", 1); ok {
+		t.Error("entry survived wholesale clear")
+	}
+	if r, ok := c.get("e", 1); !ok || r != res {
+		t.Error("triggering entry not cached")
+	}
+	// A second round of fills clears again; evictions accumulate.
+	for _, q := range []string{"f", "g", "h"} {
+		c.put(q, 1, res)
+	}
+	c.put("i", 1, res)
+	if st = c.stats(); st.Evictions != 8 {
+		t.Errorf("evictions after second clear = %d, want 8", st.Evictions)
+	}
+}

@@ -4,12 +4,17 @@
 //
 // Usage:
 //
-//	idmbench [-exp all|table2|table3|figure5|table4|figure6] [-scale 0.05] [-seed 42] [-runs 5]
+//	idmbench [-exp all|table2|table3|figure5|table4|figure6|iql] [-scale 0.05] [-seed 42] [-runs 5]
+//	         [-json BENCH_iql.json] [-parallelism N]
+//
+// -json writes the serial-vs-parallel iQL engine microbenchmark
+// (experiments.BenchReport, schema_version 1) to the given path.
 //
 // See EXPERIMENTS.md for the paper-vs-measured comparison.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -19,11 +24,13 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all|table2|table3|figure5|table4|figure6")
+	exp := flag.String("exp", "all", "experiment: all|table2|table3|figure5|table4|figure6|iql")
 	scale := flag.Float64("scale", 0.05, "dataset scale (1.0 = paper shape)")
 	seed := flag.Int64("seed", 42, "generator seed")
 	runs := flag.Int("runs", 5, "warm-cache repetitions per query (figure 6)")
 	expansion := flag.String("expansion", "forward", "path evaluation: forward|backward|auto")
+	jsonPath := flag.String("json", "", "write the serial-vs-parallel iQL benchmark report to this path")
+	parallelism := flag.Int("parallelism", 0, "engine worker count for the parallel half of -json (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	strategy := iql.ForwardExpansion
@@ -55,7 +62,8 @@ func main() {
 		}
 		fmt.Println(experiments.RenderFigure5(rows))
 	}
-	if want("table2") || want("table4") || want("figure6") {
+	wantBench := *jsonPath != "" || want("iql")
+	if want("table2") || want("table4") || want("figure6") || wantBench {
 		s, err := experiments.NewSetup(*scale, *seed, false)
 		if err != nil {
 			fail(err)
@@ -82,6 +90,26 @@ func main() {
 			}
 			if want("figure6") {
 				fmt.Println(experiments.RenderFigure6(rows))
+			}
+		}
+		if wantBench {
+			rep, err := experiments.BenchIQL(s, *runs, *parallelism)
+			if err != nil {
+				fail(err)
+			}
+			for _, q := range rep.Queries {
+				fmt.Printf("%-3s serial %10d ns/op  parallel(%d) %10d ns/op  speedup %.2fx  results %d\n",
+					q.ID, q.Serial.NsPerOp, rep.Parallelism, q.Parallel.NsPerOp, q.Speedup, q.Serial.Results)
+			}
+			if *jsonPath != "" {
+				data, err := json.MarshalIndent(rep, "", "  ")
+				if err != nil {
+					fail(err)
+				}
+				if err := os.WriteFile(*jsonPath, append(data, '\n'), 0o644); err != nil {
+					fail(err)
+				}
+				fmt.Printf("wrote %s\n", *jsonPath)
 			}
 		}
 	}

@@ -139,6 +139,10 @@ type Config struct {
 	ReplicateGroups *bool
 	// Expansion selects the path strategy (default Forward).
 	Expansion Expansion
+	// Parallelism sets the iQL engine's worker count (default
+	// runtime.GOMAXPROCS(0); 1 forces serial execution). Results are
+	// identical at any setting.
+	Parallelism int
 	// Now supplies the clock for iQL date functions (default time.Now).
 	Now func() time.Time
 	// MaxContentBytes bounds per-view content indexing (default 4 MiB).
@@ -165,6 +169,7 @@ type System struct {
 	engine     *iql.Engine
 	converters *convert.Registry
 	now        func() time.Time
+	par        int
 	cache      *queryCache // nil when disabled
 }
 
@@ -198,12 +203,17 @@ func open(cfg Config, cat *catalog.Catalog) *System {
 	if now == nil {
 		now = time.Now
 	}
-	engine := iql.NewEngine(mgr, iql.Options{Expansion: cfg.Expansion, Now: now})
+	engine := iql.NewEngine(mgr, iql.Options{
+		Expansion:   cfg.Expansion,
+		Now:         now,
+		Parallelism: cfg.Parallelism,
+	})
 	s := &System{
 		mgr:        mgr,
 		engine:     engine,
 		converters: convert.Default(),
 		now:        now,
+		par:        cfg.Parallelism,
 	}
 	if !cfg.DisableQueryCache {
 		s.cache = newQueryCache(0)
@@ -297,7 +307,7 @@ func (s *System) CacheStats() CacheStats {
 // QueryWith evaluates with an explicit expansion strategy, overriding
 // the system default for this query.
 func (s *System) QueryWith(q string, exp Expansion) (*Result, error) {
-	engine := iql.NewEngine(s.mgr, iql.Options{Expansion: exp, Now: s.now})
+	engine := iql.NewEngine(s.mgr, iql.Options{Expansion: exp, Now: s.now, Parallelism: s.par})
 	r, err := engine.Query(q)
 	if err != nil {
 		return nil, err
@@ -371,7 +381,7 @@ func (s *System) Delete(stmt string) (int, error) {
 // summed content-occurrence counts of the query's phrases. The result's
 // Scores align with Rows.
 func (s *System) QueryRanked(q string) (*Result, error) {
-	engine := iql.NewEngine(s.mgr, iql.Options{Now: s.now, Rank: true})
+	engine := iql.NewEngine(s.mgr, iql.Options{Now: s.now, Rank: true, Parallelism: s.par})
 	r, err := engine.Query(q)
 	if err != nil {
 		return nil, err
@@ -419,7 +429,7 @@ func (s *System) buildResult(r *iql.Result) *Result {
 	out := &Result{
 		Columns:       r.Columns,
 		Plan:          r.Plan.String(),
-		Intermediates: r.Plan.Intermediates,
+		Intermediates: int(r.Plan.Intermediates),
 	}
 	// Ancestors repeat heavily across the rows of one result; memoize
 	// path fragments while resolving it.

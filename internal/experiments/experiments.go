@@ -17,6 +17,7 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
 	"time"
@@ -39,6 +40,9 @@ import (
 type Setup struct {
 	Data *dataset.Dataset
 	Mgr  *rvm.Manager
+	// Scale and Seed echo the generation parameters for reports.
+	Scale float64
+	Seed  int64
 	// Report is filled by Index.
 	Report rvm.SyncReport
 }
@@ -78,7 +82,7 @@ func NewSetupWithOptions(scale float64, seed int64, withLatency bool, opts rvm.O
 			return nil, err
 		}
 	}
-	return &Setup{Data: d, Mgr: mgr}, nil
+	return &Setup{Data: d, Mgr: mgr, Scale: scale, Seed: seed}, nil
 }
 
 // Index runs the full synchronization (the measured phase of Figure 5).
@@ -92,9 +96,15 @@ func (s *Setup) Index() error {
 }
 
 // Engine returns an iQL engine over the setup with the given expansion
-// strategy.
+// strategy and the default worker count.
 func (s *Setup) Engine(exp iql.Expansion) *iql.Engine {
-	return iql.NewEngine(s.Mgr, iql.Options{Expansion: exp, Now: Clock})
+	return s.EngineWith(exp, 0)
+}
+
+// EngineWith returns an iQL engine with an explicit worker count
+// (1 = serial, 0 = runtime.GOMAXPROCS(0)).
+func (s *Setup) EngineWith(exp iql.Expansion, parallelism int) *iql.Engine {
+	return iql.NewEngine(s.Mgr, iql.Options{Expansion: exp, Now: Clock, Parallelism: parallelism})
 }
 
 // ---------------------------------------------------------------------
@@ -364,10 +374,15 @@ type QueryRow struct {
 // RunQueries evaluates the paper queries with warm-cache repetition,
 // producing Table 4 (counts) and Figure 6 (times) in one pass.
 func RunQueries(s *Setup, exp iql.Expansion, runs int) ([]QueryRow, error) {
+	return RunQueriesWith(s, exp, runs, 0)
+}
+
+// RunQueriesWith is RunQueries with an explicit engine worker count.
+func RunQueriesWith(s *Setup, exp iql.Expansion, runs, parallelism int) ([]QueryRow, error) {
 	if runs <= 0 {
 		runs = 5
 	}
-	engine := s.Engine(exp)
+	engine := s.EngineWith(exp, parallelism)
 	var rows []QueryRow
 	for _, q := range PaperQueries() {
 		// Warm-up run (also yields count and plan stats).
@@ -388,7 +403,7 @@ func RunQueries(s *Setup, exp iql.Expansion, runs int) ([]QueryRow, error) {
 			Results:       res.Count(),
 			Warm:          elapsed / time.Duration(runs),
 			Runs:          runs,
-			Intermediates: res.Plan.Intermediates,
+			Intermediates: int(res.Plan.Intermediates),
 			Note:          q.Note,
 		})
 	}
@@ -458,3 +473,106 @@ func ScanPhrase(m *rvm.Manager, phrase string) []catalog.OID {
 }
 
 func mb(b int64) float64 { return float64(b) / (1 << 20) }
+
+// ---------------------------------------------------------------------
+// BENCH_iql.json — serial vs parallel engine microbenchmark.
+// ---------------------------------------------------------------------
+
+// BenchMode holds the per-execution-mode numbers of one benchmark query.
+type BenchMode struct {
+	NsPerOp       int64 `json:"ns_per_op"`
+	AllocsPerOp   int64 `json:"allocs_per_op"`
+	Intermediates int64 `json:"intermediates"`
+	Results       int   `json:"results"`
+}
+
+// BenchQuery is one Table 4 query measured serial and parallel.
+type BenchQuery struct {
+	ID       string    `json:"id"`
+	IQL      string    `json:"iql"`
+	Serial   BenchMode `json:"serial"`
+	Parallel BenchMode `json:"parallel"`
+	// Speedup is serial ns/op over parallel ns/op (> 1 means the
+	// parallel engine won).
+	Speedup float64 `json:"speedup"`
+}
+
+// BenchReport is the stable schema of BENCH_iql.json. SchemaVersion
+// bumps on any incompatible change.
+type BenchReport struct {
+	SchemaVersion int          `json:"schema_version"`
+	Tool          string       `json:"tool"`
+	Scale         float64      `json:"scale"`
+	Seed          int64        `json:"seed"`
+	GOMAXPROCS    int          `json:"gomaxprocs"`
+	Parallelism   int          `json:"parallelism"`
+	Runs          int          `json:"runs"`
+	Queries       []BenchQuery `json:"queries"`
+}
+
+// measureEngine times runs repetitions of one query and derives per-op
+// allocation counts from the runtime's Mallocs counter.
+func measureEngine(e *iql.Engine, src string, runs int) (BenchMode, error) {
+	res, err := e.Query(src) // warm-up; also yields count and plan stats
+	if err != nil {
+		return BenchMode{}, err
+	}
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for i := 0; i < runs; i++ {
+		if _, err := e.Query(src); err != nil {
+			return BenchMode{}, err
+		}
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	return BenchMode{
+		NsPerOp:       elapsed.Nanoseconds() / int64(runs),
+		AllocsPerOp:   int64(after.Mallocs-before.Mallocs) / int64(runs),
+		Intermediates: res.Plan.Intermediates,
+		Results:       res.Count(),
+	}, nil
+}
+
+// BenchIQL measures every Table 4 query with the serial engine and with
+// a parallel engine of the given worker count (0 = GOMAXPROCS),
+// checking result equality between the two as it goes.
+func BenchIQL(s *Setup, runs, parallelism int) (*BenchReport, error) {
+	if runs <= 0 {
+		runs = 10
+	}
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	serial := s.EngineWith(iql.ForwardExpansion, 1)
+	par := s.EngineWith(iql.ForwardExpansion, parallelism)
+	rep := &BenchReport{
+		SchemaVersion: 1,
+		Tool:          "idmbench",
+		Scale:         s.Scale,
+		Seed:          s.Seed,
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		Parallelism:   parallelism,
+		Runs:          runs,
+	}
+	for _, q := range PaperQueries() {
+		sm, err := measureEngine(serial, q.IQL, runs)
+		if err != nil {
+			return nil, fmt.Errorf("%s serial: %w", q.ID, err)
+		}
+		pm, err := measureEngine(par, q.IQL, runs)
+		if err != nil {
+			return nil, fmt.Errorf("%s parallel: %w", q.ID, err)
+		}
+		if sm.Results != pm.Results {
+			return nil, fmt.Errorf("%s: serial found %d results, parallel %d", q.ID, sm.Results, pm.Results)
+		}
+		bq := BenchQuery{ID: q.ID, IQL: q.IQL, Serial: sm, Parallel: pm}
+		if pm.NsPerOp > 0 {
+			bq.Speedup = float64(sm.NsPerOp) / float64(pm.NsPerOp)
+		}
+		rep.Queries = append(rep.Queries, bq)
+	}
+	return rep, nil
+}

@@ -138,6 +138,63 @@ func TestRunQueriesTable4Figure6(t *testing.T) {
 	}
 }
 
+// TestParallelMatchesSerialOnPaperQueries runs every Table 4 query
+// against the real synthetic dataspace with the serial engine and a
+// parallel one, under each expansion strategy, requiring byte-identical
+// rows.
+func TestParallelMatchesSerialOnPaperQueries(t *testing.T) {
+	s := testSetup(t, false)
+	for _, exp := range []iql.Expansion{iql.ForwardExpansion, iql.BackwardExpansion, iql.AutoExpansion} {
+		serial := s.EngineWith(exp, 1)
+		parallel := s.EngineWith(exp, 4)
+		for _, q := range PaperQueries() {
+			want, err := serial.Query(q.IQL)
+			if err != nil {
+				t.Fatalf("%v %s serial: %v", exp, q.ID, err)
+			}
+			got, err := parallel.Query(q.IQL)
+			if err != nil {
+				t.Fatalf("%v %s parallel: %v", exp, q.ID, err)
+			}
+			if len(want.Rows) != len(got.Rows) {
+				t.Fatalf("%v %s: %d rows serial vs %d parallel", exp, q.ID, len(want.Rows), len(got.Rows))
+			}
+			for i := range want.Rows {
+				for j := range want.Rows[i] {
+					if want.Rows[i][j] != got.Rows[i][j] {
+						t.Fatalf("%v %s: row %d diverges: %v vs %v", exp, q.ID, i, want.Rows[i], got.Rows[i])
+					}
+				}
+			}
+			if want.Plan.Intermediates != got.Plan.Intermediates {
+				t.Errorf("%v %s: intermediates %d serial vs %d parallel",
+					exp, q.ID, want.Plan.Intermediates, got.Plan.Intermediates)
+			}
+		}
+	}
+}
+
+// TestBenchIQLReport checks the BENCH_iql.json producer: all eight
+// queries present, counts equal across modes, sane measurements.
+func TestBenchIQLReport(t *testing.T) {
+	s := testSetup(t, false)
+	rep, err := BenchIQL(s, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SchemaVersion != 1 || rep.Parallelism != 4 || len(rep.Queries) != 8 {
+		t.Fatalf("report header = %+v", rep)
+	}
+	for _, q := range rep.Queries {
+		if q.Serial.Results != q.Parallel.Results {
+			t.Errorf("%s: result counts diverge: %d vs %d", q.ID, q.Serial.Results, q.Parallel.Results)
+		}
+		if q.Serial.NsPerOp <= 0 || q.Parallel.NsPerOp <= 0 {
+			t.Errorf("%s: non-positive timing %+v", q.ID, q)
+		}
+	}
+}
+
 func TestScanPhraseMatchesIndex(t *testing.T) {
 	s := testSetup(t, false)
 	engine := s.Engine(iql.ForwardExpansion)

@@ -1,7 +1,12 @@
 package iql
 
 import (
+	"fmt"
+	"math/rand"
 	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/core"
 )
 
 const benchQuery = `join( //VLDB2006//*[class="texref"] as A, //VLDB2006//figure*[class="environment"] as B, A.name=B.tuple.label)`
@@ -45,5 +50,62 @@ func BenchmarkEvalJoin(b *testing.B) {
 		if _, err := e.Query(q); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// wideStore builds a fanout tree of the given depth: the shape of Q8's
+// intermediate-result blow-up (§7.2), where forward expansion drags
+// thousands of views through each frontier.
+func wideStore(fan, depth int) *fakeStore {
+	f := newFakeStore()
+	f.add(1, "root", core.ClassFolder, "", core.EmptyTuple())
+	next := catalog.OID(2)
+	level := []catalog.OID{1}
+	rng := rand.New(rand.NewSource(8))
+	for d := 0; d < depth; d++ {
+		var nl []catalog.OID
+		for _, p := range level {
+			for i := 0; i < fan; i++ {
+				content := ""
+				if rng.Intn(50) == 0 {
+					content = "franklin dataspaces"
+				}
+				f.add(next, fmt.Sprintf("n%d", next), core.ClassFile, content, core.EmptyTuple(), p)
+				nl = append(nl, next)
+				next++
+			}
+		}
+		level = nl
+	}
+	return f
+}
+
+// BenchmarkQ8ShapedExpansion compares serial and parallel forward
+// expansion over a Q8-shaped workload: a selective predicate at the end
+// of a path whose descendant step materializes thousands of
+// intermediates. Sub-benchmarks share one store so ns/op is directly
+// comparable; result counts are asserted identical.
+func BenchmarkQ8ShapedExpansion(b *testing.B) {
+	f := wideStore(8, 4) // 4681 views
+	const q = `//root//*["franklin"]`
+	serial := NewEngine(f, Options{Now: fixedNow, Parallelism: 1})
+	ref, err := serial.Query(q)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, par := range []int{1, 2, 4, 8} {
+		e := NewEngine(f, Options{Now: fixedNow, Parallelism: par})
+		b.Run(fmt.Sprintf("par=%d", par), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				r, err := e.Query(q)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if r.Count() != ref.Count() {
+					b.Fatalf("count = %d, want %d", r.Count(), ref.Count())
+				}
+			}
+		})
 	}
 }

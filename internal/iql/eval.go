@@ -2,10 +2,13 @@ package iql
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/catalog"
+	"repro/internal/oidset"
 )
 
 // Options tunes the engine.
@@ -14,7 +17,8 @@ type Options struct {
 	// as in the paper's prototype).
 	Expansion Expansion
 	// Budget bounds the number of views touched during one expansion;
-	// <= 0 applies 1 << 20.
+	// <= 0 applies 1 << 20. The budget may be consumed in full: an
+	// expansion touching exactly Budget views succeeds, one more fails.
 	Budget int
 	// Now supplies the clock for date functions; nil means time.Now.
 	Now func() time.Time
@@ -23,6 +27,14 @@ type Options struct {
 	// content. Ties order by OID. Without phrases, ranking leaves the
 	// OID order.
 	Rank bool
+	// Parallelism is the worker count for query execution: frontier
+	// expansion, backward ancestor verification, union and join
+	// fan-out, and residual filtering all shard across this many
+	// workers when a stage carries enough work. <= 0 applies
+	// runtime.GOMAXPROCS(0); 1 preserves fully serial execution.
+	// Results are identical at any setting: rows are sorted before
+	// return, so only internal evaluation order varies.
+	Parallelism int
 }
 
 func (o Options) withDefaults() Options {
@@ -32,10 +44,14 @@ func (o Options) withDefaults() Options {
 	if o.Now == nil {
 		o.Now = time.Now
 	}
+	if o.Parallelism <= 0 {
+		o.Parallelism = runtime.GOMAXPROCS(0)
+	}
 	return o
 }
 
-// Engine evaluates iQL queries against a Store.
+// Engine evaluates iQL queries against a Store. An Engine is immutable
+// after construction and safe for concurrent Query/Exec calls.
 type Engine struct {
 	store Store
 	opts  Options
@@ -64,16 +80,13 @@ func (r *Result) Count() int { return len(r.Rows) }
 // OIDs returns the distinct OIDs of the first result column in ascending
 // order.
 func (r *Result) OIDs() []catalog.OID {
-	seen := make(map[catalog.OID]bool, len(r.Rows))
-	var out []catalog.OID
+	seen := oidset.New(0)
 	for _, row := range r.Rows {
-		if len(row) > 0 && !seen[row[0]] {
-			seen[row[0]] = true
-			out = append(out, row[0])
+		if len(row) > 0 {
+			seen.Add(row[0])
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return seen.Slice()
 }
 
 // Query parses and evaluates an iQL query string.
@@ -88,7 +101,7 @@ func (e *Engine) Query(src string) (*Result, error) {
 // Exec evaluates a parsed query.
 func (e *Engine) Exec(q Query) (*Result, error) {
 	plan := &PlanInfo{}
-	ctx := newEvalCtx(e.store, plan)
+	ctx := newEvalCtx(e.store, plan, e.opts.Parallelism)
 	rows, cols, err := e.exec(ctx, q)
 	if err != nil {
 		return nil, err
@@ -192,23 +205,7 @@ func (e *Engine) exec(ctx *evalCtx, q Query) ([][]catalog.OID, []string, error) 
 		}
 		return singleColumn(oids), []string{"view"}, nil
 	case *UnionQuery:
-		ctx.plan.notef("union of %d queries", len(x.Args))
-		seen := make(map[catalog.OID]bool)
-		var all []catalog.OID
-		for _, arg := range x.Args {
-			rows, _, err := e.exec(ctx, arg)
-			if err != nil {
-				return nil, nil, err
-			}
-			for _, row := range rows {
-				if len(row) == 1 && !seen[row[0]] {
-					seen[row[0]] = true
-					all = append(all, row[0])
-				}
-			}
-		}
-		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
-		return singleColumn(all), []string{"view"}, nil
+		return e.evalUnion(ctx, x)
 	case *JoinQuery:
 		return e.evalJoin(ctx, x)
 	case *DeleteQuery:
@@ -226,22 +223,67 @@ func singleColumn(oids []catalog.OID) [][]catalog.OID {
 	return rows
 }
 
+// evalUnion evaluates the duplicate-free union, running the branch
+// queries concurrently when the engine is parallel (each branch is an
+// independent subquery sharing this query's memoized index lookups).
+func (e *Engine) evalUnion(ctx *evalCtx, q *UnionQuery) ([][]catalog.OID, []string, error) {
+	ctx.plan.notef("union of %d queries", len(q.Args))
+	branches := make([][][]catalog.OID, len(q.Args))
+	errs := make([]error, len(q.Args))
+	run := func(i int) { branches[i], _, errs[i] = e.exec(ctx, q.Args[i]) }
+	if ctx.par > 1 && len(q.Args) > 1 {
+		var wg sync.WaitGroup
+		for i := range q.Args {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				run(i)
+			}(i)
+		}
+		wg.Wait()
+	} else {
+		for i := range q.Args {
+			run(i)
+		}
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	seen := oidset.New(0)
+	for _, rows := range branches {
+		for _, row := range rows {
+			if len(row) == 1 {
+				seen.Add(row[0])
+			}
+		}
+	}
+	return singleColumn(seen.Slice()), []string{"view"}, nil
+}
+
 // evalPath evaluates a path expression with the configured expansion
-// strategy.
+// strategy. Under automatic expansion the anchor steps are resolved once
+// and the already-resolved candidate lists are threaded into the chosen
+// strategy, so no step is resolved twice.
 func (e *Engine) evalPath(ctx *evalCtx, q *PathQuery) ([]catalog.OID, error) {
 	if len(q.Steps) == 0 {
 		return nil, fmt.Errorf("iql: empty path")
 	}
 	strategy := e.opts.Expansion
+	var first, last []catalog.OID
+	haveFirst, haveLast := false, false
 	if strategy == AutoExpansion {
 		// Anchor on the cheaper end: compare candidate counts of the
 		// first and last steps.
-		first := ctx.resolveStep(q.Steps[0])
-		last := ctx.resolveStep(q.Steps[len(q.Steps)-1])
+		first = ctx.resolveStep(q.Steps[0])
+		haveFirst = true
 		if len(q.Steps) == 1 {
 			ctx.plan.notef("single-step path: %d matches", len(first))
 			return first, nil
 		}
+		last = ctx.resolveStep(q.Steps[len(q.Steps)-1])
+		haveLast = true
 		if len(last) <= len(first) {
 			strategy = BackwardExpansion
 		} else {
@@ -251,61 +293,42 @@ func (e *Engine) evalPath(ctx *evalCtx, q *PathQuery) ([]catalog.OID, error) {
 			len(first), len(last), strategy)
 	}
 	if strategy == BackwardExpansion {
-		return e.evalPathBackward(ctx, q)
+		return e.evalPathBackward(ctx, q, last, haveLast)
 	}
-	return e.evalPathForward(ctx, q)
+	return e.evalPathForward(ctx, q, first, haveFirst)
 }
 
 // evalPathForward implements the paper's strategy: resolve the first
 // step via indexes, then expand forward through the group replica,
 // filtering at each step. Q8's large intermediate result sets arise
-// here, exactly as §7.2 describes.
-func (e *Engine) evalPathForward(ctx *evalCtx, q *PathQuery) ([]catalog.OID, error) {
+// here, exactly as §7.2 describes; each frontier is sharded across the
+// engine's workers.
+func (e *Engine) evalPathForward(ctx *evalCtx, q *PathQuery, first []catalog.OID, haveFirst bool) ([]catalog.OID, error) {
 	ctx.plan.notef("forward expansion over %d steps", len(q.Steps))
-	cur := ctx.resolveStep(q.Steps[0])
+	cur := first
+	if !haveFirst {
+		cur = ctx.resolveStep(q.Steps[0])
+	}
 	ctx.plan.notef("  step 1 %s: %d matches", q.Steps[0], len(cur))
-	budget := e.opts.Budget
+	bud := newBudget(e.opts.Budget)
 	for i := 1; i < len(q.Steps); i++ {
 		step := q.Steps[i]
-		next := make(map[catalog.OID]bool)
+		var matched *oidset.Set
+		var touched int
+		var err error
 		switch step.Axis {
 		case Child:
-			for _, oid := range cur {
-				for _, c := range ctx.store.Children(oid) {
-					ctx.plan.Intermediates++
-					if budget--; budget <= 0 {
-						return nil, fmt.Errorf("iql: expansion budget exceeded")
-					}
-					if ctx.matchStep(step, c) {
-						next[c] = true
-					}
-				}
-			}
+			matched, touched, err = ctx.expandChild(step, cur, bud)
 		case Descendant:
-			visited := make(map[catalog.OID]bool)
-			frontier := cur
-			for len(frontier) > 0 {
-				var newFrontier []catalog.OID
-				for _, oid := range frontier {
-					for _, c := range ctx.store.Children(oid) {
-						if visited[c] {
-							continue
-						}
-						visited[c] = true
-						ctx.plan.Intermediates++
-						if budget--; budget <= 0 {
-							return nil, fmt.Errorf("iql: expansion budget exceeded")
-						}
-						if ctx.matchStep(step, c) {
-							next[c] = true
-						}
-						newFrontier = append(newFrontier, c)
-					}
-				}
-				frontier = newFrontier
-			}
+			matched, touched, err = ctx.expandDescendant(step, cur, bud)
+		default:
+			matched = oidset.New(0)
 		}
-		cur = setToSorted(next)
+		ctx.plan.addIntermediates(touched)
+		if err != nil {
+			return nil, err
+		}
+		cur = matched.Slice()
 		ctx.plan.notef("  step %d %s: %d matches", i+1, step, len(cur))
 	}
 	return cur, nil
@@ -313,24 +336,43 @@ func (e *Engine) evalPathForward(ctx *evalCtx, q *PathQuery) ([]catalog.OID, err
 
 // evalPathBackward resolves the final step via indexes and verifies the
 // ancestor constraints by walking the reverse edges — the alternative
-// processing strategy §7.2 proposes for queries like Q8.
-func (e *Engine) evalPathBackward(ctx *evalCtx, q *PathQuery) ([]catalog.OID, error) {
+// processing strategy §7.2 proposes for queries like Q8. Every
+// candidate's verification walk is independent, so candidates shard
+// across the engine's workers.
+func (e *Engine) evalPathBackward(ctx *evalCtx, q *PathQuery, last []catalog.OID, haveLast bool) ([]catalog.OID, error) {
 	ctx.plan.notef("backward expansion over %d steps", len(q.Steps))
-	last := len(q.Steps) - 1
-	candidates := ctx.resolveStep(q.Steps[last])
-	ctx.plan.notef("  step %d %s: %d candidates", last+1, q.Steps[last], len(candidates))
-	if last == 0 {
+	lastIdx := len(q.Steps) - 1
+	candidates := last
+	if !haveLast {
+		candidates = ctx.resolveStep(q.Steps[lastIdx])
+	}
+	ctx.plan.notef("  step %d %s: %d candidates", lastIdx+1, q.Steps[lastIdx], len(candidates))
+	if lastIdx == 0 {
 		return candidates, nil
 	}
-	budget := e.opts.Budget
-	var out []catalog.OID
-	for _, cand := range candidates {
-		ok, err := e.verifyAncestors(ctx, q.Steps, last, cand, &budget)
+	bud := newBudget(e.opts.Budget)
+	keep := make([]bool, len(candidates))
+	w := workersFor(ctx.par, len(candidates))
+	errs := make([]error, w)
+	parRange(len(candidates), w, func(worker, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ok, err := e.verifyAncestors(ctx, q.Steps, lastIdx, candidates[i], bud)
+			if err != nil {
+				errs[worker] = err
+				return
+			}
+			keep[i] = ok
+		}
+	})
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
+	}
+	var out []catalog.OID
+	for i, ok := range keep {
 		if ok {
-			out = append(out, cand)
+			out = append(out, candidates[i])
 		}
 	}
 	ctx.plan.notef("  verified: %d of %d candidates", len(out), len(candidates))
@@ -339,7 +381,7 @@ func (e *Engine) evalPathBackward(ctx *evalCtx, q *PathQuery) ([]catalog.OID, er
 
 // verifyAncestors checks that a candidate for step k has an ancestor
 // chain matching steps k-1 ... 0.
-func (e *Engine) verifyAncestors(ctx *evalCtx, steps []Step, k int, oid catalog.OID, budget *int) (bool, error) {
+func (e *Engine) verifyAncestors(ctx *evalCtx, steps []Step, k int, oid catalog.OID, bud *expansionBudget) (bool, error) {
 	if k == 0 {
 		return true, nil
 	}
@@ -350,21 +392,22 @@ func (e *Engine) verifyAncestors(ctx *evalCtx, steps []Step, k int, oid catalog.
 	switch step.Axis {
 	case Child:
 		ancestors = ctx.store.Parents(oid)
-		ctx.plan.Intermediates += len(ancestors)
+		ctx.plan.addIntermediates(len(ancestors))
 	case Descendant:
-		visited := make(map[catalog.OID]bool)
+		visited := oidset.New(0)
 		frontier := []catalog.OID{oid}
+		touched := 0
 		for len(frontier) > 0 {
 			var next []catalog.OID
 			for _, f := range frontier {
 				for _, p := range ctx.store.Parents(f) {
-					if visited[p] {
+					if !visited.Add(p) {
 						continue
 					}
-					visited[p] = true
-					ctx.plan.Intermediates++
-					if *budget--; *budget <= 0 {
-						return false, fmt.Errorf("iql: expansion budget exceeded")
+					touched++
+					if !bud.take(1) {
+						ctx.plan.addIntermediates(touched)
+						return false, errBudget
 					}
 					ancestors = append(ancestors, p)
 					next = append(next, p)
@@ -372,12 +415,13 @@ func (e *Engine) verifyAncestors(ctx *evalCtx, steps []Step, k int, oid catalog.
 			}
 			frontier = next
 		}
+		ctx.plan.addIntermediates(touched)
 	}
 	for _, a := range ancestors {
 		if !ctx.matchStep(prev, a) {
 			continue
 		}
-		ok, err := e.verifyAncestors(ctx, steps, k-1, a, budget)
+		ok, err := e.verifyAncestors(ctx, steps, k-1, a, bud)
 		if err != nil {
 			return false, err
 		}
@@ -390,15 +434,35 @@ func (e *Engine) verifyAncestors(ctx *evalCtx, steps []Step, k int, oid catalog.
 
 // evalJoin evaluates an equi-join with a hash join. The rule-based
 // planner builds the hash table on the smaller input and probes with the
-// larger one; output rows are always (left, right).
+// larger one; output rows are always (left, right). The two inputs are
+// evaluated concurrently when the engine is parallel, and probing shards
+// the probe side across workers.
 func (e *Engine) evalJoin(ctx *evalCtx, q *JoinQuery) ([][]catalog.OID, []string, error) {
-	leftRows, _, err := e.exec(ctx, q.Left)
-	if err != nil {
-		return nil, nil, err
+	var leftRows, rightRows [][]catalog.OID
+	var leftErr, rightErr error
+	if ctx.par > 1 {
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			leftRows, _, leftErr = e.exec(ctx, q.Left)
+		}()
+		go func() {
+			defer wg.Done()
+			rightRows, _, rightErr = e.exec(ctx, q.Right)
+		}()
+		wg.Wait()
+	} else {
+		leftRows, _, leftErr = e.exec(ctx, q.Left)
+		if leftErr == nil {
+			rightRows, _, rightErr = e.exec(ctx, q.Right)
+		}
 	}
-	rightRows, _, err := e.exec(ctx, q.Right)
-	if err != nil {
-		return nil, nil, err
+	if leftErr != nil {
+		return nil, nil, leftErr
+	}
+	if rightErr != nil {
+		return nil, nil, rightErr
 	}
 
 	build, probe := rightRows, leftRows
@@ -424,22 +488,31 @@ func (e *Engine) evalJoin(ctx *evalCtx, q *JoinQuery) ([][]catalog.OID, []string
 		}
 		hash[key] = append(hash[key], row[0])
 	}
-	var out [][]catalog.OID
-	for _, row := range probe {
-		if len(row) != 1 {
-			continue
-		}
-		key, ok := e.fieldKey(ctx, probeField, row[0])
-		if !ok {
-			continue
-		}
-		for _, b := range hash[key] {
-			if buildIsRight {
-				out = append(out, []catalog.OID{row[0], b})
-			} else {
-				out = append(out, []catalog.OID{b, row[0]})
+	w := workersFor(ctx.par, len(probe))
+	parts := make([][][]catalog.OID, w)
+	parRange(len(probe), w, func(worker, lo, hi int) {
+		var out [][]catalog.OID
+		for _, row := range probe[lo:hi] {
+			if len(row) != 1 {
+				continue
+			}
+			key, ok := e.fieldKey(ctx, probeField, row[0])
+			if !ok {
+				continue
+			}
+			for _, b := range hash[key] {
+				if buildIsRight {
+					out = append(out, []catalog.OID{row[0], b})
+				} else {
+					out = append(out, []catalog.OID{b, row[0]})
+				}
 			}
 		}
+		parts[worker] = out
+	})
+	var out [][]catalog.OID
+	for _, p := range parts {
+		out = append(out, p...)
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i][0] != out[j][0] {

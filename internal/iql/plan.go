@@ -4,16 +4,20 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/catalog"
 	"repro/internal/core"
+	"repro/internal/oidset"
 	"repro/internal/tupleindex"
 	"repro/internal/wildcard"
 )
 
 // Store is the interface the evaluator needs from the Resource View
 // Manager: replica/index-backed lookups plus graph navigation over the
-// group replica.
+// group replica. Implementations must be safe for concurrent readers —
+// the engine fans query stages out across workers.
 type Store interface {
 	// AllOIDs returns every managed OID in ascending order.
 	AllOIDs() []catalog.OID
@@ -43,6 +47,14 @@ type Store interface {
 	OIDsInClass(class string) []catalog.OID
 }
 
+// childAppender is an optional Store fast path: append oid's children
+// into a caller-owned buffer instead of allocating a fresh slice per
+// call. rvm.Manager implements it; the expansion loops reuse one buffer
+// per worker.
+type childAppender interface {
+	AppendChildren(dst []catalog.OID, oid catalog.OID) []catalog.OID
+}
+
 // Expansion selects the path-evaluation strategy. The paper's prototype
 // uses forward expansion and names backward/bidirectional expansion as
 // the planned fix for Q8-style queries (§7.2); both are implemented
@@ -69,67 +81,121 @@ func (e Expansion) String() string {
 
 // PlanInfo records the rule-based planner's decisions, for EXPLAIN-style
 // output and for the evaluation harness (Figure 6 discusses Q8's
-// intermediate-result blow-up).
+// intermediate-result blow-up). One PlanInfo is shared by all workers of
+// a query: the counters are updated atomically and the notes under a
+// mutex, so reads are exact once the query returns. Note order may vary
+// between runs when stages execute concurrently.
 type PlanInfo struct {
+	mu    sync.Mutex
 	Notes []string
 	// Intermediates counts views touched during path expansion beyond
 	// those in the final result.
-	Intermediates int
+	Intermediates int64
 	// IndexAccesses counts index-backed candidate fetches.
-	IndexAccesses int
+	IndexAccesses int64
 }
 
 func (p *PlanInfo) notef(format string, args ...any) {
-	p.Notes = append(p.Notes, fmt.Sprintf(format, args...))
+	msg := fmt.Sprintf(format, args...)
+	p.mu.Lock()
+	p.Notes = append(p.Notes, msg)
+	p.mu.Unlock()
 }
+
+func (p *PlanInfo) addIntermediates(n int) { atomic.AddInt64(&p.Intermediates, int64(n)) }
+func (p *PlanInfo) addIndexAccesses(n int) { atomic.AddInt64(&p.IndexAccesses, int64(n)) }
 
 // String renders the plan notes one per line.
 func (p *PlanInfo) String() string { return strings.Join(p.Notes, "\n") }
 
-// evalCtx carries per-query memoized index lookups.
+// indexSet is one memoized index lookup in both representations the
+// evaluator needs: a bitset for per-OID membership tests in predicate
+// evaluation and a sorted slice for candidate-list intersection.
+type indexSet struct {
+	set    *oidset.Set
+	sorted []catalog.OID
+}
+
+func newIndexSet(oids []catalog.OID) *indexSet {
+	if !sort.SliceIsSorted(oids, func(i, j int) bool { return oids[i] < oids[j] }) {
+		sort.Slice(oids, func(i, j int) bool { return oids[i] < oids[j] })
+	}
+	return &indexSet{set: oidset.FromSlice(oids), sorted: oids}
+}
+
+// evalCtx carries per-query state: memoized index lookups (shared by all
+// workers of the query, guarded by memoMu) and the parallelism the
+// engine was configured with.
 type evalCtx struct {
 	store Store
 	plan  *PlanInfo
+	// par is the worker count data-parallel stages fan out to (>= 1).
+	par int
+	// children appends oid's directly related views to dst, using the
+	// store's append fast path when available.
+	children func(dst []catalog.OID, oid catalog.OID) []catalog.OID
+
+	memoMu sync.RWMutex
 	// phraseSets memoizes content-index phrase results.
-	phraseSets map[string]map[catalog.OID]bool
+	phraseSets map[string]*indexSet
 	// classSets memoizes specialization-aware class membership.
-	classSets map[string]map[catalog.OID]bool
+	classSets map[string]*indexSet
 }
 
-func newEvalCtx(store Store, plan *PlanInfo) *evalCtx {
-	return &evalCtx{
+func newEvalCtx(store Store, plan *PlanInfo, par int) *evalCtx {
+	if par < 1 {
+		par = 1
+	}
+	c := &evalCtx{
 		store:      store,
 		plan:       plan,
-		phraseSets: make(map[string]map[catalog.OID]bool),
-		classSets:  make(map[string]map[catalog.OID]bool),
+		par:        par,
+		phraseSets: make(map[string]*indexSet),
+		classSets:  make(map[string]*indexSet),
 	}
+	if ap, ok := store.(childAppender); ok {
+		c.children = ap.AppendChildren
+	} else {
+		c.children = func(dst []catalog.OID, oid catalog.OID) []catalog.OID {
+			return append(dst, store.Children(oid)...)
+		}
+	}
+	return c
 }
 
-func (c *evalCtx) phraseSet(phrase string) map[catalog.OID]bool {
+func (c *evalCtx) phraseSet(phrase string) *indexSet {
 	key := strings.ToLower(phrase)
+	c.memoMu.RLock()
+	s, ok := c.phraseSets[key]
+	c.memoMu.RUnlock()
+	if ok {
+		return s
+	}
+	c.memoMu.Lock()
+	defer c.memoMu.Unlock()
 	if s, ok := c.phraseSets[key]; ok {
 		return s
 	}
-	c.plan.IndexAccesses++
-	oids := c.store.ContentPhrase(phrase)
-	s := make(map[catalog.OID]bool, len(oids))
-	for _, o := range oids {
-		s[o] = true
-	}
+	c.plan.addIndexAccesses(1)
+	s = newIndexSet(c.store.ContentPhrase(phrase))
 	c.phraseSets[key] = s
 	return s
 }
 
-func (c *evalCtx) classSet(class string) map[catalog.OID]bool {
+func (c *evalCtx) classSet(class string) *indexSet {
+	c.memoMu.RLock()
+	s, ok := c.classSets[class]
+	c.memoMu.RUnlock()
+	if ok {
+		return s
+	}
+	c.memoMu.Lock()
+	defer c.memoMu.Unlock()
 	if s, ok := c.classSets[class]; ok {
 		return s
 	}
-	c.plan.IndexAccesses++
-	oids := c.store.OIDsInClass(class)
-	s := make(map[catalog.OID]bool, len(oids))
-	for _, o := range oids {
-		s[o] = true
-	}
+	c.plan.addIndexAccesses(1)
+	s = newIndexSet(c.store.OIDsInClass(class))
 	c.classSets[class] = s
 	return s
 }
@@ -144,9 +210,9 @@ func (c *evalCtx) evalExpr(e Expr, oid catalog.OID) bool {
 	case *NotExpr:
 		return !c.evalExpr(x.E, oid)
 	case *PhraseExpr:
-		return c.phraseSet(x.Phrase)[oid]
+		return c.phraseSet(x.Phrase).set.Contains(oid)
 	case *ClassExpr:
-		return c.classSet(x.Class)[oid]
+		return c.classSet(x.Class).set.Contains(oid)
 	case *HasExpr:
 		return c.hasBranch(x.Steps, oid)
 	case *CmpExpr:
@@ -199,51 +265,25 @@ const hasBranchBudget = 1 << 16
 
 // hasBranch evaluates an existence branch relative to one view: it
 // follows the steps from oid and reports whether any view matches the
-// full branch path.
+// full branch path. It shares the frontier-parallel expansion helpers
+// with forward path evaluation; an exhausted branch budget reports
+// non-existence rather than failing the query.
 func (c *evalCtx) hasBranch(steps []Step, oid catalog.OID) bool {
 	cur := []catalog.OID{oid}
-	budget := hasBranchBudget
+	bud := newBudget(hasBranchBudget)
 	for _, s := range steps {
-		matched := make(map[catalog.OID]bool)
+		var matched *oidset.Set
+		var err error
 		switch s.Axis {
 		case Child:
-			for _, v := range cur {
-				for _, child := range c.store.Children(v) {
-					if budget--; budget <= 0 {
-						return false
-					}
-					if c.matchStep(s, child) {
-						matched[child] = true
-					}
-				}
-			}
+			matched, _, err = c.expandChild(s, cur, bud)
 		case Descendant:
-			visited := make(map[catalog.OID]bool)
-			frontier := cur
-			for len(frontier) > 0 {
-				var next []catalog.OID
-				for _, v := range frontier {
-					for _, child := range c.store.Children(v) {
-						if visited[child] {
-							continue
-						}
-						visited[child] = true
-						if budget--; budget <= 0 {
-							return false
-						}
-						if c.matchStep(s, child) {
-							matched[child] = true
-						}
-						next = append(next, child)
-					}
-				}
-				frontier = next
-			}
+			matched, _, err = c.expandDescendant(s, cur, bud)
 		}
-		if len(matched) == 0 {
+		if err != nil || matched == nil || matched.Len() == 0 {
 			return false
 		}
-		cur = setToSorted(matched)
+		cur = matched.Slice()
 	}
 	return true
 }
@@ -262,7 +302,9 @@ func (c *evalCtx) matchStep(s Step, oid catalog.OID) bool {
 
 // resolveStep returns all views in the dataspace matching a step's
 // pattern and predicate, using indexes where the rule-based planner
-// finds them applicable and falling back to a scan otherwise.
+// finds them applicable and falling back to a scan otherwise. The final
+// residual filter shards across workers when the candidate list is
+// large.
 func (c *evalCtx) resolveStep(s Step) []catalog.OID {
 	var candidates []catalog.OID
 	constrained := false
@@ -278,7 +320,7 @@ func (c *evalCtx) resolveStep(s Step) []catalog.OID {
 	}
 
 	if !s.AnyName() {
-		c.plan.IndexAccesses++
+		c.plan.addIndexAccesses(1)
 		oids := c.store.MatchNames(s.Pattern)
 		intersect(oids, fmt.Sprintf("name replica match %q", s.Pattern))
 	}
@@ -288,13 +330,13 @@ func (c *evalCtx) resolveStep(s Step) []catalog.OID {
 		switch x := conj.(type) {
 		case *PhraseExpr:
 			set := c.phraseSet(x.Phrase)
-			intersect(setToSorted(set), fmt.Sprintf("content index phrase %q", x.Phrase))
+			intersect(set.sorted, fmt.Sprintf("content index phrase %q", x.Phrase))
 		case *ClassExpr:
 			set := c.classSet(x.Class)
-			intersect(setToSorted(set), fmt.Sprintf("class lookup %q", x.Class))
+			intersect(set.sorted, fmt.Sprintf("class lookup %q", x.Class))
 		case *CmpExpr:
 			if x.Attr == "name" && x.Op == OpEq && x.Value.Kind == core.DomainString {
-				c.plan.IndexAccesses++
+				c.plan.addIndexAccesses(1)
 				oids := c.store.MatchNames(x.Value.Str)
 				intersect(oids, fmt.Sprintf("name replica match %q (name predicate)", x.Value.Str))
 				continue
@@ -303,7 +345,7 @@ func (c *evalCtx) resolveStep(s Step) []catalog.OID {
 				continue // inequality on names: final filter only
 			}
 			if op, ok := tupleOp(x.Op); ok {
-				c.plan.IndexAccesses++
+				c.plan.addIndexAccesses(1)
 				oids := c.store.TupleQuery(x.Attr, op, x.Value)
 				intersect(oids, fmt.Sprintf("tuple index %s %s %s", x.Attr, x.Op, x.ValueText))
 			}
@@ -314,13 +356,7 @@ func (c *evalCtx) resolveStep(s Step) []catalog.OID {
 		c.plan.notef("  scan: no applicable index, %d views", len(candidates))
 	}
 	// Final exact filter (pattern + full predicate).
-	out := candidates[:0:0]
-	for _, oid := range candidates {
-		if c.matchStep(s, oid) {
-			out = append(out, oid)
-		}
-	}
-	return out
+	return c.filterStep(s, candidates)
 }
 
 // conjuncts flattens the top-level AND tree of an expression.
@@ -368,15 +404,6 @@ func intersectSorted(a, b []catalog.OID) []catalog.OID {
 			j++
 		}
 	}
-	return out
-}
-
-func setToSorted(s map[catalog.OID]bool) []catalog.OID {
-	out := make([]catalog.OID, 0, len(s))
-	for o := range s {
-		out = append(out, o)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 

@@ -125,7 +125,7 @@ func TestForwardAgainstNaiveOracle(t *testing.T) {
 // check whether some chain of views matching the steps ends at it.
 func naivePathEval(f *fakeStore, q *PathQuery) []catalog.OID {
 	plan := &PlanInfo{}
-	ctx := newEvalCtx(f, plan)
+	ctx := newEvalCtx(f, plan, 1)
 	// satisfiable(k, oid): oid matches step k and a valid chain for
 	// steps 0..k-1 leads to it.
 	memo := make(map[[2]int]bool)

@@ -1,0 +1,133 @@
+// Package oidset provides a dense bitset over catalog OIDs. The catalog
+// allocates OIDs sequentially from 1, so the populated range of any
+// dataspace is small and dense — a bitset beats map[catalog.OID]bool on
+// both memory (one bit per OID in range vs ~50 bytes per map entry) and
+// iteration (ascending order falls out of the word scan, so no sort is
+// needed to produce canonical result slices). The iQL evaluator uses it
+// for expansion frontiers, visited sets, match sets and memoized index
+// lookups.
+package oidset
+
+import (
+	"math/bits"
+
+	"repro/internal/catalog"
+)
+
+const wordBits = 64
+
+// Set is a dense bitset of OIDs. The zero value is an empty set ready
+// for use. Set is not safe for concurrent mutation; concurrent readers
+// are fine once mutation stops.
+type Set struct {
+	words []uint64
+	n     int
+}
+
+// New returns an empty set sized for OIDs up to max (a capacity hint;
+// the set grows on demand).
+func New(max int) *Set {
+	if max < 0 {
+		max = 0
+	}
+	return &Set{words: make([]uint64, max/wordBits+1)}
+}
+
+// FromSlice builds a set holding the given OIDs.
+func FromSlice(oids []catalog.OID) *Set {
+	var hi catalog.OID
+	for _, o := range oids {
+		if o > hi {
+			hi = o
+		}
+	}
+	s := New(int(hi))
+	for _, o := range oids {
+		s.Add(o)
+	}
+	return s
+}
+
+func (s *Set) grow(word int) {
+	if word < len(s.words) {
+		return
+	}
+	words := make([]uint64, word+1+word/2)
+	copy(words, s.words)
+	s.words = words
+}
+
+// Add inserts oid and reports whether it was newly added.
+func (s *Set) Add(oid catalog.OID) bool {
+	w, b := int(oid/wordBits), oid%wordBits
+	s.grow(w)
+	if s.words[w]&(1<<b) != 0 {
+		return false
+	}
+	s.words[w] |= 1 << b
+	s.n++
+	return true
+}
+
+// Contains reports membership.
+func (s *Set) Contains(oid catalog.OID) bool {
+	w := int(oid / wordBits)
+	return w < len(s.words) && s.words[w]&(1<<(oid%wordBits)) != 0
+}
+
+// Len returns the number of members.
+func (s *Set) Len() int { return s.n }
+
+// Clear empties the set, keeping its capacity.
+func (s *Set) Clear() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+	s.n = 0
+}
+
+// UnionWith adds every member of t.
+func (s *Set) UnionWith(t *Set) {
+	if t == nil || t.n == 0 {
+		return
+	}
+	s.grow(len(t.words) - 1)
+	for i, w := range t.words {
+		added := w &^ s.words[i]
+		if added != 0 {
+			s.words[i] |= w
+			s.n += bits.OnesCount64(added)
+		}
+	}
+}
+
+// AppendTo appends the members to dst in ascending order.
+func (s *Set) AppendTo(dst []catalog.OID) []catalog.OID {
+	for i, w := range s.words {
+		base := uint64(i) * wordBits
+		for w != 0 {
+			dst = append(dst, catalog.OID(base+uint64(bits.TrailingZeros64(w))))
+			w &= w - 1
+		}
+	}
+	return dst
+}
+
+// Slice returns the members in ascending order.
+func (s *Set) Slice() []catalog.OID {
+	return s.AppendTo(make([]catalog.OID, 0, s.n))
+}
+
+// Range calls fn for each member in ascending order until fn returns
+// false.
+func (s *Set) Range(fn func(catalog.OID) bool) {
+	for i, w := range s.words {
+		base := uint64(i) * wordBits
+		for w != 0 {
+			if !fn(catalog.OID(base + uint64(bits.TrailingZeros64(w)))) {
+				return
+			}
+			w &= w - 1
+		}
+	}
+}

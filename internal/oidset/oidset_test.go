@@ -1,0 +1,150 @@
+package oidset
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/catalog"
+)
+
+func TestAddContainsLen(t *testing.T) {
+	s := New(0)
+	if s.Len() != 0 || s.Contains(3) {
+		t.Fatal("fresh set not empty")
+	}
+	if !s.Add(3) || s.Add(3) {
+		t.Error("Add newness wrong")
+	}
+	if !s.Contains(3) || s.Contains(2) || s.Contains(1000) {
+		t.Error("Contains wrong")
+	}
+	if s.Len() != 1 {
+		t.Errorf("Len = %d", s.Len())
+	}
+	// Growth across word boundaries.
+	for _, o := range []catalog.OID{0, 63, 64, 65, 127, 128, 4096} {
+		s.Add(o)
+	}
+	if s.Len() != 8 {
+		t.Errorf("Len after growth = %d", s.Len())
+	}
+	for _, o := range []catalog.OID{0, 3, 63, 64, 65, 127, 128, 4096} {
+		if !s.Contains(o) {
+			t.Errorf("lost %d", o)
+		}
+	}
+}
+
+func TestSliceAscending(t *testing.T) {
+	s := FromSlice([]catalog.OID{9, 1, 128, 64, 1, 9})
+	got := s.Slice()
+	want := []catalog.OID{1, 9, 64, 128}
+	if len(got) != len(want) {
+		t.Fatalf("Slice = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Slice = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestUnionWithAndClear(t *testing.T) {
+	a := FromSlice([]catalog.OID{1, 2, 3})
+	b := FromSlice([]catalog.OID{3, 4, 500})
+	a.UnionWith(b)
+	if a.Len() != 5 {
+		t.Errorf("union len = %d", a.Len())
+	}
+	for _, o := range []catalog.OID{1, 2, 3, 4, 500} {
+		if !a.Contains(o) {
+			t.Errorf("union lost %d", o)
+		}
+	}
+	a.UnionWith(nil) // no-op
+	a.Clear()
+	if a.Len() != 0 || a.Contains(1) {
+		t.Error("Clear left members")
+	}
+	// Capacity survives; re-adding works.
+	a.Add(500)
+	if a.Len() != 1 || !a.Contains(500) {
+		t.Error("set unusable after Clear")
+	}
+}
+
+func TestRangeEarlyStop(t *testing.T) {
+	s := FromSlice([]catalog.OID{5, 10, 15})
+	var seen []catalog.OID
+	s.Range(func(o catalog.OID) bool {
+		seen = append(seen, o)
+		return len(seen) < 2
+	})
+	if len(seen) != 2 || seen[0] != 5 || seen[1] != 10 {
+		t.Errorf("Range = %v", seen)
+	}
+}
+
+// TestAgainstMapModel fuzzes the set against the map it replaces.
+func TestAgainstMapModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	s := New(0)
+	model := make(map[catalog.OID]bool)
+	for i := 0; i < 5000; i++ {
+		oid := catalog.OID(rng.Intn(2000))
+		if rng.Intn(2) == 0 {
+			s.Add(oid)
+			model[oid] = true
+		} else if s.Contains(oid) != model[oid] {
+			t.Fatalf("Contains(%d) diverged at step %d", oid, i)
+		}
+	}
+	if s.Len() != len(model) {
+		t.Fatalf("Len = %d, model %d", s.Len(), len(model))
+	}
+	want := make([]catalog.OID, 0, len(model))
+	for o := range model {
+		want = append(want, o)
+	}
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	got := s.Slice()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Slice[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+// The replacement target: set-insert plus sorted extraction, the
+// per-level pattern of path expansion.
+func BenchmarkSetAddAndSort(b *testing.B) {
+	oids := make([]catalog.OID, 4096)
+	for i := range oids {
+		oids[i] = catalog.OID(i * 3)
+	}
+	b.Run("bitset", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			s := New(len(oids) * 3)
+			for _, o := range oids {
+				s.Add(o)
+			}
+			_ = s.Slice()
+		}
+	})
+	b.Run("map", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			m := make(map[catalog.OID]bool)
+			for _, o := range oids {
+				m[o] = true
+			}
+			out := make([]catalog.OID, 0, len(m))
+			for o := range m {
+				out = append(out, o)
+			}
+			sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+		}
+	})
+}

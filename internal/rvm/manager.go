@@ -257,6 +257,22 @@ func (m *Manager) Children(oid catalog.OID) []catalog.OID {
 	return out
 }
 
+// AppendChildren appends the direct children of oid to dst and returns
+// the extended slice. With group replication on (the default) this
+// copies straight out of the replica under a read lock into the
+// caller's buffer, avoiding the per-call allocation of Children — the
+// iQL evaluator's expansion loops call this once per frontier view.
+func (m *Manager) AppendChildren(dst []catalog.OID, oid catalog.OID) []catalog.OID {
+	m.mu.RLock()
+	if m.opts.ReplicateGroups {
+		dst = append(dst, m.groupRep[oid]...)
+		m.mu.RUnlock()
+		return dst
+	}
+	m.mu.RUnlock()
+	return append(dst, m.Children(oid)...)
+}
+
 // oidOfView resolves a live view back to its OID (linear in the worst
 // case; only used on the query-shipping path).
 func (m *Manager) oidOfView(v core.ResourceView) (catalog.OID, bool) {

@@ -1,0 +1,13 @@
+#!/bin/sh
+# Full verification: vet, build, race-enabled tests. CI and pre-commit
+# both run this; `make check` is an alias.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo '>> go vet ./...'
+go vet ./...
+echo '>> go build ./...'
+go build ./...
+echo '>> go test -race ./...'
+go test -race ./...
+echo 'check: OK'
