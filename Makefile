@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check test build vet bench-iql
+.PHONY: check test build vet bench-iql obs-bench
 
 # Full verification: vet + build + race-enabled tests.
 check:
@@ -15,7 +15,14 @@ vet:
 test:
 	$(GO) test ./...
 
-# Regenerate BENCH_iql.json (serial vs parallel engine microbenchmark;
-# schema_version 1, see internal/experiments.BenchReport).
+# Regenerate BENCH_iql.json (serial vs parallel engine microbenchmark
+# plus the obs_overhead instrumentation-cost section; schema_version 2,
+# see internal/experiments.BenchReport).
 bench-iql:
 	$(GO) run ./cmd/idmbench -exp iql -scale 0.05 -runs 10 -parallelism 8 -json BENCH_iql.json
+
+# Re-measure only the observability overhead (obs_overhead section of
+# BENCH_iql.json; target: mean disabled overhead <= 2%, see
+# docs/OBSERVABILITY.md).
+obs-bench:
+	$(GO) run ./cmd/idmbench -exp iql -scale 0.05 -runs 10 -parallelism 8 -obsreps 4 -json BENCH_iql.json

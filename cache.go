@@ -1,35 +1,54 @@
 package idm
 
-import "sync"
+import (
+	"sync"
+	"time"
+)
 
 // queryCache memoizes query results keyed by query text, invalidated by
 // the dataspace version: any change the Synchronization Manager applies
 // bumps the version, so cached results are never stale. This is the
 // "warm cache" of the paper's Figure 6 made explicit.
 type queryCache struct {
+	// now supplies the cache's clock (latency and entry-age accounting);
+	// injectable for tests.
+	now func() time.Time
+
 	mu      sync.Mutex
 	entries map[string]cacheEntry
 	cap       int
 	hits      int64
 	misses    int64
 	evictions int64
+	// hitNanos accumulates the time get spent serving hits; missNanos
+	// the evaluation cost callers paid to fill entries (reported by put),
+	// over fills entries.
+	hitNanos  int64
+	missNanos int64
+	fills     int64
 }
 
 type cacheEntry struct {
 	version uint64
 	res     *Result
+	added   time.Time
 }
 
 func newQueryCache(capacity int) *queryCache {
 	if capacity <= 0 {
 		capacity = 256
 	}
-	return &queryCache{entries: make(map[string]cacheEntry), cap: capacity}
+	return &queryCache{
+		now:     time.Now,
+		entries: make(map[string]cacheEntry, capacity),
+		cap:     capacity,
+	}
 }
 
 // get returns the cached result for a query at the given dataspace
 // version.
 func (c *queryCache) get(query string, version uint64) (*Result, bool) {
+	start := c.now()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	e, ok := c.entries[query]
@@ -38,20 +57,24 @@ func (c *queryCache) get(query string, version uint64) (*Result, bool) {
 		return nil, false
 	}
 	c.hits++
+	c.hitNanos += int64(c.now().Sub(start))
 	return e.res, true
 }
 
-// put stores a result. When the cache is full it is cleared wholesale —
-// queries repeat within sessions, so a periodic cold start is cheaper
-// than tracking recency.
-func (c *queryCache) put(query string, version uint64, res *Result) {
+// put stores a result together with the evaluation cost the caller paid
+// to compute it — the price of the preceding miss. When the cache is
+// full it is cleared wholesale — queries repeat within sessions, so a
+// periodic cold start is cheaper than tracking recency.
+func (c *queryCache) put(query string, version uint64, res *Result, cost time.Duration) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if len(c.entries) >= c.cap {
 		c.evictions += int64(len(c.entries))
 		c.entries = make(map[string]cacheEntry, c.cap)
 	}
-	c.entries[query] = cacheEntry{version: version, res: res}
+	c.missNanos += int64(cost)
+	c.fills++
+	c.entries[query] = cacheEntry{version: version, res: res, added: c.now()}
 }
 
 // CacheStats reports query-cache effectiveness.
@@ -63,10 +86,44 @@ type CacheStats struct {
 	// evicts everything at once when full, so this grows in steps of
 	// the capacity reached.
 	Evictions int64
+	// HitLatency is the mean time a cache hit took to serve.
+	HitLatency time.Duration
+	// MissLatency is the mean evaluation cost paid to fill an entry —
+	// what a miss costs compared to HitLatency.
+	MissLatency time.Duration
+	// AvgEntryAge and OldestEntryAge describe how stale the current
+	// entries are (age since insertion; entries are version-checked, so
+	// old entries are still correct, just cold candidates).
+	AvgEntryAge    time.Duration
+	OldestEntryAge time.Duration
 }
 
 func (c *queryCache) stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return CacheStats{Hits: c.hits, Misses: c.misses, Size: len(c.entries), Evictions: c.evictions}
+	st := CacheStats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Size:      len(c.entries),
+		Evictions: c.evictions,
+	}
+	if c.hits > 0 {
+		st.HitLatency = time.Duration(c.hitNanos / c.hits)
+	}
+	if c.fills > 0 {
+		st.MissLatency = time.Duration(c.missNanos / c.fills)
+	}
+	if len(c.entries) > 0 {
+		now := c.now()
+		var sum time.Duration
+		for _, e := range c.entries {
+			age := now.Sub(e.added)
+			sum += age
+			if age > st.OldestEntryAge {
+				st.OldestEntryAge = age
+			}
+		}
+		st.AvgEntryAge = sum / time.Duration(len(c.entries))
+	}
+	return st
 }

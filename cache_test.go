@@ -66,6 +66,31 @@ func TestQueryCacheDisabled(t *testing.T) {
 	}
 }
 
+// TestQueryCacheLatencyStats checks the System-level surface of the
+// latency/age accounting: a miss records its evaluation cost, hits stay
+// far cheaper, and live entries age.
+func TestQueryCacheLatencyStats(t *testing.T) {
+	sys, _ := cacheSystem(t, false)
+	for i := 0; i < 3; i++ {
+		if _, err := sys.Query(`"cachable content"`); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := sys.CacheStats()
+	if st.MissLatency <= 0 {
+		t.Errorf("MissLatency = %v, want > 0 (the miss paid a full evaluation)", st.MissLatency)
+	}
+	if st.HitLatency > st.MissLatency {
+		t.Errorf("HitLatency %v exceeds MissLatency %v", st.HitLatency, st.MissLatency)
+	}
+	if st.OldestEntryAge < 0 || st.AvgEntryAge < 0 {
+		t.Errorf("negative entry age: %+v", st)
+	}
+	if st.AvgEntryAge > st.OldestEntryAge {
+		t.Errorf("AvgEntryAge %v exceeds OldestEntryAge %v", st.AvgEntryAge, st.OldestEntryAge)
+	}
+}
+
 func TestQueryCacheErrorsNotCached(t *testing.T) {
 	sys, _ := cacheSystem(t, false)
 	if _, err := sys.Query(`//bad[`); err == nil {

@@ -5,10 +5,12 @@
 // Usage:
 //
 //	idmbench [-exp all|table2|table3|figure5|table4|figure6|iql] [-scale 0.05] [-seed 42] [-runs 5]
-//	         [-json BENCH_iql.json] [-parallelism N]
+//	         [-json BENCH_iql.json] [-parallelism N] [-obsreps 3]
 //
 // -json writes the serial-vs-parallel iQL engine microbenchmark
-// (experiments.BenchReport, schema_version 1) to the given path.
+// (experiments.BenchReport, schema_version 2) to the given path,
+// including the obs_overhead section that compares instrumented vs
+// uninstrumented ns/op (-obsreps 0 skips it).
 //
 // See EXPERIMENTS.md for the paper-vs-measured comparison.
 package main
@@ -31,6 +33,7 @@ func main() {
 	expansion := flag.String("expansion", "forward", "path evaluation: forward|backward|auto")
 	jsonPath := flag.String("json", "", "write the serial-vs-parallel iQL benchmark report to this path")
 	parallelism := flag.Int("parallelism", 0, "engine worker count for the parallel half of -json (0 = GOMAXPROCS)")
+	obsReps := flag.Int("obsreps", 3, "min-of-N repetitions for the obs_overhead section of -json (0 = skip)")
 	flag.Parse()
 
 	strategy := iql.ForwardExpansion
@@ -100,6 +103,19 @@ func main() {
 			for _, q := range rep.Queries {
 				fmt.Printf("%-3s serial %10d ns/op  parallel(%d) %10d ns/op  speedup %.2fx  results %d\n",
 					q.ID, q.Serial.NsPerOp, rep.Parallelism, q.Parallel.NsPerOp, q.Speedup, q.Serial.Results)
+			}
+			if *obsReps > 0 {
+				oo, err := experiments.BenchObsOverhead(s, *runs, *obsReps)
+				if err != nil {
+					fail(err)
+				}
+				rep.ObsOverhead = oo
+				for _, q := range oo.Queries {
+					fmt.Printf("%-3s obs baseline %10d ns/op  disabled %+6.2f%%  enabled %+6.2f%%\n",
+						q.ID, q.BaselineNsPerOp, q.DisabledOverheadPct, q.EnabledOverheadPct)
+				}
+				fmt.Printf("obs overhead mean: disabled %+.2f%%  enabled %+.2f%%\n",
+					oo.MeanDisabledOverheadPct, oo.MeanEnabledOverheadPct)
 			}
 			if *jsonPath != "" {
 				data, err := json.MarshalIndent(rep, "", "  ")

@@ -7,14 +7,20 @@
 //	imemex [-scale 0.05] [-seed 42] [-expansion forward|backward|auto] [query...]
 //
 // With query arguments, each is evaluated and printed; without, an
-// interactive read-eval-print loop starts. REPL commands:
+// interactive read-eval-print loop starts. REPL commands (`:` and `\`
+// prefixes are interchangeable):
 //
 //	\help            show help
 //	\sources         list data sources and their Table 2 breakdowns
 //	\sizes           show index sizes (Table 3)
-//	\classes         list resource view classes
 //	\plan <query>    show the rule-based plan for a query
+//	\explain <query> evaluate with tracing and print the span tree
+//	\stats           session metrics and query-cache statistics
 //	\quit            exit
+//
+// -debug-addr serves the observability surface over HTTP:
+// /debug/metrics (JSON snapshot), /debug/vars (expvar) and
+// /debug/pprof/ (see docs/OBSERVABILITY.md).
 package main
 
 import (
@@ -26,6 +32,7 @@ import (
 	"time"
 
 	idm "repro"
+	"repro/internal/obs"
 	"repro/internal/osload"
 )
 
@@ -37,6 +44,7 @@ func main() {
 	hidden := flag.Bool("hidden", false, "with -dir: include hidden files and directories")
 	expansion := flag.String("expansion", "forward", "path evaluation: forward|backward|auto")
 	limit := flag.Int("limit", 10, "max results to print per query")
+	debugAddr := flag.String("debug-addr", "", "serve /debug/metrics, /debug/vars and /debug/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
 
 	exp, err := parseExpansion(*expansion)
@@ -79,6 +87,16 @@ func main() {
 	fmt.Fprintf(os.Stderr, "indexed %d resource views from %d sources in %v\n\n",
 		report.TotalViews(), len(report.Timings), time.Since(start).Round(time.Millisecond))
 
+	if *debugAddr != "" {
+		bound, shutdown, err := obs.Serve(*debugAddr, sys.Metrics())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer shutdown()
+		fmt.Fprintf(os.Stderr, "debug surface on http://%s/debug/\n\n", bound)
+	}
+
 	if flag.NArg() > 0 {
 		for _, q := range flag.Args() {
 			runQuery(sys, q, *limit)
@@ -115,7 +133,19 @@ func runQuery(sys *idm.System, q string, limit int) {
 		fmt.Printf("error: %v\n", err)
 		return
 	}
-	fmt.Printf("iql> %s\n%d results in %v\n", q, res.Count(), elapsed.Round(time.Microsecond))
+	rate := ""
+	if sec := elapsed.Seconds(); sec > 0 && res.Count() > 0 {
+		rate = fmt.Sprintf(", %s rows/s", fmtRate(float64(res.Count())/sec))
+	}
+	// The session mean comes from the idm_query_ns histogram, which has
+	// seen every query this process ran (including this one).
+	h := sys.Metrics().Snapshot().Histograms["idm_query_ns"]
+	session := ""
+	if h.Count > 1 {
+		session = fmt.Sprintf(" (session mean %v over %d queries)",
+			time.Duration(h.Mean()).Round(time.Microsecond), h.Count)
+	}
+	fmt.Printf("iql> %s\n%d results in %v%s%s\n", q, res.Count(), elapsed.Round(time.Microsecond), rate, session)
 	for i, row := range res.Rows {
 		if i >= limit {
 			fmt.Printf("  ... and %d more\n", res.Count()-limit)
@@ -144,6 +174,10 @@ func repl(sys *idm.System, limit int) {
 			return
 		}
 		line := strings.TrimSpace(sc.Text())
+		// `:stats` and `\stats` are the same command.
+		if strings.HasPrefix(line, ":") {
+			line = `\` + line[1:]
+		}
 		switch {
 		case line == "":
 		case line == `\quit` || line == `\q`:
@@ -160,6 +194,15 @@ func repl(sys *idm.System, limit int) {
 			s := sys.Sizes()
 			fmt.Printf("  name=%s tuple=%s content=%s group=%s catalog=%s total=%s\n",
 				mb(s.Name), mb(s.Tuple), mb(s.Content), mb(s.Group), mb(s.Catalog), mb(s.Total()))
+		case line == `\stats`:
+			printStats(sys)
+		case strings.HasPrefix(line, `\explain `):
+			out, err := sys.Explain(strings.TrimPrefix(line, `\explain `))
+			if err != nil {
+				fmt.Printf("error: %v\n", err)
+				continue
+			}
+			fmt.Print(out)
 		case strings.HasPrefix(line, `\plan `):
 			q := strings.TrimPrefix(line, `\plan `)
 			res, err := sys.Query(q)
@@ -236,11 +279,60 @@ func repl(sys *idm.System, limit int) {
 	}
 }
 
+// printStats renders the session's metrics snapshot: query and cache
+// counters, latency percentiles, and per-layer activity.
+func printStats(sys *idm.System) {
+	snap := sys.Metrics().Snapshot()
+	if h, ok := snap.Histograms["idm_query_ns"]; ok && h.Count > 0 {
+		fmt.Printf("queries: %d  mean %v  p50 %v  p90 %v  max %v\n",
+			h.Count,
+			time.Duration(h.Mean()).Round(time.Microsecond),
+			time.Duration(h.Quantile(0.5)).Round(time.Microsecond),
+			time.Duration(h.Quantile(0.9)).Round(time.Microsecond),
+			time.Duration(h.Max).Round(time.Microsecond))
+	} else {
+		fmt.Println("queries: none yet")
+	}
+	cs := sys.CacheStats()
+	fmt.Printf("cache:   %d hits / %d misses (size %d, evictions %d)\n",
+		cs.Hits, cs.Misses, cs.Size, cs.Evictions)
+	if cs.Hits > 0 || cs.Misses > 0 {
+		fmt.Printf("         hit %v vs miss %v; entry age avg %v, oldest %v\n",
+			cs.HitLatency.Round(time.Microsecond), cs.MissLatency.Round(time.Microsecond),
+			cs.AvgEntryAge.Round(time.Millisecond), cs.OldestEntryAge.Round(time.Millisecond))
+	}
+	fmt.Println("counters:")
+	for _, name := range snap.CounterNames() {
+		if v := snap.Counters[name]; v != 0 {
+			fmt.Printf("  %-40s %d\n", name, v)
+		}
+	}
+	if len(snap.Gauges) > 0 {
+		fmt.Println("gauges:")
+		for _, name := range snap.GaugeNames() {
+			fmt.Printf("  %-40s %d\n", name, snap.Gauges[name])
+		}
+	}
+}
+
+func fmtRate(r float64) string {
+	switch {
+	case r >= 1e6:
+		return fmt.Sprintf("%.1fM", r/1e6)
+	case r >= 1e3:
+		return fmt.Sprintf("%.1fk", r/1e3)
+	default:
+		return fmt.Sprintf("%.0f", r)
+	}
+}
+
 func printHelp() {
-	fmt.Print(`commands:
+	fmt.Print(`commands (: works like \):
   \sources         per-source resource view breakdown (Table 2)
   \sizes           index and replica sizes (Table 3)
   \plan <query>    show the rule-based query plan
+  \explain <query> evaluate with tracing and print the span tree
+  \stats           session metrics and query-cache statistics
   \rank <query>    evaluate with tf-ranked results
   \lineage <query> provenance chain of the first result
   \changes         tail of the dataspace change journal

@@ -41,6 +41,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/iql"
 	"repro/internal/mail"
+	"repro/internal/obs"
 	"repro/internal/relstore"
 	"repro/internal/rss"
 	"repro/internal/rvm"
@@ -160,6 +161,10 @@ type Config struct {
 	// index §5.2 of the paper gives as an example; query it with
 	// SimilarImages.
 	IndexImages bool
+	// DisableMetrics opens the metrics registry disabled: instruments
+	// stay wired through the stack but record nothing (one atomic load
+	// per call). Re-enable at runtime with Metrics().SetEnabled(true).
+	DisableMetrics bool
 }
 
 // System is an iMeMex-style Personal Dataspace Management System: a
@@ -171,6 +176,27 @@ type System struct {
 	now        func() time.Time
 	par        int
 	cache      *queryCache // nil when disabled
+	metrics    *obs.Registry
+	met        systemMetrics
+}
+
+// systemMetrics bundles the facade's own instruments (idm_* series);
+// engine, manager and plugin instruments live in the same registry
+// under their own prefixes.
+type systemMetrics struct {
+	queries     *obs.Counter
+	queryNs     *obs.Histogram
+	cacheHits   *obs.Counter
+	cacheMisses *obs.Counter
+}
+
+func newSystemMetrics(reg *obs.Registry) systemMetrics {
+	return systemMetrics{
+		queries:     reg.Counter("idm_queries_total"),
+		queryNs:     reg.Histogram("idm_query_ns", nil),
+		cacheHits:   reg.Counter("idm_cache_hits_total"),
+		cacheMisses: reg.Counter("idm_cache_misses_total"),
+	}
 }
 
 // Open creates a System.
@@ -198,6 +224,11 @@ func open(cfg Config, cat *catalog.Catalog) *System {
 	opts.MaxContentBytes = cfg.MaxContentBytes
 	opts.InfinitePrefix = cfg.InfinitePrefix
 	opts.IndexImages = cfg.IndexImages
+	reg := obs.NewRegistry()
+	if cfg.DisableMetrics {
+		reg.SetEnabled(false)
+	}
+	opts.Metrics = reg
 	mgr := rvm.NewWithCatalog(opts, cat)
 	now := cfg.Now
 	if now == nil {
@@ -207,6 +238,7 @@ func open(cfg Config, cat *catalog.Catalog) *System {
 		Expansion:   cfg.Expansion,
 		Now:         now,
 		Parallelism: cfg.Parallelism,
+		Metrics:     reg,
 	})
 	s := &System{
 		mgr:        mgr,
@@ -214,6 +246,8 @@ func open(cfg Config, cat *catalog.Catalog) *System {
 		converters: convert.Default(),
 		now:        now,
 		par:        cfg.Parallelism,
+		metrics:    reg,
+		met:        newSystemMetrics(reg),
 	}
 	if !cfg.DisableQueryCache {
 		s.cache = newQueryCache(0)
@@ -278,12 +312,17 @@ func (s *System) Count() int { return s.mgr.Count() }
 // dataspace version (see Config.DisableQueryCache); treat them as
 // read-only.
 func (s *System) Query(q string) (*Result, error) {
+	start := time.Now()
+	s.met.queries.Inc()
 	var version uint64
 	if s.cache != nil {
 		version = s.mgr.Version()
 		if res, ok := s.cache.get(q, version); ok {
+			s.met.cacheHits.Inc()
+			s.met.queryNs.ObserveSince(start)
 			return res, nil
 		}
+		s.met.cacheMisses.Inc()
 	}
 	r, err := s.engine.Query(q)
 	if err != nil {
@@ -291,17 +330,61 @@ func (s *System) Query(q string) (*Result, error) {
 	}
 	res := s.buildResult(r)
 	if s.cache != nil {
-		s.cache.put(q, version, res)
+		// The elapsed time is what this miss cost; the cache reports it
+		// as MissLatency against the hit path's HitLatency.
+		s.cache.put(q, version, res, time.Since(start))
 	}
+	s.met.queryNs.ObserveSince(start)
 	return res, nil
 }
 
-// CacheStats reports query-cache hits, misses and current size.
+// CacheStats reports query-cache hits, misses, current size and the
+// latency/age detail of cache.go.
 func (s *System) CacheStats() CacheStats {
 	if s.cache == nil {
 		return CacheStats{}
 	}
 	return s.cache.stats()
+}
+
+// Metrics returns the system's metrics registry. Every layer records
+// into it: idm_* (facade and cache), iql_* (query engine), rvm_* and
+// stream_* (Resource View Manager), source_<id>_* (plugins). Snapshot
+// it for export, or disable it with SetEnabled(false).
+func (s *System) Metrics() *obs.Registry { return s.metrics }
+
+// Trace evaluates a query with span-based tracing and returns the
+// resolved result together with the parse → plan → eval span tree
+// (including per-worker spans for sharded stages). Trace bypasses the
+// query cache — its purpose is to show evaluation, not memoization.
+func (s *System) Trace(q string) (*Result, *obs.Trace, error) {
+	r, tr, err := s.engine.QueryTraced(q)
+	if err != nil {
+		return nil, tr, err
+	}
+	return s.buildResult(r), tr, nil
+}
+
+// Explain evaluates the query with tracing and returns the rendered
+// span tree — an EXPLAIN ANALYZE over the iQL engine. (The package-level
+// Explain renders only the normalized parse, without evaluating.)
+func (s *System) Explain(q string) (string, error) {
+	_, tr, err := s.Trace(q)
+	if err != nil {
+		return "", err
+	}
+	return tr.Render(), nil
+}
+
+// IndexTraced synchronizes every source like Index, additionally
+// recording one span per source with the Figure 5 timing breakdown
+// (catalog insert, component indexing, data source access) as span
+// attributes.
+func (s *System) IndexTraced() (SyncReport, *obs.Trace, error) {
+	tr := obs.NewTrace("index")
+	rep, err := s.mgr.SyncAllTraced(tr)
+	tr.Finish()
+	return rep, tr, err
 }
 
 // QueryWith evaluates with an explicit expansion strategy, overriding

@@ -28,6 +28,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/iql"
 	"repro/internal/mail"
+	"repro/internal/obs"
 	"repro/internal/rvm"
 	"repro/internal/sources/fsplugin"
 	"repro/internal/sources/mailplugin"
@@ -498,7 +499,9 @@ type BenchQuery struct {
 }
 
 // BenchReport is the stable schema of BENCH_iql.json. SchemaVersion
-// bumps on any incompatible change.
+// bumps on additions (incompatible changes would fork the file name):
+// version 2 added the optional obs_overhead section, so v1 readers
+// still parse v2 files by ignoring the unknown key.
 type BenchReport struct {
 	SchemaVersion int          `json:"schema_version"`
 	Tool          string       `json:"tool"`
@@ -508,6 +511,9 @@ type BenchReport struct {
 	Parallelism   int          `json:"parallelism"`
 	Runs          int          `json:"runs"`
 	Queries       []BenchQuery `json:"queries"`
+	// ObsOverhead reports the instrumentation-cost microbenchmark
+	// (schema v2; omitted when not measured).
+	ObsOverhead *ObsOverhead `json:"obs_overhead,omitempty"`
 }
 
 // measureEngine times runs repetitions of one query and derives per-op
@@ -548,7 +554,7 @@ func BenchIQL(s *Setup, runs, parallelism int) (*BenchReport, error) {
 	serial := s.EngineWith(iql.ForwardExpansion, 1)
 	par := s.EngineWith(iql.ForwardExpansion, parallelism)
 	rep := &BenchReport{
-		SchemaVersion: 1,
+		SchemaVersion: 2,
 		Tool:          "idmbench",
 		Scale:         s.Scale,
 		Seed:          s.Seed,
@@ -575,4 +581,124 @@ func BenchIQL(s *Setup, runs, parallelism int) (*BenchReport, error) {
 		rep.Queries = append(rep.Queries, bq)
 	}
 	return rep, nil
+}
+
+// ---------------------------------------------------------------------
+// obs_overhead — cost of the observability layer on the query path.
+// ---------------------------------------------------------------------
+
+// ObsQueryOverhead is one query's instrumentation-cost measurement:
+// ns/op with no registry wired (baseline), with a wired-but-disabled
+// registry (the default production posture when metrics are off), and
+// with recording enabled.
+type ObsQueryOverhead struct {
+	ID              string `json:"id"`
+	BaselineNsPerOp int64  `json:"baseline_ns_per_op"`
+	DisabledNsPerOp int64  `json:"disabled_ns_per_op"`
+	EnabledNsPerOp  int64  `json:"enabled_ns_per_op"`
+	// Overheads are relative to baseline; small negatives are
+	// measurement noise.
+	DisabledOverheadPct float64 `json:"disabled_overhead_pct"`
+	EnabledOverheadPct  float64 `json:"enabled_overhead_pct"`
+}
+
+// ObsOverhead is the obs_overhead section of BENCH_iql.json
+// (schema_version 2). The acceptance target is mean disabled overhead
+// ≤ 2%: wired instruments must be near-free when the registry is off.
+type ObsOverhead struct {
+	Runs                    int                `json:"runs"`
+	Reps                    int                `json:"reps"`
+	Queries                 []ObsQueryOverhead `json:"queries"`
+	MeanDisabledOverheadPct float64            `json:"mean_disabled_overhead_pct"`
+	MeanEnabledOverheadPct  float64            `json:"mean_enabled_overhead_pct"`
+}
+
+// BenchObsOverhead measures the instrumentation cost on every Table 4
+// query with three serial engines over the same manager: no registry,
+// disabled registry, enabled registry. Each mode runs reps times
+// interleaved and keeps the fastest repetition — min-of-reps is robust
+// against scheduler noise on small machines, where a mean would drown
+// the sub-percent effect being measured.
+func BenchObsOverhead(s *Setup, runs, reps int) (*ObsOverhead, error) {
+	if runs <= 0 {
+		runs = 10
+	}
+	if reps <= 0 {
+		reps = 3
+	}
+	baseline := iql.NewEngine(s.Mgr, iql.Options{Expansion: iql.ForwardExpansion, Now: Clock, Parallelism: 1})
+	disReg := obs.NewRegistry()
+	disReg.SetEnabled(false)
+	disabled := iql.NewEngine(s.Mgr, iql.Options{Expansion: iql.ForwardExpansion, Now: Clock, Parallelism: 1, Metrics: disReg})
+	enReg := obs.NewRegistry()
+	enabled := iql.NewEngine(s.Mgr, iql.Options{Expansion: iql.ForwardExpansion, Now: Clock, Parallelism: 1, Metrics: enReg})
+
+	// time one batch of iters executions; min-of-reps over these batches
+	// is the reported ns/op.
+	batch := func(e *iql.Engine, src string, iters int) (int64, error) {
+		// Start every batch from a collected heap so no mode pays
+		// another's GC debt.
+		runtime.GC()
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			if _, err := e.Query(src); err != nil {
+				return 0, err
+			}
+		}
+		return time.Since(start).Nanoseconds() / int64(iters), nil
+	}
+
+	out := &ObsOverhead{Runs: runs, Reps: reps}
+	var disSum, enSum float64
+	for _, q := range PaperQueries() {
+		row := ObsQueryOverhead{ID: q.ID}
+		// Warm up and calibrate the batch size so one batch runs long
+		// enough (~20ms) that scheduler jitter can't fake a percent-level
+		// difference between modes.
+		warm := time.Now()
+		if _, err := baseline.Query(q.IQL); err != nil {
+			return nil, fmt.Errorf("%s: %w", q.ID, err)
+		}
+		perOp := time.Since(warm)
+		iters := runs
+		if perOp > 0 {
+			if n := int(40 * time.Millisecond / perOp); n > iters {
+				iters = n
+			}
+		}
+		modes := []struct {
+			engine *iql.Engine
+			out    *int64
+		}{
+			{baseline, &row.BaselineNsPerOp},
+			{disabled, &row.DisabledNsPerOp},
+			{enabled, &row.EnabledNsPerOp},
+		}
+		for rep := 0; rep < reps; rep++ {
+			// Rotate the mode order each repetition so slow drift
+			// (thermal, background load) doesn't bias one mode.
+			for i := range modes {
+				m := modes[(rep+i)%len(modes)]
+				v, err := batch(m.engine, q.IQL, iters)
+				if err != nil {
+					return nil, fmt.Errorf("%s: %w", q.ID, err)
+				}
+				if *m.out == 0 || v < *m.out {
+					*m.out = v
+				}
+			}
+		}
+		if row.BaselineNsPerOp > 0 {
+			row.DisabledOverheadPct = 100 * float64(row.DisabledNsPerOp-row.BaselineNsPerOp) / float64(row.BaselineNsPerOp)
+			row.EnabledOverheadPct = 100 * float64(row.EnabledNsPerOp-row.BaselineNsPerOp) / float64(row.BaselineNsPerOp)
+		}
+		disSum += row.DisabledOverheadPct
+		enSum += row.EnabledOverheadPct
+		out.Queries = append(out.Queries, row)
+	}
+	if n := float64(len(out.Queries)); n > 0 {
+		out.MeanDisabledOverheadPct = disSum / n
+		out.MeanEnabledOverheadPct = enSum / n
+	}
+	return out, nil
 }

@@ -182,7 +182,7 @@ func TestBenchIQLReport(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rep.SchemaVersion != 1 || rep.Parallelism != 4 || len(rep.Queries) != 8 {
+	if rep.SchemaVersion != 2 || rep.Parallelism != 4 || len(rep.Queries) != 8 {
 		t.Fatalf("report header = %+v", rep)
 	}
 	for _, q := range rep.Queries {
@@ -190,6 +190,26 @@ func TestBenchIQLReport(t *testing.T) {
 			t.Errorf("%s: result counts diverge: %d vs %d", q.ID, q.Serial.Results, q.Parallel.Results)
 		}
 		if q.Serial.NsPerOp <= 0 || q.Parallel.NsPerOp <= 0 {
+			t.Errorf("%s: non-positive timing %+v", q.ID, q)
+		}
+	}
+}
+
+// TestBenchObsOverheadReport checks the obs_overhead producer: all eight
+// queries measured in all three modes. Overhead percentages are not
+// asserted here — one fast repetition in a loaded test run is too noisy;
+// the Makefile's obs-bench target measures them properly.
+func TestBenchObsOverheadReport(t *testing.T) {
+	s := testSetup(t, false)
+	oo, err := BenchObsOverhead(s, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(oo.Queries) != 8 {
+		t.Fatalf("queries measured = %d, want 8", len(oo.Queries))
+	}
+	for _, q := range oo.Queries {
+		if q.BaselineNsPerOp <= 0 || q.DisabledNsPerOp <= 0 || q.EnabledNsPerOp <= 0 {
 			t.Errorf("%s: non-positive timing %+v", q.ID, q)
 		}
 	}

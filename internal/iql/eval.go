@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/catalog"
+	"repro/internal/obs"
 	"repro/internal/oidset"
 )
 
@@ -35,6 +36,11 @@ type Options struct {
 	// Results are identical at any setting: rows are sorted before
 	// return, so only internal evaluation order varies.
 	Parallelism int
+	// Metrics receives the engine's counters and latency histograms
+	// (iql_* instruments, see docs/OBSERVABILITY.md). nil leaves the
+	// engine uninstrumented; a disabled registry costs one atomic load
+	// per instrument call.
+	Metrics *obs.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -55,11 +61,38 @@ func (o Options) withDefaults() Options {
 type Engine struct {
 	store Store
 	opts  Options
+	met   engineMetrics
+}
+
+// engineMetrics bundles the engine's instruments. With a nil
+// Options.Metrics every field is a nil (no-op) instrument, so the hot
+// paths need no registry checks.
+type engineMetrics struct {
+	queries       *obs.Counter
+	errors        *obs.Counter
+	queryNs       *obs.Histogram
+	parseNs       *obs.Histogram
+	rows          *obs.Counter
+	intermediates *obs.Counter
+	indexAccesses *obs.Counter
+}
+
+func newEngineMetrics(reg *obs.Registry) engineMetrics {
+	return engineMetrics{
+		queries:       reg.Counter("iql_queries_total"),
+		errors:        reg.Counter("iql_query_errors_total"),
+		queryNs:       reg.Histogram("iql_query_ns", nil),
+		parseNs:       reg.Histogram("iql_parse_ns", nil),
+		rows:          reg.Counter("iql_rows_total"),
+		intermediates: reg.Counter("iql_intermediates_total"),
+		indexAccesses: reg.Counter("iql_index_accesses_total"),
+	}
 }
 
 // NewEngine returns an engine over the store.
 func NewEngine(store Store, opts Options) *Engine {
-	return &Engine{store: store, opts: opts.withDefaults()}
+	opts = opts.withDefaults()
+	return &Engine{store: store, opts: opts, met: newEngineMetrics(opts.Metrics)}
 }
 
 // Result is the outcome of a query. Rows have one column for path,
@@ -91,25 +124,77 @@ func (r *Result) OIDs() []catalog.OID {
 
 // Query parses and evaluates an iQL query string.
 func (e *Engine) Query(src string) (*Result, error) {
+	return e.query(src, nil)
+}
+
+// QueryTraced parses and evaluates src with span-based tracing: the
+// returned trace holds the parse → plan → eval span tree, including
+// per-worker spans for the stages the engine sharded. Tracing records
+// wall-clock per stage, so traced runs cost slightly more than Query.
+func (e *Engine) QueryTraced(src string) (*Result, *obs.Trace, error) {
+	trace := obs.NewTrace("query " + src)
+	res, err := e.query(src, trace)
+	trace.Finish()
+	return res, trace, err
+}
+
+func (e *Engine) query(src string, trace *obs.Trace) (*Result, error) {
+	t0 := time.Now()
+	ps := trace.Root().Start("parse")
 	q, err := ParseWith(src, ParseOptions{Now: e.opts.Now})
+	e.met.parseNs.ObserveSince(t0)
 	if err != nil {
+		ps.Set("error", err.Error())
+		ps.Finish()
+		e.met.queries.Inc()
+		e.met.errors.Inc()
 		return nil, err
 	}
-	return e.Exec(q)
+	ps.Set("normalized", q.String())
+	ps.Finish()
+	return e.ExecTraced(q, trace)
 }
 
 // Exec evaluates a parsed query.
 func (e *Engine) Exec(q Query) (*Result, error) {
+	return e.ExecTraced(q, nil)
+}
+
+// ExecTraced evaluates a parsed query, recording plan and eval spans
+// into trace (nil trace = no tracing, identical to Exec).
+func (e *Engine) ExecTraced(q Query, trace *obs.Trace) (*Result, error) {
+	t0 := time.Now()
+	e.met.queries.Inc()
+	root := trace.Root()
+
+	// The rule-based planner's static choices; per-query decisions
+	// (auto-expansion anchoring, join build side) annotate eval spans.
+	pl := root.Start("plan")
+	pl.Set("strategy", e.opts.Expansion.String())
+	pl.SetInt("parallelism", int64(e.opts.Parallelism))
+	pl.SetInt("budget", int64(e.opts.Budget))
+	pl.Finish()
+
 	plan := &PlanInfo{}
 	ctx := newEvalCtx(e.store, plan, e.opts.Parallelism)
-	rows, cols, err := e.exec(ctx, q)
+	ev := root.Start("eval")
+	rows, cols, err := e.exec(ctx, q, ev)
+	ev.Finish()
 	if err != nil {
+		e.met.errors.Inc()
 		return nil, err
 	}
 	res := &Result{Columns: cols, Rows: rows, Plan: plan}
 	if e.opts.Rank {
+		rs := root.Start("sort")
+		rs.Set("order", "relevance (tf)")
 		e.rank(q, res)
+		rs.Finish()
 	}
+	e.met.queryNs.ObserveSince(t0)
+	e.met.rows.Add(int64(len(res.Rows)))
+	e.met.intermediates.Add(plan.Intermediates)
+	e.met.indexAccesses.Add(plan.IndexAccesses)
 	return res, nil
 }
 
@@ -192,27 +277,44 @@ func collectPhrases(q Query) []string {
 	return out
 }
 
-func (e *Engine) exec(ctx *evalCtx, q Query) ([][]catalog.OID, []string, error) {
+// exec evaluates one query node; sp is the parent span node-level spans
+// attach to (nil when untraced).
+func (e *Engine) exec(ctx *evalCtx, q Query, sp *obs.Span) ([][]catalog.OID, []string, error) {
 	switch x := q.(type) {
 	case *PredQuery:
 		ctx.plan.notef("predicate over all views: %s", x.Pred)
-		oids := ctx.resolveStep(Step{Axis: Descendant, Pred: x.Pred})
+		ps := startSpan(sp, "predicate %s", x.Pred)
+		oids := ctx.resolveStep(Step{Axis: Descendant, Pred: x.Pred}, ps)
+		ps.SetInt("matches", int64(len(oids)))
+		ps.Finish()
 		return singleColumn(oids), []string{"view"}, nil
 	case *PathQuery:
-		oids, err := e.evalPath(ctx, x)
+		ps := startSpan(sp, "path %s", x)
+		oids, err := e.evalPath(ctx, x, ps)
+		ps.Finish()
 		if err != nil {
 			return nil, nil, err
 		}
+		ps.SetInt("matches", int64(len(oids)))
 		return singleColumn(oids), []string{"view"}, nil
 	case *UnionQuery:
-		return e.evalUnion(ctx, x)
+		return e.evalUnion(ctx, x, sp)
 	case *JoinQuery:
-		return e.evalJoin(ctx, x)
+		return e.evalJoin(ctx, x, sp)
 	case *DeleteQuery:
 		return nil, nil, fmt.Errorf("iql: engine is read-only; execute delete statements through the PDSMS")
 	default:
 		return nil, nil, fmt.Errorf("iql: unknown query node %T", q)
 	}
+}
+
+// startSpan starts a child span with a formatted name, paying the
+// formatting cost only when tracing is live.
+func startSpan(parent *obs.Span, format string, args ...any) *obs.Span {
+	if parent == nil {
+		return nil
+	}
+	return parent.Start(fmt.Sprintf(format, args...))
 }
 
 func singleColumn(oids []catalog.OID) [][]catalog.OID {
@@ -226,11 +328,20 @@ func singleColumn(oids []catalog.OID) [][]catalog.OID {
 // evalUnion evaluates the duplicate-free union, running the branch
 // queries concurrently when the engine is parallel (each branch is an
 // independent subquery sharing this query's memoized index lookups).
-func (e *Engine) evalUnion(ctx *evalCtx, q *UnionQuery) ([][]catalog.OID, []string, error) {
+func (e *Engine) evalUnion(ctx *evalCtx, q *UnionQuery, sp *obs.Span) ([][]catalog.OID, []string, error) {
 	ctx.plan.notef("union of %d queries", len(q.Args))
+	us := startSpan(sp, "union")
+	us.SetInt("branches", int64(len(q.Args)))
 	branches := make([][][]catalog.OID, len(q.Args))
 	errs := make([]error, len(q.Args))
-	run := func(i int) { branches[i], _, errs[i] = e.exec(ctx, q.Args[i]) }
+	spans := make([]*obs.Span, len(q.Args))
+	for i := range q.Args {
+		spans[i] = startSpan(us, "branch %d", i+1)
+	}
+	run := func(i int) {
+		branches[i], _, errs[i] = e.exec(ctx, q.Args[i], spans[i])
+		spans[i].Finish()
+	}
 	if ctx.par > 1 && len(q.Args) > 1 {
 		var wg sync.WaitGroup
 		for i := range q.Args {
@@ -248,6 +359,7 @@ func (e *Engine) evalUnion(ctx *evalCtx, q *UnionQuery) ([][]catalog.OID, []stri
 	}
 	for _, err := range errs {
 		if err != nil {
+			us.Finish()
 			return nil, nil, err
 		}
 	}
@@ -259,6 +371,8 @@ func (e *Engine) evalUnion(ctx *evalCtx, q *UnionQuery) ([][]catalog.OID, []stri
 			}
 		}
 	}
+	us.SetInt("matches", int64(seen.Len()))
+	us.Finish()
 	return singleColumn(seen.Slice()), []string{"view"}, nil
 }
 
@@ -266,7 +380,7 @@ func (e *Engine) evalUnion(ctx *evalCtx, q *UnionQuery) ([][]catalog.OID, []stri
 // strategy. Under automatic expansion the anchor steps are resolved once
 // and the already-resolved candidate lists are threaded into the chosen
 // strategy, so no step is resolved twice.
-func (e *Engine) evalPath(ctx *evalCtx, q *PathQuery) ([]catalog.OID, error) {
+func (e *Engine) evalPath(ctx *evalCtx, q *PathQuery, sp *obs.Span) ([]catalog.OID, error) {
 	if len(q.Steps) == 0 {
 		return nil, fmt.Errorf("iql: empty path")
 	}
@@ -276,13 +390,17 @@ func (e *Engine) evalPath(ctx *evalCtx, q *PathQuery) ([]catalog.OID, error) {
 	if strategy == AutoExpansion {
 		// Anchor on the cheaper end: compare candidate counts of the
 		// first and last steps.
-		first = ctx.resolveStep(q.Steps[0])
+		cs := startSpan(sp, "strategy choice")
+		first = ctx.resolveStep(q.Steps[0], cs)
 		haveFirst = true
 		if len(q.Steps) == 1 {
 			ctx.plan.notef("single-step path: %d matches", len(first))
+			cs.SetInt("first", int64(len(first)))
+			cs.Set("chosen", "single step")
+			cs.Finish()
 			return first, nil
 		}
-		last = ctx.resolveStep(q.Steps[len(q.Steps)-1])
+		last = ctx.resolveStep(q.Steps[len(q.Steps)-1], cs)
 		haveLast = true
 		if len(last) <= len(first) {
 			strategy = BackwardExpansion
@@ -291,11 +409,15 @@ func (e *Engine) evalPath(ctx *evalCtx, q *PathQuery) ([]catalog.OID, error) {
 		}
 		ctx.plan.notef("auto expansion: first=%d last=%d → %s",
 			len(first), len(last), strategy)
+		cs.SetInt("first", int64(len(first)))
+		cs.SetInt("last", int64(len(last)))
+		cs.Set("chosen", strategy.String())
+		cs.Finish()
 	}
 	if strategy == BackwardExpansion {
-		return e.evalPathBackward(ctx, q, last, haveLast)
+		return e.evalPathBackward(ctx, q, last, haveLast, sp)
 	}
-	return e.evalPathForward(ctx, q, first, haveFirst)
+	return e.evalPathForward(ctx, q, first, haveFirst, sp)
 }
 
 // evalPathForward implements the paper's strategy: resolve the first
@@ -303,34 +425,46 @@ func (e *Engine) evalPath(ctx *evalCtx, q *PathQuery) ([]catalog.OID, error) {
 // filtering at each step. Q8's large intermediate result sets arise
 // here, exactly as §7.2 describes; each frontier is sharded across the
 // engine's workers.
-func (e *Engine) evalPathForward(ctx *evalCtx, q *PathQuery, first []catalog.OID, haveFirst bool) ([]catalog.OID, error) {
+func (e *Engine) evalPathForward(ctx *evalCtx, q *PathQuery, first []catalog.OID, haveFirst bool, sp *obs.Span) ([]catalog.OID, error) {
 	ctx.plan.notef("forward expansion over %d steps", len(q.Steps))
+	fs := startSpan(sp, "forward expansion")
 	cur := first
 	if !haveFirst {
-		cur = ctx.resolveStep(q.Steps[0])
+		ss := startSpan(fs, "step 1 %s", q.Steps[0])
+		cur = ctx.resolveStep(q.Steps[0], ss)
+		ss.SetInt("matches", int64(len(cur)))
+		ss.Finish()
 	}
 	ctx.plan.notef("  step 1 %s: %d matches", q.Steps[0], len(cur))
 	bud := newBudget(e.opts.Budget)
 	for i := 1; i < len(q.Steps); i++ {
 		step := q.Steps[i]
+		ss := startSpan(fs, "step %d %s", i+1, step)
 		var matched *oidset.Set
 		var touched int
 		var err error
 		switch step.Axis {
 		case Child:
-			matched, touched, err = ctx.expandChild(step, cur, bud)
+			matched, touched, err = ctx.expandChild(step, cur, bud, ss)
 		case Descendant:
-			matched, touched, err = ctx.expandDescendant(step, cur, bud)
+			matched, touched, err = ctx.expandDescendant(step, cur, bud, ss)
 		default:
 			matched = oidset.New(0)
 		}
 		ctx.plan.addIntermediates(touched)
 		if err != nil {
+			ss.Set("error", err.Error())
+			ss.Finish()
+			fs.Finish()
 			return nil, err
 		}
 		cur = matched.Slice()
+		ss.SetInt("touched", int64(touched))
+		ss.SetInt("matches", int64(len(cur)))
+		ss.Finish()
 		ctx.plan.notef("  step %d %s: %d matches", i+1, step, len(cur))
 	}
+	fs.Finish()
 	return cur, nil
 }
 
@@ -339,15 +473,21 @@ func (e *Engine) evalPathForward(ctx *evalCtx, q *PathQuery, first []catalog.OID
 // processing strategy §7.2 proposes for queries like Q8. Every
 // candidate's verification walk is independent, so candidates shard
 // across the engine's workers.
-func (e *Engine) evalPathBackward(ctx *evalCtx, q *PathQuery, last []catalog.OID, haveLast bool) ([]catalog.OID, error) {
+func (e *Engine) evalPathBackward(ctx *evalCtx, q *PathQuery, last []catalog.OID, haveLast bool, sp *obs.Span) ([]catalog.OID, error) {
 	ctx.plan.notef("backward expansion over %d steps", len(q.Steps))
+	bs := startSpan(sp, "backward verification")
 	lastIdx := len(q.Steps) - 1
 	candidates := last
 	if !haveLast {
-		candidates = ctx.resolveStep(q.Steps[lastIdx])
+		ss := startSpan(bs, "step %d %s", lastIdx+1, q.Steps[lastIdx])
+		candidates = ctx.resolveStep(q.Steps[lastIdx], ss)
+		ss.SetInt("candidates", int64(len(candidates)))
+		ss.Finish()
 	}
 	ctx.plan.notef("  step %d %s: %d candidates", lastIdx+1, q.Steps[lastIdx], len(candidates))
+	bs.SetInt("candidates", int64(len(candidates)))
 	if lastIdx == 0 {
+		bs.Finish()
 		return candidates, nil
 	}
 	bud := newBudget(e.opts.Budget)
@@ -355,17 +495,22 @@ func (e *Engine) evalPathBackward(ctx *evalCtx, q *PathQuery, last []catalog.OID
 	w := workersFor(ctx.par, len(candidates))
 	errs := make([]error, w)
 	parRange(len(candidates), w, func(worker, lo, hi int) {
+		ws := workerSpan(bs, w, worker, lo, hi)
 		for i := lo; i < hi; i++ {
 			ok, err := e.verifyAncestors(ctx, q.Steps, lastIdx, candidates[i], bud)
 			if err != nil {
 				errs[worker] = err
+				ws.Set("error", err.Error())
+				ws.Finish()
 				return
 			}
 			keep[i] = ok
 		}
+		ws.Finish()
 	})
 	for _, err := range errs {
 		if err != nil {
+			bs.Finish()
 			return nil, err
 		}
 	}
@@ -376,6 +521,8 @@ func (e *Engine) evalPathBackward(ctx *evalCtx, q *PathQuery, last []catalog.OID
 		}
 	}
 	ctx.plan.notef("  verified: %d of %d candidates", len(out), len(candidates))
+	bs.SetInt("verified", int64(len(out)))
+	bs.Finish()
 	return out, nil
 }
 
@@ -437,7 +584,10 @@ func (e *Engine) verifyAncestors(ctx *evalCtx, steps []Step, k int, oid catalog.
 // larger one; output rows are always (left, right). The two inputs are
 // evaluated concurrently when the engine is parallel, and probing shards
 // the probe side across workers.
-func (e *Engine) evalJoin(ctx *evalCtx, q *JoinQuery) ([][]catalog.OID, []string, error) {
+func (e *Engine) evalJoin(ctx *evalCtx, q *JoinQuery, sp *obs.Span) ([][]catalog.OID, []string, error) {
+	js := startSpan(sp, "join")
+	ls := startSpan(js, "left input")
+	rs := startSpan(js, "right input")
 	var leftRows, rightRows [][]catalog.OID
 	var leftErr, rightErr error
 	if ctx.par > 1 {
@@ -445,23 +595,29 @@ func (e *Engine) evalJoin(ctx *evalCtx, q *JoinQuery) ([][]catalog.OID, []string
 		wg.Add(2)
 		go func() {
 			defer wg.Done()
-			leftRows, _, leftErr = e.exec(ctx, q.Left)
+			leftRows, _, leftErr = e.exec(ctx, q.Left, ls)
+			ls.Finish()
 		}()
 		go func() {
 			defer wg.Done()
-			rightRows, _, rightErr = e.exec(ctx, q.Right)
+			rightRows, _, rightErr = e.exec(ctx, q.Right, rs)
+			rs.Finish()
 		}()
 		wg.Wait()
 	} else {
-		leftRows, _, leftErr = e.exec(ctx, q.Left)
+		leftRows, _, leftErr = e.exec(ctx, q.Left, ls)
+		ls.Finish()
 		if leftErr == nil {
-			rightRows, _, rightErr = e.exec(ctx, q.Right)
+			rightRows, _, rightErr = e.exec(ctx, q.Right, rs)
 		}
+		rs.Finish()
 	}
 	if leftErr != nil {
+		js.Finish()
 		return nil, nil, leftErr
 	}
 	if rightErr != nil {
+		js.Finish()
 		return nil, nil, rightErr
 	}
 
@@ -476,7 +632,10 @@ func (e *Engine) evalJoin(ctx *evalCtx, q *JoinQuery) ([][]catalog.OID, []string
 	ctx.plan.notef("join: %d x %d rows on %s = %s (hash build on %s side)",
 		len(leftRows), len(rightRows), q.On[0], q.On[1],
 		map[bool]string{true: "right", false: "left"}[buildIsRight])
+	js.Set("build side", map[bool]string{true: "right", false: "left"}[buildIsRight])
 
+	hs := startSpan(js, "hash build")
+	hs.SetInt("rows", int64(len(build)))
 	hash := make(map[string][]catalog.OID, len(build))
 	for _, row := range build {
 		if len(row) != 1 {
@@ -488,9 +647,13 @@ func (e *Engine) evalJoin(ctx *evalCtx, q *JoinQuery) ([][]catalog.OID, []string
 		}
 		hash[key] = append(hash[key], row[0])
 	}
+	hs.Finish()
+	ps := startSpan(js, "probe")
+	ps.SetInt("rows", int64(len(probe)))
 	w := workersFor(ctx.par, len(probe))
 	parts := make([][][]catalog.OID, w)
 	parRange(len(probe), w, func(worker, lo, hi int) {
+		ws := workerSpan(ps, w, worker, lo, hi)
 		var out [][]catalog.OID
 		for _, row := range probe[lo:hi] {
 			if len(row) != 1 {
@@ -509,7 +672,10 @@ func (e *Engine) evalJoin(ctx *evalCtx, q *JoinQuery) ([][]catalog.OID, []string
 			}
 		}
 		parts[worker] = out
+		ws.SetInt("matches", int64(len(out)))
+		ws.Finish()
 	})
+	ps.Finish()
 	var out [][]catalog.OID
 	for _, p := range parts {
 		out = append(out, p...)
@@ -520,6 +686,8 @@ func (e *Engine) evalJoin(ctx *evalCtx, q *JoinQuery) ([][]catalog.OID, []string
 		}
 		return out[i][1] < out[j][1]
 	})
+	js.SetInt("matches", int64(len(out)))
+	js.Finish()
 	return out, []string{q.LeftAs, q.RightAs}, nil
 }
 

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/catalog"
+	"repro/internal/obs"
 	"repro/internal/oidset"
 )
 
@@ -48,6 +49,20 @@ func parRange(n, w int, fn func(worker, lo, hi int)) {
 	wg.Wait()
 }
 
+// workerSpan starts a per-worker span under parent for one parRange
+// shard. Spans are only worth their cost when the stage actually fanned
+// out, so a serial stage (w <= 1) records none — the parent span already
+// carries its timing.
+func workerSpan(parent *obs.Span, w, worker, lo, hi int) *obs.Span {
+	if parent == nil || w <= 1 {
+		return nil
+	}
+	ws := startSpan(parent, "worker %d", worker)
+	ws.SetInt("from", int64(lo))
+	ws.SetInt("to", int64(hi))
+	return ws
+}
+
 // errBudget reports an exceeded expansion budget.
 var errBudget = errors.New("iql: expansion budget exceeded")
 
@@ -70,12 +85,13 @@ func (b *expansionBudget) take(n int) bool { return b.left.Add(-int64(n)) >= 0 }
 // cur views (the '/' axis) and the number of child edges traversed.
 // Children reached over several edges are counted per edge, as the
 // serial evaluator always did.
-func (c *evalCtx) expandChild(step Step, cur []catalog.OID, bud *expansionBudget) (*oidset.Set, int, error) {
+func (c *evalCtx) expandChild(step Step, cur []catalog.OID, bud *expansionBudget, sp *obs.Span) (*oidset.Set, int, error) {
 	w := workersFor(c.par, len(cur))
 	sets := make([]*oidset.Set, w)
 	edges := make([]int, w)
 	var overrun atomic.Bool
 	parRange(len(cur), w, func(worker, lo, hi int) {
+		ws := workerSpan(sp, w, worker, lo, hi)
 		local := oidset.New(0)
 		var buf []catalog.OID
 		for _, oid := range cur[lo:hi] {
@@ -92,6 +108,8 @@ func (c *evalCtx) expandChild(step Step, cur []catalog.OID, bud *expansionBudget
 			}
 		}
 		sets[worker] = local
+		ws.SetInt("edges", int64(edges[worker]))
+		ws.Finish()
 	})
 	touched := 0
 	for _, n := range edges {
@@ -115,17 +133,20 @@ func (c *evalCtx) expandChild(step Step, cur []catalog.OID, bud *expansionBudget
 // at the level barrier (so counters and the budget see each view exactly
 // once, as in serial execution), and predicate matching then runs
 // sharded over the newly discovered views.
-func (c *evalCtx) expandDescendant(step Step, cur []catalog.OID, bud *expansionBudget) (*oidset.Set, int, error) {
+func (c *evalCtx) expandDescendant(step Step, cur []catalog.OID, bud *expansionBudget, sp *obs.Span) (*oidset.Set, int, error) {
 	matched := oidset.New(0)
 	visited := oidset.New(0)
 	touched := 0
 	frontier := cur
-	for len(frontier) > 0 {
+	for level := 1; len(frontier) > 0; level++ {
+		lv := startSpan(sp, "level %d", level)
+		lv.SetInt("frontier", int64(len(frontier)))
 		// Phase 1: sharded child discovery. visited is read-only here;
 		// worker-local seen sets keep shard-internal duplicates out.
 		w := workersFor(c.par, len(frontier))
 		found := make([][]catalog.OID, w)
 		parRange(len(frontier), w, func(worker, lo, hi int) {
+			ws := workerSpan(lv, w, worker, lo, hi)
 			seen := oidset.New(0)
 			var buf, out []catalog.OID
 			for _, oid := range frontier[lo:hi] {
@@ -138,6 +159,8 @@ func (c *evalCtx) expandDescendant(step Step, cur []catalog.OID, bud *expansionB
 				}
 			}
 			found[worker] = out
+			ws.SetInt("discovered", int64(len(out)))
+			ws.Finish()
 		})
 		// Barrier: global dedup in worker order keeps the traversal
 		// deterministic.
@@ -150,7 +173,10 @@ func (c *evalCtx) expandDescendant(step Step, cur []catalog.OID, bud *expansionB
 			}
 		}
 		touched += len(next)
+		lv.SetInt("discovered", int64(len(next)))
 		if !bud.take(len(next)) {
+			lv.Set("error", errBudget.Error())
+			lv.Finish()
 			return nil, touched, errBudget
 		}
 		// Phase 2: sharded predicate matching over the new views.
@@ -168,6 +194,7 @@ func (c *evalCtx) expandDescendant(step Step, cur []catalog.OID, bud *expansionB
 		for _, s := range sets {
 			matched.UnionWith(s)
 		}
+		lv.Finish()
 		frontier = next
 	}
 	return matched, touched, nil
@@ -177,7 +204,7 @@ func (c *evalCtx) expandDescendant(step Step, cur []catalog.OID, bud *expansionB
 // candidate list, sharding across workers when the list is large.
 // Output order follows input order: shards are contiguous and
 // concatenated in shard order, so a sorted input stays sorted.
-func (c *evalCtx) filterStep(s Step, candidates []catalog.OID) []catalog.OID {
+func (c *evalCtx) filterStep(s Step, candidates []catalog.OID, sp *obs.Span) []catalog.OID {
 	w := workersFor(c.par, len(candidates))
 	if w == 1 {
 		out := candidates[:0:0]
@@ -190,6 +217,7 @@ func (c *evalCtx) filterStep(s Step, candidates []catalog.OID) []catalog.OID {
 	}
 	parts := make([][]catalog.OID, w)
 	parRange(len(candidates), w, func(worker, lo, hi int) {
+		ws := workerSpan(sp, w, worker, lo, hi)
 		var out []catalog.OID
 		for _, oid := range candidates[lo:hi] {
 			if c.matchStep(s, oid) {
@@ -197,6 +225,8 @@ func (c *evalCtx) filterStep(s Step, candidates []catalog.OID) []catalog.OID {
 			}
 		}
 		parts[worker] = out
+		ws.SetInt("matches", int64(len(out)))
+		ws.Finish()
 	})
 	total := 0
 	for _, p := range parts {

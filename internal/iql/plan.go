@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/catalog"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/oidset"
 	"repro/internal/tupleindex"
 	"repro/internal/wildcard"
@@ -276,9 +277,9 @@ func (c *evalCtx) hasBranch(steps []Step, oid catalog.OID) bool {
 		var err error
 		switch s.Axis {
 		case Child:
-			matched, _, err = c.expandChild(s, cur, bud)
+			matched, _, err = c.expandChild(s, cur, bud, nil)
 		case Descendant:
-			matched, _, err = c.expandDescendant(s, cur, bud)
+			matched, _, err = c.expandDescendant(s, cur, bud, nil)
 		}
 		if err != nil || matched == nil || matched.Len() == 0 {
 			return false
@@ -305,12 +306,16 @@ func (c *evalCtx) matchStep(s Step, oid catalog.OID) bool {
 // finds them applicable and falling back to a scan otherwise. The final
 // residual filter shards across workers when the candidate list is
 // large.
-func (c *evalCtx) resolveStep(s Step) []catalog.OID {
+func (c *evalCtx) resolveStep(s Step, sp *obs.Span) []catalog.OID {
 	var candidates []catalog.OID
 	constrained := false
 
 	intersect := func(oids []catalog.OID, why string) {
 		c.plan.notef("  index: %s → %d candidates", why, len(oids))
+		if is := startSpan(sp, "index %s", why); is != nil {
+			is.SetInt("candidates", int64(len(oids)))
+			is.Finish()
+		}
 		if !constrained {
 			candidates = oids
 			constrained = true
@@ -354,9 +359,15 @@ func (c *evalCtx) resolveStep(s Step) []catalog.OID {
 	if !constrained {
 		candidates = c.store.AllOIDs()
 		c.plan.notef("  scan: no applicable index, %d views", len(candidates))
+		sp.Set("access", "full scan")
 	}
 	// Final exact filter (pattern + full predicate).
-	return c.filterStep(s, candidates)
+	rf := startSpan(sp, "residual filter")
+	rf.SetInt("candidates", int64(len(candidates)))
+	out := c.filterStep(s, candidates, rf)
+	rf.SetInt("matches", int64(len(out)))
+	rf.Finish()
+	return out
 }
 
 // conjuncts flattens the top-level AND tree of an expression.

@@ -1,0 +1,75 @@
+package obs
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"sync/atomic"
+)
+
+// The live debug surface: an http.Handler serving metric snapshots as
+// JSON next to the stdlib's expvar and pprof endpoints.
+//
+//	/debug/metrics   registry snapshot (Snapshot JSON)
+//	/debug/vars      expvar (cmdline, memstats, idm_metrics)
+//	/debug/pprof/*   net/http/pprof profiles
+//	/                index page listing the endpoints
+
+// expvarReg is the registry the expvar "idm_metrics" variable reads;
+// published once, retargetable across Handler calls.
+var (
+	expvarReg  atomic.Pointer[Registry]
+	expvarOnce sync.Once
+)
+
+// Handler returns the debug mux over reg. Snapshots are taken per
+// request, so the surface always shows live values.
+func Handler(reg *Registry) http.Handler {
+	expvarReg.Store(reg)
+	expvarOnce.Do(func() {
+		expvar.Publish("idm_metrics", expvar.Func(func() any {
+			return expvarReg.Load().Snapshot()
+		}))
+	})
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		reg.Snapshot().WriteJSON(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		w.Write([]byte(`<html><body><h1>iDM debug</h1><ul>
+<li><a href="/debug/metrics">/debug/metrics</a> — observability registry snapshot</li>
+<li><a href="/debug/vars">/debug/vars</a> — expvar (memstats, cmdline)</li>
+<li><a href="/debug/pprof/">/debug/pprof/</a> — runtime profiles</li>
+</ul></body></html>`))
+	})
+	return mux
+}
+
+// Serve starts the debug surface on addr and returns the bound address
+// (useful with ":0") and a shutdown function. Serving errors after a
+// successful bind are dropped — the debug server must never take the
+// process down.
+func Serve(addr string, reg *Registry) (bound string, shutdown func(), err error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: Handler(reg)}
+	go srv.Serve(ln)
+	return ln.Addr().String(), func() { srv.Close() }, nil
+}

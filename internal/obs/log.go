@@ -1,0 +1,42 @@
+package obs
+
+import (
+	"io"
+	"log/slog"
+	"sync/atomic"
+)
+
+// The logging side of the package: one process-wide base logger that
+// components derive scoped loggers from. The default base discards
+// everything, so library code can log unconditionally; an application
+// (cmd/imemex -debug-addr, tests) installs a real handler when it wants
+// the stream.
+
+var baseLogger atomic.Pointer[slog.Logger]
+
+func init() {
+	baseLogger.Store(slog.New(slog.NewTextHandler(io.Discard, nil)))
+}
+
+// SetLogger installs the base logger all component loggers derive from.
+// A nil logger restores the discarding default.
+func SetLogger(l *slog.Logger) {
+	if l == nil {
+		l = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	baseLogger.Store(l)
+}
+
+// SetLogOutput installs a text handler writing to w at the given level
+// — the convenience form of SetLogger for CLIs.
+func SetLogOutput(w io.Writer, level slog.Level) {
+	SetLogger(slog.New(slog.NewTextHandler(w, &slog.HandlerOptions{Level: level})))
+}
+
+// Logger returns a logger scoped to one component of the PDSMS. The
+// conventional component names are "rvm", "cache", "iql", "sources" and
+// "stream"; callers fetch the logger at call time so a handler
+// installed later takes effect everywhere.
+func Logger(component string) *slog.Logger {
+	return baseLogger.Load().With("component", component)
+}

@@ -1,0 +1,399 @@
+// Package obs is the observability substrate of the PDSMS: a
+// lock-cheap metrics registry (atomic counters, gauges and fixed-bucket
+// latency histograms with snapshot export), span-based query tracing
+// with an EXPLAIN-style tree rendering, component-scoped structured
+// logging over log/slog, and an HTTP debug surface serving metric
+// snapshots and net/http/pprof.
+//
+// The package is stdlib-only and designed for hot paths:
+//
+//   - every instrument method is nil-safe — a nil *Counter, *Gauge,
+//     *Histogram, *Span or *Registry no-ops, so uninstrumented
+//     components pay a single pointer test;
+//   - a registry carries an atomic enabled flag; instruments created
+//     from it share the flag, so SetEnabled(false) turns the whole
+//     registry into near-free no-ops (one atomic load per call) without
+//     tearing down any wiring;
+//   - snapshots read each value with an atomic load, so scraping
+//     concurrently with writers is torn-read-free.
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Registry holds named instruments. The zero value is not usable; a nil
+// *Registry is (every method no-ops or returns a nil instrument).
+type Registry struct {
+	enabled atomic.Bool
+
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an enabled registry.
+func NewRegistry() *Registry {
+	r := &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+	r.enabled.Store(true)
+	return r
+}
+
+// SetEnabled turns the registry's instruments on or off. Disabling does
+// not reset recorded values.
+func (r *Registry) SetEnabled(on bool) {
+	if r == nil {
+		return
+	}
+	r.enabled.Store(on)
+}
+
+// Enabled reports whether instruments record.
+func (r *Registry) Enabled() bool { return r != nil && r.enabled.Load() }
+
+// Counter returns the named counter, creating it on first use. A nil
+// registry returns a nil (no-op) counter.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{on: &r.enabled}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use. A nil
+// registry returns a nil (no-op) gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{on: &r.enabled}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use with
+// the given bucket upper bounds (ascending; nil applies
+// LatencyBuckets). A nil registry returns a nil (no-op) histogram.
+func (r *Registry) Histogram(name string, bounds []int64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		h = newHistogram(&r.enabled, bounds)
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	on *atomic.Bool
+	v  atomic.Int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) {
+	if c == nil || !c.on.Load() {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic instantaneous value.
+type Gauge struct {
+	on *atomic.Bool
+	v  atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g == nil || !g.on.Load() {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add adjusts the gauge by n (negative to decrease).
+func (g *Gauge) Add(n int64) {
+	if g == nil || !g.on.Load() {
+		return
+	}
+	g.v.Add(n)
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// LatencyBuckets returns the default histogram bounds: exponential
+// latency buckets from 1µs to 10s, in nanoseconds.
+func LatencyBuckets() []int64 {
+	us, ms, s := int64(time.Microsecond), int64(time.Millisecond), int64(time.Second)
+	return []int64{
+		1 * us, 2 * us, 5 * us, 10 * us, 20 * us, 50 * us,
+		100 * us, 200 * us, 500 * us, 1 * ms, 2 * ms, 5 * ms,
+		10 * ms, 20 * ms, 50 * ms, 100 * ms, 200 * ms, 500 * ms,
+		1 * s, 2 * s, 5 * s, 10 * s,
+	}
+}
+
+// Histogram is a fixed-bucket histogram with atomic bucket counters.
+// Values are int64 — nanoseconds for latency histograms, but any unit
+// works (Mean/Quantile then report in that unit).
+type Histogram struct {
+	on      *atomic.Bool
+	bounds  []int64 // ascending upper bounds; one overflow bucket past the end
+	buckets []atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64
+	min     atomic.Int64
+	max     atomic.Int64
+}
+
+func newHistogram(on *atomic.Bool, bounds []int64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = LatencyBuckets()
+	}
+	h := &Histogram{
+		on:      on,
+		bounds:  bounds,
+		buckets: make([]atomic.Int64, len(bounds)+1),
+	}
+	h.min.Store(int64(1)<<62 - 1)
+	return h
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	if h == nil || !h.on.Load() {
+		return
+	}
+	// The bound list is short (~22 entries); a linear scan beats a
+	// binary search for typical sub-millisecond values.
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.min.Load()
+		if v >= cur || h.min.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+}
+
+// ObserveSince records the nanoseconds elapsed since t0.
+func (h *Histogram) ObserveSince(t0 time.Time) {
+	if h == nil || !h.on.Load() {
+		return
+	}
+	h.Observe(int64(time.Since(t0)))
+}
+
+// snapshot reads the histogram with atomic loads.
+func (h *Histogram) snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Count:  h.count.Load(),
+		Sum:    h.sum.Load(),
+		Bounds: h.bounds,
+		Counts: make([]int64, len(h.buckets)),
+	}
+	for i := range h.buckets {
+		s.Counts[i] = h.buckets[i].Load()
+	}
+	if s.Count > 0 {
+		s.Min = h.min.Load()
+		s.Max = h.max.Load()
+	}
+	return s
+}
+
+// HistogramSnapshot is one histogram's exported state. Counts has one
+// entry per bound plus a final overflow bucket.
+type HistogramSnapshot struct {
+	Count  int64   `json:"count"`
+	Sum    int64   `json:"sum"`
+	Min    int64   `json:"min"`
+	Max    int64   `json:"max"`
+	Bounds []int64 `json:"bounds"`
+	Counts []int64 `json:"counts"`
+}
+
+// Mean returns the mean recorded value (0 when empty).
+func (s HistogramSnapshot) Mean() int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / s.Count
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) by linear
+// interpolation inside the containing bucket. The overflow bucket
+// reports Max.
+func (s HistogramSnapshot) Quantile(q float64) int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	var seen float64
+	for i, c := range s.Counts {
+		if c == 0 {
+			continue
+		}
+		if seen+float64(c) >= rank {
+			if i >= len(s.Bounds) {
+				return s.Max
+			}
+			lo := int64(0)
+			if i > 0 {
+				lo = s.Bounds[i-1]
+			}
+			hi := s.Bounds[i]
+			frac := (rank - seen) / float64(c)
+			return lo + int64(frac*float64(hi-lo))
+		}
+		seen += float64(c)
+	}
+	return s.Max
+}
+
+// Snapshot is a point-in-time export of a registry. Each individual
+// value is read atomically; the snapshot as a whole is not a globally
+// consistent cut (writers keep running), which is the usual scrape
+// contract.
+type Snapshot struct {
+	Enabled    bool                         `json:"enabled"`
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]int64             `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot exports the registry's current state. A nil registry returns
+// an empty snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]int64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	if r == nil {
+		return s
+	}
+	s.Enabled = r.enabled.Load()
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.histograms))
+	for k, v := range r.histograms {
+		hists[k] = v
+	}
+	r.mu.Unlock()
+	for k, v := range counters {
+		s.Counters[k] = v.Value()
+	}
+	for k, v := range gauges {
+		s.Gauges[k] = v.Value()
+	}
+	for k, v := range hists {
+		s.Histograms[k] = v.snapshot()
+	}
+	return s
+}
+
+// CounterNames returns the snapshot's counter names in sorted order.
+func (s Snapshot) CounterNames() []string {
+	out := make([]string, 0, len(s.Counters))
+	for k := range s.Counters {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// GaugeNames returns the snapshot's gauge names in sorted order.
+func (s Snapshot) GaugeNames() []string {
+	out := make([]string, 0, len(s.Gauges))
+	for k := range s.Gauges {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// HistogramNames returns the snapshot's histogram names in sorted order.
+func (s Snapshot) HistogramNames() []string {
+	out := make([]string, 0, len(s.Histograms))
+	for k := range s.Histograms {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// WriteJSON writes the snapshot as indented JSON.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}

@@ -1,0 +1,198 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("queries_total")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	if again := r.Counter("queries_total"); again != c {
+		t.Error("Counter did not return the registered instrument")
+	}
+	g := r.Gauge("subscribers")
+	g.Set(7)
+	g.Add(-2)
+	if got := g.Value(); got != 5 {
+		t.Errorf("gauge = %d, want 5", got)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	r.SetEnabled(true)
+	if r.Enabled() {
+		t.Error("nil registry enabled")
+	}
+	c := r.Counter("x")
+	c.Inc()
+	c.Add(3)
+	if c.Value() != 0 {
+		t.Error("nil counter recorded")
+	}
+	g := r.Gauge("y")
+	g.Set(1)
+	g.Add(1)
+	if g.Value() != 0 {
+		t.Error("nil gauge recorded")
+	}
+	h := r.Histogram("z", nil)
+	h.Observe(1)
+	h.ObserveSince(time.Now())
+	snap := r.Snapshot()
+	if len(snap.Counters) != 0 || len(snap.Histograms) != 0 {
+		t.Error("nil registry snapshot not empty")
+	}
+}
+
+func TestDisabledRegistryRecordsNothing(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	h := r.Histogram("h", nil)
+	r.SetEnabled(false)
+	c.Inc()
+	h.Observe(1000)
+	if c.Value() != 0 {
+		t.Error("disabled counter recorded")
+	}
+	if r.Snapshot().Histograms["h"].Count != 0 {
+		t.Error("disabled histogram recorded")
+	}
+	// Re-enabling resumes recording on the same instruments.
+	r.SetEnabled(true)
+	c.Inc()
+	if c.Value() != 1 {
+		t.Error("re-enabled counter did not record")
+	}
+}
+
+func TestHistogramBucketsAndQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", []int64{10, 100, 1000})
+	for _, v := range []int64{5, 5, 50, 50, 50, 500, 5000} {
+		h.Observe(v)
+	}
+	s := r.Snapshot().Histograms["lat"]
+	if s.Count != 7 {
+		t.Fatalf("count = %d, want 7", s.Count)
+	}
+	if s.Sum != 5+5+50+50+50+500+5000 {
+		t.Errorf("sum = %d", s.Sum)
+	}
+	wantCounts := []int64{2, 3, 1, 1} // <=10, <=100, <=1000, overflow
+	for i, w := range wantCounts {
+		if s.Counts[i] != w {
+			t.Errorf("bucket %d = %d, want %d", i, s.Counts[i], w)
+		}
+	}
+	if s.Min != 5 || s.Max != 5000 {
+		t.Errorf("min/max = %d/%d, want 5/5000", s.Min, s.Max)
+	}
+	if m := s.Mean(); m != s.Sum/7 {
+		t.Errorf("mean = %d", m)
+	}
+	// p50 falls in the (10,100] bucket; interpolation stays in range.
+	if q := s.Quantile(0.5); q <= 10 || q > 100 {
+		t.Errorf("p50 = %d, want in (10,100]", q)
+	}
+	// The top quantile lands in the overflow bucket and reports Max.
+	if q := s.Quantile(1); q != 5000 {
+		t.Errorf("p100 = %d, want 5000", q)
+	}
+	if q := (HistogramSnapshot{}).Quantile(0.9); q != 0 {
+		t.Errorf("empty quantile = %d", q)
+	}
+}
+
+func TestDefaultLatencyBucketsAscending(t *testing.T) {
+	b := LatencyBuckets()
+	for i := 1; i < len(b); i++ {
+		if b[i] <= b[i-1] {
+			t.Fatalf("bounds not ascending at %d: %d <= %d", i, b[i], b[i-1])
+		}
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a").Add(3)
+	r.Gauge("b").Set(-1)
+	r.Histogram("c", nil).Observe(int64(3 * time.Microsecond))
+	var sb strings.Builder
+	if err := r.Snapshot().WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal([]byte(sb.String()), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Counters["a"] != 3 || back.Gauges["b"] != -1 || back.Histograms["c"].Count != 1 {
+		t.Errorf("round trip lost values: %+v", back)
+	}
+	names := r.Snapshot().CounterNames()
+	if len(names) != 1 || names[0] != "a" {
+		t.Errorf("counter names = %v", names)
+	}
+}
+
+// TestConcurrentScrape runs writers against every instrument kind while
+// a scraper snapshots continuously — under -race this proves the
+// registry is torn-read-free.
+func TestConcurrentScrape(t *testing.T) {
+	r := NewRegistry()
+	const writers, iters = 4, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("hits")
+			g := r.Gauge("level")
+			h := r.Histogram("lat", nil)
+			for i := 0; i < iters; i++ {
+				c.Inc()
+				g.Set(int64(i))
+				h.Observe(int64(i) * 100)
+				if i%100 == 0 {
+					// Instrument registration races with scraping too.
+					r.Counter("dynamic").Inc()
+				}
+			}
+		}()
+	}
+	stop := make(chan struct{})
+	scraped := make(chan struct{})
+	go func() {
+		defer close(scraped)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				snap := r.Snapshot()
+				if snap.Counters["hits"] < 0 || snap.Histograms["lat"].Count < 0 {
+					t.Error("scrape read a negative value")
+					return
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	<-scraped
+	if got := r.Snapshot().Counters["hits"]; got != writers*iters {
+		t.Errorf("hits = %d, want %d", got, writers*iters)
+	}
+	if got := r.Snapshot().Histograms["lat"].Count; got != writers*iters {
+		t.Errorf("histogram count = %d, want %d", got, writers*iters)
+	}
+}

@@ -1,0 +1,220 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Trace is one recorded operation — typically a query — as a tree of
+// timed spans. A nil *Trace (and the nil *Spans it hands out) is the
+// disabled state: every method no-ops, so instrumented code needs no
+// enabled checks of its own.
+type Trace struct {
+	root *Span
+}
+
+// NewTrace starts a trace whose root span carries the given name.
+func NewTrace(name string) *Trace {
+	return &Trace{root: &Span{name: name, start: time.Now()}}
+}
+
+// Root returns the root span (nil for a nil trace).
+func (t *Trace) Root() *Span {
+	if t == nil {
+		return nil
+	}
+	return t.root
+}
+
+// Finish ends the root span.
+func (t *Trace) Finish() { t.Root().Finish() }
+
+// Render returns the EXPLAIN-style tree rendering of the trace.
+func (t *Trace) Render() string {
+	if t == nil || t.root == nil {
+		return ""
+	}
+	var b strings.Builder
+	t.root.render(&b, "", "")
+	return b.String()
+}
+
+// String implements fmt.Stringer.
+func (t *Trace) String() string { return t.Render() }
+
+// Attr is one key=value annotation on a span.
+type Attr struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// Span is one timed stage of a trace. Spans are safe for concurrent
+// use: parallel workers may start children of the same parent and
+// annotate their own spans concurrently.
+type Span struct {
+	name  string
+	start time.Time
+
+	mu       sync.Mutex
+	end      time.Time
+	attrs    []Attr
+	children []*Span
+}
+
+// Start begins a child span. On a nil receiver it returns nil, which
+// propagates the disabled state down the call tree.
+func (s *Span) Start(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{name: name, start: time.Now()}
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// Finish ends the span. Finishing twice keeps the first end time.
+func (s *Span) Finish() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.end.IsZero() {
+		s.end = time.Now()
+	}
+	s.mu.Unlock()
+}
+
+// Set annotates the span with key=value.
+func (s *Span) Set(key, value string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+	s.mu.Unlock()
+}
+
+// Setf annotates the span with a formatted value. The formatting cost
+// is only paid when the span is live.
+func (s *Span) Setf(key, format string, args ...any) {
+	if s == nil {
+		return
+	}
+	s.Set(key, fmt.Sprintf(format, args...))
+}
+
+// SetInt annotates the span with an integer value.
+func (s *Span) SetInt(key string, v int64) {
+	if s == nil {
+		return
+	}
+	s.Set(key, fmt.Sprintf("%d", v))
+}
+
+// Name returns the span's name ("" for nil).
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// Attrs returns a copy of the span's annotations.
+func (s *Span) Attrs() []Attr {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Attr(nil), s.attrs...)
+}
+
+// Children returns a copy of the span's child spans.
+func (s *Span) Children() []*Span {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]*Span(nil), s.children...)
+}
+
+// Duration returns the span's elapsed time; an unfinished span reports
+// the time since it started.
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	end := s.end
+	s.mu.Unlock()
+	if end.IsZero() {
+		return time.Since(s.start)
+	}
+	return end.Sub(s.start)
+}
+
+// Find returns the first span in the subtree (pre-order, including s
+// itself) whose name equals name, or nil.
+func (s *Span) Find(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	if s.name == name {
+		return s
+	}
+	for _, c := range s.Children() {
+		if hit := c.Find(name); hit != nil {
+			return hit
+		}
+	}
+	return nil
+}
+
+// FindPrefix returns the first span in the subtree whose name starts
+// with prefix, or nil.
+func (s *Span) FindPrefix(prefix string) *Span {
+	if s == nil {
+		return nil
+	}
+	if strings.HasPrefix(s.name, prefix) {
+		return s
+	}
+	for _, c := range s.Children() {
+		if hit := c.FindPrefix(prefix); hit != nil {
+			return hit
+		}
+	}
+	return nil
+}
+
+// render writes the span subtree with box-drawing guides:
+//
+//	query "database"  1.2ms
+//	├── parse  11µs
+//	├── plan  2µs  strategy=forward
+//	└── eval  1.1ms
+//	    └── residual filter  900µs  candidates=1064
+//	        ├── worker 0  450µs  range=[0,532)
+//	        └── worker 1  440µs  range=[532,1064)
+func (s *Span) render(b *strings.Builder, selfPrefix, childPrefix string) {
+	b.WriteString(selfPrefix)
+	b.WriteString(s.name)
+	fmt.Fprintf(b, "  %s", s.Duration().Round(100*time.Nanosecond))
+	for _, a := range s.Attrs() {
+		fmt.Fprintf(b, "  %s=%s", a.Key, a.Value)
+	}
+	b.WriteByte('\n')
+	children := s.Children()
+	for i, c := range children {
+		if i == len(children)-1 {
+			c.render(b, childPrefix+"└── ", childPrefix+"    ")
+		} else {
+			c.render(b, childPrefix+"├── ", childPrefix+"│   ")
+		}
+	}
+}

@@ -1,0 +1,167 @@
+package obs
+
+import (
+	"bytes"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTraceTree(t *testing.T) {
+	tr := NewTrace(`query "database"`)
+	root := tr.Root()
+	p := root.Start("parse")
+	p.Finish()
+	e := root.Start("eval")
+	s1 := e.Start("step 1")
+	s1.SetInt("matches", 42)
+	s1.Finish()
+	e.Finish()
+	tr.Finish()
+
+	if got := len(root.Children()); got != 2 {
+		t.Fatalf("root children = %d, want 2", got)
+	}
+	if root.Find("step 1") == nil {
+		t.Error("Find missed step 1")
+	}
+	if root.FindPrefix("ste") == nil {
+		t.Error("FindPrefix missed step 1")
+	}
+	if root.Find("missing") != nil {
+		t.Error("Find invented a span")
+	}
+	out := tr.Render()
+	for _, want := range []string{`query "database"`, "├── parse", "└── eval", "└── step 1", "matches=42"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q in:\n%s", want, out)
+		}
+	}
+	if root.Duration() <= 0 {
+		t.Error("finished root has no duration")
+	}
+}
+
+func TestTraceNilSafety(t *testing.T) {
+	var tr *Trace
+	if tr.Render() != "" || tr.String() != "" {
+		t.Error("nil trace rendered")
+	}
+	tr.Finish()
+	s := tr.Root()
+	if s != nil {
+		t.Fatal("nil trace has a root")
+	}
+	c := s.Start("child")
+	if c != nil {
+		t.Fatal("nil span started a child")
+	}
+	c.Set("k", "v")
+	c.Setf("k", "%d", 1)
+	c.SetInt("k", 1)
+	c.Finish()
+	if c.Duration() != 0 || c.Name() != "" || c.Attrs() != nil || c.Children() != nil {
+		t.Error("nil span not inert")
+	}
+	if c.Find("x") != nil || c.FindPrefix("x") != nil {
+		t.Error("nil span found something")
+	}
+}
+
+func TestSpanConcurrentWorkers(t *testing.T) {
+	tr := NewTrace("q")
+	step := tr.Root().Start("step")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ws := step.Start("worker")
+			ws.SetInt("id", int64(w))
+			ws.Finish()
+		}(w)
+	}
+	wg.Wait()
+	step.Finish()
+	if got := len(step.Children()); got != 8 {
+		t.Errorf("worker spans = %d, want 8", got)
+	}
+}
+
+func TestUnfinishedSpanDuration(t *testing.T) {
+	tr := NewTrace("q")
+	time.Sleep(time.Millisecond)
+	if tr.Root().Duration() < time.Millisecond {
+		t.Error("unfinished span duration did not advance")
+	}
+}
+
+func TestComponentLogger(t *testing.T) {
+	var buf bytes.Buffer
+	SetLogOutput(&buf, slog.LevelDebug)
+	defer SetLogger(nil)
+	Logger("rvm").Debug("sync done", "views", 3)
+	out := buf.String()
+	if !strings.Contains(out, "component=rvm") || !strings.Contains(out, "views=3") {
+		t.Errorf("log output = %q", out)
+	}
+	// The discarding default swallows output and never panics.
+	SetLogger(nil)
+	Logger("cache").Info("hit")
+}
+
+func TestDebugHandler(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("idm_queries_total").Add(2)
+	srv := httptest.NewServer(Handler(reg))
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var b bytes.Buffer
+		b.ReadFrom(resp.Body)
+		return resp.StatusCode, b.String()
+	}
+	if code, body := get("/debug/metrics"); code != 200 || !strings.Contains(body, `"idm_queries_total": 2`) {
+		t.Errorf("/debug/metrics: %d %q", code, body)
+	}
+	if code, body := get("/debug/vars"); code != 200 || !strings.Contains(body, "memstats") {
+		t.Errorf("/debug/vars: %d", code)
+	} else if !strings.Contains(body, "idm_metrics") {
+		t.Errorf("/debug/vars missing idm_metrics")
+	}
+	if code, _ := get("/debug/pprof/"); code != 200 {
+		t.Errorf("/debug/pprof/: %d", code)
+	}
+	if code, body := get("/"); code != 200 || !strings.Contains(body, "/debug/metrics") {
+		t.Errorf("index: %d", code)
+	}
+	if code, _ := get("/nope"); code != 404 {
+		t.Errorf("unknown path: %d, want 404", code)
+	}
+}
+
+func TestServe(t *testing.T) {
+	reg := NewRegistry()
+	addr, shutdown, err := Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown()
+	resp, err := http.Get("http://" + addr + "/debug/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Errorf("status = %d", resp.StatusCode)
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"repro/internal/catalog"
 	"repro/internal/core"
 	"repro/internal/imageindex"
+	"repro/internal/obs"
 	"repro/internal/sources"
 	"repro/internal/stream"
 	"repro/internal/textindex"
@@ -42,6 +43,10 @@ type Options struct {
 	// a histogram-based similarity index — the QBIC-style content index
 	// §5.2 gives as the example of a non-text content index.
 	IndexImages bool
+	// Metrics receives the manager's instruments (rvm_* series), the
+	// broker's (stream_*) and every plugin's (source_<id>_*); see
+	// docs/OBSERVABILITY.md. nil leaves the whole RVM uninstrumented.
+	Metrics *obs.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -61,6 +66,36 @@ func DefaultOptions() Options {
 	return Options{ReplicateGroups: true}
 }
 
+// managerMetrics bundles the manager's instruments. With no registry
+// configured every field is a nil (no-op) instrument.
+type managerMetrics struct {
+	views         *obs.Gauge
+	syncs         *obs.Counter
+	syncNs        *obs.Histogram
+	syncViews     *obs.Counter
+	syncRemoved   *obs.Counter
+	changeNotifs  *obs.Counter
+	childLookups  *obs.Counter
+	nameMatches   *obs.Counter
+	phraseLookups *obs.Counter
+	tupleQueries  *obs.Counter
+}
+
+func newManagerMetrics(reg *obs.Registry) managerMetrics {
+	return managerMetrics{
+		views:         reg.Gauge("rvm_views"),
+		syncs:         reg.Counter("rvm_syncs_total"),
+		syncNs:        reg.Histogram("rvm_sync_ns", nil),
+		syncViews:     reg.Counter("rvm_sync_views_total"),
+		syncRemoved:   reg.Counter("rvm_sync_removed_total"),
+		changeNotifs:  reg.Counter("rvm_change_notifications_total"),
+		childLookups:  reg.Counter("rvm_child_lookups_total"),
+		nameMatches:   reg.Counter("rvm_name_matches_total"),
+		phraseLookups: reg.Counter("rvm_phrase_lookups_total"),
+		tupleQueries:  reg.Counter("rvm_tuple_queries_total"),
+	}
+}
+
 // Manager is the Resource View Manager.
 type Manager struct {
 	opts     Options
@@ -68,6 +103,7 @@ type Manager struct {
 	catalog  *catalog.Catalog
 	broker   *stream.Broker
 	history  *history
+	met      managerMetrics
 
 	mu      sync.RWMutex
 	sources map[string]sources.Source
@@ -101,12 +137,15 @@ func New(opts Options) *Manager { return NewWithCatalog(opts, catalog.New()) }
 // stable: re-synchronizing the same sources re-associates live views
 // and indexes with their persisted identities.
 func NewWithCatalog(opts Options, cat *catalog.Catalog) *Manager {
+	broker := stream.NewBroker()
+	broker.SetMetrics(opts.Metrics)
 	return &Manager{
 		opts:         opts.withDefaults(),
 		registry:     core.StandardRegistry(),
 		catalog:      cat,
-		broker:       stream.NewBroker(),
+		broker:       broker,
 		history:      newHistory(),
+		met:          newManagerMetrics(opts.Metrics),
 		sources:      make(map[string]sources.Source),
 		dirty:        make(map[string]bool),
 		nameIdx:      textindex.New(),
@@ -149,7 +188,9 @@ type PublishedView struct {
 func (m *Manager) Broker() *stream.Broker { return m.broker }
 
 // AddSource registers a data source plugin with the Data Source Proxy
-// and subscribes to its change notifications when available.
+// and subscribes to its change notifications when available. When the
+// manager carries a metrics registry, plugins implementing
+// sources.MetricsSetter receive their per-source instruments here.
 func (m *Manager) AddSource(src sources.Source) error {
 	m.mu.Lock()
 	if _, dup := m.sources[src.ID()]; dup {
@@ -160,6 +201,10 @@ func (m *Manager) AddSource(src sources.Source) error {
 	m.dirty[src.ID()] = true
 	m.mu.Unlock()
 
+	if ms, ok := src.(sources.MetricsSetter); ok && m.opts.Metrics != nil {
+		ms.SetMetrics(sources.NewSourceMetrics(m.opts.Metrics, src.ID()))
+	}
+	obs.Logger("rvm").Debug("source registered", "source", src.ID())
 	if ch := src.Changes(); ch != nil {
 		go m.consumeChanges(src.ID(), ch)
 	}
@@ -190,6 +235,7 @@ func (m *Manager) Sources() []string {
 // ProcessPending (or the polling loop) then resynchronizes it.
 func (m *Manager) consumeChanges(id string, ch <-chan sources.Change) {
 	for range ch {
+		m.met.changeNotifs.Inc()
 		m.mu.Lock()
 		m.dirty[id] = true
 		m.mu.Unlock()
@@ -233,6 +279,7 @@ func (m *Manager) NameOf(oid catalog.OID) string {
 // replication on, the replica answers; otherwise the live view is
 // navigated (query shipping).
 func (m *Manager) Children(oid catalog.OID) []catalog.OID {
+	m.met.childLookups.Inc()
 	m.mu.RLock()
 	if m.opts.ReplicateGroups {
 		out := append([]catalog.OID(nil), m.groupRep[oid]...)
@@ -263,6 +310,7 @@ func (m *Manager) Children(oid catalog.OID) []catalog.OID {
 // caller's buffer, avoiding the per-call allocation of Children — the
 // iQL evaluator's expansion loops call this once per frontier view.
 func (m *Manager) AppendChildren(dst []catalog.OID, oid catalog.OID) []catalog.OID {
+	m.met.childLookups.Inc()
 	m.mu.RLock()
 	if m.opts.ReplicateGroups {
 		dst = append(dst, m.groupRep[oid]...)
@@ -306,6 +354,7 @@ func (m *Manager) LookupNameTerm(term string) []catalog.OID {
 // metacharacters resolve through the exact-name lane of the name
 // replica.
 func (m *Manager) MatchNames(pattern string) []catalog.OID {
+	m.met.nameMatches.Inc()
 	lowered := strings.ToLower(pattern)
 	m.mu.RLock()
 	var out []catalog.OID
@@ -328,6 +377,7 @@ func (m *Manager) MatchNames(pattern string) []catalog.OID {
 // ContentPhrase returns the OIDs of views whose content contains the
 // phrase (consecutive tokens).
 func (m *Manager) ContentPhrase(phrase string) []catalog.OID {
+	m.met.phraseLookups.Inc()
 	return toOIDs(m.contentIdx.Phrase(phrase))
 }
 
@@ -357,6 +407,7 @@ func (m *Manager) ContentOr(terms ...string) []catalog.OID {
 // TupleQuery returns the OIDs of views whose tuple attribute satisfies
 // (op, value), answered from the vertically partitioned tuple index.
 func (m *Manager) TupleQuery(attr string, op tupleindex.Op, value core.Value) []catalog.OID {
+	m.met.tupleQueries.Inc()
 	ids := m.tupleIdx.Query(attr, op, value)
 	out := make([]catalog.OID, len(ids))
 	for i, id := range ids {

@@ -1,0 +1,78 @@
+package rvm
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func TestSyncMetricsAndSourceInstruments(t *testing.T) {
+	reg := obs.NewRegistry()
+	opts := DefaultOptions()
+	opts.Metrics = reg
+	m, _, _ := testSetup(t, opts)
+	if _, err := m.SyncAll(); err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counters["rvm_syncs_total"]; got != 2 {
+		t.Errorf("rvm_syncs_total = %d, want 2 (filesystem + email)", got)
+	}
+	if got := snap.Gauges["rvm_views"]; got != int64(m.Count()) {
+		t.Errorf("rvm_views = %d, want %d", got, m.Count())
+	}
+	if snap.Counters["rvm_sync_views_total"] == 0 {
+		t.Error("rvm_sync_views_total did not record")
+	}
+	if snap.Histograms["rvm_sync_ns"].Count != 2 {
+		t.Errorf("rvm_sync_ns count = %d, want 2", snap.Histograms["rvm_sync_ns"].Count)
+	}
+	// The plugins received per-source instruments through AddSource.
+	if snap.Counters["source_filesystem_root_calls_total"] != 1 {
+		t.Errorf("source_filesystem_root_calls_total = %d, want 1",
+			snap.Counters["source_filesystem_root_calls_total"])
+	}
+	if snap.Counters["source_filesystem_views_built_total"] == 0 {
+		t.Error("source_filesystem_views_built_total did not record")
+	}
+	// The broker carries the shared registry.
+	if snap.Counters["stream_events_published_total"] == 0 {
+		t.Error("stream_events_published_total did not record")
+	}
+	// Query-side lookup counters record through the Store interface.
+	m.MatchNames("notes*")
+	m.ContentPhrase("indexing")
+	snap = reg.Snapshot()
+	if snap.Counters["rvm_name_matches_total"] != 1 || snap.Counters["rvm_phrase_lookups_total"] != 1 {
+		t.Errorf("lookup counters = %d/%d, want 1/1",
+			snap.Counters["rvm_name_matches_total"], snap.Counters["rvm_phrase_lookups_total"])
+	}
+}
+
+func TestSyncAllTracedSpans(t *testing.T) {
+	opts := DefaultOptions()
+	m, _, _ := testSetup(t, opts)
+	tr := obs.NewTrace("sync all")
+	if _, err := m.SyncAllTraced(tr); err != nil {
+		t.Fatal(err)
+	}
+	tr.Finish()
+	out := tr.Render()
+	for _, want := range []string{"sync filesystem", "sync email", "views=", "source access="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestUninstrumentedManagerIsInert(t *testing.T) {
+	m, _, _ := testSetup(t, DefaultOptions())
+	if _, err := m.SyncAll(); err != nil {
+		t.Fatal(err)
+	}
+	// No registry anywhere: lookups must not panic.
+	m.MatchNames("*")
+	m.ContentPhrase("indexing")
+	m.Children(1)
+}

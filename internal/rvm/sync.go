@@ -9,6 +9,7 @@ import (
 	"repro/internal/catalog"
 	"repro/internal/core"
 	"repro/internal/imageindex"
+	"repro/internal/obs"
 	"repro/internal/sources"
 	"repro/internal/textindex"
 	"repro/internal/tupleindex"
@@ -51,9 +52,28 @@ func (r SyncReport) TotalViews() int {
 // Replica&Indexes module, as the Synchronization Manager does when a
 // data source is registered (§5.2).
 func (m *Manager) SyncAll() (SyncReport, error) {
+	return m.SyncAllTraced(nil)
+}
+
+// SyncAllTraced is SyncAll with span-based tracing: one span per source
+// under the trace root, annotated with the Figure 5 timing breakdown.
+// A nil trace is identical to SyncAll.
+func (m *Manager) SyncAllTraced(trace *obs.Trace) (SyncReport, error) {
 	var report SyncReport
 	for _, id := range m.Sources() {
+		sp := trace.Root().Start("sync " + id)
 		t, err := m.SyncSource(id)
+		if sp != nil {
+			sp.SetInt("views", int64(t.Views))
+			sp.SetInt("removed", int64(t.Removed))
+			sp.Set("catalog", t.CatalogInsert.String())
+			sp.Set("indexing", t.ComponentIndexing.String())
+			sp.Set("source access", t.DataSourceAccess.String())
+			if err != nil {
+				sp.Set("error", err.Error())
+			}
+			sp.Finish()
+		}
 		if err != nil {
 			return report, err
 		}
@@ -66,6 +86,7 @@ func (m *Manager) SyncAll() (SyncReport, error) {
 // syncs (keyed by source URI); views whose URIs have disappeared are
 // deregistered and removed from all indexes and replicas.
 func (m *Manager) SyncSource(id string) (SyncTiming, error) {
+	syncStart := time.Now()
 	m.mu.RLock()
 	src, ok := m.sources[id]
 	m.mu.RUnlock()
@@ -112,6 +133,15 @@ func (m *Manager) SyncSource(id string) (SyncTiming, error) {
 	m.mu.Lock()
 	delete(m.dirty, id)
 	m.mu.Unlock()
+
+	m.met.syncs.Inc()
+	m.met.syncNs.ObserveSince(syncStart)
+	m.met.syncViews.Add(int64(timing.Views))
+	m.met.syncRemoved.Add(int64(timing.Removed))
+	m.met.views.Set(int64(m.catalog.Count()))
+	obs.Logger("rvm").Debug("sync complete",
+		"source", id, "views", timing.Views, "removed", timing.Removed,
+		"total", time.Since(syncStart))
 	return timing, nil
 }
 

@@ -12,6 +12,8 @@ import (
 	"io"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/sources"
@@ -23,6 +25,7 @@ type Plugin struct {
 	id      string
 	fs      *vfs.FS
 	convert sources.ConvertFunc
+	met     atomic.Pointer[sources.SourceMetrics]
 
 	mu    sync.Mutex
 	cache map[*vfs.Node]*sources.Item
@@ -52,9 +55,15 @@ func New(id string, fs *vfs.FS, convert sources.ConvertFunc) *Plugin {
 // ID implements sources.Source.
 func (p *Plugin) ID() string { return p.id }
 
+// SetMetrics implements sources.MetricsSetter.
+func (p *Plugin) SetMetrics(sm *sources.SourceMetrics) { p.met.Store(sm) }
+
 // Root implements sources.Source.
 func (p *Plugin) Root() (core.ResourceView, error) {
-	return p.view(p.fs.Root()), nil
+	start := time.Now()
+	v := p.view(p.fs.Root())
+	p.met.Load().RecordRoot(time.Since(start), nil)
+	return v, nil
 }
 
 // Changes implements sources.Source, adapting the filesystem's event
@@ -95,6 +104,7 @@ func (p *Plugin) forwardEvents(events <-chan vfs.Event) {
 			}
 			select {
 			case p.changes <- sources.Change{Type: t, URI: e.Path}:
+				p.met.Load().RecordChange()
 			default:
 			}
 		}
@@ -111,6 +121,7 @@ func (p *Plugin) view(n *vfs.Node) *sources.Item {
 	p.mu.Unlock()
 
 	built := p.build(n)
+	p.met.Load().RecordViewBuilt()
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if v, ok := p.cache[n]; ok {

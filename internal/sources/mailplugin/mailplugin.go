@@ -17,6 +17,8 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/mail"
@@ -29,6 +31,7 @@ type Plugin struct {
 	id      string
 	store   *mail.Store
 	convert sources.ConvertFunc
+	met     atomic.Pointer[sources.SourceMetrics]
 
 	changes chan sources.Change
 	stop    chan struct{}
@@ -53,6 +56,9 @@ func New(id string, store *mail.Store, convert sources.ConvertFunc) *Plugin {
 // ID implements sources.Source.
 func (p *Plugin) ID() string { return p.id }
 
+// SetMetrics implements sources.MetricsSetter.
+func (p *Plugin) SetMetrics(sm *sources.SourceMetrics) { p.met.Store(sm) }
+
 // Changes implements sources.Source.
 func (p *Plugin) Changes() <-chan sources.Change { return p.changes }
 
@@ -75,6 +81,7 @@ func (p *Plugin) forwardEvents(msgs <-chan *mail.Message) {
 			}
 			select {
 			case p.changes <- sources.Change{Type: sources.Created, URI: messageURI(m.Folder, m.UID)}:
+				p.met.Load().RecordChange()
 			default:
 			}
 		}
@@ -114,6 +121,7 @@ func (p *Plugin) Delete(uri string) error {
 
 // Root implements sources.Source: the mailbox state as a view graph.
 func (p *Plugin) Root() (core.ResourceView, error) {
+	start := time.Now()
 	names := p.store.Folders()
 	root := &core.LazyView{
 		VName:  p.id,
@@ -122,6 +130,7 @@ func (p *Plugin) Root() (core.ResourceView, error) {
 			return core.SetGroup(p.folderViews(names, "")...)
 		},
 	}
+	p.met.Load().RecordRoot(time.Since(start), nil)
 	return sources.Annotate(root, "/", true), nil
 }
 
@@ -188,6 +197,7 @@ func (p *Plugin) messageView(folder string, uid uint64) core.ResourceView {
 			if err == nil {
 				msg = m
 			}
+			p.met.Load().RecordViewBuilt()
 		})
 		return msg
 	}

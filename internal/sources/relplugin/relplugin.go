@@ -6,6 +6,8 @@ package relplugin
 
 import (
 	"fmt"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/relstore"
@@ -14,8 +16,9 @@ import (
 
 // Plugin is a relational data source.
 type Plugin struct {
-	id string
-	db *relstore.DB
+	id  string
+	db  *relstore.DB
+	met atomic.Pointer[sources.SourceMetrics]
 }
 
 // New returns a plugin exposing db under the given source id.
@@ -26,6 +29,9 @@ func New(id string, db *relstore.DB) *Plugin {
 // ID implements sources.Source.
 func (p *Plugin) ID() string { return p.id }
 
+// SetMetrics implements sources.MetricsSetter.
+func (p *Plugin) SetMetrics(sm *sources.SourceMetrics) { p.met.Store(sm) }
+
 // Changes implements sources.Source; the store does not push.
 func (p *Plugin) Changes() <-chan sources.Change { return nil }
 
@@ -35,6 +41,8 @@ func (p *Plugin) Close() error { return nil }
 // Root implements sources.Source. Relation and tuple views are annotated
 // with stable URIs (relation name; relation name plus tuple ordinal).
 func (p *Plugin) Root() (core.ResourceView, error) {
+	start := time.Now()
+	defer func() { p.met.Load().RecordRoot(time.Since(start), nil) }()
 	names := p.db.Relations()
 	relViews := make([]core.ResourceView, 0, len(names))
 	for _, name := range names {
@@ -58,6 +66,7 @@ func (p *Plugin) Root() (core.ResourceView, error) {
 					}
 					tupleViews = append(tupleViews,
 						sources.Annotate(tv, fmt.Sprintf("%s#%d", name, i), true))
+					p.met.Load().RecordViewBuilt()
 					return true
 				})
 				return core.SetGroup(tupleViews...)

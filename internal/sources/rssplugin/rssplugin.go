@@ -7,6 +7,7 @@
 package rssplugin
 
 import (
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -18,6 +19,7 @@ import (
 type Plugin struct {
 	id     string
 	server *rss.Server
+	met    atomic.Pointer[sources.SourceMetrics]
 
 	changes chan sources.Change
 	stop    chan struct{}
@@ -45,6 +47,9 @@ func New(id string, server *rss.Server, pollEvery time.Duration) *Plugin {
 
 // ID implements sources.Source.
 func (p *Plugin) ID() string { return p.id }
+
+// SetMetrics implements sources.MetricsSetter.
+func (p *Plugin) SetMetrics(sm *sources.SourceMetrics) { p.met.Store(sm) }
 
 // Changes implements sources.Source: one Created change per new feed
 // item, detected by polling.
@@ -84,6 +89,7 @@ func (p *Plugin) poll(every time.Duration) {
 				for _, it := range items {
 					select {
 					case p.changes <- sources.Change{Type: sources.Created, URI: feed + "/" + it.GUID}:
+						p.met.Load().RecordChange()
 					default:
 					}
 				}
@@ -95,10 +101,13 @@ func (p *Plugin) poll(every time.Duration) {
 // Root implements sources.Source: a root view whose group set holds one
 // lazy xmldoc view per feed.
 func (p *Plugin) Root() (core.ResourceView, error) {
+	start := time.Now()
+	defer func() { p.met.Load().RecordRoot(time.Since(start), nil) }()
 	feeds := p.server.Feeds()
 	views := make([]core.ResourceView, len(feeds))
 	for i, feed := range feeds {
 		views[i] = sources.Annotate(rss.DocumentView(p.server, feed), feed, true)
+		p.met.Load().RecordViewBuilt()
 	}
 	// The root is deliberately class-less: iDM supports schema-never
 	// modelling, and no Table 1 class describes "a set of feeds".

@@ -9,8 +9,10 @@ package sources
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // ConvertFunc is the Content2iDM conversion hook: given an item name and
@@ -61,6 +63,72 @@ type Source interface {
 	Changes() <-chan Change
 	// Close releases the source's resources.
 	Close() error
+}
+
+// SourceMetrics carries one plugin's instruments within the Data Source
+// Proxy. Instrument names are prefixed "source_<id>_", so a dataspace
+// with several plugins keeps per-source series apart. Every method is
+// safe on a nil receiver (the uninstrumented case), so plugins record
+// unconditionally.
+type SourceMetrics struct {
+	roots      *obs.Counter
+	rootErrors *obs.Counter
+	rootNs     *obs.Histogram
+	changes    *obs.Counter
+	views      *obs.Counter
+}
+
+// NewSourceMetrics returns the instrument set for the plugin id,
+// registered in reg. A nil registry yields a nil (no-op) SourceMetrics.
+func NewSourceMetrics(reg *obs.Registry, id string) *SourceMetrics {
+	if reg == nil {
+		return nil
+	}
+	prefix := "source_" + id + "_"
+	return &SourceMetrics{
+		roots:      reg.Counter(prefix + "root_calls_total"),
+		rootErrors: reg.Counter(prefix + "root_errors_total"),
+		rootNs:     reg.Histogram(prefix+"root_ns", nil),
+		changes:    reg.Counter(prefix + "changes_total"),
+		views:      reg.Counter(prefix + "views_built_total"),
+	}
+}
+
+// RecordRoot records one Root() call with its duration and outcome.
+func (sm *SourceMetrics) RecordRoot(d time.Duration, err error) {
+	if sm == nil {
+		return
+	}
+	sm.roots.Inc()
+	sm.rootNs.Observe(int64(d))
+	if err != nil {
+		sm.rootErrors.Inc()
+	}
+}
+
+// RecordChange records one emitted change notification.
+func (sm *SourceMetrics) RecordChange() {
+	if sm == nil {
+		return
+	}
+	sm.changes.Inc()
+}
+
+// RecordViewBuilt records one resource view materialized by the plugin.
+func (sm *SourceMetrics) RecordViewBuilt() {
+	if sm == nil {
+		return
+	}
+	sm.views.Inc()
+}
+
+// MetricsSetter is the optional instrumentation interface of a data
+// source: the Resource View Manager hands an instrumented plugin its
+// SourceMetrics when the manager itself carries a metrics registry.
+// SetMetrics may be called after the plugin's goroutines have started,
+// so implementations must publish the pointer safely (atomically).
+type MetricsSetter interface {
+	SetMetrics(*SourceMetrics)
 }
 
 // Mutator is the optional write-through interface of a data source:

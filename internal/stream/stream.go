@@ -10,9 +10,11 @@ package stream
 import (
 	"io"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // Event is one change notification flowing through the broker: a new or
@@ -54,12 +56,23 @@ func Filter(pred func(core.ResourceView) bool, next Operator) Operator {
 // push-based processing with no polling anywhere. Broker is safe for
 // concurrent use.
 type Broker struct {
+	// met is published atomically: SetMetrics may be called after
+	// publishers are already running.
+	met atomic.Pointer[brokerMetrics]
+
 	mu     sync.RWMutex
 	subs   map[string]map[int]Operator
 	order  map[string][]int
 	nextID int
 	seqs   map[string]uint64
 	closed bool
+}
+
+// brokerMetrics bundles the broker's instruments (stream_* series).
+type brokerMetrics struct {
+	published   *obs.Counter
+	deliveries  *obs.Counter
+	subscribers *obs.Gauge
 }
 
 // NewBroker returns an empty broker.
@@ -71,8 +84,23 @@ func NewBroker() *Broker {
 	}
 }
 
+// SetMetrics registers the broker's instruments in reg: events
+// published, operator deliveries, and the live subscriber count. A nil
+// registry leaves the broker uninstrumented.
+func (b *Broker) SetMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	b.met.Store(&brokerMetrics{
+		published:   reg.Counter("stream_events_published_total"),
+		deliveries:  reg.Counter("stream_deliveries_total"),
+		subscribers: reg.Gauge("stream_subscribers"),
+	})
+}
+
 // Subscribe registers op for all future events on topic and returns a
-// cancel function that removes the subscription.
+// cancel function that removes the subscription. The cancel function is
+// idempotent.
 func (b *Broker) Subscribe(topic string, op Operator) (cancel func()) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -86,10 +114,19 @@ func (b *Broker) Subscribe(topic string, op Operator) (cancel func()) {
 	}
 	b.subs[topic][id] = op
 	b.order[topic] = append(b.order[topic], id)
+	if bm := b.met.Load(); bm != nil {
+		bm.subscribers.Add(1)
+	}
 	return func() {
 		b.mu.Lock()
 		defer b.mu.Unlock()
+		if _, live := b.subs[topic][id]; !live {
+			return
+		}
 		delete(b.subs[topic], id)
+		if bm := b.met.Load(); bm != nil {
+			bm.subscribers.Add(-1)
+		}
 	}
 }
 
@@ -110,6 +147,10 @@ func (b *Broker) Publish(topic string, view core.ResourceView) uint64 {
 		}
 	}
 	b.mu.Unlock()
+	if bm := b.met.Load(); bm != nil {
+		bm.published.Inc()
+		bm.deliveries.Add(int64(len(ops)))
+	}
 	for _, op := range ops {
 		op.OnEvent(e)
 	}
@@ -123,6 +164,9 @@ func (b *Broker) Close() {
 	b.closed = true
 	b.subs = make(map[string]map[int]Operator)
 	b.order = make(map[string][]int)
+	if bm := b.met.Load(); bm != nil {
+		bm.subscribers.Set(0)
+	}
 }
 
 // Window is a sliding window over a stream: it retains the most recent

@@ -1,0 +1,225 @@
+package idm_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	idm "repro"
+)
+
+// parallelSystem builds a dataspace wide enough (256 sibling documents)
+// that the iQL engine's sharded stages pass their parallel threshold,
+// so traced queries show per-worker spans.
+func parallelSystem(t *testing.T, parallelism int) *idm.System {
+	t.Helper()
+	fs := idm.NewFileSystem()
+	fs.MkdirAll("/docs")
+	for i := 0; i < 256; i++ {
+		fs.WriteFile(fmt.Sprintf("/docs/doc%03d.txt", i),
+			[]byte("wide blob content for shard testing"))
+	}
+	sys := idm.Open(idm.Config{Now: fixedNow, Parallelism: parallelism})
+	if err := sys.AddFileSystem("filesystem", fs); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Index(); err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+// TestSystemTraceSpanTree is the tentpole acceptance check: Trace on a
+// parallel system returns the parse → plan → eval span tree with
+// per-worker spans for the sharded stages.
+func TestSystemTraceSpanTree(t *testing.T) {
+	sys := parallelSystem(t, 4)
+	res, tr, err := sys.Trace(`//doc*[ "blob" ]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count() != 256 {
+		t.Fatalf("result count = %d, want 256", res.Count())
+	}
+	if tr == nil {
+		t.Fatal("Trace returned nil trace")
+	}
+	out := tr.Render()
+	for _, want := range []string{"parse", "plan", "eval", "worker "} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace missing %q:\n%s", want, out)
+		}
+	}
+	// Explain renders the same evaluation.
+	explained, err := sys.Explain(`//doc*[ "blob" ]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(explained, "eval") {
+		t.Errorf("Explain missing eval span:\n%s", explained)
+	}
+}
+
+func TestSystemTraceSerialHasNoWorkerSpans(t *testing.T) {
+	sys := parallelSystem(t, 1)
+	_, tr, err := sys.Trace(`//doc*[ "blob" ]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := tr.Render(); strings.Contains(out, "worker ") {
+		t.Errorf("serial trace has worker spans:\n%s", out)
+	}
+}
+
+func TestIndexTraced(t *testing.T) {
+	fs := idm.NewFileSystem()
+	fs.MkdirAll("/d")
+	fs.WriteFile("/d/a.txt", []byte("indexed content"))
+	sys := idm.Open(idm.Config{Now: fixedNow})
+	if err := sys.AddFileSystem("filesystem", fs); err != nil {
+		t.Fatal(err)
+	}
+	rep, tr, err := sys.IndexTraced()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TotalViews() == 0 {
+		t.Fatal("IndexTraced registered no views")
+	}
+	out := tr.Render()
+	for _, want := range []string{"sync filesystem", "views=", "source access="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("index trace missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestSystemMetricsEndToEnd checks that one System call path lights up
+// every layer's instruments in the shared registry.
+func TestSystemMetricsEndToEnd(t *testing.T) {
+	sys := parallelSystem(t, 2)
+	for i := 0; i < 2; i++ {
+		if _, err := sys.Query(`"blob"`); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := sys.Metrics().Snapshot()
+	if got := snap.Counters["idm_queries_total"]; got != 2 {
+		t.Errorf("idm_queries_total = %d, want 2", got)
+	}
+	if snap.Counters["idm_cache_misses_total"] != 1 || snap.Counters["idm_cache_hits_total"] != 1 {
+		t.Errorf("cache counters = %d miss / %d hit, want 1/1",
+			snap.Counters["idm_cache_misses_total"], snap.Counters["idm_cache_hits_total"])
+	}
+	if snap.Histograms["idm_query_ns"].Count != 2 {
+		t.Errorf("idm_query_ns count = %d, want 2", snap.Histograms["idm_query_ns"].Count)
+	}
+	// The cache hit never reached the engine.
+	if got := snap.Counters["iql_queries_total"]; got != 1 {
+		t.Errorf("iql_queries_total = %d, want 1", got)
+	}
+	if snap.Counters["rvm_syncs_total"] == 0 {
+		t.Error("rvm_syncs_total did not record")
+	}
+	if snap.Counters["source_filesystem_root_calls_total"] == 0 {
+		t.Error("source instruments did not record")
+	}
+	var buf bytes.Buffer
+	if err := snap.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("snapshot JSON invalid: %v", err)
+	}
+}
+
+func TestDisableMetrics(t *testing.T) {
+	fs := idm.NewFileSystem()
+	fs.MkdirAll("/d")
+	fs.WriteFile("/d/a.txt", []byte("quiet content"))
+	sys := idm.Open(idm.Config{Now: fixedNow, DisableMetrics: true})
+	if err := sys.AddFileSystem("filesystem", fs); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Index(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Query(`"quiet content"`); err != nil {
+		t.Fatal(err)
+	}
+	snap := sys.Metrics().Snapshot()
+	for name, v := range snap.Counters {
+		if v != 0 {
+			t.Errorf("disabled registry recorded %s = %d", name, v)
+		}
+	}
+	// Re-enabling at runtime starts recording without rewiring.
+	sys.Metrics().SetEnabled(true)
+	if _, err := sys.Query(`"quiet content"`); err != nil {
+		t.Fatal(err)
+	}
+	if sys.Metrics().Snapshot().Counters["idm_queries_total"] != 1 {
+		t.Error("re-enabled registry did not record")
+	}
+}
+
+// TestConcurrentQueriesWithMetricsScrape is the -race gate: parallel
+// query evaluation (sharded workers inside each query, several queries
+// in flight) while another goroutine continuously snapshots and
+// serializes the registry.
+func TestConcurrentQueriesWithMetricsScrape(t *testing.T) {
+	sys := parallelSystem(t, 4)
+	queries := []string{
+		`"blob"`,
+		`//doc*[ "blob" ]`,
+		`//docs/*`,
+		`"shard testing"`,
+	}
+	stop := make(chan struct{})
+	scraped := make(chan struct{})
+	go func() {
+		defer close(scraped)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			snap := sys.Metrics().Snapshot()
+			var buf bytes.Buffer
+			_ = snap.WriteJSON(&buf)
+			_ = sys.CacheStats()
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				q := queries[(w+i)%len(queries)]
+				if _, err := sys.Query(q); err != nil {
+					t.Errorf("worker %d: %v", w, err)
+					return
+				}
+				if i%10 == 0 {
+					if _, _, err := sys.Trace(q); err != nil {
+						t.Errorf("worker %d trace: %v", w, err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	<-scraped
+	snap := sys.Metrics().Snapshot()
+	if snap.Counters["idm_queries_total"] != 100 {
+		t.Errorf("idm_queries_total = %d, want 100", snap.Counters["idm_queries_total"])
+	}
+}

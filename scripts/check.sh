@@ -8,6 +8,14 @@ echo '>> go vet ./...'
 go vet ./...
 echo '>> go build ./...'
 go build ./...
+# Observability gate: the obs package and the root metrics/tracing
+# integration tests (concurrent queries against a scraped registry)
+# run first for fast, attributable failure; the full suite below
+# covers them again as part of ./...
+echo '>> go test -race ./internal/obs (observability gate)'
+go test -race ./internal/obs
+echo '>> go test -race -run "Obs|Trace|Metrics|Scrape" . (observability integration)'
+go test -race -run 'Obs|Trace|Metrics|Scrape' .
 echo '>> go test -race ./...'
 go test -race ./...
 echo 'check: OK'
