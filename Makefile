@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check test build vet bench-iql obs-bench
+.PHONY: check test build vet bench-iql obs-bench fuzz-smoke
 
 # Full verification: vet + build + race-enabled tests.
 check:
@@ -14,6 +14,15 @@ vet:
 
 test:
 	$(GO) test ./...
+
+# Short fuzzing pass over the iQL parser, evaluator and the
+# serial-vs-parallel differential harness (30s per target; seed corpora
+# live in internal/iql/testdata/fuzz/). Each target must run alone:
+# `go test -fuzz` accepts only one fuzz target per invocation.
+fuzz-smoke:
+	$(GO) test ./internal/iql -run '^$$' -fuzz '^FuzzParse$$' -fuzztime 30s
+	$(GO) test ./internal/iql -run '^$$' -fuzz '^FuzzEval$$' -fuzztime 30s
+	$(GO) test ./internal/iql -run '^$$' -fuzz '^FuzzDifferential$$' -fuzztime 30s
 
 # Regenerate BENCH_iql.json (serial vs parallel engine microbenchmark
 # plus the obs_overhead instrumentation-cost section; schema_version 2,

@@ -14,8 +14,8 @@ type queryCache struct {
 	// injectable for tests.
 	now func() time.Time
 
-	mu      sync.Mutex
-	entries map[string]cacheEntry
+	mu        sync.Mutex
+	entries   map[string]cacheEntry
 	cap       int
 	hits      int64
 	misses    int64
@@ -32,6 +32,10 @@ type cacheEntry struct {
 	version uint64
 	res     *Result
 	added   time.Time
+	// sources names the sources whose views appear in res, so
+	// invalidateSource can drop exactly the entries a source
+	// unregistration affects.
+	sources map[string]bool
 }
 
 func newQueryCache(capacity int) *queryCache {
@@ -74,7 +78,38 @@ func (c *queryCache) put(query string, version uint64, res *Result, cost time.Du
 	}
 	c.missNanos += int64(cost)
 	c.fills++
-	c.entries[query] = cacheEntry{version: version, res: res, added: c.now()}
+	var srcs map[string]bool
+	for _, row := range res.Rows {
+		for _, item := range row {
+			if item.Source == "" {
+				continue
+			}
+			if srcs == nil {
+				srcs = make(map[string]bool)
+			}
+			srcs[item.Source] = true
+		}
+	}
+	c.entries[query] = cacheEntry{version: version, res: res, added: c.now(), sources: srcs}
+}
+
+// invalidateSource drops every entry whose result contains rows from the
+// given source. Unregistering a source bumps the dataspace version (its
+// views are journaled as removals), which already guards correctness;
+// dropping the affected entries eagerly keeps the cache from carrying
+// dead results until the wholesale clear.
+func (c *queryCache) invalidateSource(id string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	dropped := 0
+	for q, e := range c.entries {
+		if e.sources[id] {
+			delete(c.entries, q)
+			dropped++
+		}
+	}
+	c.evictions += int64(dropped)
+	return dropped
 }
 
 // CacheStats reports query-cache effectiveness.

@@ -16,7 +16,13 @@
 //	\plan <query>    show the rule-based plan for a query
 //	\explain <query> evaluate with tracing and print the span tree
 //	\stats           session metrics and query-cache statistics
+//	\health          per-source degradation and circuit-breaker status
 //	\quit            exit
+//
+// -resilient wraps every source in the retry/timeout/circuit-breaker
+// proxy; -fault injects deterministic failures for chaos drills (e.g.
+// -fault 'filesystem/root:error:0.5'); see docs/RESILIENCE.md. Queries
+// answered while a source is down print a stale-results banner.
 //
 // -debug-addr serves the observability surface over HTTP:
 // /debug/metrics (JSON snapshot), /debug/vars (expvar) and
@@ -45,12 +51,39 @@ func main() {
 	expansion := flag.String("expansion", "forward", "path evaluation: forward|backward|auto")
 	limit := flag.Int("limit", 10, "max results to print per query")
 	debugAddr := flag.String("debug-addr", "", "serve /debug/metrics, /debug/vars and /debug/pprof on this address (e.g. localhost:6060)")
+	resilient := flag.Bool("resilient", false, "wrap sources in the retry/timeout/circuit-breaker proxy (docs/RESILIENCE.md)")
+	failClosed := flag.Bool("fail-closed", false, "reject queries while a source is degraded instead of serving stale replicas")
+	var faultRules []idm.FaultRule
+	flag.Func("fault", "inject a fault, spec point:kind[:p[:times]] (repeatable; kind error|latency[@dur]|partial|corrupt)", func(spec string) error {
+		r, err := idm.ParseFaultRule(spec)
+		if err != nil {
+			return err
+		}
+		faultRules = append(faultRules, r)
+		return nil
+	})
 	flag.Parse()
 
 	exp, err := parseExpansion(*expansion)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
+	}
+
+	cfg := idm.Config{Expansion: exp}
+	if *resilient {
+		cfg.Resilience = &idm.ResiliencePolicy{}
+	}
+	if *failClosed {
+		cfg.DegradedReads = idm.FailClosed
+	}
+	if len(faultRules) > 0 {
+		inj := idm.NewFaultInjector(*seed)
+		for _, r := range faultRules {
+			inj.Add(r)
+		}
+		cfg.Faults = inj
+		fmt.Fprintf(os.Stderr, "fault injection armed: %d rule(s)\n", len(faultRules))
 	}
 
 	var sys *idm.System
@@ -64,7 +97,7 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "imported %d files in %d folders (%.1f MB; skipped %d large, %d other)\n",
 			st.Files, st.Folders, float64(st.Bytes)/(1<<20), st.SkippedLarge, st.SkippedOther)
-		sys = idm.Open(idm.Config{Expansion: exp})
+		sys = idm.Open(cfg)
 		if err := sys.AddFileSystem("filesystem", vf); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -72,7 +105,8 @@ func main() {
 	} else {
 		fmt.Fprintf(os.Stderr, "generating synthetic personal dataspace (scale %.2f, seed %d)...\n", *scale, *seed)
 		data := idm.GenerateDataset(idm.DatasetConfig{Scale: *scale, Seed: *seed})
-		sys, err = idm.OpenDataset(data, idm.Config{Expansion: exp, Now: evalClock})
+		cfg.Now = evalClock
+		sys, err = idm.OpenDataset(data, cfg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -81,8 +115,10 @@ func main() {
 	start := time.Now()
 	report, err := sys.Index()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		// With fault injection or flaky real sources the sync may partially
+		// fail; healthy sources are still indexed, so keep going and let
+		// \health and the stale banner tell the story.
+		fmt.Fprintf(os.Stderr, "warning: partial index: %v\n", err)
 	}
 	fmt.Fprintf(os.Stderr, "indexed %d resource views from %d sources in %v\n\n",
 		report.TotalViews(), len(report.Timings), time.Since(start).Round(time.Millisecond))
@@ -146,6 +182,10 @@ func runQuery(sys *idm.System, q string, limit int) {
 			time.Duration(h.Mean()).Round(time.Microsecond), h.Count)
 	}
 	fmt.Printf("iql> %s\n%d results in %v%s%s\n", q, res.Count(), elapsed.Round(time.Microsecond), rate, session)
+	if res.Stale {
+		fmt.Printf("  ⚠ stale: source(s) %s down — serving last-good replicas (\\health for detail)\n",
+			strings.Join(res.StaleSources, ", "))
+	}
 	for i, row := range res.Rows {
 		if i >= limit {
 			fmt.Printf("  ... and %d more\n", res.Count()-limit)
@@ -196,6 +236,8 @@ func repl(sys *idm.System, limit int) {
 				mb(s.Name), mb(s.Tuple), mb(s.Content), mb(s.Group), mb(s.Catalog), mb(s.Total()))
 		case line == `\stats`:
 			printStats(sys)
+		case line == `\health`:
+			printHealth(sys)
 		case strings.HasPrefix(line, `\explain `):
 			out, err := sys.Explain(strings.TrimPrefix(line, `\explain `))
 			if err != nil {
@@ -315,6 +357,31 @@ func printStats(sys *idm.System) {
 	}
 }
 
+// printHealth renders per-source degradation status: last sync outcome,
+// consecutive failures and the circuit-breaker state (when -resilient).
+func printHealth(sys *idm.System) {
+	hs := sys.Health()
+	if len(hs) == 0 {
+		fmt.Println("no sources registered")
+		return
+	}
+	for _, h := range hs {
+		state := "ok"
+		if h.Degraded {
+			state = fmt.Sprintf("DEGRADED (%d consecutive failures): %s", h.ConsecutiveFailures, h.LastError)
+		}
+		breaker := ""
+		if h.Breaker != "" {
+			breaker = "  breaker=" + h.Breaker
+		}
+		last := "never"
+		if !h.LastSuccess.IsZero() {
+			last = time.Since(h.LastSuccess).Round(time.Millisecond).String() + " ago"
+		}
+		fmt.Printf("  %-12s %s%s  last success %s\n", h.Source, state, breaker, last)
+	}
+}
+
 func fmtRate(r float64) string {
 	switch {
 	case r >= 1e6:
@@ -333,6 +400,7 @@ func printHelp() {
   \plan <query>    show the rule-based query plan
   \explain <query> evaluate with tracing and print the span tree
   \stats           session metrics and query-cache statistics
+  \health          per-source degradation and circuit-breaker status
   \rank <query>    evaluate with tf-ranked results
   \lineage <query> provenance chain of the first result
   \changes         tail of the dataspace change journal

@@ -1,0 +1,87 @@
+package idm_test
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"regexp"
+	"testing"
+
+	idm "repro"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the EXPLAIN golden files")
+
+// durRE matches the wall-clock durations the span renderer prints; they
+// are the only nondeterministic part of an EXPLAIN over a fixed store
+// evaluated serially.
+var durRE = regexp.MustCompile(`[0-9]+(\.[0-9]+)?(ns|µs|ms|s)`)
+
+func normalizeExplain(s string) string {
+	return durRE.ReplaceAllString(s, "<dur>")
+}
+
+// explainSystem builds the deterministic paper-example dataspace the
+// golden files are pinned against: a folder tree holding a LaTeX paper
+// whose converter output includes sections, a figure environment and a
+// \ref cross edge.
+func explainSystem(t *testing.T) *idm.System {
+	t.Helper()
+	fs := idm.NewFileSystem()
+	fs.MkdirAll("/papers/VLDB2006")
+	fs.WriteFile("/papers/VLDB2006/vldb.tex", []byte(
+		"\\section{Introduction} Mike Franklin dataspaces vision \\ref{fig:index}\n"+
+			"\\section{GrandVision} Franklin agrees systems\n"+
+			"\\begin{figure}\\label{fig:index} indexing time plot \\end{figure}\n"))
+	sys := idm.Open(idm.Config{Now: fixedNow, Parallelism: 1})
+	if err := sys.AddFileSystem("filesystem", fs); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Index(); err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+// TestExplainGolden pins the full EXPLAIN (parse → plan → eval span
+// tree) of three paper example queries — a keyword query, a path query
+// with a class predicate, and a texref/figure join — against golden
+// files. Run `go test -run TestExplainGolden -update .` after deliberate
+// planner or tracer changes.
+func TestExplainGolden(t *testing.T) {
+	sys := explainSystem(t)
+	cases := []struct {
+		name  string
+		query string
+	}{
+		{"keyword", `"Mike Franklin"`},
+		{"path", `//VLDB2006//Introduction[class="latex_section"]`},
+		{"join", `join( //[class="texref"] as A, //figure*[class="environment"] as B, A.name = B.tuple.label )`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			out, err := sys.Explain(tc.query)
+			if err != nil {
+				t.Fatalf("Explain(%q): %v", tc.query, err)
+			}
+			got := normalizeExplain(out)
+			path := filepath.Join("testdata", "explain", tc.name+".golden")
+			if *updateGolden {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("EXPLAIN drifted from %s\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+			}
+		})
+	}
+}

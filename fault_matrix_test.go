@@ -1,0 +1,409 @@
+package idm_test
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	idm "repro"
+	"repro/internal/fault"
+	"repro/internal/iql"
+	"repro/internal/rss"
+	"repro/internal/sources"
+)
+
+// faultFS builds a filesystem-backed system with a fault injector and an
+// optional resilience policy wired in.
+func faultFS(t *testing.T, cfg idm.Config, preIndex ...idm.FaultRule) (*idm.System, *idm.FaultInjector) {
+	t.Helper()
+	inj := idm.NewFaultInjector(1)
+	for _, r := range preIndex {
+		inj.Add(r)
+	}
+	cfg.Now = fixedNow
+	cfg.Faults = inj
+	fs := idm.NewFileSystem()
+	fs.MkdirAll("/docs")
+	fs.WriteFile("/docs/paper.tex", []byte(`\section{Introduction} dataspace vision text`))
+	fs.WriteFile("/docs/notes.txt", []byte("resilient keyword content"))
+	sys := idm.Open(cfg)
+	if err := sys.AddFileSystem("fs", fs); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Index(); err != nil {
+		t.Fatal(err)
+	}
+	return sys, inj
+}
+
+// TestFaultMatrix drives every fault kind through every built-in plugin
+// family and checks the system's contract for each: root errors degrade
+// the source but never corrupt the replica; read and convert faults are
+// contained to the affected view; latency faults only slow the sync.
+func TestFaultMatrix(t *testing.T) {
+	t.Run("fs", func(t *testing.T) {
+		cases := []struct {
+			name string
+			rule idm.FaultRule
+			// wantSyncErr: the re-sync must fail and the source degrade.
+			wantSyncErr bool
+			// preIndex injects the rule before the first Index instead of
+			// before a re-sync (read faults only matter while content is
+			// first indexed; an unchanged view is not re-read).
+			preIndex bool
+			// query → wantCount after the faulty sync round.
+			query     string
+			wantCount int
+		}{
+			{name: "error@root", rule: idm.FaultRule{Point: "fs/root", Kind: idm.FaultError, Times: 1},
+				wantSyncErr: true, query: `"resilient keyword"`, wantCount: 1},
+			{name: "latency@root", rule: idm.FaultRule{Point: "fs/root", Kind: idm.FaultLatency, Latency: time.Millisecond, Times: 1},
+				query: `"resilient keyword"`, wantCount: 1},
+			// A partial read drops the file's content from the index but
+			// must not fail the sync or touch other views.
+			{name: "partial@read", rule: idm.FaultRule{Point: "fs/read", Kind: idm.FaultPartialRead, Fraction: 0.3},
+				preIndex: true, query: `"resilient keyword"`, wantCount: 0},
+			// Corrupted converter input must not crash the converter or
+			// the sync; the structural views may be lost, the base file
+			// stays indexed.
+			{name: "corrupt@convert", rule: idm.FaultRule{Point: "fs/convert", Kind: idm.FaultCorrupt, Fraction: 0.4},
+				query: `//paper.tex`, wantCount: 1},
+		}
+		for _, tc := range cases {
+			t.Run(tc.name, func(t *testing.T) {
+				var sys *idm.System
+				var inj *idm.FaultInjector
+				var err error
+				if tc.preIndex {
+					sys, inj = faultFS(t, idm.Config{}, tc.rule)
+				} else {
+					sys, inj = faultFS(t, idm.Config{})
+					inj.Add(tc.rule)
+					_, err = sys.Manager().SyncSource("fs")
+				}
+				if tc.wantSyncErr {
+					if err == nil {
+						t.Fatal("faulty sync succeeded")
+					}
+					if !idm.IsFaultInjected(err) {
+						t.Fatalf("error lost the injected sentinel: %v", err)
+					}
+					if got := sys.DegradedSources(); len(got) != 1 || got[0] != "fs" {
+						t.Fatalf("DegradedSources = %v", got)
+					}
+				} else if err != nil {
+					t.Fatalf("sync: %v", err)
+				}
+				res, err := sys.Query(tc.query)
+				if err != nil {
+					t.Fatalf("query after fault: %v", err)
+				}
+				if res.Count() != tc.wantCount {
+					t.Fatalf("%q = %d rows, want %d", tc.query, res.Count(), tc.wantCount)
+				}
+				if inj.FiredTotal() == 0 {
+					t.Fatal("rule never fired")
+				}
+			})
+		}
+	})
+
+	t.Run("mail", func(t *testing.T) {
+		for _, point := range []string{"mail/root", "mail/fetch"} {
+			t.Run("error@"+point, func(t *testing.T) {
+				inj := idm.NewFaultInjector(1)
+				store := idm.NewMailStore()
+				store.Append(&idm.MailMessage{Folder: "INBOX", Subject: "hello", Body: "mail body words"})
+				sys := idm.Open(idm.Config{Now: fixedNow, Faults: inj})
+				if err := sys.AddMail("mail", store); err != nil {
+					t.Fatal(err)
+				}
+				inj.Add(idm.FaultRule{Point: point, Kind: idm.FaultError, Times: 1})
+				_, err := sys.Index()
+				if point == "mail/root" && err == nil {
+					t.Fatal("root fault not surfaced")
+				}
+				// Recovery: the one-shot rule is spent; message views are
+				// rebuilt lazily on the next sync.
+				if _, err := sys.Manager().SyncSource("mail"); err != nil {
+					t.Fatalf("recovery sync: %v", err)
+				}
+			})
+		}
+	})
+
+	t.Run("rel", func(t *testing.T) {
+		inj := idm.NewFaultInjector(1)
+		db := idm.NewRelDB("persdb")
+		sys := idm.Open(idm.Config{Now: fixedNow, Faults: inj})
+		if err := sys.AddRelational("rel", db); err != nil {
+			t.Fatal(err)
+		}
+		inj.Add(idm.FaultRule{Point: "rel/root", Kind: idm.FaultError, Times: 1})
+		if _, err := sys.Index(); err == nil {
+			t.Fatal("root fault not surfaced")
+		}
+		if _, err := sys.Manager().SyncSource("rel"); err != nil {
+			t.Fatalf("recovery sync: %v", err)
+		}
+	})
+
+	t.Run("rss", func(t *testing.T) {
+		inj := idm.NewFaultInjector(1)
+		srv := idm.NewRSSServer()
+		srv.Publish("news", rss.Item{Title: "headline", Description: "feed words"})
+		sys := idm.Open(idm.Config{Now: fixedNow, Faults: inj})
+		if err := sys.AddRSS("rss", srv, 0); err != nil {
+			t.Fatal(err)
+		}
+		inj.Add(idm.FaultRule{Point: "rss/root", Kind: idm.FaultError, Times: 1})
+		if _, err := sys.Index(); err == nil {
+			t.Fatal("root fault not surfaced")
+		}
+		if _, err := sys.Manager().SyncSource("rss"); err != nil {
+			t.Fatalf("recovery sync: %v", err)
+		}
+	})
+}
+
+// TestSourceDownServesStaleResults is the issue's acceptance scenario:
+// with a source forced down, a keyword query still returns results —
+// flagged stale — and the retries and breaker trip show up in the
+// metrics registry.
+func TestSourceDownServesStaleResults(t *testing.T) {
+	sys, inj := faultFS(t, idm.Config{
+		Resilience: &idm.ResiliencePolicy{
+			MaxRetries:      2,
+			RetryBase:       time.Microsecond,
+			BreakerFailures: 1,
+			BreakerCooldown: time.Hour,
+			Sleep:           func(time.Duration) {},
+		},
+	})
+	// Force the source down for every future root call.
+	inj.Add(idm.FaultRule{Point: "fs/root", Kind: idm.FaultError})
+	if _, err := sys.Manager().SyncSource("fs"); err == nil {
+		t.Fatal("sync of a downed source succeeded")
+	}
+
+	res, err := sys.Query(`"resilient keyword"`)
+	if err != nil {
+		t.Fatalf("degraded query errored: %v", err)
+	}
+	if res.Count() != 1 {
+		t.Fatalf("stale rows = %d, want 1", res.Count())
+	}
+	if !res.Stale || len(res.StaleSources) != 1 || res.StaleSources[0] != "fs" {
+		t.Fatalf("Stale = %v, StaleSources = %v", res.Stale, res.StaleSources)
+	}
+	if !strings.Contains(res.Plan, "degraded sources") {
+		t.Errorf("plan does not note the degradation: %q", res.Plan)
+	}
+
+	snap := sys.Metrics().Snapshot()
+	if snap.Counters["source_fs_retries_total"] != 2 {
+		t.Errorf("retries_total = %d, want 2", snap.Counters["source_fs_retries_total"])
+	}
+	if snap.Counters["source_fs_breaker_opens_total"] == 0 {
+		t.Error("breaker never opened")
+	}
+	if snap.Gauges["source_fs_breaker_state"] != int64(sources.BreakerOpen) {
+		t.Errorf("breaker_state gauge = %d", snap.Gauges["source_fs_breaker_state"])
+	}
+	if snap.Counters["idm_stale_queries_total"] == 0 {
+		t.Error("idm_stale_queries_total not incremented")
+	}
+	if snap.Counters["rvm_sync_errors_total"] == 0 {
+		t.Error("rvm_sync_errors_total not incremented")
+	}
+	if h := sys.Health(); len(h) != 1 || !h[0].Degraded || h[0].Breaker != "open" {
+		t.Fatalf("health = %+v", h)
+	}
+
+	// Recovery: lift the fault, wait out the breaker via a fresh sync
+	// after cooldown is irrelevant here — clear the rules and re-open
+	// the breaker path by resetting the injector; the half-open probe
+	// happens after cooldown, which we shortcut by a direct reset.
+	inj.Reset()
+}
+
+// TestFailClosedPolicy pins the strict degradation mode: queries are
+// rejected with ErrDegraded while a source is down, and work again after
+// recovery.
+func TestFailClosedPolicy(t *testing.T) {
+	sys, inj := faultFS(t, idm.Config{DegradedReads: idm.FailClosed})
+	inj.Add(idm.FaultRule{Point: "fs/root", Kind: idm.FaultError, Times: 1})
+	if _, err := sys.Manager().SyncSource("fs"); err == nil {
+		t.Fatal("faulty sync succeeded")
+	}
+	if _, err := sys.Query(`"resilient keyword"`); !errors.Is(err, idm.ErrDegraded) {
+		t.Fatalf("err = %v, want ErrDegraded", err)
+	}
+	if _, err := sys.Manager().SyncSource("fs"); err != nil {
+		t.Fatalf("recovery sync: %v", err)
+	}
+	res, err := sys.Query(`"resilient keyword"`)
+	if err != nil || res.Count() != 1 || res.Stale {
+		t.Fatalf("post-recovery: %v, %+v", err, res)
+	}
+}
+
+// TestStaleResultsBypassCache checks the cache never launders away the
+// Stale flag: a result cached while healthy must not be served unflagged
+// during degradation.
+func TestStaleResultsBypassCache(t *testing.T) {
+	sys, inj := faultFS(t, idm.Config{})
+	// Prime the cache while healthy.
+	if res, err := sys.Query(`"resilient keyword"`); err != nil || res.Stale {
+		t.Fatalf("healthy query: %v %+v", err, res)
+	}
+	inj.Add(idm.FaultRule{Point: "fs/root", Kind: idm.FaultError, Times: 1})
+	if _, err := sys.Manager().SyncSource("fs"); err == nil {
+		t.Fatal("faulty sync succeeded")
+	}
+	res, err := sys.Query(`"resilient keyword"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stale {
+		t.Fatal("cached result served without the Stale flag during degradation")
+	}
+}
+
+// TestDifferentialUnderFaults runs grammar-generated queries against a
+// degraded live system, asserting serial and parallel evaluation still
+// agree while stale replicas are being served.
+func TestDifferentialUnderFaults(t *testing.T) {
+	sys, inj := faultFS(t, idm.Config{})
+	inj.Add(idm.FaultRule{Point: "fs/root", Kind: idm.FaultError})
+	if _, err := sys.Manager().SyncSource("fs"); err == nil {
+		t.Fatal("sync of downed source succeeded")
+	}
+	vocab := iql.Vocab{
+		Names:     []string{"fs", "docs", "paper.tex", "notes.txt", "Introduction"},
+		Phrases:   []string{"dataspace vision", "resilient keyword", "section"},
+		Classes:   []string{"folder", "file", "latexfile", "latex_section"},
+		IntAttrs:  []string{"size"},
+		DateAttrs: []string{"lastmodified"},
+	}
+	g := iql.NewGen(3, vocab)
+	serial := iql.NewEngine(sys.Manager(), iql.Options{Now: fixedNow, Parallelism: 1})
+	parallel := iql.NewEngine(sys.Manager(), iql.Options{Now: fixedNow, Parallelism: 8})
+	for i := 0; i < 300; i++ {
+		q := g.Query()
+		rs, errS := serial.Query(q)
+		rp, errP := parallel.Query(q)
+		if (errS == nil) != (errP == nil) {
+			t.Fatalf("gen %d %q: serial err %v, parallel err %v", i, q, errS, errP)
+		}
+		if errS != nil {
+			continue
+		}
+		a, b := rs.OIDs(), rp.OIDs()
+		if fmt.Sprint(a) != fmt.Sprint(b) {
+			t.Fatalf("gen %d %q: %v vs %v", i, q, a, b)
+		}
+		if len(rs.Plan.StaleSources) != 1 || rs.Plan.StaleSources[0] != "fs" {
+			t.Fatalf("gen %d %q: StaleSources = %v", i, q, rs.Plan.StaleSources)
+		}
+	}
+}
+
+// TestRemoveSourceInvalidatesCache pins the unregister path: cached
+// results that drew rows from the removed source are dropped, unrelated
+// entries survive, and the source's views leave the indexes.
+func TestRemoveSourceInvalidatesCache(t *testing.T) {
+	fsA := idm.NewFileSystem()
+	fsA.MkdirAll("/a")
+	fsA.WriteFile("/a/keep.txt", []byte("alpha content stays"))
+	fsB := idm.NewFileSystem()
+	fsB.MkdirAll("/b")
+	fsB.WriteFile("/b/gone.txt", []byte("beta content leaves"))
+	sys := idm.Open(idm.Config{Now: fixedNow})
+	if err := sys.AddFileSystem("a", fsA); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.AddFileSystem("b", fsB); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Index(); err != nil {
+		t.Fatal(err)
+	}
+	if res, _ := sys.Query(`"alpha content"`); res.Count() != 1 {
+		t.Fatal("setup a")
+	}
+	if res, _ := sys.Query(`"beta content"`); res.Count() != 1 {
+		t.Fatal("setup b")
+	}
+	if st := sys.CacheStats(); st.Size != 2 {
+		t.Fatalf("cache size = %d, want 2", st.Size)
+	}
+
+	if err := sys.RemoveSource("b"); err != nil {
+		t.Fatal(err)
+	}
+	st := sys.CacheStats()
+	if st.Size != 1 {
+		t.Fatalf("cache size after removal = %d, want 1 (b's entry dropped)", st.Size)
+	}
+	if st.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", st.Evictions)
+	}
+	res, err := sys.Query(`"beta content"`)
+	if err != nil || res.Count() != 0 {
+		t.Fatalf("removed source still answers: %v (%d)", err, res.Count())
+	}
+	if res, _ := sys.Query(`"alpha content"`); res.Count() != 1 {
+		t.Fatal("surviving source lost")
+	}
+	if got := sys.Sources(); len(got) != 1 || got[0] != "a" {
+		t.Fatalf("sources = %v", got)
+	}
+	if err := sys.RemoveSource("b"); err == nil {
+		t.Fatal("double removal not rejected")
+	}
+}
+
+// TestResilienceAbsorbsTransientFaults: with retries configured, a
+// transient root failure never surfaces to Index at all.
+func TestResilienceAbsorbsTransientFaults(t *testing.T) {
+	sys, inj := faultFS(t, idm.Config{
+		Resilience: &idm.ResiliencePolicy{
+			MaxRetries:      3,
+			RetryBase:       time.Microsecond,
+			BreakerFailures: -1,
+			Sleep:           func(time.Duration) {},
+		},
+	})
+	inj.Add(idm.FaultRule{Point: "fs/root", Kind: idm.FaultError, Times: 2})
+	if _, err := sys.Manager().SyncSource("fs"); err != nil {
+		t.Fatalf("transient faults surfaced through retries: %v", err)
+	}
+	if got := sys.DegradedSources(); len(got) != 0 {
+		t.Fatalf("DegradedSources = %v", got)
+	}
+	if sys.Metrics().Snapshot().Counters["source_fs_retries_total"] != 2 {
+		t.Error("retries not recorded")
+	}
+}
+
+// TestParseFaultRuleRoundTrip covers the -fault flag's spec format at
+// the facade level.
+func TestParseFaultRuleRoundTrip(t *testing.T) {
+	r, err := idm.ParseFaultRule("fs/root:error:0.5:3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Point != "fs/root" || r.Kind != idm.FaultError || r.P != 0.5 || r.Times != 3 {
+		t.Fatalf("rule = %+v", r)
+	}
+	if _, err := idm.ParseFaultRule("fs/root:latency@5ms"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := idm.ParseFaultRule("nonsense:kind"); err == nil {
+		t.Fatal("bad kind accepted")
+	}
+	_ = fault.Error // the internal package stays importable for tests
+}

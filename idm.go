@@ -31,6 +31,7 @@
 package idm
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"strings"
@@ -39,6 +40,7 @@ import (
 	"repro/internal/catalog"
 	"repro/internal/convert"
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/iql"
 	"repro/internal/mail"
 	"repro/internal/obs"
@@ -99,7 +101,40 @@ type (
 	// LineageStep is one hop of a view's provenance chain (lineage,
 	// §8 of the paper).
 	LineageStep = rvm.LineageStep
+	// ResiliencePolicy tunes the per-source retry/timeout/circuit-breaker
+	// proxy wrapped around every registered plugin (see
+	// docs/RESILIENCE.md). The zero value applies sensible defaults.
+	ResiliencePolicy = sources.Policy
+	// SourceHealth is one source's degradation status as tracked by the
+	// Resource View Manager.
+	SourceHealth = rvm.SourceHealth
+	// FaultInjector deterministically injects failures at named points in
+	// the source layer; for tests and chaos drills.
+	FaultInjector = fault.Injector
+	// FaultRule describes one injected failure.
+	FaultRule = fault.Rule
+	// FaultKind classifies what a FaultRule injects.
+	FaultKind = fault.Kind
 )
+
+// Fault kinds a FaultRule can inject.
+const (
+	FaultError       = fault.Error
+	FaultLatency     = fault.Latency
+	FaultPartialRead = fault.PartialRead
+	FaultCorrupt     = fault.Corrupt
+)
+
+// NewFaultInjector returns a deterministic fault injector; register it
+// via Config.Faults before adding sources.
+func NewFaultInjector(seed int64) *FaultInjector { return fault.New(seed) }
+
+// ParseFaultRule parses a "point:kind[:p[:times]]" rule spec (see
+// fault.ParseRule); used by the imemex -fault flag.
+func ParseFaultRule(spec string) (FaultRule, error) { return fault.ParseRule(spec) }
+
+// IsFaultInjected reports whether err originates from a FaultInjector.
+func IsFaultInjected(err error) bool { return fault.IsInjected(err) }
 
 // Change journal record kinds.
 const (
@@ -165,7 +200,35 @@ type Config struct {
 	// stay wired through the stack but record nothing (one atomic load
 	// per call). Re-enable at runtime with Metrics().SetEnabled(true).
 	DisableMetrics bool
+	// Resilience wraps every registered source in a retry/timeout/
+	// circuit-breaker proxy with this policy. nil leaves sources
+	// unwrapped: a failing source fails its sync on the first error.
+	Resilience *ResiliencePolicy
+	// DegradedReads selects what Query does while a source is degraded
+	// (its last sync failed): ServeStale (default) answers from the
+	// last-good replica and flags the result; FailClosed returns
+	// ErrDegraded instead.
+	DegradedReads DegradedReadPolicy
+	// Faults, when set, is handed to every registered source plugin that
+	// supports fault injection (all built-in plugins do). Testing only.
+	Faults *FaultInjector
 }
+
+// DegradedReadPolicy selects query behaviour while sources are degraded.
+type DegradedReadPolicy int
+
+const (
+	// ServeStale answers queries from the last successfully synced
+	// replica, marking results Stale (graceful degradation).
+	ServeStale DegradedReadPolicy = iota
+	// FailClosed rejects queries with ErrDegraded while any source is
+	// degraded.
+	FailClosed
+)
+
+// ErrDegraded is returned by Query under Config{DegradedReads:
+// FailClosed} while at least one source is degraded.
+var ErrDegraded = errors.New("idm: dataspace degraded")
 
 // System is an iMeMex-style Personal Dataspace Management System: a
 // Resource View Manager plus an iQL query processor.
@@ -178,6 +241,7 @@ type System struct {
 	cache      *queryCache // nil when disabled
 	metrics    *obs.Registry
 	met        systemMetrics
+	degraded   DegradedReadPolicy
 }
 
 // systemMetrics bundles the facade's own instruments (idm_* series);
@@ -188,14 +252,18 @@ type systemMetrics struct {
 	queryNs     *obs.Histogram
 	cacheHits   *obs.Counter
 	cacheMisses *obs.Counter
+	// staleQueries counts queries answered from stale replicas while a
+	// source was degraded.
+	staleQueries *obs.Counter
 }
 
 func newSystemMetrics(reg *obs.Registry) systemMetrics {
 	return systemMetrics{
-		queries:     reg.Counter("idm_queries_total"),
-		queryNs:     reg.Histogram("idm_query_ns", nil),
-		cacheHits:   reg.Counter("idm_cache_hits_total"),
-		cacheMisses: reg.Counter("idm_cache_misses_total"),
+		queries:      reg.Counter("idm_queries_total"),
+		queryNs:      reg.Histogram("idm_query_ns", nil),
+		cacheHits:    reg.Counter("idm_cache_hits_total"),
+		cacheMisses:  reg.Counter("idm_cache_misses_total"),
+		staleQueries: reg.Counter("idm_stale_queries_total"),
 	}
 }
 
@@ -224,6 +292,8 @@ func open(cfg Config, cat *catalog.Catalog) *System {
 	opts.MaxContentBytes = cfg.MaxContentBytes
 	opts.InfinitePrefix = cfg.InfinitePrefix
 	opts.IndexImages = cfg.IndexImages
+	opts.Resilience = cfg.Resilience
+	opts.Faults = cfg.Faults
 	reg := obs.NewRegistry()
 	if cfg.DisableMetrics {
 		reg.SetEnabled(false)
@@ -248,6 +318,7 @@ func open(cfg Config, cat *catalog.Catalog) *System {
 		par:        cfg.Parallelism,
 		metrics:    reg,
 		met:        newSystemMetrics(reg),
+		degraded:   cfg.DegradedReads,
 	}
 	if !cfg.DisableQueryCache {
 		s.cache = newQueryCache(0)
@@ -291,6 +362,27 @@ func (s *System) AddRSS(id string, server *RSSServer, poll time.Duration) error 
 // AddSource registers a custom data source plugin.
 func (s *System) AddSource(src Source) error { return s.mgr.AddSource(src) }
 
+// RemoveSource unregisters a source: its plugin is closed, every view it
+// contributed is removed from the catalog, indexes and replica (journaled
+// as removals), and cached query results that drew rows from it are
+// dropped.
+func (s *System) RemoveSource(id string) error {
+	if s.cache != nil {
+		s.cache.invalidateSource(id)
+	}
+	return s.mgr.RemoveSource(id)
+}
+
+// Health reports per-source degradation status: whether the last sync
+// failed, the error, consecutive failures, and the circuit-breaker state
+// when Config.Resilience is set.
+func (s *System) Health() []SourceHealth { return s.mgr.Health() }
+
+// DegradedSources lists sources whose last sync failed; queries answered
+// while this is non-empty carry Result.Stale (under the default
+// ServeStale policy).
+func (s *System) DegradedSources() []string { return s.mgr.DegradedSources() }
+
 // Index synchronizes every registered source: it walks each source's
 // resource view graph, registers every view in the catalog and feeds the
 // name, tuple and content indexes and the group replica.
@@ -314,8 +406,17 @@ func (s *System) Count() int { return s.mgr.Count() }
 func (s *System) Query(q string) (*Result, error) {
 	start := time.Now()
 	s.met.queries.Inc()
+	// Degraded sources: FailClosed rejects outright; ServeStale bypasses
+	// the cache so every result honestly carries its Stale flag (a failed
+	// sync does not bump the version, so cached rows would be identical
+	// but unflagged).
+	stale := s.mgr.DegradedSources()
+	if len(stale) > 0 && s.degraded == FailClosed {
+		return nil, fmt.Errorf("%w: %s", ErrDegraded, strings.Join(stale, ", "))
+	}
+	useCache := s.cache != nil && len(stale) == 0
 	var version uint64
-	if s.cache != nil {
+	if useCache {
 		version = s.mgr.Version()
 		if res, ok := s.cache.get(q, version); ok {
 			s.met.cacheHits.Inc()
@@ -329,7 +430,7 @@ func (s *System) Query(q string) (*Result, error) {
 		return nil, err
 	}
 	res := s.buildResult(r)
-	if s.cache != nil {
+	if useCache {
 		// The elapsed time is what this miss cost; the cache reports it
 		// as MissLatency against the hit path's HitLatency.
 		s.cache.put(q, version, res, time.Since(start))
@@ -503,6 +604,11 @@ type Result struct {
 	// Scores aligns with Rows for ranked queries (QueryRanked); nil
 	// otherwise.
 	Scores []float64
+	// Stale reports that at least one source was degraded when the query
+	// ran: rows drawn from its replica reflect the last successful sync,
+	// not the live source. StaleSources names the degraded sources.
+	Stale        bool
+	StaleSources []string
 }
 
 // Count returns the number of result rows.
@@ -513,6 +619,11 @@ func (s *System) buildResult(r *iql.Result) *Result {
 		Columns:       r.Columns,
 		Plan:          r.Plan.String(),
 		Intermediates: int(r.Plan.Intermediates),
+		Stale:         len(r.Plan.StaleSources) > 0,
+		StaleSources:  r.Plan.StaleSources,
+	}
+	if out.Stale {
+		s.met.staleQueries.Inc()
 	}
 	// Ancestors repeat heavily across the rows of one result; memoize
 	// path fragments while resolving it.

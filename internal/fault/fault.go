@@ -1,0 +1,360 @@
+// Package fault is a deterministic fault-injection harness for the
+// dataspace's source layer. The iDM paper's PDSMS assumes intermittently
+// reachable data sources (laptops, IMAP servers, network shares); this
+// package lets tests and chaos drills make that volatility reproducible:
+// an Injector holds seeded rules that fire at named failure points inside
+// the Data Source Plugins — I/O errors, latency spikes, partial reads,
+// corrupted converter output — so resilience code paths (retry, breaker,
+// degraded reads) can be exercised deterministically.
+//
+// Points are slash-separated names such as "mail/root" or "fs/read";
+// rules match points with the same wildcard syntax iQL name steps use
+// ('*' and '?'). All Injector methods are safe on a nil receiver, so
+// plugins consult their injector unconditionally.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/wildcard"
+)
+
+// ErrInjected is the sentinel wrapped by every injected error, so callers
+// can distinguish harness-made failures from real ones.
+var ErrInjected = errors.New("injected fault")
+
+// IsInjected reports whether err originates from an Injector.
+func IsInjected(err error) bool { return errors.Is(err, ErrInjected) }
+
+// Kind classifies what a rule injects.
+type Kind int
+
+// Fault kinds.
+const (
+	// Error makes the point return an error.
+	Error Kind = iota
+	// Latency delays the point without failing it.
+	Latency
+	// PartialRead truncates a reader mid-stream and fails the read.
+	PartialRead
+	// Corrupt flips bytes in converter input.
+	Corrupt
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Error:
+		return "error"
+	case Latency:
+		return "latency"
+	case PartialRead:
+		return "partial"
+	case Corrupt:
+		return "corrupt"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Rule arms one failure point (or a wildcard family of points).
+type Rule struct {
+	// Point names the failure point, e.g. "mail/root"; '*' and '?' are
+	// wildcards, so "*/root" arms every plugin's Root call.
+	Point string
+	Kind  Kind
+	// P is the per-call firing probability; 0 means always (P=1).
+	P float64
+	// After skips the first After matching calls before the rule may
+	// fire (e.g. "first sync succeeds, second fails").
+	After int
+	// Times caps how often the rule fires; 0 means unlimited.
+	Times int
+	// Latency is the injected delay for Latency rules.
+	Latency time.Duration
+	// Err overrides the injected error; nil yields a generic one.
+	Err error
+	// Fraction tunes PartialRead (fraction of bytes delivered, default
+	// 0.5) and Corrupt (fraction of bytes flipped, default 0.05).
+	Fraction float64
+}
+
+type ruleState struct {
+	Rule
+	calls int // matching calls observed
+	fired int // times actually injected
+}
+
+// Injector evaluates rules at failure points. The zero of *Injector (nil)
+// injects nothing. All methods are concurrency-safe; randomness is drawn
+// from a single seeded generator so a given seed replays the same fault
+// schedule.
+type Injector struct {
+	mu    sync.Mutex
+	rng   *rand.Rand
+	rules []*ruleState
+	fired map[string]int
+	sleep func(time.Duration) // test hook; defaults to time.Sleep
+}
+
+// New returns an empty injector whose probabilistic decisions derive from
+// seed.
+func New(seed int64) *Injector {
+	return &Injector{
+		rng:   rand.New(rand.NewSource(seed)),
+		fired: make(map[string]int),
+		sleep: time.Sleep,
+	}
+}
+
+// Add arms a rule and returns the injector for chaining. Safe to call
+// while the system runs.
+func (in *Injector) Add(r Rule) *Injector {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.rules = append(in.rules, &ruleState{Rule: r})
+	return in
+}
+
+// Reset disarms all rules and clears counters.
+func (in *Injector) Reset() {
+	if in == nil {
+		return
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.rules = nil
+	in.fired = make(map[string]int)
+}
+
+// SetSleep replaces the latency sleeper (test hook).
+func (in *Injector) SetSleep(f func(time.Duration)) {
+	if in == nil || f == nil {
+		return
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.sleep = f
+}
+
+// match decides whether rule rs fires for point now; caller holds in.mu.
+func (in *Injector) matchLocked(rs *ruleState, point string, kinds ...Kind) bool {
+	ok := false
+	for _, k := range kinds {
+		if rs.Kind == k {
+			ok = true
+			break
+		}
+	}
+	if !ok || !wildcard.Match(rs.Point, point) {
+		return false
+	}
+	rs.calls++
+	if rs.calls <= rs.After {
+		return false
+	}
+	if rs.Times > 0 && rs.fired >= rs.Times {
+		return false
+	}
+	if rs.P > 0 && rs.P < 1 && in.rng.Float64() >= rs.P {
+		return false
+	}
+	rs.fired++
+	in.fired[point]++
+	return true
+}
+
+// Fail evaluates Error and Latency rules at point: latency rules sleep,
+// and the first firing error rule's error is returned. A nil result means
+// the point proceeds normally.
+func (in *Injector) Fail(point string) error {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	var delay time.Duration
+	var err error
+	sleep := in.sleep
+	for _, rs := range in.rules {
+		if rs.Kind == Latency && in.matchLocked(rs, point, Latency) {
+			delay += rs.Latency
+		}
+	}
+	for _, rs := range in.rules {
+		if rs.Kind == Error && in.matchLocked(rs, point, Error) {
+			if rs.Err != nil {
+				err = fmt.Errorf("%w at %s: %w", ErrInjected, point, rs.Err)
+			} else {
+				err = fmt.Errorf("%w at %s", ErrInjected, point)
+			}
+			break
+		}
+	}
+	in.mu.Unlock()
+	if delay > 0 {
+		sleep(delay)
+	}
+	return err
+}
+
+// Reader wraps r with any PartialRead rule armed at point: the stream is
+// truncated to a fraction of limit bytes and then fails with an injected
+// error, modelling a connection dropped mid-transfer. limit should be the
+// expected payload size; with limit <= 0 the cut happens after the first
+// 512 bytes.
+func (in *Injector) Reader(point string, r io.Reader, limit int64) io.Reader {
+	if in == nil {
+		return r
+	}
+	in.mu.Lock()
+	var frac float64 = -1
+	for _, rs := range in.rules {
+		if rs.Kind == PartialRead && in.matchLocked(rs, point, PartialRead) {
+			frac = rs.Fraction
+			break
+		}
+	}
+	in.mu.Unlock()
+	if frac < 0 {
+		return r
+	}
+	if frac == 0 {
+		frac = 0.5
+	}
+	cut := int64(512)
+	if limit > 0 {
+		cut = int64(float64(limit) * frac)
+	}
+	return &partialReader{r: io.LimitReader(r, cut), point: point}
+}
+
+type partialReader struct {
+	r     io.Reader
+	point string
+}
+
+func (p *partialReader) Read(b []byte) (int, error) {
+	n, err := p.r.Read(b)
+	if err == io.EOF {
+		err = fmt.Errorf("%w at %s: short read", ErrInjected, p.point)
+	}
+	return n, err
+}
+
+// Corrupt applies any Corrupt rule armed at point to data, flipping a
+// deterministic selection of bytes in a copy (the input is not mutated).
+// Without a firing rule data is returned unchanged.
+func (in *Injector) Corrupt(point string, data []byte) []byte {
+	if in == nil || len(data) == 0 {
+		return data
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for _, rs := range in.rules {
+		if rs.Kind == Corrupt && in.matchLocked(rs, point, Corrupt) {
+			frac := rs.Fraction
+			if frac <= 0 {
+				frac = 0.05
+			}
+			out := make([]byte, len(data))
+			copy(out, data)
+			flips := int(float64(len(out)) * frac)
+			if flips < 1 {
+				flips = 1
+			}
+			for i := 0; i < flips; i++ {
+				out[in.rng.Intn(len(out))] ^= 0xff
+			}
+			return out
+		}
+	}
+	return data
+}
+
+// Fired returns how many times faults were injected at point (exact point
+// name, not pattern).
+func (in *Injector) Fired(point string) int {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.fired[point]
+}
+
+// FiredTotal returns the total number of injected faults.
+func (in *Injector) FiredTotal() int {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	n := 0
+	for _, c := range in.fired {
+		n += c
+	}
+	return n
+}
+
+// ParseRule parses a command-line fault spec of the form
+//
+//	point:kind[:p[:times]]
+//
+// e.g. "mail/root:error", "fs/read:partial:0.5", "*/root:latency:1:3".
+// Latency rules get a default 50ms delay (append "@dur" to the kind to
+// override, e.g. "mail/root:latency@200ms").
+func ParseRule(spec string) (Rule, error) {
+	parts := strings.Split(spec, ":")
+	if len(parts) < 2 || parts[0] == "" {
+		return Rule{}, fmt.Errorf("fault spec %q: want point:kind[:p[:times]]", spec)
+	}
+	r := Rule{Point: parts[0]}
+	kind := parts[1]
+	if at := strings.IndexByte(kind, '@'); at >= 0 {
+		d, err := time.ParseDuration(kind[at+1:])
+		if err != nil {
+			return Rule{}, fmt.Errorf("fault spec %q: bad duration: %v", spec, err)
+		}
+		r.Latency = d
+		kind = kind[:at]
+	}
+	switch kind {
+	case "error":
+		r.Kind = Error
+	case "latency":
+		r.Kind = Latency
+		if r.Latency == 0 {
+			r.Latency = 50 * time.Millisecond
+		}
+	case "partial":
+		r.Kind = PartialRead
+	case "corrupt":
+		r.Kind = Corrupt
+	default:
+		return Rule{}, fmt.Errorf("fault spec %q: unknown kind %q", spec, kind)
+	}
+	if len(parts) > 2 && parts[2] != "" {
+		p, err := strconv.ParseFloat(parts[2], 64)
+		if err != nil || p < 0 || p > 1 {
+			return Rule{}, fmt.Errorf("fault spec %q: bad probability %q", spec, parts[2])
+		}
+		r.P = p
+	}
+	if len(parts) > 3 && parts[3] != "" {
+		n, err := strconv.Atoi(parts[3])
+		if err != nil || n < 0 {
+			return Rule{}, fmt.Errorf("fault spec %q: bad times %q", spec, parts[3])
+		}
+		r.Times = n
+	}
+	return r, nil
+}

@@ -1,0 +1,196 @@
+package fault
+
+import (
+	"errors"
+	"io"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNilInjectorIsInert(t *testing.T) {
+	var in *Injector
+	if err := in.Fail("fs/root"); err != nil {
+		t.Fatalf("nil injector injected: %v", err)
+	}
+	r := in.Reader("fs/read", strings.NewReader("hello"), 5)
+	b, err := io.ReadAll(r)
+	if err != nil || string(b) != "hello" {
+		t.Fatalf("nil injector altered reader: %q %v", b, err)
+	}
+	if got := in.Corrupt("fs/convert", []byte("abc")); string(got) != "abc" {
+		t.Fatalf("nil injector corrupted data: %q", got)
+	}
+	in.Add(Rule{Point: "x", Kind: Error})
+	in.Reset()
+	if in.Fired("x") != 0 || in.FiredTotal() != 0 {
+		t.Fatal("nil injector counted fires")
+	}
+}
+
+func TestErrorRuleFiresAndCounts(t *testing.T) {
+	in := New(1).Add(Rule{Point: "mail/root", Kind: Error})
+	err := in.Fail("mail/root")
+	if !IsInjected(err) {
+		t.Fatalf("want injected error, got %v", err)
+	}
+	if err := in.Fail("fs/root"); err != nil {
+		t.Fatalf("unrelated point failed: %v", err)
+	}
+	if got := in.Fired("mail/root"); got != 1 {
+		t.Fatalf("Fired = %d, want 1", got)
+	}
+	if got := in.FiredTotal(); got != 1 {
+		t.Fatalf("FiredTotal = %d, want 1", got)
+	}
+}
+
+func TestErrOverrideWrapsBoth(t *testing.T) {
+	custom := errors.New("connection reset")
+	in := New(1).Add(Rule{Point: "fs/root", Kind: Error, Err: custom})
+	err := in.Fail("fs/root")
+	if !IsInjected(err) || !errors.Is(err, custom) {
+		t.Fatalf("want wrapped custom error, got %v", err)
+	}
+}
+
+func TestAfterAndTimes(t *testing.T) {
+	in := New(1).Add(Rule{Point: "fs/root", Kind: Error, After: 2, Times: 1})
+	var outcomes []bool
+	for i := 0; i < 5; i++ {
+		outcomes = append(outcomes, in.Fail("fs/root") != nil)
+	}
+	want := []bool{false, false, true, false, false}
+	for i := range want {
+		if outcomes[i] != want[i] {
+			t.Fatalf("call %d: fired=%v, want %v (schedule %v)", i, outcomes[i], want[i], outcomes)
+		}
+	}
+}
+
+func TestProbabilityIsDeterministicPerSeed(t *testing.T) {
+	schedule := func(seed int64) []bool {
+		in := New(seed).Add(Rule{Point: "p", Kind: Error, P: 0.5})
+		out := make([]bool, 32)
+		for i := range out {
+			out[i] = in.Fail("p") != nil
+		}
+		return out
+	}
+	a, b := schedule(7), schedule(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at call %d", i)
+		}
+	}
+	fires := 0
+	for _, f := range a {
+		if f {
+			fires++
+		}
+	}
+	if fires == 0 || fires == len(a) {
+		t.Fatalf("P=0.5 fired %d/32 times; want a mix", fires)
+	}
+}
+
+func TestWildcardPoints(t *testing.T) {
+	in := New(1).Add(Rule{Point: "*/root", Kind: Error})
+	for _, p := range []string{"fs/root", "mail/root", "rss/root"} {
+		if in.Fail(p) == nil {
+			t.Fatalf("pattern */root did not match %s", p)
+		}
+	}
+	if in.Fail("fs/read") != nil {
+		t.Fatal("pattern */root matched fs/read")
+	}
+}
+
+func TestLatencyRuleSleeps(t *testing.T) {
+	in := New(1).Add(Rule{Point: "fs/root", Kind: Latency, Latency: 30 * time.Millisecond})
+	var slept time.Duration
+	in.SetSleep(func(d time.Duration) { slept += d })
+	if err := in.Fail("fs/root"); err != nil {
+		t.Fatalf("latency rule returned error: %v", err)
+	}
+	if slept != 30*time.Millisecond {
+		t.Fatalf("slept %v, want 30ms", slept)
+	}
+}
+
+func TestPartialReadTruncatesAndErrors(t *testing.T) {
+	in := New(1).Add(Rule{Point: "fs/read", Kind: PartialRead, Fraction: 0.5})
+	payload := strings.Repeat("x", 100)
+	r := in.Reader("fs/read", strings.NewReader(payload), int64(len(payload)))
+	b, err := io.ReadAll(r)
+	if !IsInjected(err) {
+		t.Fatalf("want injected short-read error, got %v", err)
+	}
+	if len(b) != 50 {
+		t.Fatalf("delivered %d bytes, want 50", len(b))
+	}
+	// Exhausted rule (Times defaults to unlimited here, but a fresh point
+	// with no rule) leaves the stream intact.
+	r2 := in.Reader("mail/fetch", strings.NewReader(payload), int64(len(payload)))
+	if b2, err := io.ReadAll(r2); err != nil || len(b2) != 100 {
+		t.Fatalf("unarmed point altered stream: %d bytes, %v", len(b2), err)
+	}
+}
+
+func TestCorruptFlipsBytesWithoutMutatingInput(t *testing.T) {
+	in := New(3).Add(Rule{Point: "fs/convert", Kind: Corrupt, Fraction: 0.2})
+	orig := []byte(strings.Repeat("a", 64))
+	got := in.Corrupt("fs/convert", orig)
+	if string(orig) != strings.Repeat("a", 64) {
+		t.Fatal("Corrupt mutated its input")
+	}
+	if string(got) == string(orig) {
+		t.Fatal("Corrupt returned unchanged data")
+	}
+	if len(got) != len(orig) {
+		t.Fatalf("Corrupt changed length: %d != %d", len(got), len(orig))
+	}
+}
+
+func TestReset(t *testing.T) {
+	in := New(1).Add(Rule{Point: "p", Kind: Error})
+	if in.Fail("p") == nil {
+		t.Fatal("rule did not fire")
+	}
+	in.Reset()
+	if in.Fail("p") != nil {
+		t.Fatal("rule survived Reset")
+	}
+	if in.FiredTotal() != 0 {
+		t.Fatal("counters survived Reset")
+	}
+}
+
+func TestParseRule(t *testing.T) {
+	cases := []struct {
+		spec string
+		want Rule
+		ok   bool
+	}{
+		{"mail/root:error", Rule{Point: "mail/root", Kind: Error}, true},
+		{"fs/read:partial:0.5", Rule{Point: "fs/read", Kind: PartialRead, P: 0.5}, true},
+		{"*/root:latency:1:3", Rule{Point: "*/root", Kind: Latency, P: 1, Times: 3, Latency: 50 * time.Millisecond}, true},
+		{"mail/root:latency@200ms", Rule{Point: "mail/root", Kind: Latency, Latency: 200 * time.Millisecond}, true},
+		{"x:corrupt", Rule{Point: "x", Kind: Corrupt}, true},
+		{"noseparator", Rule{}, false},
+		{":error", Rule{}, false},
+		{"x:bogus", Rule{}, false},
+		{"x:error:2", Rule{}, false},
+		{"x:error:0.5:-1", Rule{}, false},
+		{"x:latency@nope", Rule{}, false},
+	}
+	for _, c := range cases {
+		got, err := ParseRule(c.spec)
+		if c.ok != (err == nil) {
+			t.Fatalf("ParseRule(%q) err = %v, want ok=%v", c.spec, err, c.ok)
+		}
+		if c.ok && got != c.want {
+			t.Fatalf("ParseRule(%q) = %+v, want %+v", c.spec, got, c.want)
+		}
+	}
+}

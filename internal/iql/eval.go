@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -176,6 +177,18 @@ func (e *Engine) ExecTraced(q Query, trace *obs.Trace) (*Result, error) {
 	pl.Finish()
 
 	plan := &PlanInfo{}
+	// Stores backed by a Resource View Manager report degraded sources;
+	// their replicated views are served stale instead of failing the
+	// query, and the plan carries the flag (graceful degradation).
+	if hr, ok := e.store.(interface{ DegradedSources() []string }); ok {
+		if stale := hr.DegradedSources(); len(stale) > 0 {
+			plan.StaleSources = stale
+			plan.notef("degraded sources, serving stale replicas: %s", strings.Join(stale, ", "))
+			sp := root.Start("stale")
+			sp.Set("sources", strings.Join(stale, ","))
+			sp.Finish()
+		}
+	}
 	ctx := newEvalCtx(e.store, plan, e.opts.Parallelism)
 	ev := root.Start("eval")
 	rows, cols, err := e.exec(ctx, q, ev)

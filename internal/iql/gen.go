@@ -1,0 +1,205 @@
+package iql
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Vocab is the vocabulary the query generator draws from. Every entry
+// should be meaningful for the dataspace under test (names that occur,
+// phrases that are indexed, classes that are registered) so generated
+// queries exercise real index paths rather than returning empty sets.
+type Vocab struct {
+	// Names are view names; the generator derives wildcard patterns
+	// ('*', '?') from them. They must lex as one iQL word (no spaces).
+	Names []string
+	// Phrases are content phrases (may contain spaces; quoted on use).
+	Phrases []string
+	// Classes are resource view class names.
+	Classes []string
+	// IntAttrs are tuple attributes with integer values (e.g. size).
+	IntAttrs []string
+	// DateAttrs are tuple attributes with time values.
+	DateAttrs []string
+	// StrAttrs are tuple attributes with string values; values are drawn
+	// from Names.
+	StrAttrs []string
+}
+
+// DefaultVocab matches the paper-example dataspace used across the test
+// suite (folders, a LaTeX paper tree, figure labels).
+func DefaultVocab() Vocab {
+	return Vocab{
+		Names: []string{"root", "papers", "VLDB2006", "vldb.tex", "document",
+			"Introduction", "GrandVision", "figure", "PIM", "fig:index"},
+		Phrases:   []string{"Mike Franklin", "dataspaces", "Vision", "systems", "Indexing", "PIM"},
+		Classes:   []string{"folder", "file", "latexfile", "latex_section", "texref", "figure"},
+		IntAttrs:  []string{"size"},
+		DateAttrs: []string{"lastmodified", "created"},
+		StrAttrs:  []string{"label"},
+	}
+}
+
+// Gen is a grammar-driven iQL query generator: every production of the
+// language (paths with both axes, wildcard name steps, predicate
+// conjunctions, has(), class and attribute comparisons, unions, joins)
+// is reachable, and a given seed replays the same query sequence. It
+// drives the differential test harness that asserts serial and parallel
+// evaluation agree.
+type Gen struct {
+	rng *rand.Rand
+	v   Vocab
+}
+
+// NewGen returns a generator over v seeded with seed.
+func NewGen(seed int64, v Vocab) *Gen {
+	return &Gen{rng: rand.New(rand.NewSource(seed)), v: v}
+}
+
+// Query generates one syntactically valid iQL query.
+func (g *Gen) Query() string {
+	switch p := g.rng.Float64(); {
+	case p < 0.55:
+		return g.path(4)
+	case p < 0.70:
+		return "[" + g.expr(2) + "]"
+	case p < 0.85:
+		return g.union()
+	default:
+		return g.join()
+	}
+}
+
+func (g *Gen) pick(list []string) string {
+	if len(list) == 0 {
+		return "x"
+	}
+	return list[g.rng.Intn(len(list))]
+}
+
+// pattern derives a name pattern from the vocabulary: the exact name, a
+// '*'/'?' mutation of it, or the match-all star.
+func (g *Gen) pattern() string {
+	name := g.pick(g.v.Names)
+	r := []rune(name)
+	switch p := g.rng.Float64(); {
+	case p < 0.35:
+		return name
+	case p < 0.50:
+		return "*"
+	case p < 0.65: // prefix*
+		cut := 1 + g.rng.Intn(len(r))
+		return string(r[:cut]) + "*"
+	case p < 0.80: // *suffix
+		cut := g.rng.Intn(len(r))
+		return "*" + string(r[cut:])
+	case p < 0.90: // one '?' hole
+		i := g.rng.Intn(len(r))
+		r[i] = '?'
+		return string(r)
+	default: // *infix*
+		if len(r) < 3 {
+			return name
+		}
+		lo := g.rng.Intn(len(r) - 1)
+		hi := lo + 1 + g.rng.Intn(len(r)-lo-1)
+		return "*" + string(r[lo:hi]) + "*"
+	}
+}
+
+// path generates a path query with up to maxSteps steps.
+func (g *Gen) path(maxSteps int) string {
+	steps := 1 + g.rng.Intn(maxSteps)
+	var b strings.Builder
+	for i := 0; i < steps; i++ {
+		if g.rng.Float64() < 0.5 {
+			b.WriteString("//")
+		} else {
+			b.WriteString("/")
+		}
+		// A step may leave the name pattern empty ("//[pred]" or a bare
+		// axis), but not in a way that makes the whole query vacuous.
+		hasName := g.rng.Float64() < 0.85 || i == 0
+		if hasName {
+			b.WriteString(g.pattern())
+		}
+		if g.rng.Float64() < 0.35 {
+			b.WriteString("[" + g.expr(2) + "]")
+		}
+	}
+	return b.String()
+}
+
+// expr generates a predicate expression with combinator depth at most d.
+func (g *Gen) expr(d int) string {
+	if d <= 0 || g.rng.Float64() < 0.45 {
+		return g.leaf()
+	}
+	switch g.rng.Intn(3) {
+	case 0:
+		return g.expr(d-1) + " and " + g.expr(d-1)
+	case 1:
+		return g.expr(d-1) + " or " + g.expr(d-1)
+	default:
+		return "not " + g.expr(d-1)
+	}
+}
+
+func (g *Gen) leaf() string {
+	switch p := g.rng.Float64(); {
+	case p < 0.35:
+		return fmt.Sprintf("%q", g.pick(g.v.Phrases))
+	case p < 0.55:
+		return fmt.Sprintf("class=%q", g.pick(g.v.Classes))
+	case p < 0.72 && len(g.v.IntAttrs) > 0:
+		sizes := []string{"0", "1", "1024", "4096", "42000", "50000"}
+		return fmt.Sprintf("%s %s %s", g.pick(g.v.IntAttrs), g.cmpOp(), g.pick(sizes))
+	case p < 0.85 && len(g.v.DateAttrs) > 0:
+		dates := []string{"@01.06.2005", "@10.06.2005", fmt.Sprintf("@%02d.06.2005", 1+g.rng.Intn(28)),
+			"yesterday()", "today()", "now()"}
+		return fmt.Sprintf("%s %s %s", g.pick(g.v.DateAttrs), g.cmpOp(), g.pick(dates))
+	case p < 0.93 && len(g.v.StrAttrs) > 0:
+		return fmt.Sprintf("%s = %q", g.pick(g.v.StrAttrs), g.pick(g.v.Names))
+	default:
+		return "has(" + g.path(2) + ")"
+	}
+}
+
+func (g *Gen) cmpOp() string {
+	return g.pick([]string{"=", "!=", "<", "<=", ">", ">="})
+}
+
+func (g *Gen) union() string {
+	n := 2 + g.rng.Intn(2)
+	parts := make([]string, n)
+	for i := range parts {
+		if g.rng.Float64() < 0.8 {
+			parts[i] = g.path(3)
+		} else {
+			parts[i] = "[" + g.expr(1) + "]"
+		}
+	}
+	return "union( " + strings.Join(parts, ", ") + " )"
+}
+
+func (g *Gen) join() string {
+	field := func(alias string) string {
+		switch p := g.rng.Float64(); {
+		case p < 0.45:
+			return alias + ".name"
+		case p < 0.65:
+			return alias + ".class"
+		case p < 0.85 && len(g.v.StrAttrs) > 0:
+			return alias + ".tuple." + g.pick(g.v.StrAttrs)
+		default:
+			attrs := append(append([]string{}, g.v.IntAttrs...), g.v.StrAttrs...)
+			if len(attrs) == 0 {
+				return alias + ".name"
+			}
+			return alias + ".tuple." + g.pick(attrs)
+		}
+	}
+	return fmt.Sprintf("join( %s as A, %s as B, %s = %s )",
+		g.path(2), g.path(2), field("A"), field("B"))
+}

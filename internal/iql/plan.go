@@ -94,6 +94,12 @@ type PlanInfo struct {
 	Intermediates int64
 	// IndexAccesses counts index-backed candidate fetches.
 	IndexAccesses int64
+	// StaleSources names the degraded sources whose replicated views
+	// this query may have been answered from: their last sync failed,
+	// so the result reflects the last good synchronization (graceful
+	// degradation rather than a failed query). Empty when every source
+	// is healthy.
+	StaleSources []string
 }
 
 func (p *PlanInfo) notef(format string, args ...any) {

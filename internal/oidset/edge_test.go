@@ -1,0 +1,132 @@
+package oidset
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/catalog"
+)
+
+// TestGrowAtWordBoundaries pins growth behaviour exactly at the 64-bit
+// word edges, where an off-by-one in the word index silently drops or
+// misplaces bits.
+func TestGrowAtWordBoundaries(t *testing.T) {
+	for _, oid := range []catalog.OID{63, 64, 65, 127, 128, 129, 4095, 4096} {
+		s := New(0)
+		if !s.Add(oid) {
+			t.Fatalf("Add(%d) on empty set = false", oid)
+		}
+		if !s.Contains(oid) {
+			t.Fatalf("Contains(%d) after Add = false", oid)
+		}
+		if s.Contains(oid-1) || s.Contains(oid+1) {
+			t.Fatalf("neighbours of %d leaked in", oid)
+		}
+		if s.Len() != 1 {
+			t.Fatalf("Len after Add(%d) = %d", oid, s.Len())
+		}
+		if got := s.Slice(); len(got) != 1 || got[0] != oid {
+			t.Fatalf("Slice = %v, want [%d]", got, oid)
+		}
+	}
+}
+
+// TestContainsBeyondCapacity: membership probes past the allocated words
+// must report false, not panic.
+func TestContainsBeyondCapacity(t *testing.T) {
+	s := New(10)
+	if s.Contains(1 << 20) {
+		t.Fatal("ghost membership far beyond capacity")
+	}
+	var zero Set
+	if zero.Contains(1) {
+		t.Fatal("zero-value set claims membership")
+	}
+	if zero.Len() != 0 || len(zero.Slice()) != 0 {
+		t.Fatal("zero-value set not empty")
+	}
+}
+
+// TestFromSliceDuplicates: duplicate inputs collapse to one element.
+func TestFromSliceDuplicates(t *testing.T) {
+	s := FromSlice([]catalog.OID{5, 5, 5, 64, 64, 1})
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", s.Len())
+	}
+	want := []catalog.OID{1, 5, 64}
+	got := s.Slice()
+	if len(got) != len(want) {
+		t.Fatalf("Slice = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Slice = %v, want %v", got, want)
+		}
+	}
+	if s := FromSlice(nil); s.Len() != 0 {
+		t.Fatalf("FromSlice(nil).Len = %d", s.Len())
+	}
+}
+
+// TestClearReuse: Clear empties without shrinking, and the set accepts
+// the same elements again.
+func TestClearReuse(t *testing.T) {
+	s := New(0)
+	for i := 1; i <= 200; i++ {
+		s.Add(catalog.OID(i))
+	}
+	s.Clear()
+	if s.Len() != 0 {
+		t.Fatalf("Len after Clear = %d", s.Len())
+	}
+	for i := 1; i <= 200; i++ {
+		if s.Contains(catalog.OID(i)) {
+			t.Fatalf("Contains(%d) after Clear", i)
+		}
+	}
+	if !s.Add(64) || s.Len() != 1 {
+		t.Fatal("set unusable after Clear")
+	}
+}
+
+// TestConcurrentReaders exercises the documented contract — concurrent
+// readers are safe once mutation stops — under -race: many goroutines
+// run Contains/Slice/Range/AppendTo/Len against a frozen set.
+func TestConcurrentReaders(t *testing.T) {
+	s := New(0)
+	for i := 1; i <= 1000; i += 3 {
+		s.Add(catalog.OID(i))
+	}
+	union := New(0) // reader-side UnionWith target mutates only its receiver
+	union.UnionWith(s)
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for rep := 0; rep < 50; rep++ {
+				if !s.Contains(1) || s.Contains(2) {
+					t.Error("membership changed under concurrent read")
+					return
+				}
+				if got := s.Len(); got != 334 {
+					t.Errorf("Len = %d", got)
+					return
+				}
+				n := 0
+				s.Range(func(catalog.OID) bool { n++; return true })
+				if n != 334 {
+					t.Errorf("Range visited %d", n)
+					return
+				}
+				if got := s.Slice(); len(got) != 334 || got[0] != 1 {
+					t.Errorf("Slice head = %v", got[:1])
+					return
+				}
+				_ = s.AppendTo(nil)
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,100 @@
+package rvm
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/sources"
+)
+
+// SourceHealth is the Synchronization Manager's view of one data
+// source's availability. A source whose last synchronization failed is
+// degraded: its previously replicated resource views stay queryable, and
+// the query layer flags results touching them as stale (graceful
+// degradation, instead of failing the query — the paper's §5.2 sources
+// are intermittently connected by design).
+type SourceHealth struct {
+	Source string
+	// Degraded reports that the last sync attempt failed.
+	Degraded bool
+	// LastError is the last sync failure, "" when healthy.
+	LastError string
+	// ConsecutiveFailures counts sync failures since the last success.
+	ConsecutiveFailures int
+	// LastSuccess is when the source last synced completely (zero if
+	// never).
+	LastSuccess time.Time
+	// Breaker is the resilient proxy's circuit state ("closed",
+	// "half-open", "open"), or "" when the source is unwrapped.
+	Breaker string
+}
+
+// Health reports the health of every registered source, sorted by id.
+func (m *Manager) Health() []SourceHealth {
+	m.mu.RLock()
+	out := make([]SourceHealth, 0, len(m.health))
+	for id, h := range m.health {
+		sh := *h
+		if r, ok := m.sources[id].(*sources.Resilient); ok {
+			st, _ := r.Breaker()
+			sh.Breaker = st.String()
+		}
+		out = append(out, sh)
+	}
+	m.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Source < out[j].Source })
+	return out
+}
+
+// DegradedSources returns the ids of sources whose last sync failed,
+// sorted. The query layer consults this to flag results served from
+// stale replicas.
+func (m *Manager) DegradedSources() []string {
+	m.mu.RLock()
+	var out []string
+	for id, h := range m.health {
+		if h.Degraded {
+			out = append(out, id)
+		}
+	}
+	m.mu.RUnlock()
+	sort.Strings(out)
+	return out
+}
+
+// recordSyncOutcome updates a source's health after a sync attempt.
+func (m *Manager) recordSyncOutcome(id string, err error) {
+	m.mu.Lock()
+	h := m.health[id]
+	if h == nil {
+		h = &SourceHealth{Source: id}
+		m.health[id] = h
+	}
+	if err != nil {
+		h.Degraded = true
+		h.LastError = err.Error()
+		h.ConsecutiveFailures++
+	} else {
+		h.Degraded = false
+		h.LastError = ""
+		h.ConsecutiveFailures = 0
+		h.LastSuccess = time.Now()
+	}
+	m.mu.Unlock()
+	if err != nil {
+		m.met.syncErrors.Inc()
+	}
+	m.updateDegradedGauge()
+}
+
+func (m *Manager) updateDegradedGauge() {
+	m.mu.RLock()
+	n := 0
+	for _, h := range m.health {
+		if h.Degraded {
+			n++
+		}
+	}
+	m.mu.RUnlock()
+	m.met.degraded.Set(int64(n))
+}

@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/catalog"
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/imageindex"
 	"repro/internal/obs"
 	"repro/internal/sources"
@@ -47,6 +48,14 @@ type Options struct {
 	// broker's (stream_*) and every plugin's (source_<id>_*); see
 	// docs/OBSERVABILITY.md. nil leaves the whole RVM uninstrumented.
 	Metrics *obs.Registry
+	// Resilience wraps every added source in a resilient Data Source
+	// Proxy (retry with backoff, call timeouts, circuit breaker; see
+	// docs/RESILIENCE.md). nil leaves plugin calls direct, which is what
+	// fault-sensitive tests rely on.
+	Resilience *sources.Policy
+	// Faults is the dataspace's fault injector, handed to every plugin
+	// implementing sources.FaultSetter. nil injects nothing.
+	Faults *fault.Injector
 }
 
 func (o Options) withDefaults() Options {
@@ -79,6 +88,8 @@ type managerMetrics struct {
 	nameMatches   *obs.Counter
 	phraseLookups *obs.Counter
 	tupleQueries  *obs.Counter
+	syncErrors    *obs.Counter
+	degraded      *obs.Gauge
 }
 
 func newManagerMetrics(reg *obs.Registry) managerMetrics {
@@ -93,6 +104,8 @@ func newManagerMetrics(reg *obs.Registry) managerMetrics {
 		nameMatches:   reg.Counter("rvm_name_matches_total"),
 		phraseLookups: reg.Counter("rvm_phrase_lookups_total"),
 		tupleQueries:  reg.Counter("rvm_tuple_queries_total"),
+		syncErrors:    reg.Counter("rvm_sync_errors_total"),
+		degraded:      reg.Gauge("rvm_degraded_sources"),
 	}
 }
 
@@ -108,6 +121,9 @@ type Manager struct {
 	mu      sync.RWMutex
 	sources map[string]sources.Source
 	dirty   map[string]bool
+	// health tracks per-source sync outcomes; a source whose last sync
+	// failed is degraded and its replicated views are served stale.
+	health map[string]*SourceHealth
 
 	// Replica & Indexes module.
 	nameIdx *textindex.Index // name index (full text over η)
@@ -148,6 +164,7 @@ func NewWithCatalog(opts Options, cat *catalog.Catalog) *Manager {
 		met:          newManagerMetrics(opts.Metrics),
 		sources:      make(map[string]sources.Source),
 		dirty:        make(map[string]bool),
+		health:       make(map[string]*SourceHealth),
 		nameIdx:      textindex.New(),
 		nameRep:      make(map[catalog.OID]string),
 		byLowerName:  make(map[string]map[catalog.OID]struct{}),
@@ -190,8 +207,17 @@ func (m *Manager) Broker() *stream.Broker { return m.broker }
 // AddSource registers a data source plugin with the Data Source Proxy
 // and subscribes to its change notifications when available. When the
 // manager carries a metrics registry, plugins implementing
-// sources.MetricsSetter receive their per-source instruments here.
+// sources.MetricsSetter receive their per-source instruments here; when
+// it carries a fault injector, plugins implementing sources.FaultSetter
+// receive it; and when Options.Resilience is set, the plugin is wrapped
+// in a resilient proxy before registration.
 func (m *Manager) AddSource(src sources.Source) error {
+	if fs, ok := src.(sources.FaultSetter); ok && m.opts.Faults != nil {
+		fs.SetFaults(m.opts.Faults)
+	}
+	if m.opts.Resilience != nil {
+		src = sources.NewResilient(src, *m.opts.Resilience)
+	}
 	m.mu.Lock()
 	if _, dup := m.sources[src.ID()]; dup {
 		m.mu.Unlock()
@@ -199,6 +225,7 @@ func (m *Manager) AddSource(src sources.Source) error {
 	}
 	m.sources[src.ID()] = src
 	m.dirty[src.ID()] = true
+	m.health[src.ID()] = &SourceHealth{Source: src.ID()}
 	m.mu.Unlock()
 
 	if ms, ok := src.(sources.MetricsSetter); ok && m.opts.Metrics != nil {
@@ -208,6 +235,37 @@ func (m *Manager) AddSource(src sources.Source) error {
 	if ch := src.Changes(); ch != nil {
 		go m.consumeChanges(src.ID(), ch)
 	}
+	return nil
+}
+
+// RemoveSource deregisters a data source plugin: the plugin is closed,
+// every view cataloged for it is removed from the catalog, indexes and
+// replicas (each removal is journaled, so the dataspace version bumps
+// and version-keyed caches invalidate), and its health state is dropped.
+func (m *Manager) RemoveSource(id string) error {
+	m.mu.Lock()
+	src, ok := m.sources[id]
+	if !ok {
+		m.mu.Unlock()
+		return fmt.Errorf("rvm: unknown source %q", id)
+	}
+	delete(m.sources, id)
+	delete(m.dirty, id)
+	delete(m.health, id)
+	m.mu.Unlock()
+
+	if err := src.Close(); err != nil {
+		obs.Logger("rvm").Debug("source close failed", "source", id, "err", err)
+	}
+	removed := 0
+	for _, oid := range m.catalog.SourceOIDs(id) {
+		m.remove(oid)
+		removed++
+	}
+	m.met.syncRemoved.Add(int64(removed))
+	m.met.views.Set(int64(m.catalog.Count()))
+	m.updateDegradedGauge()
+	obs.Logger("rvm").Debug("source removed", "source", id, "views", removed)
 	return nil
 }
 

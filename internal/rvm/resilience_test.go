@@ -1,0 +1,236 @@
+package rvm
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/obs"
+	"repro/internal/sources"
+)
+
+// switchSource serves a good graph until broken is set, then fails Root.
+type switchSource struct {
+	id     string
+	root   core.ResourceView
+	broken bool
+	faults *fault.Injector
+}
+
+func (s *switchSource) ID() string { return s.id }
+func (s *switchSource) Root() (core.ResourceView, error) {
+	if s.broken {
+		return nil, errors.New("source unplugged")
+	}
+	return s.root, nil
+}
+func (s *switchSource) Changes() <-chan sources.Change { return nil }
+func (s *switchSource) Close() error                   { return nil }
+func (s *switchSource) SetFaults(in *fault.Injector)   { s.faults = in }
+
+func namedRoot(rootName, childName, text string) core.ResourceView {
+	child := sources.Annotate(core.NewView(childName, core.ClassFile).
+		WithContent(core.StringContent(text)), "/"+childName, true)
+	root := core.NewView(rootName, "").WithGroup(core.SetGroup(child))
+	return sources.Annotate(root, "/", true)
+}
+
+func TestSyncAllIsolatesPerSourceFailures(t *testing.T) {
+	m := New(DefaultOptions())
+	good := &switchSource{id: "good", root: namedRoot("good", "ok.txt", "fine")}
+	bad := &flakySource{id: "bad", failures: 1000}
+	m.AddSource(good)
+	m.AddSource(bad)
+
+	report, err := m.SyncAll()
+	if err == nil || !strings.Contains(err.Error(), `source "bad"`) {
+		t.Fatalf("err = %v, want the bad source's failure", err)
+	}
+	// The healthy source synced despite the failure.
+	if report.TotalViews() != 2 {
+		t.Fatalf("healthy source views = %d, want 2", report.TotalViews())
+	}
+	if got := m.DegradedSources(); len(got) != 1 || got[0] != "bad" {
+		t.Fatalf("DegradedSources = %v, want [bad]", got)
+	}
+}
+
+func TestProcessPendingIsolatesFailures(t *testing.T) {
+	m := New(DefaultOptions())
+	good := &switchSource{id: "good", root: namedRoot("good", "ok.txt", "fine")}
+	bad := &flakySource{id: "bad", failures: 1, root: flakyRoot()}
+	m.AddSource(good)
+	m.AddSource(bad)
+	ids, err := m.ProcessPending()
+	if err == nil {
+		t.Fatal("want joined error from failing source")
+	}
+	if len(ids) != 2 {
+		t.Fatalf("processed %v, want both", ids)
+	}
+	if m.Count() != 2 {
+		t.Fatalf("healthy views = %d, want 2", m.Count())
+	}
+	// The failing source stays dirty and recovers on the next round.
+	if _, err := m.ProcessPending(); err != nil {
+		t.Fatalf("recovery round: %v", err)
+	}
+	if got := m.DegradedSources(); len(got) != 0 {
+		t.Fatalf("DegradedSources after recovery = %v", got)
+	}
+}
+
+func TestFailedSyncServesStaleReplica(t *testing.T) {
+	reg := obs.NewRegistry()
+	opts := DefaultOptions()
+	opts.Metrics = reg
+	m := New(opts)
+	src := &switchSource{id: "s", root: namedRoot("s", "doc.txt", "stale but answerable")}
+	m.AddSource(src)
+	if _, err := m.SyncAll(); err != nil {
+		t.Fatal(err)
+	}
+	rootOID := m.MatchNames("s")[0]
+	childrenBefore := m.Children(rootOID)
+	if len(childrenBefore) != 1 {
+		t.Fatalf("children = %v", childrenBefore)
+	}
+
+	// The source goes down; the re-sync fails...
+	src.broken = true
+	if _, err := m.SyncSource("s"); err == nil {
+		t.Fatal("sync of a broken source succeeded")
+	}
+	// ...but the replica, indexes and catalog still answer.
+	if got := m.Children(rootOID); len(got) != 1 || got[0] != childrenBefore[0] {
+		t.Fatalf("stale group replica lost: %v", got)
+	}
+	if got := m.ContentOr("stale"); len(got) != 1 {
+		t.Fatalf("stale content index lost: %v", got)
+	}
+	if got := m.DegradedSources(); len(got) != 1 || got[0] != "s" {
+		t.Fatalf("DegradedSources = %v", got)
+	}
+	if reg.Snapshot().Gauges["rvm_degraded_sources"] != 1 {
+		t.Fatal("rvm_degraded_sources gauge not set")
+	}
+
+	// Health carries the failure detail; recovery clears it.
+	h := m.Health()
+	if len(h) != 1 || !h[0].Degraded || h[0].ConsecutiveFailures != 1 ||
+		!strings.Contains(h[0].LastError, "unplugged") {
+		t.Fatalf("health = %+v", h)
+	}
+	src.broken = false
+	if _, err := m.SyncSource("s"); err != nil {
+		t.Fatal(err)
+	}
+	if h := m.Health(); h[0].Degraded || h[0].ConsecutiveFailures != 0 {
+		t.Fatalf("health after recovery = %+v", h[0])
+	}
+	if reg.Snapshot().Gauges["rvm_degraded_sources"] != 0 {
+		t.Fatal("rvm_degraded_sources gauge not cleared")
+	}
+}
+
+func TestMidWalkFailurePreservesReplica(t *testing.T) {
+	m := New(DefaultOptions())
+	src := &staticSource{id: "s", root: namedRoot("s", "doc.txt", "good graph")}
+	m.AddSource(src)
+	if _, err := m.SyncAll(); err != nil {
+		t.Fatal(err)
+	}
+	rootOID := m.MatchNames("s")[0]
+	before := m.Children(rootOID)
+
+	// Swap in a graph that dies mid-walk; the replica must survive.
+	src.root = sources.Annotate((&core.StaticView{VName: "s"}).
+		WithGroup(core.Group{Set: brokenGroup{after: 1}, Seq: core.NoViews()}), "/", true)
+	if _, err := m.SyncSource("s"); err == nil {
+		t.Fatal("mid-walk failure not surfaced")
+	}
+	if got := m.Children(rootOID); len(got) != len(before) || got[0] != before[0] {
+		t.Fatalf("group replica corrupted by failed walk: %v != %v", got, before)
+	}
+}
+
+func TestAddSourceWrapsWithResilience(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Resilience = &sources.Policy{
+		MaxRetries:      2,
+		RetryBase:       time.Nanosecond,
+		BreakerFailures: -1,
+		Sleep:           func(time.Duration) {},
+	}
+	m := New(opts)
+	src := &flakySource{id: "flaky", failures: 2, root: flakyRoot()}
+	m.AddSource(src)
+	// With the proxy in place one sync absorbs both failures via retry.
+	if _, err := m.SyncSource("flaky"); err != nil {
+		t.Fatalf("resilient sync failed: %v", err)
+	}
+	if src.rootCalls != 3 {
+		t.Fatalf("root calls = %d, want 3 (1 + 2 retries)", src.rootCalls)
+	}
+	if _, ok := m.Source("flaky"); !ok {
+		t.Fatal("wrapped source not registered under its id")
+	}
+	if h := m.Health(); len(h) != 1 || h[0].Breaker != "closed" {
+		t.Fatalf("health breaker = %+v", h)
+	}
+}
+
+func TestAddSourceWiresFaultInjector(t *testing.T) {
+	inj := fault.New(1)
+	opts := DefaultOptions()
+	opts.Faults = inj
+	m := New(opts)
+	src := &switchSource{id: "s", root: namedRoot("s", "doc.txt", "x")}
+	m.AddSource(src)
+	if src.faults != inj {
+		t.Fatal("fault injector not handed to FaultSetter plugin")
+	}
+}
+
+func TestRemoveSource(t *testing.T) {
+	m := New(DefaultOptions())
+	keep := &switchSource{id: "keep", root: namedRoot("keep", "k.txt", "kept words")}
+	drop := &switchSource{id: "drop", root: namedRoot("drop", "d.txt", "dropped words")}
+	m.AddSource(keep)
+	m.AddSource(drop)
+	if _, err := m.SyncAll(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Count() != 4 {
+		t.Fatalf("count = %d", m.Count())
+	}
+	v0 := m.Version()
+
+	if err := m.RemoveSource("drop"); err != nil {
+		t.Fatal(err)
+	}
+	if m.Count() != 2 {
+		t.Fatalf("count after removal = %d", m.Count())
+	}
+	if got := m.MatchNames("d.txt"); len(got) != 0 {
+		t.Fatalf("removed source still in name replica: %v", got)
+	}
+	if got := m.ContentOr("dropped"); len(got) != 0 {
+		t.Fatalf("removed source still content-indexed: %v", got)
+	}
+	if m.Version() == v0 {
+		t.Fatal("removal did not bump the dataspace version")
+	}
+	if _, ok := m.Source("drop"); ok {
+		t.Fatal("source still registered")
+	}
+	if len(m.Sources()) != 1 {
+		t.Fatalf("sources = %v", m.Sources())
+	}
+	if err := m.RemoveSource("drop"); err == nil {
+		t.Fatal("double removal not rejected")
+	}
+}

@@ -1,6 +1,7 @@
 package rvm
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -58,8 +59,15 @@ func (m *Manager) SyncAll() (SyncReport, error) {
 // SyncAllTraced is SyncAll with span-based tracing: one span per source
 // under the trace root, annotated with the Figure 5 timing breakdown.
 // A nil trace is identical to SyncAll.
+//
+// Per-source failures are isolated: a failing source does not abort the
+// pass, healthy sources still sync, and the failures come back joined
+// into one multi-error (errors.Is finds each cause). Sources that fail
+// are marked degraded; their previously replicated views remain
+// queryable as stale data.
 func (m *Manager) SyncAllTraced(trace *obs.Trace) (SyncReport, error) {
 	var report SyncReport
+	var errs []error
 	for _, id := range m.Sources() {
 		sp := trace.Root().Start("sync " + id)
 		t, err := m.SyncSource(id)
@@ -75,17 +83,29 @@ func (m *Manager) SyncAllTraced(trace *obs.Trace) (SyncReport, error) {
 			sp.Finish()
 		}
 		if err != nil {
-			return report, err
+			errs = append(errs, err)
+			continue
 		}
 		report.Timings = append(report.Timings, t)
 	}
-	return report, nil
+	return report, errors.Join(errs...)
 }
 
 // SyncSource (re)synchronizes one source. Catalog OIDs are stable across
 // syncs (keyed by source URI); views whose URIs have disappeared are
 // deregistered and removed from all indexes and replicas.
+//
+// The group replica is committed atomically at the end of a successful
+// walk: a sync that fails midway (source went down, converter crashed)
+// leaves the previous replica intact, so queries keep navigating the
+// last good graph — served stale, flagged via DegradedSources.
 func (m *Manager) SyncSource(id string) (SyncTiming, error) {
+	timing, err := m.syncSource(id)
+	m.recordSyncOutcome(id, err)
+	return timing, err
+}
+
+func (m *Manager) syncSource(id string) (SyncTiming, error) {
 	syncStart := time.Now()
 	m.mu.RLock()
 	src, ok := m.sources[id]
@@ -99,6 +119,7 @@ func (m *Manager) SyncSource(id string) (SyncTiming, error) {
 		viewOID:  make(map[core.ResourceView]catalog.OID),
 		expanded: make(map[core.ResourceView]bool),
 		seen:     make(map[catalog.OID]bool),
+		group:    make(map[catalog.OID][]catalog.OID),
 	}
 
 	start := time.Now()
@@ -108,20 +129,16 @@ func (m *Manager) SyncSource(id string) (SyncTiming, error) {
 		return timing, fmt.Errorf("rvm: source %q root: %w", id, err)
 	}
 
-	// Rebuild the source's slice of the group replica from scratch.
-	m.mu.Lock()
-	for _, oid := range m.catalog.SourceOIDs(id) {
-		for _, child := range m.groupRep[oid] {
-			m.parentRep[child] = removeOID(m.parentRep[child], oid)
-		}
-		delete(m.groupRep, oid)
-	}
-	m.mu.Unlock()
-
 	rootOID := w.register(root, 0, "", 0)
 	if err := w.expandAll(root, rootOID); err != nil {
 		return timing, err
 	}
+
+	// The walk succeeded: replace the source's slice of the group
+	// replica and reverse edges with the newly observed graph.
+	start = time.Now()
+	w.commitReplica()
+	timing.ComponentIndexing += time.Since(start)
 
 	// Deregister views that disappeared from the source.
 	for _, oid := range m.catalog.SourceOIDs(id) {
@@ -149,7 +166,8 @@ func (m *Manager) SyncSource(id string) (SyncTiming, error) {
 // notifications (or by MarkDirty), returning the ids it refreshed. This
 // is the deterministic core of the Synchronization Manager's
 // notification path; StartPolling drives it on a timer for sources that
-// cannot push.
+// cannot push. Like SyncAll, per-source failures are isolated and
+// joined; a failing source stays dirty for the next round.
 func (m *Manager) ProcessPending() ([]string, error) {
 	m.mu.Lock()
 	var ids []string
@@ -158,12 +176,13 @@ func (m *Manager) ProcessPending() ([]string, error) {
 	}
 	m.mu.Unlock()
 	sort.Strings(ids)
+	var errs []error
 	for _, id := range ids {
 		if _, err := m.SyncSource(id); err != nil {
-			return ids, err
+			errs = append(errs, err)
 		}
 	}
-	return ids, nil
+	return ids, errors.Join(errs...)
 }
 
 // MarkDirty flags a source for the next ProcessPending, used by callers
@@ -215,6 +234,33 @@ type syncWalk struct {
 	expanded map[core.ResourceView]bool
 	// seen collects the OIDs observed, for removal detection.
 	seen map[catalog.OID]bool
+	// group buffers the group edges observed during the walk; they are
+	// committed to the manager's replica only when the whole walk
+	// succeeds, so a failing sync never corrupts the last good graph.
+	group map[catalog.OID][]catalog.OID
+}
+
+// commitReplica atomically replaces the source's slice of the group
+// replica (and the reverse edges derived from it) with the edges this
+// walk observed.
+func (w *syncWalk) commitReplica() {
+	m := w.m
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, oid := range m.catalog.SourceOIDs(w.source) {
+		for _, child := range m.groupRep[oid] {
+			m.parentRep[child] = removeOID(m.parentRep[child], oid)
+		}
+		delete(m.groupRep, oid)
+	}
+	for oid, childOIDs := range w.group {
+		if m.opts.ReplicateGroups {
+			m.groupRep[oid] = childOIDs
+		}
+		for _, coid := range childOIDs {
+			m.parentRep[coid] = appendUniqueOID(m.parentRep[coid], oid)
+		}
+	}
 }
 
 // register assigns (or re-finds) the OID for a view and sends its
@@ -352,7 +398,7 @@ func (w *syncWalk) register(v core.ResourceView, parent catalog.OID, parentURI s
 }
 
 // expandAll walks the graph from root iteratively, registering every
-// reachable view and maintaining the group replica and reverse edges.
+// reachable view and buffering the group edges for commitReplica.
 func (w *syncWalk) expandAll(root core.ResourceView, rootOID catalog.OID) error {
 	m := w.m
 	type frame struct {
@@ -390,16 +436,7 @@ func (w *syncWalk) expandAll(root core.ResourceView, rootOID catalog.OID) error 
 			}
 		}
 		if len(childOIDs) > 0 {
-			start = time.Now()
-			m.mu.Lock()
-			if m.opts.ReplicateGroups {
-				m.groupRep[f.oid] = childOIDs
-			}
-			for _, coid := range childOIDs {
-				m.parentRep[coid] = appendUniqueOID(m.parentRep[coid], f.oid)
-			}
-			m.mu.Unlock()
-			w.timing.ComponentIndexing += time.Since(start)
+			w.group[f.oid] = childOIDs
 		}
 	}
 	return nil

@@ -16,16 +16,22 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/sources"
 	"repro/internal/vfs"
 )
 
 // Plugin is a files&folders data source.
+//
+// Failure points (internal/fault): "<id>/root" (error, latency),
+// "<id>/read" (error, latency, partial read of file content),
+// "<id>/convert" (corrupt converter input).
 type Plugin struct {
 	id      string
 	fs      *vfs.FS
 	convert sources.ConvertFunc
 	met     atomic.Pointer[sources.SourceMetrics]
+	faults  atomic.Pointer[fault.Injector]
 
 	mu    sync.Mutex
 	cache map[*vfs.Node]*sources.Item
@@ -58,9 +64,16 @@ func (p *Plugin) ID() string { return p.id }
 // SetMetrics implements sources.MetricsSetter.
 func (p *Plugin) SetMetrics(sm *sources.SourceMetrics) { p.met.Store(sm) }
 
+// SetFaults implements sources.FaultSetter.
+func (p *Plugin) SetFaults(in *fault.Injector) { p.faults.Store(in) }
+
 // Root implements sources.Source.
 func (p *Plugin) Root() (core.ResourceView, error) {
 	start := time.Now()
+	if err := p.faults.Load().Fail(p.id + "/root"); err != nil {
+		p.met.Load().RecordRoot(time.Since(start), err)
+		return nil, err
+	}
 	v := p.view(p.fs.Root())
 	p.met.Load().RecordRoot(time.Since(start), nil)
 	return v, nil
@@ -70,10 +83,12 @@ func (p *Plugin) Root() (core.ResourceView, error) {
 // feed.
 func (p *Plugin) Changes() <-chan sources.Change { return p.changes }
 
-// Close implements sources.Source.
+// Close implements sources.Source. The change channel is closed once the
+// forwarder has stopped, so consumers draining it terminate too.
 func (p *Plugin) Close() error {
 	close(p.stop)
 	<-p.done
+	close(p.changes)
 	return nil
 }
 
@@ -149,10 +164,11 @@ func (p *Plugin) build(n *vfs.Node) *sources.Item {
 			ContentFn: func() core.Content {
 				return core.FuncContent(func() io.ReadCloser {
 					b, err := p.fs.ReadNode(n)
-					if err != nil {
+					if err != nil || p.faults.Load().Fail(p.id+"/read") != nil {
 						b = nil
 					}
-					return io.NopCloser(strings.NewReader(string(b)))
+					r := p.faults.Load().Reader(p.id+"/read", strings.NewReader(string(b)), int64(len(b)))
+					return io.NopCloser(r)
 				}, true, n.Size())
 			},
 			GroupFn: func() core.Group {
@@ -163,6 +179,7 @@ func (p *Plugin) build(n *vfs.Node) *sources.Item {
 				if err != nil {
 					return core.EmptyGroup()
 				}
+				b = p.faults.Load().Corrupt(p.id+"/convert", b)
 				sub := p.convert(name, b)
 				if len(sub) == 0 {
 					return core.EmptyGroup()

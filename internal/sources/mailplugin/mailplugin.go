@@ -21,17 +21,24 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/mail"
 	"repro/internal/sources"
 	"repro/internal/stream"
 )
 
 // Plugin is an email data source.
+//
+// Failure points (internal/fault): "<id>/root" (error, latency),
+// "<id>/fetch" (error or latency on message fetch; a failed fetch yields
+// an empty message view, as a flaky IMAP server would), "<id>/convert"
+// (corrupt attachment converter input).
 type Plugin struct {
 	id      string
 	store   *mail.Store
 	convert sources.ConvertFunc
 	met     atomic.Pointer[sources.SourceMetrics]
+	faults  atomic.Pointer[fault.Injector]
 
 	changes chan sources.Change
 	stop    chan struct{}
@@ -59,13 +66,18 @@ func (p *Plugin) ID() string { return p.id }
 // SetMetrics implements sources.MetricsSetter.
 func (p *Plugin) SetMetrics(sm *sources.SourceMetrics) { p.met.Store(sm) }
 
+// SetFaults implements sources.FaultSetter.
+func (p *Plugin) SetFaults(in *fault.Injector) { p.faults.Store(in) }
+
 // Changes implements sources.Source.
 func (p *Plugin) Changes() <-chan sources.Change { return p.changes }
 
-// Close implements sources.Source.
+// Close implements sources.Source. The change channel is closed once the
+// forwarder has stopped, so consumers draining it terminate too.
 func (p *Plugin) Close() error {
 	close(p.stop)
 	<-p.done
+	close(p.changes)
 	return nil
 }
 
@@ -122,6 +134,10 @@ func (p *Plugin) Delete(uri string) error {
 // Root implements sources.Source: the mailbox state as a view graph.
 func (p *Plugin) Root() (core.ResourceView, error) {
 	start := time.Now()
+	if err := p.faults.Load().Fail(p.id + "/root"); err != nil {
+		p.met.Load().RecordRoot(time.Since(start), err)
+		return nil, err
+	}
 	names := p.store.Folders()
 	root := &core.LazyView{
 		VName:  p.id,
@@ -193,6 +209,10 @@ func (p *Plugin) messageView(folder string, uid uint64) core.ResourceView {
 	var msg *mail.Message
 	load := func() *mail.Message {
 		once.Do(func() {
+			if err := p.faults.Load().Fail(p.id + "/fetch"); err != nil {
+				p.met.Load().RecordViewBuilt()
+				return
+			}
 			m, err := p.store.Fetch(folder, uid)
 			if err == nil {
 				msg = m
@@ -272,7 +292,7 @@ func (p *Plugin) attachmentView(m *mail.Message, a mail.Attachment) core.Resourc
 			if p.convert == nil {
 				return core.EmptyGroup()
 			}
-			sub := p.convert(name, data)
+			sub := p.convert(name, p.faults.Load().Corrupt(p.id+"/convert", data))
 			if len(sub) == 0 {
 				return core.EmptyGroup()
 			}

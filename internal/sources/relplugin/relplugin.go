@@ -10,15 +10,19 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/relstore"
 	"repro/internal/sources"
 )
 
 // Plugin is a relational data source.
+//
+// Failure points (internal/fault): "<id>/root" (error, latency).
 type Plugin struct {
-	id  string
-	db  *relstore.DB
-	met atomic.Pointer[sources.SourceMetrics]
+	id     string
+	db     *relstore.DB
+	met    atomic.Pointer[sources.SourceMetrics]
+	faults atomic.Pointer[fault.Injector]
 }
 
 // New returns a plugin exposing db under the given source id.
@@ -32,6 +36,9 @@ func (p *Plugin) ID() string { return p.id }
 // SetMetrics implements sources.MetricsSetter.
 func (p *Plugin) SetMetrics(sm *sources.SourceMetrics) { p.met.Store(sm) }
 
+// SetFaults implements sources.FaultSetter.
+func (p *Plugin) SetFaults(in *fault.Injector) { p.faults.Store(in) }
+
 // Changes implements sources.Source; the store does not push.
 func (p *Plugin) Changes() <-chan sources.Change { return nil }
 
@@ -42,6 +49,10 @@ func (p *Plugin) Close() error { return nil }
 // with stable URIs (relation name; relation name plus tuple ordinal).
 func (p *Plugin) Root() (core.ResourceView, error) {
 	start := time.Now()
+	if err := p.faults.Load().Fail(p.id + "/root"); err != nil {
+		p.met.Load().RecordRoot(time.Since(start), err)
+		return nil, err
+	}
 	defer func() { p.met.Load().RecordRoot(time.Since(start), nil) }()
 	names := p.db.Relations()
 	relViews := make([]core.ResourceView, 0, len(names))

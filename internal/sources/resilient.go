@@ -1,0 +1,301 @@
+package sources
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+)
+
+// ErrBreakerOpen is returned (wrapped) when a source's circuit breaker
+// rejects a call without attempting it.
+var ErrBreakerOpen = errors.New("circuit breaker open")
+
+// ErrCallTimeout wraps calls abandoned on their per-attempt deadline.
+var ErrCallTimeout = errors.New("source call timed out")
+
+// BreakerState is the circuit breaker's position.
+type BreakerState int
+
+// Breaker states, ordered so the exported gauge reads naturally:
+// 0 = healthy, 1 = probing, 2 = tripped.
+const (
+	BreakerClosed BreakerState = iota
+	BreakerHalfOpen
+	BreakerOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerHalfOpen:
+		return "half-open"
+	case BreakerOpen:
+		return "open"
+	default:
+		return fmt.Sprintf("breakerstate(%d)", int(s))
+	}
+}
+
+// Policy tunes the Resilient proxy. The zero value gets sensible
+// defaults from normalize; fields are knobs, not required settings.
+type Policy struct {
+	// MaxRetries is how many times a failed Root call is retried after
+	// the initial attempt. Negative disables retries; 0 means default
+	// (2).
+	MaxRetries int
+	// RetryBase is the first backoff delay (default 50ms); each retry
+	// doubles it up to RetryMax (default 2s). A seeded jitter of up to
+	// half the delay is added so synchronized sources do not stampede.
+	RetryBase time.Duration
+	RetryMax  time.Duration
+	// JitterSeed seeds the backoff jitter; 0 derives a fixed default so
+	// schedules stay reproducible.
+	JitterSeed int64
+	// Timeout bounds each Root attempt via context; 0 means no deadline.
+	Timeout time.Duration
+	// BreakerFailures is how many consecutive failed calls trip the
+	// breaker (default 3; negative disables the breaker).
+	BreakerFailures int
+	// BreakerCooldown is how long an open breaker rejects calls before
+	// letting a half-open probe through (default 5s).
+	BreakerCooldown time.Duration
+	// Now and Sleep are test hooks for the breaker clock and the backoff
+	// sleeper; nil means real time.
+	Now   func() time.Time
+	Sleep func(time.Duration)
+}
+
+func (p Policy) normalize() Policy {
+	switch {
+	case p.MaxRetries < 0:
+		p.MaxRetries = 0
+	case p.MaxRetries == 0:
+		p.MaxRetries = 2
+	}
+	if p.RetryBase <= 0 {
+		p.RetryBase = 50 * time.Millisecond
+	}
+	if p.RetryMax <= 0 {
+		p.RetryMax = 2 * time.Second
+	}
+	if p.JitterSeed == 0 {
+		p.JitterSeed = 1
+	}
+	switch {
+	case p.BreakerFailures < 0:
+		p.BreakerFailures = 0
+	case p.BreakerFailures == 0:
+		p.BreakerFailures = 3
+	}
+	if p.BreakerCooldown <= 0 {
+		p.BreakerCooldown = 5 * time.Second
+	}
+	if p.Now == nil {
+		p.Now = time.Now
+	}
+	if p.Sleep == nil {
+		p.Sleep = time.Sleep
+	}
+	return p
+}
+
+// Resilient wraps a Data Source Plugin with the fault handling the
+// paper's intermittently-connected sources demand: per-call timeouts,
+// retry with exponential backoff and seeded jitter, and a circuit
+// breaker that stops hammering a source that keeps failing. It is itself
+// a Source, so the Resource View Manager can wrap any plugin
+// transparently; Changes, Close, metrics, fault and mutation interfaces
+// are forwarded to the wrapped plugin.
+type Resilient struct {
+	inner Source
+	pol   Policy
+	met   atomic.Pointer[SourceMetrics]
+
+	jmu sync.Mutex
+	rng *rand.Rand
+
+	bmu      sync.Mutex
+	state    BreakerState
+	fails    int // consecutive Root failures
+	openedAt time.Time
+}
+
+// NewResilient wraps src under pol.
+func NewResilient(src Source, pol Policy) *Resilient {
+	pol = pol.normalize()
+	return &Resilient{
+		inner: src,
+		pol:   pol,
+		rng:   rand.New(rand.NewSource(pol.JitterSeed)),
+	}
+}
+
+// Unwrap returns the wrapped plugin.
+func (r *Resilient) Unwrap() Source { return r.inner }
+
+// ID forwards to the wrapped plugin.
+func (r *Resilient) ID() string { return r.inner.ID() }
+
+// Changes forwards to the wrapped plugin.
+func (r *Resilient) Changes() <-chan Change { return r.inner.Changes() }
+
+// Close forwards to the wrapped plugin.
+func (r *Resilient) Close() error { return r.inner.Close() }
+
+// SetMetrics keeps the instrument set for breaker/retry accounting and
+// forwards it to the wrapped plugin.
+func (r *Resilient) SetMetrics(sm *SourceMetrics) {
+	r.met.Store(sm)
+	if ms, ok := r.inner.(MetricsSetter); ok {
+		ms.SetMetrics(sm)
+	}
+}
+
+// SetFaults forwards the injector to the wrapped plugin.
+func (r *Resilient) SetFaults(in *fault.Injector) {
+	if fs, ok := r.inner.(FaultSetter); ok {
+		fs.SetFaults(in)
+	}
+}
+
+// Delete forwards to the wrapped plugin when it is a Mutator.
+func (r *Resilient) Delete(uri string) error {
+	if m, ok := r.inner.(Mutator); ok {
+		return m.Delete(uri)
+	}
+	return fmt.Errorf("source %s does not support deletion", r.ID())
+}
+
+// Breaker reports the breaker's state and the consecutive-failure count
+// feeding it.
+func (r *Resilient) Breaker() (BreakerState, int) {
+	r.bmu.Lock()
+	defer r.bmu.Unlock()
+	// Surface the pending half-open transition so health reads do not
+	// claim "open" after the cooldown has already lapsed.
+	if r.state == BreakerOpen && r.pol.Now().Sub(r.openedAt) >= r.pol.BreakerCooldown {
+		return BreakerHalfOpen, r.fails
+	}
+	return r.state, r.fails
+}
+
+// Root calls the wrapped plugin's Root under the policy: the breaker may
+// reject the call outright; otherwise up to 1+MaxRetries attempts run,
+// each bounded by Timeout, with exponential backoff between them.
+func (r *Resilient) Root() (core.ResourceView, error) {
+	if err := r.admit(); err != nil {
+		return nil, err
+	}
+	met := r.met.Load()
+	var lastErr error
+	attempts := 1 + r.pol.MaxRetries
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			met.RecordRetry()
+			r.pol.Sleep(r.backoff(attempt))
+		}
+		v, err := r.callRoot()
+		if err == nil {
+			r.recordSuccess()
+			return v, nil
+		}
+		if errors.Is(err, ErrCallTimeout) {
+			met.RecordTimeout()
+		}
+		lastErr = err
+	}
+	r.recordFailure()
+	return nil, fmt.Errorf("source %s: %w", r.ID(), lastErr)
+}
+
+// callRoot runs one Root attempt, abandoning it if the policy's timeout
+// elapses first. Source plugins predate context in their contract, so
+// the deadline is imposed from outside: the attempt keeps running in its
+// goroutine, but the proxy stops waiting for it.
+func (r *Resilient) callRoot() (core.ResourceView, error) {
+	if r.pol.Timeout <= 0 {
+		return r.inner.Root()
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), r.pol.Timeout)
+	defer cancel()
+	type result struct {
+		v   core.ResourceView
+		err error
+	}
+	ch := make(chan result, 1)
+	go func() {
+		v, err := r.inner.Root()
+		ch <- result{v, err}
+	}()
+	select {
+	case res := <-ch:
+		return res.v, res.err
+	case <-ctx.Done():
+		return nil, fmt.Errorf("%w after %v", ErrCallTimeout, r.pol.Timeout)
+	}
+}
+
+// backoff returns the delay before retry attempt n (1-based), doubling
+// from RetryBase and capped at RetryMax, plus up to 50% seeded jitter.
+func (r *Resilient) backoff(n int) time.Duration {
+	d := r.pol.RetryBase << uint(n-1)
+	if d > r.pol.RetryMax || d <= 0 {
+		d = r.pol.RetryMax
+	}
+	r.jmu.Lock()
+	j := time.Duration(r.rng.Int63n(int64(d)/2 + 1))
+	r.jmu.Unlock()
+	return d + j
+}
+
+// admit applies the breaker: closed and half-open calls proceed, open
+// calls are rejected until the cooldown lapses (the first call after it
+// becomes the half-open probe).
+func (r *Resilient) admit() error {
+	r.bmu.Lock()
+	defer r.bmu.Unlock()
+	if r.pol.BreakerFailures == 0 || r.state != BreakerOpen {
+		return nil
+	}
+	if r.pol.Now().Sub(r.openedAt) < r.pol.BreakerCooldown {
+		return fmt.Errorf("source %s: %w", r.inner.ID(), ErrBreakerOpen)
+	}
+	r.state = BreakerHalfOpen
+	r.met.Load().RecordBreaker(r.state, false)
+	return nil
+}
+
+func (r *Resilient) recordSuccess() {
+	r.bmu.Lock()
+	defer r.bmu.Unlock()
+	changed := r.state != BreakerClosed || r.fails != 0
+	r.state = BreakerClosed
+	r.fails = 0
+	if changed {
+		r.met.Load().RecordBreaker(r.state, false)
+	}
+}
+
+func (r *Resilient) recordFailure() {
+	r.bmu.Lock()
+	defer r.bmu.Unlock()
+	r.fails++
+	if r.pol.BreakerFailures == 0 {
+		return
+	}
+	// A failed half-open probe re-opens immediately; otherwise the
+	// consecutive-failure threshold trips the breaker.
+	if r.state == BreakerHalfOpen || r.fails >= r.pol.BreakerFailures {
+		r.state = BreakerOpen
+		r.openedAt = r.pol.Now()
+		r.met.Load().RecordBreaker(r.state, true)
+	}
+}

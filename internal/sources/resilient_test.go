@@ -1,0 +1,222 @@
+package sources
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/obs"
+)
+
+// scriptedSource fails Root a configurable number of times, then
+// succeeds; it also records call counts and optional per-call hangs.
+type scriptedSource struct {
+	mu       sync.Mutex
+	id       string
+	failures int
+	calls    int
+	hang     time.Duration
+	deleted  []string
+	faults   *fault.Injector
+	met      *SourceMetrics
+}
+
+func (s *scriptedSource) ID() string { return s.id }
+
+func (s *scriptedSource) Root() (core.ResourceView, error) {
+	s.mu.Lock()
+	s.calls++
+	fail := s.calls <= s.failures
+	hang := s.hang
+	s.mu.Unlock()
+	if hang > 0 {
+		time.Sleep(hang)
+	}
+	if fail {
+		return nil, errors.New("transient outage")
+	}
+	return core.NewView(s.id, "group"), nil
+}
+
+func (s *scriptedSource) Changes() <-chan Change { return nil }
+func (s *scriptedSource) Close() error           { return nil }
+
+func (s *scriptedSource) SetMetrics(m *SourceMetrics) { s.mu.Lock(); s.met = m; s.mu.Unlock() }
+func (s *scriptedSource) SetFaults(in *fault.Injector) {
+	s.mu.Lock()
+	s.faults = in
+	s.mu.Unlock()
+}
+func (s *scriptedSource) Delete(uri string) error {
+	s.mu.Lock()
+	s.deleted = append(s.deleted, uri)
+	s.mu.Unlock()
+	return nil
+}
+
+func (s *scriptedSource) callCount() int { s.mu.Lock(); defer s.mu.Unlock(); return s.calls }
+
+// fastPolicy retries immediately on a fake clock so tests never sleep.
+func fastPolicy(now *time.Time) Policy {
+	return Policy{
+		MaxRetries:      2,
+		RetryBase:       time.Millisecond,
+		BreakerFailures: 2,
+		BreakerCooldown: time.Minute,
+		Now:             func() time.Time { return *now },
+		Sleep:           func(time.Duration) {},
+	}
+}
+
+func TestResilientRetriesUntilSuccess(t *testing.T) {
+	now := time.Unix(0, 0)
+	src := &scriptedSource{id: "fs", failures: 2}
+	r := NewResilient(src, fastPolicy(&now))
+	reg := obs.NewRegistry()
+	r.SetMetrics(NewSourceMetrics(reg, "fs"))
+
+	if _, err := r.Root(); err != nil {
+		t.Fatalf("Root after retries: %v", err)
+	}
+	if got := src.callCount(); got != 3 {
+		t.Fatalf("inner Root called %d times, want 3", got)
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["source_fs_retries_total"] != 2 {
+		t.Fatalf("retries_total = %d, want 2", snap.Counters["source_fs_retries_total"])
+	}
+	if st, _ := r.Breaker(); st != BreakerClosed {
+		t.Fatalf("breaker %v after success, want closed", st)
+	}
+}
+
+func TestResilientBreakerOpensAndRecovers(t *testing.T) {
+	now := time.Unix(0, 0)
+	src := &scriptedSource{id: "mail", failures: 1000}
+	pol := fastPolicy(&now)
+	r := NewResilient(src, pol)
+	reg := obs.NewRegistry()
+	r.SetMetrics(NewSourceMetrics(reg, "mail"))
+
+	// Two exhausted call chains (BreakerFailures=2) trip the breaker.
+	for i := 0; i < 2; i++ {
+		if _, err := r.Root(); err == nil {
+			t.Fatal("Root unexpectedly succeeded")
+		}
+	}
+	if st, fails := r.Breaker(); st != BreakerOpen || fails != 2 {
+		t.Fatalf("breaker %v/%d, want open/2", st, fails)
+	}
+	callsWhenOpen := src.callCount()
+
+	// While open, calls are rejected without touching the plugin.
+	_, err := r.Root()
+	if !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("want ErrBreakerOpen, got %v", err)
+	}
+	if src.callCount() != callsWhenOpen {
+		t.Fatal("open breaker still called the plugin")
+	}
+
+	// After the cooldown a half-open probe goes through; its failure
+	// re-opens the breaker immediately.
+	now = now.Add(pol.BreakerCooldown)
+	if _, err := r.Root(); err == nil {
+		t.Fatal("half-open probe unexpectedly succeeded")
+	}
+	if st, _ := r.Breaker(); st != BreakerOpen {
+		t.Fatalf("breaker %v after failed probe, want open", st)
+	}
+
+	// Let the source heal; the next probe closes the breaker.
+	src.mu.Lock()
+	src.failures = 0
+	src.calls = 0
+	src.mu.Unlock()
+	now = now.Add(pol.BreakerCooldown)
+	if _, err := r.Root(); err != nil {
+		t.Fatalf("Root after recovery: %v", err)
+	}
+	if st, fails := r.Breaker(); st != BreakerClosed || fails != 0 {
+		t.Fatalf("breaker %v/%d after recovery, want closed/0", st, fails)
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["source_mail_breaker_opens_total"] < 2 {
+		t.Fatalf("breaker_opens_total = %d, want >= 2", snap.Counters["source_mail_breaker_opens_total"])
+	}
+	if snap.Gauges["source_mail_breaker_state"] != int64(BreakerClosed) {
+		t.Fatalf("breaker_state gauge = %d, want closed", snap.Gauges["source_mail_breaker_state"])
+	}
+}
+
+func TestResilientTimeout(t *testing.T) {
+	src := &scriptedSource{id: "rel", hang: 200 * time.Millisecond}
+	pol := Policy{
+		MaxRetries:      -1, // no retries: one attempt
+		Timeout:         10 * time.Millisecond,
+		BreakerFailures: -1,
+	}
+	r := NewResilient(src, pol)
+	reg := obs.NewRegistry()
+	r.SetMetrics(NewSourceMetrics(reg, "rel"))
+	_, err := r.Root()
+	if !errors.Is(err, ErrCallTimeout) {
+		t.Fatalf("want ErrCallTimeout, got %v", err)
+	}
+	if reg.Snapshot().Counters["source_rel_timeouts_total"] != 1 {
+		t.Fatal("timeout not recorded")
+	}
+}
+
+func TestResilientForwardsOptionalInterfaces(t *testing.T) {
+	src := &scriptedSource{id: "fs"}
+	r := NewResilient(src, Policy{})
+	inj := fault.New(1)
+	r.SetFaults(inj)
+	if src.faults != inj {
+		t.Fatal("SetFaults not forwarded")
+	}
+	if err := r.Delete("file:///tmp/x"); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	if len(src.deleted) != 1 || src.deleted[0] != "file:///tmp/x" {
+		t.Fatalf("Delete not forwarded: %v", src.deleted)
+	}
+	if r.ID() != "fs" || r.Unwrap() != Source(src) {
+		t.Fatal("identity not forwarded")
+	}
+}
+
+func TestResilientBackoffIsBoundedAndJittered(t *testing.T) {
+	now := time.Unix(0, 0)
+	var slept []time.Duration
+	pol := Policy{
+		MaxRetries:      3,
+		RetryBase:       10 * time.Millisecond,
+		RetryMax:        15 * time.Millisecond,
+		BreakerFailures: -1,
+		Now:             func() time.Time { return now },
+		Sleep:           func(d time.Duration) { slept = append(slept, d) },
+	}
+	src := &scriptedSource{id: "fs", failures: 1000}
+	r := NewResilient(src, pol)
+	if _, err := r.Root(); err == nil {
+		t.Fatal("Root unexpectedly succeeded")
+	}
+	if len(slept) != 3 {
+		t.Fatalf("slept %d times, want 3", len(slept))
+	}
+	// Attempt 1 backs off >= base; later attempts cap at RetryMax, and
+	// jitter never exceeds 50% of the pre-jitter delay.
+	if slept[0] < 10*time.Millisecond || slept[0] > 15*time.Millisecond {
+		t.Fatalf("first backoff %v outside [10ms, 15ms]", slept[0])
+	}
+	for i, d := range slept[1:] {
+		if d < 15*time.Millisecond || d > 22500*time.Microsecond {
+			t.Fatalf("backoff %d = %v outside [cap, cap*1.5]", i+2, d)
+		}
+	}
+}

@@ -11,15 +11,21 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/rss"
 	"repro/internal/sources"
 )
 
 // Plugin is an RSS/ATOM data source.
+//
+// Failure points (internal/fault): "<id>/root" (error, latency),
+// "<id>/poll" (error: that polling round is skipped, as a feed timeout
+// would be).
 type Plugin struct {
 	id     string
 	server *rss.Server
 	met    atomic.Pointer[sources.SourceMetrics]
+	faults atomic.Pointer[fault.Injector]
 
 	changes chan sources.Change
 	stop    chan struct{}
@@ -51,16 +57,23 @@ func (p *Plugin) ID() string { return p.id }
 // SetMetrics implements sources.MetricsSetter.
 func (p *Plugin) SetMetrics(sm *sources.SourceMetrics) { p.met.Store(sm) }
 
+// SetFaults implements sources.FaultSetter.
+func (p *Plugin) SetFaults(in *fault.Injector) { p.faults.Store(in) }
+
 // Changes implements sources.Source: one Created change per new feed
 // item, detected by polling.
 func (p *Plugin) Changes() <-chan sources.Change { return p.changes }
 
-// Close implements sources.Source.
+// Close implements sources.Source. The change channel is closed once the
+// poller has stopped, so consumers draining it terminate too.
 func (p *Plugin) Close() error {
 	select {
 	case <-p.stop:
 	default:
 		close(p.stop)
+		<-p.done
+		close(p.changes)
+		return nil
 	}
 	<-p.done
 	return nil
@@ -76,6 +89,9 @@ func (p *Plugin) poll(every time.Duration) {
 		case <-p.stop:
 			return
 		case <-ticker.C:
+			if p.faults.Load().Fail(p.id+"/poll") != nil {
+				continue
+			}
 			for _, feed := range p.server.Feeds() {
 				c, ok := clients[feed]
 				if !ok {
@@ -102,6 +118,10 @@ func (p *Plugin) poll(every time.Duration) {
 // lazy xmldoc view per feed.
 func (p *Plugin) Root() (core.ResourceView, error) {
 	start := time.Now()
+	if err := p.faults.Load().Fail(p.id + "/root"); err != nil {
+		p.met.Load().RecordRoot(time.Since(start), err)
+		return nil, err
+	}
 	defer func() { p.met.Load().RecordRoot(time.Since(start), nil) }()
 	feeds := p.server.Feeds()
 	views := make([]core.ResourceView, len(feeds))

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/obs"
 )
 
@@ -76,6 +77,11 @@ type SourceMetrics struct {
 	rootNs     *obs.Histogram
 	changes    *obs.Counter
 	views      *obs.Counter
+	// Resilience instruments, recorded by the Resilient proxy.
+	retries      *obs.Counter
+	timeouts     *obs.Counter
+	breakerOpens *obs.Counter
+	breakerState *obs.Gauge
 }
 
 // NewSourceMetrics returns the instrument set for the plugin id,
@@ -86,11 +92,15 @@ func NewSourceMetrics(reg *obs.Registry, id string) *SourceMetrics {
 	}
 	prefix := "source_" + id + "_"
 	return &SourceMetrics{
-		roots:      reg.Counter(prefix + "root_calls_total"),
-		rootErrors: reg.Counter(prefix + "root_errors_total"),
-		rootNs:     reg.Histogram(prefix+"root_ns", nil),
-		changes:    reg.Counter(prefix + "changes_total"),
-		views:      reg.Counter(prefix + "views_built_total"),
+		roots:        reg.Counter(prefix + "root_calls_total"),
+		rootErrors:   reg.Counter(prefix + "root_errors_total"),
+		rootNs:       reg.Histogram(prefix+"root_ns", nil),
+		changes:      reg.Counter(prefix + "changes_total"),
+		views:        reg.Counter(prefix + "views_built_total"),
+		retries:      reg.Counter(prefix + "retries_total"),
+		timeouts:     reg.Counter(prefix + "timeouts_total"),
+		breakerOpens: reg.Counter(prefix + "breaker_opens_total"),
+		breakerState: reg.Gauge(prefix + "breaker_state"),
 	}
 }
 
@@ -122,6 +132,34 @@ func (sm *SourceMetrics) RecordViewBuilt() {
 	sm.views.Inc()
 }
 
+// RecordRetry records one retried call.
+func (sm *SourceMetrics) RecordRetry() {
+	if sm == nil {
+		return
+	}
+	sm.retries.Inc()
+}
+
+// RecordTimeout records one call abandoned on deadline.
+func (sm *SourceMetrics) RecordTimeout() {
+	if sm == nil {
+		return
+	}
+	sm.timeouts.Inc()
+}
+
+// RecordBreaker records the circuit breaker's state (and, on a
+// transition to Open, the trip itself).
+func (sm *SourceMetrics) RecordBreaker(s BreakerState, tripped bool) {
+	if sm == nil {
+		return
+	}
+	sm.breakerState.Set(int64(s))
+	if tripped {
+		sm.breakerOpens.Inc()
+	}
+}
+
 // MetricsSetter is the optional instrumentation interface of a data
 // source: the Resource View Manager hands an instrumented plugin its
 // SourceMetrics when the manager itself carries a metrics registry.
@@ -129,6 +167,15 @@ func (sm *SourceMetrics) RecordViewBuilt() {
 // so implementations must publish the pointer safely (atomically).
 type MetricsSetter interface {
 	SetMetrics(*SourceMetrics)
+}
+
+// FaultSetter is the optional fault-injection interface of a data
+// source: plugins that expose named failure points implement it, and the
+// Resource View Manager hands them the dataspace's Injector. Like
+// SetMetrics, SetFaults may be called after the plugin's goroutines have
+// started, so implementations must publish the pointer atomically.
+type FaultSetter interface {
+	SetFaults(*fault.Injector)
 }
 
 // Mutator is the optional write-through interface of a data source:

@@ -1,0 +1,76 @@
+package wildcard
+
+import "testing"
+
+// TestMatchEdgeCases pins the corner semantics the two-pointer matcher
+// must hold: empty patterns, empty names, star runs at both boundaries,
+// and '?' over multi-byte runes.
+func TestMatchEdgeCases(t *testing.T) {
+	cases := []struct {
+		pattern, name string
+		want          bool
+	}{
+		// Empty pattern matches only the empty name.
+		{"", "", true},
+		{"", "a", false},
+		{"", "anything", false},
+		// Bare stars match everything, including the empty name.
+		{"*", "", true},
+		{"**", "", true},
+		{"***", "abc", true},
+		// '**' collapses to '*' at every position.
+		{"**abc", "abc", true},
+		{"abc**", "abc", true},
+		{"a**c", "abc", true},
+		{"a**c", "ac", true},
+		{"**a**c**", "xxaxxcxx", true},
+		// Stars at boundaries.
+		{"*abc", "abc", true},
+		{"*abc", "xabc", true},
+		{"*abc", "abx", false},
+		{"abc*", "abc", true},
+		{"abc*", "abcx", true},
+		{"abc*", "xabc", false},
+		// '?' needs exactly one character; it cannot match empty.
+		{"?", "", false},
+		{"?", "a", true},
+		{"?", "ab", false},
+		{"a?c", "ac", false},
+		// '?' counts runes, not bytes.
+		{"?", "ü", true},
+		{"s?n", "søn", true},
+		{"??", "日本", true},
+		{"?", "日本", false},
+		// Case folding applies to both sides.
+		{"ABC*", "abcd", true},
+		{"*vision", "GrandVision", true},
+		// Pattern longer than name, trailing stars aside.
+		{"abcd", "abc", false},
+		{"abc*d", "abc", false},
+		{"abc*", "ab", false},
+		// Star backtracking: first star anchor must be revisited.
+		{"*ab*ab", "abab", true},
+		{"*ab*ab", "abxab", true},
+		{"*ab*ab", "ab", false},
+		{"a*b*c", "aXXbYYc", true},
+		{"a*b*c", "acb", false},
+	}
+	for _, tc := range cases {
+		if got := Match(tc.pattern, tc.name); got != tc.want {
+			t.Errorf("Match(%q, %q) = %v, want %v", tc.pattern, tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestIsPatternEdgeCases: the empty string and plain names are not
+// patterns; any '*' or '?' anywhere makes one.
+func TestIsPatternEdgeCases(t *testing.T) {
+	for s, want := range map[string]bool{
+		"": false, "plain": false, "a.b-c": false,
+		"*": true, "?": true, "mid*dle": true, "end?": true,
+	} {
+		if got := IsPattern(s); got != want {
+			t.Errorf("IsPattern(%q) = %v, want %v", s, got, want)
+		}
+	}
+}

@@ -16,6 +16,11 @@ echo '>> go test -race ./internal/obs (observability gate)'
 go test -race ./internal/obs
 echo '>> go test -race -run "Obs|Trace|Metrics|Scrape" . (observability integration)'
 go test -race -run 'Obs|Trace|Metrics|Scrape' .
+# Resilience gate: the fault-injection matrix, the degraded-read
+# acceptance scenario and the serial-vs-parallel differential suite run
+# first for attributable failure; ./... repeats them below.
+echo '>> go test -race -run "Fault|SourceDown|FailClosed|StaleResults|Differential|Resilience" . ./internal/fault ./internal/sources ./internal/iql (resilience gate)'
+go test -race -run 'Fault|SourceDown|FailClosed|StaleResults|Differential|Resilience' . ./internal/fault ./internal/sources ./internal/iql
 echo '>> go test -race ./...'
 go test -race ./...
 echo 'check: OK'
