@@ -15,14 +15,18 @@ vet:
 test:
 	$(GO) test ./...
 
-# Short fuzzing pass over the iQL parser, evaluator and the
-# serial-vs-parallel differential harness (30s per target; seed corpora
-# live in internal/iql/testdata/fuzz/). Each target must run alone:
-# `go test -fuzz` accepts only one fuzz target per invocation.
+# Short fuzzing pass over the iQL parser, evaluator, the
+# serial-vs-parallel differential harness, and the durable store's WAL
+# and snapshot decoders (30s per target; iQL seed corpora live in
+# internal/iql/testdata/fuzz/, store corpora are generated in-test).
+# Each target must run alone: `go test -fuzz` accepts only one fuzz
+# target per invocation.
 fuzz-smoke:
 	$(GO) test ./internal/iql -run '^$$' -fuzz '^FuzzParse$$' -fuzztime 30s
 	$(GO) test ./internal/iql -run '^$$' -fuzz '^FuzzEval$$' -fuzztime 30s
 	$(GO) test ./internal/iql -run '^$$' -fuzz '^FuzzDifferential$$' -fuzztime 30s
+	$(GO) test ./internal/store -run '^$$' -fuzz '^FuzzWALDecode$$' -fuzztime 30s
+	$(GO) test ./internal/store -run '^$$' -fuzz '^FuzzSnapshotLoad$$' -fuzztime 30s
 
 # Regenerate BENCH_iql.json (serial vs parallel engine microbenchmark
 # plus the obs_overhead instrumentation-cost section; schema_version 2,

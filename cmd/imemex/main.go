@@ -17,7 +17,14 @@
 //	\explain <query> evaluate with tracing and print the span tree
 //	\stats           session metrics and query-cache statistics
 //	\health          per-source degradation and circuit-breaker status
+//	\checkpoint      compact the durable store into a fresh snapshot
 //	\quit            exit
+//
+// -data-dir makes the dataspace durable: replica commits are written to
+// a checksummed write-ahead log before they are applied, and a restart
+// recovers the catalog, indexes and replicas from the latest snapshot
+// plus the WAL tail (see docs/PERSISTENCE.md). -fsync tunes the flush
+// policy.
 //
 // -resilient wraps every source in the retry/timeout/circuit-breaker
 // proxy; -fault injects deterministic failures for chaos drills (e.g.
@@ -53,6 +60,8 @@ func main() {
 	debugAddr := flag.String("debug-addr", "", "serve /debug/metrics, /debug/vars and /debug/pprof on this address (e.g. localhost:6060)")
 	resilient := flag.Bool("resilient", false, "wrap sources in the retry/timeout/circuit-breaker proxy (docs/RESILIENCE.md)")
 	failClosed := flag.Bool("fail-closed", false, "reject queries while a source is degraded instead of serving stale replicas")
+	dataDir := flag.String("data-dir", "", "durable dataspace directory: WAL + snapshots, recovered on startup (docs/PERSISTENCE.md)")
+	fsync := flag.String("fsync", "commit", "with -data-dir: WAL flush policy, commit|always|never")
 	var faultRules []idm.FaultRule
 	flag.Func("fault", "inject a fault, spec point:kind[:p[:times]] (repeatable; kind error|latency[@dur]|partial|corrupt)", func(spec string) error {
 		r, err := idm.ParseFaultRule(spec)
@@ -77,6 +86,18 @@ func main() {
 	if *failClosed {
 		cfg.DegradedReads = idm.FailClosed
 	}
+	cfg.DataDir = *dataDir
+	switch strings.ToLower(*fsync) {
+	case "commit", "":
+		cfg.Fsync = idm.SyncOnCommit
+	case "always":
+		cfg.Fsync = idm.SyncAlways
+	case "never":
+		cfg.Fsync = idm.SyncNever
+	default:
+		fmt.Fprintf(os.Stderr, "imemex: unknown -fsync policy %q (commit|always|never)\n", *fsync)
+		os.Exit(2)
+	}
 	if len(faultRules) > 0 {
 		inj := idm.NewFaultInjector(*seed)
 		for _, r := range faultRules {
@@ -97,7 +118,7 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "imported %d files in %d folders (%.1f MB; skipped %d large, %d other)\n",
 			st.Files, st.Folders, float64(st.Bytes)/(1<<20), st.SkippedLarge, st.SkippedOther)
-		sys = idm.Open(cfg)
+		sys = openDurable(cfg)
 		if err := sys.AddFileSystem("filesystem", vf); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -106,12 +127,13 @@ func main() {
 		fmt.Fprintf(os.Stderr, "generating synthetic personal dataspace (scale %.2f, seed %d)...\n", *scale, *seed)
 		data := idm.GenerateDataset(idm.DatasetConfig{Scale: *scale, Seed: *seed})
 		cfg.Now = evalClock
-		sys, err = idm.OpenDataset(data, cfg)
-		if err != nil {
+		sys = openDurable(cfg)
+		if err := sys.AddDataset(data); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 	}
+	defer sys.Close()
 	start := time.Now()
 	report, err := sys.Index()
 	if err != nil {
@@ -140,6 +162,25 @@ func main() {
 		return
 	}
 	repl(sys, *limit)
+}
+
+// openDurable opens the system, printing a recovery banner when
+// -data-dir resumed a persisted dataspace.
+func openDurable(cfg idm.Config) *idm.System {
+	sys, info, err := idm.OpenDurable(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if info != nil {
+		fmt.Fprintf(os.Stderr, "recovered %d views from %s (snapshot #%d + %d WAL records) in %v\n",
+			info.Views, cfg.DataDir, info.SnapshotSeq, info.WALRecords,
+			info.Elapsed.Round(time.Millisecond))
+		for _, w := range info.Warnings {
+			fmt.Fprintf(os.Stderr, "  recovery warning: %s\n", w)
+		}
+	}
+	return sys
 }
 
 // evalClock pins "now" into the paper's era so date functions such as
@@ -238,6 +279,16 @@ func repl(sys *idm.System, limit int) {
 			printStats(sys)
 		case line == `\health`:
 			printHealth(sys)
+		case line == `\checkpoint`:
+			if err := sys.Checkpoint(); err != nil {
+				fmt.Printf("error: %v\n", err)
+				continue
+			}
+			if d := sys.StateDigest(); d != "" {
+				fmt.Printf("checkpointed; state digest %s\n", d[:16])
+			} else {
+				fmt.Println("in-memory dataspace — nothing to checkpoint (run with -data-dir)")
+			}
 		case strings.HasPrefix(line, `\explain `):
 			out, err := sys.Explain(strings.TrimPrefix(line, `\explain `))
 			if err != nil {
@@ -405,6 +456,7 @@ func printHelp() {
   \lineage <query> provenance chain of the first result
   \changes         tail of the dataspace change journal
   \delete <query>  write-through delete (also: delete <query>)
+  \checkpoint      compact the durable store into a fresh snapshot
   \quit            exit
 example queries (Table 4 of the paper):
   "database"

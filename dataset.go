@@ -32,17 +32,23 @@ func GenerateDataset(cfg DatasetConfig) *Dataset { return dataset.Generate(cfg) 
 // "email") plus "rss" and "reldb".
 func OpenDataset(d *Dataset, cfg Config) (*System, error) {
 	sys := Open(cfg)
-	if err := sys.AddFileSystem("filesystem", d.FS); err != nil {
-		return nil, err
-	}
-	if err := sys.AddMail("email", d.Mail); err != nil {
-		return nil, err
-	}
-	if err := sys.AddRSS("rss", d.RSS, 0); err != nil {
-		return nil, err
-	}
-	if err := sys.AddRelational("reldb", d.Rel); err != nil {
+	if err := sys.AddDataset(d); err != nil {
 		return nil, err
 	}
 	return sys, nil
+}
+
+// AddDataset registers every source of a generated dataset — what
+// OpenDataset does, for systems opened another way (e.g. OpenDurable).
+func (s *System) AddDataset(d *Dataset) error {
+	if err := s.AddFileSystem("filesystem", d.FS); err != nil {
+		return err
+	}
+	if err := s.AddMail("email", d.Mail); err != nil {
+		return err
+	}
+	if err := s.AddRSS("rss", d.RSS, 0); err != nil {
+		return err
+	}
+	return s.AddRelational("reldb", d.Rel)
 }

@@ -1,0 +1,247 @@
+package idm_test
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	idm "repro"
+	"repro/internal/store"
+	"repro/internal/vfs"
+)
+
+// durableFS builds the deterministic fixture the durability tests sync:
+// a LaTeX paper (whose converter output adds derived section/figure/ref
+// views) plus a plain note. The filesystem clock is pinned so the
+// mtime-derived stamps — and therefore the WAL bytes — are identical
+// across runs.
+func durableFS() *vfs.FS {
+	fs := vfs.NewWithClock(fixedNow)
+	fs.MkdirAll("/papers/VLDB2006")
+	fs.WriteFile("/papers/VLDB2006/vldb.tex", []byte(
+		"\\section{Introduction} Mike Franklin dataspaces vision \\ref{fig:index}\n"+
+			"\\section{GrandVision} Franklin agrees systems\n"+
+			"\\begin{figure}\\label{fig:index} indexing time plot \\end{figure}\n"))
+	fs.WriteFile("/papers/notes.txt", []byte("dataspaces reading notes"))
+	return fs
+}
+
+func durableConfig(dir string, inj *idm.FaultInjector) idm.Config {
+	return idm.Config{DataDir: dir, Now: fixedNow, Parallelism: 1, Faults: inj}
+}
+
+// walPrefixDigests merge-replays the WAL segments under dir in LSN
+// order — exactly as recovery does — and returns the state digest after
+// every record prefix: digests[k] is the digest with the first k records
+// applied, so digests[0] is the empty state and digests[len-1] the full
+// one.
+func walPrefixDigests(t *testing.T, dir string) []string {
+	t.Helper()
+	walDir := filepath.Join(dir, "wal")
+	ents, err := os.ReadDir(walDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type walRec struct {
+		lsn uint64
+		rec store.Record
+	}
+	var all []walRec
+	var names []string
+	for _, e := range ents {
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		b, err := os.ReadFile(filepath.Join(walDir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := store.ReplayBytes(b, func(lsn uint64, rec store.Record) error {
+			all = append(all, walRec{lsn, rec})
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Warning != "" {
+			t.Fatalf("reference WAL %s not clean: %s", name, res.Warning)
+		}
+	}
+	sort.SliceStable(all, func(i, j int) bool { return all[i].lsn < all[j].lsn })
+	st := store.NewState()
+	digests := []string{st.Digest()}
+	for _, wr := range all {
+		st.Apply(wr.rec)
+		digests = append(digests, st.Digest())
+	}
+	return digests
+}
+
+// assertSegmentPrefixes asserts that every WAL segment the crashed run
+// left behind is a byte-prefix of the reference run's same-named
+// segment: a crash — at a boundary or mid-record — can only lose tail
+// bytes of the deterministic append stream, never diverge from it.
+func assertSegmentPrefixes(t *testing.T, crashedDir, refDir string) {
+	t.Helper()
+	ents, err := os.ReadDir(filepath.Join(crashedDir, "wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		got, err := os.ReadFile(filepath.Join(crashedDir, "wal", e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := os.ReadFile(filepath.Join(refDir, "wal", e.Name()))
+		if err != nil {
+			t.Fatalf("crashed run wrote segment %s the reference run never had: %v", e.Name(), err)
+		}
+		if len(got) > len(want) || !bytes.Equal(got, want[:len(got)]) {
+			t.Errorf("segment %s of the crashed run is not a byte-prefix of the reference segment (%d vs %d bytes)",
+				e.Name(), len(got), len(want))
+		}
+	}
+}
+
+// TestCrashMatrix is the crash matrix of ISSUE 5: a scripted sync is
+// killed at every WAL record boundary (crash before append k) and
+// mid-record (crash halfway through writing record k), the directory is
+// recovered, and the recovered graph must be byte-equal — via the stable
+// serialization digest — to the reference run's state at the same
+// prefix. Re-syncing the source afterwards must converge byte-equal to
+// the reference final state.
+func TestCrashMatrix(t *testing.T) {
+	fs := durableFS()
+
+	// Reference run: the same scripted sync with no faults.
+	refDir := t.TempDir()
+	ref, _, err := idm.OpenDurable(durableConfig(refDir, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.AddFileSystem("filesystem", fs); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ref.Index(); err != nil {
+		t.Fatal(err)
+	}
+	refFinal := ref.StateDigest()
+	if err := ref.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	prefixes := walPrefixDigests(t, refDir)
+	n := len(prefixes) - 1
+	if n < 5 {
+		t.Fatalf("reference run logged only %d records; fixture too small for a matrix", n)
+	}
+	if prefixes[n] != refFinal {
+		t.Fatalf("reference replay digest %s != live digest %s", prefixes[n], refFinal)
+	}
+	t.Logf("crash matrix over %d WAL records × 2 crash modes", n)
+
+	modes := []struct {
+		name  string
+		point string
+	}{
+		{"boundary", store.FaultAppend}, // crash before record k is written
+		{"torn", store.FaultTorn},       // crash after half of record k is written
+	}
+	for _, mode := range modes {
+		for k := 1; k <= n; k++ {
+			t.Run(fmt.Sprintf("%s/record-%02d", mode.name, k), func(t *testing.T) {
+				dir := t.TempDir()
+				inj := idm.NewFaultInjector(1)
+				inj.Add(idm.FaultRule{Point: mode.point, Kind: idm.FaultError, After: k - 1, Times: 1})
+				sys, _, err := idm.OpenDurable(durableConfig(dir, inj))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := sys.AddFileSystem("filesystem", fs); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := sys.Index(); err == nil {
+					t.Fatal("injected crash did not abort the sync")
+				}
+				sys.Close()
+
+				assertSegmentPrefixes(t, dir, refDir)
+
+				// Recover. Both crash modes lose exactly record k and
+				// everything after it: the recovered graph must be
+				// byte-equal to the reference prefix of k-1 records.
+				re, info, err := idm.OpenDurable(durableConfig(dir, nil))
+				if err != nil {
+					t.Fatalf("recovery: %v", err)
+				}
+				if got := re.StateDigest(); got != prefixes[k-1] {
+					t.Fatalf("recovered digest != reference prefix digest after %d records\n got %s\nwant %s",
+						k-1, got, prefixes[k-1])
+				}
+				if mode.point == store.FaultTorn {
+					if info.TornTails == 0 || len(info.Warnings) == 0 {
+						t.Fatalf("mid-record crash recovered without a torn-tail warning: %+v", info)
+					}
+				} else if len(info.Warnings) != 0 {
+					t.Fatalf("boundary crash recovery should be clean, got warnings: %v", info.Warnings)
+				}
+
+				// Re-adding the source and re-syncing converges on the
+				// reference final state, byte for byte.
+				if err := re.AddFileSystem("filesystem", fs); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := re.Index(); err != nil {
+					t.Fatalf("post-recovery sync: %v", err)
+				}
+				if got := re.StateDigest(); got != refFinal {
+					t.Fatalf("post-recovery resync diverged from reference\n got %s\nwant %s", got, refFinal)
+				}
+				if err := re.Close(); err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
+// TestCrashDuringSnapshot kills the store at the snapshot fault point:
+// the checkpoint fails, but the WAL is intact and recovery still
+// reproduces the full state.
+func TestCrashDuringSnapshot(t *testing.T) {
+	fs := durableFS()
+	dir := t.TempDir()
+	inj := idm.NewFaultInjector(1)
+	inj.Add(idm.FaultRule{Point: "store/snapshot/write", Kind: idm.FaultError, Times: 1})
+	sys, _, err := idm.OpenDurable(durableConfig(dir, inj))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.AddFileSystem("filesystem", fs); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Index(); err != nil {
+		t.Fatal(err)
+	}
+	want := sys.StateDigest()
+	if err := sys.Checkpoint(); err == nil {
+		t.Fatal("injected snapshot crash did not surface")
+	}
+	sys.Close()
+
+	re, info, err := idm.OpenDurable(durableConfig(dir, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if info.SnapshotSeq != 0 {
+		t.Fatalf("crashed checkpoint left snapshot %d", info.SnapshotSeq)
+	}
+	if re.StateDigest() != want {
+		t.Fatal("recovery after snapshot crash lost state")
+	}
+}

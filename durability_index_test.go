@@ -1,0 +1,167 @@
+package idm_test
+
+import (
+	"fmt"
+	"testing"
+
+	idm "repro"
+)
+
+// indexQueries are the three golden EXPLAIN queries of
+// testdata/explain: a keyword query (text index), a path query with a
+// class predicate (name/class indexes), and a texref/figure join
+// (tuple index). Between them they exercise every index the Resource
+// View Manager rebuilds on recovery.
+var indexQueries = []struct {
+	name  string
+	query string
+}{
+	{"keyword", `"Mike Franklin"`},
+	{"path", `//VLDB2006//Introduction[class="latex_section"]`},
+	{"join", `join( //[class="texref"] as A, //figure*[class="environment"] as B, A.name = B.tuple.label )`},
+}
+
+// renderRows flattens a result into a comparable, human-diffable form.
+func renderRows(r *idm.Result) []string {
+	out := []string{fmt.Sprintf("columns=%v", r.Columns)}
+	for _, row := range r.Rows {
+		line := ""
+		for _, it := range row {
+			line += fmt.Sprintf("[oid=%d name=%q class=%q source=%q uri=%q path=%q]",
+				it.OID, it.Name, it.Class, it.Source, it.URI, it.Path)
+		}
+		out = append(out, line)
+	}
+	return out
+}
+
+// TestRecoveredIndexEquivalence pins that the text, name/class and tuple
+// indexes rebuilt from a recovered graph answer the three golden EXPLAIN
+// queries identically to the indexes built by a fresh walk — same rows
+// (OIDs included) and the same normalized EXPLAIN, meaning the planner
+// picked the same index path over the same cardinalities.
+func TestRecoveredIndexEquivalence(t *testing.T) {
+	fs := durableFS()
+	dir := t.TempDir()
+
+	// Fresh walk: sync the filesystem into a durable system.
+	fresh, _, err := idm.OpenDurable(durableConfig(dir, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fresh.AddFileSystem("filesystem", fs); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fresh.Index(); err != nil {
+		t.Fatal(err)
+	}
+	type answer struct {
+		rows    []string
+		explain string
+	}
+	want := map[string]answer{}
+	for _, q := range indexQueries {
+		res, err := fresh.Query(q.query)
+		if err != nil {
+			t.Fatalf("fresh %s: %v", q.name, err)
+		}
+		exp, err := fresh.Explain(q.query)
+		if err != nil {
+			t.Fatalf("fresh explain %s: %v", q.name, err)
+		}
+		want[q.name] = answer{rows: renderRows(res), explain: normalizeExplain(exp)}
+		if len(res.Rows) == 0 {
+			t.Fatalf("fresh %s returned no rows; fixture no longer exercises the index", q.name)
+		}
+	}
+	wantDigest := fresh.StateDigest()
+	if err := fresh.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Recovery: reopen the directory WITHOUT re-adding any source. Every
+	// answer now comes from indexes rebuilt over the recovered graph.
+	rec, info, err := idm.OpenDurable(durableConfig(dir, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec.Close()
+	if len(info.Warnings) != 0 {
+		t.Fatalf("clean shutdown recovered with warnings: %v", info.Warnings)
+	}
+	if got := rec.StateDigest(); got != wantDigest {
+		t.Fatalf("recovered digest %s != fresh digest %s", got, wantDigest)
+	}
+	for _, q := range indexQueries {
+		res, err := rec.Query(q.query)
+		if err != nil {
+			t.Fatalf("recovered %s: %v", q.name, err)
+		}
+		got := renderRows(res)
+		if fmt.Sprint(got) != fmt.Sprint(want[q.name].rows) {
+			t.Errorf("%s: recovered rows differ from fresh walk\n got: %v\nwant: %v",
+				q.name, got, want[q.name].rows)
+		}
+		exp, err := rec.Explain(q.query)
+		if err != nil {
+			t.Fatalf("recovered explain %s: %v", q.name, err)
+		}
+		if normalizeExplain(exp) != want[q.name].explain {
+			t.Errorf("%s: recovered EXPLAIN differs from fresh walk\n--- recovered ---\n%s\n--- fresh ---\n%s",
+				q.name, normalizeExplain(exp), want[q.name].explain)
+		}
+	}
+}
+
+// TestRecoveredIndexEquivalenceFromSnapshot repeats the equivalence
+// check when recovery starts from a compacted snapshot instead of a WAL
+// replay.
+func TestRecoveredIndexEquivalenceFromSnapshot(t *testing.T) {
+	fs := durableFS()
+	dir := t.TempDir()
+	fresh, _, err := idm.OpenDurable(durableConfig(dir, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fresh.AddFileSystem("filesystem", fs); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fresh.Index(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fresh.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	wantDigest := fresh.StateDigest()
+	want := map[string][]string{}
+	for _, q := range indexQueries {
+		res, err := fresh.Query(q.query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[q.name] = renderRows(res)
+	}
+	fresh.Close()
+
+	rec, info, err := idm.OpenDurable(durableConfig(dir, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec.Close()
+	if info.SnapshotSeq == 0 || info.WALRecords != 0 {
+		t.Fatalf("expected pure snapshot recovery, got %+v", info)
+	}
+	if rec.StateDigest() != wantDigest {
+		t.Fatal("snapshot recovery diverged from live state")
+	}
+	for _, q := range indexQueries {
+		res, err := rec.Query(q.query)
+		if err != nil {
+			t.Fatalf("recovered %s: %v", q.name, err)
+		}
+		if fmt.Sprint(renderRows(res)) != fmt.Sprint(want[q.name]) {
+			t.Errorf("%s: snapshot-recovered rows differ\n got: %v\nwant: %v",
+				q.name, renderRows(res), want[q.name])
+		}
+	}
+}

@@ -1,0 +1,135 @@
+package idm_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	idm "repro"
+	"repro/internal/vfs"
+)
+
+// walSegment returns the on-disk WAL segment path the store uses for a
+// source id (hex-encoded to stay filesystem-safe).
+func walSegment(dir, source string) string {
+	return filepath.Join(dir, "wal", fmt.Sprintf("seg-%x.wal", source))
+}
+
+// TestRemoveSourceDropsWALSegments is the regression test for
+// System.RemoveSource on a durable system: removing a source must drop
+// its persisted WAL segment, and a later recovery must not resurrect
+// the removed views — with or without an intervening checkpoint.
+func TestRemoveSourceDropsWALSegments(t *testing.T) {
+	otherFS := vfs.NewWithClock(fixedNow)
+	otherFS.WriteFile("/keep.txt", []byte("keeper"))
+
+	dir := t.TempDir()
+	sys, _, err := idm.OpenDurable(durableConfig(dir, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.AddFileSystem("papers", durableFS()); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.AddFileSystem("other", otherFS); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Index(); err != nil {
+		t.Fatal(err)
+	}
+	for _, src := range []string{"papers", "other"} {
+		if _, err := os.Stat(walSegment(dir, src)); err != nil {
+			t.Fatalf("no WAL segment for %s after sync: %v", src, err)
+		}
+	}
+
+	if err := sys.RemoveSource("papers"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(walSegment(dir, "papers")); !os.IsNotExist(err) {
+		t.Fatalf("RemoveSource left the papers WAL segment behind (stat err: %v)", err)
+	}
+	if _, err := os.Stat(walSegment(dir, "other")); err != nil {
+		t.Fatalf("RemoveSource deleted an unrelated segment: %v", err)
+	}
+	want := sys.StateDigest()
+	if err := sys.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Recovery must agree: only the surviving source's views come back.
+	re, info, err := idm.OpenDurable(durableConfig(dir, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if len(info.Warnings) != 0 {
+		t.Fatalf("recovery warned: %v", info.Warnings)
+	}
+	if got := re.StateDigest(); got != want {
+		t.Fatalf("recovered digest %s != pre-close digest %s", got, want)
+	}
+	res, err := re.Query(`//keep*`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("surviving source lost views: %d rows for //keep*", len(res.Rows))
+	}
+	gone, err := re.Query(`//vldb*`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gone.Rows) != 0 {
+		t.Fatalf("removed source resurrected %d views", len(gone.Rows))
+	}
+}
+
+// TestRemoveSourceAfterCheckpoint covers the harder window: the removed
+// source's views live in a snapshot (its WAL segment is already gone),
+// so only the meta-segment DropSource record keeps them from being
+// resurrected on recovery.
+func TestRemoveSourceAfterCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	sys, _, err := idm.OpenDurable(durableConfig(dir, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.AddFileSystem("papers", durableFS()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Index(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// The checkpoint already dropped the WAL; the views are snapshot-only.
+	if _, err := os.Stat(walSegment(dir, "papers")); !os.IsNotExist(err) {
+		t.Fatalf("checkpoint left a WAL segment (stat err: %v)", err)
+	}
+	if err := sys.RemoveSource("papers"); err != nil {
+		t.Fatal(err)
+	}
+	want := sys.StateDigest()
+	sys.Close()
+
+	re, info, err := idm.OpenDurable(durableConfig(dir, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if info.SnapshotSeq == 0 {
+		t.Fatalf("recovery skipped the snapshot: %+v", info)
+	}
+	if got := re.StateDigest(); got != want {
+		t.Fatalf("recovered digest %s != post-remove digest %s", got, want)
+	}
+	if info.Views != 0 {
+		t.Fatalf("snapshot views outlived the durable DropSource: %d recovered", info.Views)
+	}
+	if srcs := re.Sources(); len(srcs) != 0 {
+		t.Fatalf("removed source came back: %v", srcs)
+	}
+}

@@ -52,6 +52,7 @@ import (
 	"repro/internal/sources/mailplugin"
 	"repro/internal/sources/relplugin"
 	"repro/internal/sources/rssplugin"
+	"repro/internal/store"
 	"repro/internal/stream"
 	"repro/internal/vfs"
 )
@@ -115,6 +116,23 @@ type (
 	FaultRule = fault.Rule
 	// FaultKind classifies what a FaultRule injects.
 	FaultKind = fault.Kind
+	// SyncPolicy selects when the durable store fsyncs its write-ahead
+	// log (see docs/PERSISTENCE.md).
+	SyncPolicy = store.SyncPolicy
+	// RecoveryInfo reports what a durable open reconstructed: snapshot
+	// loaded, WAL records replayed, torn tails tolerated, warnings.
+	RecoveryInfo = store.RecoveryInfo
+)
+
+// Fsync policies for Config.Fsync.
+const (
+	// SyncOnCommit (the default) fsyncs at each sync walk's commit point
+	// (the edge-commit record) and on source drops.
+	SyncOnCommit = store.SyncOnCommit
+	// SyncAlways fsyncs after every WAL record.
+	SyncAlways = store.SyncAlways
+	// SyncNever leaves flushing to the OS (crash-unsafe; benchmarks).
+	SyncNever = store.SyncNever
 )
 
 // Fault kinds a FaultRule can inject.
@@ -210,8 +228,18 @@ type Config struct {
 	// ErrDegraded instead.
 	DegradedReads DegradedReadPolicy
 	// Faults, when set, is handed to every registered source plugin that
-	// supports fault injection (all built-in plugins do). Testing only.
+	// supports fault injection (all built-in plugins do), and to the
+	// durable store when DataDir is set. Testing only.
 	Faults *FaultInjector
+	// DataDir, when non-empty, makes the dataspace durable: replica
+	// commits are written to a checksummed write-ahead log under this
+	// directory before they are applied, and OpenDurable recovers the
+	// catalog, indexes and replicas from it after a crash or restart.
+	// Empty keeps the system fully in-memory. See docs/PERSISTENCE.md.
+	DataDir string
+	// Fsync selects the WAL flush policy (default SyncOnCommit); only
+	// meaningful with DataDir.
+	Fsync SyncPolicy
 }
 
 // DegradedReadPolicy selects query behaviour while sources are degraded.
@@ -242,6 +270,7 @@ type System struct {
 	metrics    *obs.Registry
 	met        systemMetrics
 	degraded   DegradedReadPolicy
+	store      *store.Store // nil when in-memory
 }
 
 // systemMetrics bundles the facade's own instruments (idm_* series);
@@ -267,10 +296,61 @@ func newSystemMetrics(reg *obs.Registry) systemMetrics {
 	}
 }
 
-// Open creates a System.
+// Open creates an in-memory System. Config.DataDir is ignored here —
+// use OpenDurable for a dataspace backed by the durable store.
 func Open(cfg Config) *System {
-	return open(cfg, catalog.New())
+	return open(cfg, catalog.New(), nil, nil)
 }
+
+// OpenDurable creates a System backed by the durable store rooted at
+// cfg.DataDir: the latest valid snapshot is loaded, the write-ahead-log
+// tail replayed (tolerating a torn final record), and the catalog, text
+// and tuple indexes and group replica rebuilt from the recovered graph.
+// Sources still need to be re-added; until they are re-synced, queries
+// answer from the recovered replicas exactly as they do for a degraded
+// source. The returned RecoveryInfo describes what was reconstructed.
+//
+// With an empty DataDir it degrades to Open (nil RecoveryInfo).
+func OpenDurable(cfg Config) (*System, *RecoveryInfo, error) {
+	if cfg.DataDir == "" {
+		return Open(cfg), nil, nil
+	}
+	reg := obs.NewRegistry()
+	if cfg.DisableMetrics {
+		reg.SetEnabled(false)
+	}
+	st, info, err := store.Open(cfg.DataDir, store.Options{
+		Sync:    cfg.Fsync,
+		Metrics: reg,
+		Faults:  cfg.Faults,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	state := st.State()
+	cat := catalog.Rebuild(state.NextOID, state.Entries())
+	sys := open(cfg, cat, st, reg)
+	sys.mgr.RestoreFromState(state)
+	return sys, &info, nil
+}
+
+// Close flushes and closes the durable store (a no-op for in-memory
+// systems). The System must not be used afterwards.
+func (s *System) Close() error {
+	if s.store == nil {
+		return nil
+	}
+	return s.store.Close()
+}
+
+// Checkpoint compacts the durable state into a fresh snapshot and
+// truncates the write-ahead log; a no-op for in-memory systems.
+func (s *System) Checkpoint() error { return s.mgr.Checkpoint() }
+
+// StateDigest returns the stable digest of the durable state ("" for
+// in-memory systems) — equal digests mean byte-identical recovered
+// graphs.
+func (s *System) StateDigest() string { return s.mgr.StateDigest() }
 
 // OpenWithCatalog creates a System whose Resource View Catalog is read
 // from r (previously written by SaveCatalog). OIDs stay stable across
@@ -281,10 +361,13 @@ func OpenWithCatalog(cfg Config, r io.Reader) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
-	return open(cfg, cat), nil
+	return open(cfg, cat, nil, nil), nil
 }
 
-func open(cfg Config, cat *catalog.Catalog) *System {
+// open assembles a System. st and reg are non-nil only on the durable
+// path (OpenDurable creates the registry early so the store's recovery
+// instruments land in the same registry as everything else).
+func open(cfg Config, cat *catalog.Catalog, st *store.Store, reg *obs.Registry) *System {
 	opts := rvm.DefaultOptions()
 	if cfg.ReplicateGroups != nil {
 		opts.ReplicateGroups = *cfg.ReplicateGroups
@@ -294,9 +377,12 @@ func open(cfg Config, cat *catalog.Catalog) *System {
 	opts.IndexImages = cfg.IndexImages
 	opts.Resilience = cfg.Resilience
 	opts.Faults = cfg.Faults
-	reg := obs.NewRegistry()
-	if cfg.DisableMetrics {
-		reg.SetEnabled(false)
+	opts.Store = st
+	if reg == nil {
+		reg = obs.NewRegistry()
+		if cfg.DisableMetrics {
+			reg.SetEnabled(false)
+		}
 	}
 	opts.Metrics = reg
 	mgr := rvm.NewWithCatalog(opts, cat)
@@ -319,6 +405,7 @@ func open(cfg Config, cat *catalog.Catalog) *System {
 		metrics:    reg,
 		met:        newSystemMetrics(reg),
 		degraded:   cfg.DegradedReads,
+		store:      st,
 	}
 	if !cfg.DisableQueryCache {
 		s.cache = newQueryCache(0)

@@ -144,6 +144,40 @@ func (c *Catalog) Remove(oid OID) error {
 	return nil
 }
 
+// NextOID returns the last OID handed out; persistence records it so
+// removed sources never cause OID reuse after a restart.
+func (c *Catalog) NextOID() OID {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.next
+}
+
+// Rebuild reconstructs a catalog from persisted entries — the recovery
+// path of the durability layer (internal/store). next is the last OID
+// handed out before the snapshot; it is raised to the maximum entry OID
+// if the entries run ahead of it.
+func Rebuild(next OID, entries []Entry) *Catalog {
+	c := New()
+	c.next = next
+	for i := range entries {
+		e := entries[i]
+		if e.OID > c.next {
+			c.next = e.OID
+		}
+		c.entries[e.OID] = &e
+		if e.URI != "" {
+			c.byURI[uriKey(e.Source, e.URI)] = e.OID
+		}
+		src := c.bySrc[e.Source]
+		if src == nil {
+			src = make(map[OID]struct{})
+			c.bySrc[e.Source] = src
+		}
+		src[e.OID] = struct{}{}
+	}
+	return c
+}
+
 // Count returns the number of registered entries.
 func (c *Catalog) Count() int {
 	c.mu.RLock()

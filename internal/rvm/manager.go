@@ -20,6 +20,7 @@ import (
 	"repro/internal/imageindex"
 	"repro/internal/obs"
 	"repro/internal/sources"
+	"repro/internal/store"
 	"repro/internal/stream"
 	"repro/internal/textindex"
 	"repro/internal/tupleindex"
@@ -56,6 +57,12 @@ type Options struct {
 	// Faults is the dataspace's fault injector, handed to every plugin
 	// implementing sources.FaultSetter. nil injects nothing.
 	Faults *fault.Injector
+	// Store is the durability layer: when set, every replica commit
+	// (view upserts, group-edge commits, removals) is written to its
+	// WAL before being applied in memory, and RemoveSource drops the
+	// source's persisted segments. nil keeps the dataspace in-memory
+	// only. See docs/PERSISTENCE.md.
+	Store *store.Store
 }
 
 func (o Options) withDefaults() Options {
@@ -242,6 +249,9 @@ func (m *Manager) AddSource(src sources.Source) error {
 // every view cataloged for it is removed from the catalog, indexes and
 // replicas (each removal is journaled, so the dataspace version bumps
 // and version-keyed caches invalidate), and its health state is dropped.
+// With a durability layer configured, the source's persisted WAL
+// segments are dropped too — a drop record in the meta segment ensures
+// the views never resurrect on restart, even from an older snapshot.
 func (m *Manager) RemoveSource(id string) error {
 	m.mu.Lock()
 	src, ok := m.sources[id]
@@ -257,9 +267,16 @@ func (m *Manager) RemoveSource(id string) error {
 	if err := src.Close(); err != nil {
 		obs.Logger("rvm").Debug("source close failed", "source", id, "err", err)
 	}
+	if m.opts.Store != nil {
+		if err := m.opts.Store.DropSource(id, m.catalog.NextOID()); err != nil {
+			return fmt.Errorf("rvm: dropping WAL segments of %q: %w", id, err)
+		}
+	}
 	removed := 0
 	for _, oid := range m.catalog.SourceOIDs(id) {
-		m.remove(oid)
+		if err := m.remove(oid); err != nil {
+			return err
+		}
 		removed++
 	}
 	m.met.syncRemoved.Add(int64(removed))

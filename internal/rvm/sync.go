@@ -12,6 +12,7 @@ import (
 	"repro/internal/imageindex"
 	"repro/internal/obs"
 	"repro/internal/sources"
+	"repro/internal/store"
 	"repro/internal/textindex"
 	"repro/internal/tupleindex"
 )
@@ -129,21 +130,29 @@ func (m *Manager) syncSource(id string) (SyncTiming, error) {
 		return timing, fmt.Errorf("rvm: source %q root: %w", id, err)
 	}
 
-	rootOID := w.register(root, 0, "", 0)
+	rootOID, err := w.register(root, 0, "", 0)
+	if err != nil {
+		return timing, err
+	}
 	if err := w.expandAll(root, rootOID); err != nil {
 		return timing, err
 	}
 
 	// The walk succeeded: replace the source's slice of the group
-	// replica and reverse edges with the newly observed graph.
+	// replica and reverse edges with the newly observed graph. The
+	// commit is logged to the WAL before it is applied.
 	start = time.Now()
-	w.commitReplica()
+	if err := w.commitReplica(); err != nil {
+		return timing, err
+	}
 	timing.ComponentIndexing += time.Since(start)
 
 	// Deregister views that disappeared from the source.
 	for _, oid := range m.catalog.SourceOIDs(id) {
 		if !w.seen[oid] {
-			m.remove(oid)
+			if err := m.remove(oid); err != nil {
+				return timing, err
+			}
 			timing.Removed++
 		}
 	}
@@ -242,9 +251,14 @@ type syncWalk struct {
 
 // commitReplica atomically replaces the source's slice of the group
 // replica (and the reverse edges derived from it) with the edges this
-// walk observed.
-func (w *syncWalk) commitReplica() {
+// walk observed. With a durability layer, the commit is logged to the
+// WAL (and, under the default policy, fsynced) before it is applied —
+// this record is the sync's durable commit point.
+func (w *syncWalk) commitReplica() error {
 	m := w.m
+	if err := m.logEdges(w.source, w.group); err != nil {
+		return err
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	for _, oid := range m.catalog.SourceOIDs(w.source) {
@@ -261,14 +275,17 @@ func (w *syncWalk) commitReplica() {
 			m.parentRep[coid] = appendUniqueOID(m.parentRep[coid], oid)
 		}
 	}
+	return nil
 }
 
 // register assigns (or re-finds) the OID for a view and sends its
 // component definitions to the Replica&Indexes module. It is idempotent
-// per sync.
-func (w *syncWalk) register(v core.ResourceView, parent catalog.OID, parentURI string, ordinal int) catalog.OID {
+// per sync. Added or updated views are logged to the WAL before the
+// in-memory indexes and replicas are touched; a failed log aborts the
+// sync, leaving the previous durable state the recovery target.
+func (w *syncWalk) register(v core.ResourceView, parent catalog.OID, parentURI string, ordinal int) (catalog.OID, error) {
 	if oid, done := w.viewOID[v]; done {
-		return oid
+		return oid, nil
 	}
 	m := w.m
 
@@ -314,7 +331,7 @@ func (w *syncWalk) register(v core.ResourceView, parent catalog.OID, parentURI s
 	start = time.Now()
 	stamp := modStamp(tc, contentSize)
 	prev, prevErr := m.catalog.ByURI(w.source, uri)
-	oid := m.catalog.Register(catalog.Entry{
+	ent := catalog.Entry{
 		Name:        name,
 		Class:       class,
 		Source:      w.source,
@@ -325,7 +342,9 @@ func (w *syncWalk) register(v core.ResourceView, parent catalog.OID, parentURI s
 		ContentSize: contentSize,
 		Stamp:       stamp,
 		Derived:     !base,
-	})
+	}
+	oid := m.catalog.Register(ent)
+	ent.OID = oid
 	w.timing.CatalogInsert += time.Since(start)
 
 	// --- Versioning journal (§8). ---------------------------------------
@@ -339,6 +358,16 @@ func (w *syncWalk) register(v core.ResourceView, parent catalog.OID, parentURI s
 	} else if prev.Name != name || prev.Class != class || prev.ContentSize != contentSize || prev.Stamp != stamp {
 		changed = true
 		m.history.record(ChangeRecord{Kind: ChangeUpdated, OID: oid, Source: w.source, URI: uri, Name: name})
+	}
+
+	// --- Write-ahead logging. ------------------------------------------
+	// Unchanged re-registrations are not logged: the durable state
+	// already carries this exact record (the same fingerprint rule that
+	// keeps them out of the change journal and off the broker).
+	if changed {
+		if err := m.logUpsert(w.source, ent, store.ViewRecord{Tuple: tc, Text: text, Binary: binary}); err != nil {
+			return 0, err
+		}
 	}
 
 	// --- Component indexing. -------------------------------------------
@@ -394,7 +423,7 @@ func (w *syncWalk) register(v core.ResourceView, parent catalog.OID, parentURI s
 	w.viewOID[v] = oid
 	w.seen[oid] = true
 	w.timing.Views++
-	return oid
+	return oid, nil
 }
 
 // expandAll walks the graph from root iteratively, registering every
@@ -424,7 +453,10 @@ func (w *syncWalk) expandAll(root core.ResourceView, rootOID catalog.OID) error 
 		}
 		var childOIDs []catalog.OID
 		for i, c := range children {
-			coid := w.register(c, f.oid, f.uri, i)
+			coid, err := w.register(c, f.oid, f.uri, i)
+			if err != nil {
+				return err
+			}
 			childOIDs = append(childOIDs, coid)
 			if !w.expanded[c] {
 				w.expanded[c] = true
@@ -475,8 +507,12 @@ func modStamp(tc core.TupleComponent, contentSize int64) string {
 }
 
 // remove deregisters one view from the catalog and every index/replica.
-func (m *Manager) remove(oid catalog.OID) {
+// The removal is logged to the WAL before it is applied.
+func (m *Manager) remove(oid catalog.OID) error {
 	if e, err := m.catalog.Get(oid); err == nil {
+		if err := m.logRemove(e.Source, oid); err != nil {
+			return err
+		}
 		m.history.record(ChangeRecord{Kind: ChangeRemoved, OID: oid, Source: e.Source, URI: e.URI, Name: e.Name})
 	}
 	m.catalog.Remove(oid)
@@ -504,6 +540,7 @@ func (m *Manager) remove(oid catalog.OID) {
 		m.groupRep[parent] = removeOID(m.groupRep[parent], oid)
 	}
 	delete(m.parentRep, oid)
+	return nil
 }
 
 func appendUniqueOID(list []catalog.OID, oid catalog.OID) []catalog.OID {

@@ -1,0 +1,456 @@
+// Package store is the durability layer of the Replica & Indexes module
+// (§5 of the iDM paper): an append-only, checksummed write-ahead log of
+// resource-view-graph mutations plus periodic compacted snapshots. The
+// Resource View Manager logs every replica commit here before applying
+// it, so a crash or restart recovers the dataspace to the last durable
+// prefix instead of discarding it and re-walking every source.
+//
+// Layout of a data directory:
+//
+//	<dir>/snap-<seq>.snap   compacted snapshot (atomic tmp+rename)
+//	<dir>/wal/meta.wal      global records (source drops, OID counter)
+//	<dir>/wal/seg-<hex>.wal per-source mutation segments
+//
+// Every WAL frame is [len][crc32c][payload] with the payload carrying a
+// global log sequence number (LSN), so recovery merges the per-source
+// segments back into one totally ordered mutation stream. A torn final
+// frame — the signature of a crash mid-append — is detected by the
+// checksum and truncated away with a logged warning, never a panic.
+//
+// The package is stdlib-only; see docs/PERSISTENCE.md for the format
+// diagram, the recovery protocol and the fsync policy.
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/core"
+)
+
+// Kind classifies one WAL record.
+type Kind uint8
+
+// Record kinds.
+const (
+	kindInvalid Kind = iota
+	// KindUpsert registers or updates one resource view: its catalog
+	// entry, tuple component and the text/binary content fed to the
+	// content indexes.
+	KindUpsert
+	// KindRemove deregisters one resource view.
+	KindRemove
+	// KindEdges atomically replaces a source's slice of the group
+	// replica — the buffered last-good commit of a successful sync walk.
+	KindEdges
+	// KindDropSource removes a source and every view it contributed
+	// (System.RemoveSource); logged to the meta segment because the
+	// source's own segment is deleted.
+	KindDropSource
+	// KindMeta carries the OID and LSN counters; written at snapshot
+	// time and when a source is dropped, so neither counter regresses.
+	KindMeta
+	// KindSnapshotEnd terminates a snapshot file; a snapshot without it
+	// is invalid (crash mid-write) and recovery falls back.
+	KindSnapshotEnd
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindUpsert:
+		return "upsert"
+	case KindRemove:
+		return "remove"
+	case KindEdges:
+		return "edges"
+	case KindDropSource:
+		return "drop-source"
+	case KindMeta:
+		return "meta"
+	case KindSnapshotEnd:
+		return "snapshot-end"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// ViewRecord is the durable form of one resource view: the catalog
+// entry plus the replicated components the indexes are rebuilt from.
+type ViewRecord struct {
+	Entry catalog.Entry
+	// Tuple is the replicated τ component (tuple index & replica).
+	Tuple core.TupleComponent
+	// Text is the textual content fed to the content index (the
+	// paper's "net input"), already truncated to MaxContentBytes.
+	Text string
+	// Binary is the binary content fed to the image similarity index;
+	// empty unless image indexing is on.
+	Binary []byte
+}
+
+// EdgeList is one parent's ordered children in a group-replica commit.
+type EdgeList struct {
+	Parent   catalog.OID
+	Children []catalog.OID
+}
+
+// Record is one WAL mutation.
+type Record struct {
+	Kind Kind
+	// View is set for KindUpsert.
+	View *ViewRecord
+	// OID is set for KindRemove.
+	OID catalog.OID
+	// Source is set for KindEdges and KindDropSource.
+	Source string
+	// Edges is set for KindEdges: the full replacement of the source's
+	// group edges, parents in ascending OID order.
+	Edges []EdgeList
+	// NextOID and NextLSN are set for KindMeta.
+	NextOID catalog.OID
+	NextLSN uint64
+}
+
+// MaxRecordBytes bounds one encoded record; larger frames are treated
+// as corruption. Content is capped upstream (Options.MaxContentBytes,
+// default 4 MiB), so the bound is generous.
+const MaxRecordBytes = 64 << 20
+
+var errCorrupt = errors.New("store: corrupt record")
+
+// appendUvarint/appendString are the primitive encoders; all multi-byte
+// integers in the format are uvarints except CRC and frame length.
+func appendUvarint(b []byte, v uint64) []byte { return binary.AppendUvarint(b, v) }
+func appendVarint(b []byte, v int64) []byte   { return binary.AppendVarint(b, v) }
+
+func appendString(b []byte, s string) []byte {
+	b = appendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+func appendBytes(b, p []byte) []byte {
+	b = appendUvarint(b, uint64(len(p)))
+	return append(b, p...)
+}
+
+type decoder struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (d *decoder) fail() {
+	if d.err == nil {
+		d.err = fmt.Errorf("%w at offset %d", errCorrupt, d.off)
+	}
+}
+
+func (d *decoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.b[d.off:])
+	if n <= 0 {
+		d.fail()
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *decoder) varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.b[d.off:])
+	if n <= 0 {
+		d.fail()
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *decoder) byte() byte {
+	if d.err != nil {
+		return 0
+	}
+	if d.off >= len(d.b) {
+		d.fail()
+		return 0
+	}
+	v := d.b[d.off]
+	d.off++
+	return v
+}
+
+// length reads a length prefix bounded by the remaining buffer, so a
+// corrupt (or adversarial) length can never force a huge allocation.
+func (d *decoder) length() int {
+	v := d.uvarint()
+	if d.err != nil {
+		return 0
+	}
+	if v > uint64(len(d.b)-d.off) {
+		d.fail()
+		return 0
+	}
+	return int(v)
+}
+
+func (d *decoder) string() string {
+	n := d.length()
+	if d.err != nil {
+		return ""
+	}
+	s := string(d.b[d.off : d.off+n])
+	d.off += n
+	return s
+}
+
+func (d *decoder) bytes() []byte {
+	n := d.length()
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	p := make([]byte, n)
+	copy(p, d.b[d.off:d.off+n])
+	d.off += n
+	return p
+}
+
+// encodeValue writes one atomic tuple value. Times are stored as Unix
+// seconds + nanos and reconstructed in UTC, which preserves Compare
+// semantics (and therefore index answers) across restarts.
+func encodeValue(b []byte, v core.Value) []byte {
+	b = append(b, byte(v.Kind))
+	switch v.Kind {
+	case core.DomainNull:
+	case core.DomainString:
+		b = appendString(b, v.Str)
+	case core.DomainInt:
+		b = appendVarint(b, v.Int)
+	case core.DomainFloat:
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(v.Float))
+	case core.DomainBool:
+		if v.Bool {
+			b = append(b, 1)
+		} else {
+			b = append(b, 0)
+		}
+	case core.DomainTime:
+		if v.Time.IsZero() {
+			b = append(b, 0)
+		} else {
+			b = append(b, 1)
+			b = appendVarint(b, v.Time.Unix())
+			b = appendVarint(b, int64(v.Time.Nanosecond()))
+		}
+	case core.DomainBytes:
+		b = appendBytes(b, v.Bytes)
+	}
+	return b
+}
+
+func (d *decoder) value() core.Value {
+	kind := core.Domain(d.byte())
+	switch kind {
+	case core.DomainNull:
+		return core.Value{}
+	case core.DomainString:
+		return core.String(d.string())
+	case core.DomainInt:
+		return core.Int(d.varint())
+	case core.DomainFloat:
+		if d.err != nil {
+			return core.Value{}
+		}
+		if d.off+8 > len(d.b) {
+			d.fail()
+			return core.Value{}
+		}
+		bits := binary.LittleEndian.Uint64(d.b[d.off:])
+		d.off += 8
+		return core.Float(math.Float64frombits(bits))
+	case core.DomainBool:
+		return core.Bool(d.byte() != 0)
+	case core.DomainTime:
+		if d.byte() == 0 {
+			return core.Value{Kind: core.DomainTime}
+		}
+		sec := d.varint()
+		nsec := d.varint()
+		if nsec < 0 || nsec > int64(time.Second) {
+			d.fail()
+			return core.Value{}
+		}
+		return core.Time(time.Unix(sec, nsec).UTC())
+	case core.DomainBytes:
+		return core.BytesValue(d.bytes())
+	default:
+		d.fail()
+		return core.Value{}
+	}
+}
+
+func encodeTuple(b []byte, tc core.TupleComponent) []byte {
+	n := len(tc.Schema)
+	if len(tc.Tuple) < n {
+		n = len(tc.Tuple)
+	}
+	b = appendUvarint(b, uint64(n))
+	for i := 0; i < n; i++ {
+		b = appendString(b, tc.Schema[i].Name)
+		b = append(b, byte(tc.Schema[i].Domain))
+		b = encodeValue(b, tc.Tuple[i])
+	}
+	return b
+}
+
+func (d *decoder) tuple() core.TupleComponent {
+	n := d.length() // one attribute is ≥ 3 bytes, so len bounds arity
+	if d.err != nil || n == 0 {
+		return core.TupleComponent{}
+	}
+	tc := core.TupleComponent{
+		Schema: make(core.Schema, 0, n),
+		Tuple:  make(core.Tuple, 0, n),
+	}
+	for i := 0; i < n && d.err == nil; i++ {
+		name := d.string()
+		dom := core.Domain(d.byte())
+		v := d.value()
+		tc.Schema = append(tc.Schema, core.Attribute{Name: name, Domain: dom})
+		tc.Tuple = append(tc.Tuple, v)
+	}
+	return tc
+}
+
+func encodeEntry(b []byte, e catalog.Entry) []byte {
+	b = appendUvarint(b, uint64(e.OID))
+	b = appendString(b, e.Name)
+	b = appendString(b, e.Class)
+	b = appendString(b, e.Source)
+	b = appendString(b, e.URI)
+	b = appendUvarint(b, uint64(e.Parent))
+	var flags byte
+	if e.HasTuple {
+		flags |= 1
+	}
+	if e.HasContent {
+		flags |= 2
+	}
+	if e.Derived {
+		flags |= 4
+	}
+	b = append(b, flags)
+	b = appendVarint(b, e.ContentSize)
+	b = appendString(b, e.Stamp)
+	return b
+}
+
+func (d *decoder) entry() catalog.Entry {
+	var e catalog.Entry
+	e.OID = catalog.OID(d.uvarint())
+	e.Name = d.string()
+	e.Class = d.string()
+	e.Source = d.string()
+	e.URI = d.string()
+	e.Parent = catalog.OID(d.uvarint())
+	flags := d.byte()
+	e.HasTuple = flags&1 != 0
+	e.HasContent = flags&2 != 0
+	e.Derived = flags&4 != 0
+	e.ContentSize = d.varint()
+	e.Stamp = d.string()
+	return e
+}
+
+// EncodeRecord serializes a record (without its frame) deterministically:
+// re-encoding a decoded record yields identical bytes, which is what the
+// crash-matrix's byte-equality assertions rely on.
+func EncodeRecord(b []byte, rec Record) ([]byte, error) {
+	b = append(b, byte(rec.Kind))
+	switch rec.Kind {
+	case KindUpsert:
+		if rec.View == nil {
+			return b, errors.New("store: upsert record without view")
+		}
+		b = encodeEntry(b, rec.View.Entry)
+		b = encodeTuple(b, rec.View.Tuple)
+		b = appendString(b, rec.View.Text)
+		b = appendBytes(b, rec.View.Binary)
+	case KindRemove:
+		b = appendUvarint(b, uint64(rec.OID))
+	case KindEdges:
+		b = appendString(b, rec.Source)
+		b = appendUvarint(b, uint64(len(rec.Edges)))
+		for _, el := range rec.Edges {
+			b = appendUvarint(b, uint64(el.Parent))
+			b = appendUvarint(b, uint64(len(el.Children)))
+			for _, c := range el.Children {
+				b = appendUvarint(b, uint64(c))
+			}
+		}
+	case KindDropSource:
+		b = appendString(b, rec.Source)
+	case KindMeta:
+		b = appendUvarint(b, uint64(rec.NextOID))
+		b = appendUvarint(b, rec.NextLSN)
+	case KindSnapshotEnd:
+	default:
+		return b, fmt.Errorf("store: cannot encode kind %s", rec.Kind)
+	}
+	return b, nil
+}
+
+// DecodeRecord parses one record previously written by EncodeRecord. It
+// never panics and never allocates more than the input's length, however
+// corrupt the bytes are.
+func DecodeRecord(b []byte) (Record, error) {
+	d := &decoder{b: b}
+	rec := Record{Kind: Kind(d.byte())}
+	switch rec.Kind {
+	case KindUpsert:
+		v := &ViewRecord{}
+		v.Entry = d.entry()
+		v.Tuple = d.tuple()
+		v.Text = d.string()
+		v.Binary = d.bytes()
+		rec.View = v
+	case KindRemove:
+		rec.OID = catalog.OID(d.uvarint())
+	case KindEdges:
+		rec.Source = d.string()
+		n := d.length() // each edge list is ≥ 2 bytes
+		rec.Edges = make([]EdgeList, 0, n)
+		for i := 0; i < n && d.err == nil; i++ {
+			el := EdgeList{Parent: catalog.OID(d.uvarint())}
+			cn := d.length()
+			el.Children = make([]catalog.OID, 0, cn)
+			for j := 0; j < cn && d.err == nil; j++ {
+				el.Children = append(el.Children, catalog.OID(d.uvarint()))
+			}
+			rec.Edges = append(rec.Edges, el)
+		}
+	case KindDropSource:
+		rec.Source = d.string()
+	case KindMeta:
+		rec.NextOID = catalog.OID(d.uvarint())
+		rec.NextLSN = d.uvarint()
+	case KindSnapshotEnd:
+	default:
+		d.fail()
+	}
+	if d.err != nil {
+		return Record{}, d.err
+	}
+	if d.off != len(b) {
+		return Record{}, fmt.Errorf("%w: %d trailing bytes", errCorrupt, len(b)-d.off)
+	}
+	return rec, nil
+}

@@ -1,0 +1,178 @@
+package store
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/core"
+)
+
+// sampleRecords covers every record kind and every tuple value domain.
+func sampleRecords() []Record {
+	tc := core.TupleComponent{
+		Schema: core.Schema{
+			{Name: "name", Domain: core.DomainString},
+			{Name: "size", Domain: core.DomainInt},
+			{Name: "ratio", Domain: core.DomainFloat},
+			{Name: "hidden", Domain: core.DomainBool},
+			{Name: "lastmodified", Domain: core.DomainTime},
+			{Name: "blob", Domain: core.DomainBytes},
+			{Name: "missing", Domain: core.DomainNull},
+		},
+		Tuple: core.Tuple{
+			core.String("vldb.tex"),
+			core.Int(4242),
+			core.Float(0.75),
+			core.Bool(true),
+			core.Time(time.Date(2005, 6, 12, 9, 30, 0, 123456789, time.UTC)),
+			core.BytesValue([]byte{0, 1, 2, 0xff}),
+			core.Value{},
+		},
+	}
+	return []Record{
+		{Kind: KindUpsert, View: &ViewRecord{
+			Entry: catalog.Entry{
+				OID: 7, Name: "vldb.tex", Class: "file", Source: "fs",
+				URI: "/papers/vldb.tex", Parent: 3, HasTuple: true,
+				HasContent: true, ContentSize: 4242, Stamp: "sz:4242",
+			},
+			Tuple:  tc,
+			Text:   "dataspaces vision",
+			Binary: []byte{9, 8, 7},
+		}},
+		{Kind: KindUpsert, View: &ViewRecord{
+			Entry: catalog.Entry{OID: 8, Source: "fs", URI: "/x", ContentSize: -1, Derived: true},
+		}},
+		{Kind: KindRemove, OID: 7},
+		{Kind: KindEdges, Source: "fs", Edges: []EdgeList{
+			{Parent: 1, Children: []catalog.OID{2, 3}},
+			{Parent: 3, Children: []catalog.OID{7}},
+		}},
+		{Kind: KindEdges, Source: "empty"},
+		{Kind: KindDropSource, Source: "fs"},
+		{Kind: KindMeta, NextOID: 99, NextLSN: 1234},
+		{Kind: KindSnapshotEnd},
+	}
+}
+
+func TestRecordRoundtrip(t *testing.T) {
+	for _, rec := range sampleRecords() {
+		b, err := EncodeRecord(nil, rec)
+		if err != nil {
+			t.Fatalf("encode %s: %v", rec.Kind, err)
+		}
+		got, err := DecodeRecord(b)
+		if err != nil {
+			t.Fatalf("decode %s: %v", rec.Kind, err)
+		}
+		// Re-encoding the decoded record must yield identical bytes —
+		// the determinism the crash-matrix digests rely on.
+		b2, err := EncodeRecord(nil, got)
+		if err != nil {
+			t.Fatalf("re-encode %s: %v", rec.Kind, err)
+		}
+		if !bytes.Equal(b, b2) {
+			t.Errorf("%s: re-encode differs\n first: %x\nsecond: %x", rec.Kind, b, b2)
+		}
+		if rec.Kind == KindUpsert {
+			if got.View.Entry != rec.View.Entry {
+				t.Errorf("entry roundtrip: got %+v want %+v", got.View.Entry, rec.View.Entry)
+			}
+			if got.View.Text != rec.View.Text {
+				t.Errorf("text roundtrip: got %q want %q", got.View.Text, rec.View.Text)
+			}
+			for i, v := range rec.View.Tuple.Tuple {
+				g := got.View.Tuple.Tuple[i]
+				if g.Kind != v.Kind {
+					t.Errorf("tuple value %d kind: got %v want %v", i, g.Kind, v.Kind)
+				}
+				if c, err := core.Compare(g, v); err == nil && c != 0 {
+					t.Errorf("tuple value %d: got %v want %v", i, g, v)
+				}
+			}
+		}
+	}
+}
+
+func TestRecordDecodeRejectsTrailing(t *testing.T) {
+	b, err := EncodeRecord(nil, Record{Kind: KindRemove, OID: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeRecord(append(b, 0)); err == nil {
+		t.Fatal("decode accepted trailing bytes")
+	}
+}
+
+func TestRecordDecodeCorruptNeverPanics(t *testing.T) {
+	for _, rec := range sampleRecords() {
+		b, err := EncodeRecord(nil, rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Truncate at every length and flip every byte: decode must
+		// either succeed or return an error, never panic or over-allocate.
+		for n := 0; n < len(b); n++ {
+			DecodeRecord(b[:n])
+		}
+		for i := range b {
+			mut := append([]byte(nil), b...)
+			mut[i] ^= 0xff
+			DecodeRecord(mut)
+		}
+	}
+}
+
+func TestStateApplyAndCanonicalOrder(t *testing.T) {
+	st := NewState()
+	for _, rec := range []Record{
+		{Kind: KindUpsert, View: &ViewRecord{Entry: catalog.Entry{OID: 2, Source: "b", URI: "/2"}}},
+		{Kind: KindUpsert, View: &ViewRecord{Entry: catalog.Entry{OID: 1, Source: "a", URI: "/1"}}},
+		{Kind: KindEdges, Source: "a", Edges: []EdgeList{{Parent: 1, Children: []catalog.OID{2}}}},
+	} {
+		st.Apply(rec)
+	}
+	// A state reached by a different mutation order serializes identically.
+	st2 := NewState()
+	for _, rec := range []Record{
+		{Kind: KindUpsert, View: &ViewRecord{Entry: catalog.Entry{OID: 1, Source: "a", URI: "/old"}}},
+		{Kind: KindUpsert, View: &ViewRecord{Entry: catalog.Entry{OID: 1, Source: "a", URI: "/1"}}},
+		{Kind: KindEdges, Source: "a", Edges: []EdgeList{{Parent: 9, Children: []catalog.OID{1}}}},
+		{Kind: KindEdges, Source: "a", Edges: []EdgeList{{Parent: 1, Children: []catalog.OID{2}}}},
+		{Kind: KindUpsert, View: &ViewRecord{Entry: catalog.Entry{OID: 2, Source: "b", URI: "/2"}}},
+	} {
+		st2.Apply(rec)
+	}
+	if st.Digest() != st2.Digest() {
+		t.Fatalf("equal states digest differently:\n%s\n%s", st.Digest(), st2.Digest())
+	}
+	if st.NextOID != 2 {
+		t.Fatalf("NextOID = %d, want 2", st.NextOID)
+	}
+
+	// Remove scrubs the view from its source's edges.
+	st.Apply(Record{Kind: KindRemove, OID: 2})
+	if _, ok := st.Views[2]; ok {
+		t.Fatal("removed view still present")
+	}
+	st.Apply(Record{Kind: KindUpsert, View: &ViewRecord{Entry: catalog.Entry{OID: 3, Source: "a", URI: "/3"}}})
+	st.Apply(Record{Kind: KindDropSource, Source: "a"})
+	if len(st.Views) != 0 || len(st.Edges) != 0 {
+		t.Fatalf("drop source left views=%d edges=%d", len(st.Views), len(st.Edges))
+	}
+	if st.NextOID != 3 {
+		t.Fatalf("NextOID regressed to %d after drop", st.NextOID)
+	}
+
+	clone := st.Clone()
+	if clone.Digest() != st.Digest() {
+		t.Fatal("clone digest differs")
+	}
+	entries := st.Entries()
+	if !reflect.DeepEqual(entries, []catalog.Entry{}) && len(entries) != 0 {
+		t.Fatalf("entries of empty state: %v", entries)
+	}
+}

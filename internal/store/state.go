@@ -1,0 +1,185 @@
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"sort"
+
+	"repro/internal/catalog"
+)
+
+// State is the durable resource-view graph: exactly what a recovery
+// reconstructs and what a snapshot compacts. The store maintains it as a
+// shadow of the manager's replicas — every appended record is also
+// applied here — so a snapshot never has to consult the live manager,
+// and the crash-matrix can compare a recovered state byte-for-byte
+// against a reference run via Serialize.
+type State struct {
+	// NextOID mirrors the catalog's OID counter (the last OID handed
+	// out), so removed sources never cause OID reuse.
+	NextOID catalog.OID
+	// Views holds every registered view keyed by OID.
+	Views map[catalog.OID]*ViewRecord
+	// Edges holds the group replica per source: parent → ordered
+	// children. Group edges never cross sources (a sync walk registers
+	// every reachable view under its own source).
+	Edges map[string]map[catalog.OID][]catalog.OID
+}
+
+// NewState returns an empty state.
+func NewState() *State {
+	return &State{
+		Views: make(map[catalog.OID]*ViewRecord),
+		Edges: make(map[string]map[catalog.OID][]catalog.OID),
+	}
+}
+
+// Apply folds one record into the state. Replaying a WAL is exactly
+// repeated Apply in LSN order; the store also Applies each record as it
+// is appended, keeping the shadow state equal to what a recovery of the
+// current directory would produce.
+func (st *State) Apply(rec Record) {
+	switch rec.Kind {
+	case KindUpsert:
+		v := *rec.View
+		st.Views[v.Entry.OID] = &v
+		if v.Entry.OID > st.NextOID {
+			st.NextOID = v.Entry.OID
+		}
+	case KindRemove:
+		v, ok := st.Views[rec.OID]
+		if !ok {
+			return
+		}
+		delete(st.Views, rec.OID)
+		if edges := st.Edges[v.Entry.Source]; edges != nil {
+			delete(edges, rec.OID)
+			for parent, children := range edges {
+				edges[parent] = removeOID(children, rec.OID)
+				if len(edges[parent]) == 0 {
+					delete(edges, parent)
+				}
+			}
+			if len(edges) == 0 {
+				delete(st.Edges, v.Entry.Source)
+			}
+		}
+	case KindEdges:
+		if len(rec.Edges) == 0 {
+			delete(st.Edges, rec.Source)
+			return
+		}
+		m := make(map[catalog.OID][]catalog.OID, len(rec.Edges))
+		for _, el := range rec.Edges {
+			m[el.Parent] = append([]catalog.OID(nil), el.Children...)
+		}
+		st.Edges[rec.Source] = m
+	case KindDropSource:
+		for oid, v := range st.Views {
+			if v.Entry.Source == rec.Source {
+				delete(st.Views, oid)
+			}
+		}
+		delete(st.Edges, rec.Source)
+	case KindMeta:
+		if rec.NextOID > st.NextOID {
+			st.NextOID = rec.NextOID
+		}
+	}
+}
+
+func removeOID(list []catalog.OID, oid catalog.OID) []catalog.OID {
+	out := list[:0]
+	for _, o := range list {
+		if o != oid {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// Records flattens the state into its canonical record sequence: one
+// Meta record, every view in ascending OID order, then every source's
+// edges in sorted source order with parents ascending. Child order is
+// preserved — it carries the group sequence semantics. Snapshots write
+// exactly this sequence, and Serialize hashes it.
+func (st *State) Records() []Record {
+	recs := make([]Record, 0, len(st.Views)+len(st.Edges)+1)
+	recs = append(recs, Record{Kind: KindMeta, NextOID: st.NextOID})
+	oids := make([]catalog.OID, 0, len(st.Views))
+	for oid := range st.Views {
+		oids = append(oids, oid)
+	}
+	sort.Slice(oids, func(i, j int) bool { return oids[i] < oids[j] })
+	for _, oid := range oids {
+		recs = append(recs, Record{Kind: KindUpsert, View: st.Views[oid]})
+	}
+	srcs := make([]string, 0, len(st.Edges))
+	for src := range st.Edges {
+		srcs = append(srcs, src)
+	}
+	sort.Strings(srcs)
+	for _, src := range srcs {
+		edges := st.Edges[src]
+		parents := make([]catalog.OID, 0, len(edges))
+		for p := range edges {
+			parents = append(parents, p)
+		}
+		sort.Slice(parents, func(i, j int) bool { return parents[i] < parents[j] })
+		rec := Record{Kind: KindEdges, Source: src}
+		for _, p := range parents {
+			rec.Edges = append(rec.Edges, EdgeList{Parent: p, Children: edges[p]})
+		}
+		recs = append(recs, rec)
+	}
+	return recs
+}
+
+// Serialize renders the state as a stable byte string: equal states
+// always serialize identically, whatever mutation order produced them.
+// The crash-matrix and recovery-equivalence tests compare these bytes.
+func (st *State) Serialize() []byte {
+	var b []byte
+	b = append(b, "IDMSTATE1\n"...)
+	for _, rec := range st.Records() {
+		b = appendUvarint(b, 0) // no LSN in the canonical form
+		b, _ = EncodeRecord(b, rec)
+	}
+	return b
+}
+
+// Digest returns the SHA-256 of Serialize in hex — a cheap equality
+// witness for "recovered graph ≡ reference graph".
+func (st *State) Digest() string {
+	sum := sha256.Sum256(st.Serialize())
+	return hex.EncodeToString(sum[:])
+}
+
+// Clone returns a deep copy of the state.
+func (st *State) Clone() *State {
+	out := NewState()
+	out.NextOID = st.NextOID
+	for oid, v := range st.Views {
+		c := *v
+		out.Views[oid] = &c
+	}
+	for src, edges := range st.Edges {
+		m := make(map[catalog.OID][]catalog.OID, len(edges))
+		for p, cs := range edges {
+			m[p] = append([]catalog.OID(nil), cs...)
+		}
+		out.Edges[src] = m
+	}
+	return out
+}
+
+// Entries returns every catalog entry in ascending OID order — the
+// persisted name→OID mappings the catalog is rebuilt from.
+func (st *State) Entries() []catalog.Entry {
+	out := make([]catalog.Entry, 0, len(st.Views))
+	for _, v := range st.Views {
+		out = append(out, v.Entry)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].OID < out[j].OID })
+	return out
+}

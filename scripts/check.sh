@@ -21,6 +21,13 @@ go test -race -run 'Obs|Trace|Metrics|Scrape' .
 # first for attributable failure; ./... repeats them below.
 echo '>> go test -race -run "Fault|SourceDown|FailClosed|StaleResults|Differential|Resilience" . ./internal/fault ./internal/sources ./internal/iql (resilience gate)'
 go test -race -run 'Fault|SourceDown|FailClosed|StaleResults|Differential|Resilience' . ./internal/fault ./internal/sources ./internal/iql
+# Store gate: the durable-store package (WAL/snapshot/recovery units)
+# and the root-level crash-matrix + corruption + recovered-index suites
+# run first for attributable failure; ./... repeats them below.
+echo '>> go test -race ./internal/store (store gate)'
+go test -race ./internal/store
+echo '>> go test -race -run "Crash|Corruption|Recovered|RemoveSource" . (durability gate)'
+go test -race -run 'Crash|Corruption|Recovered|RemoveSource' .
 echo '>> go test -race ./...'
 go test -race ./...
 echo 'check: OK'
