@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check test build vet bench-iql obs-bench fuzz-smoke
+.PHONY: check test build vet bench bench-iql obs-bench fuzz-smoke
 
 # Full verification: vet + build + race-enabled tests.
 check:
@@ -28,11 +28,18 @@ fuzz-smoke:
 	$(GO) test ./internal/store -run '^$$' -fuzz '^FuzzWALDecode$$' -fuzztime 30s
 	$(GO) test ./internal/store -run '^$$' -fuzz '^FuzzSnapshotLoad$$' -fuzztime 30s
 
-# Regenerate BENCH_iql.json (serial vs parallel engine microbenchmark
-# plus the obs_overhead instrumentation-cost section; schema_version 2,
-# see internal/experiments.BenchReport).
+# Planner regression gate: run the three-lane benchmark (serial,
+# forced-parallel, planner-adaptive) at the evaluation scale and at 10×,
+# and fail if the adaptive planner falls below 0.95× of serial on any
+# query — the planner must never lose to the strategy it replaces.
+bench:
+	$(GO) run ./cmd/idmbench -exp iql -scale 0.05 -runs 10 -parallelism 8 -obsreps 0 -tenx -minspeedup 0.95
+
+# Regenerate BENCH_iql.json (three-lane engine microbenchmark at base
+# and 10x scale plus the obs_overhead instrumentation-cost section;
+# schema_version 3, see internal/experiments.BenchReport).
 bench-iql:
-	$(GO) run ./cmd/idmbench -exp iql -scale 0.05 -runs 10 -parallelism 8 -json BENCH_iql.json
+	$(GO) run ./cmd/idmbench -exp iql -scale 0.05 -runs 10 -parallelism 8 -tenx -minspeedup 0.95 -json BENCH_iql.json
 
 # Re-measure only the observability overhead (obs_overhead section of
 # BENCH_iql.json; target: mean disabled overhead <= 2%, see

@@ -5,12 +5,16 @@
 // Usage:
 //
 //	idmbench [-exp all|table2|table3|figure5|table4|figure6|iql] [-scale 0.05] [-seed 42] [-runs 5]
-//	         [-json BENCH_iql.json] [-parallelism N] [-obsreps 3]
+//	         [-json BENCH_iql.json] [-parallelism N] [-obsreps 3] [-tenx] [-minspeedup X]
 //
-// -json writes the serial-vs-parallel iQL engine microbenchmark
-// (experiments.BenchReport, schema_version 2) to the given path,
-// including the obs_overhead section that compares instrumented vs
-// uninstrumented ns/op (-obsreps 0 skips it).
+// -json writes the iQL engine microbenchmark (experiments.BenchReport,
+// schema_version 3: serial vs forced-parallel vs planner-adaptive, with
+// the adaptive planner's strategy and estimated-vs-actual rows per
+// query) to the given path, including the obs_overhead section that
+// compares instrumented vs uninstrumented ns/op (-obsreps 0 skips it).
+// -tenx adds the scale_10x section (the same measurement at 10× -scale).
+// -minspeedup fails the run (exit 1) if any query's adaptive speedup
+// over serial falls below the threshold — the planner regression gate.
 //
 // See EXPERIMENTS.md for the paper-vs-measured comparison.
 package main
@@ -20,6 +24,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"repro/internal/experiments"
 	"repro/internal/iql"
@@ -31,9 +36,11 @@ func main() {
 	seed := flag.Int64("seed", 42, "generator seed")
 	runs := flag.Int("runs", 5, "warm-cache repetitions per query (figure 6)")
 	expansion := flag.String("expansion", "forward", "path evaluation: forward|backward|auto")
-	jsonPath := flag.String("json", "", "write the serial-vs-parallel iQL benchmark report to this path")
-	parallelism := flag.Int("parallelism", 0, "engine worker count for the parallel half of -json (0 = GOMAXPROCS)")
+	jsonPath := flag.String("json", "", "write the iQL benchmark report to this path")
+	parallelism := flag.Int("parallelism", 0, "engine worker count for the parallel lane of -json (0 = GOMAXPROCS)")
 	obsReps := flag.Int("obsreps", 3, "min-of-N repetitions for the obs_overhead section of -json (0 = skip)")
+	tenx := flag.Bool("tenx", false, "additionally measure the iQL benchmark at 10x -scale (scale_10x section)")
+	minSpeedup := flag.Float64("minspeedup", 0, "fail unless every query's adaptive speedup over serial is at least this (0 = no gate)")
 	flag.Parse()
 
 	strategy := iql.ForwardExpansion
@@ -45,6 +52,21 @@ func main() {
 		strategy = iql.AutoExpansion
 	default:
 		fail(fmt.Errorf("unknown expansion %q", *expansion))
+	}
+
+	// A worker count above GOMAXPROCS would record a benchmark the
+	// scheduler cannot actually run: raise GOMAXPROCS to match so the
+	// "parallel" lane really is parallel, and warn when the hardware
+	// cannot back it (the adaptive lane will then plan serially, which
+	// is the planner working as intended, not a measurement error).
+	if *parallelism > runtime.GOMAXPROCS(0) {
+		runtime.GOMAXPROCS(*parallelism)
+	}
+	if *parallelism > runtime.NumCPU() {
+		fmt.Fprintf(os.Stderr,
+			"idmbench: warning: -parallelism %d exceeds the machine's %d CPU core(s); "+
+				"forced-parallel numbers will show scheduling overhead, not speedup\n",
+			*parallelism, runtime.NumCPU())
 	}
 
 	want := func(name string) bool { return *exp == "all" || *exp == name }
@@ -100,9 +122,15 @@ func main() {
 			if err != nil {
 				fail(err)
 			}
-			for _, q := range rep.Queries {
-				fmt.Printf("%-3s serial %10d ns/op  parallel(%d) %10d ns/op  speedup %.2fx  results %d\n",
-					q.ID, q.Serial.NsPerOp, rep.Parallelism, q.Parallel.NsPerOp, q.Speedup, q.Serial.Results)
+			printQueries(rep.Queries, rep.Parallelism)
+			if *tenx {
+				sec, err := experiments.BenchIQLAtScale(*scale*10, *seed, *runs, *parallelism)
+				if err != nil {
+					fail(err)
+				}
+				rep.Scale10x = sec
+				fmt.Printf("--- scale %g (10x) ---\n", sec.Scale)
+				printQueries(sec.Queries, rep.Parallelism)
 			}
 			if *obsReps > 0 {
 				oo, err := experiments.BenchObsOverhead(s, *runs, *obsReps)
@@ -127,8 +155,48 @@ func main() {
 				}
 				fmt.Printf("wrote %s\n", *jsonPath)
 			}
+			if *minSpeedup > 0 {
+				if err := gateSpeedup(rep, *minSpeedup); err != nil {
+					fail(err)
+				}
+				fmt.Printf("planner gate passed: adaptive speedup >= %.2f on every query\n", *minSpeedup)
+			}
 		}
 	}
+}
+
+// printQueries prints one line per measured query, including the
+// adaptive lane and its planner decision.
+func printQueries(queries []experiments.BenchQuery, parallelism int) {
+	for _, q := range queries {
+		fmt.Printf("%-3s serial %10d ns/op  parallel(%d) %10d ns/op (%.2fx)  adaptive %10d ns/op (%.2fx)  "+
+			"plan %s est %d actual %d\n",
+			q.ID, q.Serial.NsPerOp, parallelism, q.Parallel.NsPerOp, q.Speedup,
+			q.Adaptive.NsPerOp, q.AdaptiveSpeedup,
+			q.Planner.Strategy, q.Planner.EstimatedRows, q.Planner.ActualRows)
+	}
+}
+
+// gateSpeedup fails when any query — at the base scale or in the 10×
+// section — ran slower under the adaptive planner than the given
+// fraction of serial time.
+func gateSpeedup(rep *experiments.BenchReport, min float64) error {
+	var bad []string
+	check := func(label string, queries []experiments.BenchQuery) {
+		for _, q := range queries {
+			if q.AdaptiveSpeedup < min {
+				bad = append(bad, fmt.Sprintf("%s%s %.2fx", label, q.ID, q.AdaptiveSpeedup))
+			}
+		}
+	}
+	check("", rep.Queries)
+	if rep.Scale10x != nil {
+		check("10x:", rep.Scale10x.Queries)
+	}
+	if len(bad) > 0 {
+		return fmt.Errorf("adaptive speedup below %.2f: %v", min, bad)
+	}
+	return nil
 }
 
 func fail(err error) {

@@ -197,6 +197,14 @@ type Config struct {
 	// runtime.GOMAXPROCS(0); 1 forces serial execution). Results are
 	// identical at any setting.
 	Parallelism int
+	// RulePlanner reverts the iQL engine to the legacy rule-based
+	// planner (fixed parallelism, anchor choice by raw candidate
+	// counts). The default is the cost-based adaptive planner, which
+	// consults catalog and index statistics to choose serial vs
+	// parallel per stage, pick expansion direction and join build
+	// sides, and elide residual filters on index-covered steps.
+	// Results are identical under either planner.
+	RulePlanner bool
 	// Now supplies the clock for iQL date functions (default time.Now).
 	Now func() time.Time
 	// MaxContentBytes bounds per-view content indexing (default 4 MiB).
@@ -266,6 +274,7 @@ type System struct {
 	converters *convert.Registry
 	now        func() time.Time
 	par        int
+	planner    iql.PlannerMode
 	cache      *queryCache // nil when disabled
 	metrics    *obs.Registry
 	met        systemMetrics
@@ -295,6 +304,11 @@ func newSystemMetrics(reg *obs.Registry) systemMetrics {
 		staleQueries: reg.Counter("idm_stale_queries_total"),
 	}
 }
+
+// The manager implements the statistics surface the cost-based planner
+// consults; without it the adaptive planner falls back to rule-based
+// decisions.
+var _ iql.StatsProvider = (*rvm.Manager)(nil)
 
 // Open creates an in-memory System. Config.DataDir is ignored here —
 // use OpenDurable for a dataspace backed by the durable store.
@@ -390,10 +404,15 @@ func open(cfg Config, cat *catalog.Catalog, st *store.Store, reg *obs.Registry) 
 	if now == nil {
 		now = time.Now
 	}
+	planner := iql.PlannerAdaptive
+	if cfg.RulePlanner {
+		planner = iql.PlannerRule
+	}
 	engine := iql.NewEngine(mgr, iql.Options{
 		Expansion:   cfg.Expansion,
 		Now:         now,
 		Parallelism: cfg.Parallelism,
+		Planner:     planner,
 		Metrics:     reg,
 	})
 	s := &System{
@@ -402,6 +421,7 @@ func open(cfg Config, cat *catalog.Catalog, st *store.Store, reg *obs.Registry) 
 		converters: convert.Default(),
 		now:        now,
 		par:        cfg.Parallelism,
+		planner:    planner,
 		metrics:    reg,
 		met:        newSystemMetrics(reg),
 		degraded:   cfg.DegradedReads,
@@ -578,7 +598,7 @@ func (s *System) IndexTraced() (SyncReport, *obs.Trace, error) {
 // QueryWith evaluates with an explicit expansion strategy, overriding
 // the system default for this query.
 func (s *System) QueryWith(q string, exp Expansion) (*Result, error) {
-	engine := iql.NewEngine(s.mgr, iql.Options{Expansion: exp, Now: s.now, Parallelism: s.par})
+	engine := iql.NewEngine(s.mgr, iql.Options{Expansion: exp, Now: s.now, Parallelism: s.par, Planner: s.planner})
 	r, err := engine.Query(q)
 	if err != nil {
 		return nil, err
@@ -652,7 +672,7 @@ func (s *System) Delete(stmt string) (int, error) {
 // summed content-occurrence counts of the query's phrases. The result's
 // Scores align with Rows.
 func (s *System) QueryRanked(q string) (*Result, error) {
-	engine := iql.NewEngine(s.mgr, iql.Options{Now: s.now, Rank: true, Parallelism: s.par})
+	engine := iql.NewEngine(s.mgr, iql.Options{Now: s.now, Rank: true, Parallelism: s.par, Planner: s.planner})
 	r, err := engine.Query(q)
 	if err != nil {
 		return nil, err

@@ -234,6 +234,11 @@ type SourceStats struct {
 	DerivedByClassPrefix map[string]int
 	// ContentBytes sums the known content sizes of base views.
 	ContentBytes int64
+	// Views is the total view count of the source (Base + Derived) —
+	// the per-source cardinality the query planner consumes.
+	Views int
+	// Classes counts the distinct classes among the source's views.
+	Classes int
 }
 
 // StatsFor computes per-source statistics.
@@ -241,8 +246,12 @@ func (c *Catalog) StatsFor(source string) SourceStats {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	st := SourceStats{DerivedByClassPrefix: make(map[string]int)}
+	classes := make(map[string]struct{})
 	for oid := range c.bySrc[source] {
 		e := c.entries[oid]
+		if e.Class != "" {
+			classes[e.Class] = struct{}{}
+		}
 		if e.Derived {
 			st.Derived++
 			st.DerivedByClassPrefix[classPrefix(e.Class)]++
@@ -253,6 +262,8 @@ func (c *Catalog) StatsFor(source string) SourceStats {
 			}
 		}
 	}
+	st.Views = st.Base + st.Derived
+	st.Classes = len(classes)
 	return st
 }
 

@@ -66,34 +66,49 @@ func differentialStore(seed int64, n int) *fakeStore {
 	return f
 }
 
-// diffEngines builds serial (Parallelism 1) and parallel (Parallelism 8)
-// engines for every expansion strategy over f.
-func diffEngines(f *fakeStore) map[string][2]*Engine {
-	out := make(map[string][2]*Engine)
+// diffLanes labels the three execution lanes the differential property
+// compares: serial (rule planner, Parallelism 1), forced-parallel (rule
+// planner, Parallelism 8), and planner-adaptive (cost-based planner,
+// Parallelism 8, with PlannerProcs 4 so parallel plans stay reachable
+// on single-core CI machines the adaptive planner would otherwise
+// serialize).
+var diffLanes = [3]string{"serial", "parallel", "adaptive"}
+
+// diffEngines builds the three lanes for every expansion strategy over
+// f. The fakeStore implements StatsProvider, so the adaptive lane
+// exercises estimate-driven direction choice, union ordering, join
+// build-side selection and residual-filter elision.
+func diffEngines(f *fakeStore) map[string][3]*Engine {
+	out := make(map[string][3]*Engine)
 	for name, exp := range map[string]Expansion{
 		"forward": ForwardExpansion, "backward": BackwardExpansion, "auto": AutoExpansion,
 	} {
-		out[name] = [2]*Engine{
+		out[name] = [3]*Engine{
 			NewEngine(f, Options{Expansion: exp, Now: fixedNow, Parallelism: 1}),
 			NewEngine(f, Options{Expansion: exp, Now: fixedNow, Parallelism: 8}),
+			NewEngine(f, Options{Expansion: exp, Now: fixedNow, Parallelism: 8,
+				Planner: PlannerAdaptive, PlannerProcs: 4}),
 		}
 	}
 	return out
 }
 
-// diffOne runs q on the serial and parallel engines and fails unless
-// both agree on error status and, when successful, on exact rows.
-func diffOne(t *testing.T, label, q string, serial, parallel *Engine) {
+// diffOne runs q on every lane and fails unless all lanes agree with
+// the serial baseline on error status and, when successful, on exact
+// rows.
+func diffOne(t *testing.T, label, q string, lanes [3]*Engine) {
 	t.Helper()
-	rs, errS := serial.Query(q)
-	rp, errP := parallel.Query(q)
-	if (errS == nil) != (errP == nil) {
-		t.Fatalf("%s: %q: serial err = %v, parallel err = %v", label, q, errS, errP)
+	rs, errS := lanes[0].Query(q)
+	for i := 1; i < len(lanes); i++ {
+		r, err := lanes[i].Query(q)
+		if (errS == nil) != (err == nil) {
+			t.Fatalf("%s: %q: serial err = %v, %s err = %v", label, q, errS, diffLanes[i], err)
+		}
+		if errS != nil {
+			continue
+		}
+		requireSameResult(t, label+" "+diffLanes[i]+" "+q, rs, r)
 	}
-	if errS != nil {
-		return
-	}
-	requireSameResult(t, label+" "+q, rs, rp)
 }
 
 // TestDifferentialSerialParallel is the acceptance property from the
@@ -111,8 +126,8 @@ func TestDifferentialSerialParallel(t *testing.T) {
 	g := NewGen(2006, DefaultVocab())
 	for i := 0; i < generations; i++ {
 		q := g.Query()
-		for name, pair := range engines {
-			diffOne(t, fmt.Sprintf("gen %d %s", i, name), q, pair[0], pair[1])
+		for name, lanes := range engines {
+			diffOne(t, fmt.Sprintf("gen %d %s", i, name), q, lanes)
 		}
 	}
 }
@@ -163,12 +178,13 @@ func TestGenCoversGrammar(t *testing.T) {
 	}
 }
 
-// FuzzDifferential drives the serial-vs-parallel property with Go
+// FuzzDifferential drives the three-lane differential property with Go
 // native fuzzing: each input seeds the grammar generator, and the
-// resulting query must agree across Parallelism 1 and 8 under all
-// three expansion strategies. Seed corpus: testdata/fuzz/FuzzDifferential.
+// resulting query must agree across serial, forced-parallel and
+// planner-adaptive execution under all three expansion strategies.
+// Seed corpus: testdata/fuzz/FuzzDifferential.
 func FuzzDifferential(f *testing.F) {
-	for _, seed := range []int64{0, 1, 42, 2006, 1 << 40} {
+	for _, seed := range []int64{0, 1, 42, 2006, 1 << 40, 7_2026, 424243} {
 		f.Add(seed)
 	}
 	store := differentialStore(99, 400)
@@ -177,8 +193,8 @@ func FuzzDifferential(f *testing.F) {
 		g := NewGen(seed, DefaultVocab())
 		for i := 0; i < 3; i++ {
 			q := g.Query()
-			for name, pair := range engines {
-				diffOne(t, fmt.Sprintf("seed %d gen %d %s", seed, i, name), q, pair[0], pair[1])
+			for name, lanes := range engines {
+				diffOne(t, fmt.Sprintf("seed %d gen %d %s", seed, i, name), q, lanes)
 			}
 		}
 	})

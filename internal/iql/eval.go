@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -37,6 +38,20 @@ type Options struct {
 	// Results are identical at any setting: rows are sorted before
 	// return, so only internal evaluation order varies.
 	Parallelism int
+	// Planner selects the physical decision maker. The zero value
+	// (PlannerRule) keeps the legacy rule-based behaviour: fan out
+	// every large-enough stage to Parallelism workers and choose
+	// auto-expansion anchors by raw candidate counts. PlannerAdaptive
+	// makes cost-based decisions from catalog/index statistics:
+	// per-stage serial/parallel crossover clamped by schedulable CPUs,
+	// expansion direction by estimated expansion cost, and
+	// residual-filter elision on index-covered steps. Results are
+	// identical under either planner.
+	Planner PlannerMode
+	// PlannerProcs overrides the schedulable-CPU count the adaptive
+	// planner clamps Parallelism with (<= 0 = min(GOMAXPROCS, NumCPU)).
+	// Tests use it to exercise parallel plans on small machines.
+	PlannerProcs int
 	// Metrics receives the engine's counters and latency histograms
 	// (iql_* instruments, see docs/OBSERVABILITY.md). nil leaves the
 	// engine uninstrumented; a disabled registry costs one atomic load
@@ -57,12 +72,18 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// Engine evaluates iQL queries against a Store. An Engine is immutable
-// after construction and safe for concurrent Query/Exec calls.
+// Engine evaluates iQL queries against a Store. An Engine's options are
+// immutable after construction and it is safe for concurrent Query/Exec
+// calls; internally it memoizes parses and planner estimates across
+// executions (see planCache).
 type Engine struct {
 	store Store
 	opts  Options
 	met   engineMetrics
+	// versioned is the store's dataspace-version surface (nil when the
+	// store has none); it invalidates the cached planner estimates.
+	versioned interface{ Version() uint64 }
+	plans     planCache
 }
 
 // engineMetrics bundles the engine's instruments. With a nil
@@ -76,24 +97,40 @@ type engineMetrics struct {
 	rows          *obs.Counter
 	intermediates *obs.Counter
 	indexAccesses *obs.Counter
+	// idm_planner_* instruments surface the planner's physical
+	// decisions (see docs/IQL.md "Cost-based planning").
+	plannerPlans    *obs.Counter
+	plannerParallel *obs.Counter
+	plannerSerial   *obs.Counter
+	plannerPush     *obs.Counter
+	plannerSkips    *obs.Counter
+	plannerEstErr   *obs.Histogram
 }
 
 func newEngineMetrics(reg *obs.Registry) engineMetrics {
 	return engineMetrics{
-		queries:       reg.Counter("iql_queries_total"),
-		errors:        reg.Counter("iql_query_errors_total"),
-		queryNs:       reg.Histogram("iql_query_ns", nil),
-		parseNs:       reg.Histogram("iql_parse_ns", nil),
-		rows:          reg.Counter("iql_rows_total"),
-		intermediates: reg.Counter("iql_intermediates_total"),
-		indexAccesses: reg.Counter("iql_index_accesses_total"),
+		queries:         reg.Counter("iql_queries_total"),
+		errors:          reg.Counter("iql_query_errors_total"),
+		queryNs:         reg.Histogram("iql_query_ns", nil),
+		parseNs:         reg.Histogram("iql_parse_ns", nil),
+		rows:            reg.Counter("iql_rows_total"),
+		intermediates:   reg.Counter("iql_intermediates_total"),
+		indexAccesses:   reg.Counter("iql_index_accesses_total"),
+		plannerPlans:    reg.Counter("idm_planner_plans_total"),
+		plannerParallel: reg.Counter("idm_planner_parallel_stages_total"),
+		plannerSerial:   reg.Counter("idm_planner_serial_stages_total"),
+		plannerPush:     reg.Counter("idm_planner_pushdowns_total"),
+		plannerSkips:    reg.Counter("idm_planner_residual_skips_total"),
+		plannerEstErr:   reg.Histogram("idm_planner_estimate_error_pct", nil),
 	}
 }
 
 // NewEngine returns an engine over the store.
 func NewEngine(store Store, opts Options) *Engine {
 	opts = opts.withDefaults()
-	return &Engine{store: store, opts: opts, met: newEngineMetrics(opts.Metrics)}
+	e := &Engine{store: store, opts: opts, met: newEngineMetrics(opts.Metrics)}
+	e.versioned, _ = store.(interface{ Version() uint64 })
+	return e
 }
 
 // Result is the outcome of a query. Rows have one column for path,
@@ -142,16 +179,29 @@ func (e *Engine) QueryTraced(src string) (*Result, *obs.Trace, error) {
 func (e *Engine) query(src string, trace *obs.Trace) (*Result, error) {
 	t0 := time.Now()
 	ps := trace.Root().Start("parse")
-	q, err := ParseWith(src, ParseOptions{Now: e.opts.Now})
-	e.met.parseNs.ObserveSince(t0)
-	if err != nil {
-		ps.Set("error", err.Error())
-		ps.Finish()
-		e.met.queries.Inc()
-		e.met.errors.Inc()
-		return nil, err
+	q, ok := e.plans.parsedFor(src)
+	if !ok {
+		var usedClock bool
+		var err error
+		q, usedClock, err = parseTracked(src, ParseOptions{Now: e.opts.Now})
+		if err != nil {
+			e.met.parseNs.ObserveSince(t0)
+			ps.Set("error", err.Error())
+			ps.Finish()
+			e.met.queries.Inc()
+			e.met.errors.Inc()
+			return nil, err
+		}
+		// A parse that consulted the clock (now()/yesterday()/...)
+		// may yield a different AST next call; cache only the rest.
+		if !usedClock {
+			e.plans.storeParsed(src, q)
+		}
 	}
-	ps.Set("normalized", q.String())
+	e.met.parseNs.ObserveSince(t0)
+	if trace != nil {
+		ps.Set("normalized", q.String())
+	}
 	ps.Finish()
 	return e.ExecTraced(q, trace)
 }
@@ -168,15 +218,40 @@ func (e *Engine) ExecTraced(q Query, trace *obs.Trace) (*Result, error) {
 	e.met.queries.Inc()
 	root := trace.Root()
 
-	// The rule-based planner's static choices; per-query decisions
-	// (auto-expansion anchoring, join build side) annotate eval spans.
+	plan := &PlanInfo{EstimatedRows: -1}
+	ctx := newEvalCtx(e.store, plan, e.opts.Parallelism)
+	ctx.planner = e.opts.Planner
+	ctx.effPar = e.opts.effectiveParallelism()
+	ctx.stats, _ = e.store.(StatsProvider)
+	// Cross-execution estimate reuse needs a dataspace version to
+	// invalidate on; without one every execution re-derives estimates.
+	if e.versioned != nil {
+		ctx.shared = &e.plans
+		ctx.sharedVersion = e.versioned.Version()
+	}
+
+	// The planner's static choices; per-query decisions (expansion
+	// anchoring, join build side) annotate eval spans.
 	pl := root.Start("plan")
 	pl.Set("strategy", e.opts.Expansion.String())
 	pl.SetInt("parallelism", int64(e.opts.Parallelism))
 	pl.SetInt("budget", int64(e.opts.Budget))
+	if e.opts.Planner == PlannerAdaptive {
+		e.met.plannerPlans.Inc()
+		est := ctx.estimateQuery(q)
+		plan.EstimatedRows = int64(est)
+		pl.Set("planner", "adaptive")
+		pl.SetInt("estimated rows", int64(est))
+		pl.SetInt("effective parallelism", int64(ctx.effPar))
+		b := make([]byte, 0, 64)
+		b = append(b, "planner: cost-based, estimated rows ≤ "...)
+		b = strconv.AppendInt(b, int64(est), 10)
+		b = append(b, ", effective parallelism "...)
+		b = strconv.AppendInt(b, int64(ctx.effPar), 10)
+		plan.note(string(b))
+	}
 	pl.Finish()
 
-	plan := &PlanInfo{}
 	// Stores backed by a Resource View Manager report degraded sources;
 	// their replicated views are served stale instead of failing the
 	// query, and the plan carries the flag (graceful degradation).
@@ -189,7 +264,6 @@ func (e *Engine) ExecTraced(q Query, trace *obs.Trace) (*Result, error) {
 			sp.Finish()
 		}
 	}
-	ctx := newEvalCtx(e.store, plan, e.opts.Parallelism)
 	ev := root.Start("eval")
 	rows, cols, err := e.exec(ctx, q, ev)
 	ev.Finish()
@@ -198,6 +272,16 @@ func (e *Engine) ExecTraced(q Query, trace *obs.Trace) (*Result, error) {
 		return nil, err
 	}
 	res := &Result{Columns: cols, Rows: rows, Plan: plan}
+	// The top-level strategy of a path query is set by evalPath (the
+	// chosen expansion direction); other operators name themselves.
+	switch q.(type) {
+	case *PredQuery:
+		plan.setStrategy("predicate")
+	case *UnionQuery:
+		plan.setStrategy("union")
+	case *JoinQuery:
+		plan.setStrategy("join")
+	}
 	if e.opts.Rank {
 		rs := root.Start("sort")
 		rs.Set("order", "relevance (tf)")
@@ -208,6 +292,21 @@ func (e *Engine) ExecTraced(q Query, trace *obs.Trace) (*Result, error) {
 	e.met.rows.Add(int64(len(res.Rows)))
 	e.met.intermediates.Add(plan.Intermediates)
 	e.met.indexAccesses.Add(plan.IndexAccesses)
+	e.met.plannerParallel.Add(plan.ParallelStages)
+	e.met.plannerSerial.Add(plan.SerialStages)
+	e.met.plannerPush.Add(plan.Pushdowns)
+	e.met.plannerSkips.Add(plan.ResidualSkips)
+	if plan.EstimatedRows >= 0 {
+		// Estimation-accuracy signal: symmetric error ratio between the
+		// pre-execution bound and the actual row count, in percent
+		// (100 = exact; +1 smoothing keeps empty results finite).
+		est, act := plan.EstimatedRows, int64(len(res.Rows))
+		lo, hi := est, act
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		e.met.plannerEstErr.Observe(100 * (hi + 1) / (lo + 1))
+	}
 	return res, nil
 }
 
@@ -355,7 +454,38 @@ func (e *Engine) evalUnion(ctx *evalCtx, q *UnionQuery, sp *obs.Span) ([][]catal
 		branches[i], _, errs[i] = e.exec(ctx, q.Args[i], spans[i])
 		spans[i].Finish()
 	}
-	if ctx.par > 1 && len(q.Args) > 1 {
+	// Serial evaluation order: the adaptive planner runs the branch
+	// with the smallest estimated result first, so cheap branches warm
+	// the shared index memos before expensive ones reuse them.
+	order := make([]int, len(q.Args))
+	for i := range order {
+		order[i] = i
+	}
+	if ctx.planner == PlannerAdaptive && ctx.stats != nil && len(q.Args) > 1 {
+		ests := make([]int, len(q.Args))
+		for i, a := range q.Args {
+			ests[i] = ctx.estimateQuery(a)
+		}
+		sort.SliceStable(order, func(i, j int) bool { return ests[order[i]] < ests[order[j]] })
+		b := make([]byte, 0, 96)
+		b = append(b, "planner: union evaluation order ["...)
+		for i, br := range order {
+			if i > 0 {
+				b = append(b, ' ')
+			}
+			b = strconv.AppendInt(b, int64(br+1), 10)
+		}
+		b = append(b, "] (estimated rows ["...)
+		for i, est := range ests {
+			if i > 0 {
+				b = append(b, ' ')
+			}
+			b = strconv.AppendInt(b, int64(est), 10)
+		}
+		b = append(b, "])"...)
+		ctx.plan.note(string(b))
+	}
+	if ctx.concurrentBranches() && len(q.Args) > 1 {
 		var wg sync.WaitGroup
 		for i := range q.Args {
 			wg.Add(1)
@@ -366,7 +496,7 @@ func (e *Engine) evalUnion(ctx *evalCtx, q *UnionQuery, sp *obs.Span) ([][]catal
 		}
 		wg.Wait()
 	} else {
-		for i := range q.Args {
+		for _, i := range order {
 			run(i)
 		}
 	}
@@ -401,32 +531,66 @@ func (e *Engine) evalPath(ctx *evalCtx, q *PathQuery, sp *obs.Span) ([]catalog.O
 	var first, last []catalog.OID
 	haveFirst, haveLast := false, false
 	if strategy == AutoExpansion {
-		// Anchor on the cheaper end: compare candidate counts of the
-		// first and last steps.
+		// Anchor on the cheaper end. The first anchor is resolved once
+		// and threaded into the chosen strategy. The rule planner then
+		// also resolves the last anchor and compares raw candidate
+		// counts; the adaptive planner instead estimates the last
+		// anchor's cardinality from statistics and compares estimated
+		// expansion costs — forward pays for every view reachable from
+		// the first anchor, backward pays one ancestor verification per
+		// last-anchor candidate — so the unchosen direction's anchor is
+		// never materialized.
 		cs := startSpan(sp, "strategy choice")
 		first = ctx.resolveStep(q.Steps[0], cs)
 		haveFirst = true
 		if len(q.Steps) == 1 {
 			ctx.plan.notef("single-step path: %d matches", len(first))
+			ctx.plan.setStrategy("single step")
 			cs.SetInt("first", int64(len(first)))
 			cs.Set("chosen", "single step")
 			cs.Finish()
 			return first, nil
 		}
-		last = ctx.resolveStep(q.Steps[len(q.Steps)-1], cs)
-		haveLast = true
-		if len(last) <= len(first) {
-			strategy = BackwardExpansion
+		if ctx.planner == PlannerAdaptive && ctx.stats != nil {
+			choice := ctx.choosePathStrategy(q, first)
+			strategy = choice.strategy
+			b := make([]byte, 0, 160)
+			b = append(b, "planner: auto expansion: first="...)
+			b = strconv.AppendInt(b, int64(len(first)), 10)
+			b = append(b, " est-last≈"...)
+			b = strconv.AppendInt(b, int64(choice.estLast), 10)
+			b = append(b, " reach≈"...)
+			b = strconv.AppendInt(b, int64(choice.reach), 10)
+			b = append(b, " forward-cost="...)
+			b = strconv.AppendInt(b, int64(choice.fwdCost), 10)
+			b = append(b, " backward-cost="...)
+			b = strconv.AppendInt(b, int64(choice.bwdCost), 10)
+			b = append(b, " → "...)
+			b = append(b, strategy.String()...)
+			b = append(b, " ("...)
+			b = append(b, choice.reason...)
+			b = append(b, ')')
+			ctx.plan.note(string(b))
+			cs.SetInt("estimated last", int64(choice.estLast))
+			cs.SetInt("estimated reach", int64(choice.reach))
+			cs.Set("reason", choice.reason)
 		} else {
-			strategy = ForwardExpansion
+			last = ctx.resolveStep(q.Steps[len(q.Steps)-1], cs)
+			haveLast = true
+			if len(last) <= len(first) {
+				strategy = BackwardExpansion
+			} else {
+				strategy = ForwardExpansion
+			}
+			ctx.plan.notef("auto expansion: first=%d last=%d → %s",
+				len(first), len(last), strategy)
+			cs.SetInt("last", int64(len(last)))
 		}
-		ctx.plan.notef("auto expansion: first=%d last=%d → %s",
-			len(first), len(last), strategy)
 		cs.SetInt("first", int64(len(first)))
-		cs.SetInt("last", int64(len(last)))
 		cs.Set("chosen", strategy.String())
 		cs.Finish()
 	}
+	ctx.plan.setStrategy(strategy.String())
 	if strategy == BackwardExpansion {
 		return e.evalPathBackward(ctx, q, last, haveLast, sp)
 	}
@@ -505,7 +669,7 @@ func (e *Engine) evalPathBackward(ctx *evalCtx, q *PathQuery, last []catalog.OID
 	}
 	bud := newBudget(e.opts.Budget)
 	keep := make([]bool, len(candidates))
-	w := workersFor(ctx.par, len(candidates))
+	w := ctx.workers(len(candidates), costVerifyAncestor)
 	errs := make([]error, w)
 	parRange(len(candidates), w, func(worker, lo, hi int) {
 		ws := workerSpan(bs, w, worker, lo, hi)
@@ -603,7 +767,7 @@ func (e *Engine) evalJoin(ctx *evalCtx, q *JoinQuery, sp *obs.Span) ([][]catalog
 	rs := startSpan(js, "right input")
 	var leftRows, rightRows [][]catalog.OID
 	var leftErr, rightErr error
-	if ctx.par > 1 {
+	if ctx.concurrentBranches() {
 		var wg sync.WaitGroup
 		wg.Add(2)
 		go func() {
@@ -634,10 +798,30 @@ func (e *Engine) evalJoin(ctx *evalCtx, q *JoinQuery, sp *obs.Span) ([][]catalog
 		return nil, nil, rightErr
 	}
 
+	// Build-side choice: the adaptive planner decides from estimated
+	// input cardinalities (a pre-execution decision EXPLAIN can pin);
+	// the rule planner uses the materialized row counts.
+	buildLeft := len(leftRows) < len(rightRows)
+	if ctx.planner == PlannerAdaptive && ctx.stats != nil {
+		estL, estR := ctx.estimateQuery(q.Left), ctx.estimateQuery(q.Right)
+		buildLeft = estL < estR
+		b := make([]byte, 0, 80)
+		b = append(b, "planner: join build side by estimate: left≈"...)
+		b = strconv.AppendInt(b, int64(estL), 10)
+		b = append(b, " right≈"...)
+		b = strconv.AppendInt(b, int64(estR), 10)
+		b = append(b, " → build on "...)
+		if buildLeft {
+			b = append(b, "left"...)
+		} else {
+			b = append(b, "right"...)
+		}
+		ctx.plan.note(string(b))
+	}
 	build, probe := rightRows, leftRows
 	buildField, probeField := q.On[1], q.On[0]
 	buildIsRight := true
-	if len(leftRows) < len(rightRows) {
+	if buildLeft {
 		build, probe = leftRows, rightRows
 		buildField, probeField = q.On[0], q.On[1]
 		buildIsRight = false
@@ -663,7 +847,7 @@ func (e *Engine) evalJoin(ctx *evalCtx, q *JoinQuery, sp *obs.Span) ([][]catalog
 	hs.Finish()
 	ps := startSpan(js, "probe")
 	ps.SetInt("rows", int64(len(probe)))
-	w := workersFor(ctx.par, len(probe))
+	w := ctx.workers(len(probe), costNameMatch)
 	parts := make([][][]catalog.OID, w)
 	parRange(len(probe), w, func(worker, lo, hi int) {
 		ws := workerSpan(ps, w, worker, lo, hi)

@@ -118,6 +118,64 @@ func (f *fakeStore) OIDsInClass(class string) []catalog.OID {
 	return out
 }
 
+// fakeStore implements StatsProvider so evaluator tests exercise the
+// adaptive planner's estimate-driven paths. Estimates are computed
+// fresh (the store is tiny), matching the contracts rvm implements.
+var _ StatsProvider = (*fakeStore)(nil)
+
+func (f *fakeStore) EstimatePhrase(phrase string) int {
+	return f.content.PhraseCardUpper(phrase)
+}
+
+func (f *fakeStore) EstimateClass(class string) int {
+	return len(f.OIDsInClass(class))
+}
+
+func (f *fakeStore) EstimateNamePattern(pattern string) (int, bool) {
+	if strings.ContainsAny(pattern, "*?") {
+		return 0, false
+	}
+	n := 0
+	for _, name := range f.names {
+		if strings.EqualFold(name, pattern) {
+			n++
+		}
+	}
+	return n, true
+}
+
+func (f *fakeStore) EstimateTuple(attr string, op tupleindex.Op, value core.Value) int {
+	return f.tuples.CardEstimate(attr, op, value)
+}
+
+func (f *fakeStore) EstimateFanout(oids []catalog.OID) int {
+	n := 0
+	for _, oid := range oids {
+		n += len(f.children[oid])
+	}
+	return n
+}
+
+func (f *fakeStore) EstimateReach(oids []catalog.OID) int {
+	seen := make(map[catalog.OID]bool)
+	frontier := append([]catalog.OID(nil), oids...)
+	reach := 0
+	for len(frontier) > 0 {
+		var next []catalog.OID
+		for _, oid := range frontier {
+			for _, ch := range f.children[oid] {
+				if !seen[ch] {
+					seen[ch] = true
+					reach++
+					next = append(next, ch)
+				}
+			}
+		}
+		frontier = next
+	}
+	return reach
+}
+
 // paperStore builds a dataspace mirroring the paper's examples:
 //
 //	1 root

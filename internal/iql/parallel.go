@@ -86,7 +86,7 @@ func (b *expansionBudget) take(n int) bool { return b.left.Add(-int64(n)) >= 0 }
 // Children reached over several edges are counted per edge, as the
 // serial evaluator always did.
 func (c *evalCtx) expandChild(step Step, cur []catalog.OID, bud *expansionBudget, sp *obs.Span) (*oidset.Set, int, error) {
-	w := workersFor(c.par, len(cur))
+	w := c.workers(len(cur), costChildEdge+stepMatchCost(step))
 	sets := make([]*oidset.Set, w)
 	edges := make([]int, w)
 	var overrun atomic.Bool
@@ -143,7 +143,7 @@ func (c *evalCtx) expandDescendant(step Step, cur []catalog.OID, bud *expansionB
 		lv.SetInt("frontier", int64(len(frontier)))
 		// Phase 1: sharded child discovery. visited is read-only here;
 		// worker-local seen sets keep shard-internal duplicates out.
-		w := workersFor(c.par, len(frontier))
+		w := c.workers(len(frontier), costChildEdge)
 		found := make([][]catalog.OID, w)
 		parRange(len(frontier), w, func(worker, lo, hi int) {
 			ws := workerSpan(lv, w, worker, lo, hi)
@@ -180,7 +180,7 @@ func (c *evalCtx) expandDescendant(step Step, cur []catalog.OID, bud *expansionB
 			return nil, touched, errBudget
 		}
 		// Phase 2: sharded predicate matching over the new views.
-		w = workersFor(c.par, len(next))
+		w = c.workers(len(next), stepMatchCost(step))
 		sets := make([]*oidset.Set, w)
 		parRange(len(next), w, func(worker, lo, hi int) {
 			local := oidset.New(0)
@@ -205,7 +205,7 @@ func (c *evalCtx) expandDescendant(step Step, cur []catalog.OID, bud *expansionB
 // Output order follows input order: shards are contiguous and
 // concatenated in shard order, so a sorted input stays sorted.
 func (c *evalCtx) filterStep(s Step, candidates []catalog.OID, sp *obs.Span) []catalog.OID {
-	w := workersFor(c.par, len(candidates))
+	w := c.workers(len(candidates), stepMatchCost(s))
 	if w == 1 {
 		out := candidates[:0:0]
 		for _, oid := range candidates {

@@ -21,33 +21,48 @@ func Parse(src string) (Query, error) { return ParseWith(src, ParseOptions{}) }
 
 // ParseWith parses an iQL query with explicit options.
 func ParseWith(src string, opts ParseOptions) (Query, error) {
+	q, _, err := parseTracked(src, opts)
+	return q, err
+}
+
+// parseTracked is ParseWith additionally reporting whether the parse
+// consulted the clock (now()/today()/yesterday()). A clock-independent
+// parse yields the same AST on every call, so the engine may cache it;
+// a clock-dependent one must be re-parsed per query.
+func parseTracked(src string, opts ParseOptions) (Query, bool, error) {
 	if opts.Now == nil {
 		opts.Now = time.Now
 	}
+	usedClock := false
+	clock := opts.Now
+	now := func() time.Time {
+		usedClock = true
+		return clock()
+	}
 	toks, err := Lex(src)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
-	p := &parser{toks: toks, now: opts.Now}
+	p := &parser{toks: toks, now: now}
 	var q Query
 	if t := p.peek(); t.Kind == TokWord && strings.EqualFold(t.Text, "delete") {
 		p.next()
 		inner, err := p.parseQuery()
 		if err != nil {
-			return nil, err
+			return nil, false, err
 		}
 		q = &DeleteQuery{Inner: inner}
 	} else {
 		var err error
 		q, err = p.parseQuery()
 		if err != nil {
-			return nil, err
+			return nil, false, err
 		}
 	}
 	if p.peek().Kind != TokEOF {
-		return nil, p.errf("unexpected %s after query", p.peek().Kind)
+		return nil, false, p.errf("unexpected %s after query", p.peek().Kind)
 	}
-	return q, nil
+	return q, usedClock, nil
 }
 
 type parser struct {

@@ -40,6 +40,10 @@ type Store interface {
 	// result ranking.
 	ContentPhraseFreqs(phrase string) map[catalog.OID]int
 	// TupleQuery returns views whose attribute satisfies (op, value).
+	// The result must be exact — the set of views for which Tuple's
+	// component yields a satisfying value under Get — so the planner
+	// may answer a pushed-down comparison from the index alone
+	// (schemas therefore must not repeat an attribute name).
 	TupleQuery(attr string, op tupleindex.Op, value core.Value) []catalog.OID
 	// Tuple returns the replicated tuple component of oid.
 	Tuple(oid catalog.OID) (core.TupleComponent, bool)
@@ -89,11 +93,30 @@ func (e Expansion) String() string {
 type PlanInfo struct {
 	mu    sync.Mutex
 	Notes []string
+	// Strategy is the physical strategy of the top-level query node:
+	// the chosen expansion direction for paths ("forward", "backward",
+	// "single step"), or the operator name ("predicate", "union",
+	// "join").
+	Strategy string
 	// Intermediates counts views touched during path expansion beyond
 	// those in the final result.
 	Intermediates int64
 	// IndexAccesses counts index-backed candidate fetches.
 	IndexAccesses int64
+	// EstimatedRows is the planner's pre-execution result-size bound
+	// (statistics only; -1 when the planner made no estimate).
+	EstimatedRows int64
+	// ParallelStages / SerialStages count the planner's per-stage
+	// serial-vs-parallel decisions during this query.
+	ParallelStages int64
+	SerialStages   int64
+	// Pushdowns counts predicate conjuncts answered by an index scan
+	// ahead of path expansion.
+	Pushdowns int64
+	// ResidualSkips counts step resolutions whose residual filter the
+	// adaptive planner elided because the index intersection already
+	// covered the step exactly.
+	ResidualSkips int64
 	// StaleSources names the degraded sources whose replicated views
 	// this query may have been answered from: their last sync failed,
 	// so the result reflects the last good synchronization (graceful
@@ -103,14 +126,31 @@ type PlanInfo struct {
 }
 
 func (p *PlanInfo) notef(format string, args ...any) {
-	msg := fmt.Sprintf(format, args...)
+	p.note(fmt.Sprintf(format, args...))
+}
+
+// note appends a preformatted message. The planner notes emitted on
+// every adaptive query build their strings with strconv appends and
+// call this directly: fmt.Sprintf there is measurable overhead on
+// microsecond-scale queries.
+func (p *PlanInfo) note(msg string) {
 	p.mu.Lock()
 	p.Notes = append(p.Notes, msg)
 	p.mu.Unlock()
 }
 
-func (p *PlanInfo) addIntermediates(n int) { atomic.AddInt64(&p.Intermediates, int64(n)) }
-func (p *PlanInfo) addIndexAccesses(n int) { atomic.AddInt64(&p.IndexAccesses, int64(n)) }
+func (p *PlanInfo) setStrategy(s string) {
+	p.mu.Lock()
+	p.Strategy = s
+	p.mu.Unlock()
+}
+
+func (p *PlanInfo) addIntermediates(n int)  { atomic.AddInt64(&p.Intermediates, int64(n)) }
+func (p *PlanInfo) addIndexAccesses(n int)  { atomic.AddInt64(&p.IndexAccesses, int64(n)) }
+func (p *PlanInfo) addParallelStages(n int) { atomic.AddInt64(&p.ParallelStages, int64(n)) }
+func (p *PlanInfo) addSerialStages(n int)   { atomic.AddInt64(&p.SerialStages, int64(n)) }
+func (p *PlanInfo) addPushdowns(n int)      { atomic.AddInt64(&p.Pushdowns, int64(n)) }
+func (p *PlanInfo) addResidualSkips(n int)  { atomic.AddInt64(&p.ResidualSkips, int64(n)) }
 
 // String renders the plan notes one per line.
 func (p *PlanInfo) String() string { return strings.Join(p.Notes, "\n") }
@@ -138,6 +178,14 @@ type evalCtx struct {
 	plan  *PlanInfo
 	// par is the worker count data-parallel stages fan out to (>= 1).
 	par int
+	// planner selects rule-based vs cost-based physical decisions.
+	planner PlannerMode
+	// effPar is the adaptive planner's worker ceiling: par clamped by
+	// the schedulable CPUs (>= 1; ignored in rule mode).
+	effPar int
+	// stats is the store's statistics surface, nil when the store does
+	// not implement StatsProvider.
+	stats StatsProvider
 	// children appends oid's directly related views to dst, using the
 	// store's append fast path when available.
 	children func(dst []catalog.OID, oid catalog.OID) []catalog.OID
@@ -147,6 +195,20 @@ type evalCtx struct {
 	phraseSets map[string]*indexSet
 	// classSets memoizes specialization-aware class membership.
 	classSets map[string]*indexSet
+	// nameSets memoizes name-replica pattern matches.
+	nameSets map[string]*indexSet
+	// tupleSets memoizes tuple-index range results, keyed attr|op|text.
+	tupleSets map[string]*indexSet
+	// estimates memoizes estimateQuery per AST node: the plan header,
+	// union ordering, join build-side choice and path direction choice
+	// all ask for overlapping estimates, and on microsecond-scale
+	// queries recomputing them is measurable planner overhead.
+	estimates map[Query]int
+	// shared is the engine's cross-execution plan cache (nil when the
+	// store has no dataspace version to invalidate on); sharedVersion
+	// is the dataspace version captured when this execution started.
+	shared        *planCache
+	sharedVersion uint64
 }
 
 func newEvalCtx(store Store, plan *PlanInfo, par int) *evalCtx {
@@ -157,8 +219,12 @@ func newEvalCtx(store Store, plan *PlanInfo, par int) *evalCtx {
 		store:      store,
 		plan:       plan,
 		par:        par,
+		effPar:     1,
 		phraseSets: make(map[string]*indexSet),
 		classSets:  make(map[string]*indexSet),
+		nameSets:   make(map[string]*indexSet),
+		tupleSets:  make(map[string]*indexSet),
+		estimates:  make(map[Query]int),
 	}
 	if ap, ok := store.(childAppender); ok {
 		c.children = ap.AppendChildren
@@ -204,6 +270,44 @@ func (c *evalCtx) classSet(class string) *indexSet {
 	c.plan.addIndexAccesses(1)
 	s = newIndexSet(c.store.OIDsInClass(class))
 	c.classSets[class] = s
+	return s
+}
+
+func (c *evalCtx) nameSet(pattern string) *indexSet {
+	key := strings.ToLower(pattern)
+	c.memoMu.RLock()
+	s, ok := c.nameSets[key]
+	c.memoMu.RUnlock()
+	if ok {
+		return s
+	}
+	c.memoMu.Lock()
+	defer c.memoMu.Unlock()
+	if s, ok := c.nameSets[key]; ok {
+		return s
+	}
+	c.plan.addIndexAccesses(1)
+	s = newIndexSet(c.store.MatchNames(pattern))
+	c.nameSets[key] = s
+	return s
+}
+
+func (c *evalCtx) tupleSet(attr string, cmp CmpOp, op tupleindex.Op, value core.Value, text string) *indexSet {
+	key := attr + "\x00" + cmp.String() + "\x00" + text
+	c.memoMu.RLock()
+	s, ok := c.tupleSets[key]
+	c.memoMu.RUnlock()
+	if ok {
+		return s
+	}
+	c.memoMu.Lock()
+	defer c.memoMu.Unlock()
+	if s, ok := c.tupleSets[key]; ok {
+		return s
+	}
+	c.plan.addIndexAccesses(1)
+	s = newIndexSet(c.store.TupleQuery(attr, op, value))
+	c.tupleSets[key] = s
 	return s
 }
 
@@ -315,8 +419,16 @@ func (c *evalCtx) matchStep(s Step, oid catalog.OID) bool {
 func (c *evalCtx) resolveStep(s Step, sp *obs.Span) []catalog.OID {
 	var candidates []catalog.OID
 	constrained := false
+	// covered tracks whether the intersected index sets are exactly the
+	// step's match set: every pushed conjunct is an exact index answer
+	// (phrase/class sets, name-replica matches and tuple-column spans
+	// all are), and no conjunct stayed behind. The name pattern is
+	// always covered: AnyName needs no check, and any other pattern is
+	// pushed through the name replica below.
+	covered := true
 
 	intersect := func(oids []catalog.OID, why string) {
+		c.plan.addPushdowns(1)
 		c.plan.notef("  index: %s → %d candidates", why, len(oids))
 		if is := startSpan(sp, "index %s", why); is != nil {
 			is.SetInt("candidates", int64(len(oids)))
@@ -331,9 +443,8 @@ func (c *evalCtx) resolveStep(s Step, sp *obs.Span) []catalog.OID {
 	}
 
 	if !s.AnyName() {
-		c.plan.addIndexAccesses(1)
-		oids := c.store.MatchNames(s.Pattern)
-		intersect(oids, fmt.Sprintf("name replica match %q", s.Pattern))
+		set := c.nameSet(s.Pattern)
+		intersect(set.sorted, fmt.Sprintf("name replica match %q", s.Pattern))
 	}
 	// Pull index-supported conjuncts out of the predicate. The full
 	// predicate is still applied below, so over-approximation is safe.
@@ -347,25 +458,39 @@ func (c *evalCtx) resolveStep(s Step, sp *obs.Span) []catalog.OID {
 			intersect(set.sorted, fmt.Sprintf("class lookup %q", x.Class))
 		case *CmpExpr:
 			if x.Attr == "name" && x.Op == OpEq && x.Value.Kind == core.DomainString {
-				c.plan.addIndexAccesses(1)
-				oids := c.store.MatchNames(x.Value.Str)
-				intersect(oids, fmt.Sprintf("name replica match %q (name predicate)", x.Value.Str))
+				set := c.nameSet(x.Value.Str)
+				intersect(set.sorted, fmt.Sprintf("name replica match %q (name predicate)", x.Value.Str))
 				continue
 			}
 			if x.Attr == "name" {
+				covered = false
 				continue // inequality on names: final filter only
 			}
 			if op, ok := tupleOp(x.Op); ok {
-				c.plan.addIndexAccesses(1)
-				oids := c.store.TupleQuery(x.Attr, op, x.Value)
-				intersect(oids, fmt.Sprintf("tuple index %s %s %s", x.Attr, x.Op, x.ValueText))
+				set := c.tupleSet(x.Attr, x.Op, op, x.Value, x.ValueText)
+				intersect(set.sorted, fmt.Sprintf("tuple index %s %s %s", x.Attr, x.Op, x.ValueText))
+			} else {
+				covered = false
 			}
+		default:
+			// OR / NOT / has() conjuncts have no exact index answer.
+			covered = false
 		}
 	}
 	if !constrained {
 		candidates = c.store.AllOIDs()
 		c.plan.notef("  scan: no applicable index, %d views", len(candidates))
 		sp.Set("access", "full scan")
+		covered = false
+	}
+	if covered && c.planner == PlannerAdaptive {
+		// Every constraint of the step was answered exactly by the index
+		// intersection: the residual filter would re-check what the
+		// indexes already guarantee, so the adaptive planner elides it.
+		c.plan.addResidualSkips(1)
+		c.plan.notef("  planner: residual filter elided (step fully index-covered)")
+		sp.Set("residual", "elided (index-covered)")
+		return candidates
 	}
 	// Final exact filter (pattern + full predicate).
 	rf := startSpan(sp, "residual filter")

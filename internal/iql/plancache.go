@@ -1,0 +1,96 @@
+package iql
+
+import "sync"
+
+// planCache carries planner state across executions of one engine. Two
+// things are worth keeping: the parsed AST of each query string (stable
+// whenever parsing did not consult the clock), and the cardinality
+// estimates the cost-based planner derives per AST node. Estimates are
+// only valid for one dataspace version — the cache drops them whenever
+// the store's version moves — while parses depend on nothing but the
+// source text, so they survive versions.
+//
+// Re-running the same query is the common case this serves: interactive
+// re-evaluation, continuous queries and benchmarks all repeat identical
+// strings, and on microsecond-scale queries the parse plus the
+// planner's estimate walk are a measurable fraction of the total.
+// All methods are nil-safe: a nil *planCache disables caching.
+type planCache struct {
+	mu sync.RWMutex
+	// parsed maps source text to its clock-independent AST.
+	parsed map[string]Query
+	// version tags est; est is dropped when the store version moves.
+	version uint64
+	est     map[Query]int
+}
+
+// Caps keep both maps bounded under adversarial workloads (fuzzing,
+// ad-hoc exploration): when full, the map is dropped and rebuilt rather
+// than evicted entry by entry.
+const (
+	planCacheMaxParsed    = 1024
+	planCacheMaxEstimates = 4096
+)
+
+// parsedFor returns the cached AST for src, if any.
+func (pc *planCache) parsedFor(src string) (Query, bool) {
+	if pc == nil {
+		return nil, false
+	}
+	pc.mu.RLock()
+	q, ok := pc.parsed[src]
+	pc.mu.RUnlock()
+	return q, ok
+}
+
+// storeParsed caches the AST of a clock-independent parse.
+func (pc *planCache) storeParsed(src string, q Query) {
+	if pc == nil {
+		return
+	}
+	pc.mu.Lock()
+	if len(pc.parsed) >= planCacheMaxParsed {
+		pc.parsed = nil
+	}
+	if pc.parsed == nil {
+		pc.parsed = make(map[string]Query)
+	}
+	pc.parsed[src] = q
+	pc.mu.Unlock()
+}
+
+// estimate returns the cached cardinality estimate for q at dataspace
+// version v, if any.
+func (pc *planCache) estimate(q Query, v uint64) (int, bool) {
+	if pc == nil {
+		return 0, false
+	}
+	pc.mu.RLock()
+	var (
+		n  int
+		ok bool
+	)
+	if pc.version == v {
+		n, ok = pc.est[q]
+	}
+	pc.mu.RUnlock()
+	return n, ok
+}
+
+// storeEstimate caches q's estimate for dataspace version v, dropping
+// any estimates from older versions.
+func (pc *planCache) storeEstimate(q Query, v uint64, n int) {
+	if pc == nil {
+		return
+	}
+	pc.mu.Lock()
+	if pc.version != v || len(pc.est) >= planCacheMaxEstimates {
+		pc.version = v
+		pc.est = nil
+	}
+	if pc.est == nil {
+		pc.est = make(map[Query]int)
+	}
+	pc.est[q] = n
+	pc.mu.Unlock()
+}

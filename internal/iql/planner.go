@@ -1,0 +1,145 @@
+package iql
+
+import (
+	"runtime"
+
+	"repro/internal/catalog"
+)
+
+// PlannerMode selects how the engine makes physical decisions: the
+// legacy rule-based planner (fixed global parallelism, anchor choice by
+// raw candidate counts) or the cost-based adaptive planner (per-stage
+// serial/parallel crossover, expansion direction by estimated expansion
+// cost, residual-filter elision on index-covered steps).
+type PlannerMode int
+
+// Planner modes. The zero value preserves the engine's historical
+// rule-based behaviour exactly; the PDSMS facade defaults to adaptive.
+const (
+	PlannerRule PlannerMode = iota
+	PlannerAdaptive
+)
+
+func (m PlannerMode) String() string {
+	if m == PlannerAdaptive {
+		return "adaptive"
+	}
+	return "rule"
+}
+
+// effectiveParallelism is the worker ceiling the adaptive planner will
+// actually fan out to: the configured parallelism clamped by the
+// schedulable CPUs (PlannerProcs overrides the CPU count, for tests
+// that exercise parallel plans on small machines). Oversubscribing a
+// box never helps a CPU-bound stage — goroutines beyond the core count
+// only multiplex and add merge overhead, which is exactly the regression
+// the planner exists to avoid.
+func (o Options) effectiveParallelism() int {
+	procs := o.PlannerProcs
+	if procs <= 0 {
+		procs = runtime.GOMAXPROCS(0)
+		if n := runtime.NumCPU(); n < procs {
+			procs = n
+		}
+	}
+	if o.Parallelism < procs {
+		procs = o.Parallelism
+	}
+	if procs < 1 {
+		procs = 1
+	}
+	return procs
+}
+
+// workers decides the worker count for one data-parallel stage of n
+// items costing perItem work units each. Rule mode keeps the legacy
+// behaviour (fan out whenever the engine is parallel and the stage has
+// parThreshold items). Adaptive mode additionally requires the stage's
+// estimated work to clear the calibrated crossover and never exceeds
+// the effective (CPU-clamped) parallelism. Every call is one planner
+// stage decision, counted on the plan for the idm_planner_* metrics.
+func (c *evalCtx) workers(n, perItem int) int {
+	var w int
+	if c.planner != PlannerAdaptive {
+		w = workersFor(c.par, n)
+	} else {
+		w = workersFor(c.effPar, n)
+		if w > 1 {
+			if perItem < 1 {
+				perItem = 1
+			}
+			if n*perItem < parCrossover {
+				w = 1
+			}
+		}
+	}
+	if w > 1 {
+		c.plan.addParallelStages(1)
+	} else {
+		c.plan.addSerialStages(1)
+	}
+	return w
+}
+
+// concurrentBranches reports whether independent sub-queries (union
+// branches, join inputs) should evaluate concurrently.
+func (c *evalCtx) concurrentBranches() bool {
+	if c.planner != PlannerAdaptive {
+		return c.par > 1
+	}
+	return c.effPar > 1
+}
+
+// pathChoice is the adaptive planner's decision for one path query.
+type pathChoice struct {
+	strategy Expansion
+	estLast  int
+	reach    int
+	fwdCost  int
+	bwdCost  int
+	reason   string
+}
+
+// choosePathStrategy picks forward vs backward expansion for a path
+// whose first anchor has been resolved. Forward expansion touches
+// every view reachable from the first anchor's matches; backward
+// expansion verifies each last-anchor candidate by walking its
+// ancestors. The decision compares estimated total work rather than
+// raw candidate counts — a 1-view first anchor rooting a 10k-view
+// subtree should still expand backward when the last anchor is
+// selective. The last anchor is deliberately NOT resolved here: its
+// cardinality comes from statistics, so the unchosen direction's
+// anchor (which can cost a full wildcard name scan) is never
+// materialized — the rule planner's auto mode pays exactly that double
+// resolution. Caller guarantees c.stats != nil.
+func (c *evalCtx) choosePathStrategy(q *PathQuery, first []catalog.OID) pathChoice {
+	steps := q.Steps
+	reach := c.stats.EstimateReach(first)
+	estLast := c.estimateQuery(q)
+	match := 1
+	for _, s := range steps[1:] {
+		if sc := stepMatchCost(s); sc > match {
+			match = sc
+		}
+	}
+	fwd := reach * (costChildEdge + match)
+	// Backward verification is asymmetric: a candidate under the first
+	// anchor finds its ancestor quickly (early exit), while a candidate
+	// outside the anchor's reach must walk its whole ancestor closure to
+	// prove the miss. Candidates are assumed uniformly distributed, so
+	// the expected miss count is the fraction of the store outside the
+	// anchor's reach.
+	outside := estLast
+	if total := c.store.Count(); reach >= total {
+		outside = 0
+	} else if total > 0 {
+		outside = estLast * (total - reach) / total
+	}
+	bwd := estLast*(len(steps)-1)*costVerifyAncestor + outside*costVerifyMiss
+	if bwd <= fwd {
+		return pathChoice{strategy: BackwardExpansion, estLast: estLast, reach: reach, fwdCost: fwd, bwdCost: bwd,
+			reason: "backward verification cheaper than forward reach"}
+	}
+	return pathChoice{strategy: ForwardExpansion, estLast: estLast, reach: reach, fwdCost: fwd, bwdCost: bwd,
+		reason: "forward reach cheaper than backward verification"}
+}

@@ -150,6 +150,11 @@ type Manager struct {
 	// contentBytes records per-source net input (bytes actually fed to
 	// the content index) for the Table 3 reproduction.
 	contentBytes map[string]int64
+
+	// est memoizes per-root descendant counts and per-class member
+	// counts for planner estimates (stats.go); invalidated by dataspace
+	// version.
+	est estCache
 }
 
 // New returns a manager with the standard class registry.

@@ -173,6 +173,39 @@ func (ix *Index) TermCount() int {
 	return len(ix.terms)
 }
 
+// PostingLen returns the posting-list length of a term — an O(1) upper
+// bound on the documents containing it (tombstoned documents are still
+// counted until Compact). Planner statistics surface.
+func (ix *Index) PostingLen(term string) int {
+	toks := Tokenize(term)
+	if len(toks) != 1 {
+		return 0
+	}
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.terms[toks[0]])
+}
+
+// PhraseCardUpper bounds the number of documents containing the phrase:
+// a phrase match requires every token, so the shortest posting list of
+// its tokens bounds the result. O(tokens) with no list materialization.
+func (ix *Index) PhraseCardUpper(phrase string) int {
+	toks := Tokenize(phrase)
+	if len(toks) == 0 {
+		return 0
+	}
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	min := -1
+	for _, t := range toks {
+		n := len(ix.terms[t])
+		if min < 0 || n < min {
+			min = n
+		}
+	}
+	return min
+}
+
 // SizeBytes estimates the on-disk footprint of the index as a
 // Lucene-style compressed postings file would store it: term dictionary
 // entries, delta+vint encoded document ids with frequencies (~5 bytes

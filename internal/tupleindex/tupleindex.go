@@ -263,6 +263,67 @@ func (ix *Index) Query(attr string, op Op, value core.Value) []DocID {
 	return sortIDs(out)
 }
 
+// AttrCard returns the number of column entries for an attribute (one
+// per document carrying it). Planner statistics surface.
+func (ix *Index) AttrCard(attr string) int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	col, ok := ix.columns[strings.ToLower(attr)]
+	if !ok {
+		return 0
+	}
+	return len(col.entries)
+}
+
+// CardEstimate bounds the number of documents whose attribute satisfies
+// (op, value) using the same binary searches as Query but without
+// materializing ids: the width of the matching span (incomparable
+// values at the span edges may inflate the bound slightly). O(log n)
+// after the column is sorted.
+func (ix *Index) CardEstimate(attr string, op Op, value core.Value) int {
+	name := strings.ToLower(attr)
+	ix.mu.Lock()
+	col, ok := ix.columns[name]
+	if !ok {
+		ix.mu.Unlock()
+		return 0
+	}
+	col.ensureSorted()
+	entries := col.entries
+	ix.mu.Unlock()
+
+	lo := sort.Search(len(entries), func(i int) bool {
+		c, err := core.Compare(entries[i].value, value)
+		if err != nil {
+			return entries[i].value.Kind >= value.Kind
+		}
+		return c >= 0
+	})
+	hi := sort.Search(len(entries), func(i int) bool {
+		c, err := core.Compare(entries[i].value, value)
+		if err != nil {
+			return entries[i].value.Kind > value.Kind
+		}
+		return c > 0
+	})
+	switch op {
+	case EQ:
+		return hi - lo
+	case NE:
+		return len(entries) - (hi - lo)
+	case LT:
+		return lo
+	case LE:
+		return hi
+	case GT:
+		return len(entries) - hi
+	case GE:
+		return len(entries) - lo
+	default:
+		return len(entries)
+	}
+}
+
 // Scan calls fn for every replicated document; iteration order is
 // unspecified. fn returning false stops the scan.
 func (ix *Index) Scan(fn func(DocID, core.TupleComponent) bool) {

@@ -13,7 +13,10 @@ import (
 
 // parallelSystem builds a dataspace wide enough (256 sibling documents)
 // that the iQL engine's sharded stages pass their parallel threshold,
-// so traced queries show per-worker spans.
+// so traced queries show per-worker spans. It pins the rule planner:
+// these tests exercise forced fan-out regardless of the host's core
+// count, which the adaptive planner deliberately refuses on small
+// machines.
 func parallelSystem(t *testing.T, parallelism int) *idm.System {
 	t.Helper()
 	fs := idm.NewFileSystem()
@@ -22,7 +25,7 @@ func parallelSystem(t *testing.T, parallelism int) *idm.System {
 		fs.WriteFile(fmt.Sprintf("/docs/doc%03d.txt", i),
 			[]byte("wide blob content for shard testing"))
 	}
-	sys := idm.Open(idm.Config{Now: fixedNow, Parallelism: parallelism})
+	sys := idm.Open(idm.Config{Now: fixedNow, Parallelism: parallelism, RulePlanner: true})
 	if err := sys.AddFileSystem("filesystem", fs); err != nil {
 		t.Fatal(err)
 	}

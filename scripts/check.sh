@@ -21,6 +21,13 @@ go test -race -run 'Obs|Trace|Metrics|Scrape' .
 # first for attributable failure; ./... repeats them below.
 echo '>> go test -race -run "Fault|SourceDown|FailClosed|StaleResults|Differential|Resilience" . ./internal/fault ./internal/sources ./internal/iql (resilience gate)'
 go test -race -run 'Fault|SourceDown|FailClosed|StaleResults|Differential|Resilience' . ./internal/fault ./internal/sources ./internal/iql
+# Planner gate: the cost-based planner's unit tests (cost model,
+# estimate surfaces, adaptive decisions), the rvm statistics provider,
+# the root-level cardinality-accuracy and planner-choice golden suites,
+# and the three-way differential suite run first for attributable
+# failure; ./... repeats them below.
+echo '>> go test -race -run "Planner|Cost|Estimate|Adaptive|Cardinality|Differential" ./internal/iql ./internal/rvm . (planner gate)'
+go test -race -run 'Planner|Cost|Estimate|Adaptive|Cardinality|Differential' ./internal/iql ./internal/rvm .
 # Store gate: the durable-store package (WAL/snapshot/recovery units)
 # and the root-level crash-matrix + corruption + recovered-index suites
 # run first for attributable failure; ./... repeats them below.
