@@ -5,16 +5,21 @@
 // Usage:
 //
 //	idmbench [-exp all|table2|table3|figure5|table4|figure6|iql] [-scale 0.05] [-seed 42] [-runs 5]
-//	         [-json BENCH_iql.json] [-parallelism N] [-obsreps 3] [-tenx] [-minspeedup X]
+//	         [-json BENCH_iql.json] [-parallelism N] [-obsreps 3] [-tenx] [-minspeedup X] [-obsgate]
 //
 // -json writes the iQL engine microbenchmark (experiments.BenchReport,
-// schema_version 3: serial vs forced-parallel vs planner-adaptive, with
+// schema_version 4: serial vs forced-parallel vs planner-adaptive, with
 // the adaptive planner's strategy and estimated-vs-actual rows per
 // query) to the given path, including the obs_overhead section that
-// compares instrumented vs uninstrumented ns/op (-obsreps 0 skips it).
+// compares instrumented vs uninstrumented ns/op across four postures —
+// no registry, disabled registry, enabled registry, enabled registry
+// plus query log (-obsreps 0 skips it).
 // -tenx adds the scale_10x section (the same measurement at 10× -scale).
 // -minspeedup fails the run (exit 1) if any query's adaptive speedup
 // over serial falls below the threshold — the planner regression gate.
+// -obsgate fails the run if the mean disabled overhead exceeds 2% or
+// the mean query-log-enabled overhead exceeds 3% — the observability
+// cost gate (opt-in: percent-level bounds need a quiet machine).
 //
 // See EXPERIMENTS.md for the paper-vs-measured comparison.
 package main
@@ -41,6 +46,7 @@ func main() {
 	obsReps := flag.Int("obsreps", 3, "min-of-N repetitions for the obs_overhead section of -json (0 = skip)")
 	tenx := flag.Bool("tenx", false, "additionally measure the iQL benchmark at 10x -scale (scale_10x section)")
 	minSpeedup := flag.Float64("minspeedup", 0, "fail unless every query's adaptive speedup over serial is at least this (0 = no gate)")
+	obsGate := flag.Bool("obsgate", false, "fail unless mean obs overhead is within bounds (disabled <= 2%, query-log <= 3%); needs -obsreps > 0")
 	flag.Parse()
 
 	strategy := iql.ForwardExpansion
@@ -139,11 +145,19 @@ func main() {
 				}
 				rep.ObsOverhead = oo
 				for _, q := range oo.Queries {
-					fmt.Printf("%-3s obs baseline %10d ns/op  disabled %+6.2f%%  enabled %+6.2f%%\n",
-						q.ID, q.BaselineNsPerOp, q.DisabledOverheadPct, q.EnabledOverheadPct)
+					fmt.Printf("%-3s obs baseline %10d ns/op  disabled %+6.2f%%  enabled %+6.2f%%  querylog %+6.2f%%\n",
+						q.ID, q.BaselineNsPerOp, q.DisabledOverheadPct, q.EnabledOverheadPct, q.QueryLogOverheadPct)
 				}
-				fmt.Printf("obs overhead mean: disabled %+.2f%%  enabled %+.2f%%\n",
-					oo.MeanDisabledOverheadPct, oo.MeanEnabledOverheadPct)
+				fmt.Printf("obs overhead mean: disabled %+.2f%%  enabled %+.2f%%  querylog %+.2f%%\n",
+					oo.MeanDisabledOverheadPct, oo.MeanEnabledOverheadPct, oo.MeanQueryLogOverheadPct)
+				if *obsGate {
+					if err := gateObs(oo); err != nil {
+						fail(err)
+					}
+					fmt.Println("obs gate passed: disabled <= 2%, query-log <= 3%")
+				}
+			} else if *obsGate {
+				fail(fmt.Errorf("-obsgate needs -obsreps > 0"))
 			}
 			if *jsonPath != "" {
 				data, err := json.MarshalIndent(rep, "", "  ")
@@ -195,6 +209,20 @@ func gateSpeedup(rep *experiments.BenchReport, min float64) error {
 	}
 	if len(bad) > 0 {
 		return fmt.Errorf("adaptive speedup below %.2f: %v", min, bad)
+	}
+	return nil
+}
+
+// gateObs enforces the observability cost bounds on the measured means:
+// instruments wired but disabled must stay within 2% of the
+// uninstrumented baseline, and the full posture — enabled registry plus
+// query-log recording — within 3%.
+func gateObs(oo *experiments.ObsOverhead) error {
+	if oo.MeanDisabledOverheadPct > 2 {
+		return fmt.Errorf("obs gate: mean disabled overhead %.2f%% exceeds 2%%", oo.MeanDisabledOverheadPct)
+	}
+	if oo.MeanQueryLogOverheadPct > 3 {
+		return fmt.Errorf("obs gate: mean query-log overhead %.2f%% exceeds 3%%", oo.MeanQueryLogOverheadPct)
 	}
 	return nil
 }

@@ -16,6 +16,8 @@
 //	\plan <query>    show the rule-based plan for a query
 //	\explain <query> evaluate with tracing and print the span tree
 //	\stats           session metrics and query-cache statistics
+//	\history [n]     recent queries from the query log (latency + stats)
+//	\slow [n]        slow queries (≥ -slow-query) with their trace renders
 //	\health          per-source degradation and circuit-breaker status
 //	\checkpoint      compact the durable store into a fresh snapshot
 //	\quit            exit
@@ -32,8 +34,10 @@
 // answered while a source is down print a stale-results banner.
 //
 // -debug-addr serves the observability surface over HTTP:
-// /debug/metrics (JSON snapshot), /debug/vars (expvar) and
-// /debug/pprof/ (see docs/OBSERVABILITY.md).
+// /debug/metrics (JSON snapshot), /debug/metrics/prom (Prometheus text
+// exposition), /debug/queries (query log), /debug/vars (expvar) and
+// /debug/pprof/ (see docs/OBSERVABILITY.md). -slow-query sets the
+// slow-query threshold and -query-log the log's ring capacity.
 package main
 
 import (
@@ -57,7 +61,9 @@ func main() {
 	hidden := flag.Bool("hidden", false, "with -dir: include hidden files and directories")
 	expansion := flag.String("expansion", "forward", "path evaluation: forward|backward|auto")
 	limit := flag.Int("limit", 10, "max results to print per query")
-	debugAddr := flag.String("debug-addr", "", "serve /debug/metrics, /debug/vars and /debug/pprof on this address (e.g. localhost:6060)")
+	debugAddr := flag.String("debug-addr", "", "serve /debug/metrics, /debug/queries, /debug/vars and /debug/pprof on this address (e.g. localhost:6060)")
+	slowQuery := flag.Duration("slow-query", 250*time.Millisecond, "slow-query threshold: queries at or over it retain a full trace in the query log (0 disables)")
+	queryLog := flag.Int("query-log", 0, "query log ring capacity (0 = default 256, negative disables the log)")
 	resilient := flag.Bool("resilient", false, "wrap sources in the retry/timeout/circuit-breaker proxy (docs/RESILIENCE.md)")
 	failClosed := flag.Bool("fail-closed", false, "reject queries while a source is degraded instead of serving stale replicas")
 	dataDir := flag.String("data-dir", "", "durable dataspace directory: WAL + snapshots, recovered on startup (docs/PERSISTENCE.md)")
@@ -79,7 +85,12 @@ func main() {
 		os.Exit(2)
 	}
 
-	cfg := idm.Config{Expansion: exp}
+	cfg := idm.Config{Expansion: exp, QueryLogSize: *queryLog}
+	if *slowQuery > 0 {
+		cfg.SlowQuery = *slowQuery
+	} else {
+		cfg.SlowQuery = -1 // 0 means "default" to the library; the flag's 0 means off
+	}
 	if *resilient {
 		cfg.Resilience = &idm.ResiliencePolicy{}
 	}
@@ -146,7 +157,7 @@ func main() {
 		report.TotalViews(), len(report.Timings), time.Since(start).Round(time.Millisecond))
 
 	if *debugAddr != "" {
-		bound, shutdown, err := obs.Serve(*debugAddr, sys.Metrics())
+		bound, shutdown, err := obs.ServeWith(*debugAddr, sys.Metrics(), sys.QueryLog())
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -277,6 +288,10 @@ func repl(sys *idm.System, limit int) {
 				mb(s.Name), mb(s.Tuple), mb(s.Content), mb(s.Group), mb(s.Catalog), mb(s.Total()))
 		case line == `\stats`:
 			printStats(sys)
+		case line == `\history` || strings.HasPrefix(line, `\history `):
+			printHistory(sys, logLimit(line, `\history`), false)
+		case line == `\slow` || strings.HasPrefix(line, `\slow `):
+			printHistory(sys, logLimit(line, `\slow`), true)
 		case line == `\health`:
 			printHealth(sys)
 		case line == `\checkpoint`:
@@ -408,6 +423,71 @@ func printStats(sys *idm.System) {
 	}
 }
 
+// logLimit parses the optional [n] argument of \history and \slow.
+func logLimit(line, cmd string) int {
+	arg := strings.TrimSpace(strings.TrimPrefix(line, cmd))
+	if arg == "" {
+		return 10
+	}
+	n := 0
+	if _, err := fmt.Sscanf(arg, "%d", &n); err != nil || n <= 0 {
+		return 10
+	}
+	return n
+}
+
+// printHistory renders the query log's recent (or slow) ring, newest
+// first: latency, outcome and the per-query resource accounting. Slow
+// records additionally print their retained trace.
+func printHistory(sys *idm.System, n int, slow bool) {
+	l := sys.QueryLog()
+	if l == nil {
+		fmt.Println("query log disabled (run without -query-log -1)")
+		return
+	}
+	recs := l.Recent(n)
+	kind := "queries"
+	total := l.Total()
+	if slow {
+		recs = l.Slow(n)
+		kind = fmt.Sprintf("slow queries (≥ %v)", l.SlowThreshold())
+		total = l.SlowTotal()
+	}
+	if len(recs) == 0 {
+		fmt.Printf("no %s recorded\n", kind)
+		return
+	}
+	fmt.Printf("%d of %d %s, newest first:\n", len(recs), total, kind)
+	for _, r := range recs {
+		flags := ""
+		if r.CacheHit {
+			flags += " cache-hit"
+		}
+		if r.Stale {
+			flags += " stale"
+		}
+		if r.Slow {
+			flags += " SLOW"
+		}
+		outcome := fmt.Sprintf("%d rows", r.Rows)
+		if r.Error != "" {
+			outcome = "error: " + r.Error
+		}
+		fmt.Printf("  #%-4d %-10v %-24s %s%s\n", r.ID,
+			time.Duration(r.DurationNs).Round(time.Microsecond), outcome, r.Query, flags)
+		if r.Error == "" {
+			fmt.Printf("        scanned=%d postings=%d expanded=%d frontier=%d idx=%d strategy=%s\n",
+				r.Stats.RowsScanned, r.Stats.PostingsRead, r.Stats.ViewsExpanded,
+				r.Stats.PeakFrontier, r.Stats.IndexAccesses, r.Strategy)
+		}
+		if slow && r.Trace != "" {
+			for _, ln := range strings.Split(strings.TrimRight(r.Trace, "\n"), "\n") {
+				fmt.Printf("        %s\n", ln)
+			}
+		}
+	}
+}
+
 // printHealth renders per-source degradation status: last sync outcome,
 // consecutive failures and the circuit-breaker state (when -resilient).
 func printHealth(sys *idm.System) {
@@ -451,6 +531,8 @@ func printHelp() {
   \plan <query>    show the rule-based query plan
   \explain <query> evaluate with tracing and print the span tree
   \stats           session metrics and query-cache statistics
+  \history [n]     recent queries from the query log (latency + stats)
+  \slow [n]        slow queries (≥ -slow-query) with their trace renders
   \health          per-source degradation and circuit-breaker status
   \rank <query>    evaluate with tf-ranked results
   \lineage <query> provenance chain of the first result

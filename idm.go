@@ -176,6 +176,10 @@ func NewRSSServer() *RSSServer { return rss.NewServer() }
 // Expansion selects the iQL path-evaluation strategy.
 type Expansion = iql.Expansion
 
+// QueryStats is the per-query resource accounting attached to every
+// Result (see iql.QueryStats for field semantics).
+type QueryStats = iql.QueryStats
+
 // Expansion strategies: the paper's prototype uses forward expansion;
 // backward and automatic expansion implement the improvement §7.2
 // proposes for Q8-style queries.
@@ -226,6 +230,15 @@ type Config struct {
 	// stay wired through the stack but record nothing (one atomic load
 	// per call). Re-enable at runtime with Metrics().SetEnabled(true).
 	DisableMetrics bool
+	// SlowQuery is the query log's slow threshold: queries at or over it
+	// additionally retain a full EXPLAIN-style trace render (see
+	// QueryLog). Zero applies DefaultSlowQuery; negative disables slow
+	// capture while keeping the log.
+	SlowQuery time.Duration
+	// QueryLogSize is the per-ring capacity of the query log (recent and
+	// slow rings). Zero applies obs.DefaultQueryLogSize; negative
+	// disables query logging entirely.
+	QueryLogSize int
 	// Resilience wraps every registered source in a retry/timeout/
 	// circuit-breaker proxy with this policy. nil leaves sources
 	// unwrapped: a failing source fails its sync on the first error.
@@ -249,6 +262,10 @@ type Config struct {
 	// meaningful with DataDir.
 	Fsync SyncPolicy
 }
+
+// DefaultSlowQuery is the slow-query threshold applied when
+// Config.SlowQuery is zero.
+const DefaultSlowQuery = 250 * time.Millisecond
 
 // DegradedReadPolicy selects query behaviour while sources are degraded.
 type DegradedReadPolicy int
@@ -277,6 +294,7 @@ type System struct {
 	planner    iql.PlannerMode
 	cache      *queryCache // nil when disabled
 	metrics    *obs.Registry
+	qlog       *obs.QueryLog // nil when disabled
 	met        systemMetrics
 	degraded   DegradedReadPolicy
 	store      *store.Store // nil when in-memory
@@ -408,12 +426,21 @@ func open(cfg Config, cat *catalog.Catalog, st *store.Store, reg *obs.Registry) 
 	if cfg.RulePlanner {
 		planner = iql.PlannerRule
 	}
+	var qlog *obs.QueryLog
+	if cfg.QueryLogSize >= 0 {
+		slow := cfg.SlowQuery
+		if slow == 0 {
+			slow = DefaultSlowQuery
+		}
+		qlog = obs.NewQueryLog(cfg.QueryLogSize, slow)
+	}
 	engine := iql.NewEngine(mgr, iql.Options{
 		Expansion:   cfg.Expansion,
 		Now:         now,
 		Parallelism: cfg.Parallelism,
 		Planner:     planner,
 		Metrics:     reg,
+		QueryLog:    qlog,
 	})
 	s := &System{
 		mgr:        mgr,
@@ -423,6 +450,7 @@ func open(cfg Config, cat *catalog.Catalog, st *store.Store, reg *obs.Registry) 
 		par:        cfg.Parallelism,
 		planner:    planner,
 		metrics:    reg,
+		qlog:       qlog,
 		met:        newSystemMetrics(reg),
 		degraded:   cfg.DegradedReads,
 		store:      st,
@@ -528,7 +556,15 @@ func (s *System) Query(q string) (*Result, error) {
 		if res, ok := s.cache.get(q, version); ok {
 			s.met.cacheHits.Inc()
 			s.met.queryNs.ObserveSince(start)
-			return res, nil
+			// The cached Result is shared; hand out a shallow copy whose
+			// Stats carry the hit flag and the hit-path latency. The
+			// engine never sees cache hits, so the facade logs them.
+			elapsed := time.Since(start)
+			hit := *res
+			hit.Stats.CacheHit = true
+			hit.Stats.ElapsedNs = int64(elapsed)
+			s.recordCacheHit(q, &hit, elapsed)
+			return &hit, nil
 		}
 		s.met.cacheMisses.Inc()
 	}
@@ -537,6 +573,7 @@ func (s *System) Query(q string) (*Result, error) {
 		return nil, err
 	}
 	res := s.buildResult(r)
+	res.Stats.ElapsedNs = int64(time.Since(start))
 	if useCache {
 		// The elapsed time is what this miss cost; the cache reports it
 		// as MissLatency against the hit path's HitLatency.
@@ -545,6 +582,40 @@ func (s *System) Query(q string) (*Result, error) {
 	s.met.queryNs.ObserveSince(start)
 	return res, nil
 }
+
+// recordCacheHit logs a cache-served query. The record keeps the cached
+// result's resource stats — what the result originally cost to compute —
+// with CacheHit marking that this serving paid none of it.
+func (s *System) recordCacheHit(q string, res *Result, elapsed time.Duration) {
+	if s.qlog == nil {
+		return
+	}
+	s.qlog.Record(obs.QueryRecord{
+		Query:      q,
+		DurationNs: int64(elapsed),
+		Rows:       int64(len(res.Rows)),
+		CacheHit:   true,
+		Stale:      res.Stale,
+		Strategy:   res.Stats.Strategy,
+		Stats: obs.QueryStatsRecord{
+			RowsScanned:     res.Stats.RowsScanned,
+			PostingsRead:    res.Stats.PostingsRead,
+			ResidualFilters: res.Stats.ResidualFilters,
+			ViewsExpanded:   res.Stats.ViewsExpanded,
+			PeakFrontier:    res.Stats.PeakFrontier,
+			IndexAccesses:   res.Stats.IndexAccesses,
+			EstimatedRows:   res.Stats.EstimatedRows,
+		},
+	})
+}
+
+// QueryLog returns the system's query log: a ring of the most recent
+// queries (text, latency, resource stats) plus a ring of queries at or
+// over the slow threshold, each with a full trace render. nil when
+// disabled with Config.QueryLogSize < 0. Attach it to the debug HTTP
+// surface with obs.ServeWith, or read it directly (Recent, Slow,
+// Snapshot).
+func (s *System) QueryLog() *obs.QueryLog { return s.qlog }
 
 // CacheStats reports query-cache hits, misses, current size and the
 // latency/age detail of cache.go.
@@ -716,6 +787,9 @@ type Result struct {
 	// not the live source. StaleSources names the degraded sources.
 	Stale        bool
 	StaleSources []string
+	// Stats is the per-query resource accounting: rows scanned, index
+	// postings read, views expanded, planner strategy, cache-hit flag.
+	Stats QueryStats
 }
 
 // Count returns the number of result rows.
@@ -728,6 +802,7 @@ func (s *System) buildResult(r *iql.Result) *Result {
 		Intermediates: int(r.Plan.Intermediates),
 		Stale:         len(r.Plan.StaleSources) > 0,
 		StaleSources:  r.Plan.StaleSources,
+		Stats:         r.Stats,
 	}
 	if out.Stale {
 		s.met.staleQueries.Inc()

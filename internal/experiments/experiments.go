@@ -539,8 +539,9 @@ type ScaleSection struct {
 // bumps on additions (incompatible changes would fork the file name):
 // version 2 added the optional obs_overhead section; version 3 added
 // num_cpu, the per-query adaptive mode with its planner section, and
-// the optional scale_10x section. Readers of older versions still
-// parse newer files by ignoring the unknown keys.
+// the optional scale_10x section; version 4 added the query-log mode
+// to obs_overhead. Readers of older versions still parse newer files
+// by ignoring the unknown keys.
 type BenchReport struct {
 	SchemaVersion int     `json:"schema_version"`
 	Tool          string  `json:"tool"`
@@ -704,7 +705,7 @@ func BenchIQL(s *Setup, runs, parallelism int) (*BenchReport, error) {
 		parallelism = runtime.GOMAXPROCS(0)
 	}
 	rep := &BenchReport{
-		SchemaVersion: 3,
+		SchemaVersion: 4,
 		Tool:          "idmbench",
 		Scale:         s.Scale,
 		Seed:          s.Seed,
@@ -751,28 +752,34 @@ func BenchIQLAtScale(scale float64, seed int64, runs, parallelism int) (*ScaleSe
 
 // ObsQueryOverhead is one query's instrumentation-cost measurement:
 // ns/op with no registry wired (baseline), with a wired-but-disabled
-// registry (the default production posture when metrics are off), and
-// with recording enabled.
+// registry (the default production posture when metrics are off), with
+// recording enabled, and with recording plus the query log (schema v4:
+// every completed query appended to the ring).
 type ObsQueryOverhead struct {
 	ID              string `json:"id"`
 	BaselineNsPerOp int64  `json:"baseline_ns_per_op"`
 	DisabledNsPerOp int64  `json:"disabled_ns_per_op"`
 	EnabledNsPerOp  int64  `json:"enabled_ns_per_op"`
+	QueryLogNsPerOp int64  `json:"querylog_ns_per_op"`
 	// Overheads are relative to baseline; small negatives are
 	// measurement noise.
 	DisabledOverheadPct float64 `json:"disabled_overhead_pct"`
 	EnabledOverheadPct  float64 `json:"enabled_overhead_pct"`
+	QueryLogOverheadPct float64 `json:"querylog_overhead_pct"`
 }
 
 // ObsOverhead is the obs_overhead section of BENCH_iql.json
-// (schema_version 2). The acceptance target is mean disabled overhead
-// ≤ 2%: wired instruments must be near-free when the registry is off.
+// (schema_version 2; the query-log mode is v4). The acceptance targets
+// are mean disabled overhead ≤ 2% (wired instruments must be near-free
+// when the registry is off) and mean query-log overhead ≤ 3% (full
+// per-query accounting plus ring recording stays in noise territory).
 type ObsOverhead struct {
 	Runs                    int                `json:"runs"`
 	Reps                    int                `json:"reps"`
 	Queries                 []ObsQueryOverhead `json:"queries"`
 	MeanDisabledOverheadPct float64            `json:"mean_disabled_overhead_pct"`
 	MeanEnabledOverheadPct  float64            `json:"mean_enabled_overhead_pct"`
+	MeanQueryLogOverheadPct float64            `json:"mean_querylog_overhead_pct"`
 }
 
 // BenchObsOverhead measures the instrumentation cost on every Table 4
@@ -794,6 +801,14 @@ func BenchObsOverhead(s *Setup, runs, reps int) (*ObsOverhead, error) {
 	disabled := iql.NewEngine(s.Mgr, iql.Options{Expansion: iql.ForwardExpansion, Now: Clock, Parallelism: 1, Metrics: disReg})
 	enReg := obs.NewRegistry()
 	enabled := iql.NewEngine(s.Mgr, iql.Options{Expansion: iql.ForwardExpansion, Now: Clock, Parallelism: 1, Metrics: enReg})
+	// The query-log mode is the full production posture: enabled
+	// registry plus a query log recording every completed query. The
+	// slow threshold is left high enough that no benchmark query
+	// triggers the traced re-execution — that path is deliberately
+	// expensive and separately documented.
+	qlReg := obs.NewRegistry()
+	qlog := obs.NewQueryLog(0, time.Hour)
+	querylog := iql.NewEngine(s.Mgr, iql.Options{Expansion: iql.ForwardExpansion, Now: Clock, Parallelism: 1, Metrics: qlReg, QueryLog: qlog})
 
 	// time one batch of iters executions; min-of-reps over these batches
 	// is the reported ns/op.
@@ -811,7 +826,7 @@ func BenchObsOverhead(s *Setup, runs, reps int) (*ObsOverhead, error) {
 	}
 
 	out := &ObsOverhead{Runs: runs, Reps: reps}
-	var disSum, enSum float64
+	var disSum, enSum, qlSum float64
 	for _, q := range PaperQueries() {
 		row := ObsQueryOverhead{ID: q.ID}
 		// Warm up and calibrate the batch size so one batch runs long
@@ -835,6 +850,7 @@ func BenchObsOverhead(s *Setup, runs, reps int) (*ObsOverhead, error) {
 			{baseline, &row.BaselineNsPerOp},
 			{disabled, &row.DisabledNsPerOp},
 			{enabled, &row.EnabledNsPerOp},
+			{querylog, &row.QueryLogNsPerOp},
 		}
 		for rep := 0; rep < reps; rep++ {
 			// Rotate the mode order each repetition so slow drift
@@ -853,14 +869,17 @@ func BenchObsOverhead(s *Setup, runs, reps int) (*ObsOverhead, error) {
 		if row.BaselineNsPerOp > 0 {
 			row.DisabledOverheadPct = 100 * float64(row.DisabledNsPerOp-row.BaselineNsPerOp) / float64(row.BaselineNsPerOp)
 			row.EnabledOverheadPct = 100 * float64(row.EnabledNsPerOp-row.BaselineNsPerOp) / float64(row.BaselineNsPerOp)
+			row.QueryLogOverheadPct = 100 * float64(row.QueryLogNsPerOp-row.BaselineNsPerOp) / float64(row.BaselineNsPerOp)
 		}
 		disSum += row.DisabledOverheadPct
 		enSum += row.EnabledOverheadPct
+		qlSum += row.QueryLogOverheadPct
 		out.Queries = append(out.Queries, row)
 	}
 	if n := float64(len(out.Queries)); n > 0 {
 		out.MeanDisabledOverheadPct = disSum / n
 		out.MeanEnabledOverheadPct = enSum / n
+		out.MeanQueryLogOverheadPct = qlSum / n
 	}
 	return out, nil
 }

@@ -182,7 +182,7 @@ func TestBenchIQLReport(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rep.SchemaVersion != 3 || rep.Parallelism != 4 || len(rep.Queries) != 8 {
+	if rep.SchemaVersion != 4 || rep.Parallelism != 4 || len(rep.Queries) != 8 {
 		t.Fatalf("report header = %+v", rep)
 	}
 	for _, q := range rep.Queries {
@@ -207,7 +207,7 @@ func TestBenchIQLReport(t *testing.T) {
 }
 
 // TestBenchObsOverheadReport checks the obs_overhead producer: all eight
-// queries measured in all three modes. Overhead percentages are not
+// queries measured in all four modes. Overhead percentages are not
 // asserted here — one fast repetition in a loaded test run is too noisy;
 // the Makefile's obs-bench target measures them properly.
 func TestBenchObsOverheadReport(t *testing.T) {
@@ -220,7 +220,7 @@ func TestBenchObsOverheadReport(t *testing.T) {
 		t.Fatalf("queries measured = %d, want 8", len(oo.Queries))
 	}
 	for _, q := range oo.Queries {
-		if q.BaselineNsPerOp <= 0 || q.DisabledNsPerOp <= 0 || q.EnabledNsPerOp <= 0 {
+		if q.BaselineNsPerOp <= 0 || q.DisabledNsPerOp <= 0 || q.EnabledNsPerOp <= 0 || q.QueryLogNsPerOp <= 0 {
 			t.Errorf("%s: non-positive timing %+v", q.ID, q)
 		}
 	}

@@ -57,6 +57,12 @@ type Options struct {
 	// engine uninstrumented; a disabled registry costs one atomic load
 	// per instrument call.
 	Metrics *obs.Registry
+	// QueryLog receives one record per completed string-level query
+	// (Query and QueryTraced; Exec/ExecTraced bypass it — callers
+	// evaluating pre-parsed ASTs own their logging). nil disables
+	// logging. Queries at or over the log's slow threshold additionally
+	// retain a full trace render; see obs.QueryLog.
+	QueryLog *obs.QueryLog
 }
 
 func (o Options) withDefaults() Options {
@@ -142,6 +148,9 @@ type Result struct {
 	// (Options.Rank); nil otherwise.
 	Scores []float64
 	Plan   *PlanInfo
+	// Stats is the per-query resource accounting: what the query cost,
+	// not just how long it took. See QueryStats.
+	Stats QueryStats
 }
 
 // Count returns the number of result rows (the "# of Results" column of
@@ -162,7 +171,14 @@ func (r *Result) OIDs() []catalog.OID {
 
 // Query parses and evaluates an iQL query string.
 func (e *Engine) Query(src string) (*Result, error) {
-	return e.query(src, nil)
+	t0 := time.Now()
+	res, err := e.query(src, nil)
+	elapsed := time.Since(t0)
+	if res != nil {
+		res.Stats.ElapsedNs = int64(elapsed)
+	}
+	e.record(src, res, err, elapsed, nil)
+	return res, err
 }
 
 // QueryTraced parses and evaluates src with span-based tracing: the
@@ -170,9 +186,15 @@ func (e *Engine) Query(src string) (*Result, error) {
 // per-worker spans for the stages the engine sharded. Tracing records
 // wall-clock per stage, so traced runs cost slightly more than Query.
 func (e *Engine) QueryTraced(src string) (*Result, *obs.Trace, error) {
+	t0 := time.Now()
 	trace := obs.NewTrace("query " + src)
 	res, err := e.query(src, trace)
 	trace.Finish()
+	elapsed := time.Since(t0)
+	if res != nil {
+		res.Stats.ElapsedNs = int64(elapsed)
+	}
+	e.record(src, res, err, elapsed, trace)
 	return res, trace, err
 }
 
@@ -287,6 +309,38 @@ func (e *Engine) ExecTraced(q Query, trace *obs.Trace) (*Result, error) {
 		rs.Set("order", "relevance (tf)")
 		e.rank(q, res)
 		rs.Finish()
+	}
+	// Per-query resource accounting. All workers have joined, so the
+	// plan's atomic counters read exact here.
+	planner := "rule"
+	if e.opts.Planner == PlannerAdaptive {
+		planner = "adaptive"
+	}
+	res.Stats = QueryStats{
+		ElapsedNs:       int64(time.Since(t0)),
+		Rows:            int64(len(res.Rows)),
+		RowsScanned:     plan.RowsScanned,
+		PostingsRead:    plan.PostingsRead,
+		ResidualFilters: plan.ResidualFilters,
+		ViewsExpanded:   plan.Intermediates,
+		PeakFrontier:    plan.PeakFrontier,
+		IndexAccesses:   plan.IndexAccesses,
+		EstimatedRows:   plan.EstimatedRows,
+		ParallelStages:  plan.ParallelStages,
+		SerialStages:    plan.SerialStages,
+		Strategy:        plan.Strategy,
+		Planner:         planner,
+	}
+	if trace != nil {
+		st := root.Start("stats")
+		st.SetInt("rows", res.Stats.Rows)
+		st.SetInt("rows scanned", res.Stats.RowsScanned)
+		st.SetInt("postings read", res.Stats.PostingsRead)
+		st.SetInt("residual filters", res.Stats.ResidualFilters)
+		st.SetInt("views expanded", res.Stats.ViewsExpanded)
+		st.SetInt("peak frontier", res.Stats.PeakFrontier)
+		st.SetInt("index accesses", res.Stats.IndexAccesses)
+		st.Finish()
 	}
 	e.met.queryNs.ObserveSince(t0)
 	e.met.rows.Add(int64(len(res.Rows)))

@@ -86,6 +86,7 @@ func (b *expansionBudget) take(n int) bool { return b.left.Add(-int64(n)) >= 0 }
 // Children reached over several edges are counted per edge, as the
 // serial evaluator always did.
 func (c *evalCtx) expandChild(step Step, cur []catalog.OID, bud *expansionBudget, sp *obs.Span) (*oidset.Set, int, error) {
+	c.plan.maxFrontier(len(cur))
 	w := c.workers(len(cur), costChildEdge+stepMatchCost(step))
 	sets := make([]*oidset.Set, w)
 	edges := make([]int, w)
@@ -139,6 +140,7 @@ func (c *evalCtx) expandDescendant(step Step, cur []catalog.OID, bud *expansionB
 	touched := 0
 	frontier := cur
 	for level := 1; len(frontier) > 0; level++ {
+		c.plan.maxFrontier(len(frontier))
 		lv := startSpan(sp, "level %d", level)
 		lv.SetInt("frontier", int64(len(frontier)))
 		// Phase 1: sharded child discovery. visited is read-only here;

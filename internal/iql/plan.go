@@ -117,6 +117,20 @@ type PlanInfo struct {
 	// adaptive planner elided because the index intersection already
 	// covered the step exactly.
 	ResidualSkips int64
+	// RowsScanned counts candidate views examined by residual filters,
+	// including full catalog scans (the per-query analogue of a row-scan
+	// counter).
+	RowsScanned int64
+	// PostingsRead counts index postings materialized from the name,
+	// content, tuple and class indexes (each memoized lookup counted
+	// once, at materialization).
+	PostingsRead int64
+	// ResidualFilters counts residual-filter stages that actually ran
+	// (resolved steps minus ResidualSkips).
+	ResidualFilters int64
+	// PeakFrontier is the largest expansion frontier any stage of this
+	// query carried — the memory high-water mark of BFS expansion.
+	PeakFrontier int64
 	// StaleSources names the degraded sources whose replicated views
 	// this query may have been answered from: their last sync failed,
 	// so the result reflects the last good synchronization (graceful
@@ -151,6 +165,23 @@ func (p *PlanInfo) addParallelStages(n int) { atomic.AddInt64(&p.ParallelStages,
 func (p *PlanInfo) addSerialStages(n int)   { atomic.AddInt64(&p.SerialStages, int64(n)) }
 func (p *PlanInfo) addPushdowns(n int)      { atomic.AddInt64(&p.Pushdowns, int64(n)) }
 func (p *PlanInfo) addResidualSkips(n int)  { atomic.AddInt64(&p.ResidualSkips, int64(n)) }
+func (p *PlanInfo) addRowsScanned(n int)    { atomic.AddInt64(&p.RowsScanned, int64(n)) }
+func (p *PlanInfo) addPostingsRead(n int)   { atomic.AddInt64(&p.PostingsRead, int64(n)) }
+func (p *PlanInfo) addResidualFilters(n int) {
+	atomic.AddInt64(&p.ResidualFilters, int64(n))
+}
+
+// maxFrontier lifts PeakFrontier to n if larger (atomic max; expansion
+// stages may run concurrently).
+func (p *PlanInfo) maxFrontier(n int) {
+	v := int64(n)
+	for {
+		cur := atomic.LoadInt64(&p.PeakFrontier)
+		if v <= cur || atomic.CompareAndSwapInt64(&p.PeakFrontier, cur, v) {
+			return
+		}
+	}
+}
 
 // String renders the plan notes one per line.
 func (p *PlanInfo) String() string { return strings.Join(p.Notes, "\n") }
@@ -251,6 +282,7 @@ func (c *evalCtx) phraseSet(phrase string) *indexSet {
 	}
 	c.plan.addIndexAccesses(1)
 	s = newIndexSet(c.store.ContentPhrase(phrase))
+	c.plan.addPostingsRead(len(s.sorted))
 	c.phraseSets[key] = s
 	return s
 }
@@ -269,6 +301,7 @@ func (c *evalCtx) classSet(class string) *indexSet {
 	}
 	c.plan.addIndexAccesses(1)
 	s = newIndexSet(c.store.OIDsInClass(class))
+	c.plan.addPostingsRead(len(s.sorted))
 	c.classSets[class] = s
 	return s
 }
@@ -288,6 +321,7 @@ func (c *evalCtx) nameSet(pattern string) *indexSet {
 	}
 	c.plan.addIndexAccesses(1)
 	s = newIndexSet(c.store.MatchNames(pattern))
+	c.plan.addPostingsRead(len(s.sorted))
 	c.nameSets[key] = s
 	return s
 }
@@ -307,6 +341,7 @@ func (c *evalCtx) tupleSet(attr string, cmp CmpOp, op tupleindex.Op, value core.
 	}
 	c.plan.addIndexAccesses(1)
 	s = newIndexSet(c.store.TupleQuery(attr, op, value))
+	c.plan.addPostingsRead(len(s.sorted))
 	c.tupleSets[key] = s
 	return s
 }
@@ -493,6 +528,8 @@ func (c *evalCtx) resolveStep(s Step, sp *obs.Span) []catalog.OID {
 		return candidates
 	}
 	// Final exact filter (pattern + full predicate).
+	c.plan.addResidualFilters(1)
+	c.plan.addRowsScanned(len(candidates))
 	rf := startSpan(sp, "residual filter")
 	rf.SetInt("candidates", int64(len(candidates)))
 	out := c.filterStep(s, candidates, rf)

@@ -5,17 +5,21 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 	"sync"
 	"sync/atomic"
 )
 
 // The live debug surface: an http.Handler serving metric snapshots as
-// JSON next to the stdlib's expvar and pprof endpoints.
+// JSON, the Prometheus text exposition, the query log, and the stdlib's
+// expvar and pprof endpoints.
 //
-//	/debug/metrics   registry snapshot (Snapshot JSON)
-//	/debug/vars      expvar (cmdline, memstats, idm_metrics)
-//	/debug/pprof/*   net/http/pprof profiles
-//	/                index page listing the endpoints
+//	/debug/metrics        registry snapshot (Snapshot JSON)
+//	/debug/metrics/prom   Prometheus text-format exposition
+//	/debug/queries        query log: recent + slow queries (?n= limit)
+//	/debug/vars           expvar (cmdline, memstats, idm_metrics)
+//	/debug/pprof/*        net/http/pprof profiles
+//	/                     index page listing the endpoints
 
 // expvarReg is the registry the expvar "idm_metrics" variable reads;
 // published once, retargetable across Handler calls.
@@ -24,9 +28,15 @@ var (
 	expvarOnce sync.Once
 )
 
-// Handler returns the debug mux over reg. Snapshots are taken per
-// request, so the surface always shows live values.
-func Handler(reg *Registry) http.Handler {
+// Handler returns the debug mux over reg with no query log attached
+// (/debug/queries then reports enabled: false). Use HandlerWith to
+// attach one.
+func Handler(reg *Registry) http.Handler { return HandlerWith(reg, nil) }
+
+// HandlerWith returns the debug mux over reg and qlog. Snapshots are
+// taken per request, so the surface always shows live values; qlog may
+// be nil.
+func HandlerWith(reg *Registry, qlog *QueryLog) http.Handler {
 	expvarReg.Store(reg)
 	expvarOnce.Do(func() {
 		expvar.Publish("idm_metrics", expvar.Func(func() any {
@@ -38,6 +48,20 @@ func Handler(reg *Registry) http.Handler {
 	mux.HandleFunc("/debug/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json; charset=utf-8")
 		reg.Snapshot().WriteJSON(w)
+	})
+	mux.HandleFunc("/debug/metrics/prom", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", PromContentType)
+		reg.Snapshot().WritePrometheus(w)
+	})
+	mux.HandleFunc("/debug/queries", func(w http.ResponseWriter, r *http.Request) {
+		n := 50
+		if v := r.URL.Query().Get("n"); v != "" {
+			if p, err := strconv.Atoi(v); err == nil && p > 0 {
+				n = p
+			}
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		qlog.WriteJSON(w, n)
 	})
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -53,6 +77,8 @@ func Handler(reg *Registry) http.Handler {
 		w.Header().Set("Content-Type", "text/html; charset=utf-8")
 		w.Write([]byte(`<html><body><h1>iDM debug</h1><ul>
 <li><a href="/debug/metrics">/debug/metrics</a> — observability registry snapshot</li>
+<li><a href="/debug/metrics/prom">/debug/metrics/prom</a> — Prometheus text exposition</li>
+<li><a href="/debug/queries">/debug/queries</a> — query log (recent + slow)</li>
 <li><a href="/debug/vars">/debug/vars</a> — expvar (memstats, cmdline)</li>
 <li><a href="/debug/pprof/">/debug/pprof/</a> — runtime profiles</li>
 </ul></body></html>`))
@@ -65,11 +91,16 @@ func Handler(reg *Registry) http.Handler {
 // successful bind are dropped — the debug server must never take the
 // process down.
 func Serve(addr string, reg *Registry) (bound string, shutdown func(), err error) {
+	return ServeWith(addr, reg, nil)
+}
+
+// ServeWith is Serve with a query log attached to /debug/queries.
+func ServeWith(addr string, reg *Registry, qlog *QueryLog) (bound string, shutdown func(), err error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", nil, err
 	}
-	srv := &http.Server{Handler: Handler(reg)}
+	srv := &http.Server{Handler: HandlerWith(reg, qlog)}
 	go srv.Serve(ln)
 	return ln.Addr().String(), func() { srv.Close() }, nil
 }

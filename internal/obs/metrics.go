@@ -253,17 +253,26 @@ func (h *Histogram) snapshot() HistogramSnapshot {
 	if s.Count > 0 {
 		s.Min = h.min.Load()
 		s.Max = h.max.Load()
+		// Precomputed quantiles save scrapers from re-deriving them out
+		// of the bucket counts (Quantile stays available for other qs).
+		s.P50 = s.Quantile(0.50)
+		s.P95 = s.Quantile(0.95)
+		s.P99 = s.Quantile(0.99)
 	}
 	return s
 }
 
 // HistogramSnapshot is one histogram's exported state. Counts has one
-// entry per bound plus a final overflow bucket.
+// entry per bound plus a final overflow bucket. P50/P95/P99 are the
+// interpolated quantile estimates at snapshot time (0 when empty).
 type HistogramSnapshot struct {
 	Count  int64   `json:"count"`
 	Sum    int64   `json:"sum"`
 	Min    int64   `json:"min"`
 	Max    int64   `json:"max"`
+	P50    int64   `json:"p50"`
+	P95    int64   `json:"p95"`
+	P99    int64   `json:"p99"`
 	Bounds []int64 `json:"bounds"`
 	Counts []int64 `json:"counts"`
 }

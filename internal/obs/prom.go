@@ -1,0 +1,123 @@
+package obs
+
+import (
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text-format exposition (version 0.0.4) of a registry
+// snapshot, so the debug surface has a real scraping story without any
+// client-library dependency:
+//
+//   - counters render as `# TYPE <name> counter` plus one sample;
+//   - gauges render as `# TYPE <name> gauge` plus one sample;
+//   - histograms render with CUMULATIVE `_bucket{le="..."}` samples
+//     (the snapshot's per-bucket counts summed up), an `le="+Inf"`
+//     bucket equal to `_count`, and `_sum`/`_count` samples.
+//
+// Metric names are sanitized to the Prometheus charset; histogram
+// bucket bounds keep their recorded unit (nanoseconds for latency
+// histograms).
+
+// PromContentType is the Content-Type of the text exposition format.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus renders the snapshot in the Prometheus text format.
+// Families are emitted in sorted name order, so output is stable for a
+// fixed snapshot.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	b := &strings.Builder{}
+	for _, name := range s.CounterNames() {
+		writeFamily(b, promName(name), "counter", s.Counters[name])
+	}
+	for _, name := range s.GaugeNames() {
+		writeFamily(b, promName(name), "gauge", s.Gauges[name])
+	}
+	for _, name := range s.HistogramNames() {
+		writeHistogram(b, promName(name), s.Histograms[name])
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func writeFamily(b *strings.Builder, name, kind string, v int64) {
+	b.WriteString("# TYPE ")
+	b.WriteString(name)
+	b.WriteByte(' ')
+	b.WriteString(kind)
+	b.WriteByte('\n')
+	b.WriteString(name)
+	b.WriteByte(' ')
+	b.WriteString(strconv.FormatInt(v, 10))
+	b.WriteByte('\n')
+}
+
+func writeHistogram(b *strings.Builder, name string, h HistogramSnapshot) {
+	b.WriteString("# TYPE ")
+	b.WriteString(name)
+	b.WriteString(" histogram\n")
+	var cum int64
+	for i, bound := range h.Bounds {
+		if i < len(h.Counts) {
+			cum += h.Counts[i]
+		}
+		b.WriteString(name)
+		b.WriteString(`_bucket{le="`)
+		b.WriteString(strconv.FormatInt(bound, 10))
+		b.WriteString(`"} `)
+		b.WriteString(strconv.FormatInt(cum, 10))
+		b.WriteByte('\n')
+	}
+	b.WriteString(name)
+	b.WriteString(`_bucket{le="+Inf"} `)
+	b.WriteString(strconv.FormatInt(h.Count, 10))
+	b.WriteByte('\n')
+	b.WriteString(name)
+	b.WriteString("_sum ")
+	b.WriteString(strconv.FormatInt(h.Sum, 10))
+	b.WriteByte('\n')
+	b.WriteString(name)
+	b.WriteString("_count ")
+	b.WriteString(strconv.FormatInt(h.Count, 10))
+	b.WriteByte('\n')
+}
+
+// promName maps a registry instrument name onto the Prometheus metric
+// charset [a-zA-Z_:][a-zA-Z0-9_:]*, replacing anything else with '_'.
+func promName(name string) string {
+	ok := true
+	for i := 0; i < len(name); i++ {
+		if !promNameByte(name[i], i == 0) {
+			ok = false
+			break
+		}
+	}
+	if ok && name != "" {
+		return name
+	}
+	var b strings.Builder
+	b.Grow(len(name) + 1)
+	if name == "" || !promNameByte(name[0], true) {
+		b.WriteByte('_')
+	}
+	for i := 0; i < len(name); i++ {
+		if promNameByte(name[i], false) {
+			b.WriteByte(name[i])
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+func promNameByte(c byte, first bool) bool {
+	switch {
+	case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		return true
+	case c >= '0' && c <= '9':
+		return !first
+	default:
+		return false
+	}
+}

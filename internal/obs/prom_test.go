@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestPrometheusExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("idm_queries_total").Add(7)
+	r.Gauge("idm_frontier_peak").Set(42)
+	h := r.Histogram("idm_query_ns", []int64{10, 100, 1000})
+	for _, v := range []int64{5, 5, 50, 500, 5000} {
+		h.Observe(v)
+	}
+
+	var b strings.Builder
+	if err := r.Snapshot().WritePrometheus(&b); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	out := b.String()
+
+	wantLines := []string{
+		"# TYPE idm_queries_total counter",
+		"idm_queries_total 7",
+		"# TYPE idm_frontier_peak gauge",
+		"idm_frontier_peak 42",
+		"# TYPE idm_query_ns histogram",
+		`idm_query_ns_bucket{le="10"} 2`,
+		`idm_query_ns_bucket{le="100"} 3`,
+		`idm_query_ns_bucket{le="1000"} 4`,
+		`idm_query_ns_bucket{le="+Inf"} 5`,
+		"idm_query_ns_sum 5560",
+		"idm_query_ns_count 5",
+	}
+	for _, want := range wantLines {
+		if !strings.Contains(out, want+"\n") {
+			t.Fatalf("exposition missing line %q:\n%s", want, out)
+		}
+	}
+
+	// Buckets must be cumulative and non-decreasing, and +Inf must equal
+	// _count — the properties a Prometheus scraper relies on.
+	var prev int64 = -1
+	var inf, count int64 = -1, -1
+	for _, line := range strings.Split(out, "\n") {
+		switch {
+		case strings.HasPrefix(line, `idm_query_ns_bucket{le="+Inf"} `):
+			inf = lineValue(t, line)
+		case strings.HasPrefix(line, "idm_query_ns_bucket"):
+			v := lineValue(t, line)
+			if v < prev {
+				t.Fatalf("bucket counts not cumulative: %d after %d in %q", v, prev, line)
+			}
+			prev = v
+		case strings.HasPrefix(line, "idm_query_ns_count "):
+			count = lineValue(t, line)
+		}
+	}
+	if inf != count || inf != 5 {
+		t.Fatalf("le=\"+Inf\" bucket %d != _count %d (want 5)", inf, count)
+	}
+}
+
+func lineValue(t *testing.T, line string) int64 {
+	t.Helper()
+	i := strings.LastIndexByte(line, ' ')
+	v, err := strconv.ParseInt(line[i+1:], 10, 64)
+	if err != nil {
+		t.Fatalf("unparseable sample %q: %v", line, err)
+	}
+	return v
+}
+
+func TestPrometheusNameSanitization(t *testing.T) {
+	cases := map[string]string{
+		"idm_queries_total": "idm_queries_total",
+		"fed_peer_a.b_ns":   "fed_peer_a_b_ns",
+		"q-latency":         "q_latency",
+		"9lives":            "_9lives",
+		"":                  "_",
+		"ok:colon":          "ok:colon",
+	}
+	for in, want := range cases {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+
+	// A registry with hostile names still renders parseable output.
+	r := NewRegistry()
+	r.Counter("fed_peer_bob@laptop_errors").Inc()
+	var b strings.Builder
+	if err := r.Snapshot().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "fed_peer_bob_laptop_errors 1\n") {
+		t.Fatalf("hostile name not sanitized:\n%s", b.String())
+	}
+}

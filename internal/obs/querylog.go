@@ -1,0 +1,272 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// QueryRecord is one completed query as retained by the QueryLog: the
+// query text, outcome, end-to-end latency and the engine's per-query
+// resource accounting. Slow queries additionally carry the full
+// EXPLAIN-style trace rendering.
+type QueryRecord struct {
+	// ID is the log-assigned sequence number (1-based, monotonic).
+	ID uint64 `json:"id"`
+	// Query is the iQL source text.
+	Query string `json:"query"`
+	// Start is when the query began.
+	Start time.Time `json:"start"`
+	// DurationNs is the end-to-end latency in nanoseconds.
+	DurationNs int64 `json:"duration_ns"`
+	// Rows is the result row count (0 on error).
+	Rows int64 `json:"rows"`
+	// Error carries the failure message for failed queries.
+	Error string `json:"error,omitempty"`
+	// CacheHit marks queries answered from the result cache.
+	CacheHit bool `json:"cache_hit,omitempty"`
+	// Stale marks queries answered from degraded sources' replicas.
+	Stale bool `json:"stale,omitempty"`
+	// Slow marks records at or over the log's slow threshold.
+	Slow bool `json:"slow,omitempty"`
+	// Strategy is the planner's physical strategy for the top-level
+	// operator ("forward", "backward", "predicate", "union", "join").
+	Strategy string `json:"strategy,omitempty"`
+	// Stats is the engine's resource accounting for this query.
+	Stats QueryStatsRecord `json:"stats"`
+	// Trace is the rendered span tree, captured for slow queries only.
+	Trace string `json:"trace,omitempty"`
+}
+
+// QueryStatsRecord is the per-query resource accounting the engine
+// hands the log: what the query cost, not just how long it took.
+type QueryStatsRecord struct {
+	// RowsScanned counts candidate views examined by residual filters
+	// (including full catalog scans).
+	RowsScanned int64 `json:"rows_scanned"`
+	// PostingsRead counts index postings materialized from the name,
+	// content, tuple and class indexes.
+	PostingsRead int64 `json:"postings_read"`
+	// ResidualFilters counts residual-filter stages the planner could
+	// not elide.
+	ResidualFilters int64 `json:"residual_filters"`
+	// ViewsExpanded counts views touched during path expansion.
+	ViewsExpanded int64 `json:"views_expanded"`
+	// PeakFrontier is the largest BFS frontier/shard input the query's
+	// expansion stages carried.
+	PeakFrontier int64 `json:"peak_frontier"`
+	// IndexAccesses counts index-backed candidate fetches.
+	IndexAccesses int64 `json:"index_accesses"`
+	// EstimatedRows is the cost-based planner's pre-execution bound
+	// (-1 when no estimate was made).
+	EstimatedRows int64 `json:"estimated_rows"`
+}
+
+// QueryLog retains the most recent completed queries in a fixed ring,
+// plus a second ring of queries at or over a configurable slow
+// threshold. Recording is lock-cheap — one short mutex section copying
+// a small struct — and every method is nil-safe, so an unconfigured
+// log costs a single pointer test on the query path.
+type QueryLog struct {
+	slowNs atomic.Int64 // threshold; <= 0 disables slow classification
+
+	mu      sync.Mutex
+	recent  []QueryRecord // ring, position (total-1) % cap
+	slow    []QueryRecord
+	total   uint64 // records ever written (also the next ID)
+	slowTot uint64
+}
+
+// DefaultQueryLogSize is the ring capacity applied when NewQueryLog is
+// given a non-positive capacity.
+const DefaultQueryLogSize = 256
+
+// NewQueryLog returns a log retaining up to capacity records (and up to
+// capacity slow records), with the given slow threshold. capacity <= 0
+// applies DefaultQueryLogSize; slow <= 0 disables slow classification.
+func NewQueryLog(capacity int, slow time.Duration) *QueryLog {
+	if capacity <= 0 {
+		capacity = DefaultQueryLogSize
+	}
+	l := &QueryLog{
+		recent: make([]QueryRecord, 0, capacity),
+		slow:   make([]QueryRecord, 0, capacity),
+	}
+	l.slowNs.Store(int64(slow))
+	return l
+}
+
+// SetSlowThreshold changes the slow threshold at runtime (<= 0
+// disables). Already-retained records keep their classification.
+func (l *QueryLog) SetSlowThreshold(d time.Duration) {
+	if l == nil {
+		return
+	}
+	l.slowNs.Store(int64(d))
+}
+
+// SlowThreshold returns the current slow threshold (0 for a nil log).
+func (l *QueryLog) SlowThreshold() time.Duration {
+	if l == nil {
+		return 0
+	}
+	return time.Duration(l.slowNs.Load())
+}
+
+// IsSlow reports whether a query of duration d classifies as slow.
+func (l *QueryLog) IsSlow(d time.Duration) bool {
+	if l == nil {
+		return false
+	}
+	ns := l.slowNs.Load()
+	return ns > 0 && int64(d) >= ns
+}
+
+// Record appends one completed query. The log assigns the ID and the
+// Slow flag; a zero Start is back-derived from the duration.
+func (l *QueryLog) Record(rec QueryRecord) {
+	if l == nil {
+		return
+	}
+	rec.Slow = l.IsSlow(time.Duration(rec.DurationNs))
+	if rec.Start.IsZero() {
+		rec.Start = time.Now().Add(-time.Duration(rec.DurationNs))
+	}
+	l.mu.Lock()
+	l.total++
+	rec.ID = l.total
+	appendRing(&l.recent, rec)
+	if rec.Slow {
+		l.slowTot++
+		appendRing(&l.slow, rec)
+	}
+	l.mu.Unlock()
+}
+
+// appendRing writes rec into the fixed-capacity ring backing *buf:
+// it grows the slice until capacity, then overwrites the oldest slot.
+// The logical order is reconstructed from the record IDs.
+func appendRing(buf *[]QueryRecord, rec QueryRecord) {
+	b := *buf
+	if len(b) < cap(b) {
+		*buf = append(b, rec)
+		return
+	}
+	oldest := 0
+	for i := range b {
+		if b[i].ID < b[oldest].ID {
+			oldest = i
+		}
+	}
+	b[oldest] = rec
+}
+
+// Total returns the number of queries ever recorded.
+func (l *QueryLog) Total() uint64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.total
+}
+
+// SlowTotal returns the number of slow queries ever recorded.
+func (l *QueryLog) SlowTotal() uint64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.slowTot
+}
+
+// Recent returns up to n retained records, newest first (n <= 0 returns
+// all retained). The returned slice is a copy.
+func (l *QueryLog) Recent(n int) []QueryRecord {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	out := sortedCopy(l.recent)
+	l.mu.Unlock()
+	return trim(out, n)
+}
+
+// Slow returns up to n retained slow records, newest first.
+func (l *QueryLog) Slow(n int) []QueryRecord {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	out := sortedCopy(l.slow)
+	l.mu.Unlock()
+	return trim(out, n)
+}
+
+func sortedCopy(buf []QueryRecord) []QueryRecord {
+	out := append([]QueryRecord(nil), buf...)
+	// Newest (highest ID) first; the ring is small, insertion sort is
+	// plenty.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].ID > out[j-1].ID; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+func trim(out []QueryRecord, n int) []QueryRecord {
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// QueryLogSnapshot is the JSON shape of /debug/queries.
+type QueryLogSnapshot struct {
+	// Enabled is false when no query log is configured.
+	Enabled bool `json:"enabled"`
+	// Total / SlowTotal count queries ever recorded (the rings retain
+	// only the most recent ones).
+	Total     uint64 `json:"total"`
+	SlowTotal uint64 `json:"slow_total"`
+	// SlowThresholdNs is the current slow threshold (0 = disabled).
+	SlowThresholdNs int64         `json:"slow_threshold_ns"`
+	Recent          []QueryRecord `json:"recent"`
+	Slow            []QueryRecord `json:"slow"`
+}
+
+// Snapshot exports the log's state: totals, threshold, and up to n
+// records per ring, newest first. A nil log reports Enabled: false.
+func (l *QueryLog) Snapshot(n int) QueryLogSnapshot {
+	if l == nil {
+		return QueryLogSnapshot{Recent: []QueryRecord{}, Slow: []QueryRecord{}}
+	}
+	s := QueryLogSnapshot{
+		Enabled:         true,
+		Total:           l.Total(),
+		SlowTotal:       l.SlowTotal(),
+		SlowThresholdNs: int64(l.SlowThreshold()),
+		Recent:          l.Recent(n),
+		Slow:            l.Slow(n),
+	}
+	// Empty rings serialize as [] rather than null.
+	if s.Recent == nil {
+		s.Recent = []QueryRecord{}
+	}
+	if s.Slow == nil {
+		s.Slow = []QueryRecord{}
+	}
+	return s
+}
+
+// WriteJSON writes the snapshot of up to n records per ring as indented
+// JSON.
+func (l *QueryLog) WriteJSON(w io.Writer, n int) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(l.Snapshot(n))
+}

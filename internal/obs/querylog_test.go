@@ -1,0 +1,206 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestQueryLogRingWraparound(t *testing.T) {
+	l := NewQueryLog(4, 0)
+	for i := 1; i <= 10; i++ {
+		l.Record(QueryRecord{Query: "q", DurationNs: int64(i)})
+	}
+	if got := l.Total(); got != 10 {
+		t.Fatalf("Total = %d, want 10", got)
+	}
+	recent := l.Recent(0)
+	if len(recent) != 4 {
+		t.Fatalf("Recent retained %d records, want 4", len(recent))
+	}
+	// Newest first: IDs 10, 9, 8, 7.
+	for i, want := range []uint64{10, 9, 8, 7} {
+		if recent[i].ID != want {
+			t.Fatalf("recent[%d].ID = %d, want %d (order %v)", i, recent[i].ID, want, ids(recent))
+		}
+	}
+	if got := l.Recent(2); len(got) != 2 || got[0].ID != 10 || got[1].ID != 9 {
+		t.Fatalf("Recent(2) = %v, want IDs [10 9]", ids(got))
+	}
+}
+
+func TestQueryLogSlowClassification(t *testing.T) {
+	l := NewQueryLog(8, 5*time.Millisecond)
+	if !l.IsSlow(5 * time.Millisecond) {
+		t.Fatal("IsSlow(threshold) = false, want true (threshold is inclusive)")
+	}
+	if l.IsSlow(5*time.Millisecond - 1) {
+		t.Fatal("IsSlow(threshold-1) = true, want false")
+	}
+	l.Record(QueryRecord{Query: "fast", DurationNs: int64(time.Millisecond)})
+	l.Record(QueryRecord{Query: "slow", DurationNs: int64(10 * time.Millisecond)})
+	if got := l.SlowTotal(); got != 1 {
+		t.Fatalf("SlowTotal = %d, want 1", got)
+	}
+	slow := l.Slow(0)
+	if len(slow) != 1 || slow[0].Query != "slow" || !slow[0].Slow {
+		t.Fatalf("Slow(0) = %+v, want one record for %q with Slow set", slow, "slow")
+	}
+	// The fast record must not carry the flag.
+	for _, r := range l.Recent(0) {
+		if r.Query == "fast" && r.Slow {
+			t.Fatal("fast record classified slow")
+		}
+	}
+
+	// Threshold changes apply to later records only.
+	l.SetSlowThreshold(0)
+	if l.SlowThreshold() != 0 {
+		t.Fatalf("SlowThreshold = %v after disabling, want 0", l.SlowThreshold())
+	}
+	l.Record(QueryRecord{Query: "slow2", DurationNs: int64(time.Hour)})
+	if got := l.SlowTotal(); got != 1 {
+		t.Fatalf("SlowTotal = %d after disabling threshold, want 1", got)
+	}
+}
+
+func TestQueryLogRecordNormalization(t *testing.T) {
+	l := NewQueryLog(2, time.Millisecond)
+	before := time.Now()
+	l.Record(QueryRecord{Query: "q", DurationNs: int64(2 * time.Millisecond)})
+	rec := l.Recent(1)[0]
+	if rec.ID != 1 {
+		t.Fatalf("ID = %d, want 1", rec.ID)
+	}
+	if rec.Start.IsZero() {
+		t.Fatal("zero Start was not back-derived")
+	}
+	if rec.Start.After(before) {
+		t.Fatalf("back-derived Start %v is after record time %v", rec.Start, before)
+	}
+	// An explicit Start is preserved.
+	at := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	l.Record(QueryRecord{Query: "q2", Start: at})
+	if got := l.Recent(1)[0].Start; !got.Equal(at) {
+		t.Fatalf("explicit Start = %v, want %v", got, at)
+	}
+}
+
+func TestQueryLogNilSafe(t *testing.T) {
+	var l *QueryLog
+	l.Record(QueryRecord{Query: "q"})
+	l.SetSlowThreshold(time.Second)
+	if l.IsSlow(time.Hour) {
+		t.Fatal("nil log classified a query slow")
+	}
+	if l.Total() != 0 || l.SlowTotal() != 0 || l.SlowThreshold() != 0 {
+		t.Fatal("nil log reported nonzero state")
+	}
+	if l.Recent(5) != nil || l.Slow(5) != nil {
+		t.Fatal("nil log returned records")
+	}
+	snap := l.Snapshot(5)
+	if snap.Enabled {
+		t.Fatal("nil log snapshot reports Enabled")
+	}
+	if snap.Recent == nil || snap.Slow == nil {
+		t.Fatal("nil log snapshot rings must be empty slices, not nil")
+	}
+}
+
+func TestQueryLogSnapshotJSON(t *testing.T) {
+	l := NewQueryLog(4, time.Millisecond)
+	l.Record(QueryRecord{
+		Query:      "//note",
+		DurationNs: int64(2 * time.Millisecond),
+		Rows:       3,
+		Strategy:   "forward",
+		Stats:      QueryStatsRecord{RowsScanned: 7, PostingsRead: 2, EstimatedRows: -1},
+		Trace:      "query //note 2ms",
+	})
+	var buf bytes.Buffer
+	if err := l.WriteJSON(&buf, 10); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var snap QueryLogSnapshot
+	if err := json.Unmarshal(buf.Bytes(), &snap); err != nil {
+		t.Fatalf("snapshot JSON does not round-trip: %v\n%s", err, buf.String())
+	}
+	if !snap.Enabled || snap.Total != 1 || snap.SlowTotal != 1 {
+		t.Fatalf("snapshot header = %+v, want enabled, total 1, slow 1", snap)
+	}
+	if snap.SlowThresholdNs != int64(time.Millisecond) {
+		t.Fatalf("SlowThresholdNs = %d, want %d", snap.SlowThresholdNs, int64(time.Millisecond))
+	}
+	if len(snap.Recent) != 1 || len(snap.Slow) != 1 {
+		t.Fatalf("snapshot rings = %d recent / %d slow, want 1 / 1", len(snap.Recent), len(snap.Slow))
+	}
+	r := snap.Recent[0]
+	if r.Query != "//note" || r.Rows != 3 || r.Stats.RowsScanned != 7 || r.Stats.EstimatedRows != -1 {
+		t.Fatalf("record did not survive the JSON round-trip: %+v", r)
+	}
+	if !r.Slow || r.Trace == "" {
+		t.Fatalf("slow record lost its flag or trace: %+v", r)
+	}
+
+	// Empty rings serialize as arrays, not null.
+	var raw map[string]json.RawMessage
+	empty := NewQueryLog(2, 0)
+	buf.Reset()
+	if err := empty.WriteJSON(&buf, 10); err != nil {
+		t.Fatalf("WriteJSON(empty): %v", err)
+	}
+	if err := json.Unmarshal(buf.Bytes(), &raw); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"recent", "slow"} {
+		if string(raw[key]) == "null" {
+			t.Fatalf("%s serialized as null, want []", key)
+		}
+	}
+}
+
+func TestQueryLogConcurrentRecord(t *testing.T) {
+	l := NewQueryLog(16, time.Microsecond)
+	var wg sync.WaitGroup
+	const workers, per = 8, 50
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				l.Record(QueryRecord{Query: "q", DurationNs: int64(time.Millisecond)})
+				l.Recent(4)
+				l.Snapshot(4)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := l.Total(); got != workers*per {
+		t.Fatalf("Total = %d, want %d", got, workers*per)
+	}
+	recent := l.Recent(0)
+	if len(recent) != 16 {
+		t.Fatalf("retained %d records, want 16", len(recent))
+	}
+	seen := map[uint64]bool{}
+	for i, r := range recent {
+		if seen[r.ID] {
+			t.Fatalf("duplicate ID %d in ring", r.ID)
+		}
+		seen[r.ID] = true
+		if i > 0 && recent[i-1].ID < r.ID {
+			t.Fatalf("ring not newest-first: %v", ids(recent))
+		}
+	}
+}
+
+func ids(recs []QueryRecord) []uint64 {
+	out := make([]uint64, len(recs))
+	for i, r := range recs {
+		out[i] = r.ID
+	}
+	return out
+}

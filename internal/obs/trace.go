@@ -115,6 +115,18 @@ func (s *Span) SetInt(key string, v int64) {
 	s.Set(key, fmt.Sprintf("%d", v))
 }
 
+// Adopt grafts an independently recorded span tree under s — the
+// federation uses it to merge each peer's own query trace into the
+// federated trace. Adopting nil, or onto a nil span, no-ops.
+func (s *Span) Adopt(c *Span) {
+	if s == nil || c == nil {
+		return
+	}
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+}
+
 // Name returns the span's name ("" for nil).
 func (s *Span) Name() string {
 	if s == nil {

@@ -1,9 +1,13 @@
 package idm
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
+	"time"
+
+	"repro/internal/obs"
 )
 
 // Federation queries multiple PDSMS instances as one logical dataspace —
@@ -11,19 +15,72 @@ import (
 // Each peer keeps its own sources, catalog and indexes; a federated
 // query fans out to every peer concurrently and merges the results,
 // tagging each row with the peer it came from.
+//
+// The federation is observable end to end: every query records into the
+// federation's own metrics registry (fed_* series, one latency histogram
+// and error counter per peer), QueryTraced returns a single merged trace
+// with one timed span per peer (adopting each peer's own query trace),
+// and FedResult carries per-peer timing and resource stats.
 type Federation struct {
 	mu    sync.RWMutex
-	peers map[string]*System
+	peers map[string]Peer
 	order []string
+	inst  map[string]peerInstruments
+
+	reg     *obs.Registry
+	queries *obs.Counter
+	queryNs *obs.Histogram
+	// failures counts per-peer failures across all federated queries
+	// (query errors and column mismatches).
+	failures *obs.Counter
 }
+
+// Peer is what the federation needs from a member: evaluate an iQL query
+// string. *System implements it; tests substitute fakes to exercise
+// failure and mismatch handling.
+type Peer interface {
+	Query(q string) (*Result, error)
+}
+
+// TracedPeer is an optional Peer extension: peers that can evaluate with
+// span tracing contribute their own span tree to the federated trace.
+// *System implements it via Trace.
+type TracedPeer interface {
+	Trace(q string) (*Result, *obs.Trace, error)
+}
+
+var (
+	_ Peer       = (*System)(nil)
+	_ TracedPeer = (*System)(nil)
+)
+
+// peerInstruments are one peer's federation-side instruments.
+type peerInstruments struct {
+	queryNs *obs.Histogram
+	errors  *obs.Counter
+}
+
+// ErrColumnMismatch marks a peer whose result schema disagreed with the
+// federation's merged schema; its rows are dropped and the wrapped error
+// recorded per peer in FedResult.Errors.
+var ErrColumnMismatch = errors.New("idm: federated peer returned mismatched columns")
 
 // NewFederation returns an empty federation.
 func NewFederation() *Federation {
-	return &Federation{peers: make(map[string]*System)}
+	reg := obs.NewRegistry()
+	return &Federation{
+		peers:    make(map[string]Peer),
+		inst:     make(map[string]peerInstruments),
+		reg:      reg,
+		queries:  reg.Counter("fed_queries_total"),
+		queryNs:  reg.Histogram("fed_query_ns", nil),
+		failures: reg.Counter("fed_peer_failures_total"),
+	}
 }
 
-// AddPeer registers a peer system under a unique name.
-func (f *Federation) AddPeer(name string, sys *System) error {
+// AddPeer registers a peer system under a unique name and creates its
+// fed_peer_<name>_query_ns / fed_peer_<name>_errors_total instruments.
+func (f *Federation) AddPeer(name string, sys Peer) error {
 	if name == "" || sys == nil {
 		return fmt.Errorf("idm: federation peer needs a name and a system")
 	}
@@ -35,6 +92,10 @@ func (f *Federation) AddPeer(name string, sys *System) error {
 	f.peers[name] = sys
 	f.order = append(f.order, name)
 	sort.Strings(f.order)
+	f.inst[name] = peerInstruments{
+		queryNs: f.reg.Histogram("fed_peer_"+name+"_query_ns", nil),
+		errors:  f.reg.Counter("fed_peer_" + name + "_errors_total"),
+	}
 	return nil
 }
 
@@ -45,10 +106,32 @@ func (f *Federation) Peers() []string {
 	return append([]string(nil), f.order...)
 }
 
+// Metrics returns the federation's own registry: fed_queries_total,
+// fed_query_ns, fed_peer_failures_total, and per-peer
+// fed_peer_<name>_query_ns / fed_peer_<name>_errors_total.
+func (f *Federation) Metrics() *obs.Registry { return f.reg }
+
 // FedRow is one federated result row with its origin peer.
 type FedRow struct {
 	Peer string
 	Row  Row
+}
+
+// PeerStats is one peer's contribution to a federated query.
+type PeerStats struct {
+	// DurationNs is the peer's query latency within the federated call.
+	DurationNs int64
+	// Rows is the number of rows the peer contributed to the merge (0 on
+	// failure or column mismatch).
+	Rows int
+	// Strategy, Stale and Stats mirror the peer's own Result; zero when
+	// the peer failed.
+	Strategy string
+	Stale    bool
+	Stats    QueryStats
+	// Err is the peer's failure message ("" on success), mirroring
+	// FedResult.Errors.
+	Err string
 }
 
 // FedResult is a merged federated query result.
@@ -57,8 +140,13 @@ type FedResult struct {
 	Rows    []FedRow
 	// Errors records peers that failed, by name; a federation degrades
 	// gracefully when individual peers are unreachable or reject the
-	// query.
+	// query. A peer answering with a different result schema than the
+	// merged one is recorded here wrapped in ErrColumnMismatch, and its
+	// rows are dropped rather than merged under the wrong columns.
 	Errors map[string]error
+	// Peers carries per-peer timing and resource stats for every peer
+	// that was queried, including failed ones.
+	Peers map[string]PeerStats
 }
 
 // Count returns the number of merged rows.
@@ -69,20 +157,45 @@ func (r *FedResult) Count() int { return len(r.Rows) }
 // failures are collected in Errors rather than failing the federation;
 // the call errors only when every peer fails.
 func (f *Federation) Query(q string) (*FedResult, error) {
+	res, _, err := f.query(q, false)
+	return res, err
+}
+
+// QueryTraced is Query with a single merged trace: the root span covers
+// the scatter-gather, with one timed child span per peer annotated with
+// the peer's rows, latency and outcome. Peers that support tracing
+// (TracedPeer) contribute their own query span tree, grafted under
+// their peer span — one trace shows the whole federated evaluation.
+func (f *Federation) QueryTraced(q string) (*FedResult, *obs.Trace, error) {
+	return f.query(q, true)
+}
+
+func (f *Federation) query(q string, traced bool) (*FedResult, *obs.Trace, error) {
 	f.mu.RLock()
 	names := append([]string(nil), f.order...)
-	peers := make([]*System, len(names))
+	peers := make([]Peer, len(names))
+	insts := make([]peerInstruments, len(names))
 	for i, n := range names {
 		peers[i] = f.peers[n]
+		insts[i] = f.inst[n]
 	}
 	f.mu.RUnlock()
 	if len(names) == 0 {
-		return nil, fmt.Errorf("idm: federation has no peers")
+		return nil, nil, fmt.Errorf("idm: federation has no peers")
+	}
+
+	f.queries.Inc()
+	t0 := time.Now()
+	var trace *obs.Trace
+	if traced {
+		trace = obs.NewTrace("federated query " + q)
+		trace.Root().SetInt("peers", int64(len(names)))
 	}
 
 	type answer struct {
-		res *Result
-		err error
+		res     *Result
+		err     error
+		elapsed time.Duration
 	}
 	answers := make([]answer, len(names))
 	var wg sync.WaitGroup
@@ -90,30 +203,93 @@ func (f *Federation) Query(q string) (*FedResult, error) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			res, err := peers[i].Query(q)
-			answers[i] = answer{res: res, err: err}
+			sp := trace.Root().Start("peer " + names[i])
+			p0 := time.Now()
+			var res *Result
+			var err error
+			if tp, ok := peers[i].(TracedPeer); ok && traced {
+				var ptr *obs.Trace
+				res, ptr, err = tp.Trace(q)
+				sp.Adopt(ptr.Root())
+			} else {
+				res, err = peers[i].Query(q)
+			}
+			elapsed := time.Since(p0)
+			insts[i].queryNs.Observe(int64(elapsed))
+			if err != nil {
+				insts[i].errors.Inc()
+				sp.Set("error", err.Error())
+			} else {
+				sp.SetInt("rows", int64(len(res.Rows)))
+			}
+			sp.Finish()
+			answers[i] = answer{res: res, err: err, elapsed: elapsed}
 		}(i)
 	}
 	wg.Wait()
 
-	out := &FedResult{Errors: make(map[string]error)}
+	out := &FedResult{
+		Errors: make(map[string]error),
+		Peers:  make(map[string]PeerStats, len(names)),
+	}
 	failures := 0
+	fail := func(i int, name string, err error) {
+		out.Errors[name] = err
+		out.Peers[name] = PeerStats{
+			DurationNs: int64(answers[i].elapsed),
+			Err:        err.Error(),
+		}
+		f.failures.Inc()
+		failures++
+	}
 	for i, name := range names {
 		if answers[i].err != nil {
-			out.Errors[name] = answers[i].err
-			failures++
+			fail(i, name, answers[i].err)
 			continue
 		}
 		res := answers[i].res
 		if out.Columns == nil {
 			out.Columns = res.Columns
+		} else if !equalColumns(out.Columns, res.Columns) {
+			// A peer answering a different shape (e.g. a join against
+			// path results) cannot merge row-wise; dropping its rows and
+			// surfacing the mismatch beats silently mixing schemas.
+			insts[i].errors.Inc()
+			fail(i, name, fmt.Errorf("%w: peer %q returned %v, federation merged %v",
+				ErrColumnMismatch, name, res.Columns, out.Columns))
+			continue
+		}
+		out.Peers[name] = PeerStats{
+			DurationNs: int64(answers[i].elapsed),
+			Rows:       len(res.Rows),
+			Strategy:   res.Stats.Strategy,
+			Stale:      res.Stale,
+			Stats:      res.Stats,
 		}
 		for _, row := range res.Rows {
 			out.Rows = append(out.Rows, FedRow{Peer: name, Row: row})
 		}
 	}
-	if failures == len(names) {
-		return nil, fmt.Errorf("idm: all %d peers failed, first error: %w", failures, out.Errors[names[0]])
+	f.queryNs.ObserveSince(t0)
+	if trace != nil {
+		trace.Root().SetInt("rows", int64(len(out.Rows)))
+		trace.Root().SetInt("failures", int64(failures))
+		trace.Finish()
 	}
-	return out, nil
+	if failures == len(names) {
+		return nil, trace, fmt.Errorf("idm: all %d peers failed, first error: %w", failures, out.Errors[names[0]])
+	}
+	return out, trace, nil
+}
+
+func equalColumns(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }

@@ -1,6 +1,7 @@
 package idm_test
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -98,6 +99,151 @@ func TestFederationAllPeersFail(t *testing.T) {
 		t.Error("universally failing query did not error")
 	} else if !strings.Contains(err.Error(), "peers failed") {
 		t.Errorf("err = %v", err)
+	}
+}
+
+// fakePeer answers every query with a canned result or error; it lets
+// the tests exercise failure and schema-mismatch handling that real
+// systems cannot easily produce.
+type fakePeer struct {
+	res *idm.Result
+	err error
+}
+
+func (p fakePeer) Query(string) (*idm.Result, error) { return p.res, p.err }
+
+func TestFederationColumnMismatch(t *testing.T) {
+	fed := idm.NewFederation()
+	if err := fed.AddPeer("alpha", newPeer(t, "sharedmarker")); err != nil {
+		t.Fatal(err)
+	}
+	// Sorted after "alpha", so the real peer establishes the merged schema
+	// and the fake's two-column answer must be rejected.
+	odd := &idm.Result{
+		Columns: []string{"left", "right"},
+		Rows:    []idm.Row{{idm.Item{Name: "x"}, idm.Item{Name: "y"}}},
+	}
+	if err := fed.AddPeer("zeta", fakePeer{res: odd}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := fed.Query(`"shared federated text"`)
+	if err != nil {
+		t.Fatalf("federation failed outright: %v", err)
+	}
+	for _, r := range res.Rows {
+		if r.Peer == "zeta" {
+			t.Fatalf("mismatched peer's rows merged: %+v", r)
+		}
+	}
+	if res.Count() != 1 {
+		t.Fatalf("rows = %d, want only the matching peer's 1", res.Count())
+	}
+	merr := res.Errors["zeta"]
+	if merr == nil {
+		t.Fatal("mismatch not recorded in Errors")
+	}
+	if !errors.Is(merr, idm.ErrColumnMismatch) {
+		t.Fatalf("Errors[zeta] = %v, want ErrColumnMismatch", merr)
+	}
+	if !strings.Contains(merr.Error(), "left") || !strings.Contains(merr.Error(), "zeta") {
+		t.Fatalf("mismatch error does not name the peer and its schema: %v", merr)
+	}
+	ps, ok := res.Peers["zeta"]
+	if !ok || ps.Err == "" || ps.Rows != 0 {
+		t.Fatalf("Peers[zeta] = %+v, want failure stats with zero rows", ps)
+	}
+	snap := fed.Metrics().Snapshot()
+	if got := snap.Counters["fed_peer_zeta_errors_total"]; got != 1 {
+		t.Errorf("fed_peer_zeta_errors_total = %d, want 1", got)
+	}
+	if got := snap.Counters["fed_peer_failures_total"]; got != 1 {
+		t.Errorf("fed_peer_failures_total = %d, want 1", got)
+	}
+}
+
+func TestFederationAllPeersFailCollectsErrors(t *testing.T) {
+	sentinelA := errors.New("peer a down")
+	sentinelB := errors.New("peer b down")
+	fed := idm.NewFederation()
+	fed.AddPeer("a", fakePeer{err: sentinelA})
+	fed.AddPeer("b", fakePeer{err: sentinelB})
+	_, err := fed.Query(`//anything`)
+	if err == nil {
+		t.Fatal("all-peers-fail query succeeded")
+	}
+	if !strings.Contains(err.Error(), "all 2 peers failed") {
+		t.Errorf("err = %v, want the all-peers-failed summary", err)
+	}
+	// The federation error wraps the first peer's failure.
+	if !errors.Is(err, sentinelA) {
+		t.Errorf("err = %v does not wrap the first peer's error", err)
+	}
+	snap := fed.Metrics().Snapshot()
+	if got := snap.Counters["fed_peer_failures_total"]; got != 2 {
+		t.Errorf("fed_peer_failures_total = %d, want 2", got)
+	}
+	for _, name := range []string{"a", "b"} {
+		if got := snap.Counters["fed_peer_"+name+"_errors_total"]; got != 1 {
+			t.Errorf("fed_peer_%s_errors_total = %d, want 1", name, got)
+		}
+	}
+}
+
+func TestFederationTracedQuery(t *testing.T) {
+	fed := idm.NewFederation()
+	if err := fed.AddPeer("laptop", newPeer(t, "laptopmarker")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fed.AddPeer("desktop", newPeer(t, "desktopmarker")); err != nil {
+		t.Fatal(err)
+	}
+	res, trace, err := fed.QueryTraced(`"shared federated text"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count() != 2 {
+		t.Fatalf("rows = %d, want 2", res.Count())
+	}
+	if trace == nil {
+		t.Fatal("QueryTraced returned no trace")
+	}
+	// One merged trace: a timed peer span per peer, each carrying the
+	// peer's own query trace grafted underneath.
+	for _, name := range []string{"laptop", "desktop"} {
+		sp := trace.Root().Find("peer " + name)
+		if sp == nil {
+			t.Fatalf("trace has no span for peer %q:\n%s", name, trace.Render())
+		}
+		if sp.Duration() <= 0 {
+			t.Errorf("peer %q span is not timed", name)
+		}
+		if sp.FindPrefix("query") == nil {
+			t.Errorf("peer %q span did not adopt the peer's own query trace:\n%s", name, trace.Render())
+		}
+		ps, ok := res.Peers[name]
+		if !ok {
+			t.Fatalf("FedResult.Peers missing %q", name)
+		}
+		if ps.DurationNs <= 0 || ps.Rows != 1 || ps.Err != "" {
+			t.Errorf("Peers[%s] = %+v, want timed success with 1 row", name, ps)
+		}
+		if ps.Strategy == "" {
+			t.Errorf("Peers[%s] carries no planner strategy", name)
+		}
+	}
+	render := trace.Render()
+	if !strings.Contains(render, "federated query") {
+		t.Errorf("trace root missing:\n%s", render)
+	}
+	snap := fed.Metrics().Snapshot()
+	if snap.Counters["fed_queries_total"] != 1 {
+		t.Errorf("fed_queries_total = %d, want 1", snap.Counters["fed_queries_total"])
+	}
+	for _, name := range []string{"laptop", "desktop"} {
+		h := snap.Histograms["fed_peer_"+name+"_query_ns"]
+		if h.Count != 1 {
+			t.Errorf("fed_peer_%s_query_ns count = %d, want 1", name, h.Count)
+		}
 	}
 }
 

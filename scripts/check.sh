@@ -14,8 +14,8 @@ go build ./...
 # covers them again as part of ./...
 echo '>> go test -race ./internal/obs (observability gate)'
 go test -race ./internal/obs
-echo '>> go test -race -run "Obs|Trace|Metrics|Scrape" . (observability integration)'
-go test -race -run 'Obs|Trace|Metrics|Scrape' .
+echo '>> go test -race -run "Obs|Trace|Metrics|Scrape|QueryLog|Prom|Federation" . (observability integration)'
+go test -race -run 'Obs|Trace|Metrics|Scrape|QueryLog|Prom|Federation' .
 # Resilience gate: the fault-injection matrix, the degraded-read
 # acceptance scenario and the serial-vs-parallel differential suite run
 # first for attributable failure; ./... repeats them below.
