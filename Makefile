@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check test build vet bench bench-iql obs-bench fuzz-smoke
+.PHONY: check test build vet bench bench-iql obs-bench fuzz-smoke repl-chaos
 
 # Full verification: vet + build + race-enabled tests.
 check:
@@ -27,6 +27,14 @@ fuzz-smoke:
 	$(GO) test ./internal/iql -run '^$$' -fuzz '^FuzzDifferential$$' -fuzztime 30s
 	$(GO) test ./internal/store -run '^$$' -fuzz '^FuzzWALDecode$$' -fuzztime 30s
 	$(GO) test ./internal/store -run '^$$' -fuzz '^FuzzSnapshotLoad$$' -fuzztime 30s
+	$(GO) test ./internal/repl -run '^$$' -fuzz '^FuzzShipDecode$$' -fuzztime 30s
+
+# Replication chaos suite at the pinned seed: every lane (drop, dup,
+# reorder, torn, all) of the hostile-transport schedule replays
+# deterministically from -chaos-seed, so a failure here reproduces
+# bit-for-bit (docs/REPLICATION.md).
+repl-chaos:
+	$(GO) test -race -run 'TestReplChaos' . -args -chaos-seed=1
 
 # Planner regression gate: run the three-lane benchmark (serial,
 # forced-parallel, planner-adaptive) at the evaluation scale and at 10×,

@@ -68,6 +68,7 @@ func main() {
 	failClosed := flag.Bool("fail-closed", false, "reject queries while a source is degraded instead of serving stale replicas")
 	dataDir := flag.String("data-dir", "", "durable dataspace directory: WAL + snapshots, recovered on startup (docs/PERSISTENCE.md)")
 	fsync := flag.String("fsync", "commit", "with -data-dir: WAL flush policy, commit|always|never")
+	replicaDir := flag.String("replica-dir", "", "with -data-dir: attach a WAL-shipping read replica in this directory (docs/REPLICATION.md)")
 	var faultRules []idm.FaultRule
 	flag.Func("fault", "inject a fault, spec point:kind[:p[:times]] (repeatable; kind error|latency[@dur]|partial|corrupt)", func(spec string) error {
 		r, err := idm.ParseFaultRule(spec)
@@ -166,13 +167,33 @@ func main() {
 		fmt.Fprintf(os.Stderr, "debug surface on http://%s/debug/\n\n", bound)
 	}
 
+	var rep *idm.Replica
+	if *replicaDir != "" {
+		leader := sys.ReplicationLeader()
+		if leader == nil {
+			fmt.Fprintln(os.Stderr, "imemex: -replica-dir requires -data-dir (the replica tails the durable WAL)")
+			os.Exit(2)
+		}
+		rep, err = idm.OpenReplica(*replicaDir, leader, idm.Config{Expansion: exp, Now: cfg.Now})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer rep.Close()
+		if err := rep.CatchUp(); err != nil {
+			fmt.Fprintf(os.Stderr, "warning: replica catch-up: %v\n", err)
+		}
+		fmt.Fprintf(os.Stderr, "read replica at %s: applied LSN %d, lag %d\n\n",
+			*replicaDir, rep.AppliedLSN(), rep.Lag())
+	}
+
 	if flag.NArg() > 0 {
 		for _, q := range flag.Args() {
 			runQuery(sys, q, *limit)
 		}
 		return
 	}
-	repl(sys, *limit)
+	repl(sys, rep, *limit)
 }
 
 // openDurable opens the system, printing a recovery banner when
@@ -234,8 +255,26 @@ func runQuery(sys *idm.System, q string, limit int) {
 			time.Duration(h.Mean()).Round(time.Microsecond), h.Count)
 	}
 	fmt.Printf("iql> %s\n%d results in %v%s%s\n", q, res.Count(), elapsed.Round(time.Microsecond), rate, session)
+	printRows(res, limit)
+}
+
+// runReplicaQuery evaluates q on the attached read replica; a lagging
+// replica flags its answers stale with the replication-lag tag.
+func runReplicaQuery(rep *idm.Replica, q string, limit int) {
+	start := time.Now()
+	res, err := rep.Query(q)
+	elapsed := time.Since(start)
+	if err != nil {
+		fmt.Printf("error: %v\n", err)
+		return
+	}
+	fmt.Printf("replica> %s\n%d results in %v\n", q, res.Count(), elapsed.Round(time.Microsecond))
+	printRows(res, limit)
+}
+
+func printRows(res *idm.Result, limit int) {
 	if res.Stale {
-		fmt.Printf("  ⚠ stale: source(s) %s down — serving last-good replicas (\\health for detail)\n",
+		fmt.Printf("  ⚠ stale: %s — serving last-good replicas (\\health for detail)\n",
 			strings.Join(res.StaleSources, ", "))
 	}
 	for i, row := range res.Rows {
@@ -256,7 +295,7 @@ func runQuery(sys *idm.System, q string, limit int) {
 	fmt.Println()
 }
 
-func repl(sys *idm.System, limit int) {
+func repl(sys *idm.System, rep *idm.Replica, limit int) {
 	fmt.Println(`iMeMex iQL shell — \help for commands, \quit to exit`)
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
@@ -304,6 +343,39 @@ func repl(sys *idm.System, limit int) {
 			} else {
 				fmt.Println("in-memory dataspace — nothing to checkpoint (run with -data-dir)")
 			}
+		case line == `\repl`:
+			if rep == nil {
+				fmt.Println("no replica attached — run with -replica-dir (and -data-dir)")
+				continue
+			}
+			fmt.Printf("  applied LSN %d / leader LSN %d  (lag %d)\n",
+				rep.AppliedLSN(), rep.LeaderLSN(), rep.Lag())
+			if d := rep.StateDigest(); d != "" {
+				fmt.Printf("  replica state digest %s\n", d[:16])
+			}
+			if d := sys.StateDigest(); d != "" {
+				fmt.Printf("  leader  state digest %s\n", d[:16])
+			}
+		case line == `\catchup`:
+			if rep == nil {
+				fmt.Println("no replica attached — run with -replica-dir (and -data-dir)")
+				continue
+			}
+			before := rep.AppliedLSN()
+			start := time.Now()
+			if err := rep.CatchUp(); err != nil {
+				fmt.Printf("error: %v\n", err)
+				continue
+			}
+			fmt.Printf("applied %d record(s) in %v; now at LSN %d (lag %d)\n",
+				rep.AppliedLSN()-before, time.Since(start).Round(time.Microsecond),
+				rep.AppliedLSN(), rep.Lag())
+		case strings.HasPrefix(line, `\rquery `):
+			if rep == nil {
+				fmt.Println("no replica attached — run with -replica-dir (and -data-dir)")
+				continue
+			}
+			runReplicaQuery(rep, strings.TrimPrefix(line, `\rquery `), limit)
 		case strings.HasPrefix(line, `\explain `):
 			out, err := sys.Explain(strings.TrimPrefix(line, `\explain `))
 			if err != nil {
@@ -539,6 +611,9 @@ func printHelp() {
   \changes         tail of the dataspace change journal
   \delete <query>  write-through delete (also: delete <query>)
   \checkpoint      compact the durable store into a fresh snapshot
+  \repl            replication status: applied/leader LSN, lag, digests
+  \catchup         pull the attached replica up to the leader's LSN
+  \rquery <query>  evaluate on the read replica (stale answers are flagged)
   \quit            exit
 example queries (Table 4 of the paper):
   "database"

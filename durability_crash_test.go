@@ -2,6 +2,7 @@ package idm_test
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -243,5 +244,61 @@ func TestCrashDuringSnapshot(t *testing.T) {
 	}
 	if re.StateDigest() != want {
 		t.Fatal("recovery after snapshot crash lost state")
+	}
+}
+
+// TestDoubleCrashDuringRecovery crashes the system a second time while
+// it is STILL RECOVERING from the first crash — the replay loop itself
+// is killed at every record position — and then recovers cleanly. The
+// matrix proves recovery is idempotent and re-entrant: a crash during
+// replay destroys nothing, and the eventual clean recovery reaches the
+// exact reference state no matter where the replay died.
+func TestDoubleCrashDuringRecovery(t *testing.T) {
+	fs := durableFS()
+	dir := t.TempDir()
+	sys, _, err := idm.OpenDurable(durableConfig(dir, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.AddFileSystem("filesystem", fs); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Index(); err != nil {
+		t.Fatal(err)
+	}
+	want := sys.StateDigest()
+	// First crash: the process dies without a clean close.
+	sys.Close()
+
+	prefixes := walPrefixDigests(t, dir)
+	n := len(prefixes) - 1
+	if n < 5 {
+		t.Fatalf("fixture logged only %d records", n)
+	}
+	for k := 1; k <= n; k++ {
+		t.Run(fmt.Sprintf("replay-crash-at-%02d", k), func(t *testing.T) {
+			// Second crash: recovery itself dies at replayed record k.
+			inj := idm.NewFaultInjector(1)
+			inj.Add(idm.FaultRule{Point: store.FaultReplay, Kind: idm.FaultError, After: k - 1, Times: 1})
+			if _, _, err := idm.OpenDurable(durableConfig(dir, inj)); err == nil {
+				t.Fatal("injected replay crash did not abort recovery")
+			} else if !errors.Is(err, store.ErrCrashed) {
+				t.Fatalf("replay crash error = %v, want store.ErrCrashed", err)
+			}
+
+			// Third open, clean: recovery must be unaffected by having
+			// been killed mid-replay and reach the full reference state.
+			re, info, err := idm.OpenDurable(durableConfig(dir, nil))
+			if err != nil {
+				t.Fatalf("recovery after replay crash: %v", err)
+			}
+			defer re.Close()
+			if len(info.Warnings) != 0 {
+				t.Fatalf("re-entrant recovery produced warnings: %v", info.Warnings)
+			}
+			if got := re.StateDigest(); got != want {
+				t.Fatalf("re-entrant recovery diverged\n got %s\nwant %s", got, want)
+			}
+		})
 	}
 }

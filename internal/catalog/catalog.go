@@ -101,6 +101,82 @@ func (c *Catalog) Register(e Entry) OID {
 	return e.OID
 }
 
+// Put records an entry under the OID it already carries — the
+// replication apply path, where the leader assigned the OID and the
+// follower must reproduce it exactly. The OID counter is raised so a
+// later promotion cannot reuse leader-assigned OIDs. If a different
+// entry previously held the same OID with another URI, the stale URI
+// mapping is removed.
+func (c *Catalog) Put(e Entry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if old, ok := c.entries[e.OID]; ok {
+		if old.URI != "" && (old.URI != e.URI || old.Source != e.Source) {
+			delete(c.byURI, uriKey(old.Source, old.URI))
+		}
+		if old.Source != e.Source {
+			if src := c.bySrc[old.Source]; src != nil {
+				delete(src, e.OID)
+				if len(src) == 0 {
+					delete(c.bySrc, old.Source)
+				}
+			}
+		}
+	}
+	c.entries[e.OID] = &e
+	if e.URI != "" {
+		c.byURI[uriKey(e.Source, e.URI)] = e.OID
+	}
+	src := c.bySrc[e.Source]
+	if src == nil {
+		src = make(map[OID]struct{})
+		c.bySrc[e.Source] = src
+	}
+	src[e.OID] = struct{}{}
+	if e.OID > c.next {
+		c.next = e.OID
+	}
+}
+
+// PinNext raises the OID counter to at least next (replication applies
+// the leader's Meta records through it; it never lowers the counter).
+func (c *Catalog) PinNext(next OID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if next > c.next {
+		c.next = next
+	}
+}
+
+// Reset replaces the catalog's contents in place — unlike Rebuild it
+// keeps the Catalog value (and its mutex) so concurrent readers holding
+// the pointer observe either the old or the new contents, never a torn
+// mix. Replication full-state transfers use it.
+func (c *Catalog) Reset(next OID, entries []Entry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.next = next
+	c.entries = make(map[OID]*Entry, len(entries))
+	c.byURI = make(map[string]OID, len(entries))
+	c.bySrc = make(map[string]map[OID]struct{})
+	for i := range entries {
+		e := entries[i]
+		if e.OID > c.next {
+			c.next = e.OID
+		}
+		c.entries[e.OID] = &e
+		if e.URI != "" {
+			c.byURI[uriKey(e.Source, e.URI)] = e.OID
+		}
+		src := c.bySrc[e.Source]
+		if src == nil {
+			src = make(map[OID]struct{})
+			c.bySrc[e.Source] = src
+		}
+		src[e.OID] = struct{}{}
+	}
+}
+
 // Get returns the entry registered under oid.
 func (c *Catalog) Get(oid OID) (Entry, error) {
 	c.mu.RLock()

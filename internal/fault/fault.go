@@ -206,6 +206,26 @@ func (in *Injector) Fail(point string) error {
 	return err
 }
 
+// Hit evaluates Error rules at point as a pure decision — "should this
+// point misbehave now?" — without constructing an error. Chaos switches
+// that mutate data instead of failing a call (the replication transport
+// dropping, duplicating, reordering or tearing a shipped batch) consult
+// it; the rule bookkeeping (After/Times/P, Fired counters) is shared
+// with Fail, so a given seed replays the same chaos schedule.
+func (in *Injector) Hit(point string) bool {
+	if in == nil {
+		return false
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for _, rs := range in.rules {
+		if rs.Kind == Error && in.matchLocked(rs, point, Error) {
+			return true
+		}
+	}
+	return false
+}
+
 // Reader wraps r with any PartialRead rule armed at point: the stream is
 // truncated to a fraction of limit bytes and then fails with an injected
 // error, modelling a connection dropped mid-transfer. limit should be the

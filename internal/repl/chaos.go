@@ -1,0 +1,91 @@
+package repl
+
+import (
+	"encoding/binary"
+
+	"repro/internal/fault"
+)
+
+// Chaos fault points: armed with Error rules (fault.Rule), each decides
+// per shipment whether the ChaosTransport mutates the batch in flight.
+// drop/reorder/torn produce invalid batches the follower must reject
+// wholesale; dup produces an honest overlapping batch the follower must
+// re-apply idempotently. With a seeded injector the whole chaos
+// schedule replays deterministically.
+const (
+	// FaultShipDrop removes one frame from the middle of the batch (the
+	// header count then disagrees with the decoded count).
+	FaultShipDrop = "repl/ship/drop"
+	// FaultShipDup re-ships from half the requested position — a valid
+	// overlapping batch whose already-applied prefix exercises the rvm
+	// apply path's idempotency.
+	FaultShipDup = "repl/ship/dup"
+	// FaultShipReorder swaps two adjacent frames (LSN monotonicity then
+	// fails).
+	FaultShipReorder = "repl/ship/reorder"
+	// FaultShipTorn truncates the batch mid-frame — or, for a snapshot
+	// shipment, truncates the image so it no longer decodes.
+	FaultShipTorn = "repl/ship/torn"
+)
+
+// ChaosTransport wraps a Transport and mutates shipments according to
+// the armed fault rules — the replication equivalent of a flaky,
+// reordering, connection-dropping network path.
+type ChaosTransport struct {
+	Inner  Transport
+	Faults *fault.Injector
+}
+
+// Ship pulls from the inner transport, possibly mutating the request
+// position (dup) or the returned batch (drop/reorder/torn).
+func (c *ChaosTransport) Ship(fromLSN uint64) (*Batch, error) {
+	if c.Faults.Hit(FaultShipDup) && fromLSN > 0 {
+		fromLSN /= 2
+	}
+	b, err := c.Inner.Ship(fromLSN)
+	if err != nil || b == nil {
+		return b, err
+	}
+	if b.Snapshot != nil {
+		if c.Faults.Hit(FaultShipTorn) && len(b.Snapshot) > 1 {
+			b.Snapshot = b.Snapshot[:len(b.Snapshot)/2]
+		}
+		return b, nil
+	}
+	bounds := frameBounds(b.Frames)
+	if c.Faults.Hit(FaultShipDrop) && len(bounds) > 0 {
+		i := len(bounds) / 2
+		b.Frames = append(append([]byte(nil), b.Frames[:bounds[i][0]]...), b.Frames[bounds[i][1]:]...)
+		bounds = frameBounds(b.Frames)
+	}
+	if c.Faults.Hit(FaultShipReorder) && len(bounds) >= 2 {
+		i := len(bounds) / 2
+		a, z := bounds[i-1], bounds[i]
+		swapped := append([]byte(nil), b.Frames[:a[0]]...)
+		swapped = append(swapped, b.Frames[z[0]:z[1]]...)
+		swapped = append(swapped, b.Frames[a[0]:a[1]]...)
+		b.Frames = append(swapped, b.Frames[z[1]:]...)
+	}
+	if c.Faults.Hit(FaultShipTorn) && len(bounds) > 0 {
+		last := bounds[len(bounds)-1]
+		cut := last[0] + (last[1]-last[0])/2
+		b.Frames = b.Frames[:cut]
+	}
+	return b, nil
+}
+
+// frameBounds returns the [start, end) byte range of every complete
+// frame in a WAL byte run, walking the length headers.
+func frameBounds(frames []byte) [][2]int {
+	var out [][2]int
+	off := 0
+	for len(frames)-off >= 8 {
+		plen := int(binary.LittleEndian.Uint32(frames[off:]))
+		if plen <= 0 || plen > len(frames)-off-8 {
+			break
+		}
+		out = append(out, [2]int{off, off + 8 + plen})
+		off += 8 + plen
+	}
+	return out
+}

@@ -1,0 +1,84 @@
+package repl
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/store"
+)
+
+// fuzzSeedBatches encodes representative shipments (incremental frames,
+// a snapshot fallback, an empty batch) for the seed corpus.
+func fuzzSeedBatches(tb testing.TB) [][]byte {
+	tb.Helper()
+	var frames []byte
+	var err error
+	for i, rec := range []store.Record{
+		upsert(1, "fs", "/a"),
+		upsert(2, "fs", "/b"),
+		{Kind: store.KindRemove, OID: 1},
+	} {
+		if frames, err = store.AppendFrame(frames, uint64(i+1), rec); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	st := store.NewState()
+	st.Apply(upsert(1, "fs", "/a"))
+	img, err := store.EncodeState(st, 2)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return [][]byte{
+		EncodeBatch(&Batch{FromLSN: 0, ToLSN: 3, Count: 3, Frames: frames, LeaderLSN: 3}),
+		EncodeBatch(&Batch{FromLSN: 0, ToLSN: 1, Snapshot: img, SnapshotLSN: 1, LeaderLSN: 1}),
+		EncodeBatch(&Batch{}),
+	}
+}
+
+// FuzzShipDecode pins the wire contract on arbitrary bytes: DecodeBatch
+// never panics and never over-allocates, a decoded batch re-encodes to
+// the same bytes, and the follower-side payload validation (frame
+// replay, snapshot decode) never panics either — the full path a batch
+// from a hostile network peer would travel.
+func FuzzShipDecode(f *testing.F) {
+	for _, seed := range fuzzSeedBatches(f) {
+		f.Add(seed)
+		f.Add(seed[:len(seed)/2])
+		flipped := append([]byte(nil), seed...)
+		flipped[len(flipped)/3] ^= 0x80
+		f.Add(flipped)
+	}
+	f.Add([]byte(batchMagic))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b, err := DecodeBatch(data)
+		if err != nil {
+			return
+		}
+		// Accepted envelopes must survive a lossless round-trip. (Exact
+		// byte equality with the input can't hold — uvarints admit
+		// non-minimal encodings — but re-encoding a decoded batch is
+		// canonical and must be a fixed point.)
+		rt, err := DecodeBatch(EncodeBatch(b))
+		if err != nil {
+			t.Fatalf("re-decode failed for %x: %v", data, err)
+		}
+		if rt.FromLSN != b.FromLSN || rt.ToLSN != b.ToLSN || rt.Count != b.Count ||
+			rt.SnapshotLSN != b.SnapshotLSN || rt.LeaderLSN != b.LeaderLSN ||
+			!bytes.Equal(rt.Frames, b.Frames) || !bytes.Equal(rt.Snapshot, b.Snapshot) {
+			t.Fatalf("round-trip diverges for %x", data)
+		}
+		if b.Snapshot != nil {
+			if _, _, err := store.DecodeSnapshot(b.Snapshot); err != nil {
+				return // payload rejection is the follower's job
+			}
+			return
+		}
+		// The follower replays frame payloads; that walk must be total.
+		_, _ = store.ReplayBytes(b.Frames, func(lsn uint64, rec store.Record) error {
+			return nil
+		})
+		frameBounds(b.Frames)
+	})
+}

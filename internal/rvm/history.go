@@ -75,6 +75,16 @@ func newHistory() *history {
 	return &history{derivations: make(map[catalog.OID][]Derivation)}
 }
 
+// bump advances the dataspace version without a journal entry — the
+// replication apply path uses it for changes that carry no per-view
+// journal record (edge commits, source drops, counter pins), so
+// version-keyed query and plan caches still invalidate.
+func (h *history) bump() {
+	h.mu.Lock()
+	h.version++
+	h.mu.Unlock()
+}
+
 func (h *history) record(r ChangeRecord) {
 	h.mu.Lock()
 	defer h.mu.Unlock()

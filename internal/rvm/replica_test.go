@@ -1,0 +1,217 @@
+package rvm
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/store"
+)
+
+// probeDigest renders the query-relevant observables of a manager into
+// one comparable string: catalog entries, group edges, and the answers
+// of every index family. Two managers with equal probe digests answer
+// the test queries identically.
+func probeDigest(m *Manager) string {
+	var b strings.Builder
+	oids := m.AllOIDs()
+	sort.Slice(oids, func(i, j int) bool { return oids[i] < oids[j] })
+	fmt.Fprintf(&b, "count=%d\n", m.Count())
+	for _, oid := range oids {
+		e, err := m.Entry(oid)
+		if err != nil {
+			fmt.Fprintf(&b, "%d: missing\n", oid)
+			continue
+		}
+		// Children order is the group component's (meaningful); parents
+		// are a set, so normalize their order before comparing.
+		parents := m.Parents(oid)
+		sort.Slice(parents, func(i, j int) bool { return parents[i] < parents[j] })
+		fmt.Fprintf(&b, "%d: %q %s %s %s kids=%v parents=%v\n",
+			oid, e.Name, e.Class, e.Source, e.URI, m.Children(oid), parents)
+	}
+	fmt.Fprintf(&b, "tex=%v\n", m.MatchNames("*.tex"))
+	fmt.Fprintf(&b, "indexing=%v\n", m.ContentPhrase("indexing"))
+	fmt.Fprintf(&b, "sections=%v\n", m.OIDsByClass("latex.section"))
+	return b.String()
+}
+
+// replicate feeds every WAL record above fromLSN into the follower.
+func replicate(t *testing.T, st *store.Store, fl *Manager, fromLSN uint64) uint64 {
+	t.Helper()
+	recs, next, ok, err := st.TailSince(fromLSN)
+	if err != nil || !ok {
+		t.Fatalf("TailSince: ok=%v err=%v", ok, err)
+	}
+	for _, tr := range recs {
+		if err := fl.ApplyRecord(tr.Rec); err != nil {
+			t.Fatalf("ApplyRecord LSN %d: %v", tr.LSN, err)
+		}
+	}
+	return next - 1
+}
+
+func newFollower() *Manager {
+	return NewWithCatalog(Options{ReplicateGroups: true}, catalog.New())
+}
+
+func durableLeader(t *testing.T) (*Manager, *store.Store) {
+	t.Helper()
+	st, _, err := store.Open(t.TempDir(), store.Options{Sync: store.SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	m, _, _ := testSetup(t, Options{ReplicateGroups: true, Store: st})
+	if _, err := m.SyncAll(); err != nil {
+		t.Fatal(err)
+	}
+	return m, st
+}
+
+func TestApplyRecordReproducesLeader(t *testing.T) {
+	leader, st := durableLeader(t)
+	fl := newFollower()
+	replicate(t, st, fl, 0)
+
+	want, got := probeDigest(leader), probeDigest(fl)
+	if got != want {
+		t.Fatalf("follower probes diverge:\nleader:\n%s\nfollower:\n%s", want, got)
+	}
+	if fl.Count() == 0 {
+		t.Fatal("follower replicated nothing")
+	}
+}
+
+func TestApplyRecordIdempotent(t *testing.T) {
+	leader, st := durableLeader(t)
+	fl := newFollower()
+	replicate(t, st, fl, 0)
+	v1 := fl.Version()
+	// Re-apply the entire log — the overlapping-batch case. Every probe
+	// must be unchanged, and unchanged re-upserts must not journal.
+	replicate(t, st, fl, 0)
+	if got, want := probeDigest(fl), probeDigest(leader); got != want {
+		t.Fatalf("double apply diverged:\n%s\nvs\n%s", got, want)
+	}
+	// Edges/meta records bump the version (cache invalidation), but no
+	// Added/Updated change records may appear for identical re-upserts.
+	for _, ch := range fl.Changes(v1) {
+		if ch.Kind == ChangeAdded || ch.Kind == ChangeUpdated {
+			t.Fatalf("idempotent re-apply journaled %v for OID %d", ch.Kind, ch.OID)
+		}
+	}
+}
+
+func TestApplyRecordRemoveAndUnknowns(t *testing.T) {
+	leader, st := durableLeader(t)
+	fl := newFollower()
+	replicate(t, st, fl, 0)
+
+	// Removing a view that does not exist is a no-op, not an error.
+	if err := fl.ApplyRecord(store.Record{Kind: store.KindRemove, OID: 99999}); err != nil {
+		t.Fatalf("remove of unknown OID: %v", err)
+	}
+	if fl.Count() != leader.Count() {
+		t.Fatal("no-op remove changed the count")
+	}
+	// Snapshot end markers are tolerated no-ops.
+	if err := fl.ApplyRecord(store.Record{Kind: store.KindSnapshotEnd}); err != nil {
+		t.Fatalf("snapshot-end marker: %v", err)
+	}
+	// An upsert without a view and an unknown kind are hard errors.
+	if err := fl.ApplyRecord(store.Record{Kind: store.KindUpsert}); err == nil {
+		t.Fatal("upsert without view accepted")
+	}
+	if err := fl.ApplyRecord(store.Record{Kind: store.Kind(250)}); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+
+	// A real removal deletes the view and its postings.
+	victim := fl.MatchNames("notes.txt")
+	if len(victim) != 1 {
+		t.Fatalf("notes.txt matches = %v", victim)
+	}
+	if err := fl.ApplyRecord(store.Record{Kind: store.KindRemove, OID: victim[0]}); err != nil {
+		t.Fatal(err)
+	}
+	if got := fl.MatchNames("notes.txt"); len(got) != 0 {
+		t.Fatalf("removed view still matches: %v", got)
+	}
+	if fl.Count() != leader.Count()-1 {
+		t.Fatalf("count %d after removal, want %d", fl.Count(), leader.Count()-1)
+	}
+}
+
+func TestApplyRecordEdgesReplace(t *testing.T) {
+	_, st := durableLeader(t)
+	fl := newFollower()
+	replicate(t, st, fl, 0)
+
+	roots := fl.MatchNames("vldb 2006.tex")
+	if len(roots) != 1 {
+		t.Fatalf("vldb 2006.tex matches = %v", roots)
+	}
+	parent := roots[0]
+	before := fl.Children(parent)
+	if len(before) == 0 {
+		t.Fatal("tex root has no derived children")
+	}
+	// An edge commit is a full replacement for its source: shipping one
+	// that keeps only the first child must shrink the group replica.
+	if err := fl.ApplyRecord(store.Record{
+		Kind:   store.KindEdges,
+		Source: "filesystem",
+		Edges:  []store.EdgeList{{Parent: parent, Children: before[:1]}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	after := fl.Children(parent)
+	if len(after) != 1 || after[0] != before[0] {
+		t.Fatalf("edges not replaced: before=%v after=%v", before, after)
+	}
+	if ps := fl.Parents(before[0]); len(ps) != 1 || ps[0] != parent {
+		t.Fatalf("reverse edge wrong: %v", ps)
+	}
+}
+
+func TestApplyRecordDropSource(t *testing.T) {
+	_, st := durableLeader(t)
+	fl := newFollower()
+	replicate(t, st, fl, 0)
+	if err := fl.ApplyRecord(store.Record{Kind: store.KindDropSource, Source: "email"}); err != nil {
+		t.Fatal(err)
+	}
+	for _, oid := range fl.AllOIDs() {
+		if e, err := fl.Entry(oid); err == nil && e.Source == "email" {
+			t.Fatalf("email view %d survived drop", oid)
+		}
+	}
+	if fl.Count() == 0 {
+		t.Fatal("drop removed the other source too")
+	}
+}
+
+func TestResetFromStateEquivalence(t *testing.T) {
+	leader, st := durableLeader(t)
+	fl := newFollower()
+	replicate(t, st, fl, 0)
+	// Pollute the follower, then reset from a cloned leader state — the
+	// full-transfer install path — and require convergence again.
+	if err := fl.ApplyRecord(store.Record{Kind: store.KindDropSource, Source: "email"}); err != nil {
+		t.Fatal(err)
+	}
+	state, _ := st.CloneState()
+	fl.ResetFromState(state)
+	if got, want := probeDigest(fl), probeDigest(leader); got != want {
+		t.Fatalf("reset diverged:\n%s\nvs\n%s", got, want)
+	}
+	// The version must advance so version-keyed caches invalidate.
+	v := fl.Version()
+	fl.ResetFromState(state)
+	if fl.Version() <= v {
+		t.Fatal("ResetFromState did not bump the version")
+	}
+}

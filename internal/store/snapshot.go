@@ -36,6 +36,13 @@ func encodeSnapshot(st *State, nextLSN uint64) ([]byte, error) {
 	return b, err
 }
 
+// EncodeState renders a full-state image in the snapshot file format —
+// replication full-state transfers reuse it so followers install leader
+// images with the same DecodeSnapshot path recovery uses.
+func EncodeState(st *State, nextLSN uint64) ([]byte, error) {
+	return encodeSnapshot(st, nextLSN)
+}
+
 // DecodeSnapshot parses a snapshot image into a state. Unlike WAL
 // replay, a snapshot is all-or-nothing: any torn or corrupt frame, or a
 // missing end marker, invalidates the whole file (it was written

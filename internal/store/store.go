@@ -45,6 +45,10 @@ const (
 	FaultFsync = "store/wal/fsync"
 	// FaultSnapshot fires before a snapshot file is written.
 	FaultSnapshot = "store/snapshot/write"
+	// FaultReplay fires once per record during Open's WAL replay: a crash
+	// in the middle of recovery itself (the double-crash matrix arms it
+	// to prove recovery is re-entrant).
+	FaultReplay = "store/wal/replay"
 )
 
 // ErrCrashed is returned by every operation after an injected crash or
@@ -122,6 +126,7 @@ type Store struct {
 	dead     error // non-nil after a crash; every op returns it
 	state    *State
 	nextLSN  uint64
+	baseLSN  uint64 // WAL covers LSNs >= baseLSN; older ones live only in the snapshot
 	snapSeq  uint64
 	segments map[string]*os.File // source → open segment
 	dropped  map[string]bool     // sources whose segments were dropped
@@ -192,6 +197,7 @@ func Open(dir string, opts Options) (*Store, RecoveryInfo, error) {
 		if nextLSN >= s.nextLSN {
 			s.nextLSN = nextLSN + 1
 		}
+		s.baseLSN = nextLSN
 		info.SnapshotSeq = seqs[i]
 		info.SnapshotViews = len(st.Views)
 		break
@@ -236,6 +242,12 @@ func Open(dir string, opts Options) (*Store, RecoveryInfo, error) {
 	}
 	sort.SliceStable(all, func(i, j int) bool { return all[i].lsn < all[j].lsn })
 	for _, wr := range all {
+		if err := opts.Faults.Fail(FaultReplay); err != nil {
+			// A crash during recovery replay: the directory is untouched
+			// beyond the (idempotent) torn-tail truncations above, so a
+			// second recovery must reach the same state.
+			return nil, info, fmt.Errorf("%w: %w", ErrCrashed, err)
+		}
 		s.state.Apply(wr.rec)
 		if wr.lsn >= s.nextLSN {
 			s.nextLSN = wr.lsn + 1
@@ -434,6 +446,9 @@ func (s *Store) Snapshot() error {
 		return s.crash(err)
 	}
 	s.snapSeq = seq
+	// Records below nextLSN are now only recoverable from the snapshot;
+	// tailing from an older LSN requires a full-state transfer.
+	s.baseLSN = s.nextLSN
 	// The snapshot is durable: the WAL segments are now redundant.
 	for name, f := range s.segments {
 		f.Close()

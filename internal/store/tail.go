@@ -1,0 +1,94 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// TailRecord is one WAL record paired with its global LSN, as handed to
+// a replication follower.
+type TailRecord struct {
+	LSN uint64
+	Rec Record
+}
+
+// TailSince returns every WAL record with LSN > fromLSN, merged across
+// all segments in global-LSN order, plus the store's next LSN. ok is
+// false when the WAL no longer covers fromLSN+1 — a snapshot compacted
+// the history away — in which case the caller must fall back to a
+// full-state transfer (CloneState). Gaps above the base are legal:
+// DropSource deletes a segment, but the drop record's higher LSN
+// supersedes every record the deleted segment held.
+//
+// TailSince reads the segment files under the store mutex, so it can
+// never observe a half-written frame from a concurrent Append, and a
+// concurrent Snapshot cannot delete segments out from under it.
+func (s *Store) TailSince(fromLSN uint64) ([]TailRecord, uint64, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.dead != nil {
+		return nil, 0, false, s.dead
+	}
+	if fromLSN+1 < s.baseLSN {
+		return nil, s.nextLSN, false, nil
+	}
+	ents, err := os.ReadDir(s.walDir)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	var names []string
+	for _, e := range ents {
+		if strings.HasSuffix(e.Name(), ".wal") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	var out []TailRecord
+	for _, name := range names {
+		path := filepath.Join(s.walDir, name)
+		res, err := replayFile(path, func(lsn uint64, rec Record) error {
+			if lsn > fromLSN {
+				out = append(out, TailRecord{LSN: lsn, Rec: rec})
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, 0, false, err
+		}
+		if res.Warning != "" {
+			// Appends hold the mutex for the full frame write, so a torn
+			// tail here is real on-disk damage, not a read race.
+			return nil, 0, false, fmt.Errorf("store: tail %s: %s", name, res.Warning)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].LSN < out[j].LSN })
+	return out, s.nextLSN, true, nil
+}
+
+// NextLSN returns the LSN the next appended record will receive; the
+// highest LSN in the log is NextLSN()-1.
+func (s *Store) NextLSN() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.nextLSN
+}
+
+// BaseLSN returns the lowest LSN the WAL still covers (0 before any
+// snapshot: the WAL covers everything).
+func (s *Store) BaseLSN() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.baseLSN
+}
+
+// CloneState returns a deep copy of the shadow state and the next LSN —
+// a consistent full-state image for replication fallback when the WAL
+// no longer covers a follower's applied LSN.
+func (s *Store) CloneState() (*State, uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.state.Clone(), s.nextLSN
+}

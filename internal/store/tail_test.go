@@ -1,0 +1,176 @@
+package store
+
+import (
+	"testing"
+
+	"repro/internal/catalog"
+)
+
+// seedTail appends a small multi-source stream and returns the records.
+func seedTail(t *testing.T, s *Store) []Record {
+	t.Helper()
+	recs := []Record{
+		upsert(1, "fs", "/a"),
+		upsert(2, "fs", "/b"),
+		upsert(3, "mail", "/inbox/1"),
+		{Kind: KindEdges, Source: "fs", Edges: []EdgeList{{Parent: 1, Children: []catalog.OID{2}}}},
+		{Kind: KindRemove, OID: 2},
+	}
+	for _, rec := range recs {
+		src := "fs"
+		switch rec.Kind {
+		case KindUpsert:
+			src = rec.View.Entry.Source
+		case KindEdges:
+			src = rec.Source
+		}
+		if err := s.Append(src, rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return recs
+}
+
+func TestTailSinceGlobalOrder(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := mustOpen(t, dir, Options{Sync: SyncNever})
+	defer s.Close()
+	recs := seedTail(t, s)
+
+	out, next, ok, err := s.TailSince(0)
+	if err != nil || !ok {
+		t.Fatalf("TailSince(0): ok=%v err=%v", ok, err)
+	}
+	if len(out) != len(recs) {
+		t.Fatalf("tailed %d records, want %d", len(out), len(recs))
+	}
+	if next != s.NextLSN() {
+		t.Fatalf("next %d != NextLSN %d", next, s.NextLSN())
+	}
+	// Dense, strictly increasing LSNs starting at 1: the merge across
+	// per-source segments must restore global order.
+	for i, tr := range out {
+		if tr.LSN != uint64(i+1) {
+			t.Fatalf("record %d has LSN %d, want %d", i, tr.LSN, i+1)
+		}
+	}
+	// Replaying the tail into a fresh state reproduces the shadow state.
+	st := NewState()
+	for _, tr := range out {
+		st.Apply(tr.Rec)
+	}
+	if st.Digest() != s.Digest() {
+		t.Fatal("tail replay digest != store digest")
+	}
+
+	// A mid-log tail returns only the suffix.
+	out2, _, ok, err := s.TailSince(3)
+	if err != nil || !ok {
+		t.Fatalf("TailSince(3): ok=%v err=%v", ok, err)
+	}
+	if len(out2) != 2 || out2[0].LSN != 4 || out2[1].LSN != 5 {
+		t.Fatalf("suffix tail wrong: %+v", out2)
+	}
+	// A caught-up tail is empty but still ok.
+	out3, _, ok, err := s.TailSince(next - 1)
+	if err != nil || !ok || len(out3) != 0 {
+		t.Fatalf("caught-up tail: len=%d ok=%v err=%v", len(out3), ok, err)
+	}
+}
+
+func TestTailSinceCoverageAfterSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := mustOpen(t, dir, Options{Sync: SyncNever})
+	defer s.Close()
+	seedTail(t, s)
+	preSnap := s.NextLSN() - 1
+
+	if err := s.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	if base := s.BaseLSN(); base != s.NextLSN() {
+		t.Fatalf("BaseLSN %d after snapshot, want NextLSN %d", base, s.NextLSN())
+	}
+	// A follower behind the snapshot can no longer tail incrementally.
+	_, _, ok, err := s.TailSince(preSnap - 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("TailSince covered history the snapshot compacted away")
+	}
+	// A caught-up follower still can (empty tail).
+	out, _, ok, err := s.TailSince(s.NextLSN() - 1)
+	if err != nil || !ok || len(out) != 0 {
+		t.Fatalf("caught-up post-snapshot tail: len=%d ok=%v err=%v", len(out), ok, err)
+	}
+	// New appends after the snapshot tail incrementally again.
+	if err := s.Append("fs", upsert(9, "fs", "/c")); err != nil {
+		t.Fatal(err)
+	}
+	out, _, ok, err = s.TailSince(s.NextLSN() - 2)
+	if err != nil || !ok || len(out) != 1 {
+		t.Fatalf("post-snapshot incremental tail: len=%d ok=%v err=%v", len(out), ok, err)
+	}
+}
+
+func TestTailSinceDropSourceGap(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := mustOpen(t, dir, Options{Sync: SyncNever})
+	defer s.Close()
+	seedTail(t, s)
+	// DropSource deletes the mail segment: LSN 3 is gone from the WAL,
+	// but the drop record's higher LSN supersedes it.
+	if err := s.DropSource("mail", 10); err != nil {
+		t.Fatal(err)
+	}
+	out, _, ok, err := s.TailSince(0)
+	if err != nil || !ok {
+		t.Fatalf("TailSince after drop: ok=%v err=%v", ok, err)
+	}
+	var lsns []uint64
+	for _, tr := range out {
+		lsns = append(lsns, tr.LSN)
+	}
+	// 1,2 (fs upserts), 4,5 (edges, remove), 6,7 (drop + meta) — 3 is
+	// the gap the deleted mail segment leaves.
+	want := []uint64{1, 2, 4, 5, 6, 7}
+	if len(lsns) != len(want) {
+		t.Fatalf("tailed LSNs %v, want %v", lsns, want)
+	}
+	for i := range want {
+		if lsns[i] != want[i] {
+			t.Fatalf("tailed LSNs %v, want %v", lsns, want)
+		}
+	}
+	// The gapped tail still reproduces the shadow state.
+	st := NewState()
+	for _, tr := range out {
+		st.Apply(tr.Rec)
+	}
+	if st.Digest() != s.Digest() {
+		t.Fatal("gapped tail replay digest != store digest")
+	}
+}
+
+func TestCloneStateIsolated(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := mustOpen(t, dir, Options{Sync: SyncNever})
+	defer s.Close()
+	seedTail(t, s)
+	st, next := s.CloneState()
+	if next != s.NextLSN() {
+		t.Fatalf("CloneState next %d != NextLSN %d", next, s.NextLSN())
+	}
+	digest := st.Digest()
+	if digest != s.Digest() {
+		t.Fatal("clone digest != store digest")
+	}
+	// Mutating the store must not reach the clone.
+	if err := s.Append("fs", upsert(9, "fs", "/c")); err != nil {
+		t.Fatal(err)
+	}
+	if st.Digest() != digest {
+		t.Fatal("clone mutated by a later append")
+	}
+}

@@ -34,6 +34,13 @@ func encodeFrame(b []byte, lsn uint64, rec Record) ([]byte, error) {
 	return b, nil
 }
 
+// AppendFrame appends a framed payload carrying lsn and rec to b using
+// the exact on-disk WAL frame layout — the replication shipping format
+// is the WAL format, so followers decode batches with ReplayBytes.
+func AppendFrame(b []byte, lsn uint64, rec Record) ([]byte, error) {
+	return encodeFrame(b, lsn, rec)
+}
+
 // walRecord is one decoded WAL record with its log sequence number.
 type walRecord struct {
 	lsn uint64

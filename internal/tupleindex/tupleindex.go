@@ -182,16 +182,31 @@ func (col *column) ensureSorted() {
 // skipped.
 func (ix *Index) Query(attr string, op Op, value core.Value) []DocID {
 	name := strings.ToLower(attr)
-	ix.mu.Lock()
+	// Fast path: an already-sorted column can be scanned under the read
+	// lock, concurrently with other queries. The lock is held for the
+	// whole scan — writers compact and re-sort col.entries in place, so
+	// a snapshot of the slice header is not safe to read unlocked.
+	ix.mu.RLock()
 	col, ok := ix.columns[name]
+	if ok && col.sorted {
+		defer ix.mu.RUnlock()
+		return col.query(op, value)
+	}
+	ix.mu.RUnlock()
+	// Slow path after a write: sort under the write lock, then scan.
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	col, ok = ix.columns[name]
 	if !ok {
-		ix.mu.Unlock()
 		return nil
 	}
 	col.ensureSorted()
-	entries := col.entries
-	ix.mu.Unlock()
+	return col.query(op, value)
+}
 
+// query scans a sorted column; the caller holds ix.mu (read or write).
+func (col *column) query(op Op, value core.Value) []DocID {
+	entries := col.entries
 	var out []DocID
 	if op == EQ {
 		// Binary search both boundaries of the equal run.

@@ -24,8 +24,13 @@ import (
 type Federation struct {
 	mu    sync.RWMutex
 	peers map[string]Peer
-	order []string
-	inst  map[string]peerInstruments
+	// replicas holds each peer's read replicas (AddPeerReplicas): the
+	// hedging and failover targets for that peer's slice of the
+	// dataspace.
+	replicas map[string][]Peer
+	order    []string
+	inst     map[string]peerInstruments
+	policy   FedPolicy
 
 	reg     *obs.Registry
 	queries *obs.Counter
@@ -33,7 +38,38 @@ type Federation struct {
 	// failures counts per-peer failures across all federated queries
 	// (query errors and column mismatches).
 	failures *obs.Counter
+	// hedges counts hedged requests sent to peer replicas; timeouts
+	// counts peers cut off by the per-peer deadline.
+	hedges   *obs.Counter
+	timeouts *obs.Counter
 }
+
+// FedPolicy tunes the federation's scatter-gather tail-latency
+// behaviour. The zero value (no deadline, no hedging) preserves the
+// plain fan-out.
+type FedPolicy struct {
+	// PeerTimeout bounds how long the federation waits for one peer; a
+	// peer still unanswered at the deadline is recorded as failed with
+	// ErrPeerTimeout (its late answer is discarded). Zero waits forever.
+	PeerTimeout time.Duration
+	// HedgeAfter, for peers that have replicas, sends a hedged copy of
+	// the query to the peer's first replica when the primary has not
+	// answered within this delay; the first successful answer wins.
+	// Zero disables hedging (a failed primary still fails over to the
+	// replica immediately).
+	HedgeAfter time.Duration
+}
+
+// SetPolicy installs the scatter-gather policy for subsequent queries.
+func (f *Federation) SetPolicy(p FedPolicy) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.policy = p
+}
+
+// ErrPeerTimeout marks a peer that did not answer within
+// FedPolicy.PeerTimeout; recorded per peer in FedResult.Errors.
+var ErrPeerTimeout = errors.New("idm: federated peer timed out")
 
 // Peer is what the federation needs from a member: evaluate an iQL query
 // string. *System implements it; tests substitute fakes to exercise
@@ -70,12 +106,34 @@ func NewFederation() *Federation {
 	reg := obs.NewRegistry()
 	return &Federation{
 		peers:    make(map[string]Peer),
+		replicas: make(map[string][]Peer),
 		inst:     make(map[string]peerInstruments),
 		reg:      reg,
 		queries:  reg.Counter("fed_queries_total"),
 		queryNs:  reg.Histogram("fed_query_ns", nil),
 		failures: reg.Counter("fed_peer_failures_total"),
+		hedges:   reg.Counter("fed_hedges_total"),
+		timeouts: reg.Counter("fed_peer_timeouts_total"),
 	}
+}
+
+// AddPeerReplicas attaches read replicas to an already-registered peer.
+// Replicas answer hedged requests (FedPolicy.HedgeAfter) and catch
+// failover when the primary errors; a lagging replica's rows arrive
+// flagged Stale like any other stale result.
+func (f *Federation) AddPeerReplicas(name string, replicas ...Peer) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, ok := f.peers[name]; !ok {
+		return fmt.Errorf("idm: peer %q not registered", name)
+	}
+	for _, r := range replicas {
+		if r == nil {
+			return fmt.Errorf("idm: nil replica for peer %q", name)
+		}
+	}
+	f.replicas[name] = append(f.replicas[name], replicas...)
+	return nil
 }
 
 // AddPeer registers a peer system under a unique name and creates its
@@ -129,6 +187,9 @@ type PeerStats struct {
 	Strategy string
 	Stale    bool
 	Stats    QueryStats
+	// Hedged reports that a hedged (or failover) request was sent to one
+	// of the peer's replicas during this query.
+	Hedged bool
 	// Err is the peer's failure message ("" on success), mirroring
 	// FedResult.Errors.
 	Err string
@@ -147,6 +208,11 @@ type FedResult struct {
 	// Peers carries per-peer timing and resource stats for every peer
 	// that was queried, including failed ones.
 	Peers map[string]PeerStats
+	// Stale reports that at least one contributing answer was stale —
+	// a degraded source on a peer, or a lagging read replica answering
+	// a hedged request. StalePeers names them.
+	Stale      bool
+	StalePeers []string
 }
 
 // Count returns the number of merged rows.
@@ -170,15 +236,117 @@ func (f *Federation) QueryTraced(q string) (*FedResult, *obs.Trace, error) {
 	return f.query(q, true)
 }
 
+// peerAnswer is one peer's outcome within a federated query.
+type peerAnswer struct {
+	res     *Result
+	trace   *obs.Trace
+	err     error
+	elapsed time.Duration
+	hedged  bool
+}
+
+// ask queries one peer, applying the per-peer deadline and, when the
+// peer has replicas, hedging and failover: a hedged copy goes to the
+// first replica after HedgeAfter (or immediately when the primary
+// errors), and the first successful answer wins. When everything fails
+// the PRIMARY's error is returned — callers and the all-fail path
+// depend on that error surviving unwrapping.
+func (f *Federation) ask(primary Peer, replicas []Peer, pol FedPolicy, name, q string, traced bool) peerAnswer {
+	start := time.Now()
+	type outcome struct {
+		res    *Result
+		tr     *obs.Trace
+		err    error
+		hedged bool
+	}
+	// Buffered for every request this call can launch: late answers
+	// (after a timeout return) park in the buffer and the goroutines
+	// exit; nothing leaks.
+	ch := make(chan outcome, 1+len(replicas))
+	run := func(p Peer, hedged bool) {
+		var res *Result
+		var tr *obs.Trace
+		var err error
+		if tp, ok := p.(TracedPeer); ok && traced {
+			res, tr, err = tp.Trace(q)
+		} else {
+			res, err = p.Query(q)
+		}
+		ch <- outcome{res: res, tr: tr, err: err, hedged: hedged}
+	}
+	go run(primary, false)
+
+	var hedgeC, deadC <-chan time.Time
+	if pol.HedgeAfter > 0 && len(replicas) > 0 {
+		hedgeTimer := time.NewTimer(pol.HedgeAfter)
+		defer hedgeTimer.Stop()
+		hedgeC = hedgeTimer.C
+	}
+	if pol.PeerTimeout > 0 {
+		deadTimer := time.NewTimer(pol.PeerTimeout)
+		defer deadTimer.Stop()
+		deadC = deadTimer.C
+	}
+
+	pending := 1
+	hedges := 0
+	anyHedged := false
+	var primaryErr error
+	hedge := func() {
+		if hedges < len(replicas) {
+			f.hedges.Inc()
+			anyHedged = true
+			pending++
+			go run(replicas[hedges], true)
+			hedges++
+		}
+	}
+	for {
+		select {
+		case o := <-ch:
+			pending--
+			if o.err == nil {
+				return peerAnswer{res: o.res, trace: o.tr, elapsed: time.Since(start), hedged: anyHedged}
+			}
+			if !o.hedged {
+				primaryErr = o.err
+			}
+			// Failover: an errored request immediately tries the next
+			// replica, independent of the hedge delay.
+			hedge()
+			if pending == 0 {
+				err := primaryErr
+				if err == nil {
+					err = o.err
+				}
+				return peerAnswer{err: err, elapsed: time.Since(start), hedged: anyHedged}
+			}
+		case <-hedgeC:
+			hedgeC = nil
+			hedge()
+		case <-deadC:
+			f.timeouts.Inc()
+			return peerAnswer{
+				err:     fmt.Errorf("%w: peer %q after %v", ErrPeerTimeout, name, pol.PeerTimeout),
+				elapsed: time.Since(start),
+				hedged:  anyHedged,
+			}
+		}
+	}
+}
+
 func (f *Federation) query(q string, traced bool) (*FedResult, *obs.Trace, error) {
 	f.mu.RLock()
 	names := append([]string(nil), f.order...)
 	peers := make([]Peer, len(names))
+	reps := make([][]Peer, len(names))
 	insts := make([]peerInstruments, len(names))
 	for i, n := range names {
 		peers[i] = f.peers[n]
+		reps[i] = append([]Peer(nil), f.replicas[n]...)
 		insts[i] = f.inst[n]
 	}
+	pol := f.policy
 	f.mu.RUnlock()
 	if len(names) == 0 {
 		return nil, nil, fmt.Errorf("idm: federation has no peers")
@@ -192,38 +360,29 @@ func (f *Federation) query(q string, traced bool) (*FedResult, *obs.Trace, error
 		trace.Root().SetInt("peers", int64(len(names)))
 	}
 
-	type answer struct {
-		res     *Result
-		err     error
-		elapsed time.Duration
-	}
-	answers := make([]answer, len(names))
+	answers := make([]peerAnswer, len(names))
 	var wg sync.WaitGroup
 	for i := range names {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
 			sp := trace.Root().Start("peer " + names[i])
-			p0 := time.Now()
-			var res *Result
-			var err error
-			if tp, ok := peers[i].(TracedPeer); ok && traced {
-				var ptr *obs.Trace
-				res, ptr, err = tp.Trace(q)
-				sp.Adopt(ptr.Root())
-			} else {
-				res, err = peers[i].Query(q)
+			a := f.ask(peers[i], reps[i], pol, names[i], q, traced)
+			insts[i].queryNs.Observe(int64(a.elapsed))
+			if a.trace != nil {
+				sp.Adopt(a.trace.Root())
 			}
-			elapsed := time.Since(p0)
-			insts[i].queryNs.Observe(int64(elapsed))
-			if err != nil {
+			if a.hedged {
+				sp.Set("hedged", "true")
+			}
+			if a.err != nil {
 				insts[i].errors.Inc()
-				sp.Set("error", err.Error())
+				sp.Set("error", a.err.Error())
 			} else {
-				sp.SetInt("rows", int64(len(res.Rows)))
+				sp.SetInt("rows", int64(len(a.res.Rows)))
 			}
 			sp.Finish()
-			answers[i] = answer{res: res, err: err, elapsed: elapsed}
+			answers[i] = a
 		}(i)
 	}
 	wg.Wait()
@@ -237,6 +396,7 @@ func (f *Federation) query(q string, traced bool) (*FedResult, *obs.Trace, error
 		out.Errors[name] = err
 		out.Peers[name] = PeerStats{
 			DurationNs: int64(answers[i].elapsed),
+			Hedged:     answers[i].hedged,
 			Err:        err.Error(),
 		}
 		f.failures.Inc()
@@ -265,6 +425,14 @@ func (f *Federation) query(q string, traced bool) (*FedResult, *obs.Trace, error
 			Strategy:   res.Stats.Strategy,
 			Stale:      res.Stale,
 			Stats:      res.Stats,
+			Hedged:     answers[i].hedged,
+		}
+		if res.Stale {
+			// Lag-aware merge: a stale contribution (degraded source or
+			// lagging replica) flags the whole federated result, naming
+			// the peer, mirroring Result.Stale/StaleSources.
+			out.Stale = true
+			out.StalePeers = append(out.StalePeers, name)
 		}
 		for _, row := range res.Rows {
 			out.Rows = append(out.Rows, FedRow{Peer: name, Row: row})

@@ -2,8 +2,10 @@ package idm_test
 
 import (
 	"errors"
+	"fmt"
 	"strings"
 	"testing"
+	"time"
 
 	idm "repro"
 )
@@ -267,5 +269,201 @@ func TestQueryRankedFacade(t *testing.T) {
 	}
 	if res.Scores[1] != 1 {
 		t.Errorf("second score = %v", res.Scores[1])
+	}
+}
+
+// slowPeer answers after a fixed delay — the tail-latency straggler the
+// hedging policy exists for.
+type slowPeer struct {
+	res   *idm.Result
+	err   error
+	delay time.Duration
+}
+
+func (p slowPeer) Query(string) (*idm.Result, error) {
+	time.Sleep(p.delay)
+	return p.res, p.err
+}
+
+// peerDownError is a typed failure used to pin errors.As through the
+// federation's wrapping.
+type peerDownError struct{ code int }
+
+func (e *peerDownError) Error() string { return fmt.Sprintf("peer down (code %d)", e.code) }
+
+func oneRow(name string) *idm.Result {
+	return &idm.Result{Columns: []string{"view"}, Rows: []idm.Row{{idm.Item{Name: name}}}}
+}
+
+// TestFederationAllFailErrorIdentity is the regression for the all-fail
+// path's error wrapping: the first peer's error must survive both
+// errors.Is and errors.As through the federation's wrap — and keep
+// surviving when replicas were tried and failed too (failover must not
+// replace the primary's error with a replica's).
+func TestFederationAllFailErrorIdentity(t *testing.T) {
+	primaryErr := &peerDownError{code: 42}
+	fed := idm.NewFederation()
+	fed.AddPeer("alpha", fakePeer{err: primaryErr})
+	if err := fed.AddPeerReplicas("alpha", fakePeer{err: errors.New("replica down")}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := fed.Query(`//x`)
+	if err == nil {
+		t.Fatal("all-fail query succeeded")
+	}
+	var down *peerDownError
+	if !errors.As(err, &down) {
+		t.Fatalf("errors.As failed through the federation wrap: %v", err)
+	}
+	if down.code != 42 {
+		t.Fatalf("unwrapped wrong error: %+v", down)
+	}
+	if !errors.Is(err, primaryErr) {
+		t.Fatalf("errors.Is lost the primary's error: %v", err)
+	}
+	if strings.Contains(err.Error(), "replica down") {
+		t.Fatalf("failover replaced the primary's error: %v", err)
+	}
+	// AddPeerReplicas guards its inputs.
+	if err := fed.AddPeerReplicas("ghost", fakePeer{}); err == nil {
+		t.Error("replicas attached to an unregistered peer")
+	}
+	if err := fed.AddPeerReplicas("alpha", nil); err == nil {
+		t.Error("nil replica accepted")
+	}
+}
+
+// TestFederationHedging pins the hedged-request path: a slow primary
+// with a fast replica answers via the hedge well before the primary
+// would, the result is flagged Hedged, and fed_hedges_total counts it.
+func TestFederationHedging(t *testing.T) {
+	fed := idm.NewFederation()
+	fed.AddPeer("slow", slowPeer{res: oneRow("primary"), delay: 2 * time.Second})
+	if err := fed.AddPeerReplicas("slow", fakePeer{res: oneRow("replica")}); err != nil {
+		t.Fatal(err)
+	}
+	fed.SetPolicy(idm.FedPolicy{HedgeAfter: 5 * time.Millisecond})
+
+	start := time.Now()
+	res, err := fed.Query(`//x`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("hedge did not cut the tail: %v", elapsed)
+	}
+	if res.Count() != 1 || res.Rows[0].Row[0].Name != "replica" {
+		t.Fatalf("rows = %+v, want the replica's answer", res.Rows)
+	}
+	ps := res.Peers["slow"]
+	if !ps.Hedged {
+		t.Fatalf("Peers[slow] = %+v, want Hedged", ps)
+	}
+	snap := fed.Metrics().Snapshot()
+	if got := snap.Counters["fed_hedges_total"]; got != 1 {
+		t.Errorf("fed_hedges_total = %d, want 1", got)
+	}
+}
+
+// TestFederationPeerTimeout pins the per-peer deadline: a peer that
+// cannot answer in time is recorded failed with ErrPeerTimeout while the
+// healthy peer's rows still arrive.
+func TestFederationPeerTimeout(t *testing.T) {
+	fed := idm.NewFederation()
+	fed.AddPeer("healthy", fakePeer{res: oneRow("ok")})
+	fed.AddPeer("stuck", slowPeer{res: oneRow("late"), delay: 2 * time.Second})
+	fed.SetPolicy(idm.FedPolicy{PeerTimeout: 20 * time.Millisecond})
+
+	res, err := fed.Query(`//x`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count() != 1 || res.Rows[0].Peer != "healthy" {
+		t.Fatalf("rows = %+v, want only the healthy peer's", res.Rows)
+	}
+	terr := res.Errors["stuck"]
+	if terr == nil || !errors.Is(terr, idm.ErrPeerTimeout) {
+		t.Fatalf("Errors[stuck] = %v, want ErrPeerTimeout", terr)
+	}
+	if !strings.Contains(terr.Error(), "stuck") {
+		t.Fatalf("timeout error does not name the peer: %v", terr)
+	}
+	snap := fed.Metrics().Snapshot()
+	if got := snap.Counters["fed_peer_timeouts_total"]; got != 1 {
+		t.Errorf("fed_peer_timeouts_total = %d, want 1", got)
+	}
+}
+
+// TestFederationFailoverOnError pins immediate failover: a primary that
+// errors outright is covered by its replica with no hedge delay
+// configured, and the peer still contributes rows.
+func TestFederationFailoverOnError(t *testing.T) {
+	fed := idm.NewFederation()
+	fed.AddPeer("flaky", fakePeer{err: errors.New("primary exploded")})
+	if err := fed.AddPeerReplicas("flaky", fakePeer{res: oneRow("replica")}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := fed.Query(`//x`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count() != 1 || res.Rows[0].Row[0].Name != "replica" {
+		t.Fatalf("rows = %+v, want the replica's answer", res.Rows)
+	}
+	if len(res.Errors) != 0 {
+		t.Fatalf("failover still recorded errors: %v", res.Errors)
+	}
+	if !res.Peers["flaky"].Hedged {
+		t.Fatalf("Peers[flaky] = %+v, want Hedged (failover)", res.Peers["flaky"])
+	}
+}
+
+// TestFederationReplicaLagStale pins the lag-aware merge: a lagging
+// read replica serving as a peer flags its rows stale, and the
+// federated result surfaces Stale + StalePeers without special cases.
+func TestFederationReplicaLagStale(t *testing.T) {
+	leaderSys, _ := durableLeader(t)
+	leader := leaderSys.ReplicationLeader()
+	leader.SetMaxBatch(5)
+	rep, err := idm.OpenReplica(t.TempDir(), leader, idm.Config{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rep.Close()
+	if _, err := rep.Pull(); err != nil { // one capped pull: still lagging
+		t.Fatal(err)
+	}
+	if rep.Lag() == 0 {
+		t.Fatal("fixture replica is not lagging")
+	}
+
+	fed := idm.NewFederation()
+	if err := fed.AddPeer("replica", rep); err != nil {
+		t.Fatal(err)
+	}
+	res, err := fed.Query(`//*`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stale {
+		t.Fatal("lagging replica's answer did not flag the federated result stale")
+	}
+	if len(res.StalePeers) != 1 || res.StalePeers[0] != "replica" {
+		t.Fatalf("StalePeers = %v, want [replica]", res.StalePeers)
+	}
+	if !res.Peers["replica"].Stale {
+		t.Fatalf("Peers[replica] = %+v, want Stale", res.Peers["replica"])
+	}
+
+	// Catching up clears the flag end to end.
+	if err := rep.CatchUp(); err != nil {
+		t.Fatal(err)
+	}
+	res, err = fed.Query(`//*`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stale || len(res.StalePeers) != 0 {
+		t.Fatalf("caught-up replica still stale: %v", res.StalePeers)
 	}
 }

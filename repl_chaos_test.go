@@ -1,0 +1,180 @@
+package idm_test
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"testing"
+
+	idm "repro"
+	"repro/internal/fault"
+	"repro/internal/repl"
+)
+
+// chaosSeed seeds the chaos fault injector; the whole fault schedule —
+// which shipments are dropped, duplicated, reordered or torn — replays
+// deterministically for a given seed (make repl-chaos pins seed 1).
+var chaosSeed = flag.Int64("chaos-seed", 1, "seed for the replication chaos schedule")
+
+// chaosCatchUp pulls until converged, tolerating rejected batches (the
+// follower's remedy for a mutated shipment is simply to re-pull).
+func chaosCatchUp(t *testing.T, rep *idm.Replica, maxPulls int) (rejected int) {
+	t.Helper()
+	for i := 0; i < maxPulls; i++ {
+		n, err := rep.Pull()
+		if errors.Is(err, idm.ErrBadShipment) {
+			rejected++
+			continue
+		}
+		if err != nil {
+			t.Fatalf("pull %d: %v", i, err)
+		}
+		if n == 0 && rep.Lag() == 0 {
+			return rejected
+		}
+	}
+	t.Fatalf("no convergence after %d pulls (lag %d, %d rejected)", maxPulls, rep.Lag(), rejected)
+	return rejected
+}
+
+// TestReplChaos drives replication through a hostile transport: each
+// fault point mutates shipments (drop a frame, duplicate a range,
+// reorder frames, tear the tail) with the armed probability, and the
+// follower must reject every invalid batch wholesale and still converge
+// to the leader's exact state by re-pulling. The "dup" lane ships honest
+// overlapping batches instead, exercising the apply path's idempotency.
+func TestReplChaos(t *testing.T) {
+	lanes := []struct {
+		name   string
+		points []string
+	}{
+		{"drop", []string{repl.FaultShipDrop}},
+		{"dup", []string{repl.FaultShipDup}},
+		{"reorder", []string{repl.FaultShipReorder}},
+		{"torn", []string{repl.FaultShipTorn}},
+		{"all", []string{repl.FaultShipDrop, repl.FaultShipDup, repl.FaultShipReorder, repl.FaultShipTorn}},
+	}
+	for _, lane := range lanes {
+		t.Run(lane.name, func(t *testing.T) {
+			leaderSys, _ := durableLeader(t)
+			leader := leaderSys.ReplicationLeader()
+			leader.SetMaxBatch(2) // many batches per catch-up: more chaos surface
+			want := leaderSys.StateDigest()
+
+			inj := fault.New(*chaosSeed)
+			for _, p := range lane.points {
+				inj.Add(fault.Rule{Point: p, Kind: fault.Error, P: 0.4})
+			}
+			chaos := &idm.ReplChaosTransport{
+				Inner:  &idm.ReplWireTransport{Inner: leader},
+				Faults: inj,
+			}
+			rep, err := idm.OpenReplica(t.TempDir(), chaos, idm.Config{Parallelism: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer rep.Close()
+
+			rejected := chaosCatchUp(t, rep, 500)
+			if got := rep.StateDigest(); got != want {
+				t.Fatalf("chaos catch-up diverged\n got %s\nwant %s", got, want)
+			}
+			fired := 0
+			for _, p := range lane.points {
+				fired += inj.Fired(p)
+			}
+			if fired == 0 {
+				t.Fatalf("chaos lane %s never fired (seed %d)", lane.name, *chaosSeed)
+			}
+			// Every mutation except dup yields an invalid batch the
+			// follower must have rejected at least once.
+			if lane.name != "dup" && rejected == 0 {
+				t.Fatalf("lane %s fired %d times but nothing was rejected", lane.name, fired)
+			}
+			if lane.name == "dup" && rejected != 0 {
+				t.Fatalf("dup lane produced %d rejections; overlaps should be legal", rejected)
+			}
+			t.Logf("lane %s: %d faults fired, %d batches rejected, converged", lane.name, fired, rejected)
+		})
+	}
+}
+
+// TestReplChaosDeterministic replays the same seed twice and requires an
+// identical fault schedule — the property that makes a chaos failure
+// reproducible from its seed alone.
+func TestReplChaosDeterministic(t *testing.T) {
+	run := func() (fired [2]int, digest string) {
+		leaderSys, _ := durableLeader(t)
+		leader := leaderSys.ReplicationLeader()
+		leader.SetMaxBatch(2)
+		inj := fault.New(*chaosSeed)
+		inj.Add(fault.Rule{Point: repl.FaultShipDrop, Kind: fault.Error, P: 0.3})
+		inj.Add(fault.Rule{Point: repl.FaultShipTorn, Kind: fault.Error, P: 0.3})
+		chaos := &idm.ReplChaosTransport{Inner: leader, Faults: inj}
+		rep, err := idm.OpenReplica(t.TempDir(), chaos, idm.Config{Parallelism: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer rep.Close()
+		chaosCatchUp(t, rep, 500)
+		return [2]int{inj.Fired(repl.FaultShipDrop), inj.Fired(repl.FaultShipTorn)}, rep.StateDigest()
+	}
+	f1, d1 := run()
+	f2, d2 := run()
+	if f1 != f2 {
+		t.Fatalf("same seed, different fault schedules: %v vs %v", f1, f2)
+	}
+	if d1 != d2 {
+		t.Fatal("same seed, different converged digests")
+	}
+}
+
+// TestReplicaStaleness pins the staleness contract: a lagging replica
+// flags every answer Stale with a "replication lag N" source entry, and
+// catching up clears it.
+func TestReplicaStaleness(t *testing.T) {
+	leaderSys, _ := durableLeader(t)
+	leader := leaderSys.ReplicationLeader()
+	leader.SetMaxBatch(5)
+
+	rep, err := idm.OpenReplica(t.TempDir(), leader, idm.Config{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rep.Close()
+	// One capped pull: behind the advertised leader LSN.
+	if _, err := rep.Pull(); err != nil {
+		t.Fatal(err)
+	}
+	lag := rep.Lag()
+	if lag == 0 {
+		t.Fatal("capped pull left no lag")
+	}
+	res, err := rep.Query(`//*`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stale {
+		t.Fatal("lagging replica answered without Stale")
+	}
+	wantTag := fmt.Sprintf("replication lag %d", lag)
+	found := false
+	for _, s := range res.StaleSources {
+		if s == wantTag {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("StaleSources %v missing %q", res.StaleSources, wantTag)
+	}
+	if err := rep.CatchUp(); err != nil {
+		t.Fatal(err)
+	}
+	res, err = rep.Query(`//*`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stale {
+		t.Fatalf("caught-up replica still stale: %v", res.StaleSources)
+	}
+}

@@ -35,6 +35,15 @@ echo '>> go test -race ./internal/store (store gate)'
 go test -race ./internal/store
 echo '>> go test -race -run "Crash|Corruption|Recovered|RemoveSource" . (durability gate)'
 go test -race -run 'Crash|Corruption|Recovered|RemoveSource' .
+# Replication gate: the repl package (shipping, follower recovery,
+# chaos transport, concurrent-ship stress) plus the root-level
+# crash-a-follower matrix, chaos lanes, staleness/differential suites
+# and the federation policy tests run first for attributable failure;
+# ./... repeats them below.
+echo '>> go test -race ./internal/repl (replication gate)'
+go test -race ./internal/repl
+echo '>> go test -race -run "Replica|ReplChaos|Federation|DoubleCrash" . (replication integration)'
+go test -race -run 'Replica|ReplChaos|Federation|DoubleCrash' .
 echo '>> go test -race ./...'
 go test -race ./...
 echo 'check: OK'
