@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check test build vet bench bench-iql obs-bench fuzz-smoke repl-chaos
+.PHONY: check test build vet bench bench-iql obs-bench fuzz-smoke repl-chaos storage-matrix
 
 # Full verification: vet + build + race-enabled tests.
 check:
@@ -16,11 +16,12 @@ test:
 	$(GO) test ./...
 
 # Short fuzzing pass over the iQL parser, evaluator, the
-# serial-vs-parallel differential harness, and the durable store's WAL
-# and snapshot decoders (30s per target; iQL seed corpora live in
-# internal/iql/testdata/fuzz/, store corpora are generated in-test).
-# Each target must run alone: `go test -fuzz` accepts only one fuzz
-# target per invocation.
+# serial-vs-parallel differential harness, the durable store's WAL and
+# snapshot decoders, and the compacted-segment decoder (30s per target;
+# iQL seed corpora live in internal/iql/testdata/fuzz/, the segment
+# seed is testdata/store/compact.seg, store corpora are generated
+# in-test). Each target must run alone: `go test -fuzz` accepts only
+# one fuzz target per invocation.
 fuzz-smoke:
 	$(GO) test ./internal/iql -run '^$$' -fuzz '^FuzzParse$$' -fuzztime 30s
 	$(GO) test ./internal/iql -run '^$$' -fuzz '^FuzzEval$$' -fuzztime 30s
@@ -28,6 +29,15 @@ fuzz-smoke:
 	$(GO) test ./internal/store -run '^$$' -fuzz '^FuzzWALDecode$$' -fuzztime 30s
 	$(GO) test ./internal/store -run '^$$' -fuzz '^FuzzSnapshotLoad$$' -fuzztime 30s
 	$(GO) test ./internal/repl -run '^$$' -fuzz '^FuzzShipDecode$$' -fuzztime 30s
+	$(GO) test ./internal/storage -run '^$$' -fuzz '^FuzzSegmentDecode$$' -fuzztime 30s
+
+# Storage-backend matrix: the Engine conformance suite (append, tail,
+# recovery, drop, digest, crash matrix, dir lock) against both backends,
+# plus every root-level crash/chaos/differential harness that is
+# backend-parameterized (docs/PERSISTENCE.md).
+storage-matrix:
+	$(GO) test -race -v -run 'TestConformance|TestDirLock' ./internal/storage
+	$(GO) test -race -run 'TestCrashMatrix|TestCrashDuringSnapshot|TestDoubleCrashDuringRecovery|TestReplicaDifferential' .
 
 # Replication chaos suite at the pinned seed: every lane (drop, dup,
 # reorder, torn, all) of the hostile-transport schedule replays
@@ -44,10 +54,11 @@ bench:
 	$(GO) run ./cmd/idmbench -exp iql -scale 0.05 -runs 10 -parallelism 8 -obsreps 0 -tenx -minspeedup 0.95
 
 # Regenerate BENCH_iql.json (three-lane engine microbenchmark at base
-# and 10x scale plus the obs_overhead instrumentation-cost section;
-# schema_version 4, see internal/experiments.BenchReport).
+# and 10x scale, the obs_overhead instrumentation-cost section, and the
+# index_build cold-start section at the paper scale; schema_version 5,
+# see internal/experiments.BenchReport).
 bench-iql:
-	$(GO) run ./cmd/idmbench -exp iql -scale 0.05 -runs 10 -parallelism 8 -tenx -minspeedup 0.95 -json BENCH_iql.json
+	$(GO) run ./cmd/idmbench -exp iql -scale 0.05 -runs 10 -parallelism 8 -tenx -minspeedup 0.95 -ixreps 3 -ixscale 1.0 -json BENCH_iql.json
 
 # Re-measure only the observability overhead (obs_overhead section of
 # BENCH_iql.json) and gate it: mean disabled overhead <= 2%, mean

@@ -8,13 +8,16 @@
 //	         [-json BENCH_iql.json] [-parallelism N] [-obsreps 3] [-tenx] [-minspeedup X] [-obsgate]
 //
 // -json writes the iQL engine microbenchmark (experiments.BenchReport,
-// schema_version 4: serial vs forced-parallel vs planner-adaptive, with
+// schema_version 5: serial vs forced-parallel vs planner-adaptive, with
 // the adaptive planner's strategy and estimated-vs-actual rows per
 // query) to the given path, including the obs_overhead section that
 // compares instrumented vs uninstrumented ns/op across four postures —
 // no registry, disabled registry, enabled registry, enabled registry
 // plus query log (-obsreps 0 skips it).
 // -tenx adds the scale_10x section (the same measurement at 10× -scale).
+// -ixreps adds the index_build section: cold-start index construction
+// from a recovered durable state at -ixscale (default 1.0, the paper
+// shape), per-view incremental insertion vs the sort-based bulk build.
 // -minspeedup fails the run (exit 1) if any query's adaptive speedup
 // over serial falls below the threshold — the planner regression gate.
 // -obsgate fails the run if the mean disabled overhead exceeds 2% or
@@ -45,6 +48,8 @@ func main() {
 	parallelism := flag.Int("parallelism", 0, "engine worker count for the parallel lane of -json (0 = GOMAXPROCS)")
 	obsReps := flag.Int("obsreps", 3, "min-of-N repetitions for the obs_overhead section of -json (0 = skip)")
 	tenx := flag.Bool("tenx", false, "additionally measure the iQL benchmark at 10x -scale (scale_10x section)")
+	ixReps := flag.Int("ixreps", 0, "min-of-N repetitions for the index_build section of -json (0 = skip)")
+	ixScale := flag.Float64("ixscale", 1.0, "dataset scale for the index_build section")
 	minSpeedup := flag.Float64("minspeedup", 0, "fail unless every query's adaptive speedup over serial is at least this (0 = no gate)")
 	obsGate := flag.Bool("obsgate", false, "fail unless mean obs overhead is within bounds (disabled <= 2%, query-log <= 3%); needs -obsreps > 0")
 	flag.Parse()
@@ -158,6 +163,15 @@ func main() {
 				}
 			} else if *obsGate {
 				fail(fmt.Errorf("-obsgate needs -obsreps > 0"))
+			}
+			if *ixReps > 0 {
+				ib, err := experiments.BenchIndexBuild(*ixScale, *seed, *ixReps)
+				if err != nil {
+					fail(err)
+				}
+				rep.IndexBuild = ib
+				fmt.Printf("index build (scale %g, %d views): incremental %d ns  bulk %d ns  (%.2fx)\n",
+					ib.Scale, ib.Views, ib.IncrementalNs, ib.BulkNs, ib.Speedup)
 			}
 			if *jsonPath != "" {
 				data, err := json.MarshalIndent(rep, "", "  ")

@@ -30,34 +30,54 @@ func durableFS() *vfs.FS {
 	return fs
 }
 
+// crashBackends are the storage backends every crash-safety matrix in
+// this file runs against (see docs/PERSISTENCE.md).
+var crashBackends = []idm.StorageBackend{idm.BackendWAL, idm.BackendCompact}
+
 func durableConfig(dir string, inj *idm.FaultInjector) idm.Config {
-	return idm.Config{DataDir: dir, Now: fixedNow, Parallelism: 1, Faults: inj}
+	return durableConfigB(dir, idm.BackendWAL, inj)
 }
 
-// walPrefixDigests merge-replays the WAL segments under dir in LSN
+func durableConfigB(dir string, b idm.StorageBackend, inj *idm.FaultInjector) idm.Config {
+	return idm.Config{DataDir: dir, Backend: b, Now: fixedNow, Parallelism: 1, Faults: inj}
+}
+
+// logRelPaths lists the append-log files under a data directory,
+// relative to it, sorted: the WAL backend's wal/seg-*.wal segments
+// and/or the compact backend's compact/tail.wal.
+func logRelPaths(t *testing.T, dir string) []string {
+	t.Helper()
+	var rels []string
+	if ents, err := os.ReadDir(filepath.Join(dir, "wal")); err == nil {
+		for _, e := range ents {
+			rels = append(rels, filepath.Join("wal", e.Name()))
+		}
+	}
+	if _, err := os.Stat(filepath.Join(dir, "compact", "tail.wal")); err == nil {
+		rels = append(rels, filepath.Join("compact", "tail.wal"))
+	}
+	if len(rels) == 0 {
+		t.Fatalf("no append-log files under %s", dir)
+	}
+	sort.Strings(rels)
+	return rels
+}
+
+// walPrefixDigests merge-replays the append logs under dir in LSN
 // order — exactly as recovery does — and returns the state digest after
 // every record prefix: digests[k] is the digest with the first k records
 // applied, so digests[0] is the empty state and digests[len-1] the full
-// one.
+// one. Works for both backends: the compact backend's tail.wal uses the
+// same frame format as the WAL backend's segments.
 func walPrefixDigests(t *testing.T, dir string) []string {
 	t.Helper()
-	walDir := filepath.Join(dir, "wal")
-	ents, err := os.ReadDir(walDir)
-	if err != nil {
-		t.Fatal(err)
-	}
 	type walRec struct {
 		lsn uint64
 		rec store.Record
 	}
 	var all []walRec
-	var names []string
-	for _, e := range ents {
-		names = append(names, e.Name())
-	}
-	sort.Strings(names)
-	for _, name := range names {
-		b, err := os.ReadFile(filepath.Join(walDir, name))
+	for _, rel := range logRelPaths(t, dir) {
+		b, err := os.ReadFile(filepath.Join(dir, rel))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -69,7 +89,7 @@ func walPrefixDigests(t *testing.T, dir string) []string {
 			t.Fatal(err)
 		}
 		if res.Warning != "" {
-			t.Fatalf("reference WAL %s not clean: %s", name, res.Warning)
+			t.Fatalf("reference log %s not clean: %s", rel, res.Warning)
 		}
 	}
 	sort.SliceStable(all, func(i, j int) bool { return all[i].lsn < all[j].lsn })
@@ -82,28 +102,24 @@ func walPrefixDigests(t *testing.T, dir string) []string {
 	return digests
 }
 
-// assertSegmentPrefixes asserts that every WAL segment the crashed run
-// left behind is a byte-prefix of the reference run's same-named
-// segment: a crash — at a boundary or mid-record — can only lose tail
+// assertSegmentPrefixes asserts that every append-log file the crashed
+// run left behind is a byte-prefix of the reference run's same-named
+// file: a crash — at a boundary or mid-record — can only lose tail
 // bytes of the deterministic append stream, never diverge from it.
 func assertSegmentPrefixes(t *testing.T, crashedDir, refDir string) {
 	t.Helper()
-	ents, err := os.ReadDir(filepath.Join(crashedDir, "wal"))
-	if err != nil {
-		t.Fatal(err)
-	}
-	for _, e := range ents {
-		got, err := os.ReadFile(filepath.Join(crashedDir, "wal", e.Name()))
+	for _, rel := range logRelPaths(t, crashedDir) {
+		got, err := os.ReadFile(filepath.Join(crashedDir, rel))
 		if err != nil {
 			t.Fatal(err)
 		}
-		want, err := os.ReadFile(filepath.Join(refDir, "wal", e.Name()))
+		want, err := os.ReadFile(filepath.Join(refDir, rel))
 		if err != nil {
-			t.Fatalf("crashed run wrote segment %s the reference run never had: %v", e.Name(), err)
+			t.Fatalf("crashed run wrote log %s the reference run never had: %v", rel, err)
 		}
 		if len(got) > len(want) || !bytes.Equal(got, want[:len(got)]) {
-			t.Errorf("segment %s of the crashed run is not a byte-prefix of the reference segment (%d vs %d bytes)",
-				e.Name(), len(got), len(want))
+			t.Errorf("log %s of the crashed run is not a byte-prefix of the reference (%d vs %d bytes)",
+				rel, len(got), len(want))
 		}
 	}
 }
@@ -116,11 +132,17 @@ func assertSegmentPrefixes(t *testing.T, crashedDir, refDir string) {
 // prefix. Re-syncing the source afterwards must converge byte-equal to
 // the reference final state.
 func TestCrashMatrix(t *testing.T) {
+	for _, backend := range crashBackends {
+		t.Run(backend.String(), func(t *testing.T) { crashMatrix(t, backend) })
+	}
+}
+
+func crashMatrix(t *testing.T, backend idm.StorageBackend) {
 	fs := durableFS()
 
 	// Reference run: the same scripted sync with no faults.
 	refDir := t.TempDir()
-	ref, _, err := idm.OpenDurable(durableConfig(refDir, nil))
+	ref, _, err := idm.OpenDurable(durableConfigB(refDir, backend, nil))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -158,7 +180,7 @@ func TestCrashMatrix(t *testing.T) {
 				dir := t.TempDir()
 				inj := idm.NewFaultInjector(1)
 				inj.Add(idm.FaultRule{Point: mode.point, Kind: idm.FaultError, After: k - 1, Times: 1})
-				sys, _, err := idm.OpenDurable(durableConfig(dir, inj))
+				sys, _, err := idm.OpenDurable(durableConfigB(dir, backend, inj))
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -175,7 +197,7 @@ func TestCrashMatrix(t *testing.T) {
 				// Recover. Both crash modes lose exactly record k and
 				// everything after it: the recovered graph must be
 				// byte-equal to the reference prefix of k-1 records.
-				re, info, err := idm.OpenDurable(durableConfig(dir, nil))
+				re, info, err := idm.OpenDurable(durableConfigB(dir, backend, nil))
 				if err != nil {
 					t.Fatalf("recovery: %v", err)
 				}
@@ -214,11 +236,17 @@ func TestCrashMatrix(t *testing.T) {
 // the checkpoint fails, but the WAL is intact and recovery still
 // reproduces the full state.
 func TestCrashDuringSnapshot(t *testing.T) {
+	for _, backend := range crashBackends {
+		t.Run(backend.String(), func(t *testing.T) { crashDuringSnapshot(t, backend) })
+	}
+}
+
+func crashDuringSnapshot(t *testing.T, backend idm.StorageBackend) {
 	fs := durableFS()
 	dir := t.TempDir()
 	inj := idm.NewFaultInjector(1)
 	inj.Add(idm.FaultRule{Point: "store/snapshot/write", Kind: idm.FaultError, Times: 1})
-	sys, _, err := idm.OpenDurable(durableConfig(dir, inj))
+	sys, _, err := idm.OpenDurable(durableConfigB(dir, backend, inj))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -234,7 +262,7 @@ func TestCrashDuringSnapshot(t *testing.T) {
 	}
 	sys.Close()
 
-	re, info, err := idm.OpenDurable(durableConfig(dir, nil))
+	re, info, err := idm.OpenDurable(durableConfigB(dir, backend, nil))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -254,9 +282,15 @@ func TestCrashDuringSnapshot(t *testing.T) {
 // replay destroys nothing, and the eventual clean recovery reaches the
 // exact reference state no matter where the replay died.
 func TestDoubleCrashDuringRecovery(t *testing.T) {
+	for _, backend := range crashBackends {
+		t.Run(backend.String(), func(t *testing.T) { doubleCrashDuringRecovery(t, backend) })
+	}
+}
+
+func doubleCrashDuringRecovery(t *testing.T, backend idm.StorageBackend) {
 	fs := durableFS()
 	dir := t.TempDir()
-	sys, _, err := idm.OpenDurable(durableConfig(dir, nil))
+	sys, _, err := idm.OpenDurable(durableConfigB(dir, backend, nil))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -280,7 +314,7 @@ func TestDoubleCrashDuringRecovery(t *testing.T) {
 			// Second crash: recovery itself dies at replayed record k.
 			inj := idm.NewFaultInjector(1)
 			inj.Add(idm.FaultRule{Point: store.FaultReplay, Kind: idm.FaultError, After: k - 1, Times: 1})
-			if _, _, err := idm.OpenDurable(durableConfig(dir, inj)); err == nil {
+			if _, _, err := idm.OpenDurable(durableConfigB(dir, backend, inj)); err == nil {
 				t.Fatal("injected replay crash did not abort recovery")
 			} else if !errors.Is(err, store.ErrCrashed) {
 				t.Fatalf("replay crash error = %v, want store.ErrCrashed", err)
@@ -288,7 +322,7 @@ func TestDoubleCrashDuringRecovery(t *testing.T) {
 
 			// Third open, clean: recovery must be unaffected by having
 			// been killed mid-replay and reach the full reference state.
-			re, info, err := idm.OpenDurable(durableConfig(dir, nil))
+			re, info, err := idm.OpenDurable(durableConfigB(dir, backend, nil))
 			if err != nil {
 				t.Fatalf("recovery after replay crash: %v", err)
 			}

@@ -17,6 +17,7 @@ package experiments
 
 import (
 	"fmt"
+	"os"
 	"runtime"
 	"sort"
 	"strings"
@@ -34,6 +35,8 @@ import (
 	"repro/internal/sources/mailplugin"
 	"repro/internal/sources/relplugin"
 	"repro/internal/sources/rssplugin"
+	"repro/internal/storage"
+	"repro/internal/store"
 )
 
 // Setup binds a generated dataset to a Resource View Manager configured
@@ -540,8 +543,9 @@ type ScaleSection struct {
 // version 2 added the optional obs_overhead section; version 3 added
 // num_cpu, the per-query adaptive mode with its planner section, and
 // the optional scale_10x section; version 4 added the query-log mode
-// to obs_overhead. Readers of older versions still parse newer files
-// by ignoring the unknown keys.
+// to obs_overhead; version 5 added the optional index_build section
+// (cold-start restore, incremental vs sort-based bulk). Readers of
+// older versions still parse newer files by ignoring the unknown keys.
 type BenchReport struct {
 	SchemaVersion int     `json:"schema_version"`
 	Tool          string  `json:"tool"`
@@ -561,6 +565,9 @@ type BenchReport struct {
 	// ObsOverhead reports the instrumentation-cost microbenchmark
 	// (schema v2; omitted when not measured).
 	ObsOverhead *ObsOverhead `json:"obs_overhead,omitempty"`
+	// IndexBuild reports the cold-start index construction benchmark
+	// (schema v5; omitted when not measured).
+	IndexBuild *IndexBuild `json:"index_build,omitempty"`
 }
 
 // measureEngine times runs repetitions of one query and derives per-op
@@ -705,7 +712,7 @@ func BenchIQL(s *Setup, runs, parallelism int) (*BenchReport, error) {
 		parallelism = runtime.GOMAXPROCS(0)
 	}
 	rep := &BenchReport{
-		SchemaVersion: 4,
+		SchemaVersion: 5,
 		Tool:          "idmbench",
 		Scale:         s.Scale,
 		Seed:          s.Seed,
@@ -880,6 +887,90 @@ func BenchObsOverhead(s *Setup, runs, reps int) (*ObsOverhead, error) {
 		out.MeanDisabledOverheadPct = disSum / n
 		out.MeanEnabledOverheadPct = enSum / n
 		out.MeanQueryLogOverheadPct = qlSum / n
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------
+// index_build — cold-start index construction: incremental vs bulk.
+// ---------------------------------------------------------------------
+
+// IndexBuild is the index_build section of BENCH_iql.json (schema v5):
+// the time to rebuild the Replica & Indexes module from a recovered
+// durable state, with the per-view incremental insertion path and with
+// the sort-based bulk build OpenDurable actually uses on a cold start.
+type IndexBuild struct {
+	Scale float64 `json:"scale"`
+	Views int     `json:"views"`
+	Reps  int     `json:"reps"`
+	// IncrementalNs and BulkNs are each the fastest of Reps interleaved
+	// full restores (min-of-reps, like every other section).
+	IncrementalNs int64 `json:"incremental_ns"`
+	BulkNs        int64 `json:"bulk_ns"`
+	// Speedup is IncrementalNs / BulkNs.
+	Speedup float64 `json:"speedup"`
+}
+
+// BenchIndexBuild generates and indexes a dataset at the given scale
+// through a WAL-backed manager, clones the durable state — exactly what
+// recovery hands OpenDurable — and times RestoreFromState over it with
+// the bulk path forced off and on.
+func BenchIndexBuild(scale float64, seed int64, reps int) (*IndexBuild, error) {
+	if reps <= 0 {
+		reps = 3
+	}
+	dir, err := os.MkdirTemp("", "idmbench-ixbuild-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	eng, _, err := storage.Open(dir, storage.Options{Sync: store.SyncNever})
+	if err != nil {
+		return nil, err
+	}
+	defer eng.Close()
+	opts := rvm.DefaultOptions()
+	opts.Store = eng
+	s, err := NewSetupWithOptions(scale, seed, false, opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.Index(); err != nil {
+		return nil, err
+	}
+	state, _ := eng.CloneState()
+
+	out := &IndexBuild{Scale: scale, Views: len(state.Views), Reps: reps}
+	restore := func(noBulk bool) (int64, error) {
+		ropts := rvm.DefaultOptions()
+		ropts.NoBulkRestore = noBulk
+		m := rvm.NewWithCatalog(ropts, catalog.Rebuild(state.NextOID, state.Entries()))
+		runtime.GC()
+		start := time.Now()
+		m.RestoreFromState(state)
+		ns := time.Since(start).Nanoseconds()
+		if m.Count() != out.Views {
+			return 0, fmt.Errorf("restore produced %d views, want %d", m.Count(), out.Views)
+		}
+		return ns, nil
+	}
+	// Interleave the two paths and keep each one's fastest repetition.
+	for rep := 0; rep < reps; rep++ {
+		for _, noBulk := range []bool{rep%2 == 0, rep%2 != 0} {
+			ns, err := restore(noBulk)
+			if err != nil {
+				return nil, err
+			}
+			switch {
+			case noBulk && (out.IncrementalNs == 0 || ns < out.IncrementalNs):
+				out.IncrementalNs = ns
+			case !noBulk && (out.BulkNs == 0 || ns < out.BulkNs):
+				out.BulkNs = ns
+			}
+		}
+	}
+	if out.BulkNs > 0 {
+		out.Speedup = float64(out.IncrementalNs) / float64(out.BulkNs)
 	}
 	return out, nil
 }

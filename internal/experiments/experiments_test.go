@@ -182,7 +182,7 @@ func TestBenchIQLReport(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rep.SchemaVersion != 4 || rep.Parallelism != 4 || len(rep.Queries) != 8 {
+	if rep.SchemaVersion != 5 || rep.Parallelism != 4 || len(rep.Queries) != 8 {
 		t.Fatalf("report header = %+v", rep)
 	}
 	for _, q := range rep.Queries {
@@ -223,6 +223,23 @@ func TestBenchObsOverheadReport(t *testing.T) {
 		if q.BaselineNsPerOp <= 0 || q.DisabledNsPerOp <= 0 || q.EnabledNsPerOp <= 0 || q.QueryLogNsPerOp <= 0 {
 			t.Errorf("%s: non-positive timing %+v", q.ID, q)
 		}
+	}
+}
+
+// TestBenchIndexBuildReport checks the index_build producer at a small
+// scale: both paths measured, same view count, sane timings. The bulk
+// advantage itself is only asserted at scale 1.0 (make bench), where
+// the asymptotic difference dominates the noise.
+func TestBenchIndexBuildReport(t *testing.T) {
+	ib, err := BenchIndexBuild(0.02, 42, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ib.Views <= 0 {
+		t.Fatalf("no views restored: %+v", ib)
+	}
+	if ib.IncrementalNs <= 0 || ib.BulkNs <= 0 || ib.Speedup <= 0 {
+		t.Fatalf("non-positive measurement: %+v", ib)
 	}
 }
 

@@ -59,14 +59,30 @@ type Transport interface {
 	Ship(fromLSN uint64) (*Batch, error)
 }
 
-// Leader ships a durable store's WAL. It implements Transport.
+// LogSource is the slice of the storage engine a leader ships from —
+// the LSN-ordered tail plus the full-state fallback. Both storage
+// backends (the WAL store and the compacted segment store) satisfy it
+// via storage.Engine; repl depends only on this surface, never on a
+// concrete engine.
+type LogSource interface {
+	// TailSince returns every record with LSN > fromLSN in global-LSN
+	// order plus the next LSN; ok is false when compaction dropped the
+	// requested history and the shipper must fall back to CloneState.
+	TailSince(fromLSN uint64) ([]store.TailRecord, uint64, bool, error)
+	// CloneState returns a consistent full-state image and the next LSN.
+	CloneState() (*store.State, uint64)
+	// NextLSN returns the LSN the next appended record will receive.
+	NextLSN() uint64
+}
+
+// Leader ships a durable engine's log. It implements Transport.
 type Leader struct {
-	st       *store.Store
+	st       LogSource
 	maxBatch int
 }
 
-// NewLeader returns a leader over the store.
-func NewLeader(st *store.Store) *Leader { return &Leader{st: st} }
+// NewLeader returns a leader over the log source.
+func NewLeader(st LogSource) *Leader { return &Leader{st: st} }
 
 // SetMaxBatch caps the records per shipped batch (0 = unlimited); small
 // caps let tests exercise multi-batch catch-up.

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/catalog"
 	"repro/internal/imageindex"
+	"repro/internal/storage"
 	"repro/internal/store"
 	"repro/internal/textindex"
 	"repro/internal/tupleindex"
@@ -18,7 +19,7 @@ import (
 
 // Store returns the durability layer the manager logs to (nil when the
 // dataspace is in-memory only).
-func (m *Manager) Store() *store.Store { return m.opts.Store }
+func (m *Manager) Store() storage.Engine { return m.opts.Store }
 
 // Checkpoint compacts the durable state into a fresh snapshot and
 // truncates the WAL; a no-op without a store.
@@ -45,6 +46,14 @@ func (m *Manager) StateDigest() string {
 // Live views stay unresolved until the sources are re-added and synced;
 // queries answer from the replicas meanwhile, exactly as they do for a
 // degraded source.
+//
+// When the manager's indexes are still empty — the cold-start case:
+// OpenDurable after recovery, or a replica installing a full-state
+// image — the text and tuple indexes are built with the sort-based bulk
+// path (one spill-sort-merge pass per index) instead of per-view
+// incremental insertion; Options.NoBulkRestore forces the incremental
+// path. Both paths produce semantically identical indexes (pinned by
+// TestBulkRestoreEquivalence).
 func (m *Manager) RestoreFromState(st *store.State) {
 	if st == nil {
 		return
@@ -57,14 +66,35 @@ func (m *Manager) RestoreFromState(st *store.State) {
 
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	bulk := !m.opts.NoBulkRestore &&
+		m.nameIdx.DocCount() == 0 && m.contentIdx.DocCount() == 0 && m.tupleIdx.DocCount() == 0
+	var nameB, contentB *textindex.Builder
+	var tupleB *tupleindex.Builder
+	if bulk {
+		nameB = textindex.NewBuilder()
+		contentB = textindex.NewBuilder()
+		tupleB = tupleindex.NewBuilder()
+	}
 	for _, oid := range oids {
 		v := st.Views[oid]
-		m.nameIdx.Add(textindex.DocID(oid), v.Entry.Name)
+		if bulk {
+			nameB.Add(textindex.DocID(oid), v.Entry.Name)
+		} else {
+			m.nameIdx.Add(textindex.DocID(oid), v.Entry.Name)
+		}
 		if !v.Tuple.IsEmpty() {
-			m.tupleIdx.Add(tupleindex.DocID(oid), v.Tuple)
+			if bulk {
+				tupleB.Add(tupleindex.DocID(oid), v.Tuple)
+			} else {
+				m.tupleIdx.Add(tupleindex.DocID(oid), v.Tuple)
+			}
 		}
 		if v.Text != "" {
-			m.contentIdx.Add(textindex.DocID(oid), v.Text)
+			if bulk {
+				contentB.Add(textindex.DocID(oid), v.Text)
+			} else {
+				m.contentIdx.Add(textindex.DocID(oid), v.Text)
+			}
 			m.contentBytes[v.Entry.Source] += int64(len(v.Text))
 		}
 		if len(v.Binary) > 0 && m.opts.IndexImages {
@@ -86,6 +116,11 @@ func (m *Manager) RestoreFromState(st *store.State) {
 			m.classRep[v.Entry.Class] = members
 		}
 		members[oid] = struct{}{}
+	}
+	if bulk {
+		m.nameIdx = nameB.Build()
+		m.contentIdx = contentB.Build()
+		m.tupleIdx = tupleB.Build()
 	}
 	for _, edges := range st.Edges {
 		for parent, children := range edges {

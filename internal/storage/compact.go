@@ -1,0 +1,540 @@
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/obs"
+	"repro/internal/store"
+)
+
+// CompactStore is the read-optimized storage engine: one immutable,
+// sorted, checksummed segment file per source plus a single append
+// tail. A compaction (Snapshot) rewrites every source's segment from
+// the shadow state and truncates the tail, so steady-state recovery is
+// a sequential scan of sorted segments — which feeds the sort-based
+// bulk index build directly — instead of an LSN merge across per-source
+// WALs.
+//
+// Layout under <dir>/compact/:
+//
+//	src-<hex(source)>.seg  one sorted segment per source (views by
+//	                       ascending OID, then one Edges record), framed
+//	                       at the compaction watermark, SnapshotEnd
+//	                       terminated; written atomically, immutable
+//	meta.seg               Meta record (OID counter) at the watermark
+//	tail.wal               WAL-framed records since the last compaction
+//
+// Crash safety relies on ordering, not on a manifest: segments are
+// rewritten first, then meta.seg, then stale segments are removed, then
+// the tail is truncated. Every crash window leaves a directory whose
+// replay (segments, then tail records at or above the meta watermark)
+// reconstructs the same state, because upserts carry full view state
+// and edge commits are full replacements.
+type CompactStore struct {
+	dir    string
+	segDir string
+	opts   Options
+	met    compactMetrics
+
+	mu      sync.Mutex
+	dead    error // non-nil after a crash; every op returns it
+	state   *store.State
+	nextLSN uint64
+	baseLSN uint64 // tail serves LSNs >= baseLSN; older history is compacted
+	snapSeq uint64 // watermark LSN of the newest completed compaction
+	tail    *os.File
+	dropped map[string]bool // sources whose segments were dropped
+	lock    *store.DirLock  // exclusive data-dir lock, held for the engine's lifetime
+}
+
+type compactMetrics struct {
+	appends     *obs.Counter
+	appendBytes *obs.Counter
+	fsyncs      *obs.Counter
+	compactions *obs.Counter
+	compactNs   *obs.Histogram
+	recoveryNs  *obs.Histogram
+	replayed    *obs.Counter
+	warnings    *obs.Counter
+}
+
+func newCompactMetrics(reg *obs.Registry) compactMetrics {
+	return compactMetrics{
+		appends:     reg.Counter("cstore_appends_total"),
+		appendBytes: reg.Counter("cstore_append_bytes_total"),
+		fsyncs:      reg.Counter("cstore_fsyncs_total"),
+		compactions: reg.Counter("cstore_compactions_total"),
+		compactNs:   reg.Histogram("cstore_compaction_ns", nil),
+		recoveryNs:  reg.Histogram("cstore_recovery_ns", nil),
+		replayed:    reg.Counter("cstore_replayed_records_total"),
+		warnings:    reg.Counter("cstore_recovery_warnings_total"),
+	}
+}
+
+// OpenCompact opens (creating if needed) the compacted engine at dir
+// and recovers its state: every valid segment is applied, then the tail
+// is replayed in LSN order, skipping records the newest compaction
+// already covers. Like store.Open it never fails on corruption — a
+// damaged segment is skipped with a warning (a replica re-syncs; see
+// docs/PERSISTENCE.md), a torn tail is truncated — only on I/O errors.
+func OpenCompact(dir string, opts Options) (*CompactStore, store.RecoveryInfo, error) {
+	start := time.Now()
+	c := &CompactStore{
+		dir:     dir,
+		segDir:  filepath.Join(dir, "compact"),
+		opts:    opts,
+		met:     newCompactMetrics(opts.Metrics),
+		state:   store.NewState(),
+		nextLSN: 1,
+		dropped: make(map[string]bool),
+	}
+	if err := os.MkdirAll(c.segDir, 0o755); err != nil {
+		return nil, store.RecoveryInfo{}, err
+	}
+	lock, err := store.AcquireDirLock(dir)
+	if err != nil {
+		return nil, store.RecoveryInfo{}, err
+	}
+	c.lock = lock
+	opened := false
+	defer func() {
+		if !opened {
+			if c.tail != nil {
+				c.tail.Close()
+			}
+			lock.Release()
+		}
+	}()
+	tr := obs.NewTrace("recovery")
+	info := store.RecoveryInfo{Trace: tr}
+
+	// --- Phase 1: apply the compacted segments. -----------------------
+	sp := tr.Root().Start("load segments")
+	ents, err := os.ReadDir(c.segDir)
+	if err != nil {
+		return nil, info, err
+	}
+	var names []string
+	for _, e := range ents {
+		if strings.HasSuffix(e.Name(), ".tmp") {
+			// A compaction died mid-write; the rename never happened.
+			os.Remove(filepath.Join(c.segDir, e.Name()))
+			continue
+		}
+		if strings.HasSuffix(e.Name(), ".seg") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names) // deterministic; segments touch disjoint sources
+	segCount := 0
+	for _, name := range names {
+		if _, ok := sourceOfSegmentFile(name); !ok && name != metaSegmentFile {
+			continue
+		}
+		img, err := os.ReadFile(filepath.Join(c.segDir, name))
+		if err != nil {
+			return nil, info, err
+		}
+		recs, watermark, derr := DecodeSegment(img)
+		if derr != nil {
+			info.Warnings = append(info.Warnings,
+				fmt.Sprintf("%s invalid, skipping segment: %v", name, derr))
+			continue
+		}
+		for _, rec := range recs {
+			c.state.Apply(rec)
+		}
+		if watermark >= c.nextLSN {
+			c.nextLSN = watermark + 1
+		}
+		if name == metaSegmentFile {
+			// meta.seg is written after every source segment, so its
+			// watermark marks the newest *completed* compaction: the tail
+			// below it is fully covered by the segments.
+			c.baseLSN = watermark
+			c.snapSeq = watermark
+		} else {
+			segCount++
+		}
+	}
+	info.SnapshotSeq = c.snapSeq
+	info.SnapshotViews = len(c.state.Views)
+	sp.SetInt("segments", int64(segCount))
+	sp.SetInt("views", int64(info.SnapshotViews))
+	sp.Finish()
+
+	// --- Phase 2: replay the tail in LSN order. -----------------------
+	sp = tr.Root().Start("replay tail")
+	tailPath := filepath.Join(c.segDir, tailFile)
+	var tailRecs []store.TailRecord
+	if b, err := os.ReadFile(tailPath); err == nil {
+		res, rerr := store.ReplayBytes(b, func(lsn uint64, rec store.Record) error {
+			tailRecs = append(tailRecs, store.TailRecord{LSN: lsn, Rec: rec})
+			return nil
+		})
+		if rerr != nil {
+			return nil, info, rerr
+		}
+		if res.Warning != "" {
+			info.TornTails++
+			info.Warnings = append(info.Warnings,
+				fmt.Sprintf("%s: %s (truncating tail)", tailFile, res.Warning))
+			if err := os.Truncate(tailPath, int64(res.GoodOffset)); err != nil {
+				return nil, info, err
+			}
+		}
+	} else if !os.IsNotExist(err) {
+		return nil, info, err
+	}
+	applied := 0
+	for _, trec := range tailRecs {
+		if trec.LSN >= c.nextLSN {
+			c.nextLSN = trec.LSN + 1
+		}
+		if trec.LSN < c.baseLSN {
+			// A crash hit between meta.seg and the tail truncation: the
+			// compaction already folded this record into the segments.
+			continue
+		}
+		if err := c.opts.Faults.Fail(store.FaultReplay); err != nil {
+			// A crash during recovery replay: the directory is untouched
+			// beyond the (idempotent) cleanup above, so a second recovery
+			// must reach the same state.
+			return nil, info, fmt.Errorf("%w: %w", store.ErrCrashed, err)
+		}
+		c.state.Apply(trec.Rec)
+		applied++
+	}
+	info.WALRecords = applied
+	sp.SetInt("records", int64(applied))
+	sp.Finish()
+	tr.Finish()
+
+	f, err := os.OpenFile(tailPath, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, info, err
+	}
+	c.tail = f
+
+	info.Views = len(c.state.Views)
+	info.Elapsed = time.Since(start)
+	c.met.replayed.Add(int64(info.WALRecords))
+	c.met.warnings.Add(int64(len(info.Warnings)))
+	c.met.recoveryNs.Observe(int64(info.Elapsed))
+	log := obs.Logger("storage/compact")
+	for _, w := range info.Warnings {
+		log.Warn("recovery tolerated corruption", "detail", w)
+	}
+	log.Debug("recovered", "views", info.Views, "tail_records", info.WALRecords,
+		"watermark", c.snapSeq, "elapsed", info.Elapsed)
+	opened = true
+	return c, info, nil
+}
+
+// crash marks the engine dead and returns the wrapped cause. The dir
+// lock is released: a really-crashed process loses its flock, and the
+// crash-matrix tests reopen the directory within one process.
+func (c *CompactStore) crash(cause error) error {
+	c.dead = fmt.Errorf("%w: %w", store.ErrCrashed, cause)
+	c.lock.Release()
+	return c.dead
+}
+
+// Append logs one record to the tail, applies it to the shadow state
+// and fsyncs according to the policy — write-ahead order. The source
+// only routes the drop-suppression bookkeeping; every record lands in
+// the single tail.
+func (c *CompactStore) Append(source string, rec store.Record) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.dead != nil {
+		return c.dead
+	}
+	if c.dropped[source] {
+		// Same contract as the WAL store: stray trailing records for a
+		// just-dropped source are meaningless until it is re-added, which
+		// necessarily starts with an Upsert.
+		if rec.Kind != store.KindUpsert {
+			return nil
+		}
+		delete(c.dropped, source)
+	}
+	return c.appendLocked(rec)
+}
+
+func (c *CompactStore) appendLocked(rec store.Record) error {
+	lsn := c.nextLSN
+	frame, err := store.AppendFrame(nil, lsn, rec)
+	if err != nil {
+		return err
+	}
+	if err := c.opts.Faults.Fail(store.FaultAppend); err != nil {
+		return c.crash(err)
+	}
+	if err := c.opts.Faults.Fail(store.FaultTorn); err != nil {
+		// Simulate a crash mid-write: half the frame reaches the disk.
+		c.tail.Write(frame[:len(frame)/2])
+		c.tail.Sync()
+		return c.crash(err)
+	}
+	if _, err := c.tail.Write(frame); err != nil {
+		return c.crash(err)
+	}
+	c.nextLSN = lsn + 1
+	c.met.appends.Inc()
+	c.met.appendBytes.Add(int64(len(frame)))
+
+	// Keep the shadow state exactly equal to what a replay of the bytes
+	// just written would produce: apply the decoded payload, not the
+	// caller's record (roundtripping normalizes times and nil slices).
+	payload := frame[8:]
+	if _, n := binary.Uvarint(payload); n > 0 {
+		if decoded, derr := store.DecodeRecord(payload[n:]); derr == nil {
+			c.state.Apply(decoded)
+		}
+	}
+
+	commit := rec.Kind == store.KindEdges || rec.Kind == store.KindDropSource || rec.Kind == store.KindMeta
+	if c.opts.Sync == store.SyncAlways || (c.opts.Sync == store.SyncOnCommit && commit) {
+		if err := c.opts.Faults.Fail(store.FaultFsync); err != nil {
+			return c.crash(err)
+		}
+		if err := c.tail.Sync(); err != nil {
+			return c.crash(err)
+		}
+		c.met.fsyncs.Inc()
+	}
+	return nil
+}
+
+// DropSource durably removes a source: a DropSource record (plus a Meta
+// record pinning the OID counter) is committed to the tail, then the
+// source's compacted segment is deleted. Both crash windows replay
+// safely — the drop record's LSN orders it after everything the deleted
+// segment held.
+func (c *CompactStore) DropSource(source string, nextOID catalog.OID) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.dead != nil {
+		return c.dead
+	}
+	if err := c.appendLocked(store.Record{Kind: store.KindDropSource, Source: source}); err != nil {
+		return err
+	}
+	if err := c.appendLocked(store.Record{Kind: store.KindMeta, NextOID: nextOID}); err != nil {
+		return err
+	}
+	if err := os.Remove(filepath.Join(c.segDir, segmentFileName(source))); err != nil && !os.IsNotExist(err) {
+		return c.crash(err)
+	}
+	c.dropped[source] = true
+	syncDir(c.segDir)
+	return nil
+}
+
+// HasSegment reports whether a compacted segment file exists for source
+// (test and tooling hook).
+func (c *CompactStore) HasSegment(source string) bool {
+	_, err := os.Stat(filepath.Join(c.segDir, segmentFileName(source)))
+	return err == nil
+}
+
+// Snapshot compacts: every source's segment is rewritten from the
+// shadow state at the current watermark, meta.seg is updated, stale
+// segments are removed, and the tail is truncated. Write order makes
+// every crash window recoverable (see the type comment); replaying
+// sub-watermark tail records is skipped on recovery, so a completed
+// meta.seg write is the commit point.
+func (c *CompactStore) Snapshot() error {
+	start := time.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.dead != nil {
+		return c.dead
+	}
+	if err := c.opts.Faults.Fail(store.FaultSnapshot); err != nil {
+		return c.crash(err)
+	}
+	watermark := c.nextLSN
+
+	// Live sources: everything the shadow state mentions.
+	live := make(map[string]bool)
+	for _, v := range c.state.Views {
+		live[v.Entry.Source] = true
+	}
+	for src := range c.state.Edges {
+		live[src] = true
+	}
+	srcs := make([]string, 0, len(live))
+	for src := range live {
+		srcs = append(srcs, src)
+	}
+	sort.Strings(srcs)
+
+	for _, src := range srcs {
+		img, err := encodeSegment(sourceSegmentRecords(c.state, src), watermark)
+		if err != nil {
+			return err
+		}
+		if err := writeFileAtomic(filepath.Join(c.segDir, segmentFileName(src)), img); err != nil {
+			return c.crash(err)
+		}
+	}
+	metaImg, err := encodeSegment([]store.Record{{Kind: store.KindMeta, NextOID: c.state.NextOID}}, watermark)
+	if err != nil {
+		return err
+	}
+	// The commit point: once meta.seg carries the new watermark, recovery
+	// ignores the (now redundant) tail below it.
+	if err := writeFileAtomic(filepath.Join(c.segDir, metaSegmentFile), metaImg); err != nil {
+		return c.crash(err)
+	}
+
+	// Remove segments of sources that no longer exist.
+	if ents, err := os.ReadDir(c.segDir); err == nil {
+		for _, e := range ents {
+			if src, ok := sourceOfSegmentFile(e.Name()); ok && !live[src] {
+				os.Remove(filepath.Join(c.segDir, e.Name()))
+			}
+		}
+	}
+
+	// The segments are durable: the tail is now redundant.
+	if err := c.tail.Close(); err != nil {
+		return c.crash(err)
+	}
+	f, err := os.OpenFile(filepath.Join(c.segDir, tailFile), os.O_CREATE|os.O_TRUNC|os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		return c.crash(err)
+	}
+	c.tail = f
+	syncDir(c.segDir)
+
+	c.baseLSN = watermark
+	c.snapSeq = watermark
+	c.met.compactions.Inc()
+	c.met.compactNs.ObserveSince(start)
+	obs.Logger("storage/compact").Debug("compacted", "watermark", watermark,
+		"sources", len(srcs), "views", len(c.state.Views), "elapsed", time.Since(start))
+	return nil
+}
+
+// SnapshotSeq identifies the newest completed compaction by its
+// watermark LSN (0 = never compacted); monotonically non-decreasing.
+func (c *CompactStore) SnapshotSeq() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.snapSeq
+}
+
+// State returns the shadow state. Callers must not mutate it.
+func (c *CompactStore) State() *store.State {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.state
+}
+
+// Digest returns the stable-serialization digest of the durable state.
+func (c *CompactStore) Digest() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.state.Digest()
+}
+
+// Dir returns the data directory.
+func (c *CompactStore) Dir() string { return c.dir }
+
+// NextLSN returns the LSN the next appended record will receive.
+func (c *CompactStore) NextLSN() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.nextLSN
+}
+
+// BaseLSN returns the lowest LSN the tail still serves (0 before any
+// compaction: the tail covers everything).
+func (c *CompactStore) BaseLSN() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.baseLSN
+}
+
+// TailSince returns every tail record with LSN > fromLSN in LSN order
+// plus the next LSN; ok is false when a compaction dropped the history
+// below fromLSN+1 and the caller must fall back to CloneState. Reads
+// happen under the engine mutex, so a half-written frame or concurrent
+// truncation can never be observed.
+func (c *CompactStore) TailSince(fromLSN uint64) ([]store.TailRecord, uint64, bool, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.dead != nil {
+		return nil, 0, false, c.dead
+	}
+	if fromLSN+1 < c.baseLSN {
+		return nil, c.nextLSN, false, nil
+	}
+	b, err := os.ReadFile(filepath.Join(c.segDir, tailFile))
+	if err != nil && !os.IsNotExist(err) {
+		return nil, 0, false, err
+	}
+	var out []store.TailRecord
+	res, rerr := store.ReplayBytes(b, func(lsn uint64, rec store.Record) error {
+		if lsn > fromLSN {
+			out = append(out, store.TailRecord{LSN: lsn, Rec: rec})
+		}
+		return nil
+	})
+	if rerr != nil {
+		return nil, 0, false, rerr
+	}
+	if res.Warning != "" {
+		// Appends hold the mutex for the full frame write, so a torn tail
+		// here is real on-disk damage, not a read race.
+		return nil, 0, false, fmt.Errorf("storage: tail %s: %s", tailFile, res.Warning)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].LSN < out[j].LSN })
+	return out, c.nextLSN, true, nil
+}
+
+// CloneState returns a deep copy of the shadow state and the next LSN —
+// a consistent full-state image for replication fallback.
+func (c *CompactStore) CloneState() (*store.State, uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.state.Clone(), c.nextLSN
+}
+
+// Close fsyncs and closes the tail and releases the data-dir lock. The
+// engine is unusable afterwards.
+func (c *CompactStore) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var errs []error
+	if c.tail != nil {
+		if c.opts.Sync != store.SyncNever {
+			if err := c.tail.Sync(); err != nil {
+				errs = append(errs, err)
+			}
+		}
+		if err := c.tail.Close(); err != nil {
+			errs = append(errs, err)
+		}
+		c.tail = nil
+	}
+	if c.dead == nil {
+		c.dead = errors.New("storage: compact store closed")
+	}
+	if err := c.lock.Release(); err != nil {
+		errs = append(errs, err)
+	}
+	return errors.Join(errs...)
+}

@@ -1,0 +1,49 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"syscall"
+)
+
+// LockFileName is the advisory-lock file every storage backend creates
+// at the root of its data directory. The lock is exclusive: a second
+// process (or a second engine in the same process) opening the same
+// directory fails immediately instead of corrupting the log behind the
+// first one's back.
+const LockFileName = "LOCK"
+
+// DirLock is a held exclusive lock on a data directory. The zero value
+// and nil are both safe to Release (no-ops), so error paths can release
+// unconditionally.
+type DirLock struct {
+	f *os.File
+}
+
+// AcquireDirLock takes the exclusive flock on dir's LOCK file without
+// blocking. A directory already locked — by another process or another
+// engine in this one — fails with a clear error. The lock dies with the
+// process, so a crashed owner never wedges the directory.
+func AcquireDirLock(dir string) (*DirLock, error) {
+	f, err := os.OpenFile(filepath.Join(dir, LockFileName), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: data dir %s is locked by another process (%v)", dir, err)
+	}
+	return &DirLock{f: f}, nil
+}
+
+// Release drops the lock. Idempotent; safe on nil.
+func (l *DirLock) Release() error {
+	if l == nil || l.f == nil {
+		return nil
+	}
+	f := l.f
+	l.f = nil
+	syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
+	return f.Close()
+}

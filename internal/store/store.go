@@ -130,6 +130,7 @@ type Store struct {
 	snapSeq  uint64
 	segments map[string]*os.File // source → open segment
 	dropped  map[string]bool     // sources whose segments were dropped
+	lock     *DirLock            // exclusive data-dir lock, held for the store's lifetime
 }
 
 // segmentName maps a source id to its WAL segment file name. Hex keeps
@@ -173,6 +174,19 @@ func Open(dir string, opts Options) (*Store, RecoveryInfo, error) {
 	if err := os.MkdirAll(s.walDir, 0o755); err != nil {
 		return nil, RecoveryInfo{}, err
 	}
+	lock, err := AcquireDirLock(dir)
+	if err != nil {
+		return nil, RecoveryInfo{}, err
+	}
+	s.lock = lock
+	// Every error return below must give the lock back — a failed open
+	// holds nothing.
+	opened := false
+	defer func() {
+		if !opened {
+			lock.Release()
+		}
+	}()
 	tr := obs.NewTrace("recovery")
 	info := RecoveryInfo{Trace: tr}
 
@@ -270,6 +284,7 @@ func Open(dir string, opts Options) (*Store, RecoveryInfo, error) {
 	}
 	log.Debug("recovered", "views", info.Views, "wal_records", info.WALRecords,
 		"snapshot", info.SnapshotSeq, "elapsed", info.Elapsed)
+	opened = true
 	return s, info, nil
 }
 
@@ -308,9 +323,12 @@ func (s *Store) segment(source string) (*os.File, error) {
 	return f, nil
 }
 
-// crash marks the store dead and returns the wrapped cause.
+// crash marks the store dead and returns the wrapped cause. The dir
+// lock is released: a really-crashed process loses its flock, and the
+// crash-matrix tests reopen the directory within one process.
 func (s *Store) crash(cause error) error {
 	s.dead = fmt.Errorf("%w: %w", ErrCrashed, cause)
+	s.lock.Release()
 	return s.dead
 }
 
@@ -505,6 +523,9 @@ func (s *Store) Close() error {
 	}
 	if s.dead == nil {
 		s.dead = errors.New("store: closed")
+	}
+	if err := s.lock.Release(); err != nil {
+		errs = append(errs, err)
 	}
 	return errors.Join(errs...)
 }

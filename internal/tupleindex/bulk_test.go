@@ -1,0 +1,57 @@
+package tupleindex
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestBuilderMatchesIncremental differentially pins the bulk build
+// against the incremental path, including a re-added document (which
+// the builder routes through the replace path).
+func TestBuilderMatchesIncremental(t *testing.T) {
+	feed := func(add func(DocID, core.TupleComponent)) {
+		add(1, fsTC(100, day(1)))
+		add(3, fsTC(500000, day(12)))
+		add(2, fsTC(42000, day(10)))
+		add(4, fsTC(420001, day(20)))
+		add(3, fsTC(77, day(3))) // re-add replaces
+	}
+	inc := New()
+	feed(inc.Add)
+	b := NewBuilder()
+	feed(b.Add)
+	built := b.Build()
+
+	if got, want := built.DocCount(), inc.DocCount(); got != want {
+		t.Fatalf("DocCount %d, want %d", got, want)
+	}
+	if got, want := built.Attributes(), inc.Attributes(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Attributes %v, want %v", got, want)
+	}
+	probes := []struct {
+		attr  string
+		op    Op
+		value core.Value
+	}{
+		{"size", GT, core.Int(0)},
+		{"size", LE, core.Int(42000)},
+		{"size", EQ, core.Int(77)},
+		{"size", EQ, core.Int(500000)}, // superseded value must be gone
+		{"lastmodified", LT, core.Time(day(12))},
+		{"owner", EQ, core.String("x")},
+	}
+	for _, p := range probes {
+		if got, want := built.Query(p.attr, p.op, p.value), inc.Query(p.attr, p.op, p.value); !reflect.DeepEqual(got, want) {
+			t.Errorf("Query(%s %s %v) = %v, want %v", p.attr, p.op, p.value, got, want)
+		}
+	}
+	for _, doc := range []DocID{1, 2, 3, 4, 9} {
+		gt, gok := built.Tuple(doc)
+		wt, wok := inc.Tuple(doc)
+		if gok != wok || !reflect.DeepEqual(gt, wt) {
+			t.Errorf("Tuple(%d) = (%v,%v), want (%v,%v)", doc, gt, gok, wt, wok)
+		}
+	}
+}

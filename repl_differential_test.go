@@ -27,12 +27,30 @@ func rowKey(res *idm.Result) string {
 // leader and on three caught-up replicas, one per planner lane (serial
 // rule-based, forced-parallel rule-based, adaptive cost-based). Every
 // lane must return exactly the leader's rows: replication equivalence
-// must hold regardless of how the follower plans its queries.
+// must hold regardless of how the follower plans its queries. The suite
+// runs against both storage backends — shipping reads the leader's tail
+// through the same Engine interface either way — with a reduced
+// generation count on the compact lane (the record stream is identical;
+// only the tail-serving path differs).
 func TestReplicaDifferential(t *testing.T) {
 	if testing.Short() {
 		t.Skip("1000-generation differential suite")
 	}
-	leaderSys, _ := durableLeader(t)
+	for _, c := range []struct {
+		backend     idm.StorageBackend
+		generations int
+	}{
+		{idm.BackendWAL, 1000},
+		{idm.BackendCompact, 200},
+	} {
+		t.Run(c.backend.String(), func(t *testing.T) {
+			replicaDifferential(t, c.backend, c.generations)
+		})
+	}
+}
+
+func replicaDifferential(t *testing.T, backend idm.StorageBackend, generations int) {
+	leaderSys, _ := durableLeaderB(t, backend)
 	leader := leaderSys.ReplicationLeader()
 
 	lanes := []struct {
@@ -64,7 +82,6 @@ func TestReplicaDifferential(t *testing.T) {
 	}
 
 	g := iql.NewGen(42, iql.DefaultVocab())
-	const generations = 1000
 	errQueries := 0
 	for i := 0; i < generations; i++ {
 		q := g.Query()
