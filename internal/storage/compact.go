@@ -34,11 +34,17 @@ import (
 //	tail.wal               WAL-framed records since the last compaction
 //
 // Crash safety relies on ordering, not on a manifest: segments are
-// rewritten first, then meta.seg, then stale segments are removed, then
-// the tail is truncated. Every crash window leaves a directory whose
-// replay (segments, then tail records at or above the meta watermark)
-// reconstructs the same state, because upserts carry full view state
-// and edge commits are full replacements.
+// rewritten first, then stale segments of no-longer-live sources are
+// removed, then — after a directory fsync — meta.seg is written (the
+// commit point) and fsynced, and only then is the tail truncated. Every
+// crash window leaves a directory whose replay (segments, then tail
+// records at or above the meta watermark) reconstructs the same state,
+// because upserts carry full view state and edge commits are full
+// replacements, and because before the commit point the not-yet-
+// truncated tail still carries every remove/drop record a stale segment
+// would need. As a backstop, recovery deletes any source segment whose
+// watermark predates meta.seg's: it can only be a leftover of a
+// compaction that had already retired its source.
 type CompactStore struct {
 	dir    string
 	segDir string
@@ -83,9 +89,12 @@ func newCompactMetrics(reg *obs.Registry) compactMetrics {
 // OpenCompact opens (creating if needed) the compacted engine at dir
 // and recovers its state: every valid segment is applied, then the tail
 // is replayed in LSN order, skipping records the newest compaction
-// already covers. Like store.Open it never fails on corruption — a
-// damaged segment is skipped with a warning (a replica re-syncs; see
-// docs/PERSISTENCE.md), a torn tail is truncated — only on I/O errors.
+// already covers. Like store.Open it tolerates most corruption — a
+// damaged source segment is skipped with a warning (a replica re-syncs;
+// see docs/PERSISTENCE.md), a torn tail is truncated — with one
+// exception: a damaged meta.seg fails the open, because it alone pins
+// the OID counter past dropped sources and silently dropping that pin
+// would let a primary re-issue their OIDs.
 func OpenCompact(dir string, opts Options) (*CompactStore, store.RecoveryInfo, error) {
 	start := time.Now()
 	c := &CompactStore{
@@ -135,9 +144,34 @@ func OpenCompact(dir string, opts Options) (*CompactStore, store.RecoveryInfo, e
 		}
 	}
 	sort.Strings(names) // deterministic; segments touch disjoint sources
+	log := obs.Logger("storage/compact")
+
+	// meta.seg first: it is written after every source segment, so its
+	// watermark marks the newest *completed* compaction — the commit
+	// point every other segment and the tail are judged against. Unlike
+	// a source segment, a damaged meta.seg cannot be warn-and-skipped:
+	// it alone pins the OID counter past DropSource, and losing the pin
+	// would let a primary re-issue dropped sources' OIDs.
+	if img, err := os.ReadFile(filepath.Join(c.segDir, metaSegmentFile)); err == nil {
+		recs, watermark, derr := DecodeSegment(img)
+		if derr != nil {
+			return nil, info, fmt.Errorf("storage: %s invalid: %w (the OID-counter pin is unrecoverable; restore the file or re-sync the directory)",
+				metaSegmentFile, derr)
+		}
+		for _, rec := range recs {
+			c.state.Apply(rec)
+		}
+		if watermark >= c.nextLSN {
+			c.nextLSN = watermark + 1
+		}
+		c.baseLSN = watermark
+		c.snapSeq = watermark
+	} else if !os.IsNotExist(err) {
+		return nil, info, err
+	}
 	segCount := 0
 	for _, name := range names {
-		if _, ok := sourceOfSegmentFile(name); !ok && name != metaSegmentFile {
+		if _, ok := sourceOfSegmentFile(name); !ok {
 			continue
 		}
 		img, err := os.ReadFile(filepath.Join(c.segDir, name))
@@ -150,21 +184,24 @@ func OpenCompact(dir string, opts Options) (*CompactStore, store.RecoveryInfo, e
 				fmt.Sprintf("%s invalid, skipping segment: %v", name, derr))
 			continue
 		}
+		if watermark < c.baseLSN {
+			// Leftover of a compaction that had retired this source and
+			// crashed between the meta.seg write and the stale-segment
+			// sweep. Applying it would resurrect data whose remove/drop
+			// records sit below the new watermark (and so are never
+			// replayed); finish the interrupted removal instead.
+			os.Remove(filepath.Join(c.segDir, name))
+			log.Debug("removed stale segment left by an interrupted compaction",
+				"segment", name, "watermark", watermark, "meta_watermark", c.baseLSN)
+			continue
+		}
 		for _, rec := range recs {
 			c.state.Apply(rec)
 		}
 		if watermark >= c.nextLSN {
 			c.nextLSN = watermark + 1
 		}
-		if name == metaSegmentFile {
-			// meta.seg is written after every source segment, so its
-			// watermark marks the newest *completed* compaction: the tail
-			// below it is fully covered by the segments.
-			c.baseLSN = watermark
-			c.snapSeq = watermark
-		} else {
-			segCount++
-		}
+		segCount++
 	}
 	info.SnapshotSeq = c.snapSeq
 	info.SnapshotViews = len(c.state.Views)
@@ -230,7 +267,6 @@ func OpenCompact(dir string, opts Options) (*CompactStore, store.RecoveryInfo, e
 	c.met.replayed.Add(int64(info.WALRecords))
 	c.met.warnings.Add(int64(len(info.Warnings)))
 	c.met.recoveryNs.Observe(int64(info.Elapsed))
-	log := obs.Logger("storage/compact")
 	for _, w := range info.Warnings {
 		log.Warn("recovery tolerated corruption", "detail", w)
 	}
@@ -296,12 +332,19 @@ func (c *CompactStore) appendLocked(rec store.Record) error {
 	// Keep the shadow state exactly equal to what a replay of the bytes
 	// just written would produce: apply the decoded payload, not the
 	// caller's record (roundtripping normalizes times and nil slices).
+	// A frame the store itself just encoded must decode; continuing past
+	// a failure would let the shadow state silently diverge from what
+	// recovery reconstructs, so it is fatal.
 	payload := frame[8:]
-	if _, n := binary.Uvarint(payload); n > 0 {
-		if decoded, derr := store.DecodeRecord(payload[n:]); derr == nil {
-			c.state.Apply(decoded)
-		}
+	_, n := binary.Uvarint(payload)
+	if n <= 0 {
+		return c.crash(fmt.Errorf("storage: re-decoding appended frame: bad LSN varint"))
 	}
+	decoded, derr := store.DecodeRecord(payload[n:])
+	if derr != nil {
+		return c.crash(fmt.Errorf("storage: re-decoding appended frame: %w", derr))
+	}
+	c.state.Apply(decoded)
 
 	commit := rec.Kind == store.KindEdges || rec.Kind == store.KindDropSource || rec.Kind == store.KindMeta
 	if c.opts.Sync == store.SyncAlways || (c.opts.Sync == store.SyncOnCommit && commit) {
@@ -337,7 +380,9 @@ func (c *CompactStore) DropSource(source string, nextOID catalog.OID) error {
 		return c.crash(err)
 	}
 	c.dropped[source] = true
-	syncDir(c.segDir)
+	if err := syncDir(c.segDir); err != nil {
+		return c.crash(err)
+	}
 	return nil
 }
 
@@ -348,12 +393,13 @@ func (c *CompactStore) HasSegment(source string) bool {
 	return err == nil
 }
 
-// Snapshot compacts: every source's segment is rewritten from the
-// shadow state at the current watermark, meta.seg is updated, stale
-// segments are removed, and the tail is truncated. Write order makes
-// every crash window recoverable (see the type comment); replaying
-// sub-watermark tail records is skipped on recovery, so a completed
-// meta.seg write is the commit point.
+// Snapshot compacts: every live source's segment is rewritten from the
+// shadow state at the current watermark, stale segments are removed,
+// meta.seg is updated, and the tail is truncated — with a directory
+// fsync between each step so the order holds through power loss. Write
+// order makes every crash window recoverable (see the type comment);
+// replaying sub-watermark tail records is skipped on recovery, so a
+// completed meta.seg write is the commit point.
 func (c *CompactStore) Snapshot() error {
 	start := time.Now()
 	c.mu.Lock()
@@ -389,6 +435,30 @@ func (c *CompactStore) Snapshot() error {
 			return c.crash(err)
 		}
 	}
+
+	// Remove segments of sources that no longer exist — strictly BEFORE
+	// the commit point: once meta.seg's watermark passes the tail's
+	// remove/drop records, a surviving stale segment would resurrect
+	// deleted data on recovery. In this window the not-yet-truncated
+	// tail still carries those records, so replay converges either way.
+	ents, err := os.ReadDir(c.segDir)
+	if err != nil {
+		return c.crash(err)
+	}
+	for _, e := range ents {
+		if src, ok := sourceOfSegmentFile(e.Name()); ok && !live[src] {
+			if err := os.Remove(filepath.Join(c.segDir, e.Name())); err != nil && !os.IsNotExist(err) {
+				return c.crash(err)
+			}
+		}
+	}
+	// Make the segment renames and removals durable before meta.seg can
+	// land: on power loss, new meta over old segments would lose every
+	// record between the two watermarks.
+	if err := syncDir(c.segDir); err != nil {
+		return c.crash(err)
+	}
+
 	metaImg, err := encodeSegment([]store.Record{{Kind: store.KindMeta, NextOID: c.state.NextOID}}, watermark)
 	if err != nil {
 		return err
@@ -398,14 +468,11 @@ func (c *CompactStore) Snapshot() error {
 	if err := writeFileAtomic(filepath.Join(c.segDir, metaSegmentFile), metaImg); err != nil {
 		return c.crash(err)
 	}
-
-	// Remove segments of sources that no longer exist.
-	if ents, err := os.ReadDir(c.segDir); err == nil {
-		for _, e := range ents {
-			if src, ok := sourceOfSegmentFile(e.Name()); ok && !live[src] {
-				os.Remove(filepath.Join(c.segDir, e.Name()))
-			}
-		}
+	// ... and the commit point must be durable before the tail goes:
+	// recovery may skip sub-watermark tail records only because meta.seg
+	// promises the segments cover them.
+	if err := syncDir(c.segDir); err != nil {
+		return c.crash(err)
 	}
 
 	// The segments are durable: the tail is now redundant.
@@ -417,7 +484,9 @@ func (c *CompactStore) Snapshot() error {
 		return c.crash(err)
 	}
 	c.tail = f
-	syncDir(c.segDir)
+	if err := syncDir(c.segDir); err != nil {
+		return c.crash(err)
+	}
 
 	c.baseLSN = watermark
 	c.snapSeq = watermark

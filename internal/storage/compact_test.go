@@ -148,6 +148,94 @@ func TestCompactCorruptSegmentSkipped(t *testing.T) {
 	}
 }
 
+// TestCompactStaleSegmentNotResurrected pins the deletion-durability
+// crash window: a compaction that retires a source (all its views
+// removed) and crashes between the meta.seg write and the stale-segment
+// sweep leaves an old-watermark segment next to a new-watermark
+// meta.seg. Recovery must delete that leftover, not apply it — its
+// remove records sit below the new watermark and are never replayed, so
+// applying it would permanently resurrect the deleted views.
+func TestCompactStaleSegmentNotResurrected(t *testing.T) {
+	dir := t.TempDir()
+	eng, _ := mustOpenB(t, BackendCompact, dir, Options{})
+	appendAll(t, eng, workload())
+	if err := eng.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	segPath := filepath.Join(dir, "compact", segmentFileName("mail"))
+	staleImg, err := os.ReadFile(segPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Retire mail purely via logged records (DropSource would unlink the
+	// segment itself; the Snapshot sweep is the path under test).
+	if err := eng.Append("mail", store.Record{Kind: store.KindRemove, OID: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	if eng.(*CompactStore).HasSegment("mail") {
+		t.Fatal("compaction left the retired mail segment behind")
+	}
+	want := eng.Digest()
+	eng.Close()
+
+	// Reconstruct the crash artifact: old mail segment back on disk next
+	// to the newer meta.seg and the already-truncated tail.
+	if err := os.WriteFile(segPath, staleImg, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	eng2, _ := mustOpenB(t, BackendCompact, dir, Options{})
+	defer eng2.Close()
+	if got := eng2.Digest(); got != want {
+		t.Fatalf("stale segment changed the recovered digest: %s != %s", got, want)
+	}
+	if _, ok := eng2.State().Views[3]; ok {
+		t.Fatal("removed view 3 resurrected from the stale segment")
+	}
+	if eng2.(*CompactStore).HasSegment("mail") {
+		t.Fatal("recovery left the stale segment in place")
+	}
+}
+
+// TestCompactCorruptMetaRefused pins the meta.seg exception to the
+// tolerate-corruption rule: meta.seg alone pins the OID counter past
+// dropped sources, so a damaged one fails the open instead of silently
+// regressing NextOID.
+func TestCompactCorruptMetaRefused(t *testing.T) {
+	dir := t.TempDir()
+	eng, _ := mustOpenB(t, BackendCompact, dir, Options{})
+	appendAll(t, eng, workload())
+	if err := eng.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	eng.Close()
+
+	metaPath := filepath.Join(dir, "compact", metaSegmentFile)
+	orig, err := os.ReadFile(metaPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := append([]byte(nil), orig...)
+	img[len(img)/2] ^= 0xff
+	if err := os.WriteFile(metaPath, img, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, _, err := Open(dir, Options{Backend: BackendCompact}); err == nil {
+		t.Fatal("open succeeded with a corrupt meta.seg")
+	} else if !strings.Contains(err.Error(), metaSegmentFile) {
+		t.Fatalf("open error does not name meta.seg: %v", err)
+	}
+	// The failed open released the lock; an intact directory still opens.
+	if err := os.WriteFile(metaPath, orig, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	eng2, _ := mustOpenB(t, BackendCompact, dir, Options{})
+	eng2.Close()
+}
+
 // TestCompactStaleTailSkipped pins the compaction commit point: tail
 // records below the meta watermark (left behind when a crash hits
 // between the meta.seg write and the tail truncation) are not replayed

@@ -158,11 +158,16 @@ func writeFileAtomic(path string, b []byte) error {
 	return nil
 }
 
-// syncDir fsyncs a directory; advisory on some platforms, so the error
-// is ignored.
-func syncDir(dir string) {
-	if d, err := os.Open(dir); err == nil {
-		d.Sync()
-		d.Close()
+// syncDir fsyncs a directory, making the renames and unlinks inside it
+// durable against power loss. The compaction path crashes the engine on
+// failure: its crash-ordering argument (segments, then stale-segment
+// removal, then meta.seg, then the tail truncate) only holds if each
+// batch of directory operations reaches disk before the next begins.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
 	}
+	defer d.Close()
+	return d.Sync()
 }
