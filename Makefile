@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check test build vet bench bench-iql obs-bench fuzz-smoke repl-chaos storage-matrix
+.PHONY: check test build vet bench bench-iql obs-bench fuzz-smoke repl-chaos storage-matrix load-smoke
 
 # Full verification: vet + build + race-enabled tests.
 check:
@@ -30,6 +30,15 @@ fuzz-smoke:
 	$(GO) test ./internal/store -run '^$$' -fuzz '^FuzzSnapshotLoad$$' -fuzztime 30s
 	$(GO) test ./internal/repl -run '^$$' -fuzz '^FuzzShipDecode$$' -fuzztime 30s
 	$(GO) test ./internal/storage -run '^$$' -fuzz '^FuzzSegmentDecode$$' -fuzztime 30s
+	$(GO) test ./internal/server -run '^$$' -fuzz '^FuzzServerRequest$$' -fuzztime 30s
+
+# Quick multi-tenant soak: the imemexd load harness at a smoke scale
+# (20 tenants × 5 clients, several iterations) under the race detector.
+# The full gate (200 tenants, the flag defaults) runs in `make check`
+# via the server gate; see docs/SERVER.md.
+load-smoke:
+	$(GO) test -race ./internal/server -run 'TestLoadConcurrentTenants' -v \
+		-args -load-tenants=20 -load-clients=5 -load-iters=4
 
 # Storage-backend matrix: the Engine conformance suite (append, tail,
 # recovery, drop, digest, crash matrix, dir lock) against both backends,

@@ -1,0 +1,110 @@
+package idm_test
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	idm "repro"
+)
+
+// closeTestSystem opens a small durable dataspace for the Close
+// idempotence suite.
+func closeTestSystem(t *testing.T) *idm.System {
+	t.Helper()
+	sys, _, err := idm.OpenDurable(idm.Config{DataDir: t.TempDir(), Now: fixedNow})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := idm.NewFileSystem()
+	fs.MkdirAll("/docs")
+	fs.WriteFile("/docs/a.txt", []byte("alpha close test"))
+	fs.WriteFile("/docs/b.txt", []byte("beta close test"))
+	if err := sys.AddFileSystem("filesystem", fs); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Index(); err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+// TestCloseIdempotent pins the facade contract: the first Close wins
+// (nil on a healthy store), every later Close returns ErrClosed —
+// deterministically, never a panic or a double-close of the engine.
+func TestCloseIdempotent(t *testing.T) {
+	sys := closeTestSystem(t)
+	if err := sys.Close(); err != nil {
+		t.Fatalf("first Close: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := sys.Close(); !errors.Is(err, idm.ErrClosed) {
+			t.Fatalf("Close #%d = %v, want ErrClosed", i+2, err)
+		}
+	}
+
+	// In-memory systems have nothing to close: always nil.
+	mem := idm.Open(idm.Config{})
+	if err := mem.Close(); err != nil {
+		t.Fatalf("in-memory Close: %v", err)
+	}
+	if err := mem.Close(); err != nil {
+		t.Fatalf("in-memory second Close: %v", err)
+	}
+}
+
+// TestCloseConcurrentWithQuery is the eviction-race regression: many
+// goroutines Close while others Query. Exactly one Close may return
+// nil; the rest get ErrClosed; queries keep answering from the
+// in-memory indexes and nothing panics (run under -race).
+func TestCloseConcurrentWithQuery(t *testing.T) {
+	sys := closeTestSystem(t)
+	const closers, queriers, iters = 8, 8, 25
+
+	var wg sync.WaitGroup
+	var nilCloses, errCloses int64
+	var mu sync.Mutex
+	for i := 0; i < closers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < iters; j++ {
+				err := sys.Close()
+				mu.Lock()
+				switch {
+				case err == nil:
+					nilCloses++
+				case errors.Is(err, idm.ErrClosed):
+					errCloses++
+				default:
+					t.Errorf("unexpected Close error: %v", err)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for i := 0; i < queriers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < iters; j++ {
+				res, err := sys.Query(`"close"`)
+				if err != nil {
+					t.Errorf("Query during Close: %v", err)
+					return
+				}
+				if res.Count() == 0 {
+					t.Error("Query during Close lost rows")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if nilCloses != 1 {
+		t.Errorf("got %d nil Closes, want exactly 1 (ErrClosed: %d)", nilCloses, errCloses)
+	}
+	if want := int64(closers*iters) - 1; errCloses != want {
+		t.Errorf("got %d ErrClosed, want %d", errCloses, want)
+	}
+}

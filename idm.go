@@ -35,6 +35,7 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/catalog"
@@ -326,6 +327,13 @@ type System struct {
 	met        systemMetrics
 	degraded   DegradedReadPolicy
 	store      storage.Engine // nil when in-memory
+
+	// closeOnce makes Close idempotent: the first call closes the store
+	// and keeps its error, later calls (an eviction race, a deferred
+	// Close after an explicit one) return ErrClosed instead of touching
+	// the store again.
+	closeOnce sync.Once
+	closeErr  error
 }
 
 // systemMetrics bundles the facade's own instruments (idm_* series);
@@ -395,13 +403,30 @@ func OpenDurable(cfg Config) (*System, *RecoveryInfo, error) {
 	return sys, &info, nil
 }
 
+// ErrClosed is returned by the second and later calls to Close. The
+// first Close wins and returns the store's close error; concurrent or
+// repeated closers (e.g. an LRU evictor racing a deferred Close) get
+// ErrClosed deterministically, never a panic or a double-close.
+var ErrClosed = errors.New("idm: system closed")
+
 // Close flushes and closes the durable store (a no-op for in-memory
-// systems). The System must not be used afterwards.
+// systems). Close is idempotent and safe to call concurrently: exactly
+// one caller performs the close, later calls return ErrClosed. Reads
+// (Query) against a closed System still answer from the in-memory
+// indexes; mutations that need the store fail.
 func (s *System) Close() error {
 	if s.store == nil {
 		return nil
 	}
-	return s.store.Close()
+	first := false
+	s.closeOnce.Do(func() {
+		first = true
+		s.closeErr = s.store.Close()
+	})
+	if first {
+		return s.closeErr
+	}
+	return ErrClosed
 }
 
 // Checkpoint compacts the durable state into a fresh snapshot and

@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestHandlerConcurrentRegistryMutation renders the debug surface while
+// the registry underneath it is mutating: goroutines register brand-new
+// counters/gauges/histograms and hammer existing ones, another records
+// query-log entries, and the main loop scrapes /debug/metrics,
+// /debug/metrics/prom and /debug/queries the whole time. Run under
+// -race (the obs gate does), this pins that snapshotting a registry is
+// safe against concurrent instrument registration — every response must
+// be a 200 with parseable output.
+func TestHandlerConcurrentRegistryMutation(t *testing.T) {
+	reg := NewRegistry()
+	qlog := NewQueryLog(32, time.Millisecond)
+	h := HandlerWith(reg, qlog)
+	// A sentinel series so the exposition is non-empty even if the first
+	// scrape beats every mutator to the registry.
+	reg.Counter("sentinel_total").Inc()
+
+	stop := make(chan struct{})
+	var wg, started sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		started.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				// Fresh names force registration mid-render; repeats
+				// exercise the lookup path.
+				reg.Counter(fmt.Sprintf("mut_%d_c_%d_total", g, i%97)).Inc()
+				reg.Gauge(fmt.Sprintf("mut_%d_g_%d", g, i%31)).Set(int64(i))
+				reg.Histogram(fmt.Sprintf("mut_%d_h_%d_ns", g, i%13), nil).Observe(int64(i))
+				if i == 0 {
+					started.Done()
+				}
+			}
+		}(g)
+	}
+	// Every mutator has registered at least once before the scrape loop
+	// starts, so the settled-state assertion below is deterministic.
+	started.Wait()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			qlog.Record(QueryRecord{Query: fmt.Sprintf("q%d", i), DurationNs: int64(i), Rows: 1})
+		}
+	}()
+
+	paths := []string{"/debug/metrics", "/debug/metrics/prom", "/debug/queries?n=10"}
+	for i := 0; i < 150; i++ {
+		for _, p := range paths {
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, httptest.NewRequest("GET", p, nil))
+			if rec.Code != 200 {
+				t.Fatalf("GET %s under mutation: status %d", p, rec.Code)
+			}
+			if p != "/debug/metrics/prom" {
+				var v any
+				if err := json.Unmarshal(rec.Body.Bytes(), &v); err != nil {
+					t.Fatalf("GET %s under mutation: bad JSON: %v", p, err)
+				}
+			} else if rec.Body.Len() == 0 {
+				t.Fatalf("GET %s under mutation: empty exposition", p)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	// A final scrape sees the settled state: at least one mutator series
+	// from every goroutine made it into the exposition.
+	snap := reg.Snapshot()
+	if len(snap.Counters) < 4 {
+		t.Fatalf("settled snapshot lost counters: %d", len(snap.Counters))
+	}
+}

@@ -1,0 +1,211 @@
+package server
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/store"
+)
+
+// chaosSeed replays a specific chaos schedule:
+//
+//	go test -race ./internal/server -run TestServerChaos -args -server-chaos-seed=42
+var chaosSeed = flag.Int64("server-chaos-seed", 1, "TestServerChaos: fault/op schedule seed")
+
+// TestServerChaos is the seeded chaos lane: a handful of tenants under
+// a tiny open-tenant cap, with probabilistic storage faults injected
+// underneath (append errors → storage crash, fsync latency, torn
+// writes), clients forcing mid-request evictions and dribbling request
+// bodies in slowly. The daemon may answer 200, 429 or 500 — never any
+// other status, never a transport error, never a hang — and once the
+// faults are disarmed every tenant must converge: syncs succeed,
+// queries answer the tenant's full row set, and digests survive an
+// eviction cycle.
+func TestServerChaos(t *testing.T) {
+	const (
+		nTenants = 12
+		nClients = 2
+		nOps     = 25
+	)
+	inj := fault.New(*chaosSeed)
+	root := t.TempDir()
+	srv, c := newTestServer(t, Config{
+		Root:           root,
+		MaxOpenTenants: 3,
+		Faults:         inj,
+	})
+	_ = srv
+
+	names := make([]string, nTenants)
+	for i := range names {
+		names[i] = fmt.Sprintf("chaos%02d", i)
+		if err := seedTenant(c, names[i], chaosMarker(i), 3); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Arm the storage faults only after seeding, so every tenant starts
+	// from a known committed state.
+	inj.Add(fault.Rule{Point: store.FaultAppend, Kind: fault.Error, P: 0.05})
+	inj.Add(fault.Rule{Point: store.FaultTorn, Kind: fault.Error, P: 0.02})
+	inj.Add(fault.Rule{Point: store.FaultSnapshot, Kind: fault.Error, P: 0.05})
+	inj.Add(fault.Rule{Point: store.FaultFsync, Kind: fault.Latency, P: 0.10, Latency: 2 * time.Millisecond})
+
+	var (
+		wg   sync.WaitGroup
+		sink errSink
+	)
+	okStatus := map[int]bool{
+		http.StatusOK:              true,
+		http.StatusTooManyRequests: true,
+		// Storage crash mid-operation; the tenant recovers on the next
+		// request.
+		http.StatusInternalServerError: true,
+	}
+	for i := 0; i < nTenants; i++ {
+		for j := 0; j < nClients; j++ {
+			wg.Add(1)
+			go func(i, j int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(*chaosSeed + int64(i*nClients+j)))
+				name := names[i]
+				q := fmt.Sprintf("%q", chaosMarker(i))
+				for op := 0; op < nOps; op++ {
+					var code int
+					var err error
+					switch rng.Intn(7) {
+					case 0, 1: // query (sometimes paginated)
+						_, code, err = c.query(name, q, "", 1+rng.Intn(3))
+						if code == http.StatusTooManyRequests {
+							code = http.StatusOK // retry429 exhausted; still a valid answer
+						}
+					case 2: // sync (may crash the store)
+						code, _, err = c.do("POST", name, "/sync", map[string]any{})
+					case 3: // checkpoint
+						code, _, err = c.do("POST", name, "/checkpoint", map[string]any{})
+					case 4: // forced mid-load eviction
+						code, _, err = c.do("POST", name, "/evict", nil)
+					case 5: // slow client: body dribbles in
+						code, err = slowQuery(c, name, q, 5*time.Millisecond)
+					case 6: // write: a fresh scratch source + sync appends
+						// to the WAL, giving the armed faults something
+						// to bite on. Content carries no tenant marker.
+						code, _, err = c.do("POST", name, "/sources", map[string]any{
+							"id":    fmt.Sprintf("w%02d-%02d-%02d", i, j, op),
+							"files": map[string]string{"/s.txt": fmt.Sprintf("scratch write %d %d %d", i, j, op)},
+							"sync":  true,
+						})
+					}
+					if err != nil {
+						sink.addf("%s op %d: transport error: %v", name, op, err)
+						continue
+					}
+					if !okStatus[code] {
+						sink.addf("%s op %d: unexpected status %d", name, op, code)
+					}
+				}
+			}(i, j)
+		}
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(3 * time.Minute):
+		t.Fatal("chaos lane hung")
+	}
+	sink.report(t)
+	if inj.FiredTotal() == 0 {
+		t.Error("chaos lane injected zero faults; the schedule is not exercising storage")
+	}
+	t.Logf("chaos: %d faults injected (seed %d)", inj.FiredTotal(), *chaosSeed)
+
+	// Disarm and converge: every tenant must come back healthy.
+	inj.Reset()
+	for i, name := range names {
+		var lastCode int
+		var lastBody []byte
+		converged := false
+		for attempt := 0; attempt < 20; attempt++ {
+			lastCode, lastBody, _ = c.retry429("POST", name, "/sync", map[string]any{})
+			if lastCode == http.StatusOK {
+				converged = true
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		if !converged {
+			t.Fatalf("%s never converged: last sync %d %s", name, lastCode, lastBody)
+		}
+		resp, code, err := c.query(name, fmt.Sprintf("%q", chaosMarker(i)), "", 0)
+		if err != nil || code != http.StatusOK {
+			t.Fatalf("%s post-chaos query: %d %v", name, code, err)
+		}
+		if resp.Total != 3 {
+			t.Errorf("%s post-chaos rows %d, want 3 (committed seed state lost?)", name, resp.Total)
+		}
+		d1, err := c.digest(name)
+		if err != nil || d1 == "" {
+			t.Fatalf("%s post-chaos digest: %q %v", name, d1, err)
+		}
+		// Digest survives a full evict/reopen cycle.
+		if code, b, err := c.do("POST", name, "/evict", nil); err != nil || code != http.StatusOK {
+			t.Fatalf("%s post-chaos evict: %d %v %s", name, code, err, b)
+		}
+		d2, err := c.digest(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d2 != d1 {
+			t.Errorf("%s digest changed across post-chaos eviction: %s != %s", name, d2, d1)
+		}
+	}
+	resp, err := c.hc.Get(c.base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz after chaos: %d", resp.StatusCode)
+	}
+}
+
+func chaosMarker(i int) string { return fmt.Sprintf("chaosmark%02dz", i) }
+
+// slowQuery sends a well-formed query whose body arrives in two
+// installments separated by delay — the slow-client lane. The server
+// must either answer it (200) or shed it (429), holding only the slow
+// tenant's own query slot meanwhile.
+func slowQuery(c *tclient, tenant, q string, delay time.Duration) (int, error) {
+	pr, pw := io.Pipe()
+	req, err := http.NewRequest("POST", c.base+"/v1/t/"+tenant+"/query", pr)
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if tok := c.tokens[tenant]; tok != "" {
+		req.Header.Set("Authorization", "Bearer "+tok)
+	}
+	body := []byte(fmt.Sprintf(`{"q":%q}`, q))
+	go func() {
+		pw.Write(body[:len(body)/2])
+		time.Sleep(delay)
+		pw.Write(body[len(body)/2:])
+		pw.Close()
+	}()
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		pr.Close()
+		return 0, err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode, nil
+}

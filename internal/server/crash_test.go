@@ -1,0 +1,138 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/store"
+)
+
+// TestServerCrashRecovery reuses the durability-matrix pattern at the
+// daemon level: a tenant's storage is crashed by a fault injected at
+// the WAL append point mid-sync, the request surfaces it as a 500, and
+// the next request transparently reopens the directory and recovers —
+// with the reopened digest equal to the pre-crash committed digest
+// (the fault fires on the first append of the failed batch, so nothing
+// of it is durable). Untouched tenants ride through the victim's crash
+// unchanged, and a full daemon restart reproduces every digest.
+func TestServerCrashRecovery(t *testing.T) {
+	inj := fault.New(1)
+	root := t.TempDir()
+	cfg := Config{Root: root, MaxOpenTenants: 4, Faults: inj}
+	srv, c := newTestServer(t, cfg)
+
+	// A bystander tenant proves crash isolation.
+	if err := seedTenant(c, "bystander", "calmmark", 3); err != nil {
+		t.Fatal(err)
+	}
+	byDigest, err := c.digest("bystander")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Victim: commit a known state, record its digest.
+	if err := seedTenant(c, "victim", "victmark", 3); err != nil {
+		t.Fatal(err)
+	}
+	preCrash, err := c.digest("victim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if preCrash == "" {
+		t.Fatal("empty pre-crash digest")
+	}
+
+	// Register more data, then crash the WAL on the first append of the
+	// sync that would commit it.
+	c.must("POST", "victim", "/sources", map[string]any{
+		"id": "extra",
+		"files": map[string]string{
+			"/extra/x.txt": "extra victmark payload one",
+			"/extra/y.txt": "extra victmark payload two",
+		},
+	}, http.StatusOK)
+	inj.Add(fault.Rule{Point: store.FaultAppend, Kind: fault.Error, Times: 1})
+	code, body, err := c.do("POST", "victim", "/sync", map[string]any{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != http.StatusInternalServerError {
+		t.Fatalf("faulted sync: status %d, want 500: %s", code, body)
+	}
+	if !strings.Contains(string(body), "crashed") {
+		t.Errorf("faulted sync error does not mention the crash: %s", body)
+	}
+	if got := srv.Metrics().Snapshot().Counters["srv_tenant_crashes_total"]; got == 0 {
+		t.Error("srv_tenant_crashes_total not incremented")
+	}
+
+	// The next request reopens the directory and recovers; the durable
+	// state must be exactly the pre-crash committed state.
+	recovered, err := c.digest("victim")
+	if err != nil {
+		t.Fatalf("post-crash digest (recovery reopen): %v", err)
+	}
+	if recovered != preCrash {
+		t.Fatalf("post-crash reopen digest %s != pre-crash %s", recovered, preCrash)
+	}
+	// Committed rows survived; the uncommitted batch did not.
+	resp, code, err := c.query("victim", `"victmark"`, "", 0)
+	if err != nil || code != http.StatusOK {
+		t.Fatalf("post-crash query: %d %v", code, err)
+	}
+	if resp.Total != 3 {
+		t.Fatalf("post-crash query sees %d rows, want the 3 committed ones", resp.Total)
+	}
+
+	// Convergence: re-register both sources (plugin registration is
+	// session-scoped; see docs/SERVER.md) and resync — the previously
+	// crashed batch now commits.
+	files := map[string]string{}
+	for i := 0; i < 3; i++ {
+		// Same paths and contents seedTenant used, so the resync upserts
+		// onto the recovered views' stable OIDs.
+		files[fmt.Sprintf("/docs/victim-f%02d.txt", i)] =
+			fmt.Sprintf("document %02d of victim carrying victmark", i)
+	}
+	c.must("POST", "victim", "/sources", map[string]any{"id": "docs", "files": files}, http.StatusOK)
+	c.must("POST", "victim", "/sources", map[string]any{
+		"id": "extra",
+		"files": map[string]string{
+			"/extra/x.txt": "extra victmark payload one",
+			"/extra/y.txt": "extra victmark payload two",
+		},
+		"sync": true,
+	}, http.StatusOK)
+	resp, code, err = c.query("victim", `"victmark"`, "", 0)
+	if err != nil || code != http.StatusOK {
+		t.Fatalf("post-recovery query: %d %v", code, err)
+	}
+	if resp.Total != 5 {
+		t.Fatalf("post-recovery query sees %d rows, want 5", resp.Total)
+	}
+	final, err := c.digest("victim")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The bystander never noticed.
+	if d, err := c.digest("bystander"); err != nil || d != byDigest {
+		t.Fatalf("bystander digest drifted across the victim's crash: %s != %s (%v)", d, byDigest, err)
+	}
+
+	// Daemon restart: both tenants come back with identical digests.
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	cfg.Faults = nil
+	_, c2 := newTestServer(t, cfg)
+	if d, err := c2.digest("victim"); err != nil || d != final {
+		t.Fatalf("victim digest across daemon restart: %s != %s (%v)", d, final, err)
+	}
+	if d, err := c2.digest("bystander"); err != nil || d != byDigest {
+		t.Fatalf("bystander digest across daemon restart: %s != %s (%v)", d, byDigest, err)
+	}
+}

@@ -1,0 +1,144 @@
+// Cursor-based pagination for imemexd query results.
+//
+// A cursor is an opaque, resumable position in a query's result set.
+// Result rows are ordered by their OID key — the tuple of catalog OIDs
+// in the row, compared lexicographically — which is stable across
+// query re-evaluation, dataspace mutation and tenant eviction: OIDs
+// are assigned once and never reused for a live view, so a row's key
+// never changes and rows only ever sort into one place. Resuming a
+// cursor re-evaluates the query (cheap against the replica, and served
+// by the version-keyed cache when nothing changed) and returns the
+// rows strictly after the cursor's key: a client walking pages sees
+// every row at most once and in strictly increasing key order, even
+// while rows are added or removed underneath it.
+package server
+
+import (
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	idm "repro"
+)
+
+// pageCursor is the decoded cursor. The wire form is unpadded
+// URL-base64 over compact JSON — opaque to clients, versioned and
+// query-bound so a cursor can only resume the query that minted it.
+type pageCursor struct {
+	// V is the cursor format version (currently 1).
+	V int `json:"v"`
+	// Q is the FNV-64a hash of the query text the cursor belongs to.
+	Q string `json:"q"`
+	// Last is the OID key of the last row the previous page returned.
+	Last []uint64 `json:"last"`
+}
+
+// cursorVersion is the only format this build mints and accepts.
+const cursorVersion = 1
+
+// maxCursorKey bounds the row-key arity a cursor may carry (rows are
+// one item, or two for joins; a little headroom costs nothing).
+const maxCursorKey = 8
+
+// queryHash binds a cursor to its query text.
+func queryHash(q string) string {
+	h := fnv.New64a()
+	h.Write([]byte(q))
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// encodeCursor mints the opaque wire form.
+func encodeCursor(qhash string, last []uint64) string {
+	b, _ := json.Marshal(pageCursor{V: cursorVersion, Q: qhash, Last: last})
+	return base64.RawURLEncoding.EncodeToString(b)
+}
+
+// decodeCursor parses and validates an opaque cursor. Every failure is
+// a client error: cursors are never trusted (they cross the network),
+// so decoding is strict — exact version, known fields only, bounded
+// key arity — and can reject but never panic (FuzzServerRequest pins
+// that).
+func decodeCursor(s string) (pageCursor, error) {
+	var c pageCursor
+	if len(s) > 1024 {
+		return c, fmt.Errorf("cursor too long (%d bytes)", len(s))
+	}
+	raw, err := base64.RawURLEncoding.DecodeString(s)
+	if err != nil {
+		return c, fmt.Errorf("cursor is not valid base64: %v", err)
+	}
+	if err := json.Unmarshal(raw, &c); err != nil {
+		return c, fmt.Errorf("cursor does not decode: %v", err)
+	}
+	if c.V != cursorVersion {
+		return c, fmt.Errorf("cursor version %d not supported", c.V)
+	}
+	if len(c.Last) == 0 || len(c.Last) > maxCursorKey {
+		return c, fmt.Errorf("cursor key arity %d out of range", len(c.Last))
+	}
+	return c, nil
+}
+
+// rowKey is one row's sort key: its OIDs in column order.
+func rowKey(row idm.Row) []uint64 {
+	k := make([]uint64, len(row))
+	for i, item := range row {
+		k[i] = uint64(item.OID)
+	}
+	return k
+}
+
+// compareKeys orders OID keys lexicographically; shorter keys sort
+// before longer ones sharing a prefix.
+func compareKeys(a, b []uint64) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		switch {
+		case a[i] < b[i]:
+			return -1
+		case a[i] > b[i]:
+			return 1
+		}
+	}
+	switch {
+	case len(a) < len(b):
+		return -1
+	case len(a) > len(b):
+		return 1
+	}
+	return 0
+}
+
+// paginate orders res.Rows by OID key, skips past the cursor (nil
+// means "from the start"), and returns up to limit rows plus the next
+// cursor ("" when the page reaches the end). total is the full result
+// cardinality at this evaluation.
+func paginate(res *idm.Result, qhash string, cur *pageCursor, limit int) (rows []idm.Row, next string, total int) {
+	sorted := make([]idm.Row, len(res.Rows))
+	copy(sorted, res.Rows)
+	sort.Slice(sorted, func(i, j int) bool {
+		return compareKeys(rowKey(sorted[i]), rowKey(sorted[j])) < 0
+	})
+	total = len(sorted)
+	start := 0
+	if cur != nil {
+		// First row strictly after the cursor key.
+		start = sort.Search(len(sorted), func(i int) bool {
+			return compareKeys(rowKey(sorted[i]), cur.Last) > 0
+		})
+	}
+	end := start + limit
+	if end > len(sorted) {
+		end = len(sorted)
+	}
+	rows = sorted[start:end]
+	if end < len(sorted) && len(rows) > 0 {
+		next = encodeCursor(qhash, rowKey(rows[len(rows)-1]))
+	}
+	return rows, next, total
+}

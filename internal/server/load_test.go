@@ -1,0 +1,260 @@
+package server
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	idm "repro"
+)
+
+// The load harness scales via flags so `make load-smoke` can run a
+// quick 20×5 soak while the full gate drives hundreds of tenants:
+//
+//	go test -race ./internal/server -run TestLoadConcurrentTenants \
+//	    -args -load-tenants=200 -load-clients=3 -load-iters=1
+var (
+	loadTenants = flag.Int("load-tenants", 200, "TestLoadConcurrentTenants: concurrent tenants")
+	loadClients = flag.Int("load-clients", 3, "TestLoadConcurrentTenants: clients per tenant")
+	loadIters   = flag.Int("load-iters", 1, "TestLoadConcurrentTenants: iterations per client")
+)
+
+// errSink collects goroutine failures for reporting on the main
+// goroutine (t.Fatal is not goroutine-safe).
+type errSink struct {
+	mu   sync.Mutex
+	errs []string
+	n    int
+}
+
+func (s *errSink) addf(format string, args ...any) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.n++
+	if len(s.errs) < 20 {
+		s.errs = append(s.errs, fmt.Sprintf(format, args...))
+	}
+}
+
+func (s *errSink) report(t *testing.T) {
+	t.Helper()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, e := range s.errs {
+		t.Error(e)
+	}
+	if s.n > len(s.errs) {
+		t.Errorf("... and %d more errors", s.n-len(s.errs))
+	}
+}
+
+// TestLoadConcurrentTenants is the headline load/soak harness: hundreds
+// of tenants × several clients each hammer one daemon through a real
+// HTTP listener, with the open-tenant cap far below the tenant count so
+// every phase churns through lazy opens and LRU evictions. It asserts
+//
+//   - isolation: no client ever sees a row from another tenant (by
+//     marker query and by row path);
+//   - cursor stability: every paginated walk returns exactly the
+//     tenant's rows, each at most once, in strictly increasing key
+//     order, across evictions happening underneath;
+//   - eviction/reopen correctness: reopen churn actually happened, and
+//     a full daemon restart reproduces every tenant's digest;
+//   - backpressure: saturation surfaces as 429 (absorbed by client
+//     retry), never as errors or hangs.
+func TestLoadConcurrentTenants(t *testing.T) {
+	nT, nC, iters := *loadTenants, *loadClients, *loadIters
+	names := make([]string, nT)
+	tokens := make(map[string]string, nT)
+	for i := range names {
+		names[i] = fmt.Sprintf("tenant%03d", i)
+		tokens[names[i]] = fmt.Sprintf("tok-%03d-secret", i)
+	}
+	capTenants := 16
+	if capTenants >= nT {
+		capTenants = (nT + 1) / 2 // keep the cap well below the tenant count
+	}
+	root := t.TempDir()
+	cfg := Config{
+		Root:           root,
+		MaxOpenTenants: capTenants,
+		MaxConcurrent:  512,
+		Fsync:          idm.SyncNever, // clean closes; digest stability still asserted
+		Tokens:         tokens,
+		Quota:          Quota{MaxConcurrentQueries: nC + 2},
+	}
+	srv, c := newTestServer(t, cfg)
+	c.hc = &http.Client{
+		Timeout: 120 * time.Second,
+		Transport: &http.Transport{
+			MaxIdleConns:        1024,
+			MaxIdleConnsPerHost: 1024,
+		},
+	}
+
+	marker := func(i int) string { return fmt.Sprintf("loadmark%03dx", i) }
+	const filesPerTenant = 3
+
+	// Phase 1: seed every tenant (bounded fan-out).
+	var (
+		wg   sync.WaitGroup
+		sink errSink
+		pool = make(chan struct{}, 32)
+	)
+	for i := range names {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			pool <- struct{}{}
+			defer func() { <-pool }()
+			if err := seedTenant(c, names[i], marker(i), filesPerTenant); err != nil {
+				sink.addf("seed: %v", err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	sink.report(t)
+	if t.Failed() {
+		t.Fatal("seeding failed; not starting load")
+	}
+
+	// Phase 2: concurrent load.
+	var leaks, walks atomic.Int64
+	for i := 0; i < nT; i++ {
+		for j := 0; j < nC; j++ {
+			wg.Add(1)
+			go func(i, j int) {
+				defer wg.Done()
+				name, mark := names[i], marker(i)
+				other := marker((i + 1) % nT)
+				for it := 0; it < iters; it++ {
+					// Paginated walk of this tenant's rows at a page
+					// size that forces multiple pages.
+					rows, err := c.paginateAll(name, fmt.Sprintf("%q", mark), 2)
+					if err != nil {
+						sink.addf("%s walk: %v", name, err)
+						continue
+					}
+					walks.Add(1)
+					if len(rows) != filesPerTenant {
+						sink.addf("%s walk: %d rows, want %d", name, len(rows), filesPerTenant)
+					}
+					last := uint64(0)
+					for _, row := range rows {
+						if !strings.Contains(row[0].Path, name) {
+							leaks.Add(1)
+							sink.addf("%s walk: foreign row %s", name, row[0].Path)
+						}
+						if row[0].OID <= last {
+							sink.addf("%s walk: keys not strictly increasing (%d after %d)",
+								name, row[0].OID, last)
+						}
+						last = row[0].OID
+					}
+
+					// Cross-tenant probe: another tenant's marker must
+					// answer zero rows here.
+					if nT == 1 {
+						continue
+					}
+					resp, code, err := c.query(name, fmt.Sprintf("%q", other), "", 0)
+					if err != nil {
+						sink.addf("%s probe: %v", name, err)
+					} else if code != http.StatusOK {
+						sink.addf("%s probe: status %d", name, code)
+					} else if resp.Total != 0 {
+						leaks.Add(int64(resp.Total))
+						sink.addf("%s probe: sees %d of %s's rows", name, resp.Total, other)
+					}
+
+					// Mixed ops: digests, checkpoints, syncs, and the
+					// occasional forced eviction mid-load.
+					switch (i + j + it) % 4 {
+					case 0:
+						if d, err := c.digest(name); err != nil || d == "" {
+							sink.addf("%s digest: %q %v", name, d, err)
+						}
+					case 1:
+						if code, b, err := c.retry429("POST", name, "/checkpoint", map[string]any{}); err != nil || code != http.StatusOK {
+							sink.addf("%s checkpoint: %d %v %s", name, code, err, b)
+						}
+					case 2:
+						if code, b, err := c.retry429("POST", name, "/sync", map[string]any{}); err != nil || code != http.StatusOK {
+							sink.addf("%s sync: %d %v %s", name, code, err, b)
+						}
+					case 3:
+						if (i*31+j)%10 == 0 {
+							if code, b, err := c.do("POST", name, "/evict", nil); err != nil || code != http.StatusOK {
+								sink.addf("%s evict: %d %v %s", name, code, err, b)
+							}
+						}
+					}
+				}
+			}(i, j)
+		}
+	}
+	wg.Wait()
+	sink.report(t)
+
+	if n := leaks.Load(); n != 0 {
+		t.Fatalf("%d cross-tenant leaks", n)
+	}
+	if walks.Load() == 0 {
+		t.Fatal("no successful walks")
+	}
+	snap := srv.Metrics().Snapshot()
+	if capTenants < nT && snap.Counters["srv_tenant_evictions_total"] == 0 {
+		t.Error("no evictions despite cap below tenant count")
+	}
+	if snap.Counters["srv_tenant_opens_total"] <= int64(nT) {
+		t.Errorf("tenant opens %d suggest no reopen churn (want > %d)",
+			snap.Counters["srv_tenant_opens_total"], nT)
+	}
+	t.Logf("load: %d tenants × %d clients × %d iters, cap %d: %d requests, %d opens, %d evictions, %d throttled",
+		nT, nC, iters, capTenants,
+		snap.Counters["srv_requests_total"],
+		snap.Counters["srv_tenant_opens_total"],
+		snap.Counters["srv_tenant_evictions_total"],
+		snap.Counters["srv_throttled_total"])
+
+	// Phase 3: record every tenant's digest, restart the daemon over
+	// the same root, and require byte-identical digests.
+	digests := make(map[string]string, nT)
+	for _, name := range names {
+		d, err := c.digest(name)
+		if err != nil {
+			t.Fatalf("pre-restart digest %s: %v", name, err)
+		}
+		if d == "" {
+			t.Fatalf("pre-restart digest %s: empty", name)
+		}
+		digests[name] = d
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	cfg2 := cfg
+	_, c2 := newTestServer(t, cfg2)
+	c2.hc = c.hc
+	mismatches := 0
+	for _, name := range names {
+		d, err := c2.digest(name)
+		if err != nil {
+			t.Fatalf("post-restart digest %s: %v", name, err)
+		}
+		if d != digests[name] {
+			mismatches++
+			if mismatches <= 5 {
+				t.Errorf("tenant %s digest changed across daemon restart: %s != %s", name, d, digests[name])
+			}
+		}
+	}
+	if mismatches > 0 {
+		t.Fatalf("%d/%d tenants lost state across restart", mismatches, nT)
+	}
+}

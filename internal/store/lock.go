@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"syscall"
+	"time"
 )
 
 // LockFileName is the advisory-lock file every storage backend creates
@@ -23,17 +25,26 @@ type DirLock struct {
 
 // AcquireDirLock takes the exclusive flock on dir's LOCK file without
 // blocking. A directory already locked — by another process or another
-// engine in this one — fails with a clear error. The lock dies with the
-// process, so a crashed owner never wedges the directory.
+// engine in this one — fails with an error naming the holder (the
+// pid/hostname stamp the winning acquire wrote into the file), so a
+// multi-tenant double-open is diagnosable from the message alone. The
+// lock dies with the process, so a crashed owner never wedges the
+// directory.
 func AcquireDirLock(dir string) (*DirLock, error) {
-	f, err := os.OpenFile(filepath.Join(dir, LockFileName), os.O_CREATE|os.O_RDWR, 0o644)
+	path := filepath.Join(dir, LockFileName)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, err
 	}
 	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		holder := readLockOwner(f)
 		f.Close()
+		if holder != "" {
+			return nil, fmt.Errorf("store: data dir %s is locked by %s (%v)", dir, holder, err)
+		}
 		return nil, fmt.Errorf("store: data dir %s is locked by another process (%v)", dir, err)
 	}
+	writeLockOwner(f)
 	return &DirLock{f: f}, nil
 }
 
@@ -46,4 +57,33 @@ func (l *DirLock) Release() error {
 	l.f = nil
 	syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
 	return f.Close()
+}
+
+// writeLockOwner stamps the held lock file with who owns it. Best
+// effort: the stamp is diagnostic only (the flock is the lock), so
+// write errors are ignored.
+func writeLockOwner(f *os.File) {
+	host, _ := os.Hostname()
+	stamp := fmt.Sprintf("pid=%d host=%s acquired=%s\n",
+		os.Getpid(), host, time.Now().UTC().Format(time.RFC3339))
+	if err := f.Truncate(0); err != nil {
+		return
+	}
+	f.WriteAt([]byte(stamp), 0)
+}
+
+// readLockOwner reads the holder stamp out of a contended lock file.
+// Returns "" when the file is empty (pre-stamp lockers) or unreadable.
+func readLockOwner(f *os.File) string {
+	buf := make([]byte, 256)
+	n, _ := f.ReadAt(buf, 0)
+	s := strings.TrimSpace(string(buf[:n]))
+	if s == "" || strings.ContainsAny(s, "\x00") {
+		return ""
+	}
+	// Keep only the first line; a torn or oversized stamp is clipped.
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		s = s[:i]
+	}
+	return s
 }

@@ -50,6 +50,12 @@ echo '>> go test -race ./internal/repl (replication gate)'
 go test -race ./internal/repl
 echo '>> go test -race -run "Replica|ReplChaos|Federation|DoubleCrash" . (replication integration)'
 go test -race -run 'Replica|ReplChaos|Federation|DoubleCrash' .
+# Server gate: the multi-tenant daemon package — unit/integration
+# tests, the concurrent-tenant load harness (at the in-gate scale its
+# flag defaults set), the seeded chaos lane and the crash-recovery
+# test — runs first for attributable failure; ./... repeats it below.
+echo '>> go test -race ./internal/server (multi-tenant server gate)'
+go test -race ./internal/server
 echo '>> go test -race ./...'
 go test -race ./...
 echo 'check: OK'
